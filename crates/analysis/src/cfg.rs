@@ -1,0 +1,303 @@
+//! Basic blocks and the control-flow graph over a [`Disassembly`].
+//!
+//! Successor edges are *known* edges only: an indirect jump (`jalr`)
+//! contributes no successors and is flagged on the block, so downstream
+//! analyses (liveness) can be conservative there — the same conservatism
+//! that limits traditional dead-register search (§4.2, Challenge 2).
+
+use crate::disasm::{DisasmInst, Disassembly};
+use chimera_isa::{Inst, XReg};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Falls through to the next block.
+    Fallthrough,
+    /// Conditional branch: taken target + fallthrough.
+    Branch,
+    /// Direct jump (`jal`): one target, plus fallthrough when linking
+    /// (a call).
+    Jump {
+        /// Whether the jump links (i.e. is a call and returns).
+        is_call: bool,
+    },
+    /// Indirect jump (`jalr`): unknown targets.
+    Indirect {
+        /// Whether the jump links (an indirect call returns to the
+        /// fallthrough).
+        is_call: bool,
+    },
+    /// `ecall` / `ebreak` / end of recognized code.
+    Stop,
+}
+
+/// A basic block.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u64,
+    /// The instructions, in order.
+    pub insts: Vec<DisasmInst>,
+    /// Known successor block addresses.
+    pub succs: Vec<u64>,
+    /// How the block ends.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// One past the last byte of the block.
+    pub fn end(&self) -> u64 {
+        self.insts
+            .last()
+            .map(DisasmInst::next_addr)
+            .unwrap_or(self.start)
+    }
+
+    /// Whether the block's successor set is incomplete (indirect control
+    /// flow); liveness must assume everything is live after it.
+    pub fn has_unknown_succs(&self) -> bool {
+        matches!(
+            self.terminator,
+            Terminator::Indirect { .. } | Terminator::Stop
+        )
+    }
+}
+
+/// A control-flow graph.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u64, BasicBlock>,
+    /// Predecessor edges.
+    pub preds: HashMap<u64, Vec<u64>>,
+}
+
+impl Cfg {
+    /// The block containing `addr`, if any.
+    pub fn block_containing(&self, addr: u64) -> Option<&BasicBlock> {
+        self.blocks
+            .range(..=addr)
+            .next_back()
+            .map(|(_, b)| b)
+            .filter(|b| addr < b.end())
+    }
+
+    /// Builds the CFG from a disassembly.
+    pub fn build(d: &Disassembly) -> Cfg {
+        // Leaders: targets of direct control flow, data-referenced
+        // addresses, instructions after terminators, and the first
+        // instruction.
+        let mut leaders: BTreeSet<u64> = BTreeSet::new();
+        if let Some((first, _)) = d.insts.iter().next() {
+            leaders.insert(*first);
+        }
+        for t in d.targets.iter().chain(d.data_refs.iter()) {
+            if d.insts.contains_key(t) {
+                leaders.insert(*t);
+            }
+        }
+        let mut prev_end: Option<u64> = None;
+        for di in d.iter() {
+            if let Some(pe) = prev_end {
+                if pe != di.addr {
+                    // Discontinuity: new region, new leader.
+                    leaders.insert(di.addr);
+                }
+            }
+            if di.inst.is_terminator() {
+                leaders.insert(di.next_addr());
+            }
+            prev_end = Some(di.next_addr());
+        }
+
+        let mut cfg = Cfg::default();
+        let mut current: Vec<DisasmInst> = Vec::new();
+        let mut start: Option<u64> = None;
+
+        let flush = |cfg: &mut Cfg, start: &mut Option<u64>, insts: &mut Vec<DisasmInst>| {
+            let Some(s) = start.take() else {
+                return;
+            };
+            if insts.is_empty() {
+                return;
+            }
+            let last = *insts.last().expect("non-empty");
+            let (succs, terminator) = successors(&last, d);
+            cfg.blocks.insert(
+                s,
+                BasicBlock {
+                    start: s,
+                    insts: std::mem::take(insts),
+                    succs,
+                    terminator,
+                },
+            );
+        };
+
+        let mut prev_end: Option<u64> = None;
+        for di in d.iter() {
+            let discontinuous = prev_end.is_some_and(|pe| pe != di.addr);
+            if leaders.contains(&di.addr) || discontinuous {
+                flush(&mut cfg, &mut start, &mut current);
+            }
+            if start.is_none() {
+                start = Some(di.addr);
+            }
+            current.push(*di);
+            if di.inst.is_terminator() && !matches!(di.inst, Inst::Ecall) {
+                flush(&mut cfg, &mut start, &mut current);
+            }
+            prev_end = Some(di.next_addr());
+        }
+        flush(&mut cfg, &mut start, &mut current);
+
+        // Prune successor edges to blocks that exist; record preds.
+        let existing: BTreeSet<u64> = cfg.blocks.keys().copied().collect();
+        for b in cfg.blocks.values_mut() {
+            b.succs.retain(|s| existing.contains(s));
+        }
+        let edges: Vec<(u64, u64)> = cfg
+            .blocks
+            .values()
+            .flat_map(|b| b.succs.iter().map(move |s| (b.start, *s)))
+            .collect();
+        for (from, to) in edges {
+            cfg.preds.entry(to).or_default().push(from);
+        }
+        cfg
+    }
+}
+
+fn successors(last: &DisasmInst, d: &Disassembly) -> (Vec<u64>, Terminator) {
+    match last.inst {
+        Inst::Jal { rd, .. } => {
+            let target = last
+                .inst
+                .direct_target(last.addr)
+                .expect("jal target");
+            let is_call = rd != XReg::ZERO;
+            let mut succs = vec![target];
+            if is_call {
+                succs.push(last.next_addr());
+            }
+            (succs, Terminator::Jump { is_call })
+        }
+        Inst::Jalr { rd, .. } => {
+            let is_call = rd != XReg::ZERO;
+            let succs = if is_call {
+                vec![last.next_addr()]
+            } else {
+                vec![]
+            };
+            (succs, Terminator::Indirect { is_call })
+        }
+        Inst::Branch { .. } => {
+            let target = last
+                .inst
+                .direct_target(last.addr)
+                .expect("branch target");
+            (vec![target, last.next_addr()], Terminator::Branch)
+        }
+        Inst::Ebreak => (vec![], Terminator::Stop),
+        _ => {
+            // Fallthrough, if the next instruction is recognized.
+            let next = last.next_addr();
+            if d.insts.contains_key(&next) {
+                (vec![next], Terminator::Fallthrough)
+            } else {
+                (vec![], Terminator::Stop)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+    use chimera_obj::{assemble, AsmOptions};
+
+    fn cfg(src: &str) -> (chimera_obj::Binary, Cfg) {
+        let bin = assemble(src, AsmOptions::default()).unwrap();
+        let d = disassemble(&bin);
+        (bin, Cfg::build(&d))
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let (bin, g) = cfg("
+            _start:
+                beqz a0, left
+                addi a1, a1, 1
+                j join
+            left:
+                addi a2, a2, 1
+            join:
+                ecall
+        ");
+        // Blocks: entry(beqz), then-side, left, join.
+        assert_eq!(g.blocks.len(), 4);
+        let entry = &g.blocks[&bin.entry];
+        assert_eq!(entry.succs.len(), 2);
+        assert_eq!(entry.terminator, Terminator::Branch);
+        // Join has two preds.
+        let join_addr = *g.blocks.keys().last().unwrap();
+        assert_eq!(g.preds[&join_addr].len(), 2);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let (bin, g) = cfg("
+            _start:
+                li t0, 5
+            loop:
+                addi t0, t0, -1
+                bnez t0, loop
+                ecall
+        ");
+        let loop_start = bin.entry + 4;
+        let loop_block = &g.blocks[&loop_start];
+        assert!(loop_block.succs.contains(&loop_start));
+    }
+
+    #[test]
+    fn indirect_jump_has_no_succs() {
+        let (_, g) = cfg("
+            _start:
+                jr a0
+        ");
+        let b = g.blocks.values().next().unwrap();
+        assert!(b.succs.is_empty());
+        assert!(b.has_unknown_succs());
+    }
+
+    #[test]
+    fn call_block_falls_through() {
+        let (bin, g) = cfg("
+            _start:
+                call f
+                ecall
+            f:
+                ret
+        ");
+        let entry = g.block_containing(bin.entry).unwrap();
+        assert!(matches!(
+            entry.terminator,
+            Terminator::Indirect { is_call: true }
+        ));
+        assert_eq!(entry.succs, vec![bin.entry + 8]);
+    }
+
+    #[test]
+    fn block_containing_interior_address() {
+        let (bin, g) = cfg("
+            _start:
+                addi a0, a0, 1
+                addi a0, a0, 2
+                ecall
+        ");
+        let b = g.block_containing(bin.entry + 4).unwrap();
+        assert_eq!(b.start, bin.entry);
+    }
+}

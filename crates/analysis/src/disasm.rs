@@ -1,0 +1,300 @@
+//! Recursive-descent disassembly.
+//!
+//! Plays the role IDA Pro plays in the paper (§4.1): traverse control flow
+//! from every known entry point, decoding instructions along the way. The
+//! result is *sound* (everything recognized really is an instruction on some
+//! execution path) but *incomplete* — code reachable only through indirect
+//! jumps whose targets the pointer scan misses stays unrecognized, and
+//! Chimera's runtime rewrites such instructions lazily when they fault.
+//!
+//! Entry points come from three sources, mirroring real tools:
+//! 1. the binary's entry point,
+//! 2. function symbols,
+//! 3. a scan of data sections for 8-byte values that look like code
+//!    addresses (how jump tables and function-pointer tables are found).
+
+use chimera_isa::{decode, Decoded, Inst, XReg};
+use chimera_obj::Binary;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One recognized instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisasmInst {
+    /// Instruction address.
+    pub addr: u64,
+    /// Encoded length (2 or 4).
+    pub len: u8,
+    /// Canonical decoded form.
+    pub inst: Inst,
+}
+
+impl DisasmInst {
+    /// The address of the next sequential instruction.
+    pub fn next_addr(&self) -> u64 {
+        self.addr + self.len as u64
+    }
+}
+
+/// The result of disassembling a binary.
+#[derive(Debug, Clone, Default)]
+pub struct Disassembly {
+    /// Recognized instructions, keyed by address.
+    pub insts: BTreeMap<u64, DisasmInst>,
+    /// Addresses where decoding failed during traversal (candidate
+    /// unrecognized-extension sites; handled lazily at runtime).
+    pub undecodable: BTreeSet<u64>,
+    /// Discovered direct jump/branch targets (potential basic-block
+    /// leaders).
+    pub targets: BTreeSet<u64>,
+    /// Code addresses discovered in data sections (indirect-jump landing
+    /// pads the rewriter must preserve).
+    pub data_refs: BTreeSet<u64>,
+}
+
+impl Disassembly {
+    /// The instruction at `addr`, if recognized.
+    pub fn at(&self, addr: u64) -> Option<&DisasmInst> {
+        self.insts.get(&addr)
+    }
+
+    /// Iterates instructions in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &DisasmInst> {
+        self.insts.values()
+    }
+
+    /// The recognized instruction *containing* `addr` (i.e. whose byte
+    /// range covers it), if any. Used to detect jumps into the middle of
+    /// an instruction.
+    pub fn covering(&self, addr: u64) -> Option<&DisasmInst> {
+        self.insts
+            .range(..=addr)
+            .next_back()
+            .map(|(_, i)| i)
+            .filter(|i| addr < i.next_addr())
+    }
+}
+
+/// Disassembles a binary by recursive descent from its entry points.
+pub fn disassemble(binary: &Binary) -> Disassembly {
+    let text = binary
+        .section(".text")
+        .expect("binary validated to have .text");
+    let text_range = text.addr..text.end();
+
+    let mut out = Disassembly::default();
+    let mut worklist: VecDeque<u64> = VecDeque::new();
+    let mut queued: BTreeSet<u64> = BTreeSet::new();
+
+    let push = |wl: &mut VecDeque<u64>, queued: &mut BTreeSet<u64>, addr: u64| {
+        if text_range.contains(&addr) && queued.insert(addr) {
+            wl.push_back(addr);
+        }
+    };
+
+    push(&mut worklist, &mut queued, binary.entry);
+    for sym in &binary.symbols {
+        if sym.kind == chimera_obj::SymKind::Func {
+            push(&mut worklist, &mut queued, sym.addr);
+        }
+    }
+    // Pointer scan over non-executable sections: 8-byte-aligned values that
+    // land (2-byte aligned) inside .text are treated as code entry points.
+    for sec in binary.sections.iter().filter(|s| !s.perms.x) {
+        for chunk_start in (0..sec.data.len().saturating_sub(7)).step_by(8) {
+            let val = u64::from_le_bytes(
+                sec.data[chunk_start..chunk_start + 8]
+                    .try_into()
+                    .expect("8-byte window"),
+            );
+            if text_range.contains(&val) && val % 2 == 0 {
+                out.data_refs.insert(val);
+                push(&mut worklist, &mut queued, val);
+            }
+        }
+    }
+
+    while let Some(start) = worklist.pop_front() {
+        let mut addr = start;
+        // Walk a straight-line run until a terminator or an already-seen
+        // instruction.
+        loop {
+            if out.insts.contains_key(&addr) || !text_range.contains(&addr) {
+                break;
+            }
+            let Some(word) = read_code_word(binary, addr) else {
+                break;
+            };
+            let decoded: Decoded = match decode(word) {
+                Ok(d) => d,
+                Err(_) => {
+                    out.undecodable.insert(addr);
+                    break;
+                }
+            };
+            let di = DisasmInst {
+                addr,
+                len: decoded.len,
+                inst: decoded.inst,
+            };
+            out.insts.insert(addr, di);
+
+            match decoded.inst {
+                Inst::Jal { rd, .. } => {
+                    let target = decoded
+                        .inst
+                        .direct_target(addr)
+                        .expect("jal has direct target");
+                    out.targets.insert(target);
+                    push(&mut worklist, &mut queued, target);
+                    if rd != XReg::ZERO {
+                        // A call: execution returns to the fallthrough.
+                        push(&mut worklist, &mut queued, di.next_addr());
+                    }
+                    break;
+                }
+                Inst::Jalr { rd, .. } => {
+                    // Indirect: target unknown. Calls fall through on
+                    // return; plain indirect jumps end the path.
+                    if rd != XReg::ZERO {
+                        push(&mut worklist, &mut queued, di.next_addr());
+                    }
+                    break;
+                }
+                Inst::Branch { .. } => {
+                    let target = decoded
+                        .inst
+                        .direct_target(addr)
+                        .expect("branch has direct target");
+                    out.targets.insert(target);
+                    push(&mut worklist, &mut queued, target);
+                    addr = di.next_addr();
+                }
+                Inst::Ecall => {
+                    // Syscalls return (except exit; conservatively continue).
+                    addr = di.next_addr();
+                }
+                Inst::Ebreak => break,
+                _ => addr = di.next_addr(),
+            }
+        }
+    }
+    out
+}
+
+/// Reads the (up to) 32 bits of code at `addr`, tolerating a 2-byte tail at
+/// the end of the section.
+fn read_code_word(binary: &Binary, addr: u64) -> Option<u32> {
+    if let Some(w) = binary.read_u32(addr) {
+        return Some(w);
+    }
+    binary.read_u16(addr).map(|h| h as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_obj::{assemble, AsmOptions};
+
+    fn dis(src: &str) -> (Binary, Disassembly) {
+        let bin = assemble(src, AsmOptions::default()).unwrap();
+        let d = disassemble(&bin);
+        (bin, d)
+    }
+
+    #[test]
+    fn straight_line_code() {
+        let (bin, d) = dis("
+            _start:
+                li a0, 1
+                addi a0, a0, 2
+                ecall
+        ");
+        assert_eq!(d.insts.len(), 3);
+        assert!(d.at(bin.entry).is_some());
+    }
+
+    #[test]
+    fn follows_branches_both_ways() {
+        let (_, d) = dis("
+            _start:
+                beqz a0, skip
+                addi a1, a1, 1
+            skip:
+                addi a2, a2, 1
+                ecall
+        ");
+        assert_eq!(d.insts.len(), 4);
+        assert_eq!(d.targets.len(), 1);
+    }
+
+    #[test]
+    fn follows_calls_and_fallthrough() {
+        let (bin, d) = dis("
+            _start:
+                call helper
+                ecall
+            helper:
+                addi a0, a0, 1
+                ret
+        ");
+        // call = auipc+jalr: 2 insts; then ecall; helper: addi + ret.
+        assert_eq!(d.insts.len(), 5);
+        // The ret's successor is unknown; helper discovered via fallthrough
+        // after the ecall (linear) — confirm helper instructions present.
+        let text = bin.section(".text").unwrap();
+        assert!(d.at(text.addr + 12).is_some());
+    }
+
+    #[test]
+    fn code_only_reachable_via_data_pointer_is_found() {
+        let (_, d) = dis("
+            _start:
+                la t0, table
+                ld t1, 0(t0)
+                jr t1
+            dead_end:
+                ebreak
+            indirect_target:
+                li a0, 7
+                ecall
+            .rodata
+            table:
+                .dword indirect_target
+        ");
+        // indirect_target discovered through the pointer scan.
+        assert!(!d.data_refs.is_empty());
+        let t = *d.data_refs.iter().next().unwrap();
+        assert!(d.at(t).is_some());
+    }
+
+    #[test]
+    fn unreachable_code_stays_unrecognized() {
+        let (bin, d) = dis("
+            _start:
+                j end
+            hidden:
+                addi a0, a0, 1
+                nop
+                nop
+            end:
+                ecall
+        ");
+        let text = bin.section(".text").unwrap();
+        // `hidden` (entry+4) is fallthrough-unreachable and has no pointer.
+        assert!(d.at(text.addr + 4).is_none());
+        // But `end` is found via the jump.
+        assert!(d.targets.contains(&(text.addr + 16)));
+    }
+
+    #[test]
+    fn covering_detects_mid_instruction_addresses() {
+        let (bin, d) = dis("
+            _start:
+                lui a0, 0x12345
+                ecall
+        ");
+        let cov = d.covering(bin.entry + 2).unwrap();
+        assert_eq!(cov.addr, bin.entry);
+        assert_eq!(d.covering(bin.entry + 4).unwrap().addr, bin.entry + 4);
+    }
+}

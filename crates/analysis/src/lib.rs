@@ -1,0 +1,100 @@
+//! # chimera-analysis
+//!
+//! Static binary analysis for the rewriter: recursive-descent
+//! [`disassemble`]-ing (the role IDA Pro plays in the paper), basic-block /
+//! control-flow-graph construction ([`Cfg`]), and conservative backward
+//! register [`Liveness`] — the "traditional" dead-register search that
+//! CHBP's exit-position shifting improves on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg;
+mod disasm;
+mod liveness;
+
+pub use cfg::{BasicBlock, Cfg, Terminator};
+pub use disasm::{disassemble, DisasmInst, Disassembly};
+pub use liveness::{Liveness, RegSet};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use chimera_obj::{assemble, AsmOptions};
+    use proptest::prelude::*;
+
+    /// Generates small random-but-valid straightline+branch programs.
+    fn arb_program() -> impl Strategy<Value = String> {
+        let line = prop_oneof![
+            (0u8..8, 0u8..8, -64i32..64)
+                .prop_map(|(a, b, i)| format!("addi t{}, t{}, {}", a % 7, b % 7, i)),
+            (0u8..8, 0u8..8, 0u8..8)
+                .prop_map(|(a, b, c)| format!("add a{}, a{}, a{}", a % 8, b % 8, c % 8)),
+            (0u8..7).prop_map(|a| format!("beqz t{a}, end")),
+            Just("nop".to_string()),
+        ];
+        proptest::collection::vec(line, 1..40).prop_map(|lines| {
+            let mut src = String::from("_start:\n");
+            for l in lines {
+                src.push_str("    ");
+                src.push_str(&l);
+                src.push('\n');
+            }
+            src.push_str("end:\n    ecall\n");
+            src
+        })
+    }
+
+    proptest! {
+        /// Every recognized instruction belongs to exactly one block, and
+        /// block ranges never overlap.
+        #[test]
+        fn cfg_partitions_disassembly(src in arb_program()) {
+            let bin = assemble(&src, AsmOptions::default()).unwrap();
+            let d = disassemble(&bin);
+            let cfg = Cfg::build(&d);
+            let mut covered = 0usize;
+            let mut prev_end = 0u64;
+            for b in cfg.blocks.values() {
+                prop_assert!(b.start >= prev_end, "blocks overlap");
+                prev_end = b.end();
+                covered += b.insts.len();
+            }
+            prop_assert_eq!(covered, d.insts.len());
+        }
+
+        /// Liveness is sound on generated programs: a register reported
+        /// dead at an address is never the source of the instruction at
+        /// that address.
+        #[test]
+        fn dead_register_never_used_immediately(src in arb_program()) {
+            let bin = assemble(&src, AsmOptions::default()).unwrap();
+            let d = disassemble(&bin);
+            let cfg = Cfg::build(&d);
+            let l = Liveness::compute(&cfg);
+            for di in d.iter() {
+                if let Some(r) = l.dead_register_at(di.addr) {
+                    prop_assert!(
+                        !di.inst.uses_x().contains(&r),
+                        "reported-dead {r} read at {:#x} by {}",
+                        di.addr,
+                        di.inst
+                    );
+                }
+            }
+        }
+
+        /// All successor edges point at block starts.
+        #[test]
+        fn succ_edges_are_block_starts(src in arb_program()) {
+            let bin = assemble(&src, AsmOptions::default()).unwrap();
+            let d = disassemble(&bin);
+            let cfg = Cfg::build(&d);
+            for b in cfg.blocks.values() {
+                for s in &b.succs {
+                    prop_assert!(cfg.blocks.contains_key(s));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Backward register-liveness dataflow over the CFG.
+//!
+//! This is the "traditional register liveness analysis" of §4.2 (Challenge
+//! 2): it is sound but conservative — at any block whose successors are not
+//! fully known (indirect jumps, returns, unrecognized fallthrough) every
+//! register is assumed live. That conservatism is precisely why the paper's
+//! measurement (Table 3) finds a dead register at only ~64% of exit
+//! positions with plain liveness, and why CHBP adds exit-position shifting
+//! on top (implemented in `chimera-rewrite`).
+
+use crate::cfg::Cfg;
+use chimera_isa::XReg;
+use std::collections::HashMap;
+
+/// A set of integer registers as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet(pub u32);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// All 32 registers.
+    pub const ALL: RegSet = RegSet(u32::MAX);
+
+    /// Inserts a register.
+    pub fn insert(&mut self, r: XReg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: XReg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: XReg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Iterates the members.
+    pub fn iter(self) -> impl Iterator<Item = XReg> {
+        XReg::all().filter(move |r| self.contains(*r))
+    }
+}
+
+/// Liveness facts: the set of registers live *into* each instruction.
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    /// live-in per instruction address.
+    live_in: HashMap<u64, RegSet>,
+}
+
+/// Registers that must never be treated as dead regardless of dataflow:
+/// the ABI gives them process-wide meaning (`zero`, `ra` is excluded —
+/// it is clobberable between calls and a prime trampoline candidate — but
+/// `sp`/`gp`/`tp` hold ambient state).
+fn pinned() -> RegSet {
+    let mut s = RegSet::EMPTY;
+    s.insert(XReg::ZERO);
+    s.insert(XReg::SP);
+    s.insert(XReg::GP);
+    s.insert(XReg::TP);
+    s
+}
+
+impl Liveness {
+    /// Runs the backward dataflow to a fixpoint.
+    pub fn compute(cfg: &Cfg) -> Liveness {
+        // Block-level live-in/out.
+        let mut block_in: HashMap<u64, RegSet> = HashMap::new();
+        let starts: Vec<u64> = cfg.blocks.keys().copied().collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Reverse address order is a decent approximation of reverse
+            // topological order for typical layouts.
+            for &s in starts.iter().rev() {
+                let b = &cfg.blocks[&s];
+                let mut live: RegSet = if b.has_unknown_succs() {
+                    RegSet::ALL
+                } else {
+                    let mut l = RegSet::EMPTY;
+                    for succ in &b.succs {
+                        l = l.union(block_in.get(succ).copied().unwrap_or(RegSet::EMPTY));
+                    }
+                    l
+                };
+                // Backward transfer through the block.
+                for di in b.insts.iter().rev() {
+                    if let Some(d) = di.inst.def_x() {
+                        live.remove(d);
+                    }
+                    for u in di.inst.uses_x() {
+                        live.insert(u);
+                    }
+                }
+                let entry = block_in.entry(b.start).or_insert(RegSet::EMPTY);
+                let merged = entry.union(live);
+                if merged != *entry {
+                    *entry = merged;
+                    changed = true;
+                }
+            }
+        }
+
+        // Expand to per-instruction live-in.
+        let mut live_in: HashMap<u64, RegSet> = HashMap::new();
+        for b in cfg.blocks.values() {
+            let mut live: RegSet = if b.has_unknown_succs() {
+                RegSet::ALL
+            } else {
+                let mut l = RegSet::EMPTY;
+                for succ in &b.succs {
+                    l = l.union(block_in.get(succ).copied().unwrap_or(RegSet::EMPTY));
+                }
+                l
+            };
+            for di in b.insts.iter().rev() {
+                if let Some(d) = di.inst.def_x() {
+                    live.remove(d);
+                }
+                for u in di.inst.uses_x() {
+                    live.insert(u);
+                }
+                live_in.insert(di.addr, live);
+            }
+        }
+        Liveness { live_in }
+    }
+
+    /// The registers live into the instruction at `addr` (i.e. whose values
+    /// may be read on some path from `addr`). Unanalyzed addresses report
+    /// everything live (safe).
+    pub fn live_in(&self, addr: u64) -> RegSet {
+        self.live_in
+            .get(&addr)
+            .copied()
+            .unwrap_or(RegSet::ALL)
+    }
+
+    /// A register that is *dead* immediately before `addr` — safe for a
+    /// trampoline at `addr` to clobber — preferring caller-saved
+    /// temporaries. `None` when everything usable is live.
+    ///
+    /// This is the primitive behind both "traditional liveness" exit
+    /// register selection and CHBP's exit-position shifting.
+    pub fn dead_register_at(&self, addr: u64) -> Option<XReg> {
+        let live = self.live_in(addr).union(pinned());
+        XReg::caller_saved().find(|r| !live.contains(*r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::disasm::disassemble;
+    use chimera_obj::{assemble, AsmOptions};
+
+    fn liveness(src: &str) -> (chimera_obj::Binary, Liveness) {
+        let bin = assemble(src, AsmOptions::default()).unwrap();
+        let d = disassemble(&bin);
+        let cfg = Cfg::build(&d);
+        (bin, Liveness::compute(&cfg))
+    }
+
+    #[test]
+    fn redefined_register_is_dead_before_def() {
+        // t0 is written before being read: dead at the first instruction.
+        let (bin, l) = liveness(
+            "
+            _start:
+                li t0, 1      # t0 dead *before* this (it's about to be overwritten)
+                add a0, t0, t0
+                li t0, 2      # at this point old t0 value is dead
+                add a1, t0, t0
+                ecall
+        ",
+        );
+        // Before the second li t0: t0's old value is dead.
+        let live = l.live_in(bin.entry + 8);
+        assert!(!live.contains(chimera_isa::XReg::T0));
+        // Before the first add: t0 live.
+        let live = l.live_in(bin.entry + 4);
+        assert!(live.contains(chimera_isa::XReg::T0));
+    }
+
+    #[test]
+    fn loop_keeps_counter_live() {
+        let (bin, l) = liveness(
+            "
+            _start:
+                li t0, 5
+            loop:
+                addi t0, t0, -1
+                bnez t0, loop
+                ecall
+        ",
+        );
+        // Inside the loop t0 is live (read by addi and bnez and next iter).
+        let live = l.live_in(bin.entry + 4);
+        assert!(live.contains(chimera_isa::XReg::T0));
+    }
+
+    #[test]
+    fn indirect_jump_forces_all_live() {
+        let (bin, l) = liveness(
+            "
+            _start:
+                addi t1, t1, 1
+                jr a0
+        ",
+        );
+        let live = l.live_in(bin.entry);
+        // Everything is live because the jr's successors are unknown.
+        assert!(live.contains(chimera_isa::XReg::T2));
+        assert_eq!(l.dead_register_at(bin.entry), None);
+    }
+
+    #[test]
+    fn dead_register_found_in_straightline_code() {
+        // Everything dead after the ecall path; before `li t5` the old t5
+        // is dead, and succeeding code never reads most temporaries.
+        let (bin, l) = liveness(
+            "
+            _start:
+                li t5, 1
+                add a0, t5, t5
+                li a7, 93
+                ecall
+        ",
+        );
+        // ecall has a fallthrough to unrecognized code → its *own* block
+        // conservatively ends; but before the first li, t5 is dead.
+        let dead = l.dead_register_at(bin.entry);
+        assert_eq!(dead, Some(chimera_isa::XReg::T5));
+    }
+
+    #[test]
+    fn pinned_registers_never_reported_dead() {
+        let (bin, l) = liveness(
+            "
+            _start:
+                li t0, 1
+                ecall
+        ",
+        );
+        if let Some(r) = l.dead_register_at(bin.entry) {
+            assert!(
+                r != chimera_isa::XReg::GP
+                    && r != chimera_isa::XReg::SP
+                    && r != chimera_isa::XReg::TP
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_address_is_all_live() {
+        let (_, l) = liveness("_start:\n ecall\n");
+        assert_eq!(l.live_in(0xdead_0000), RegSet::ALL);
+    }
+}

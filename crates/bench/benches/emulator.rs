@@ -1,0 +1,68 @@
+//! Micro-bench: host-side emulator throughput (instructions per second of
+//! wall time) — the substrate's own speed, for context on harness runtimes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use chimera_obj::{assemble, AsmOptions};
+
+fn bench(c: &mut Criterion) {
+    let bin = assemble(
+        "
+        _start:
+            li t0, 20000
+            li a0, 0
+        loop:
+            addi a0, a0, 3
+            xor a0, a0, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            li a7, 93
+            ecall
+        ",
+        AsmOptions::default(),
+    )
+    .unwrap();
+    let insts = chimera_emu::run_binary(&bin, u64::MAX / 2).unwrap().stats.instret;
+    let mut g = c.benchmark_group("emulator");
+    g.throughput(Throughput::Elements(insts));
+    g.bench_function("scalar_loop", |b| {
+        b.iter(|| chimera_emu::run_binary(std::hint::black_box(&bin), u64::MAX / 2).unwrap())
+    });
+    g.finish();
+
+    let vbin = assemble(
+        "
+        .data
+        a: .dword 1
+           .dword 2
+           .dword 3
+           .dword 4
+        .text
+        _start:
+            li s0, 5000
+            la a0, a
+            li t0, 4
+        loop:
+            vsetvli t1, t0, e64, m1, ta, ma
+            vle64.v v1, (a0)
+            vadd.vv v2, v1, v1
+            vse64.v v2, (a0)
+            addi s0, s0, -1
+            bnez s0, loop
+            li a7, 93
+            li a0, 0
+            ecall
+        ",
+        AsmOptions::default(),
+    )
+    .unwrap();
+    let vinsts = chimera_emu::run_binary(&vbin, u64::MAX / 2).unwrap().stats.instret;
+    let mut g = c.benchmark_group("emulator_vector");
+    g.throughput(Throughput::Elements(vinsts));
+    g.bench_function("vector_loop", |b| {
+        b.iter(|| chimera_emu::run_binary(std::hint::black_box(&vbin), u64::MAX / 2).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-bench: static rewriting throughput of CHBP and the regeneration
+//! baselines over a mid-size SPEC-like binary (the paper's "40 minutes vs
+//! 10 hours of compilation" angle: rewriting is cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use chimera_isa::ExtSet;
+use chimera_rewrite::{chbp_rewrite, regenerate, Flavor, Mode, RewriteOptions};
+use chimera_workloads::speclike::{generate, GenOptions, SPEC_PROFILES};
+
+fn bench(c: &mut Criterion) {
+    let bin = generate(
+        &SPEC_PROFILES[4],
+        GenOptions {
+            size_scale: 1.0 / 128.0,
+            work_scale: 0.1,
+            seed: 1,
+        },
+    );
+    let code = bin.code_size();
+    let mut g = c.benchmark_group("rewriting");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(code));
+    g.bench_function("chbp_downgrade", |b| {
+        b.iter(|| {
+            chbp_rewrite(
+                std::hint::black_box(&bin),
+                ExtSet::RV64GC,
+                RewriteOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("safer_regenerate", |b| {
+        b.iter(|| {
+            regenerate(
+                std::hint::black_box(&bin),
+                ExtSet::RV64GC,
+                Mode::Downgrade,
+                Flavor::Safer,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("armore_regenerate", |b| {
+        b.iter(|| {
+            regenerate(
+                std::hint::black_box(&bin),
+                ExtSet::RV64GC,
+                Mode::Downgrade,
+                Flavor::Armore,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-bench: the cost of one SMILE trampoline round trip vs a
+//! trap-based trampoline round trip — the ratio behind Fig. 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use chimera_isa::ExtSet;
+use chimera_obj::{assemble, AsmOptions};
+use chimera_rewrite::{chbp_rewrite, Mode, RewriteOptions};
+
+const HOT: &str = "
+    .data
+    a: .dword 1
+       .dword 2
+       .dword 3
+       .dword 4
+    .text
+    _start:
+        li s0, 64
+        la a0, a
+        li t0, 4
+    loop:
+        vsetvli t1, t0, e64, m1, ta, ma
+        vle64.v v1, (a0)
+        addi s0, s0, -1
+        bnez s0, loop
+        li a0, 0
+        li a7, 93
+        ecall
+";
+
+fn measured_cycles(force_traps: bool) -> u64 {
+    let bin = assemble(HOT, AsmOptions::default()).unwrap();
+    let variant = chimera::empty_patch_with(
+        if force_traps {
+            chimera::RewriterKind::Strawman
+        } else {
+            chimera::RewriterKind::Chbp
+        },
+        &bin,
+    )
+    .unwrap();
+    chimera::run_variant(&variant, ExtSet::RV64GCV, u64::MAX / 2)
+        .unwrap()
+        .cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trampoline");
+    g.sample_size(10);
+    g.bench_function("smile_roundtrip_run", |b| {
+        b.iter(|| std::hint::black_box(measured_cycles(false)))
+    });
+    g.bench_function("trap_roundtrip_run", |b| {
+        b.iter(|| std::hint::black_box(measured_cycles(true)))
+    });
+    // Also report the simulated-cycle ratio once.
+    let smile = measured_cycles(false);
+    let trap = measured_cycles(true);
+    println!("simulated cycles: SMILE {smile}, trap {trap} ({:.1}x)", trap as f64 / smile as f64);
+    // And the rewrite itself.
+    let bin = assemble(HOT, AsmOptions::default()).unwrap();
+    g.bench_function("chbp_rewrite_small", |b| {
+        b.iter(|| {
+            chbp_rewrite(
+                std::hint::black_box(&bin),
+                ExtSet::RV64GCV,
+                RewriteOptions {
+                    mode: Mode::EmptyPatch(chimera_isa::Ext::V),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 11: CPU time and end-to-end latency of FAM / Safer /
+//! MELF / Chimera on an 8-core ISAX processor, extension-task share swept
+//! 0–100%, for both input versions. Pass `--quick` for a fast smoke run.
+
+use chimera::InputVersion;
+use chimera_bench::{hetero_sweep, Scale, SYSTEMS};
+
+fn main() {
+    let scale = Scale::from_args();
+    for (input, name) in [
+        (InputVersion::Ext, "Extension Version (downgrading)"),
+        (InputVersion::Base, "Base Version (upgrading)"),
+    ] {
+        println!("== Fig. 11 — {name}, {} tasks ==", scale.n_tasks);
+        let sweeps: Vec<_> = SYSTEMS
+            .iter()
+            .map(|s| (s.name(), hetero_sweep(*s, input, scale)))
+            .collect();
+
+        println!("-- CPU time (cycles) --");
+        print!("{:<8}", "ext%");
+        for (n, _) in &sweeps {
+            print!("{n:>14}");
+        }
+        println!();
+        for i in 0..=10 {
+            print!("{:<8}", format!("{}%", i * 10));
+            for (_, pts) in &sweeps {
+                print!("{:>14}", pts[i].cpu_time);
+            }
+            println!();
+        }
+        println!("-- End-to-end latency (cycles) --");
+        print!("{:<8}", "ext%");
+        for (n, _) in &sweeps {
+            print!("{n:>14}");
+        }
+        println!();
+        for i in 0..=10 {
+            print!("{:<8}", format!("{}%", i * 10));
+            for (_, pts) in &sweeps {
+                print!("{:>14}", pts[i].latency);
+            }
+            println!();
+        }
+        println!();
+    }
+}

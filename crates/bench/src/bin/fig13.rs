@@ -1,0 +1,30 @@
+//! Regenerates Fig. 13: performance degradation of strawman / Safer /
+//! ARMore / CHBP relative to the original binary, over the 17 SPEC-like
+//! benchmarks (empty-patching methodology of §6.2).
+
+use chimera_bench::{fig13, pct, Scale, REWRITERS};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Fig. 13 — performance degradation vs original (empty patching) ==");
+    print!("{:<14}", "benchmark");
+    for rk in REWRITERS {
+        print!("{:>12}", rk.name());
+    }
+    println!();
+    let rows = fig13(scale);
+    let mut sums = [0.0f64; 4];
+    for row in &rows {
+        print!("{:<14}", row.name);
+        for (i, o) in row.overhead.iter().enumerate() {
+            print!("{:>12}", pct(*o));
+            sums[i] += o;
+        }
+        println!();
+    }
+    print!("{:<14}", "geomean-ish");
+    for s in sums {
+        print!("{:>12}", pct(s / rows.len() as f64));
+    }
+    println!();
+}

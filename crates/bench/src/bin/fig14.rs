@@ -1,0 +1,38 @@
+//! Regenerates Fig. 14: OpenBLAS-style kernel acceleration ratios vs
+//! thread count, relative to FAM Ext., plus the (e) scalability series
+//! with `--scalability`.
+
+use chimera_bench::{fig14_kernel, Scale};
+use chimera_workloads::blas::BlasKind;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scalability = std::env::args().any(|a| a == "--scalability");
+    let _ = Scale::from_args();
+    let size = if quick { 12 } else { 24 };
+    if scalability {
+        // Fig. 14e: sgemm on the 64-core SG2042 (32 base + 32 ext).
+        println!("== Fig. 14e — sgemm scalability (64-core, 32+32) ==");
+        println!("{:<8}{:>10}{:>10}{:>10}{:>10}", "threads", "FAM Ext.", "FAM Base", "MELF", "Chimera");
+        let threads: &[usize] = if quick { &[16, 32] } else { &[16, 24, 32, 40, 48, 56, 64] };
+        for p in fig14_kernel(BlasKind::Sgemm, size * 2, threads, 32, 32) {
+            println!(
+                "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
+                p.threads, p.ratios[0], p.ratios[1], p.ratios[2], p.ratios[3]
+            );
+        }
+        return;
+    }
+    let threads: &[usize] = if quick { &[2, 8] } else { &[2, 4, 6, 8] };
+    for kind in [BlasKind::Dgemm, BlasKind::Sgemm, BlasKind::Dgemv, BlasKind::Sgemv] {
+        println!("== Fig. 14 — OpenBLAS {} (ratios vs FAM Ext.) ==", kind.name());
+        println!("{:<8}{:>10}{:>10}{:>10}{:>10}", "threads", "FAM Ext.", "FAM Base", "MELF", "Chimera");
+        for p in fig14_kernel(kind, size, threads, 4, 4) {
+            println!(
+                "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
+                p.threads, p.ratios[0], p.ratios[1], p.ratios[2], p.ratios[3]
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table 2: correctness-mechanism trigger counts of CHBP /
+//! Safer / ARMore / strawman, normalized per 10⁹ retired instructions
+//! (the paper reports absolute counts of full-length runs; see
+//! EXPERIMENTS.md for the normalization note).
+
+use chimera_bench::{fig13, table2_apps, Fig13Row, Scale, REWRITERS};
+
+fn print_rows(rows: &[Fig13Row]) {
+    for row in rows {
+        print!("{:<14}", row.name);
+        // Paper column order: CHBP, Safer, ARMore, Strawman.
+        let order = [3usize, 1, 2, 0];
+        for i in order {
+            print!("{:>14.2e}", row.triggers_per_1e9[i]);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Table 2 — fault-handling triggers per 1e9 instructions ==");
+    print!("{:<14}", "");
+    for name in ["CHBP", "Safer", "ARMore", "Strawman"] {
+        print!("{name:>14}");
+    }
+    println!();
+    let _ = REWRITERS;
+    println!("-- Real-world applications --");
+    print_rows(&table2_apps(scale));
+    println!("-- SPEC CPU2017 --");
+    print_rows(&fig13(scale));
+}

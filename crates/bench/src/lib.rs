@@ -1,0 +1,452 @@
+//! # chimera-bench
+//!
+//! The experiment harness: one function per paper figure/table, shared by
+//! the `fig11`/`fig12`/`fig13`/`fig14`/`table1`/`table2`/`table3` binaries
+//! and the Criterion micro-benches. Every function prints the same rows or
+//! series the paper reports (shape, not absolute silicon numbers — see
+//! EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chimera::{
+    empty_patch_with, measure, measure_or_fam_probe, prepare_process, run_variant, FamResult,
+    InputVersion, RewriterKind, SystemKind, TaskBinaries,
+};
+use chimera_isa::ExtSet;
+use chimera_kernel::{simulate_work_stealing, Pool, SimMachine, TaskCost};
+use chimera_workloads::blas::{sliced_kernels, BlasKind};
+use chimera_workloads::hetero::{fib_task, matrix_task};
+use chimera_workloads::speclike::{
+    generate, BenchProfile, GenOptions, APP_PROFILES, SPEC_PROFILES,
+};
+
+/// Harness scale (full for the committed results, quick for CI smoke).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Code-size scale for SPEC-like generation.
+    pub size_scale: f64,
+    /// Dynamic-work scale.
+    pub work_scale: f64,
+    /// Task-count for scheduling sweeps.
+    pub n_tasks: usize,
+}
+
+impl Scale {
+    /// Full scale (a few minutes of runtime end to end).
+    pub fn full() -> Scale {
+        Scale {
+            size_scale: 1.0 / 16.0,
+            work_scale: 2.0,
+            n_tasks: 1000,
+        }
+    }
+
+    /// Quick scale (seconds; used by smoke tests and Criterion wrappers).
+    pub fn quick() -> Scale {
+        Scale {
+            size_scale: 1.0 / 512.0,
+            work_scale: 0.4,
+            n_tasks: 120,
+        }
+    }
+
+    /// Reads `--quick` from argv.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+}
+
+const FUEL: u64 = u64::MAX / 2;
+
+/// The four §6.1 systems in the paper's plotting order.
+pub const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::Fam,
+    SystemKind::Safer,
+    SystemKind::Melf,
+    SystemKind::Chimera,
+];
+
+/// One Fig. 11/12 sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Extension-task share (0.0–1.0).
+    pub ext_share: f64,
+    /// End-to-end latency (cycles).
+    pub latency: u64,
+    /// Accumulated CPU time (cycles).
+    pub cpu_time: u64,
+    /// Share of extension tasks that ran vector-accelerated.
+    pub accelerated: f64,
+}
+
+/// Measures one system's per-task costs and sweeps the extension-task
+/// share (Fig. 11 one row, Fig. 12 via `accelerated`).
+pub fn hetero_sweep(
+    system: SystemKind,
+    input: InputVersion,
+    scale: Scale,
+) -> Vec<SweepPoint> {
+    let task = TaskBinaries {
+        base_version: Some(matrix_task(64, 4, false)),
+        ext_version: Some(matrix_task(64, 4, true)),
+    };
+    let fib_bins = TaskBinaries {
+        base_version: Some(fib_task(900, 4)),
+        ext_version: Some(fib_task(900, 4)),
+    };
+    let matrix = prepare_process(system, input, &task).expect("prepare matrix");
+    let fib = prepare_process(system, input, &fib_bins).expect("prepare fib");
+
+    let m_ext = measure(&matrix, ExtSet::RV64GCV, FUEL).expect("matrix on ext");
+    let (on_base, probe) = match measure_or_fam_probe(&matrix, ExtSet::RV64GC, FUEL)
+        .expect("matrix on base")
+    {
+        FamResult::Completed(m) => (Some(m.cycles), 0),
+        FamResult::Migrated { probe_cycles } => (None, probe_cycles),
+    };
+    let f = measure(&fib, ExtSet::RV64GC, FUEL).expect("fib");
+    let accelerated = on_base
+        .map(|b| m_ext.cycles * 100 < b * 97)
+        .unwrap_or(true);
+
+    let matrix_cost = TaskCost {
+        prefers: Pool::Ext,
+        on_ext: m_ext.cycles,
+        on_base,
+        fam_probe: probe,
+        ext_accelerated: accelerated,
+    };
+    let fib_cost = TaskCost {
+        prefers: Pool::Base,
+        on_ext: f.cycles,
+        on_base: Some(f.cycles),
+        fam_probe: 0,
+        ext_accelerated: false,
+    };
+    let machine = SimMachine {
+        base_cores: 4,
+        ext_cores: 4,
+        migrate_cost: 4000,
+    };
+
+    (0..=10)
+        .map(|i| {
+            let ext_share = i as f64 / 10.0;
+            let n_ext = (scale.n_tasks as f64 * ext_share) as usize;
+            let mut tasks = vec![matrix_cost; n_ext];
+            tasks.extend(vec![fib_cost; scale.n_tasks - n_ext]);
+            let r = simulate_work_stealing(machine, &tasks);
+            SweepPoint {
+                ext_share,
+                latency: r.latency,
+                cpu_time: r.cpu_time,
+                accelerated: if r.ext_tasks == 0 {
+                    1.0
+                } else {
+                    r.accelerated_ext_tasks as f64 / r.ext_tasks as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 13 row: per-rewriter overhead relative to the original binary.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Overhead fraction per rewriter, in [`REWRITERS`] order.
+    pub overhead: [f64; 4],
+    /// Fault-handling trigger counts per rewriter (Table 2), normalized
+    /// per 10⁹ retired instructions.
+    pub triggers_per_1e9: [f64; 4],
+    /// Native retired instructions.
+    pub native_instret: u64,
+}
+
+/// The four §6.2 rewriters in the paper's plotting order.
+pub const REWRITERS: [RewriterKind; 4] = [
+    RewriterKind::Strawman,
+    RewriterKind::Safer,
+    RewriterKind::Armore,
+    RewriterKind::Chbp,
+];
+
+/// Runs the §6.2 empty-patching methodology for one benchmark profile.
+pub fn fig13_row(profile: &BenchProfile, scale: Scale) -> Fig13Row {
+    let bin = generate(
+        profile,
+        GenOptions {
+            size_scale: scale.size_scale,
+            work_scale: scale.work_scale,
+            seed: 42,
+        },
+    );
+    let native = chimera_emu::run_binary(&bin, FUEL).expect("native run");
+    let base = native.stats.cycles as f64;
+
+    let mut overhead = [0.0; 4];
+    let mut triggers = [0.0; 4];
+    for (i, rk) in REWRITERS.iter().enumerate() {
+        let variant = empty_patch_with(*rk, &bin).expect("rewrite");
+        let m = run_variant(&variant, ExtSet::RV64GCV, FUEL)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", rk.name(), profile.name));
+        assert_eq!(m.exit_code, native.exit_code, "{}", rk.name());
+        overhead[i] = m.cycles as f64 / base - 1.0;
+        // Trigger counts (Table 2): Safer counts every executed
+        // indirect-jump check; trap-based methods count kernel traps;
+        // CHBP counts handled deterministic faults.
+        let raw = match rk {
+            RewriterKind::Safer => m.indirect_jumps + m.counters.safer_corrections,
+            RewriterKind::Chbp => m.counters.total(),
+            _ => m.counters.trap_trampolines + m.counters.total(),
+        };
+        triggers[i] = raw as f64 * 1e9 / m.instret.max(1) as f64;
+    }
+    Fig13Row {
+        name: profile.name,
+        overhead,
+        triggers_per_1e9: triggers,
+        native_instret: native.stats.instret,
+    }
+}
+
+/// All Fig. 13 rows (SPEC profiles).
+pub fn fig13(scale: Scale) -> Vec<Fig13Row> {
+    SPEC_PROFILES.iter().map(|p| fig13_row(p, scale)).collect()
+}
+
+/// Table 2 rows for the real-world application profiles.
+pub fn table2_apps(scale: Scale) -> Vec<Fig13Row> {
+    APP_PROFILES.iter().map(|p| fig13_row(p, scale)).collect()
+}
+
+/// One Table 3 row: static rewriting statistics for CHBP.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Generated code size in bytes.
+    pub code_size: u64,
+    /// Share of extension instructions (recognized).
+    pub ext_share: f64,
+    /// Exit trampolines emitted.
+    pub exit_trampolines: usize,
+    /// Dead register not found: (CHBP shifting, traditional liveness).
+    pub dead_not_found: (usize, usize),
+    /// SMILE trampolines placed.
+    pub smile: usize,
+    /// Trap-entry fallbacks.
+    pub traps: usize,
+}
+
+/// Computes Table 3 for one profile (downgrade rewriting, the Table 3
+/// configuration).
+///
+/// Table 3 is *static* (rewriting-time statistics only), so the full run
+/// uses the paper's real code sizes — the > 1 MiB premise that makes exit
+/// trampolines need long-distance register jumps. `--quick` keeps the
+/// sweep scale for smoke runs.
+pub fn table3_row(profile: &BenchProfile, scale: Scale) -> Table3Row {
+    let full_static = scale.size_scale >= 1.0 / 64.0;
+    let bin = generate(
+        profile,
+        GenOptions {
+            size_scale: if full_static { 1.0 } else { scale.size_scale },
+            work_scale: 0.1, // Never executed; keep generation light.
+            seed: 42,
+        },
+    );
+    let rw = chimera_rewrite::chbp_rewrite(
+        &bin,
+        ExtSet::RV64GC,
+        chimera_rewrite::RewriteOptions::default(),
+    )
+    .expect("rewrite");
+    let s = rw.stats;
+    Table3Row {
+        name: profile.name,
+        code_size: s.code_size,
+        ext_share: s.source_insts as f64 / s.total_insts.max(1) as f64,
+        exit_trampolines: s.exit_trampolines,
+        dead_not_found: (
+            s.dead_reg_not_found_shift,
+            s.dead_reg_not_found_traditional,
+        ),
+        smile: s.smile_trampolines,
+        traps: s.trap_entries,
+    }
+}
+
+/// All Table 3 rows (apps then SPEC, like the paper).
+pub fn table3(scale: Scale) -> Vec<Table3Row> {
+    APP_PROFILES
+        .iter()
+        .chain(SPEC_PROFILES.iter())
+        .map(|p| table3_row(p, scale))
+        .collect()
+}
+
+/// One Fig. 14 series point: acceleration ratio relative to FAM Ext.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig14Point {
+    /// Worker threads.
+    pub threads: usize,
+    /// (FAM Ext., FAM Base, MELF, Chimera) acceleration ratios.
+    pub ratios: [f64; 4],
+}
+
+/// Fig. 14 for one BLAS kernel on a machine with `base_cores` +
+/// `ext_cores`; threads ≤ cores are pinned half-and-half like the paper.
+pub fn fig14_kernel(
+    kind: BlasKind,
+    size: usize,
+    thread_counts: &[usize],
+    base_cores: usize,
+    ext_cores: usize,
+) -> Vec<Fig14Point> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            // FAM pins one equal slice per thread; the heterogeneous
+            // systems split the same matrix into finer slices and balance
+            // them dynamically across both pools (the §6.1 work-stealing
+            // policy), which is where their advantage over FAM Base comes
+            // from at high thread counts.
+            let slices = sliced_kernels(kind, size, threads);
+            let fine = sliced_kernels(kind, size, (threads * 4).min(size));
+            // Per-slice costs for each configuration.
+            let mut fam_ext = Vec::new(); // Vector slice on ext core.
+            let mut fam_base = Vec::new(); // Scalar slice on base core.
+            let mut melf = Vec::new(); // (ext cost, base cost) per slice.
+            let mut chim = Vec::new();
+            for (v, s) in &slices {
+                let nv = chimera_emu::run_binary(v, FUEL).expect("vector native");
+                let ns = chimera_emu::run_binary(s, FUEL).expect("scalar native");
+                assert_eq!(nv.exit_code, ns.exit_code, "{}", kind.name());
+                fam_ext.push(nv.stats.cycles);
+                fam_base.push(ns.stats.cycles);
+            }
+            for (v, s) in &fine {
+                let nv = chimera_emu::run_binary(v, FUEL).expect("vector native");
+                let ns = chimera_emu::run_binary(s, FUEL).expect("scalar native");
+                let task = TaskBinaries {
+                    base_version: Some(s.clone()),
+                    ext_version: Some(v.clone()),
+                };
+                let p = prepare_process(SystemKind::Chimera, InputVersion::Ext, &task)
+                    .expect("chimera prepare");
+                let down = measure(&p, ExtSet::RV64GC, FUEL).expect("downgraded");
+                melf.push((nv.stats.cycles, ns.stats.cycles));
+                chim.push((nv.stats.cycles, down.cycles));
+            }
+            // Synchronization: a barrier joins all threads; cost grows with
+            // the thread count (the paper's sgemm bottleneck).
+            let sync = 400 * (threads as u64) * (threads as u64).ilog2().max(1) as u64;
+
+            // FAM Ext.: all slices compete for the ext cores only.
+            let fam_ext_lat = pool_latency(&fam_ext, ext_cores.min(threads)) + sync;
+            // FAM Base: scalar slices over all cores.
+            let fam_base_lat =
+                pool_latency(&fam_base, (base_cores + ext_cores).min(threads)) + sync;
+            // MELF / Chimera: slices split across both pools, each running
+            // the right variant.
+            let melf_lat = hetero_latency(&melf, base_cores, ext_cores, threads) + sync;
+            let chim_lat = hetero_latency(&chim, base_cores, ext_cores, threads) + sync;
+
+            let basis = fam_ext_lat as f64;
+            Fig14Point {
+                threads,
+                ratios: [
+                    1.0,
+                    basis / fam_base_lat as f64,
+                    basis / melf_lat as f64,
+                    basis / chim_lat as f64,
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Latency of `slices` spread over `workers` identical cores (LPT-greedy).
+fn pool_latency(slices: &[u64], workers: usize) -> u64 {
+    let mut cores = vec![0u64; workers.max(1)];
+    let mut sorted: Vec<u64> = slices.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    for s in sorted {
+        let min = cores.iter_mut().min().expect("non-empty");
+        *min += s;
+    }
+    cores.into_iter().max().unwrap_or(0)
+}
+
+/// Latency of `(ext_cost, base_cost)` slices over a heterogeneous pool:
+/// greedy earliest-finish assignment.
+fn hetero_latency(slices: &[(u64, u64)], base_cores: usize, ext_cores: usize, threads: usize) -> u64 {
+    let ext_n = ext_cores.min(threads.div_ceil(2).max(1));
+    let base_n = base_cores.min(threads - threads.div_ceil(2)).max(0);
+    let mut ext = vec![0u64; ext_n.max(1)];
+    let mut base = vec![0u64; base_n.max(1)];
+    let use_base = base_n > 0;
+    let mut sorted: Vec<(u64, u64)> = slices.to_vec();
+    sorted.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    for (e, b) in sorted {
+        let ext_finish = *ext.iter().min().expect("non-empty") + e;
+        let base_finish = *base.iter().min().expect("non-empty") + b;
+        if use_base && base_finish < ext_finish {
+            *base.iter_mut().min().expect("non-empty") += b;
+        } else {
+            *ext.iter_mut().min().expect("non-empty") += e;
+        }
+    }
+    ext.into_iter()
+        .chain(if use_base { base } else { vec![] })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_quick_smoke() {
+        let row = fig13_row(&SPEC_PROFILES[4], Scale::quick());
+        // CHBP (index 3) beats trap-based strawman (index 0).
+        assert!(row.overhead[3] <= row.overhead[0] + 1e-9, "{row:?}");
+    }
+
+    #[test]
+    fn table3_quick_smoke() {
+        let row = table3_row(&SPEC_PROFILES[4], Scale::quick());
+        assert!(row.smile > 0);
+        assert!(row.dead_not_found.0 <= row.dead_not_found.1);
+    }
+
+    #[test]
+    fn hetero_sweep_shape() {
+        let pts = hetero_sweep(SystemKind::Chimera, InputVersion::Ext, Scale::quick());
+        assert_eq!(pts.len(), 11);
+        // Latency falls as the (faster) extension tasks dominate.
+        assert!(pts[10].latency < pts[0].latency);
+    }
+
+    #[test]
+    fn fig14_quick_smoke() {
+        let pts = fig14_kernel(BlasKind::Dgemv, 12, &[2, 4], 4, 4);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.ratios[3] > 0.5, "Chimera ratio sane: {p:?}");
+        }
+    }
+}

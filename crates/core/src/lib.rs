@@ -1,0 +1,470 @@
+//! # chimera
+//!
+//! The public facade of the Chimera reproduction: transparent,
+//! high-performance ISAX heterogeneous computing via binary rewriting
+//! (EuroSys '26).
+//!
+//! The crate ties the substrates together behind two entry points:
+//!
+//! * [`prepare_process`] — given a task's binaries and a
+//!   [`SystemKind`], produce the multi-view [`Process`] that system would
+//!   run (CHBP-rewritten views for Chimera, regenerated views for the
+//!   Safer baseline, native views for MELF, a single view for FAM);
+//! * [`measure`] — run one process view on one core profile under the
+//!   kernel and report cycles plus fault-handling counters.
+//!
+//! ```
+//! use chimera::{prepare_process, measure, SystemKind, InputVersion, TaskBinaries};
+//! use chimera_obj::{assemble, AsmOptions};
+//!
+//! let vec_src = "
+//!     .data
+//!     a: .dword 1
+//!        .dword 2
+//!        .dword 3
+//!        .dword 4
+//!     .text
+//!     _start:
+//!         li t0, 4
+//!         vsetvli t1, t0, e64, m1, ta, ma
+//!         la a0, a
+//!         vle64.v v1, (a0)
+//!         vmv.v.i v2, 0
+//!         vredsum.vs v3, v1, v2
+//!         vmv.x.s a0, v3
+//!         li a7, 93
+//!         ecall
+//! ";
+//! let ext = assemble(vec_src, AsmOptions::default()).unwrap();
+//! let task = TaskBinaries { base_version: None, ext_version: Some(ext) };
+//! let process =
+//!     prepare_process(SystemKind::Chimera, InputVersion::Ext, &task).unwrap();
+//! // The rewritten view runs on a base (non-vector) core:
+//! let m = measure(&process, chimera_isa::ExtSet::RV64GC, 1_000_000).unwrap();
+//! assert_eq!(m.exit_code, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use chimera_analysis as analysis;
+pub use chimera_emu as emu;
+pub use chimera_isa as isa;
+pub use chimera_kernel as kernel;
+pub use chimera_obj as obj;
+pub use chimera_rewrite as rewrite;
+pub use chimera_workloads as workloads;
+
+use chimera_isa::ExtSet;
+use chimera_kernel::{FaultCounters, KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
+use chimera_obj::Binary;
+use chimera_rewrite::{
+    chbp_rewrite, regenerate, upgrade_rewrite, Flavor, Mode, RewriteOptions,
+};
+
+/// The heterogeneous computing systems compared in §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Fault-and-migrate scheduling: no rewriting; unsupported
+    /// instructions trigger migration to a capable core.
+    Fam,
+    /// MELF-style compilation: native binaries for every core class
+    /// (requires both versions — the source-code ideal).
+    Melf,
+    /// Safer-style binary regeneration with proactive indirect-jump checks.
+    Safer,
+    /// Chimera: CHBP binary patching with SMILE trampolines and passive
+    /// fault handling.
+    Chimera,
+}
+
+impl SystemKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Fam => "FAM",
+            SystemKind::Melf => "MELF",
+            SystemKind::Safer => "Safer",
+            SystemKind::Chimera => "Chimera",
+        }
+    }
+}
+
+/// Which input version the system receives (§6.1: the *extension* version
+/// evaluates downgrading, the *base* version upgrading).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputVersion {
+    /// RV64GCV input: the system must downgrade for base cores.
+    Ext,
+    /// RV64GC input: the system may upgrade for extension cores.
+    Base,
+}
+
+/// A task's natively compiled binaries. Systems other than MELF receive
+/// only the [`InputVersion`]'s binary; MELF uses both (it has the source).
+#[derive(Debug, Clone, Default)]
+pub struct TaskBinaries {
+    /// Native RV64GC compilation (if available).
+    pub base_version: Option<Binary>,
+    /// Native RV64GCV compilation (if available).
+    pub ext_version: Option<Binary>,
+}
+
+/// Errors from process preparation.
+#[derive(Debug)]
+pub enum PrepareError {
+    /// The required input binary version is missing.
+    MissingInput(&'static str),
+    /// Rewriting failed.
+    Rewrite(chimera_rewrite::RewriteError),
+}
+
+impl core::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PrepareError::MissingInput(v) => write!(f, "missing input binary: {v}"),
+            PrepareError::Rewrite(e) => write!(f, "rewrite failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+impl From<chimera_rewrite::RewriteError> for PrepareError {
+    fn from(e: chimera_rewrite::RewriteError) -> Self {
+        PrepareError::Rewrite(e)
+    }
+}
+
+/// Builds the multi-view process `system` would run for `task`, given the
+/// input version (§6.1 methodology).
+pub fn prepare_process(
+    system: SystemKind,
+    input: InputVersion,
+    task: &TaskBinaries,
+) -> Result<Process, PrepareError> {
+    let ext_in = || {
+        task.ext_version
+            .clone()
+            .ok_or(PrepareError::MissingInput("ext_version"))
+    };
+    let base_in = || {
+        task.base_version
+            .clone()
+            .ok_or(PrepareError::MissingInput("base_version"))
+    };
+    let views = match (system, input) {
+        (SystemKind::Fam, InputVersion::Ext) => {
+            // The ext binary runs only on extension cores; base cores
+            // fault and the scheduler migrates.
+            vec![Variant::native(ext_in()?)]
+        }
+        (SystemKind::Fam, InputVersion::Base) => {
+            // Base binary everywhere; never accelerated.
+            vec![Variant::native(base_in()?)]
+        }
+        (SystemKind::Melf, _) => {
+            // Native binaries for both core classes (most-specific first).
+            vec![Variant::native(ext_in()?), Variant::native(base_in()?)]
+        }
+        (SystemKind::Safer, InputVersion::Ext) => {
+            let input_bin = ext_in()?;
+            let rg = regenerate(&input_bin, ExtSet::RV64GC, Mode::Downgrade, Flavor::Safer)?;
+            vec![
+                Variant::native(input_bin),
+                Variant {
+                    binary: rg.rewritten.binary,
+                    tables: RuntimeTables {
+                        fht: Some(rg.rewritten.fht),
+                        regen: Some(rg.info),
+                    },
+                },
+            ]
+        }
+        (SystemKind::Safer, InputVersion::Base) => {
+            // Safer has no upgrade story of its own; per §6.1 it is adapted
+            // for ISAX by pairing its regenerated base binary with the
+            // vectorizer's output for extension cores, keeping its
+            // per-indirect-jump checks on the base side.
+            let input_bin = base_in()?;
+            let up = upgrade_rewrite(&input_bin, RewriteOptions::default())?;
+            let rg = regenerate(
+                &input_bin,
+                ExtSet::RV64GC,
+                Mode::EmptyPatch(chimera_isa::Ext::V),
+                Flavor::Safer,
+            )?;
+            vec![
+                Variant {
+                    binary: up.binary,
+                    tables: RuntimeTables {
+                        fht: Some(up.fht),
+                        regen: None,
+                    },
+                },
+                Variant {
+                    binary: rg.rewritten.binary,
+                    tables: RuntimeTables {
+                        fht: Some(rg.rewritten.fht),
+                        regen: Some(rg.info),
+                    },
+                },
+            ]
+        }
+        (SystemKind::Chimera, InputVersion::Ext) => {
+            let input_bin = ext_in()?;
+            let rw = chbp_rewrite(&input_bin, ExtSet::RV64GC, RewriteOptions::default())?;
+            vec![
+                Variant::native(input_bin),
+                Variant {
+                    binary: rw.binary,
+                    tables: RuntimeTables {
+                        fht: Some(rw.fht),
+                        regen: None,
+                    },
+                },
+            ]
+        }
+        (SystemKind::Chimera, InputVersion::Base) => {
+            let input_bin = base_in()?;
+            let up = upgrade_rewrite(&input_bin, RewriteOptions::default())?;
+            vec![
+                Variant {
+                    binary: up.binary,
+                    tables: RuntimeTables {
+                        fht: Some(up.fht),
+                        regen: None,
+                    },
+                },
+                Variant::native(input_bin),
+            ]
+        }
+    };
+    Ok(Process::new(views))
+}
+
+/// The result of a measured run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Exit code of the task.
+    pub exit_code: i64,
+    /// Cycles under the deterministic cost model (kernel traps included).
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Dynamic indirect-jump count (Safer's check count).
+    pub indirect_jumps: u64,
+    /// Fault-handling counters (Table 2).
+    pub counters: FaultCounters,
+}
+
+/// Errors from [`measure`].
+#[derive(Debug)]
+pub enum MeasureError {
+    /// No view of the process runs on the given profile.
+    NoView,
+    /// The run did not complete.
+    Run(String),
+}
+
+impl core::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MeasureError::NoView => write!(f, "no view for the requested core profile"),
+            MeasureError::Run(s) => write!(f, "run failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// Runs the process's view for `profile` to completion under the kernel.
+pub fn measure(
+    process: &Process,
+    profile: ExtSet,
+    fuel: u64,
+) -> Result<Measurement, MeasureError> {
+    let (mut cpu, mut mem, view) = process.load(profile).ok_or(MeasureError::NoView)?;
+    let mut k = KernelRunner::new(view.tables.clone());
+    match k.run(&mut cpu, &mut mem, fuel) {
+        RunOutcome::Exited(code) => Ok(Measurement {
+            exit_code: code,
+            cycles: cpu.stats.cycles,
+            instret: cpu.stats.instret,
+            indirect_jumps: cpu.stats.indirect_jumps,
+            counters: k.counters,
+        }),
+        RunOutcome::NeedsMigration { pc } => {
+            Err(MeasureError::Run(format!("needs migration at {pc:#x}")))
+        }
+        RunOutcome::OutOfFuel => Err(MeasureError::Run("out of fuel".into())),
+        RunOutcome::Fatal(m) => Err(MeasureError::Run(m)),
+    }
+}
+
+/// Like [`measure`], but returns the cycles burnt until the first
+/// migration request (the FAM probe cost) when the view cannot complete on
+/// this core.
+pub fn measure_or_fam_probe(
+    process: &Process,
+    profile: ExtSet,
+    fuel: u64,
+) -> Result<FamResult, MeasureError> {
+    let (mut cpu, mut mem, view) = match process.load(profile) {
+        Some(t) => t,
+        None => {
+            // No view at all for this profile: FAM faults on the first
+            // unsupported instruction of the preferred view. Model by
+            // loading the first view regardless and letting it trap.
+            let view = &process.views[0];
+            let mut mem = chimera_emu::Memory::load(&view.binary);
+            let mut cpu = chimera_emu::Cpu::new(profile);
+            cpu.hart.pc = view.binary.entry;
+            cpu.hart.set_x(chimera_isa::XReg::SP, chimera_obj::STACK_TOP - 64);
+            cpu.hart.set_x(chimera_isa::XReg::GP, view.binary.gp);
+            let mut k = KernelRunner::new(view.tables.clone());
+            return Ok(match k.run(&mut cpu, &mut mem, fuel) {
+                RunOutcome::Exited(code) => FamResult::Completed(Measurement {
+                    exit_code: code,
+                    cycles: cpu.stats.cycles,
+                    instret: cpu.stats.instret,
+                    indirect_jumps: cpu.stats.indirect_jumps,
+                    counters: k.counters,
+                }),
+                RunOutcome::NeedsMigration { .. } => FamResult::Migrated {
+                    probe_cycles: cpu.stats.cycles,
+                },
+                other => return Err(MeasureError::Run(format!("{other:?}"))),
+            });
+        }
+    };
+    let mut k = KernelRunner::new(view.tables.clone());
+    match k.run(&mut cpu, &mut mem, fuel) {
+        RunOutcome::Exited(code) => Ok(FamResult::Completed(Measurement {
+            exit_code: code,
+            cycles: cpu.stats.cycles,
+            instret: cpu.stats.instret,
+            indirect_jumps: cpu.stats.indirect_jumps,
+            counters: k.counters,
+        })),
+        RunOutcome::NeedsMigration { .. } => Ok(FamResult::Migrated {
+            probe_cycles: cpu.stats.cycles,
+        }),
+        RunOutcome::OutOfFuel => Err(MeasureError::Run("out of fuel".into())),
+        RunOutcome::Fatal(m) => Err(MeasureError::Run(m)),
+    }
+}
+
+/// Outcome of a FAM-style attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamResult {
+    /// The task completed on this core.
+    Completed(Measurement),
+    /// The task hit an unsupported instruction after burning this many
+    /// cycles; the scheduler must migrate it.
+    Migrated {
+        /// Cycles burnt before the fault.
+        probe_cycles: u64,
+    },
+}
+
+/// The binary rewriting methods compared in §6.2 (Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriterKind {
+    /// CHBP (ours): SMILE trampolines, passive fault handling.
+    Chbp,
+    /// Strawman binary patching: trap-based entry trampolines.
+    Strawman,
+    /// ARMore-style relocation with original-section redirects.
+    Armore,
+    /// Safer-style regeneration with indirect-jump checks.
+    Safer,
+}
+
+impl RewriterKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RewriterKind::Chbp => "CHBP",
+            RewriterKind::Strawman => "Strawman",
+            RewriterKind::Armore => "ARMore",
+            RewriterKind::Safer => "Safer",
+        }
+    }
+}
+
+/// Applies a §6.2 rewriter in empty-patching mode (source instructions of
+/// the V extension re-emitted verbatim) and returns the runnable variant.
+pub fn empty_patch_with(
+    rewriter: RewriterKind,
+    binary: &Binary,
+) -> Result<Variant, chimera_rewrite::RewriteError> {
+    let mode = Mode::EmptyPatch(chimera_isa::Ext::V);
+    Ok(match rewriter {
+        RewriterKind::Chbp => {
+            let rw = chbp_rewrite(
+                binary,
+                ExtSet::RV64GCV,
+                RewriteOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )?;
+            Variant {
+                binary: rw.binary,
+                tables: RuntimeTables {
+                    fht: Some(rw.fht),
+                    regen: None,
+                },
+            }
+        }
+        RewriterKind::Strawman => {
+            let rw = chbp_rewrite(
+                binary,
+                ExtSet::RV64GCV,
+                RewriteOptions {
+                    mode,
+                    force_trap_entries: true,
+                    ..Default::default()
+                },
+            )?;
+            Variant {
+                binary: rw.binary,
+                tables: RuntimeTables {
+                    fht: Some(rw.fht),
+                    regen: None,
+                },
+            }
+        }
+        RewriterKind::Armore => {
+            let rg = regenerate(binary, ExtSet::RV64GCV, mode, Flavor::Armore)?;
+            Variant {
+                binary: rg.rewritten.binary,
+                tables: RuntimeTables {
+                    fht: Some(rg.rewritten.fht),
+                    regen: Some(rg.info),
+                },
+            }
+        }
+        RewriterKind::Safer => {
+            let rg = regenerate(binary, ExtSet::RV64GCV, mode, Flavor::Safer)?;
+            Variant {
+                binary: rg.rewritten.binary,
+                tables: RuntimeTables {
+                    fht: Some(rg.rewritten.fht),
+                    regen: Some(rg.info),
+                },
+            }
+        }
+    })
+}
+
+/// Runs a single standalone variant to completion under the kernel.
+pub fn run_variant(
+    variant: &Variant,
+    profile: ExtSet,
+    fuel: u64,
+) -> Result<Measurement, MeasureError> {
+    let process = Process::new(vec![variant.clone()]);
+    measure(&process, profile, fuel)
+}

@@ -1,0 +1,822 @@
+//! The interpreter: fetch/decode/execute with extension gating, the trap
+//! model, and the cycle-cost accounting.
+//!
+//! A [`Cpu`] models one core of an ISAX heterogeneous processor: its
+//! [`Cpu::profile`] says which extensions the core implements. Executing an
+//! instruction whose extension is missing raises [`Trap::Illegal`] — the
+//! fault FAM migrates on and Chimera's lazy rewriting recovers from.
+//! Fetching from non-executable memory raises [`Trap::Mem`] with a fetch
+//! access — the deterministic "segmentation fault" a partially executed
+//! SMILE trampoline produces.
+
+use crate::cost::{CostModel, ExecStats};
+use crate::hart::Hart;
+use crate::mem::{Memory, MemFault};
+use chimera_isa::{
+    decode, BranchKind, DecodeError, Eew, Ext, ExtSet, FCmpKind, FMaKind, FOpKind, FpWidth, Inst,
+    IntWidth, LoadKind, OpImmKind, OpKind, StoreKind, UnaryKind, VArithOp, VSrc, XReg,
+};
+use core::fmt;
+
+/// A trap delivered to the (simulated) kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Illegal instruction: undecodable bits, a reserved encoding, or an
+    /// instruction from an extension this core does not implement.
+    Illegal {
+        /// pc of the illegal instruction.
+        pc: u64,
+        /// The raw bits at pc (low 16 significant for compressed).
+        raw: u32,
+    },
+    /// Memory access fault (including fetch from non-executable memory —
+    /// the paper's segmentation fault).
+    Mem {
+        /// pc of the faulting instruction (for fetch faults this is the
+        /// *fetch target*, i.e. equals `fault.addr`).
+        pc: u64,
+        /// Fault details.
+        fault: MemFault,
+    },
+    /// `ebreak` (trap-based trampolines in baseline rewriters).
+    Breakpoint {
+        /// pc of the ebreak.
+        pc: u64,
+    },
+    /// `ecall` (system call).
+    Ecall {
+        /// pc of the ecall.
+        pc: u64,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Illegal { pc, raw } => write!(f, "illegal instruction {raw:#x} at {pc:#x}"),
+            Trap::Mem { pc, fault } => write!(f, "{fault} (pc {pc:#x})"),
+            Trap::Breakpoint { pc } => write!(f, "breakpoint at {pc:#x}"),
+            Trap::Ecall { pc } => write!(f, "ecall at {pc:#x}"),
+        }
+    }
+}
+
+/// Why [`Cpu::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// A trap was raised (pc still points at the trapping instruction for
+    /// `Illegal`/`Breakpoint`/`Ecall`; for fetch faults pc is the fault
+    /// address).
+    Trap(Trap),
+    /// The fuel budget ran out.
+    OutOfFuel,
+}
+
+/// One simulated core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Architectural state.
+    pub hart: Hart,
+    /// The extensions this core implements.
+    pub profile: ExtSet,
+    /// Cycle-cost model.
+    pub cost: CostModel,
+    /// Accumulated statistics.
+    pub stats: ExecStats,
+}
+
+impl Cpu {
+    /// Creates a core with the given extension profile.
+    pub fn new(profile: ExtSet) -> Self {
+        Cpu {
+            hart: Hart::new(),
+            profile,
+            cost: CostModel::default(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Executes instructions until a trap or until `fuel` instructions have
+    /// retired.
+    pub fn run(&mut self, mem: &mut Memory, fuel: u64) -> Stop {
+        for _ in 0..fuel {
+            if let Err(t) = self.step(mem) {
+                return Stop::Trap(t);
+            }
+        }
+        Stop::OutOfFuel
+    }
+
+    /// Fetches, decodes and executes one instruction.
+    ///
+    /// On `Err`, pc is left at the trapping instruction (or at the fetch
+    /// fault address for fetch faults), exactly like hardware `*epc`.
+    pub fn step(&mut self, mem: &mut Memory) -> Result<(), Trap> {
+        let pc = self.hart.pc;
+        let lo = mem.fetch_u16(pc).map_err(|fault| Trap::Mem {
+            pc: fault.addr,
+            fault,
+        })?;
+        let word = if lo & 0b11 == 0b11 {
+            // 32-bit encoding: fetch the upper parcel too.
+            let hi = mem.fetch_u16(pc + 2).map_err(|fault| Trap::Mem {
+                pc: fault.addr,
+                fault,
+            })?;
+            (hi as u32) << 16 | lo as u32
+        } else {
+            lo as u32
+        };
+        let decoded = decode(word).map_err(|e| {
+            let raw = match e {
+                DecodeError::Unrecognized(w) | DecodeError::ReservedLong(w) => w,
+            };
+            Trap::Illegal { pc, raw }
+        })?;
+        // Extension gating: the canonical instruction's extension, plus the
+        // C extension when the encoding was compressed.
+        if !decoded.inst.runnable_on(self.profile)
+            || (decoded.len == 2 && !self.profile.contains(Ext::C))
+        {
+            return Err(Trap::Illegal { pc, raw: word });
+        }
+        self.exec(mem, decoded.inst, decoded.len as u64)
+    }
+
+    /// Executes a decoded instruction (pc at `self.hart.pc`, length `len`).
+    fn exec(&mut self, mem: &mut Memory, inst: Inst, len: u64) -> Result<(), Trap> {
+        let h = &mut self.hart;
+        let pc = h.pc;
+        let mut next_pc = pc + len;
+        let mut taken = false;
+
+        macro_rules! memtrap {
+            ($e:expr) => {
+                $e.map_err(|fault| Trap::Mem { pc, fault })?
+            };
+        }
+
+        match inst {
+            Inst::Lui { rd, imm20 } => h.set_x(rd, ((imm20 as i64) << 12) as u64),
+            Inst::Auipc { rd, imm20 } => {
+                h.set_x(rd, pc.wrapping_add(((imm20 as i64) << 12) as u64))
+            }
+            Inst::Jal { rd, offset } => {
+                h.set_x(rd, pc + len);
+                next_pc = pc.wrapping_add(offset as i64 as u64);
+                taken = true;
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = h.get_x(rs1).wrapping_add(offset as i64 as u64) & !1;
+                h.set_x(rd, pc + len);
+                next_pc = target;
+                taken = true;
+                self.stats.indirect_jumps += 1;
+            }
+            Inst::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = h.get_x(rs1);
+                let b = h.get_x(rs2);
+                let cond = match kind {
+                    BranchKind::Beq => a == b,
+                    BranchKind::Bne => a != b,
+                    BranchKind::Blt => (a as i64) < (b as i64),
+                    BranchKind::Bge => (a as i64) >= (b as i64),
+                    BranchKind::Bltu => a < b,
+                    BranchKind::Bgeu => a >= b,
+                };
+                if cond {
+                    next_pc = pc.wrapping_add(offset as i64 as u64);
+                    taken = true;
+                }
+                self.stats.branches += 1;
+            }
+            Inst::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = h.get_x(rs1).wrapping_add(offset as i64 as u64);
+                let v = match kind {
+                    LoadKind::Lb => memtrap!(mem.read::<1>(addr))[0] as i8 as i64 as u64,
+                    LoadKind::Lbu => memtrap!(mem.read::<1>(addr))[0] as u64,
+                    LoadKind::Lh => i16::from_le_bytes(memtrap!(mem.read::<2>(addr))) as i64 as u64,
+                    LoadKind::Lhu => u16::from_le_bytes(memtrap!(mem.read::<2>(addr))) as u64,
+                    LoadKind::Lw => i32::from_le_bytes(memtrap!(mem.read::<4>(addr))) as i64 as u64,
+                    LoadKind::Lwu => u32::from_le_bytes(memtrap!(mem.read::<4>(addr))) as u64,
+                    LoadKind::Ld => u64::from_le_bytes(memtrap!(mem.read::<8>(addr))),
+                };
+                h.set_x(rd, v);
+                self.stats.loads += 1;
+            }
+            Inst::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = h.get_x(rs1).wrapping_add(offset as i64 as u64);
+                let v = h.get_x(rs2);
+                match kind {
+                    StoreKind::Sb => memtrap!(mem.write(addr, &[v as u8])),
+                    StoreKind::Sh => memtrap!(mem.write(addr, &(v as u16).to_le_bytes())),
+                    StoreKind::Sw => memtrap!(mem.write(addr, &(v as u32).to_le_bytes())),
+                    StoreKind::Sd => memtrap!(mem.write(addr, &v.to_le_bytes())),
+                }
+                self.stats.stores += 1;
+            }
+            Inst::OpImm { kind, rd, rs1, imm } => {
+                let a = h.get_x(rs1);
+                let i = imm as i64 as u64;
+                let v = match kind {
+                    OpImmKind::Addi => a.wrapping_add(i),
+                    OpImmKind::Slti => ((a as i64) < (i as i64)) as u64,
+                    OpImmKind::Sltiu => (a < i) as u64,
+                    OpImmKind::Xori => a ^ i,
+                    OpImmKind::Ori => a | i,
+                    OpImmKind::Andi => a & i,
+                    OpImmKind::Slli => a << (imm & 63),
+                    OpImmKind::Srli => a >> (imm & 63),
+                    OpImmKind::Srai => ((a as i64) >> (imm & 63)) as u64,
+                    OpImmKind::Rori => a.rotate_right((imm & 63) as u32),
+                    OpImmKind::Addiw => (a.wrapping_add(i) as i32) as i64 as u64,
+                    OpImmKind::Slliw => (((a as u32) << (imm & 31)) as i32) as i64 as u64,
+                    OpImmKind::Srliw => (((a as u32) >> (imm & 31)) as i32) as i64 as u64,
+                    OpImmKind::Sraiw => ((a as i32) >> (imm & 31)) as i64 as u64,
+                };
+                h.set_x(rd, v);
+            }
+            Inst::Op { kind, rd, rs1, rs2 } => {
+                let a = h.get_x(rs1);
+                let b = h.get_x(rs2);
+                let v = exec_op(kind, a, b);
+                h.set_x(rd, v);
+            }
+            Inst::Unary { kind, rd, rs1 } => {
+                let a = h.get_x(rs1);
+                let v = match kind {
+                    UnaryKind::Clz => a.leading_zeros() as u64,
+                    UnaryKind::Ctz => a.trailing_zeros() as u64,
+                    UnaryKind::Cpop => a.count_ones() as u64,
+                    UnaryKind::SextB => a as u8 as i8 as i64 as u64,
+                    UnaryKind::SextH => a as u16 as i16 as i64 as u64,
+                    UnaryKind::ZextH => a as u16 as u64,
+                    UnaryKind::Rev8 => a.swap_bytes(),
+                };
+                h.set_x(rd, v);
+            }
+            Inst::Fence => {}
+            Inst::Ecall => return Err(Trap::Ecall { pc }),
+            Inst::Ebreak => {
+                self.stats.ebreaks += 1;
+                return Err(Trap::Breakpoint { pc });
+            }
+            Inst::FLoad {
+                width,
+                frd,
+                rs1,
+                offset,
+            } => {
+                let addr = h.get_x(rs1).wrapping_add(offset as i64 as u64);
+                match width {
+                    FpWidth::S => {
+                        let bits = u32::from_le_bytes(memtrap!(mem.read::<4>(addr)));
+                        h.set_f(frd, 0xffff_ffff_0000_0000 | bits as u64);
+                    }
+                    FpWidth::D => {
+                        let bits = u64::from_le_bytes(memtrap!(mem.read::<8>(addr)));
+                        h.set_f(frd, bits);
+                    }
+                }
+                self.stats.loads += 1;
+            }
+            Inst::FStore {
+                width,
+                frs2,
+                rs1,
+                offset,
+            } => {
+                let addr = h.get_x(rs1).wrapping_add(offset as i64 as u64);
+                match width {
+                    FpWidth::S => {
+                        memtrap!(mem.write(addr, &(h.get_f(frs2) as u32).to_le_bytes()))
+                    }
+                    FpWidth::D => memtrap!(mem.write(addr, &h.get_f(frs2).to_le_bytes())),
+                }
+                self.stats.stores += 1;
+            }
+            Inst::FOp {
+                kind,
+                width,
+                frd,
+                frs1,
+                frs2,
+            } => exec_fop(h, kind, width, frd, frs1, frs2),
+            Inst::FCmp {
+                kind,
+                width,
+                rd,
+                frs1,
+                frs2,
+            } => {
+                let r = match width {
+                    FpWidth::S => {
+                        let (a, b) = (h.get_s(frs1), h.get_s(frs2));
+                        match kind {
+                            FCmpKind::Feq => a == b,
+                            FCmpKind::Flt => a < b,
+                            FCmpKind::Fle => a <= b,
+                        }
+                    }
+                    FpWidth::D => {
+                        let (a, b) = (h.get_d(frs1), h.get_d(frs2));
+                        match kind {
+                            FCmpKind::Feq => a == b,
+                            FCmpKind::Flt => a < b,
+                            FCmpKind::Fle => a <= b,
+                        }
+                    }
+                };
+                h.set_x(rd, r as u64);
+            }
+            Inst::FMvToX { width, rd, frs1 } => {
+                let v = match width {
+                    FpWidth::S => h.get_f(frs1) as u32 as i32 as i64 as u64,
+                    FpWidth::D => h.get_f(frs1),
+                };
+                h.set_x(rd, v);
+            }
+            Inst::FMvToF { width, frd, rs1 } => {
+                let v = h.get_x(rs1);
+                match width {
+                    FpWidth::S => h.set_f(frd, 0xffff_ffff_0000_0000 | (v as u32 as u64)),
+                    FpWidth::D => h.set_f(frd, v),
+                }
+            }
+            Inst::FCvtToF {
+                width,
+                from,
+                signed,
+                frd,
+                rs1,
+            } => {
+                let raw = h.get_x(rs1);
+                let val: f64 = match (from, signed) {
+                    (IntWidth::W, true) => raw as u32 as i32 as f64,
+                    (IntWidth::W, false) => raw as u32 as f64,
+                    (IntWidth::L, true) => raw as i64 as f64,
+                    (IntWidth::L, false) => raw as f64,
+                };
+                match width {
+                    FpWidth::S => h.set_s(frd, val as f32),
+                    FpWidth::D => h.set_d(frd, val),
+                }
+            }
+            Inst::FCvtToInt {
+                width,
+                to,
+                signed,
+                rd,
+                frs1,
+            } => {
+                let val: f64 = match width {
+                    FpWidth::S => h.get_s(frs1) as f64,
+                    FpWidth::D => h.get_d(frs1),
+                };
+                let v = fcvt_to_int(val, to, signed);
+                h.set_x(rd, v);
+            }
+            Inst::FCvtFF { to, frd, frs1 } => match to {
+                FpWidth::S => {
+                    let v = h.get_d(frs1);
+                    h.set_s(frd, v as f32);
+                }
+                FpWidth::D => {
+                    let v = h.get_s(frs1);
+                    h.set_d(frd, v as f64);
+                }
+            },
+            Inst::FMa {
+                kind,
+                width,
+                frd,
+                frs1,
+                frs2,
+                frs3,
+            } => match width {
+                FpWidth::S => {
+                    let (a, b, c) = (h.get_s(frs1), h.get_s(frs2), h.get_s(frs3));
+                    let v = match kind {
+                        FMaKind::Madd => a.mul_add(b, c),
+                        FMaKind::Msub => a.mul_add(b, -c),
+                        FMaKind::Nmsub => (-a).mul_add(b, c),
+                        FMaKind::Nmadd => (-a).mul_add(b, -c),
+                    };
+                    h.set_s(frd, v);
+                }
+                FpWidth::D => {
+                    let (a, b, c) = (h.get_d(frs1), h.get_d(frs2), h.get_d(frs3));
+                    let v = match kind {
+                        FMaKind::Madd => a.mul_add(b, c),
+                        FMaKind::Msub => a.mul_add(b, -c),
+                        FMaKind::Nmsub => (-a).mul_add(b, c),
+                        FMaKind::Nmadd => (-a).mul_add(b, -c),
+                    };
+                    h.set_d(frd, v);
+                }
+            },
+            Inst::Vsetvli { rd, rs1, vtype } => {
+                let vlmax = Hart::vlmax(vtype);
+                let avl = if rs1 == XReg::ZERO {
+                    if rd == XReg::ZERO {
+                        h.vl // Keep existing vl (vtype change only).
+                    } else {
+                        vlmax
+                    }
+                } else {
+                    h.get_x(rs1)
+                };
+                h.vl = avl.min(vlmax);
+                h.vtype = Some(vtype);
+                let vl = h.vl;
+                h.set_x(rd, vl);
+                self.stats.vector_insts += 1;
+            }
+            Inst::VLoad { eew, vd, rs1 } => {
+                let base = h.get_x(rs1);
+                let vl = h.vl;
+                for i in 0..vl {
+                    let addr = base + i * eew.bytes();
+                    let v = match eew {
+                        Eew::E8 => memtrap!(mem.read::<1>(addr))[0] as u64,
+                        Eew::E16 => u16::from_le_bytes(memtrap!(mem.read::<2>(addr))) as u64,
+                        Eew::E32 => u32::from_le_bytes(memtrap!(mem.read::<4>(addr))) as u64,
+                        Eew::E64 => u64::from_le_bytes(memtrap!(mem.read::<8>(addr))),
+                    };
+                    h.set_v_elem(vd, eew, i as usize, v);
+                }
+                self.stats.loads += 1;
+                self.stats.vector_insts += 1;
+            }
+            Inst::VStore { eew, vs3, rs1 } => {
+                let base = h.get_x(rs1);
+                let vl = h.vl;
+                for i in 0..vl {
+                    let addr = base + i * eew.bytes();
+                    let v = h.v_elem(vs3, eew, i as usize);
+                    let bytes = v.to_le_bytes();
+                    memtrap!(mem.write(addr, &bytes[..eew.bytes() as usize]));
+                }
+                self.stats.stores += 1;
+                self.stats.vector_insts += 1;
+            }
+            Inst::VArith { op, vd, vs2, src } => {
+                exec_varith(h, op, vd, vs2, src);
+                self.stats.vector_insts += 1;
+            }
+            Inst::VMvXS { rd, vs2 } => {
+                let sew = h.vtype.map(|t| t.sew).unwrap_or(Eew::E64);
+                let v = h.v_elem(vs2, sew, 0);
+                h.set_x(rd, sext_to_u64(v, sew));
+                self.stats.vector_insts += 1;
+            }
+            Inst::VMvSX { vd, rs1 } => {
+                let sew = h.vtype.map(|t| t.sew).unwrap_or(Eew::E64);
+                let v = h.get_x(rs1);
+                h.set_v_elem(vd, sew, 0, v);
+                self.stats.vector_insts += 1;
+            }
+        }
+
+        // Commit pc and account cost.
+        self.hart.pc = next_pc;
+        self.stats.instret += 1;
+        let vl_words = {
+            let sew_bits = self.hart.vtype.map(|t| t.sew.bits()).unwrap_or(64) as u64;
+            (self.hart.vl * sew_bits).div_ceil(64)
+        };
+        self.stats.cycles += self.cost.cost(&inst, vl_words, taken);
+        Ok(())
+    }
+}
+
+fn exec_op(kind: OpKind, a: u64, b: u64) -> u64 {
+    match kind {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Sll => a << (b & 63),
+        OpKind::Slt => ((a as i64) < (b as i64)) as u64,
+        OpKind::Sltu => (a < b) as u64,
+        OpKind::Xor => a ^ b,
+        OpKind::Srl => a >> (b & 63),
+        OpKind::Sra => ((a as i64) >> (b & 63)) as u64,
+        OpKind::Or => a | b,
+        OpKind::And => a & b,
+        OpKind::Addw => (a.wrapping_add(b) as i32) as i64 as u64,
+        OpKind::Subw => (a.wrapping_sub(b) as i32) as i64 as u64,
+        OpKind::Sllw => (((a as u32) << (b & 31)) as i32) as i64 as u64,
+        OpKind::Srlw => (((a as u32) >> (b & 31)) as i32) as i64 as u64,
+        OpKind::Sraw => ((a as i32) >> (b & 31)) as i64 as u64,
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        OpKind::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+        OpKind::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        OpKind::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                (a / b) as u64
+            }
+        }
+        OpKind::Divu => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        OpKind::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as u64
+            }
+        }
+        OpKind::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        OpKind::Mulw => ((a as i32).wrapping_mul(b as i32)) as i64 as u64,
+        OpKind::Divw => {
+            let (a, b) = (a as i32, b as i32);
+            let v = if b == 0 {
+                -1
+            } else if a == i32::MIN && b == -1 {
+                a
+            } else {
+                a / b
+            };
+            v as i64 as u64
+        }
+        OpKind::Divuw => {
+            let (a, b) = (a as u32, b as u32);
+            let v = if b == 0 { u32::MAX } else { a / b };
+            v as i32 as i64 as u64
+        }
+        OpKind::Remw => {
+            let (a, b) = (a as i32, b as i32);
+            let v = if b == 0 {
+                a
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                a % b
+            };
+            v as i64 as u64
+        }
+        OpKind::Remuw => {
+            let (a, b) = (a as u32, b as u32);
+            let v = if b == 0 { a } else { a % b };
+            v as i32 as i64 as u64
+        }
+        OpKind::Sh1add => (a << 1).wrapping_add(b),
+        OpKind::Sh2add => (a << 2).wrapping_add(b),
+        OpKind::Sh3add => (a << 3).wrapping_add(b),
+        OpKind::AddUw => (a as u32 as u64).wrapping_add(b),
+        OpKind::Andn => a & !b,
+        OpKind::Orn => a | !b,
+        OpKind::Xnor => !(a ^ b),
+        OpKind::Min => (a as i64).min(b as i64) as u64,
+        OpKind::Minu => a.min(b),
+        OpKind::Max => (a as i64).max(b as i64) as u64,
+        OpKind::Maxu => a.max(b),
+        OpKind::Rol => a.rotate_left((b & 63) as u32),
+        OpKind::Ror => a.rotate_right((b & 63) as u32),
+    }
+}
+
+fn exec_fop(
+    h: &mut Hart,
+    kind: FOpKind,
+    width: FpWidth,
+    frd: chimera_isa::FReg,
+    frs1: chimera_isa::FReg,
+    frs2: chimera_isa::FReg,
+) {
+    match width {
+        FpWidth::S => {
+            let (a, b) = (h.get_s(frs1), h.get_s(frs2));
+            let v = match kind {
+                FOpKind::Add => a + b,
+                FOpKind::Sub => a - b,
+                FOpKind::Mul => a * b,
+                FOpKind::Div => a / b,
+                FOpKind::Min => a.min(b),
+                FOpKind::Max => a.max(b),
+                FOpKind::SgnJ => f32::from_bits(
+                    (a.to_bits() & 0x7fff_ffff) | (b.to_bits() & 0x8000_0000),
+                ),
+                FOpKind::SgnJN => f32::from_bits(
+                    (a.to_bits() & 0x7fff_ffff) | (!b.to_bits() & 0x8000_0000),
+                ),
+                FOpKind::SgnJX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
+            };
+            h.set_s(frd, v);
+        }
+        FpWidth::D => {
+            let (a, b) = (h.get_d(frs1), h.get_d(frs2));
+            let v = match kind {
+                FOpKind::Add => a + b,
+                FOpKind::Sub => a - b,
+                FOpKind::Mul => a * b,
+                FOpKind::Div => a / b,
+                FOpKind::Min => a.min(b),
+                FOpKind::Max => a.max(b),
+                FOpKind::SgnJ => f64::from_bits(
+                    (a.to_bits() & 0x7fff_ffff_ffff_ffff) | (b.to_bits() & (1 << 63)),
+                ),
+                FOpKind::SgnJN => f64::from_bits(
+                    (a.to_bits() & 0x7fff_ffff_ffff_ffff) | (!b.to_bits() & (1 << 63)),
+                ),
+                FOpKind::SgnJX => f64::from_bits(a.to_bits() ^ (b.to_bits() & (1 << 63))),
+            };
+            h.set_d(frd, v);
+        }
+    }
+}
+
+/// RISC-V `fcvt.*` semantics: saturating, with NaN mapping to the maximum
+/// value (unlike Rust's `as`, which maps NaN to 0).
+fn fcvt_to_int(val: f64, to: IntWidth, signed: bool) -> u64 {
+    match (to, signed) {
+        (IntWidth::W, true) => {
+            let v = if val.is_nan() { i32::MAX } else { val as i32 };
+            v as i64 as u64
+        }
+        (IntWidth::W, false) => {
+            let v = if val.is_nan() { u32::MAX } else { val as u32 };
+            v as i32 as i64 as u64
+        }
+        (IntWidth::L, true) => {
+            let v = if val.is_nan() { i64::MAX } else { val as i64 };
+            v as u64
+        }
+        (IntWidth::L, false) => {
+            if val.is_nan() {
+                u64::MAX
+            } else {
+                val as u64
+            }
+        }
+    }
+}
+
+fn sext_to_u64(v: u64, eew: Eew) -> u64 {
+    match eew {
+        Eew::E8 => v as u8 as i8 as i64 as u64,
+        Eew::E16 => v as u16 as i16 as i64 as u64,
+        Eew::E32 => v as u32 as i32 as i64 as u64,
+        Eew::E64 => v,
+    }
+}
+
+fn exec_varith(h: &mut Hart, op: VArithOp, vd: chimera_isa::VReg, vs2: chimera_isa::VReg, src: VSrc) {
+    let Some(vtype) = h.vtype else {
+        return; // No configuration yet: architecturally vl = 0.
+    };
+    let sew = vtype.sew;
+    let vl = h.vl as usize;
+
+    // Scalar-or-element accessor for the second operand.
+    let src_elem = |h: &Hart, i: usize| -> u64 {
+        match src {
+            VSrc::V(vs1) => h.v_elem(vs1, sew, i),
+            VSrc::X(rs1) => h.get_x(rs1),
+            VSrc::F(frs1) => match sew {
+                Eew::E32 => h.get_s(frs1).to_bits() as u64,
+                _ => h.get_f(frs1),
+            },
+            VSrc::I(imm) => imm as i64 as u64,
+        }
+    };
+
+    let mask = |v: u64| -> u64 {
+        match sew {
+            Eew::E8 => v as u8 as u64,
+            Eew::E16 => v as u16 as u64,
+            Eew::E32 => v as u32 as u64,
+            Eew::E64 => v,
+        }
+    };
+
+    match op {
+        VArithOp::Vredsum => {
+            // vd[0] = vs1[0] + sum(vs2[0..vl])
+            let mut acc = match src {
+                VSrc::V(vs1) => h.v_elem(vs1, sew, 0),
+                _ => 0,
+            };
+            for i in 0..vl {
+                acc = mask(acc.wrapping_add(h.v_elem(vs2, sew, i)));
+            }
+            h.set_v_elem(vd, sew, 0, acc);
+        }
+        VArithOp::Vfredusum => {
+            match sew {
+                Eew::E64 => {
+                    let mut acc = match src {
+                        VSrc::V(vs1) => f64::from_bits(h.v_elem(vs1, sew, 0)),
+                        _ => 0.0,
+                    };
+                    for i in 0..vl {
+                        acc += f64::from_bits(h.v_elem(vs2, sew, i));
+                    }
+                    h.set_v_elem(vd, sew, 0, acc.to_bits());
+                }
+                Eew::E32 => {
+                    let mut acc = match src {
+                        VSrc::V(vs1) => f32::from_bits(h.v_elem(vs1, sew, 0) as u32),
+                        _ => 0.0,
+                    };
+                    for i in 0..vl {
+                        acc += f32::from_bits(h.v_elem(vs2, sew, i) as u32);
+                    }
+                    h.set_v_elem(vd, sew, 0, acc.to_bits() as u64);
+                }
+                _ => {}
+            }
+        }
+        _ => {
+            for i in 0..vl {
+                let b = src_elem(h, i);
+                let a = h.v_elem(vs2, sew, i);
+                let d = h.v_elem(vd, sew, i);
+                let r = match op {
+                    VArithOp::Vadd => a.wrapping_add(b),
+                    VArithOp::Vsub => a.wrapping_sub(b),
+                    VArithOp::Vand => a & b,
+                    VArithOp::Vor => a | b,
+                    VArithOp::Vxor => a ^ b,
+                    VArithOp::Vmul => a.wrapping_mul(b),
+                    VArithOp::Vmacc => d.wrapping_add(a.wrapping_mul(b)),
+                    VArithOp::Vmin => {
+                        let (sa, sb) = (sext_to_u64(a, sew) as i64, sext_to_u64(b, sew) as i64);
+                        sa.min(sb) as u64
+                    }
+                    VArithOp::Vmax => {
+                        let (sa, sb) = (sext_to_u64(a, sew) as i64, sext_to_u64(b, sew) as i64);
+                        sa.max(sb) as u64
+                    }
+                    VArithOp::Vmv => b,
+                    VArithOp::Vfadd | VArithOp::Vfsub | VArithOp::Vfmul | VArithOp::Vfdiv
+                    | VArithOp::Vfmacc => match sew {
+                        Eew::E64 => {
+                            let (fa, fb, fd) =
+                                (f64::from_bits(a), f64::from_bits(b), f64::from_bits(d));
+                            let r = match op {
+                                VArithOp::Vfadd => fa + fb,
+                                VArithOp::Vfsub => fa - fb,
+                                VArithOp::Vfmul => fa * fb,
+                                VArithOp::Vfdiv => fa / fb,
+                                _ => fb.mul_add(fa, fd), // vfmacc: vd += vs1*vs2
+                            };
+                            r.to_bits()
+                        }
+                        Eew::E32 => {
+                            let (fa, fb, fd) = (
+                                f32::from_bits(a as u32),
+                                f32::from_bits(b as u32),
+                                f32::from_bits(d as u32),
+                            );
+                            let r = match op {
+                                VArithOp::Vfadd => fa + fb,
+                                VArithOp::Vfsub => fa - fb,
+                                VArithOp::Vfmul => fa * fb,
+                                VArithOp::Vfdiv => fa / fb,
+                                _ => fb.mul_add(fa, fd),
+                            };
+                            r.to_bits() as u64
+                        }
+                        _ => 0,
+                    },
+                    VArithOp::Vredsum | VArithOp::Vfredusum => unreachable!("handled above"),
+                };
+                h.set_v_elem(vd, sew, i, mask(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Region-based memory with RWX permissions.
+//!
+//! The permission model is the load-bearing part: Chimera's SMILE trampoline
+//! guarantees that a partially executed trampoline jumps through the
+//! unmodified `gp`, which points into a **non-executable** data region, so
+//! the fetch raises [`MemFault`] with [`Access::Fetch`] — the deterministic
+//! "segmentation fault" of the paper. The emulator enforces R/W/X on every
+//! access, exactly like the MMU the paper's kernel relies on.
+
+use chimera_obj::{Binary, Perms, STACK_SIZE, STACK_TOP};
+use core::fmt;
+
+/// The access kind that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Instruction fetch (needs X).
+    Fetch,
+    /// Data load (needs R).
+    Load,
+    /// Data store (needs W).
+    Store,
+}
+
+/// A memory access fault: unmapped address or insufficient permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting address.
+    pub addr: u64,
+    /// What kind of access faulted.
+    pub access: Access,
+    /// Whether the address was mapped at all (false = unmapped).
+    pub mapped: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} fault at {:#x} ({})",
+            self.access,
+            self.addr,
+            if self.mapped {
+                "permission denied"
+            } else {
+                "unmapped"
+            }
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// One mapped region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// First mapped address.
+    pub start: u64,
+    /// Region permissions.
+    pub perms: Perms,
+    /// Backing bytes.
+    pub bytes: Vec<u8>,
+    /// Diagnostic name (usually the originating section).
+    pub name: String,
+}
+
+impl Region {
+    /// One past the last mapped address.
+    pub fn end(&self) -> u64 {
+        self.start + self.bytes.len() as u64
+    }
+}
+
+/// Region-based memory.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    regions: Vec<Region>,
+    /// Incremented whenever executable bytes change (lazy rewriting); CPUs
+    /// use it to invalidate decoded-instruction caches.
+    code_generation: u64,
+    /// Index of the region that satisfied the last access (locality cache).
+    last_hit: usize,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Maps a new zero-filled region. Panics on overlap (programming error
+    /// in the loader, not a runtime condition).
+    pub fn map(&mut self, start: u64, size: u64, perms: Perms, name: &str) {
+        self.map_bytes(start, vec![0; size as usize], perms, name)
+    }
+
+    /// Maps a new region with the given contents.
+    pub fn map_bytes(&mut self, start: u64, bytes: Vec<u8>, perms: Perms, name: &str) {
+        let end = start + bytes.len() as u64;
+        for r in &self.regions {
+            assert!(
+                end <= r.start || start >= r.end(),
+                "region {name} [{start:#x},{end:#x}) overlaps {}",
+                r.name
+            );
+        }
+        self.regions.push(Region {
+            start,
+            perms,
+            bytes,
+            name: name.to_string(),
+        });
+        self.regions.sort_by_key(|r| r.start);
+        self.last_hit = 0;
+    }
+
+    /// Builds memory from a binary: every section becomes a region, plus a
+    /// stack region under [`STACK_TOP`].
+    pub fn load(binary: &Binary) -> Memory {
+        let mut m = Memory::new();
+        for s in &binary.sections {
+            m.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
+        }
+        m.map(STACK_TOP - STACK_SIZE, STACK_SIZE, Perms::RW, "[stack]");
+        m
+    }
+
+    /// The regions, sorted by address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The current code generation (bumped by [`Memory::poke_code`]).
+    pub fn code_generation(&self) -> u64 {
+        self.code_generation
+    }
+
+    fn region_idx(&mut self, addr: u64) -> Option<usize> {
+        let r = &self.regions[self.last_hit.min(self.regions.len().saturating_sub(1))];
+        if !self.regions.is_empty() && addr >= r.start && addr < r.end() {
+            return Some(self.last_hit);
+        }
+        let idx = self
+            .regions
+            .partition_point(|r| r.end() <= addr)
+            .min(self.regions.len().saturating_sub(1));
+        let r = self.regions.get(idx)?;
+        if addr >= r.start && addr < r.end() {
+            self.last_hit = idx;
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn access(&mut self, addr: u64, len: usize, access: Access) -> Result<&mut [u8], MemFault> {
+        let Some(idx) = self.region_idx(addr) else {
+            return Err(MemFault {
+                addr,
+                access,
+                mapped: false,
+            });
+        };
+        let r = &mut self.regions[idx];
+        let ok = match access {
+            Access::Fetch => r.perms.x,
+            Access::Load => r.perms.r,
+            Access::Store => r.perms.w,
+        };
+        if !ok {
+            return Err(MemFault {
+                addr,
+                access,
+                mapped: true,
+            });
+        }
+        let off = (addr - r.start) as usize;
+        if off + len > r.bytes.len() {
+            // Access runs off the end of the region.
+            return Err(MemFault {
+                addr: r.end(),
+                access,
+                mapped: false,
+            });
+        }
+        Ok(&mut r.bytes[off..off + len])
+    }
+
+    /// Loads `N` bytes with R permission.
+    pub fn read<const N: usize>(&mut self, addr: u64) -> Result<[u8; N], MemFault> {
+        let b = self.access(addr, N, Access::Load)?;
+        Ok(<[u8; N]>::try_from(&*b).expect("length checked"))
+    }
+
+    /// Stores bytes with W permission.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let b = self.access(addr, bytes.len(), Access::Store)?;
+        b.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Fetches a 16-bit parcel with X permission.
+    pub fn fetch_u16(&mut self, addr: u64) -> Result<u16, MemFault> {
+        let b = self.access(addr, 2, Access::Fetch)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Fetches a 32-bit word with X permission (both halves must be mapped
+    /// executable).
+    pub fn fetch_u32(&mut self, addr: u64) -> Result<u32, MemFault> {
+        let b = self.access(addr, 4, Access::Fetch)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads bytes regardless of permissions (debugger/kernel view).
+    pub fn peek(&mut self, addr: u64, len: usize) -> Option<Vec<u8>> {
+        let idx = self.region_idx(addr)?;
+        let r = &self.regions[idx];
+        let off = (addr - r.start) as usize;
+        r.bytes.get(off..off + len).map(<[u8]>::to_vec)
+    }
+
+    /// Writes code bytes regardless of permissions and bumps the code
+    /// generation. This is the kernel's channel for lazy rewriting
+    /// (patching an unrecognized instruction at fault time, §4.3).
+    pub fn poke_code(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let Some(idx) = self.region_idx(addr) else {
+            return Err(MemFault {
+                addr,
+                access: Access::Store,
+                mapped: false,
+            });
+        };
+        let r = &mut self.regions[idx];
+        let off = (addr - r.start) as usize;
+        if off + bytes.len() > r.bytes.len() {
+            return Err(MemFault {
+                addr: r.end(),
+                access: Access::Store,
+                mapped: false,
+            });
+        }
+        r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        self.code_generation += 1;
+        Ok(())
+    }
+
+    /// Unmaps the region with the given name; `true` if found. Used by the
+    /// kernel's MMView switching (per-view code sections come and go while
+    /// shared data regions stay).
+    pub fn unmap(&mut self, name: &str) -> bool {
+        let before = self.regions.len();
+        self.regions.retain(|r| r.name != name);
+        self.last_hit = 0;
+        self.regions.len() != before
+    }
+
+    /// The region with the given name, if mapped.
+    pub fn region(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Convenience typed accessors.
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64, MemFault> {
+        Ok(u64::from_le_bytes(self.read::<8>(addr)?))
+    }
+
+    /// Reads a u32 with R permission.
+    pub fn read_u32(&mut self, addr: u64) -> Result<u32, MemFault> {
+        Ok(u32::from_le_bytes(self.read::<4>(addr)?))
+    }
+
+    /// Writes a u64 with W permission.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        let mut m = Memory::new();
+        m.map_bytes(0x1000, vec![1, 2, 3, 4, 5, 6, 7, 8], Perms::RX, ".text");
+        m.map(0x2000, 0x100, Perms::RW, ".data");
+        m.map(0x3000, 0x100, Perms::R, ".rodata");
+        m
+    }
+
+    #[test]
+    fn fetch_requires_x() {
+        let mut m = mem();
+        assert_eq!(m.fetch_u16(0x1000).unwrap(), 0x0201);
+        let e = m.fetch_u16(0x2000).unwrap_err();
+        assert_eq!(e.access, Access::Fetch);
+        assert!(e.mapped);
+    }
+
+    #[test]
+    fn store_requires_w() {
+        let mut m = mem();
+        m.write(0x2000, &[9]).unwrap();
+        assert!(m.write(0x3000, &[9]).is_err());
+        assert!(m.write(0x1000, &[9]).is_err());
+    }
+
+    #[test]
+    fn unmapped_reports_unmapped() {
+        let mut m = mem();
+        let e = m.read::<4>(0x9000).unwrap_err();
+        assert!(!e.mapped);
+    }
+
+    #[test]
+    fn access_cannot_cross_region_end() {
+        let mut m = mem();
+        assert!(m.read::<4>(0x1006).is_err());
+    }
+
+    #[test]
+    fn poke_code_bumps_generation() {
+        let mut m = mem();
+        let g0 = m.code_generation();
+        m.poke_code(0x1000, &[0xaa, 0xbb]).unwrap();
+        assert!(m.code_generation() > g0);
+        assert_eq!(m.fetch_u16(0x1000).unwrap(), 0xbbaa);
+    }
+
+    #[test]
+    fn load_binary_maps_stack() {
+        use chimera_isa::ExtSet;
+        use chimera_obj::{Section, TEXT_BASE};
+        let bin = Binary {
+            sections: vec![
+                Section {
+                    name: ".text".into(),
+                    addr: TEXT_BASE,
+                    data: vec![0x13, 0, 0, 0],
+                    perms: Perms::RX,
+                },
+                Section {
+                    name: ".data".into(),
+                    addr: 0x2_0000,
+                    data: vec![0; 0x1000],
+                    perms: Perms::RW,
+                },
+            ],
+            symbols: vec![],
+            entry: TEXT_BASE,
+            gp: 0x2_0800,
+            profile: ExtSet::RV64GC,
+        };
+        let mut m = Memory::load(&bin);
+        // Stack is writable.
+        m.write_u64(STACK_TOP - 8, 42).unwrap();
+        assert_eq!(m.read_u64(STACK_TOP - 8).unwrap(), 42);
+        // Data is not executable: the SMILE precondition.
+        assert!(m.fetch_u16(bin.gp).is_err());
+    }
+}

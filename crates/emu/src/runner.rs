@@ -1,0 +1,135 @@
+//! A bare-metal runner: loads a [`Binary`], sets up the psABI environment
+//! (`sp`, `gp`), and services the minimal syscall set (`exit`, `write`)
+//! directly — no simulated kernel involved.
+//!
+//! This is the harness unit/property tests use to execute programs in one
+//! call; the full Chimera runtime (scheduling, MMViews, fault handling)
+//! lives in `chimera-kernel` and drives [`Cpu`] itself.
+
+use crate::cost::ExecStats;
+use crate::cpu::{Cpu, Stop, Trap};
+use crate::mem::Memory;
+use chimera_obj::{Binary, STACK_TOP};
+use chimera_isa::{ExtSet, XReg};
+
+/// Syscall numbers (Linux RV64 numbers for familiarity).
+pub mod sys {
+    /// `exit(code)`.
+    pub const EXIT: u64 = 93;
+    /// `write(fd, buf, len)`.
+    pub const WRITE: u64 = 64;
+}
+
+/// The outcome of a completed bare run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// The code passed to `exit`.
+    pub exit_code: i64,
+    /// Bytes written to fd 1/2.
+    pub stdout: Vec<u8>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+    /// Final architectural state snapshot of the integer registers
+    /// (for differential testing).
+    pub xregs: [u64; 32],
+}
+
+/// Errors from a bare run: any trap other than a well-formed syscall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The program trapped.
+    Trap(Trap),
+    /// The fuel budget was exhausted before `exit`.
+    OutOfFuel,
+    /// An `ecall` with an unknown syscall number.
+    BadSyscall {
+        /// The unknown number (register `a7`).
+        number: u64,
+    },
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RunError::Trap(t) => write!(f, "trap: {t}"),
+            RunError::OutOfFuel => write!(f, "out of fuel"),
+            RunError::BadSyscall { number } => write!(f, "bad syscall {number}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Prepares a CPU + memory pair for a binary: maps sections and the stack,
+/// sets pc/sp/gp.
+pub fn boot(binary: &Binary, profile: ExtSet) -> (Cpu, Memory) {
+    let mem = Memory::load(binary);
+    let mut cpu = Cpu::new(profile);
+    cpu.hart.pc = binary.entry;
+    cpu.hart.set_x(XReg::SP, STACK_TOP - 64);
+    cpu.hart.set_x(XReg::GP, binary.gp);
+    (cpu, mem)
+}
+
+/// Runs a binary to `exit` on a core whose profile matches the binary's,
+/// with a fuel budget.
+pub fn run_binary(binary: &Binary, fuel: u64) -> Result<RunResult, RunError> {
+    run_binary_on(binary, binary.profile, fuel)
+}
+
+/// Runs a binary to `exit` on a core with an explicit profile (which may
+/// lack extensions the binary uses — then the run errs with an illegal
+/// instruction trap, as FAM would).
+pub fn run_binary_on(
+    binary: &Binary,
+    profile: ExtSet,
+    fuel: u64,
+) -> Result<RunResult, RunError> {
+    let (mut cpu, mut mem) = boot(binary, profile);
+    run_cpu(&mut cpu, &mut mem, fuel)
+}
+
+/// Drives a prepared CPU until `exit`, servicing `write` syscalls.
+pub fn run_cpu(cpu: &mut Cpu, mem: &mut Memory, fuel: u64) -> Result<RunResult, RunError> {
+    let mut stdout = Vec::new();
+    let start = cpu.stats.instret;
+    loop {
+        let used = cpu.stats.instret - start;
+        if used >= fuel {
+            return Err(RunError::OutOfFuel);
+        }
+        match cpu.run(mem, fuel - used) {
+            Stop::OutOfFuel => return Err(RunError::OutOfFuel),
+            Stop::Trap(Trap::Ecall { pc }) => {
+                let number = cpu.hart.get_x(XReg::A7);
+                match number {
+                    sys::EXIT => {
+                        let mut xregs = [0u64; 32];
+                        for r in XReg::all() {
+                            xregs[r.index() as usize] = cpu.hart.get_x(r);
+                        }
+                        return Ok(RunResult {
+                            exit_code: cpu.hart.get_x(XReg::A0) as i64,
+                            stdout,
+                            stats: cpu.stats,
+                            xregs,
+                        });
+                    }
+                    sys::WRITE => {
+                        let buf = cpu.hart.get_x(XReg::A1);
+                        let len = cpu.hart.get_x(XReg::A2) as usize;
+                        if let Some(bytes) = mem.peek(buf, len) {
+                            stdout.extend_from_slice(&bytes);
+                            cpu.hart.set_x(XReg::A0, len as u64);
+                        } else {
+                            cpu.hart.set_x(XReg::A0, u64::MAX); // -EFAULT-ish
+                        }
+                        cpu.hart.pc = pc + 4;
+                    }
+                    _ => return Err(RunError::BadSyscall { number }),
+                }
+            }
+            Stop::Trap(t) => return Err(RunError::Trap(t)),
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Detailed ISA semantics: edge cases of the RV64 model that the rewriter
+//! and translation templates depend on.
+
+use chimera_emu::{run_binary, run_binary_on};
+use chimera_isa::ExtSet;
+use chimera_obj::{assemble, AsmOptions};
+
+fn exit_of(src: &str) -> i64 {
+    let bin = assemble(src, AsmOptions::default()).expect("assembles");
+    run_binary(&bin, 10_000_000).expect("runs").exit_code
+}
+
+#[test]
+fn rotates_and_shifts() {
+    assert_eq!(
+        exit_of(
+            "
+            _start:
+                li t0, 1
+                ror t1, t0, t0      # rotate 1 right by 1 = 1<<63
+                srli t1, t1, 60     # 8
+                li t2, 0x10
+                rol t3, t2, t0      # 0x20
+                add a0, t1, t3      # 40
+                rori t4, t0, 63     # 1 rot right 63 = 2
+                add a0, a0, t4      # 42
+                li a7, 93
+                ecall
+            "
+        ),
+        42
+    );
+}
+
+#[test]
+fn slt_family_signedness() {
+    assert_eq!(
+        exit_of(
+            "
+            _start:
+                li t0, -1
+                li t1, 1
+                slt t2, t0, t1      # -1 < 1 (signed) = 1
+                sltu t3, t0, t1     # umax < 1 = 0
+                slti t4, t0, 0      # 1
+                sltiu t5, t0, -1    # umax < umax = 0... sltiu sext imm: equal -> 0
+                slli t2, t2, 2      # 4
+                slli t4, t4, 1      # 2
+                add a0, t2, t4
+                add a0, a0, t3
+                add a0, a0, t5      # 6
+                li a7, 93
+                ecall
+            "
+        ),
+        6
+    );
+}
+
+#[test]
+fn word_ops_sign_extend() {
+    assert_eq!(
+        exit_of(
+            "
+            _start:
+                li t0, 0x7fffffff
+                addiw t1, t0, 1     # wraps to -2^31, sign extended
+                srai t1, t1, 31     # -1
+                addi a0, t1, 43     # 42
+                li a7, 93
+                ecall
+            "
+        ),
+        42
+    );
+}
+
+#[test]
+fn mulh_variants() {
+    assert_eq!(
+        exit_of(
+            "
+            _start:
+                li t0, -1
+                li t1, 2
+                mulh t2, t0, t1     # (-1 * 2) >> 64 = -1
+                mulhu t3, t0, t1    # (2^64-1)*2 >> 64 = 1
+                add a0, t2, t3      # 0
+                addi a0, a0, 5
+                li a7, 93
+                ecall
+            "
+        ),
+        5
+    );
+}
+
+#[test]
+fn fp_nan_comparisons_are_false() {
+    assert_eq!(
+        exit_of(
+            "
+            .data
+            nanbits: .dword 0x7ff8000000000000
+            .text
+            _start:
+                la t0, nanbits
+                fld fa0, 0(t0)
+                fmv.d.x fa1, zero
+                feq.d t1, fa0, fa0    # NaN == NaN -> 0
+                flt.d t2, fa0, fa1    # 0
+                fle.d t3, fa1, fa1    # 1
+                add a0, t1, t2
+                add a0, a0, t3        # 1
+                li a7, 93
+                ecall
+            "
+        ),
+        1
+    );
+}
+
+#[test]
+fn fcvt_saturates_like_hardware() {
+    // NaN converts to the maximum value (RISC-V), not 0 (Rust `as`).
+    assert_eq!(
+        exit_of(
+            "
+            .data
+            nanbits: .dword 0x7ff8000000000000
+            .text
+            _start:
+                la t0, nanbits
+                fld fa0, 0(t0)
+                fcvt.w.d t1, fa0     # i32::MAX
+                li t2, 0x7fffffff
+                sub a0, t1, t2       # 0
+                li a7, 93
+                ecall
+            "
+        ),
+        0
+    );
+}
+
+#[test]
+fn vector_e32_arithmetic() {
+    assert_eq!(
+        exit_of(
+            "
+            .data
+            a: .word 100
+               .word 200
+               .word 300
+               .word 400
+               .word 500
+               .word 600
+               .word 700
+               .word 800
+            .text
+            _start:
+                li t0, 8
+                vsetvli t1, t0, e32, m1, ta, ma
+                la a0, a
+                vle32.v v1, (a0)
+                vadd.vi v2, v1, 1
+                vmv.v.i v3, 0
+                vredsum.vs v4, v2, v3
+                vmv.x.s a0, v4       # 3600 + 8
+                li a7, 93
+                ecall
+            "
+        ),
+        3608
+    );
+}
+
+#[test]
+fn vector_min_max_signed() {
+    assert_eq!(
+        exit_of(
+            "
+            .data
+            a: .dword -5
+               .dword 10
+               .dword -20
+               .dword 7
+            .text
+            _start:
+                li t0, 4
+                vsetvli t1, t0, e64, m1, ta, ma
+                la a0, a
+                vle64.v v1, (a0)
+                vmv.v.i v2, 0
+                vmax.vv v3, v1, v2   # [0,10,0,7]
+                vmin.vv v4, v1, v2   # [-5,0,-20,0]
+                vmv.v.i v5, 0
+                vredsum.vs v6, v3, v5   # 17
+                vredsum.vs v7, v4, v5   # -25
+                vmv.x.s t2, v6
+                vmv.x.s t3, v7
+                add a0, t2, t3       # -8
+                neg a0, a0
+                li a7, 93
+                ecall
+            "
+        ),
+        8
+    );
+}
+
+#[test]
+fn vector_partial_vl_keeps_tail() {
+    // vl = 3 of 4 lanes: the 4th element must be untouched.
+    assert_eq!(
+        exit_of(
+            "
+            .data
+            a: .dword 1
+               .dword 1
+               .dword 1
+               .dword 99
+            .text
+            _start:
+                li t0, 4
+                vsetvli t1, t0, e64, m1, ta, ma
+                la a0, a
+                vle64.v v1, (a0)
+                li t0, 3
+                vsetvli t1, t0, e64, m1, ta, ma
+                vadd.vi v1, v1, 10   # only first 3 lanes
+                li t0, 4
+                vsetvli t1, t0, e64, m1, ta, ma
+                vmv.v.i v2, 0
+                vredsum.vs v3, v1, v2  # 11*3 + 99
+                vmv.x.s a0, v3
+                li a7, 93
+                ecall
+            "
+        ),
+        132
+    );
+}
+
+#[test]
+fn vsetvli_clamps_to_vlmax() {
+    assert_eq!(
+        exit_of(
+            "
+            _start:
+                li t0, 1000
+                vsetvli a0, t0, e64, m1, ta, ma   # VLMAX = 4
+                li a7, 93
+                ecall
+            "
+        ),
+        4
+    );
+}
+
+#[test]
+fn sltiu_seqz_idiom() {
+    assert_eq!(
+        exit_of(
+            "
+            _start:
+                li t0, 0
+                seqz a0, t0       # 1
+                li t1, 7
+                snez t2, t1       # 1
+                add a0, a0, t2    # 2
+                li a7, 93
+                ecall
+            "
+        ),
+        2
+    );
+}
+
+#[test]
+fn c_extension_gating_is_encoding_level() {
+    // The same canonical instruction passes on a no-C core when encoded
+    // 4-byte, and traps when encoded compressed.
+    // Immediates small enough for the c.addi form.
+    let src = "
+        _start:
+            addi a0, a0, 21
+            addi a0, a0, 21
+            li a7, 93
+            ecall
+    ";
+    let no_c = ExtSet::RV64GC.without(chimera_isa::Ext::C);
+    let fat = assemble(src, AsmOptions::default()).unwrap();
+    assert_eq!(run_binary_on(&fat, no_c, 1000).unwrap().exit_code, 42);
+    let slim = assemble(
+        src,
+        AsmOptions {
+            compress: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(run_binary_on(&slim, no_c, 1000).is_err());
+}
+
+#[test]
+fn stack_discipline_roundtrip() {
+    assert_eq!(
+        exit_of(
+            "
+            _start:
+                li t0, 21
+                addi sp, sp, -32
+                sd t0, 0(sp)
+                sd t0, 8(sp)
+                ld t1, 0(sp)
+                ld t2, 8(sp)
+                addi sp, sp, 32
+                add a0, t1, t2
+                li a7, 93
+                ecall
+            "
+        ),
+        42
+    );
+}

@@ -1,0 +1,1299 @@
+//! Instruction decoding: 32-bit and compressed 16-bit machine words into
+//! canonical [`Inst`] values.
+//!
+//! Anything outside the modelled subset decodes to
+//! [`DecodeError::Unrecognized`]; the emulator turns that into an
+//! illegal-instruction trap, which is both the FAM migration trigger and the
+//! trigger for Chimera's lazy rewriting of instructions the static
+//! disassembly missed (§4.1 of the paper). [`DecodeError::ReservedLong`]
+//! flags the `xxx11111`/`x1111111` prefixes that RISC-V reserves for ≥48-bit
+//! encodings — the prefix Chimera's compressed-safe SMILE placement relies
+//! on for the `P2` interior jump target.
+
+use crate::bits::*;
+use crate::inst::*;
+use crate::reg::{FReg, VReg, XReg};
+use core::fmt;
+
+/// A successfully decoded instruction plus its encoded length in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The canonical instruction.
+    pub inst: Inst,
+    /// Encoded length: 2 (compressed) or 4.
+    pub len: u8,
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bits do not encode an instruction in the modelled subset. The
+    /// payload is the raw word (low 16 bits significant for compressed).
+    Unrecognized(u32),
+    /// The bits carry a reserved longer-than-32-bit encoding prefix
+    /// (`bits[4:0] = 11111`); always an illegal instruction on RV64GC(V)
+    /// hardware of today.
+    ReservedLong(u32),
+}
+
+impl DecodeError {
+    /// The raw bits that failed to decode.
+    pub fn raw(&self) -> u32 {
+        match *self {
+            DecodeError::Unrecognized(w) | DecodeError::ReservedLong(w) => w,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Unrecognized(w) => write!(f, "unrecognized instruction {w:#010x}"),
+            DecodeError::ReservedLong(w) => {
+                write!(f, "reserved long-encoding prefix {w:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The byte length implied by an encoding's length bits, without decoding:
+/// 2 if `bits[1:0] != 11`, else 4.
+///
+/// Reserved ≥48-bit prefixes also report 4; they never execute (the fetch
+/// traps), so the value only guides linear disassembly skips.
+pub fn encoded_len(halfword: u16) -> u8 {
+    if halfword & 0b11 == 0b11 {
+        4
+    } else {
+        2
+    }
+}
+
+fn xr(word: u32, lo: u32) -> XReg {
+    XReg::of(field(word, lo, 5) as u8)
+}
+
+fn fr(word: u32, lo: u32) -> FReg {
+    FReg::of(field(word, lo, 5) as u8)
+}
+
+fn vr(word: u32, lo: u32) -> VReg {
+    VReg::of(field(word, lo, 5) as u8)
+}
+
+/// Decodes a machine word. `word` carries the full 32 bits at the fetch
+/// address; for a compressed instruction only the low 16 bits are used.
+pub fn decode(word: u32) -> Result<Decoded, DecodeError> {
+    if word & 0b11 != 0b11 {
+        return decode_compressed(word as u16).map(|inst| Decoded { inst, len: 2 });
+    }
+    if word & 0b11111 == 0b11111 {
+        // 48-bit+ reserved prefix (covers both `011111` 48-bit and
+        // `x1111111` 64-bit+ spaces for our purposes).
+        return Err(DecodeError::ReservedLong(word));
+    }
+    decode32(word).map(|inst| Decoded { inst, len: 4 })
+}
+
+fn decode32(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = word & 0x7f;
+    let rd = || xr(word, 7);
+    let rs1 = || xr(word, 15);
+    let rs2 = || xr(word, 20);
+    let funct3 = field(word, 12, 3);
+    let funct7 = field(word, 25, 7);
+    let err = Err(DecodeError::Unrecognized(word));
+
+    Ok(match opcode {
+        0b0110111 => Inst::Lui {
+            rd: rd(),
+            imm20: utype_imm_of(word),
+        },
+        0b0010111 => Inst::Auipc {
+            rd: rd(),
+            imm20: utype_imm_of(word),
+        },
+        0b1101111 => Inst::Jal {
+            rd: rd(),
+            offset: jtype_imm_of(word),
+        },
+        0b1100111 => {
+            if funct3 != 0 {
+                return err;
+            }
+            Inst::Jalr {
+                rd: rd(),
+                rs1: rs1(),
+                offset: itype_imm_of(word),
+            }
+        }
+        0b1100011 => {
+            let kind = match funct3 {
+                0b000 => BranchKind::Beq,
+                0b001 => BranchKind::Bne,
+                0b100 => BranchKind::Blt,
+                0b101 => BranchKind::Bge,
+                0b110 => BranchKind::Bltu,
+                0b111 => BranchKind::Bgeu,
+                _ => return err,
+            };
+            Inst::Branch {
+                kind,
+                rs1: rs1(),
+                rs2: rs2(),
+                offset: btype_imm_of(word),
+            }
+        }
+        0b0000011 => {
+            let kind = match funct3 {
+                0b000 => LoadKind::Lb,
+                0b001 => LoadKind::Lh,
+                0b010 => LoadKind::Lw,
+                0b011 => LoadKind::Ld,
+                0b100 => LoadKind::Lbu,
+                0b101 => LoadKind::Lhu,
+                0b110 => LoadKind::Lwu,
+                _ => return err,
+            };
+            Inst::Load {
+                kind,
+                rd: rd(),
+                rs1: rs1(),
+                offset: itype_imm_of(word),
+            }
+        }
+        0b0100011 => {
+            let kind = match funct3 {
+                0b000 => StoreKind::Sb,
+                0b001 => StoreKind::Sh,
+                0b010 => StoreKind::Sw,
+                0b011 => StoreKind::Sd,
+                _ => return err,
+            };
+            Inst::Store {
+                kind,
+                rs1: rs1(),
+                rs2: rs2(),
+                offset: stype_imm_of(word),
+            }
+        }
+        0b0010011 => {
+            let imm = itype_imm_of(word);
+            let kind = match funct3 {
+                0b000 => OpImmKind::Addi,
+                0b010 => OpImmKind::Slti,
+                0b011 => OpImmKind::Sltiu,
+                0b100 => OpImmKind::Xori,
+                0b110 => OpImmKind::Ori,
+                0b111 => OpImmKind::Andi,
+                0b001 => {
+                    let funct6 = field(word, 26, 6);
+                    let sel = field(word, 20, 5);
+                    if funct6 == 0b000000 {
+                        return Ok(Inst::OpImm {
+                            kind: OpImmKind::Slli,
+                            rd: rd(),
+                            rs1: rs1(),
+                            imm: field(word, 20, 6) as i32,
+                        });
+                    }
+                    if funct7 == 0b0110000 {
+                        let kind = match sel {
+                            0b00000 => UnaryKind::Clz,
+                            0b00001 => UnaryKind::Ctz,
+                            0b00010 => UnaryKind::Cpop,
+                            0b00100 => UnaryKind::SextB,
+                            0b00101 => UnaryKind::SextH,
+                            _ => return err,
+                        };
+                        return Ok(Inst::Unary {
+                            kind,
+                            rd: rd(),
+                            rs1: rs1(),
+                        });
+                    }
+                    return err;
+                }
+                0b101 => {
+                    let funct6 = field(word, 26, 6);
+                    let shamt = field(word, 20, 6) as i32;
+                    return match funct6 {
+                        0b000000 => Ok(Inst::OpImm {
+                            kind: OpImmKind::Srli,
+                            rd: rd(),
+                            rs1: rs1(),
+                            imm: shamt,
+                        }),
+                        0b010000 => Ok(Inst::OpImm {
+                            kind: OpImmKind::Srai,
+                            rd: rd(),
+                            rs1: rs1(),
+                            imm: shamt,
+                        }),
+                        0b011000 => Ok(Inst::OpImm {
+                            kind: OpImmKind::Rori,
+                            rd: rd(),
+                            rs1: rs1(),
+                            imm: shamt,
+                        }),
+                        0b011010 if field(word, 20, 5) == 0b11000 && funct7 == 0b0110101 => {
+                            Ok(Inst::Unary {
+                                kind: UnaryKind::Rev8,
+                                rd: rd(),
+                                rs1: rs1(),
+                            })
+                        }
+                        _ => err,
+                    };
+                }
+                _ => return err,
+            };
+            Inst::OpImm {
+                kind,
+                rd: rd(),
+                rs1: rs1(),
+                imm,
+            }
+        }
+        0b0011011 => match funct3 {
+            0b000 => Inst::OpImm {
+                kind: OpImmKind::Addiw,
+                rd: rd(),
+                rs1: rs1(),
+                imm: itype_imm_of(word),
+            },
+            0b001 if funct7 == 0b0000000 => Inst::OpImm {
+                kind: OpImmKind::Slliw,
+                rd: rd(),
+                rs1: rs1(),
+                imm: field(word, 20, 5) as i32,
+            },
+            0b101 if funct7 == 0b0000000 => Inst::OpImm {
+                kind: OpImmKind::Srliw,
+                rd: rd(),
+                rs1: rs1(),
+                imm: field(word, 20, 5) as i32,
+            },
+            0b101 if funct7 == 0b0100000 => Inst::OpImm {
+                kind: OpImmKind::Sraiw,
+                rd: rd(),
+                rs1: rs1(),
+                imm: field(word, 20, 5) as i32,
+            },
+            _ => return err,
+        },
+        0b0110011 | 0b0111011 => {
+            let is32 = opcode == 0b0111011;
+            let kind = match (is32, funct7, funct3) {
+                (false, 0b0000000, 0b000) => OpKind::Add,
+                (false, 0b0100000, 0b000) => OpKind::Sub,
+                (false, 0b0000000, 0b001) => OpKind::Sll,
+                (false, 0b0000000, 0b010) => OpKind::Slt,
+                (false, 0b0000000, 0b011) => OpKind::Sltu,
+                (false, 0b0000000, 0b100) => OpKind::Xor,
+                (false, 0b0000000, 0b101) => OpKind::Srl,
+                (false, 0b0100000, 0b101) => OpKind::Sra,
+                (false, 0b0000000, 0b110) => OpKind::Or,
+                (false, 0b0000000, 0b111) => OpKind::And,
+                (false, 0b0000001, 0b000) => OpKind::Mul,
+                (false, 0b0000001, 0b001) => OpKind::Mulh,
+                (false, 0b0000001, 0b010) => OpKind::Mulhsu,
+                (false, 0b0000001, 0b011) => OpKind::Mulhu,
+                (false, 0b0000001, 0b100) => OpKind::Div,
+                (false, 0b0000001, 0b101) => OpKind::Divu,
+                (false, 0b0000001, 0b110) => OpKind::Rem,
+                (false, 0b0000001, 0b111) => OpKind::Remu,
+                (false, 0b0010000, 0b010) => OpKind::Sh1add,
+                (false, 0b0010000, 0b100) => OpKind::Sh2add,
+                (false, 0b0010000, 0b110) => OpKind::Sh3add,
+                (false, 0b0100000, 0b111) => OpKind::Andn,
+                (false, 0b0100000, 0b110) => OpKind::Orn,
+                (false, 0b0100000, 0b100) => OpKind::Xnor,
+                (false, 0b0000101, 0b100) => OpKind::Min,
+                (false, 0b0000101, 0b101) => OpKind::Minu,
+                (false, 0b0000101, 0b110) => OpKind::Max,
+                (false, 0b0000101, 0b111) => OpKind::Maxu,
+                (false, 0b0110000, 0b001) => OpKind::Rol,
+                (false, 0b0110000, 0b101) => OpKind::Ror,
+                (true, 0b0000000, 0b000) => OpKind::Addw,
+                (true, 0b0100000, 0b000) => OpKind::Subw,
+                (true, 0b0000000, 0b001) => OpKind::Sllw,
+                (true, 0b0000000, 0b101) => OpKind::Srlw,
+                (true, 0b0100000, 0b101) => OpKind::Sraw,
+                (true, 0b0000001, 0b000) => OpKind::Mulw,
+                (true, 0b0000001, 0b100) => OpKind::Divw,
+                (true, 0b0000001, 0b101) => OpKind::Divuw,
+                (true, 0b0000001, 0b110) => OpKind::Remw,
+                (true, 0b0000001, 0b111) => OpKind::Remuw,
+                (true, 0b0000100, 0b000) => OpKind::AddUw,
+                (true, 0b0000100, 0b100) if field(word, 20, 5) == 0 => {
+                    return Ok(Inst::Unary {
+                        kind: UnaryKind::ZextH,
+                        rd: rd(),
+                        rs1: rs1(),
+                    });
+                }
+                _ => return err,
+            };
+            Inst::Op {
+                kind,
+                rd: rd(),
+                rs1: rs1(),
+                rs2: rs2(),
+            }
+        }
+        0b0001111 => Inst::Fence,
+        0b1110011 => match word >> 7 {
+            0 => Inst::Ecall,
+            0x2000 => Inst::Ebreak,
+            _ => return err,
+        },
+        0b0000111 => {
+            // flw/fld or vector unit-stride load.
+            match funct3 {
+                0b010 | 0b011 => Inst::FLoad {
+                    width: if funct3 == 0b010 {
+                        FpWidth::S
+                    } else {
+                        FpWidth::D
+                    },
+                    frd: fr(word, 7),
+                    rs1: rs1(),
+                    offset: itype_imm_of(word),
+                },
+                0b000 | 0b101 | 0b110 | 0b111 => {
+                    // Require nf=0, mew=0, mop=00, vm=1, lumop=00000.
+                    if field(word, 20, 12) != 0b0000_0010_0000 {
+                        return err;
+                    }
+                    let eew = match funct3 {
+                        0b000 => Eew::E8,
+                        0b101 => Eew::E16,
+                        0b110 => Eew::E32,
+                        _ => Eew::E64,
+                    };
+                    Inst::VLoad {
+                        eew,
+                        vd: vr(word, 7),
+                        rs1: rs1(),
+                    }
+                }
+                _ => return err,
+            }
+        }
+        0b0100111 => {
+            match funct3 {
+                0b010 | 0b011 => Inst::FStore {
+                    width: if funct3 == 0b010 {
+                        FpWidth::S
+                    } else {
+                        FpWidth::D
+                    },
+                    frs2: fr(word, 20),
+                    rs1: rs1(),
+                    offset: stype_imm_of(word),
+                },
+                0b000 | 0b101 | 0b110 | 0b111 => {
+                    // Require nf=0, mew=0, mop=00, vm=1, sumop=00000;
+                    // the S-immediate split puts sumop in rs2's slot.
+                    if field(word, 25, 7) != 0b0000001 || field(word, 20, 5) != 0 {
+                        return err;
+                    }
+                    let eew = match funct3 {
+                        0b000 => Eew::E8,
+                        0b101 => Eew::E16,
+                        0b110 => Eew::E32,
+                        _ => Eew::E64,
+                    };
+                    Inst::VStore {
+                        eew,
+                        vs3: vr(word, 7),
+                        rs1: rs1(),
+                    }
+                }
+                _ => return err,
+            }
+        }
+        0b1010011 => return decode_opfp(word),
+        0b1000011 | 0b1000111 | 0b1001011 | 0b1001111 => {
+            let kind = match opcode {
+                0b1000011 => FMaKind::Madd,
+                0b1000111 => FMaKind::Msub,
+                0b1001011 => FMaKind::Nmsub,
+                _ => FMaKind::Nmadd,
+            };
+            let width = match field(word, 25, 2) {
+                0b00 => FpWidth::S,
+                0b01 => FpWidth::D,
+                _ => return err,
+            };
+            Inst::FMa {
+                kind,
+                width,
+                frd: fr(word, 7),
+                frs1: fr(word, 15),
+                frs2: fr(word, 20),
+                frs3: fr(word, 27),
+            }
+        }
+        0b1010111 => return decode_opv(word),
+        _ => return err,
+    })
+}
+
+fn decode_opfp(word: u32) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError::Unrecognized(word));
+    let funct7 = field(word, 25, 7);
+    let funct3 = field(word, 12, 3);
+    let funct5 = funct7 >> 2;
+    let width = match funct7 & 0b11 {
+        0b00 => FpWidth::S,
+        0b01 => FpWidth::D,
+        _ => return err,
+    };
+    let rd = xr(word, 7);
+    let frd = fr(word, 7);
+    let rs1 = xr(word, 15);
+    let frs1 = fr(word, 15);
+    let frs2 = fr(word, 20);
+    let sel = field(word, 20, 5);
+
+    Ok(match funct5 {
+        0b00000 => Inst::FOp {
+            kind: FOpKind::Add,
+            width,
+            frd,
+            frs1,
+            frs2,
+        },
+        0b00001 => Inst::FOp {
+            kind: FOpKind::Sub,
+            width,
+            frd,
+            frs1,
+            frs2,
+        },
+        0b00010 => Inst::FOp {
+            kind: FOpKind::Mul,
+            width,
+            frd,
+            frs1,
+            frs2,
+        },
+        0b00011 => Inst::FOp {
+            kind: FOpKind::Div,
+            width,
+            frd,
+            frs1,
+            frs2,
+        },
+        0b00100 => {
+            let kind = match funct3 {
+                0b000 => FOpKind::SgnJ,
+                0b001 => FOpKind::SgnJN,
+                0b010 => FOpKind::SgnJX,
+                _ => return err,
+            };
+            Inst::FOp {
+                kind,
+                width,
+                frd,
+                frs1,
+                frs2,
+            }
+        }
+        0b00101 => {
+            let kind = match funct3 {
+                0b000 => FOpKind::Min,
+                0b001 => FOpKind::Max,
+                _ => return err,
+            };
+            Inst::FOp {
+                kind,
+                width,
+                frd,
+                frs1,
+                frs2,
+            }
+        }
+        0b01000 => {
+            // fcvt between widths.
+            match (width, sel) {
+                (FpWidth::S, 0b00001) => Inst::FCvtFF {
+                    to: FpWidth::S,
+                    frd,
+                    frs1,
+                },
+                (FpWidth::D, 0b00000) => Inst::FCvtFF {
+                    to: FpWidth::D,
+                    frd,
+                    frs1,
+                },
+                _ => return err,
+            }
+        }
+        0b10100 => {
+            let kind = match funct3 {
+                0b000 => FCmpKind::Fle,
+                0b001 => FCmpKind::Flt,
+                0b010 => FCmpKind::Feq,
+                _ => return err,
+            };
+            Inst::FCmp {
+                kind,
+                width,
+                rd,
+                frs1,
+                frs2,
+            }
+        }
+        0b11000 => {
+            let (to, signed) = int_sel(sel).ok_or(DecodeError::Unrecognized(word))?;
+            Inst::FCvtToInt {
+                width,
+                to,
+                signed,
+                rd,
+                frs1,
+            }
+        }
+        0b11010 => {
+            let (from, signed) = int_sel(sel).ok_or(DecodeError::Unrecognized(word))?;
+            Inst::FCvtToF {
+                width,
+                from,
+                signed,
+                frd,
+                rs1,
+            }
+        }
+        0b11100 if funct3 == 0b000 && sel == 0 => Inst::FMvToX { width, rd, frs1 },
+        0b11110 if funct3 == 0b000 && sel == 0 => Inst::FMvToF { width, frd, rs1 },
+        _ => return err,
+    })
+}
+
+fn int_sel(sel: u32) -> Option<(IntWidth, bool)> {
+    match sel {
+        0b00000 => Some((IntWidth::W, true)),
+        0b00001 => Some((IntWidth::W, false)),
+        0b00010 => Some((IntWidth::L, true)),
+        0b00011 => Some((IntWidth::L, false)),
+        _ => None,
+    }
+}
+
+fn decode_opv(word: u32) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError::Unrecognized(word));
+    let funct3 = field(word, 12, 3);
+    if funct3 == 0b111 {
+        // vsetvli (bit 31 must be 0 in the supported form).
+        if word >> 31 != 0 {
+            return err;
+        }
+        let vtype = VType::from_bits(field(word, 20, 11)).ok_or(DecodeError::Unrecognized(word))?;
+        return Ok(Inst::Vsetvli {
+            rd: xr(word, 7),
+            rs1: xr(word, 15),
+            vtype,
+        });
+    }
+    // All supported arithmetic forms are unmasked.
+    if field(word, 25, 1) != 1 {
+        return err;
+    }
+    let funct6 = field(word, 26, 6);
+    let vd = vr(word, 7);
+    let vs2 = vr(word, 20);
+
+    // Special unary moves first.
+    if funct6 == 0b010000 {
+        return match funct3 {
+            0b010 if field(word, 15, 5) == 0 => Ok(Inst::VMvXS {
+                rd: xr(word, 7),
+                vs2,
+            }),
+            0b110 if field(word, 20, 5) == 0 => Ok(Inst::VMvSX {
+                vd,
+                rs1: xr(word, 15),
+            }),
+            _ => err,
+        };
+    }
+
+    let src = match funct3 {
+        0b000 | 0b001 | 0b010 => VSrc::V(vr(word, 15)),
+        0b100 | 0b110 => VSrc::X(xr(word, 15)),
+        0b101 => VSrc::F(fr(word, 15)),
+        0b011 => VSrc::I(sext(field(word, 15, 5), 5) as i8),
+        _ => return err,
+    };
+
+    let op = match (funct6, funct3) {
+        (0b000000, 0b000 | 0b011 | 0b100) => VArithOp::Vadd,
+        (0b000010, 0b000 | 0b100) => VArithOp::Vsub,
+        (0b000101, 0b000 | 0b100) => VArithOp::Vmin,
+        (0b000111, 0b000 | 0b100) => VArithOp::Vmax,
+        (0b001001, 0b000 | 0b011 | 0b100) => VArithOp::Vand,
+        (0b001010, 0b000 | 0b011 | 0b100) => VArithOp::Vor,
+        (0b001011, 0b000 | 0b011 | 0b100) => VArithOp::Vxor,
+        (0b010111, 0b000 | 0b011 | 0b100) => {
+            // vmv.v.* requires vs2 = v0 field = 0.
+            if vs2.index() != 0 {
+                return err;
+            }
+            VArithOp::Vmv
+        }
+        (0b100101, 0b010 | 0b110) => VArithOp::Vmul,
+        (0b101101, 0b010 | 0b110) => VArithOp::Vmacc,
+        (0b000000, 0b010) => VArithOp::Vredsum,
+        (0b000000, 0b001 | 0b101) => VArithOp::Vfadd,
+        (0b000010, 0b001 | 0b101) => VArithOp::Vfsub,
+        (0b100100, 0b001 | 0b101) => VArithOp::Vfmul,
+        (0b100000, 0b001 | 0b101) => VArithOp::Vfdiv,
+        (0b101100, 0b001 | 0b101) => VArithOp::Vfmacc,
+        (0b000001, 0b001) => VArithOp::Vfredusum,
+        _ => return err,
+    };
+    Ok(Inst::VArith { op, vd, vs2, src })
+}
+
+/// Decodes a compressed (RVC) 16-bit word into its canonical expansion.
+pub fn decode_compressed(word: u16) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError::Unrecognized(word as u32));
+    if word == 0 {
+        // Defined illegal instruction.
+        return err;
+    }
+    let op = word & 0b11;
+    let funct3 = cfield(word, 13, 3);
+    match op {
+        0b00 => {
+            let rdc = XReg::of_compressed(cfield(word, 2, 3) as u8);
+            let rs1c = XReg::of_compressed(cfield(word, 7, 3) as u8);
+            match funct3 {
+                0b000 => {
+                    // c.addi4spn
+                    let imm = (cfield(word, 6, 1) << 2)
+                        | (cfield(word, 5, 1) << 3)
+                        | (cfield(word, 11, 2) << 4)
+                        | (cfield(word, 7, 4) << 6);
+                    if imm == 0 {
+                        return err;
+                    }
+                    Ok(Inst::OpImm {
+                        kind: OpImmKind::Addi,
+                        rd: rdc,
+                        rs1: XReg::SP,
+                        imm: imm as i32,
+                    })
+                }
+                0b010 => {
+                    // c.lw
+                    let imm = (cfield(word, 6, 1) << 2)
+                        | (cfield(word, 10, 3) << 3)
+                        | (cfield(word, 5, 1) << 6);
+                    Ok(Inst::Load {
+                        kind: LoadKind::Lw,
+                        rd: rdc,
+                        rs1: rs1c,
+                        offset: imm as i32,
+                    })
+                }
+                0b011 => {
+                    // c.ld
+                    let imm = (cfield(word, 10, 3) << 3) | (cfield(word, 5, 2) << 6);
+                    Ok(Inst::Load {
+                        kind: LoadKind::Ld,
+                        rd: rdc,
+                        rs1: rs1c,
+                        offset: imm as i32,
+                    })
+                }
+                0b110 => {
+                    // c.sw
+                    let imm = (cfield(word, 6, 1) << 2)
+                        | (cfield(word, 10, 3) << 3)
+                        | (cfield(word, 5, 1) << 6);
+                    Ok(Inst::Store {
+                        kind: StoreKind::Sw,
+                        rs1: rs1c,
+                        rs2: rdc,
+                        offset: imm as i32,
+                    })
+                }
+                0b111 => {
+                    // c.sd
+                    let imm = (cfield(word, 10, 3) << 3) | (cfield(word, 5, 2) << 6);
+                    Ok(Inst::Store {
+                        kind: StoreKind::Sd,
+                        rs1: rs1c,
+                        rs2: rdc,
+                        offset: imm as i32,
+                    })
+                }
+                // 0b100 is the RVC-reserved row (the encoding space the paper
+                // notes SMILE can draw an always-illegal halfword from);
+                // 0b001/0b101 are c.fld/c.fsd, outside the modelled subset.
+                _ => err,
+            }
+        }
+        0b01 => {
+            match funct3 {
+                0b000 => {
+                    // c.nop / c.addi
+                    let rd = xr(word as u32, 7);
+                    let imm = ci_imm(word);
+                    if rd == XReg::ZERO {
+                        if imm != 0 {
+                            return err; // HINT space; treat as unsupported.
+                        }
+                        return Ok(Inst::OpImm {
+                            kind: OpImmKind::Addi,
+                            rd: XReg::ZERO,
+                            rs1: XReg::ZERO,
+                            imm: 0,
+                        });
+                    }
+                    Ok(Inst::OpImm {
+                        kind: OpImmKind::Addi,
+                        rd,
+                        rs1: rd,
+                        imm,
+                    })
+                }
+                0b001 => {
+                    // c.addiw
+                    let rd = xr(word as u32, 7);
+                    if rd == XReg::ZERO {
+                        return err; // Reserved.
+                    }
+                    Ok(Inst::OpImm {
+                        kind: OpImmKind::Addiw,
+                        rd,
+                        rs1: rd,
+                        imm: ci_imm(word),
+                    })
+                }
+                0b010 => {
+                    // c.li
+                    let rd = xr(word as u32, 7);
+                    if rd == XReg::ZERO {
+                        return err; // HINT.
+                    }
+                    Ok(Inst::OpImm {
+                        kind: OpImmKind::Addi,
+                        rd,
+                        rs1: XReg::ZERO,
+                        imm: ci_imm(word),
+                    })
+                }
+                0b011 => {
+                    let rd = xr(word as u32, 7);
+                    if rd == XReg::SP {
+                        // c.addi16sp
+                        let imm = (cfield(word, 6, 1) << 4)
+                            | (cfield(word, 2, 1) << 5)
+                            | (cfield(word, 5, 1) << 6)
+                            | (cfield(word, 3, 2) << 7)
+                            | (cfield(word, 12, 1) << 9);
+                        let imm = sext(imm, 10);
+                        if imm == 0 {
+                            return err; // Reserved.
+                        }
+                        return Ok(Inst::OpImm {
+                            kind: OpImmKind::Addi,
+                            rd: XReg::SP,
+                            rs1: XReg::SP,
+                            imm,
+                        });
+                    }
+                    // c.lui
+                    let imm = ci_imm(word);
+                    if rd == XReg::ZERO || imm == 0 {
+                        return err;
+                    }
+                    Ok(Inst::Lui { rd, imm20: imm })
+                }
+                0b100 => {
+                    let rdc = XReg::of_compressed(cfield(word, 7, 3) as u8);
+                    match cfield(word, 10, 2) {
+                        0b00 | 0b01 => {
+                            // c.srli / c.srai
+                            let shamt = (cfield(word, 2, 5) | (cfield(word, 12, 1) << 5)) as i32;
+                            if shamt == 0 {
+                                return err; // HINT / RV128.
+                            }
+                            let kind = if cfield(word, 10, 2) == 0b00 {
+                                OpImmKind::Srli
+                            } else {
+                                OpImmKind::Srai
+                            };
+                            Ok(Inst::OpImm {
+                                kind,
+                                rd: rdc,
+                                rs1: rdc,
+                                imm: shamt,
+                            })
+                        }
+                        0b10 => {
+                            // c.andi
+                            Ok(Inst::OpImm {
+                                kind: OpImmKind::Andi,
+                                rd: rdc,
+                                rs1: rdc,
+                                imm: ci_imm(word),
+                            })
+                        }
+                        _ => {
+                            // Register-register row.
+                            let rs2c = XReg::of_compressed(cfield(word, 2, 3) as u8);
+                            let kind = match (cfield(word, 12, 1), cfield(word, 5, 2)) {
+                                (0, 0b00) => OpKind::Sub,
+                                (0, 0b01) => OpKind::Xor,
+                                (0, 0b10) => OpKind::Or,
+                                (0, 0b11) => OpKind::And,
+                                (1, 0b00) => OpKind::Subw,
+                                (1, 0b01) => OpKind::Addw,
+                                _ => return err, // Reserved.
+                            };
+                            Ok(Inst::Op {
+                                kind,
+                                rd: rdc,
+                                rs1: rdc,
+                                rs2: rs2c,
+                            })
+                        }
+                    }
+                }
+                0b101 => {
+                    // c.j
+                    let imm = (cfield(word, 3, 3) << 1)
+                        | (cfield(word, 11, 1) << 4)
+                        | (cfield(word, 2, 1) << 5)
+                        | (cfield(word, 7, 1) << 6)
+                        | (cfield(word, 6, 1) << 7)
+                        | (cfield(word, 9, 2) << 8)
+                        | (cfield(word, 8, 1) << 10)
+                        | (cfield(word, 12, 1) << 11);
+                    Ok(Inst::Jal {
+                        rd: XReg::ZERO,
+                        offset: sext(imm, 12),
+                    })
+                }
+                0b110 | 0b111 => {
+                    // c.beqz / c.bnez
+                    let rs1c = XReg::of_compressed(cfield(word, 7, 3) as u8);
+                    let imm = (cfield(word, 3, 2) << 1)
+                        | (cfield(word, 10, 2) << 3)
+                        | (cfield(word, 2, 1) << 5)
+                        | (cfield(word, 5, 2) << 6)
+                        | (cfield(word, 12, 1) << 8);
+                    let kind = if funct3 == 0b110 {
+                        BranchKind::Beq
+                    } else {
+                        BranchKind::Bne
+                    };
+                    Ok(Inst::Branch {
+                        kind,
+                        rs1: rs1c,
+                        rs2: XReg::ZERO,
+                        offset: sext(imm, 9),
+                    })
+                }
+                _ => err,
+            }
+        }
+        0b10 => {
+            match funct3 {
+                0b000 => {
+                    // c.slli
+                    let rd = xr(word as u32, 7);
+                    let shamt = (cfield(word, 2, 5) | (cfield(word, 12, 1) << 5)) as i32;
+                    if rd == XReg::ZERO || shamt == 0 {
+                        return err; // HINT.
+                    }
+                    Ok(Inst::OpImm {
+                        kind: OpImmKind::Slli,
+                        rd,
+                        rs1: rd,
+                        imm: shamt,
+                    })
+                }
+                0b010 => {
+                    // c.lwsp
+                    let rd = xr(word as u32, 7);
+                    if rd == XReg::ZERO {
+                        return err;
+                    }
+                    let imm = (cfield(word, 4, 3) << 2)
+                        | (cfield(word, 12, 1) << 5)
+                        | (cfield(word, 2, 2) << 6);
+                    Ok(Inst::Load {
+                        kind: LoadKind::Lw,
+                        rd,
+                        rs1: XReg::SP,
+                        offset: imm as i32,
+                    })
+                }
+                0b011 => {
+                    // c.ldsp
+                    let rd = xr(word as u32, 7);
+                    if rd == XReg::ZERO {
+                        return err;
+                    }
+                    let imm = (cfield(word, 5, 2) << 3)
+                        | (cfield(word, 12, 1) << 5)
+                        | (cfield(word, 2, 3) << 6);
+                    Ok(Inst::Load {
+                        kind: LoadKind::Ld,
+                        rd,
+                        rs1: XReg::SP,
+                        offset: imm as i32,
+                    })
+                }
+                0b100 => {
+                    let rs1 = xr(word as u32, 7);
+                    let rs2 = xr(word as u32, 2);
+                    if cfield(word, 12, 1) == 0 {
+                        if rs2 == XReg::ZERO {
+                            if rs1 == XReg::ZERO {
+                                return err; // Reserved.
+                            }
+                            // c.jr
+                            return Ok(Inst::Jalr {
+                                rd: XReg::ZERO,
+                                rs1,
+                                offset: 0,
+                            });
+                        }
+                        if rs1 == XReg::ZERO {
+                            return err; // HINT.
+                        }
+                        // c.mv
+                        Ok(Inst::Op {
+                            kind: OpKind::Add,
+                            rd: rs1,
+                            rs1: XReg::ZERO,
+                            rs2,
+                        })
+                    } else {
+                        if rs2 == XReg::ZERO {
+                            if rs1 == XReg::ZERO {
+                                return Ok(Inst::Ebreak); // c.ebreak
+                            }
+                            // c.jalr
+                            return Ok(Inst::Jalr {
+                                rd: XReg::RA,
+                                rs1,
+                                offset: 0,
+                            });
+                        }
+                        if rs1 == XReg::ZERO {
+                            return err; // HINT.
+                        }
+                        // c.add
+                        Ok(Inst::Op {
+                            kind: OpKind::Add,
+                            rd: rs1,
+                            rs1,
+                            rs2,
+                        })
+                    }
+                }
+                0b110 => {
+                    // c.swsp
+                    let imm = (cfield(word, 9, 4) << 2) | (cfield(word, 7, 2) << 6);
+                    Ok(Inst::Store {
+                        kind: StoreKind::Sw,
+                        rs1: XReg::SP,
+                        rs2: xr(word as u32, 2),
+                        offset: imm as i32,
+                    })
+                }
+                0b111 => {
+                    // c.sdsp
+                    let imm = (cfield(word, 10, 3) << 3) | (cfield(word, 7, 3) << 6);
+                    Ok(Inst::Store {
+                        kind: StoreKind::Sd,
+                        rs1: XReg::SP,
+                        rs2: xr(word as u32, 2),
+                        offset: imm as i32,
+                    })
+                }
+                _ => err, // c.fldsp / c.fsdsp outside the subset.
+            }
+        }
+        _ => unreachable!("op==11 is a 32-bit encoding"),
+    }
+}
+
+/// Decodes the CI-format signed 6-bit immediate.
+fn ci_imm(word: u16) -> i32 {
+    sext(cfield(word, 2, 5) | (cfield(word, 12, 1) << 5), 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode, encode_compressed};
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            decode(0x0000_0013).unwrap().inst,
+            Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::ZERO,
+                rs1: XReg::ZERO,
+                imm: 0
+            }
+        );
+        assert_eq!(decode(0x0000_0073).unwrap().inst, Inst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap().inst, Inst::Ebreak);
+        // ret = jalr zero, 0(ra)
+        assert_eq!(
+            decode(0x0000_8067).unwrap().inst,
+            Inst::Jalr {
+                rd: XReg::ZERO,
+                rs1: XReg::RA,
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn decode_known_compressed() {
+        let d = decode(0x0001).unwrap();
+        assert_eq!(d.len, 2);
+        assert_eq!(
+            d.inst,
+            Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::ZERO,
+                rs1: XReg::ZERO,
+                imm: 0
+            }
+        );
+        // c.mv a0, a1
+        assert_eq!(
+            decode(0x852e).unwrap().inst,
+            Inst::Op {
+                kind: OpKind::Add,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                rs2: XReg::A1
+            }
+        );
+        // c.jr ra
+        assert_eq!(
+            decode(0x8082).unwrap().inst,
+            Inst::Jalr {
+                rd: XReg::ZERO,
+                rs1: XReg::RA,
+                offset: 0
+            }
+        );
+        // c.ebreak
+        assert_eq!(decode(0x9002).unwrap().inst, Inst::Ebreak);
+    }
+
+    #[test]
+    fn all_zero_halfword_is_illegal() {
+        assert!(decode(0x0000).is_err());
+    }
+
+    #[test]
+    fn reserved_long_prefix_detected() {
+        assert!(matches!(
+            decode(0x0000_001f),
+            Err(DecodeError::ReservedLong(_))
+        ));
+        assert!(matches!(
+            decode(0xffff_ffff),
+            Err(DecodeError::ReservedLong(_))
+        ));
+    }
+
+    #[test]
+    fn rvc_reserved_row_is_illegal() {
+        // Quadrant 0, funct3=100 is reserved in RVC.
+        let w: u16 = (0b100 << 13) | 0b00;
+        assert!(decode_compressed(w).is_err());
+    }
+
+    #[test]
+    fn encode_decode_agree_on_samples() {
+        use crate::reg::{FReg, VReg};
+        let samples = vec![
+            Inst::Lui {
+                rd: XReg::A0,
+                imm20: -1,
+            },
+            Inst::Auipc {
+                rd: XReg::GP,
+                imm20: 0x7ffff,
+            },
+            Inst::Jal {
+                rd: XReg::RA,
+                offset: -2048,
+            },
+            Inst::Branch {
+                kind: BranchKind::Bgeu,
+                rs1: XReg::S3,
+                rs2: XReg::T4,
+                offset: 4094,
+            },
+            Inst::Op {
+                kind: OpKind::Sh3add,
+                rd: XReg::T0,
+                rs1: XReg::T1,
+                rs2: XReg::T2,
+            },
+            Inst::Unary {
+                kind: UnaryKind::Cpop,
+                rd: XReg::A3,
+                rs1: XReg::A4,
+            },
+            Inst::Unary {
+                kind: UnaryKind::Rev8,
+                rd: XReg::A3,
+                rs1: XReg::A4,
+            },
+            Inst::Unary {
+                kind: UnaryKind::ZextH,
+                rd: XReg::A3,
+                rs1: XReg::A4,
+            },
+            Inst::FMa {
+                kind: FMaKind::Nmadd,
+                width: FpWidth::D,
+                frd: FReg::of(4),
+                frs1: FReg::of(5),
+                frs2: FReg::of(6),
+                frs3: FReg::of(7),
+            },
+            Inst::FCvtToInt {
+                width: FpWidth::D,
+                to: IntWidth::L,
+                signed: false,
+                rd: XReg::A0,
+                frs1: FReg::of(1),
+            },
+            Inst::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                vtype: VType {
+                    sew: Eew::E32,
+                    lmul: 2,
+                    ta: true,
+                    ma: false,
+                },
+            },
+            Inst::VArith {
+                op: VArithOp::Vfmacc,
+                vd: VReg::of(8),
+                vs2: VReg::of(16),
+                src: VSrc::V(VReg::of(24)),
+            },
+            Inst::VArith {
+                op: VArithOp::Vmv,
+                vd: VReg::of(3),
+                vs2: VReg::of(0),
+                src: VSrc::I(-5),
+            },
+            Inst::VMvXS {
+                rd: XReg::A0,
+                vs2: VReg::of(9),
+            },
+        ];
+        for inst in samples {
+            let w = encode(&inst).unwrap();
+            let d = decode(w).unwrap();
+            assert_eq!(d.inst, inst, "word {w:#010x}");
+            assert_eq!(d.len, 4);
+        }
+    }
+
+    #[test]
+    fn compressed_roundtrip_samples() {
+        let samples = vec![
+            Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::S0,
+                rs1: XReg::S0,
+                imm: -16,
+            },
+            Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::SP,
+                rs1: XReg::SP,
+                imm: -64,
+            },
+            Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::A4,
+                rs1: XReg::SP,
+                imm: 32,
+            },
+            Inst::Load {
+                kind: LoadKind::Ld,
+                rd: XReg::A0,
+                rs1: XReg::SP,
+                offset: 24,
+            },
+            Inst::Load {
+                kind: LoadKind::Lw,
+                rd: XReg::A2,
+                rs1: XReg::A3,
+                offset: 64,
+            },
+            Inst::Store {
+                kind: StoreKind::Sd,
+                rs1: XReg::SP,
+                rs2: XReg::S1,
+                offset: 40,
+            },
+            Inst::Store {
+                kind: StoreKind::Sw,
+                rs1: XReg::A5,
+                rs2: XReg::A4,
+                offset: 4,
+            },
+            Inst::Jal {
+                rd: XReg::ZERO,
+                offset: -42 * 2,
+            },
+            Inst::Branch {
+                kind: BranchKind::Bne,
+                rs1: XReg::A1,
+                rs2: XReg::ZERO,
+                offset: -36,
+            },
+            Inst::Op {
+                kind: OpKind::Subw,
+                rd: XReg::A0,
+                rs1: XReg::A0,
+                rs2: XReg::A1,
+            },
+            Inst::OpImm {
+                kind: OpImmKind::Srai,
+                rd: XReg::A5,
+                rs1: XReg::A5,
+                imm: 63,
+            },
+            Inst::Lui {
+                rd: XReg::A1,
+                imm20: -3,
+            },
+        ];
+        for inst in samples {
+            let w = encode_compressed(&inst).unwrap_or_else(|| panic!("{inst} should compress"));
+            let d = decode(w as u32).unwrap();
+            assert_eq!(d.inst, inst, "halfword {w:#06x} ({inst})");
+            assert_eq!(d.len, 2);
+        }
+    }
+}

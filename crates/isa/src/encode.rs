@@ -1,0 +1,1248 @@
+//! Instruction encoding: canonical 32-bit encodings for every [`Inst`], plus
+//! compressed (RVC) 16-bit encodings for the subset that has them.
+//!
+//! The encoder emits exactly the encodings the decoder accepts, so
+//! `decode(encode(i)) == i` for every well-formed instruction (enforced by
+//! property tests in this crate). F/D instructions are emitted with the
+//! dynamic rounding mode (`rm = 0b111`).
+
+use crate::bits::*;
+use crate::inst::*;
+use crate::reg::XReg;
+use core::fmt;
+
+/// Errors from [`encode`]: an immediate does not fit its field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A signed/unsigned immediate is out of range for its field.
+    ImmOutOfRange {
+        /// Which instruction field overflowed (for diagnostics).
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+    /// A byte offset that must be even (branch/jump targets) is odd.
+    MisalignedOffset {
+        /// Which instruction field is misaligned.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { what, value } => {
+                write!(f, "immediate out of range for {what}: {value}")
+            }
+            EncodeError::MisalignedOffset { what, value } => {
+                write!(f, "misaligned offset for {what}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+const OP_LUI: u32 = 0b0110111;
+const OP_AUIPC: u32 = 0b0010111;
+const OP_JAL: u32 = 0b1101111;
+const OP_JALR: u32 = 0b1100111;
+const OP_BRANCH: u32 = 0b1100011;
+const OP_LOAD: u32 = 0b0000011;
+const OP_STORE: u32 = 0b0100011;
+const OP_OPIMM: u32 = 0b0010011;
+const OP_OPIMM32: u32 = 0b0011011;
+const OP_OP: u32 = 0b0110011;
+const OP_OP32: u32 = 0b0111011;
+const OP_MISCMEM: u32 = 0b0001111;
+const OP_SYSTEM: u32 = 0b1110011;
+const OP_LOADFP: u32 = 0b0000111;
+const OP_STOREFP: u32 = 0b0100111;
+const OP_OPFP: u32 = 0b1010011;
+const OP_FMADD: u32 = 0b1000011;
+const OP_FMSUB: u32 = 0b1000111;
+const OP_FNMSUB: u32 = 0b1001011;
+const OP_FNMADD: u32 = 0b1001111;
+const OP_V: u32 = 0b1010111;
+
+/// Dynamic rounding mode.
+const RM_DYN: u32 = 0b111;
+
+fn r(opcode: u32, funct3: u32, funct7: u32, rd: u32, rs1: u32, rs2: u32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (funct7 << 25)
+}
+
+fn i(opcode: u32, funct3: u32, rd: u32, rs1: u32, imm: i32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | itype_imm(imm)
+}
+
+fn check_i12(what: &'static str, v: i32) -> Result<(), EncodeError> {
+    if fits_signed(v as i64, 12) {
+        Ok(())
+    } else {
+        Err(EncodeError::ImmOutOfRange {
+            what,
+            value: v as i64,
+        })
+    }
+}
+
+fn op_funct(kind: OpKind) -> (u32, u32, u32) {
+    // (opcode, funct3, funct7)
+    match kind {
+        OpKind::Add => (OP_OP, 0b000, 0b0000000),
+        OpKind::Sub => (OP_OP, 0b000, 0b0100000),
+        OpKind::Sll => (OP_OP, 0b001, 0b0000000),
+        OpKind::Slt => (OP_OP, 0b010, 0b0000000),
+        OpKind::Sltu => (OP_OP, 0b011, 0b0000000),
+        OpKind::Xor => (OP_OP, 0b100, 0b0000000),
+        OpKind::Srl => (OP_OP, 0b101, 0b0000000),
+        OpKind::Sra => (OP_OP, 0b101, 0b0100000),
+        OpKind::Or => (OP_OP, 0b110, 0b0000000),
+        OpKind::And => (OP_OP, 0b111, 0b0000000),
+        OpKind::Addw => (OP_OP32, 0b000, 0b0000000),
+        OpKind::Subw => (OP_OP32, 0b000, 0b0100000),
+        OpKind::Sllw => (OP_OP32, 0b001, 0b0000000),
+        OpKind::Srlw => (OP_OP32, 0b101, 0b0000000),
+        OpKind::Sraw => (OP_OP32, 0b101, 0b0100000),
+        OpKind::Mul => (OP_OP, 0b000, 0b0000001),
+        OpKind::Mulh => (OP_OP, 0b001, 0b0000001),
+        OpKind::Mulhsu => (OP_OP, 0b010, 0b0000001),
+        OpKind::Mulhu => (OP_OP, 0b011, 0b0000001),
+        OpKind::Div => (OP_OP, 0b100, 0b0000001),
+        OpKind::Divu => (OP_OP, 0b101, 0b0000001),
+        OpKind::Rem => (OP_OP, 0b110, 0b0000001),
+        OpKind::Remu => (OP_OP, 0b111, 0b0000001),
+        OpKind::Mulw => (OP_OP32, 0b000, 0b0000001),
+        OpKind::Divw => (OP_OP32, 0b100, 0b0000001),
+        OpKind::Divuw => (OP_OP32, 0b101, 0b0000001),
+        OpKind::Remw => (OP_OP32, 0b110, 0b0000001),
+        OpKind::Remuw => (OP_OP32, 0b111, 0b0000001),
+        OpKind::Sh1add => (OP_OP, 0b010, 0b0010000),
+        OpKind::Sh2add => (OP_OP, 0b100, 0b0010000),
+        OpKind::Sh3add => (OP_OP, 0b110, 0b0010000),
+        OpKind::AddUw => (OP_OP32, 0b000, 0b0000100),
+        OpKind::Andn => (OP_OP, 0b111, 0b0100000),
+        OpKind::Orn => (OP_OP, 0b110, 0b0100000),
+        OpKind::Xnor => (OP_OP, 0b100, 0b0100000),
+        OpKind::Min => (OP_OP, 0b100, 0b0000101),
+        OpKind::Minu => (OP_OP, 0b101, 0b0000101),
+        OpKind::Max => (OP_OP, 0b110, 0b0000101),
+        OpKind::Maxu => (OP_OP, 0b111, 0b0000101),
+        OpKind::Rol => (OP_OP, 0b001, 0b0110000),
+        OpKind::Ror => (OP_OP, 0b101, 0b0110000),
+    }
+}
+
+fn unary_selector(kind: UnaryKind) -> (u32, u32, u32, u32) {
+    // (opcode, funct3, funct7, rs2-selector)
+    match kind {
+        UnaryKind::Clz => (OP_OPIMM, 0b001, 0b0110000, 0b00000),
+        UnaryKind::Ctz => (OP_OPIMM, 0b001, 0b0110000, 0b00001),
+        UnaryKind::Cpop => (OP_OPIMM, 0b001, 0b0110000, 0b00010),
+        UnaryKind::SextB => (OP_OPIMM, 0b001, 0b0110000, 0b00100),
+        UnaryKind::SextH => (OP_OPIMM, 0b001, 0b0110000, 0b00101),
+        UnaryKind::ZextH => (OP_OP32, 0b100, 0b0000100, 0b00000),
+        UnaryKind::Rev8 => (OP_OPIMM, 0b101, 0b0110101, 0b11000),
+    }
+}
+
+fn fma_opcode(kind: FMaKind) -> u32 {
+    match kind {
+        FMaKind::Madd => OP_FMADD,
+        FMaKind::Msub => OP_FMSUB,
+        FMaKind::Nmsub => OP_FNMSUB,
+        FMaKind::Nmadd => OP_FNMADD,
+    }
+}
+
+fn int_width_sel(w: IntWidth, signed: bool) -> u32 {
+    match (w, signed) {
+        (IntWidth::W, true) => 0b00000,
+        (IntWidth::W, false) => 0b00001,
+        (IntWidth::L, true) => 0b00010,
+        (IntWidth::L, false) => 0b00011,
+    }
+}
+
+/// The `funct6` and category (funct3 pair) for a vector arithmetic op.
+///
+/// Returns `(funct6, vv_funct3, vx_funct3)` where the funct3 values follow
+/// the RVV OP-V categories: OPIVV=000, OPFVV=001, OPMVV=010, OPIVI=011,
+/// OPIVX=100, OPFVF=101, OPMVX=110.
+fn varith_funct(op: VArithOp) -> (u32, u32, u32) {
+    match op {
+        VArithOp::Vadd => (0b000000, 0b000, 0b100),
+        VArithOp::Vsub => (0b000010, 0b000, 0b100),
+        VArithOp::Vmin => (0b000101, 0b000, 0b100),
+        VArithOp::Vmax => (0b000111, 0b000, 0b100),
+        VArithOp::Vand => (0b001001, 0b000, 0b100),
+        VArithOp::Vor => (0b001010, 0b000, 0b100),
+        VArithOp::Vxor => (0b001011, 0b000, 0b100),
+        VArithOp::Vmv => (0b010111, 0b000, 0b100),
+        VArithOp::Vmul => (0b100101, 0b010, 0b110),
+        VArithOp::Vmacc => (0b101101, 0b010, 0b110),
+        VArithOp::Vredsum => (0b000000, 0b010, 0b010),
+        VArithOp::Vfadd => (0b000000, 0b001, 0b101),
+        VArithOp::Vfsub => (0b000010, 0b001, 0b101),
+        VArithOp::Vfmul => (0b100100, 0b001, 0b101),
+        VArithOp::Vfdiv => (0b100000, 0b001, 0b101),
+        VArithOp::Vfmacc => (0b101100, 0b001, 0b101),
+        VArithOp::Vfredusum => (0b000001, 0b001, 0b101),
+    }
+}
+
+fn vmem_width(eew: Eew) -> u32 {
+    match eew {
+        Eew::E8 => 0b000,
+        Eew::E16 => 0b101,
+        Eew::E32 => 0b110,
+        Eew::E64 => 0b111,
+    }
+}
+
+/// Encodes an instruction into its canonical 32-bit machine word.
+pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
+    Ok(match *inst {
+        Inst::Lui { rd, imm20 } => {
+            if !fits_signed(imm20 as i64, 20) {
+                return Err(EncodeError::ImmOutOfRange {
+                    what: "lui imm20",
+                    value: imm20 as i64,
+                });
+            }
+            OP_LUI | ((rd.index() as u32) << 7) | utype_imm(imm20)
+        }
+        Inst::Auipc { rd, imm20 } => {
+            if !fits_signed(imm20 as i64, 20) {
+                return Err(EncodeError::ImmOutOfRange {
+                    what: "auipc imm20",
+                    value: imm20 as i64,
+                });
+            }
+            OP_AUIPC | ((rd.index() as u32) << 7) | utype_imm(imm20)
+        }
+        Inst::Jal { rd, offset } => {
+            if offset % 2 != 0 {
+                return Err(EncodeError::MisalignedOffset {
+                    what: "jal offset",
+                    value: offset as i64,
+                });
+            }
+            if !fits_signed(offset as i64, 21) {
+                return Err(EncodeError::ImmOutOfRange {
+                    what: "jal offset",
+                    value: offset as i64,
+                });
+            }
+            OP_JAL | ((rd.index() as u32) << 7) | jtype_imm(offset)
+        }
+        Inst::Jalr { rd, rs1, offset } => {
+            check_i12("jalr offset", offset)?;
+            i(
+                OP_JALR,
+                0b000,
+                rd.index() as u32,
+                rs1.index() as u32,
+                offset,
+            )
+        }
+        Inst::Branch {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            if offset % 2 != 0 {
+                return Err(EncodeError::MisalignedOffset {
+                    what: "branch offset",
+                    value: offset as i64,
+                });
+            }
+            if !fits_signed(offset as i64, 13) {
+                return Err(EncodeError::ImmOutOfRange {
+                    what: "branch offset",
+                    value: offset as i64,
+                });
+            }
+            let funct3 = match kind {
+                BranchKind::Beq => 0b000,
+                BranchKind::Bne => 0b001,
+                BranchKind::Blt => 0b100,
+                BranchKind::Bge => 0b101,
+                BranchKind::Bltu => 0b110,
+                BranchKind::Bgeu => 0b111,
+            };
+            OP_BRANCH
+                | (funct3 << 12)
+                | ((rs1.index() as u32) << 15)
+                | ((rs2.index() as u32) << 20)
+                | btype_imm(offset)
+        }
+        Inst::Load {
+            kind,
+            rd,
+            rs1,
+            offset,
+        } => {
+            check_i12("load offset", offset)?;
+            let funct3 = match kind {
+                LoadKind::Lb => 0b000,
+                LoadKind::Lh => 0b001,
+                LoadKind::Lw => 0b010,
+                LoadKind::Ld => 0b011,
+                LoadKind::Lbu => 0b100,
+                LoadKind::Lhu => 0b101,
+                LoadKind::Lwu => 0b110,
+            };
+            i(OP_LOAD, funct3, rd.index() as u32, rs1.index() as u32, offset)
+        }
+        Inst::Store {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            check_i12("store offset", offset)?;
+            let funct3 = match kind {
+                StoreKind::Sb => 0b000,
+                StoreKind::Sh => 0b001,
+                StoreKind::Sw => 0b010,
+                StoreKind::Sd => 0b011,
+            };
+            OP_STORE
+                | (funct3 << 12)
+                | ((rs1.index() as u32) << 15)
+                | ((rs2.index() as u32) << 20)
+                | stype_imm(offset)
+        }
+        Inst::OpImm { kind, rd, rs1, imm } => {
+            let rd = rd.index() as u32;
+            let rs1 = rs1.index() as u32;
+            match kind {
+                OpImmKind::Addi => {
+                    check_i12("addi imm", imm)?;
+                    i(OP_OPIMM, 0b000, rd, rs1, imm)
+                }
+                OpImmKind::Slti => {
+                    check_i12("slti imm", imm)?;
+                    i(OP_OPIMM, 0b010, rd, rs1, imm)
+                }
+                OpImmKind::Sltiu => {
+                    check_i12("sltiu imm", imm)?;
+                    i(OP_OPIMM, 0b011, rd, rs1, imm)
+                }
+                OpImmKind::Xori => {
+                    check_i12("xori imm", imm)?;
+                    i(OP_OPIMM, 0b100, rd, rs1, imm)
+                }
+                OpImmKind::Ori => {
+                    check_i12("ori imm", imm)?;
+                    i(OP_OPIMM, 0b110, rd, rs1, imm)
+                }
+                OpImmKind::Andi => {
+                    check_i12("andi imm", imm)?;
+                    i(OP_OPIMM, 0b111, rd, rs1, imm)
+                }
+                OpImmKind::Slli | OpImmKind::Srli | OpImmKind::Srai | OpImmKind::Rori => {
+                    if !fits_unsigned(imm as i64, 6) {
+                        return Err(EncodeError::ImmOutOfRange {
+                            what: "shamt",
+                            value: imm as i64,
+                        });
+                    }
+                    let (funct3, funct6) = match kind {
+                        OpImmKind::Slli => (0b001, 0b000000),
+                        OpImmKind::Srli => (0b101, 0b000000),
+                        OpImmKind::Srai => (0b101, 0b010000),
+                        OpImmKind::Rori => (0b101, 0b011000),
+                        _ => unreachable!(),
+                    };
+                    OP_OPIMM
+                        | (rd << 7)
+                        | (funct3 << 12)
+                        | (rs1 << 15)
+                        | ((imm as u32) << 20)
+                        | (funct6 << 26)
+                }
+                OpImmKind::Addiw => {
+                    check_i12("addiw imm", imm)?;
+                    i(OP_OPIMM32, 0b000, rd, rs1, imm)
+                }
+                OpImmKind::Slliw | OpImmKind::Srliw | OpImmKind::Sraiw => {
+                    if !fits_unsigned(imm as i64, 5) {
+                        return Err(EncodeError::ImmOutOfRange {
+                            what: "shamt (32-bit)",
+                            value: imm as i64,
+                        });
+                    }
+                    let (funct3, funct7) = match kind {
+                        OpImmKind::Slliw => (0b001, 0b0000000),
+                        OpImmKind::Srliw => (0b101, 0b0000000),
+                        OpImmKind::Sraiw => (0b101, 0b0100000),
+                        _ => unreachable!(),
+                    };
+                    r(OP_OPIMM32, funct3, funct7, rd, rs1, imm as u32)
+                }
+            }
+        }
+        Inst::Op { kind, rd, rs1, rs2 } => {
+            let (opcode, funct3, funct7) = op_funct(kind);
+            r(
+                opcode,
+                funct3,
+                funct7,
+                rd.index() as u32,
+                rs1.index() as u32,
+                rs2.index() as u32,
+            )
+        }
+        Inst::Unary { kind, rd, rs1 } => {
+            let (opcode, funct3, funct7, sel) = unary_selector(kind);
+            r(
+                opcode,
+                funct3,
+                funct7,
+                rd.index() as u32,
+                rs1.index() as u32,
+                sel,
+            )
+        }
+        Inst::Fence => OP_MISCMEM | (0x0ff << 20),
+        Inst::Ecall => OP_SYSTEM,
+        Inst::Ebreak => OP_SYSTEM | (1 << 20),
+        Inst::FLoad {
+            width,
+            frd,
+            rs1,
+            offset,
+        } => {
+            check_i12("fp load offset", offset)?;
+            let funct3 = match width {
+                FpWidth::S => 0b010,
+                FpWidth::D => 0b011,
+            };
+            i(
+                OP_LOADFP,
+                funct3,
+                frd.index() as u32,
+                rs1.index() as u32,
+                offset,
+            )
+        }
+        Inst::FStore {
+            width,
+            frs2,
+            rs1,
+            offset,
+        } => {
+            check_i12("fp store offset", offset)?;
+            let funct3 = match width {
+                FpWidth::S => 0b010,
+                FpWidth::D => 0b011,
+            };
+            OP_STOREFP
+                | (funct3 << 12)
+                | ((rs1.index() as u32) << 15)
+                | ((frs2.index() as u32) << 20)
+                | stype_imm(offset)
+        }
+        Inst::FOp {
+            kind,
+            width,
+            frd,
+            frs1,
+            frs2,
+        } => {
+            let fmt = width.fmt_bits();
+            let (funct5, funct3) = match kind {
+                FOpKind::Add => (0b00000, RM_DYN),
+                FOpKind::Sub => (0b00001, RM_DYN),
+                FOpKind::Mul => (0b00010, RM_DYN),
+                FOpKind::Div => (0b00011, RM_DYN),
+                FOpKind::SgnJ => (0b00100, 0b000),
+                FOpKind::SgnJN => (0b00100, 0b001),
+                FOpKind::SgnJX => (0b00100, 0b010),
+                FOpKind::Min => (0b00101, 0b000),
+                FOpKind::Max => (0b00101, 0b001),
+            };
+            r(
+                OP_OPFP,
+                funct3,
+                (funct5 << 2) | fmt,
+                frd.index() as u32,
+                frs1.index() as u32,
+                frs2.index() as u32,
+            )
+        }
+        Inst::FCmp {
+            kind,
+            width,
+            rd,
+            frs1,
+            frs2,
+        } => {
+            let funct3 = match kind {
+                FCmpKind::Fle => 0b000,
+                FCmpKind::Flt => 0b001,
+                FCmpKind::Feq => 0b010,
+            };
+            r(
+                OP_OPFP,
+                funct3,
+                (0b10100 << 2) | width.fmt_bits(),
+                rd.index() as u32,
+                frs1.index() as u32,
+                frs2.index() as u32,
+            )
+        }
+        Inst::FMvToX { width, rd, frs1 } => r(
+            OP_OPFP,
+            0b000,
+            (0b11100 << 2) | width.fmt_bits(),
+            rd.index() as u32,
+            frs1.index() as u32,
+            0,
+        ),
+        Inst::FMvToF { width, frd, rs1 } => r(
+            OP_OPFP,
+            0b000,
+            (0b11110 << 2) | width.fmt_bits(),
+            frd.index() as u32,
+            rs1.index() as u32,
+            0,
+        ),
+        Inst::FCvtToF {
+            width,
+            from,
+            signed,
+            frd,
+            rs1,
+        } => r(
+            OP_OPFP,
+            RM_DYN,
+            (0b11010 << 2) | width.fmt_bits(),
+            frd.index() as u32,
+            rs1.index() as u32,
+            int_width_sel(from, signed),
+        ),
+        Inst::FCvtToInt {
+            width,
+            to,
+            signed,
+            rd,
+            frs1,
+        } => r(
+            OP_OPFP,
+            RM_DYN,
+            (0b11000 << 2) | width.fmt_bits(),
+            rd.index() as u32,
+            frs1.index() as u32,
+            int_width_sel(to, signed),
+        ),
+        Inst::FCvtFF { to, frd, frs1 } => {
+            // fcvt.s.d: fmt=S, rs2=1 (D); fcvt.d.s: fmt=D, rs2=0 (S).
+            let (fmt, rs2) = match to {
+                FpWidth::S => (FpWidth::S.fmt_bits(), 0b00001),
+                FpWidth::D => (FpWidth::D.fmt_bits(), 0b00000),
+            };
+            r(
+                OP_OPFP,
+                RM_DYN,
+                (0b01000 << 2) | fmt,
+                frd.index() as u32,
+                frs1.index() as u32,
+                rs2,
+            )
+        }
+        Inst::FMa {
+            kind,
+            width,
+            frd,
+            frs1,
+            frs2,
+            frs3,
+        } => {
+            fma_opcode(kind)
+                | ((frd.index() as u32) << 7)
+                | (RM_DYN << 12)
+                | ((frs1.index() as u32) << 15)
+                | ((frs2.index() as u32) << 20)
+                | (width.fmt_bits() << 25)
+                | ((frs3.index() as u32) << 27)
+        }
+        Inst::Vsetvli { rd, rs1, vtype } => {
+            OP_V | ((rd.index() as u32) << 7)
+                | (0b111 << 12)
+                | ((rs1.index() as u32) << 15)
+                | (vtype.to_bits() << 20)
+        }
+        Inst::VLoad { eew, vd, rs1 } => {
+            // nf=000, mew=0, mop=00 (unit stride), vm=1, lumop=00000.
+            OP_LOADFP
+                | ((vd.index() as u32) << 7)
+                | (vmem_width(eew) << 12)
+                | ((rs1.index() as u32) << 15)
+                | (1 << 25)
+        }
+        Inst::VStore { eew, vs3, rs1 } => {
+            OP_STOREFP
+                | ((vs3.index() as u32) << 7)
+                | (vmem_width(eew) << 12)
+                | ((rs1.index() as u32) << 15)
+                | (1 << 25)
+        }
+        Inst::VArith { op, vd, vs2, src } => {
+            let (funct6, vv_f3, vx_f3) = varith_funct(op);
+            let (funct3, src_field) = match src {
+                VSrc::V(vs1) => (vv_f3, vs1.index() as u32),
+                VSrc::X(rs1) => (vx_f3, rs1.index() as u32),
+                VSrc::F(frs1) => (0b101, frs1.index() as u32),
+                VSrc::I(imm) => {
+                    if !fits_signed(imm as i64, 5) {
+                        return Err(EncodeError::ImmOutOfRange {
+                            what: "vector imm5",
+                            value: imm as i64,
+                        });
+                    }
+                    (0b011, (imm as u32) & 0x1f)
+                }
+            };
+            OP_V | ((vd.index() as u32) << 7)
+                | (funct3 << 12)
+                | (src_field << 15)
+                | ((vs2.index() as u32) << 20)
+                | (1 << 25)
+                | (funct6 << 26)
+        }
+        Inst::VMvXS { rd, vs2 } => {
+            // VWXUNARY0: funct6=010000, OPMVV, vs1=00000.
+            OP_V | ((rd.index() as u32) << 7)
+                | (0b010 << 12)
+                | ((vs2.index() as u32) << 20)
+                | (1 << 25)
+                | (0b010000 << 26)
+        }
+        Inst::VMvSX { vd, rs1 } => {
+            // VRXUNARY0: funct6=010000, OPMVX, vs2=00000.
+            OP_V | ((vd.index() as u32) << 7)
+                | (0b110 << 12)
+                | ((rs1.index() as u32) << 15)
+                | (1 << 25)
+                | (0b010000 << 26)
+        }
+    })
+}
+
+/// Encodes an instruction into a compressed (RVC) 16-bit word if the
+/// instruction has a compressed form in the modelled subset, else `None`.
+///
+/// The supported forms mirror real RV64C: `c.addi`, `c.addiw`, `c.li`,
+/// `c.lui`, `c.addi16sp`, `c.addi4spn`, `c.slli/srli/srai/andi`,
+/// `c.mv/add/sub/xor/or/and/subw/addw`, `c.j`, `c.beqz/bnez`,
+/// `c.jr/jalr`, `c.lw/ld/sw/sd`, `c.lwsp/ldsp/swsp/sdsp`, `c.nop`,
+/// `c.ebreak`.
+pub fn encode_compressed(inst: &Inst) -> Option<u16> {
+    let w = try_encode_compressed(inst)?;
+    debug_assert_ne!(w & 0b11, 0b11, "compressed encoding has 32-bit low bits");
+    Some(w)
+}
+
+fn c_reg(r: XReg) -> Option<u16> {
+    if r.is_compressed_addressable() {
+        Some((r.index() - 8) as u16)
+    } else {
+        None
+    }
+}
+
+fn try_encode_compressed(inst: &Inst) -> Option<u16> {
+    match *inst {
+        // C.ADDI / C.NOP / C.LI / C.ADDIW / C.ADDI16SP / C.ADDI4SPN
+        Inst::OpImm {
+            kind: OpImmKind::Addi,
+            rd,
+            rs1,
+            imm,
+        } => {
+            if rd == XReg::ZERO && rs1 == XReg::ZERO && imm == 0 {
+                // c.nop
+                return Some(0x0001);
+            }
+            if rd == rs1 && rd != XReg::ZERO && fits_signed(imm as i64, 6) && imm != 0 {
+                // c.addi rd, imm6
+                return Some(c_ci(0b000, 0b01, rd.index(), imm));
+            }
+            if rs1 == XReg::ZERO && rd != XReg::ZERO && fits_signed(imm as i64, 6) {
+                // c.li rd, imm6
+                return Some(c_ci(0b010, 0b01, rd.index(), imm));
+            }
+            if rd == XReg::SP && rs1 == XReg::SP && imm != 0 && imm % 16 == 0
+                && fits_signed(imm as i64, 10)
+            {
+                // c.addi16sp
+                let u = imm as u32;
+                let w = (0b011u16 << 13)
+                    | (((u >> 9) & 1) as u16) << 12
+                    | (2u16 << 7)
+                    | (((u >> 4) & 1) as u16) << 6
+                    | (((u >> 6) & 1) as u16) << 5
+                    | (((u >> 7) & 3) as u16) << 3
+                    | (((u >> 5) & 1) as u16) << 2
+                    | 0b01;
+                return Some(w);
+            }
+            if rs1 == XReg::SP && imm > 0 && imm % 4 == 0 && fits_unsigned(imm as i64, 10) {
+                if let Some(rdc) = c_reg(rd) {
+                    // c.addi4spn
+                    let u = imm as u32;
+                    let w = (0b000u16 << 13)
+                        | (((u >> 4) & 3) as u16) << 11
+                        | (((u >> 6) & 0xf) as u16) << 7
+                        | (((u >> 2) & 1) as u16) << 6
+                        | (((u >> 3) & 1) as u16) << 5
+                        | (rdc << 2)
+                        | 0b00;
+                    return Some(w);
+                }
+            }
+            None
+        }
+        Inst::OpImm {
+            kind: OpImmKind::Addiw,
+            rd,
+            rs1,
+            imm,
+        } => {
+            if rd == rs1 && rd != XReg::ZERO && fits_signed(imm as i64, 6) {
+                // c.addiw
+                return Some(c_ci(0b001, 0b01, rd.index(), imm));
+            }
+            None
+        }
+        Inst::Lui { rd, imm20 } => {
+            if rd != XReg::ZERO
+                && rd != XReg::SP
+                && imm20 != 0
+                && fits_signed(imm20 as i64, 6)
+            {
+                // c.lui
+                return Some(c_ci(0b011, 0b01, rd.index(), imm20));
+            }
+            None
+        }
+        Inst::OpImm {
+            kind: OpImmKind::Slli,
+            rd,
+            rs1,
+            imm,
+        } => {
+            if rd == rs1 && rd != XReg::ZERO && imm > 0 && fits_unsigned(imm as i64, 6) {
+                // c.slli
+                return Some(c_ci_u(0b000, 0b10, rd.index(), imm as u32));
+            }
+            None
+        }
+        Inst::OpImm {
+            kind: kind @ (OpImmKind::Srli | OpImmKind::Srai),
+            rd,
+            rs1,
+            imm,
+        } => {
+            if rd == rs1 && imm > 0 && fits_unsigned(imm as i64, 6) {
+                if let Some(rdc) = c_reg(rd) {
+                    let f2 = if kind == OpImmKind::Srli { 0b00 } else { 0b01 };
+                    let u = imm as u32;
+                    let w = (0b100u16 << 13)
+                        | (((u >> 5) & 1) as u16) << 12
+                        | (f2 << 10)
+                        | (rdc << 7)
+                        | ((u & 0x1f) as u16) << 2
+                        | 0b01;
+                    return Some(w);
+                }
+            }
+            None
+        }
+        Inst::OpImm {
+            kind: OpImmKind::Andi,
+            rd,
+            rs1,
+            imm,
+        } => {
+            if rd == rs1 && fits_signed(imm as i64, 6) {
+                if let Some(rdc) = c_reg(rd) {
+                    let u = imm as u32;
+                    let w = (0b100u16 << 13)
+                        | (((u >> 5) & 1) as u16) << 12
+                        | (0b10u16 << 10)
+                        | (rdc << 7)
+                        | ((u & 0x1f) as u16) << 2
+                        | 0b01;
+                    return Some(w);
+                }
+            }
+            None
+        }
+        Inst::Op { kind, rd, rs1, rs2 } => {
+            // c.mv / c.add (full register set)
+            if kind == OpKind::Add && rd != XReg::ZERO {
+                if rs1 == XReg::ZERO && rs2 != XReg::ZERO {
+                    // c.mv rd, rs2
+                    return Some(
+                        (0b100u16 << 13)
+                            | ((rd.index() as u16) << 7)
+                            | ((rs2.index() as u16) << 2)
+                            | 0b10,
+                    );
+                }
+                if rs1 == rd && rs2 != XReg::ZERO {
+                    // c.add rd, rs2
+                    return Some(
+                        (0b100u16 << 13)
+                            | (1u16 << 12)
+                            | ((rd.index() as u16) << 7)
+                            | ((rs2.index() as u16) << 2)
+                            | 0b10,
+                    );
+                }
+            }
+            // c.sub/xor/or/and/subw/addw (compressed register window)
+            if rd == rs1 {
+                if let (Some(rdc), Some(rs2c)) = (c_reg(rd), c_reg(rs2)) {
+                    let (bit12, f2) = match kind {
+                        OpKind::Sub => (0u16, 0b00u16),
+                        OpKind::Xor => (0, 0b01),
+                        OpKind::Or => (0, 0b10),
+                        OpKind::And => (0, 0b11),
+                        OpKind::Subw => (1, 0b00),
+                        OpKind::Addw => (1, 0b01),
+                        _ => return None,
+                    };
+                    let w = (0b100u16 << 13)
+                        | (bit12 << 12)
+                        | (0b11u16 << 10)
+                        | (rdc << 7)
+                        | (f2 << 5)
+                        | (rs2c << 2)
+                        | 0b01;
+                    return Some(w);
+                }
+            }
+            None
+        }
+        Inst::Jal { rd, offset } => {
+            if rd == XReg::ZERO && offset % 2 == 0 && fits_signed(offset as i64, 12) {
+                // c.j
+                let u = offset as u32;
+                let w = (0b101u16 << 13)
+                    | (((u >> 11) & 1) as u16) << 12
+                    | (((u >> 4) & 1) as u16) << 11
+                    | (((u >> 8) & 3) as u16) << 9
+                    | (((u >> 10) & 1) as u16) << 8
+                    | (((u >> 6) & 1) as u16) << 7
+                    | (((u >> 7) & 1) as u16) << 6
+                    | (((u >> 1) & 7) as u16) << 3
+                    | (((u >> 5) & 1) as u16) << 2
+                    | 0b01;
+                return Some(w);
+            }
+            None
+        }
+        Inst::Jalr { rd, rs1, offset } => {
+            if offset == 0 && rs1 != XReg::ZERO {
+                if rd == XReg::ZERO {
+                    // c.jr
+                    return Some((0b100u16 << 13) | ((rs1.index() as u16) << 7) | 0b10);
+                }
+                if rd == XReg::RA {
+                    // c.jalr
+                    return Some(
+                        (0b100u16 << 13) | (1u16 << 12) | ((rs1.index() as u16) << 7) | 0b10,
+                    );
+                }
+            }
+            None
+        }
+        Inst::Branch {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            if rs2 == XReg::ZERO && offset % 2 == 0 && fits_signed(offset as i64, 9) {
+                if let Some(rs1c) = c_reg(rs1) {
+                    let funct3 = match kind {
+                        BranchKind::Beq => 0b110u16,
+                        BranchKind::Bne => 0b111,
+                        _ => return None,
+                    };
+                    let u = offset as u32;
+                    let w = (funct3 << 13)
+                        | (((u >> 8) & 1) as u16) << 12
+                        | (((u >> 3) & 3) as u16) << 10
+                        | (rs1c << 7)
+                        | (((u >> 6) & 3) as u16) << 5
+                        | (((u >> 1) & 3) as u16) << 3
+                        | (((u >> 5) & 1) as u16) << 2
+                        | 0b01;
+                    return Some(w);
+                }
+            }
+            None
+        }
+        Inst::Load {
+            kind,
+            rd,
+            rs1,
+            offset,
+        } => {
+            match kind {
+                LoadKind::Lw => {
+                    if rs1 == XReg::SP
+                        && rd != XReg::ZERO
+                        && offset >= 0
+                        && offset % 4 == 0
+                        && fits_unsigned(offset as i64, 8)
+                    {
+                        // c.lwsp
+                        let u = offset as u32;
+                        let w = (0b010u16 << 13)
+                            | (((u >> 5) & 1) as u16) << 12
+                            | ((rd.index() as u16) << 7)
+                            | (((u >> 2) & 7) as u16) << 4
+                            | (((u >> 6) & 3) as u16) << 2
+                            | 0b10;
+                        return Some(w);
+                    }
+                    if let (Some(rdc), Some(rs1c)) = (c_reg(rd), c_reg(rs1)) {
+                        if offset >= 0 && offset % 4 == 0 && fits_unsigned(offset as i64, 7) {
+                            // c.lw
+                            let u = offset as u32;
+                            let w = (0b010u16 << 13)
+                                | (((u >> 3) & 7) as u16) << 10
+                                | (rs1c << 7)
+                                | (((u >> 2) & 1) as u16) << 6
+                                | (((u >> 6) & 1) as u16) << 5
+                                | (rdc << 2)
+                                | 0b00;
+                            return Some(w);
+                        }
+                    }
+                    None
+                }
+                LoadKind::Ld => {
+                    if rs1 == XReg::SP
+                        && rd != XReg::ZERO
+                        && offset >= 0
+                        && offset % 8 == 0
+                        && fits_unsigned(offset as i64, 9)
+                    {
+                        // c.ldsp
+                        let u = offset as u32;
+                        let w = (0b011u16 << 13)
+                            | (((u >> 5) & 1) as u16) << 12
+                            | ((rd.index() as u16) << 7)
+                            | (((u >> 3) & 3) as u16) << 5
+                            | (((u >> 6) & 7) as u16) << 2
+                            | 0b10;
+                        return Some(w);
+                    }
+                    if let (Some(rdc), Some(rs1c)) = (c_reg(rd), c_reg(rs1)) {
+                        if offset >= 0 && offset % 8 == 0 && fits_unsigned(offset as i64, 8) {
+                            // c.ld
+                            let u = offset as u32;
+                            let w = (0b011u16 << 13)
+                                | (((u >> 3) & 7) as u16) << 10
+                                | (rs1c << 7)
+                                | (((u >> 6) & 3) as u16) << 5
+                                | (rdc << 2)
+                                | 0b00;
+                            return Some(w);
+                        }
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        Inst::Store {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            match kind {
+                StoreKind::Sw => {
+                    if rs1 == XReg::SP
+                        && offset >= 0
+                        && offset % 4 == 0
+                        && fits_unsigned(offset as i64, 8)
+                    {
+                        // c.swsp
+                        let u = offset as u32;
+                        let w = (0b110u16 << 13)
+                            | (((u >> 2) & 0xf) as u16) << 9
+                            | (((u >> 6) & 3) as u16) << 7
+                            | ((rs2.index() as u16) << 2)
+                            | 0b10;
+                        return Some(w);
+                    }
+                    if let (Some(rs1c), Some(rs2c)) = (c_reg(rs1), c_reg(rs2)) {
+                        if offset >= 0 && offset % 4 == 0 && fits_unsigned(offset as i64, 7) {
+                            // c.sw
+                            let u = offset as u32;
+                            let w = (0b110u16 << 13)
+                                | (((u >> 3) & 7) as u16) << 10
+                                | (rs1c << 7)
+                                | (((u >> 2) & 1) as u16) << 6
+                                | (((u >> 6) & 1) as u16) << 5
+                                | (rs2c << 2)
+                                | 0b00;
+                            return Some(w);
+                        }
+                    }
+                    None
+                }
+                StoreKind::Sd => {
+                    if rs1 == XReg::SP
+                        && offset >= 0
+                        && offset % 8 == 0
+                        && fits_unsigned(offset as i64, 9)
+                    {
+                        // c.sdsp
+                        let u = offset as u32;
+                        let w = (0b111u16 << 13)
+                            | (((u >> 3) & 7) as u16) << 10
+                            | (((u >> 6) & 7) as u16) << 7
+                            | ((rs2.index() as u16) << 2)
+                            | 0b10;
+                        return Some(w);
+                    }
+                    if let (Some(rs1c), Some(rs2c)) = (c_reg(rs1), c_reg(rs2)) {
+                        if offset >= 0 && offset % 8 == 0 && fits_unsigned(offset as i64, 8) {
+                            // c.sd
+                            let u = offset as u32;
+                            let w = (0b111u16 << 13)
+                                | (((u >> 3) & 7) as u16) << 10
+                                | (rs1c << 7)
+                                | (((u >> 6) & 3) as u16) << 5
+                                | (rs2c << 2)
+                                | 0b00;
+                            return Some(w);
+                        }
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        Inst::Ebreak => Some(0x9002),
+        _ => None,
+    }
+}
+
+/// Builds a CI-format word with a signed 6-bit immediate.
+fn c_ci(funct3: u16, op: u16, rd: u8, imm: i32) -> u16 {
+    let u = imm as u32;
+    (funct3 << 13)
+        | (((u >> 5) & 1) as u16) << 12
+        | ((rd as u16) << 7)
+        | ((u & 0x1f) as u16) << 2
+        | op
+}
+
+/// Builds a CI-format word with an unsigned 6-bit immediate (shifts).
+fn c_ci_u(funct3: u16, op: u16, rd: u8, imm: u32) -> u16 {
+    (funct3 << 13)
+        | (((imm >> 5) & 1) as u16) << 12
+        | ((rd as u16) << 7)
+        | ((imm & 0x1f) as u16) << 2
+        | op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, VReg};
+
+    fn enc(i: Inst) -> u32 {
+        encode(&i).expect("encodes")
+    }
+
+    #[test]
+    fn known_base_encodings() {
+        // Cross-checked against GNU as output.
+        assert_eq!(
+            enc(Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::ZERO,
+                rs1: XReg::ZERO,
+                imm: 0
+            }),
+            0x0000_0013 // nop
+        );
+        assert_eq!(
+            enc(Inst::Op {
+                kind: OpKind::Add,
+                rd: XReg::A0,
+                rs1: XReg::A1,
+                rs2: XReg::A2
+            }),
+            0x00c5_8533
+        );
+        assert_eq!(
+            enc(Inst::Jalr {
+                rd: XReg::ZERO,
+                rs1: XReg::RA,
+                offset: 0
+            }),
+            0x0000_8067 // ret
+        );
+        assert_eq!(enc(Inst::Ecall), 0x0000_0073);
+        assert_eq!(enc(Inst::Ebreak), 0x0010_0073);
+        assert_eq!(
+            enc(Inst::Lui {
+                rd: XReg::A0,
+                imm20: 1
+            }),
+            0x0000_1537
+        );
+        assert_eq!(
+            enc(Inst::Load {
+                kind: LoadKind::Ld,
+                rd: XReg::A0,
+                rs1: XReg::SP,
+                offset: 8
+            }),
+            0x0081_3503
+        );
+        assert_eq!(
+            enc(Inst::Store {
+                kind: StoreKind::Sd,
+                rs1: XReg::SP,
+                rs2: XReg::A0,
+                offset: 8
+            }),
+            0x00a1_3423
+        );
+    }
+
+    #[test]
+    fn known_compressed_encodings() {
+        // Cross-checked against GNU as output.
+        assert_eq!(
+            encode_compressed(&Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::ZERO,
+                rs1: XReg::ZERO,
+                imm: 0
+            }),
+            Some(0x0001) // c.nop
+        );
+        assert_eq!(
+            encode_compressed(&Inst::Op {
+                kind: OpKind::Add,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                rs2: XReg::A1
+            }),
+            Some(0x852e) // c.mv a0, a1
+        );
+        assert_eq!(
+            encode_compressed(&Inst::Op {
+                kind: OpKind::Add,
+                rd: XReg::A0,
+                rs1: XReg::A0,
+                rs2: XReg::A1
+            }),
+            Some(0x952e) // c.add a0, a1
+        );
+        assert_eq!(
+            encode_compressed(&Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                imm: 0
+            }),
+            Some(0x4501) // c.li a0, 0
+        );
+        assert_eq!(encode_compressed(&Inst::Ebreak), Some(0x9002));
+        assert_eq!(
+            encode_compressed(&Inst::Jalr {
+                rd: XReg::ZERO,
+                rs1: XReg::RA,
+                offset: 0
+            }),
+            Some(0x8082) // c.jr ra (ret)
+        );
+    }
+
+    #[test]
+    fn auipc_with_gp_uses_expected_fields() {
+        // The SMILE trampoline head: auipc gp, imm.
+        let w = enc(Inst::Auipc {
+            rd: XReg::GP,
+            imm20: 0x12345,
+        });
+        assert_eq!(w & 0x7f, 0b0010111);
+        assert_eq!((w >> 7) & 0x1f, 3); // rd = gp
+        assert_eq!(w >> 12, 0x12345);
+    }
+
+    #[test]
+    fn jal_range_checks() {
+        assert!(encode(&Inst::Jal {
+            rd: XReg::ZERO,
+            offset: (1 << 20) - 2
+        })
+        .is_ok());
+        assert!(matches!(
+            encode(&Inst::Jal {
+                rd: XReg::ZERO,
+                offset: 1 << 20
+            }),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
+        assert!(matches!(
+            encode(&Inst::Jal {
+                rd: XReg::ZERO,
+                offset: 3
+            }),
+            Err(EncodeError::MisalignedOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn fp_and_vector_words_have_correct_opcodes() {
+        let w = enc(Inst::FMa {
+            kind: FMaKind::Madd,
+            width: FpWidth::D,
+            frd: FReg::of(0),
+            frs1: FReg::of(1),
+            frs2: FReg::of(2),
+            frs3: FReg::of(3),
+        });
+        assert_eq!(w & 0x7f, 0b1000011);
+
+        let w = enc(Inst::VArith {
+            op: VArithOp::Vadd,
+            vd: VReg::of(1),
+            vs2: VReg::of(2),
+            src: VSrc::V(VReg::of(3)),
+        });
+        assert_eq!(w & 0x7f, 0b1010111);
+        assert_eq!((w >> 12) & 7, 0b000); // OPIVV
+        assert_eq!((w >> 25) & 1, 1); // unmasked
+
+        let w = enc(Inst::VLoad {
+            eew: Eew::E64,
+            vd: VReg::of(1),
+            rs1: XReg::A0,
+        });
+        assert_eq!(w & 0x7f, 0b0000111);
+        assert_eq!((w >> 12) & 7, 0b111); // EEW=64
+    }
+}

@@ -1,0 +1,183 @@
+//! ISA extension identifiers and extension sets.
+//!
+//! ISAX heterogeneity is defined by cores that share a *base* ISA and differ
+//! only in which *extensions* they implement. [`ExtSet`] describes a core's
+//! capability profile; the emulator raises an illegal-instruction trap when a
+//! hart executes an instruction whose extension is absent from its profile,
+//! which is exactly the fault-and-migrate (FAM) trigger and the lazy-rewrite
+//! trigger in Chimera's runtime.
+
+use core::fmt;
+
+/// A single RISC-V ISA extension (beyond bare RV64I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ext {
+    /// Integer multiplication/division (`M`).
+    M,
+    /// Single-precision floating point (`F`).
+    F,
+    /// Double-precision floating point (`D`).
+    D,
+    /// Compressed instructions (`C`).
+    C,
+    /// Vector extension (`V`, RVV 1.0).
+    V,
+    /// Bit manipulation (`Zba`/`Zbb` subset, referred to as `B`).
+    B,
+}
+
+impl Ext {
+    const ALL: [Ext; 6] = [Ext::M, Ext::F, Ext::D, Ext::C, Ext::V, Ext::B];
+
+    /// All extensions the model knows about.
+    pub fn all() -> impl Iterator<Item = Ext> {
+        Self::ALL.into_iter()
+    }
+
+    const fn bit(self) -> u8 {
+        match self {
+            Ext::M => 1 << 0,
+            Ext::F => 1 << 1,
+            Ext::D => 1 << 2,
+            Ext::C => 1 << 3,
+            Ext::V => 1 << 4,
+            Ext::B => 1 << 5,
+        }
+    }
+
+    /// The conventional lowercase letter for the extension.
+    pub const fn letter(self) -> char {
+        match self {
+            Ext::M => 'm',
+            Ext::F => 'f',
+            Ext::D => 'd',
+            Ext::C => 'c',
+            Ext::V => 'v',
+            Ext::B => 'b',
+        }
+    }
+}
+
+impl fmt::Display for Ext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A set of ISA extensions, describing a core's capability profile.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExtSet(u8);
+
+impl ExtSet {
+    /// The empty set: bare RV64I.
+    pub const RV64I: ExtSet = ExtSet(0);
+
+    /// `RV64GC`: the "general" profile the paper uses for base cores
+    /// (IMAFDC; we do not model `A` separately, so this is M+F+D+C).
+    pub const RV64GC: ExtSet = ExtSet(
+        Ext::M.bit() | Ext::F.bit() | Ext::D.bit() | Ext::C.bit() | Ext::B.bit(),
+    );
+
+    /// `RV64GCV`: the profile of the paper's extension cores
+    /// (RV64GC plus the vector extension).
+    pub const RV64GCV: ExtSet = ExtSet(ExtSet::RV64GC.0 | Ext::V.bit());
+
+    /// Creates an extension set from a list of extensions.
+    pub fn of(exts: &[Ext]) -> ExtSet {
+        let mut s = ExtSet::RV64I;
+        for &e in exts {
+            s = s.with(e);
+        }
+        s
+    }
+
+    /// Returns the set with `ext` added.
+    pub const fn with(self, ext: Ext) -> ExtSet {
+        ExtSet(self.0 | ext.bit())
+    }
+
+    /// Returns the set with `ext` removed.
+    pub const fn without(self, ext: Ext) -> ExtSet {
+        ExtSet(self.0 & !ext.bit())
+    }
+
+    /// Whether `ext` is in the set.
+    pub const fn contains(self, ext: Ext) -> bool {
+        self.0 & ext.bit() != 0
+    }
+
+    /// Whether every extension in `other` is also in `self`.
+    pub const fn is_superset_of(self, other: ExtSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The extensions present in `self` but missing from `other` — i.e. what
+    /// must be *downgraded* when migrating a binary built for `self` onto a
+    /// core implementing `other`.
+    pub const fn missing_from(self, other: ExtSet) -> ExtSet {
+        ExtSet(self.0 & !other.0)
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the extensions in the set.
+    pub fn iter(self) -> impl Iterator<Item = Ext> {
+        Ext::all().filter(move |e| self.contains(*e))
+    }
+}
+
+impl fmt::Debug for ExtSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExtSet({self})")
+    }
+}
+
+impl fmt::Display for ExtSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rv64i")?;
+        for e in self.iter() {
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_contents() {
+        assert!(ExtSet::RV64GC.contains(Ext::M));
+        assert!(ExtSet::RV64GC.contains(Ext::C));
+        assert!(!ExtSet::RV64GC.contains(Ext::V));
+        assert!(ExtSet::RV64GCV.contains(Ext::V));
+        assert!(ExtSet::RV64GCV.is_superset_of(ExtSet::RV64GC));
+        assert!(!ExtSet::RV64GC.is_superset_of(ExtSet::RV64GCV));
+    }
+
+    #[test]
+    fn missing_from_identifies_downgrade_set() {
+        let missing = ExtSet::RV64GCV.missing_from(ExtSet::RV64GC);
+        assert_eq!(missing.iter().collect::<Vec<_>>(), vec![Ext::V]);
+        assert!(ExtSet::RV64GC.missing_from(ExtSet::RV64GCV).is_empty());
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        for e in Ext::all() {
+            let s = ExtSet::RV64I.with(e);
+            assert!(s.contains(e));
+            assert!(s.without(e).is_empty());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ExtSet::RV64I.to_string(), "rv64i");
+        assert_eq!(ExtSet::RV64GCV.to_string(), "rv64imfdcvb");
+    }
+}

@@ -1,0 +1,1479 @@
+//! The instruction model: a typed enum covering the RV64IMFDCVB subset the
+//! Chimera reproduction uses, plus per-instruction properties (extension
+//! classification, register defs/uses, control-flow role).
+//!
+//! Design notes:
+//!
+//! * Instructions are stored in *canonical* (uncompressed) form; whether a
+//!   given machine word was 2 or 4 bytes is carried separately by
+//!   [`crate::decode::Decoded::len`]. The rewriter operates on raw bytes and
+//!   only needs the canonical semantics plus the length.
+//! * Immediates are stored as sign-extended values in their natural unit
+//!   (bytes for control-flow offsets and memory offsets; the raw 20-bit
+//!   field for `lui`/`auipc`).
+
+use crate::reg::{FReg, VReg, XReg};
+use crate::{Ext, ExtSet};
+use core::fmt;
+
+/// Conditional branch comparison kinds (`beq`..`bgeu`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Branch if equal.
+    Beq,
+    /// Branch if not equal.
+    Bne,
+    /// Branch if less than (signed).
+    Blt,
+    /// Branch if greater or equal (signed).
+    Bge,
+    /// Branch if less than (unsigned).
+    Bltu,
+    /// Branch if greater or equal (unsigned).
+    Bgeu,
+}
+
+impl BranchKind {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchKind::Beq => "beq",
+            BranchKind::Bne => "bne",
+            BranchKind::Blt => "blt",
+            BranchKind::Bge => "bge",
+            BranchKind::Bltu => "bltu",
+            BranchKind::Bgeu => "bgeu",
+        }
+    }
+}
+
+/// Integer load kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// Load byte (sign-extended).
+    Lb,
+    /// Load halfword (sign-extended).
+    Lh,
+    /// Load word (sign-extended).
+    Lw,
+    /// Load doubleword.
+    Ld,
+    /// Load byte (zero-extended).
+    Lbu,
+    /// Load halfword (zero-extended).
+    Lhu,
+    /// Load word (zero-extended).
+    Lwu,
+}
+
+impl LoadKind {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            LoadKind::Lb => "lb",
+            LoadKind::Lh => "lh",
+            LoadKind::Lw => "lw",
+            LoadKind::Ld => "ld",
+            LoadKind::Lbu => "lbu",
+            LoadKind::Lhu => "lhu",
+            LoadKind::Lwu => "lwu",
+        }
+    }
+
+    /// Access size in bytes.
+    pub const fn size(self) -> u64 {
+        match self {
+            LoadKind::Lb | LoadKind::Lbu => 1,
+            LoadKind::Lh | LoadKind::Lhu => 2,
+            LoadKind::Lw | LoadKind::Lwu => 4,
+            LoadKind::Ld => 8,
+        }
+    }
+}
+
+/// Integer store kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// Store byte.
+    Sb,
+    /// Store halfword.
+    Sh,
+    /// Store word.
+    Sw,
+    /// Store doubleword.
+    Sd,
+}
+
+impl StoreKind {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            StoreKind::Sb => "sb",
+            StoreKind::Sh => "sh",
+            StoreKind::Sw => "sw",
+            StoreKind::Sd => "sd",
+        }
+    }
+
+    /// Access size in bytes.
+    pub const fn size(self) -> u64 {
+        match self {
+            StoreKind::Sb => 1,
+            StoreKind::Sh => 2,
+            StoreKind::Sw => 4,
+            StoreKind::Sd => 8,
+        }
+    }
+}
+
+/// Register-immediate ALU operations (`OP-IMM` and `OP-IMM-32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpImmKind {
+    /// Add immediate.
+    Addi,
+    /// Set if less than immediate (signed).
+    Slti,
+    /// Set if less than immediate (unsigned).
+    Sltiu,
+    /// XOR immediate.
+    Xori,
+    /// OR immediate.
+    Ori,
+    /// AND immediate.
+    Andi,
+    /// Shift left logical immediate (6-bit shamt).
+    Slli,
+    /// Shift right logical immediate.
+    Srli,
+    /// Shift right arithmetic immediate.
+    Srai,
+    /// Add immediate, 32-bit result sign-extended.
+    Addiw,
+    /// Shift left logical immediate, 32-bit.
+    Slliw,
+    /// Shift right logical immediate, 32-bit.
+    Srliw,
+    /// Shift right arithmetic immediate, 32-bit.
+    Sraiw,
+    /// Rotate right immediate (Zbb).
+    Rori,
+}
+
+impl OpImmKind {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            OpImmKind::Addi => "addi",
+            OpImmKind::Slti => "slti",
+            OpImmKind::Sltiu => "sltiu",
+            OpImmKind::Xori => "xori",
+            OpImmKind::Ori => "ori",
+            OpImmKind::Andi => "andi",
+            OpImmKind::Slli => "slli",
+            OpImmKind::Srli => "srli",
+            OpImmKind::Srai => "srai",
+            OpImmKind::Addiw => "addiw",
+            OpImmKind::Slliw => "slliw",
+            OpImmKind::Srliw => "srliw",
+            OpImmKind::Sraiw => "sraiw",
+            OpImmKind::Rori => "rori",
+        }
+    }
+
+    /// Whether the immediate is a shift amount (6-bit for RV64, 5-bit for
+    /// the `*w` forms) rather than a 12-bit I-immediate.
+    pub const fn is_shift(self) -> bool {
+        matches!(
+            self,
+            OpImmKind::Slli
+                | OpImmKind::Srli
+                | OpImmKind::Srai
+                | OpImmKind::Slliw
+                | OpImmKind::Srliw
+                | OpImmKind::Sraiw
+                | OpImmKind::Rori
+        )
+    }
+}
+
+/// Register-register ALU operations (`OP` and `OP-32`), including the M
+/// extension and the Zba/Zbb register-register subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Add.
+    Add,
+    /// Subtract.
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+    /// XOR.
+    Xor,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// OR.
+    Or,
+    /// AND.
+    And,
+    /// Add, 32-bit.
+    Addw,
+    /// Subtract, 32-bit.
+    Subw,
+    /// Shift left logical, 32-bit.
+    Sllw,
+    /// Shift right logical, 32-bit.
+    Srlw,
+    /// Shift right arithmetic, 32-bit.
+    Sraw,
+    /// Multiply (M).
+    Mul,
+    /// Multiply high, signed×signed (M).
+    Mulh,
+    /// Multiply high, signed×unsigned (M).
+    Mulhsu,
+    /// Multiply high, unsigned×unsigned (M).
+    Mulhu,
+    /// Divide, signed (M).
+    Div,
+    /// Divide, unsigned (M).
+    Divu,
+    /// Remainder, signed (M).
+    Rem,
+    /// Remainder, unsigned (M).
+    Remu,
+    /// Multiply, 32-bit (M).
+    Mulw,
+    /// Divide signed, 32-bit (M).
+    Divw,
+    /// Divide unsigned, 32-bit (M).
+    Divuw,
+    /// Remainder signed, 32-bit (M).
+    Remw,
+    /// Remainder unsigned, 32-bit (M).
+    Remuw,
+    /// Shift left by 1 and add (Zba).
+    Sh1add,
+    /// Shift left by 2 and add (Zba).
+    Sh2add,
+    /// Shift left by 3 and add (Zba).
+    Sh3add,
+    /// Add unsigned word (Zba).
+    AddUw,
+    /// AND with inverted operand (Zbb).
+    Andn,
+    /// OR with inverted operand (Zbb).
+    Orn,
+    /// XNOR (Zbb).
+    Xnor,
+    /// Minimum, signed (Zbb).
+    Min,
+    /// Minimum, unsigned (Zbb).
+    Minu,
+    /// Maximum, signed (Zbb).
+    Max,
+    /// Maximum, unsigned (Zbb).
+    Maxu,
+    /// Rotate left (Zbb).
+    Rol,
+    /// Rotate right (Zbb).
+    Ror,
+}
+
+impl OpKind {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Sll => "sll",
+            OpKind::Slt => "slt",
+            OpKind::Sltu => "sltu",
+            OpKind::Xor => "xor",
+            OpKind::Srl => "srl",
+            OpKind::Sra => "sra",
+            OpKind::Or => "or",
+            OpKind::And => "and",
+            OpKind::Addw => "addw",
+            OpKind::Subw => "subw",
+            OpKind::Sllw => "sllw",
+            OpKind::Srlw => "srlw",
+            OpKind::Sraw => "sraw",
+            OpKind::Mul => "mul",
+            OpKind::Mulh => "mulh",
+            OpKind::Mulhsu => "mulhsu",
+            OpKind::Mulhu => "mulhu",
+            OpKind::Div => "div",
+            OpKind::Divu => "divu",
+            OpKind::Rem => "rem",
+            OpKind::Remu => "remu",
+            OpKind::Mulw => "mulw",
+            OpKind::Divw => "divw",
+            OpKind::Divuw => "divuw",
+            OpKind::Remw => "remw",
+            OpKind::Remuw => "remuw",
+            OpKind::Sh1add => "sh1add",
+            OpKind::Sh2add => "sh2add",
+            OpKind::Sh3add => "sh3add",
+            OpKind::AddUw => "add.uw",
+            OpKind::Andn => "andn",
+            OpKind::Orn => "orn",
+            OpKind::Xnor => "xnor",
+            OpKind::Min => "min",
+            OpKind::Minu => "minu",
+            OpKind::Max => "max",
+            OpKind::Maxu => "maxu",
+            OpKind::Rol => "rol",
+            OpKind::Ror => "ror",
+        }
+    }
+
+    /// The extension the operation belongs to (`None` for base RV64I).
+    pub const fn ext(self) -> Option<Ext> {
+        match self {
+            OpKind::Mul
+            | OpKind::Mulh
+            | OpKind::Mulhsu
+            | OpKind::Mulhu
+            | OpKind::Div
+            | OpKind::Divu
+            | OpKind::Rem
+            | OpKind::Remu
+            | OpKind::Mulw
+            | OpKind::Divw
+            | OpKind::Divuw
+            | OpKind::Remw
+            | OpKind::Remuw => Some(Ext::M),
+            OpKind::Sh1add
+            | OpKind::Sh2add
+            | OpKind::Sh3add
+            | OpKind::AddUw
+            | OpKind::Andn
+            | OpKind::Orn
+            | OpKind::Xnor
+            | OpKind::Min
+            | OpKind::Minu
+            | OpKind::Max
+            | OpKind::Maxu
+            | OpKind::Rol
+            | OpKind::Ror => Some(Ext::B),
+            _ => None,
+        }
+    }
+}
+
+/// Single-operand bit-manipulation operations (Zbb, encoded in `OP-IMM`
+/// space with a fixed `rs2` selector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryKind {
+    /// Count leading zeros.
+    Clz,
+    /// Count trailing zeros.
+    Ctz,
+    /// Population count.
+    Cpop,
+    /// Sign-extend byte.
+    SextB,
+    /// Sign-extend halfword.
+    SextH,
+    /// Zero-extend halfword.
+    ZextH,
+    /// Byte-reverse the register.
+    Rev8,
+}
+
+impl UnaryKind {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            UnaryKind::Clz => "clz",
+            UnaryKind::Ctz => "ctz",
+            UnaryKind::Cpop => "cpop",
+            UnaryKind::SextB => "sext.b",
+            UnaryKind::SextH => "sext.h",
+            UnaryKind::ZextH => "zext.h",
+            UnaryKind::Rev8 => "rev8",
+        }
+    }
+}
+
+/// Floating-point operand width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpWidth {
+    /// Single precision (`.s`, F extension).
+    S,
+    /// Double precision (`.d`, D extension).
+    D,
+}
+
+impl FpWidth {
+    /// The mnemonic suffix (`s` or `d`).
+    pub const fn suffix(self) -> char {
+        match self {
+            FpWidth::S => 's',
+            FpWidth::D => 'd',
+        }
+    }
+
+    /// The extension implied by the width.
+    pub const fn ext(self) -> Ext {
+        match self {
+            FpWidth::S => Ext::F,
+            FpWidth::D => Ext::D,
+        }
+    }
+
+    /// The `fmt` field value in F/D encodings.
+    pub const fn fmt_bits(self) -> u32 {
+        match self {
+            FpWidth::S => 0b00,
+            FpWidth::D => 0b01,
+        }
+    }
+}
+
+/// Two-source floating-point ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FOpKind {
+    /// Add.
+    Add,
+    /// Subtract.
+    Sub,
+    /// Multiply.
+    Mul,
+    /// Divide.
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sign-injection (`fsgnj`; `fmv.f.f` is `fsgnj rd, rs, rs`).
+    SgnJ,
+    /// Negated sign-injection (`fsgnjn`; `fneg` alias).
+    SgnJN,
+    /// XORed sign-injection (`fsgnjx`; `fabs` alias).
+    SgnJX,
+}
+
+impl FOpKind {
+    /// The assembler mnemonic stem (width suffix appended separately).
+    pub const fn stem(self) -> &'static str {
+        match self {
+            FOpKind::Add => "fadd",
+            FOpKind::Sub => "fsub",
+            FOpKind::Mul => "fmul",
+            FOpKind::Div => "fdiv",
+            FOpKind::Min => "fmin",
+            FOpKind::Max => "fmax",
+            FOpKind::SgnJ => "fsgnj",
+            FOpKind::SgnJN => "fsgnjn",
+            FOpKind::SgnJX => "fsgnjx",
+        }
+    }
+}
+
+/// Floating-point comparison kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FCmpKind {
+    /// Equal.
+    Feq,
+    /// Less than.
+    Flt,
+    /// Less than or equal.
+    Fle,
+}
+
+impl FCmpKind {
+    /// The assembler mnemonic stem.
+    pub const fn stem(self) -> &'static str {
+        match self {
+            FCmpKind::Feq => "feq",
+            FCmpKind::Flt => "flt",
+            FCmpKind::Fle => "fle",
+        }
+    }
+}
+
+/// Fused multiply-add variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FMaKind {
+    /// `frd = frs1 * frs2 + frs3`.
+    Madd,
+    /// `frd = frs1 * frs2 - frs3`.
+    Msub,
+    /// `frd = -(frs1 * frs2) + frs3`.
+    Nmsub,
+    /// `frd = -(frs1 * frs2) - frs3`.
+    Nmadd,
+}
+
+impl FMaKind {
+    /// The assembler mnemonic stem.
+    pub const fn stem(self) -> &'static str {
+        match self {
+            FMaKind::Madd => "fmadd",
+            FMaKind::Msub => "fmsub",
+            FMaKind::Nmsub => "fnmsub",
+            FMaKind::Nmadd => "fnmadd",
+        }
+    }
+}
+
+/// Integer width for FP↔integer conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntWidth {
+    /// 32-bit (`.w`/`.wu`).
+    W,
+    /// 64-bit (`.l`/`.lu`).
+    L,
+}
+
+/// Element width for vector memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Eew {
+    /// 8-bit elements.
+    E8,
+    /// 16-bit elements.
+    E16,
+    /// 32-bit elements.
+    E32,
+    /// 64-bit elements.
+    E64,
+}
+
+impl Eew {
+    /// Element size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Eew::E8 => 1,
+            Eew::E16 => 2,
+            Eew::E32 => 4,
+            Eew::E64 => 8,
+        }
+    }
+
+    /// Element size in bits.
+    pub const fn bits(self) -> u32 {
+        self.bytes() as u32 * 8
+    }
+}
+
+/// Selected element width (`vsew`) for `vtype`.
+pub type Sew = Eew;
+
+/// The `vtype` CSR value established by `vsetvli`: element width, register
+/// grouping, and tail/mask agnosticism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VType {
+    /// Selected element width.
+    pub sew: Sew,
+    /// Register group multiplier (1, 2, 4 or 8).
+    pub lmul: u8,
+    /// Tail-agnostic bit.
+    pub ta: bool,
+    /// Mask-agnostic bit.
+    pub ma: bool,
+}
+
+impl VType {
+    /// Encodes the `vtype` immediate field of `vsetvli`.
+    pub fn to_bits(self) -> u32 {
+        let vlmul = match self.lmul {
+            1 => 0b000,
+            2 => 0b001,
+            4 => 0b010,
+            8 => 0b011,
+            _ => unreachable!("lmul validated at construction"),
+        };
+        let vsew = match self.sew {
+            Eew::E8 => 0b000,
+            Eew::E16 => 0b001,
+            Eew::E32 => 0b010,
+            Eew::E64 => 0b011,
+        };
+        vlmul | (vsew << 3) | ((self.ta as u32) << 6) | ((self.ma as u32) << 7)
+    }
+
+    /// Decodes a `vtype` immediate field; `None` for encodings outside the
+    /// supported subset (fractional LMUL, reserved widths).
+    pub fn from_bits(bits: u32) -> Option<VType> {
+        let lmul = match bits & 0b111 {
+            0b000 => 1,
+            0b001 => 2,
+            0b010 => 4,
+            0b011 => 8,
+            _ => return None,
+        };
+        let sew = match (bits >> 3) & 0b111 {
+            0b000 => Eew::E8,
+            0b001 => Eew::E16,
+            0b010 => Eew::E32,
+            0b011 => Eew::E64,
+            _ => return None,
+        };
+        Some(VType {
+            sew,
+            lmul,
+            ta: bits & (1 << 6) != 0,
+            ma: bits & (1 << 7) != 0,
+        })
+    }
+}
+
+/// Vector arithmetic operations in the supported RVV subset (all unmasked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VArithOp {
+    /// Integer add.
+    Vadd,
+    /// Integer subtract.
+    Vsub,
+    /// Bitwise AND.
+    Vand,
+    /// Bitwise OR.
+    Vor,
+    /// Bitwise XOR.
+    Vxor,
+    /// Integer multiply.
+    Vmul,
+    /// Integer multiply-accumulate (`vd += vs1/rs1 * vs2`).
+    Vmacc,
+    /// Integer minimum (signed).
+    Vmin,
+    /// Integer maximum (signed).
+    Vmax,
+    /// Whole-register/broadcast move (`vmv.v.v` / `vmv.v.x` / `vmv.v.i`).
+    Vmv,
+    /// Integer reduction sum (`vredsum.vs`).
+    Vredsum,
+    /// FP add.
+    Vfadd,
+    /// FP subtract.
+    Vfsub,
+    /// FP multiply.
+    Vfmul,
+    /// FP divide.
+    Vfdiv,
+    /// FP multiply-accumulate (`vd += vs1/fs1 * vs2`).
+    Vfmacc,
+    /// FP unordered reduction sum (`vfredusum.vs`).
+    Vfredusum,
+}
+
+impl VArithOp {
+    /// The assembler mnemonic stem.
+    pub const fn stem(self) -> &'static str {
+        match self {
+            VArithOp::Vadd => "vadd",
+            VArithOp::Vsub => "vsub",
+            VArithOp::Vand => "vand",
+            VArithOp::Vor => "vor",
+            VArithOp::Vxor => "vxor",
+            VArithOp::Vmul => "vmul",
+            VArithOp::Vmacc => "vmacc",
+            VArithOp::Vmin => "vmin",
+            VArithOp::Vmax => "vmax",
+            VArithOp::Vmv => "vmv",
+            VArithOp::Vredsum => "vredsum",
+            VArithOp::Vfadd => "vfadd",
+            VArithOp::Vfsub => "vfsub",
+            VArithOp::Vfmul => "vfmul",
+            VArithOp::Vfdiv => "vfdiv",
+            VArithOp::Vfmacc => "vfmacc",
+            VArithOp::Vfredusum => "vfredusum",
+        }
+    }
+
+    /// Whether the operation is floating-point (uses `OPFVV`/`OPFVF` funct3).
+    pub const fn is_fp(self) -> bool {
+        matches!(
+            self,
+            VArithOp::Vfadd
+                | VArithOp::Vfsub
+                | VArithOp::Vfmul
+                | VArithOp::Vfdiv
+                | VArithOp::Vfmacc
+                | VArithOp::Vfredusum
+        )
+    }
+
+    /// Whether the operation is a reduction (`.vs` form: scalar in element 0
+    /// of `vs1`, result in element 0 of `vd`).
+    pub const fn is_reduction(self) -> bool {
+        matches!(self, VArithOp::Vredsum | VArithOp::Vfredusum)
+    }
+}
+
+/// The scalar/vector second source of a vector arithmetic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VSrc {
+    /// Vector register (`.vv` form).
+    V(VReg),
+    /// Integer scalar register (`.vx` form).
+    X(XReg),
+    /// FP scalar register (`.vf` form).
+    F(FReg),
+    /// 5-bit signed immediate (`.vi` form).
+    I(i8),
+}
+
+/// A decoded RISC-V instruction in canonical (uncompressed) form.
+///
+/// See the module docs for immediate conventions. The enum is deliberately
+/// closed: anything the decoder cannot map into it is an *unrecognized*
+/// instruction, which the emulator treats as illegal and Chimera's runtime
+/// handles by lazy rewriting (§4.1/§4.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Load upper immediate: `rd = sext(imm20 << 12)`.
+    Lui {
+        /// Destination.
+        rd: XReg,
+        /// 20-bit immediate field (signed).
+        imm20: i32,
+    },
+    /// Add upper immediate to pc: `rd = pc + sext(imm20 << 12)`.
+    Auipc {
+        /// Destination.
+        rd: XReg,
+        /// 20-bit immediate field (signed).
+        imm20: i32,
+    },
+    /// Jump and link: `rd = pc + len; pc += offset`.
+    Jal {
+        /// Link register (`zero` for plain jumps).
+        rd: XReg,
+        /// Byte offset from this instruction (±1 MiB).
+        offset: i32,
+    },
+    /// Indirect jump and link: `rd = pc + len; pc = (rs1 + offset) & !1`.
+    Jalr {
+        /// Link register.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// 12-bit signed byte offset.
+        offset: i32,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison kind.
+        kind: BranchKind,
+        /// First comparand.
+        rs1: XReg,
+        /// Second comparand.
+        rs2: XReg,
+        /// Byte offset from this instruction (±4 KiB).
+        offset: i32,
+    },
+    /// Integer load.
+    Load {
+        /// Access kind/width.
+        kind: LoadKind,
+        /// Destination.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// 12-bit signed byte offset.
+        offset: i32,
+    },
+    /// Integer store.
+    Store {
+        /// Access kind/width.
+        kind: StoreKind,
+        /// Base register.
+        rs1: XReg,
+        /// Value register.
+        rs2: XReg,
+        /// 12-bit signed byte offset.
+        offset: i32,
+    },
+    /// Register-immediate ALU operation.
+    OpImm {
+        /// Operation.
+        kind: OpImmKind,
+        /// Destination.
+        rd: XReg,
+        /// Source.
+        rs1: XReg,
+        /// Immediate (12-bit signed, or shift amount).
+        imm: i32,
+    },
+    /// Register-register ALU operation.
+    Op {
+        /// Operation.
+        kind: OpKind,
+        /// Destination.
+        rd: XReg,
+        /// First source.
+        rs1: XReg,
+        /// Second source.
+        rs2: XReg,
+    },
+    /// Single-operand Zbb operation.
+    Unary {
+        /// Operation.
+        kind: UnaryKind,
+        /// Destination.
+        rd: XReg,
+        /// Source.
+        rs1: XReg,
+    },
+    /// Memory fence (modelled as a no-op with ordering significance only).
+    Fence,
+    /// Environment call (syscall into the simulated kernel).
+    Ecall,
+    /// Breakpoint; used by trap-based trampolines in the baseline rewriters.
+    Ebreak,
+    /// Floating-point load.
+    FLoad {
+        /// Operand width.
+        width: FpWidth,
+        /// Destination.
+        frd: FReg,
+        /// Base register.
+        rs1: XReg,
+        /// 12-bit signed byte offset.
+        offset: i32,
+    },
+    /// Floating-point store.
+    FStore {
+        /// Operand width.
+        width: FpWidth,
+        /// Value register.
+        frs2: FReg,
+        /// Base register.
+        rs1: XReg,
+        /// 12-bit signed byte offset.
+        offset: i32,
+    },
+    /// Two-source floating-point ALU operation.
+    FOp {
+        /// Operation.
+        kind: FOpKind,
+        /// Operand width.
+        width: FpWidth,
+        /// Destination.
+        frd: FReg,
+        /// First source.
+        frs1: FReg,
+        /// Second source.
+        frs2: FReg,
+    },
+    /// Floating-point comparison into an integer register.
+    FCmp {
+        /// Comparison kind.
+        kind: FCmpKind,
+        /// Operand width.
+        width: FpWidth,
+        /// Destination (0/1 result).
+        rd: XReg,
+        /// First source.
+        frs1: FReg,
+        /// Second source.
+        frs2: FReg,
+    },
+    /// Move FP register bits to an integer register (`fmv.x.w`/`fmv.x.d`).
+    FMvToX {
+        /// Operand width.
+        width: FpWidth,
+        /// Destination.
+        rd: XReg,
+        /// Source.
+        frs1: FReg,
+    },
+    /// Move integer register bits to an FP register (`fmv.w.x`/`fmv.d.x`).
+    FMvToF {
+        /// Operand width.
+        width: FpWidth,
+        /// Destination.
+        frd: FReg,
+        /// Source.
+        rs1: XReg,
+    },
+    /// Convert integer to floating point (`fcvt.{s,d}.{w,wu,l,lu}`).
+    FCvtToF {
+        /// Result width.
+        width: FpWidth,
+        /// Source integer width.
+        from: IntWidth,
+        /// Whether the integer source is signed.
+        signed: bool,
+        /// Destination.
+        frd: FReg,
+        /// Source.
+        rs1: XReg,
+    },
+    /// Convert floating point to integer (`fcvt.{w,wu,l,lu}.{s,d}`).
+    FCvtToInt {
+        /// Source width.
+        width: FpWidth,
+        /// Result integer width.
+        to: IntWidth,
+        /// Whether the integer result is signed.
+        signed: bool,
+        /// Destination.
+        rd: XReg,
+        /// Source.
+        frs1: FReg,
+    },
+    /// Convert between FP widths (`fcvt.d.s` / `fcvt.s.d`).
+    FCvtFF {
+        /// Result width.
+        to: FpWidth,
+        /// Destination.
+        frd: FReg,
+        /// Source.
+        frs1: FReg,
+    },
+    /// Fused multiply-add family.
+    FMa {
+        /// Variant.
+        kind: FMaKind,
+        /// Operand width.
+        width: FpWidth,
+        /// Destination.
+        frd: FReg,
+        /// Multiplicand.
+        frs1: FReg,
+        /// Multiplier.
+        frs2: FReg,
+        /// Addend.
+        frs3: FReg,
+    },
+    /// Configure the vector unit: `rd = vl = min(rs1, VLMAX)` (with the
+    /// `rs1 = zero, rd != zero` form requesting VLMAX).
+    Vsetvli {
+        /// Receives the granted vector length.
+        rd: XReg,
+        /// Requested application vector length.
+        rs1: XReg,
+        /// Requested element width/grouping.
+        vtype: VType,
+    },
+    /// Unit-stride vector load (`vle<eew>.v vd, (rs1)`).
+    VLoad {
+        /// Element width.
+        eew: Eew,
+        /// Destination vector register.
+        vd: VReg,
+        /// Base address register.
+        rs1: XReg,
+    },
+    /// Unit-stride vector store (`vse<eew>.v vs3, (rs1)`).
+    VStore {
+        /// Element width.
+        eew: Eew,
+        /// Source vector register.
+        vs3: VReg,
+        /// Base address register.
+        rs1: XReg,
+    },
+    /// Vector arithmetic (unmasked).
+    VArith {
+        /// Operation.
+        op: VArithOp,
+        /// Destination vector register.
+        vd: VReg,
+        /// Vector source operand (`vs2`).
+        vs2: VReg,
+        /// Second source: vector, scalar or immediate.
+        src: VSrc,
+    },
+    /// Move element 0 of a vector register to an integer register
+    /// (`vmv.x.s`).
+    VMvXS {
+        /// Destination.
+        rd: XReg,
+        /// Source vector register.
+        vs2: VReg,
+    },
+    /// Move an integer register to element 0 of a vector register
+    /// (`vmv.s.x`).
+    VMvSX {
+        /// Destination vector register.
+        vd: VReg,
+        /// Source.
+        rs1: XReg,
+    },
+}
+
+impl Inst {
+    /// The extension required to execute the instruction (`None` = base
+    /// RV64I, always available).
+    pub fn ext(&self) -> Option<Ext> {
+        match self {
+            Inst::Op { kind, .. } => kind.ext(),
+            Inst::OpImm { kind, .. } => {
+                if matches!(kind, OpImmKind::Rori) {
+                    Some(Ext::B)
+                } else {
+                    None
+                }
+            }
+            Inst::Unary { .. } => Some(Ext::B),
+            Inst::FLoad { width, .. }
+            | Inst::FStore { width, .. }
+            | Inst::FOp { width, .. }
+            | Inst::FCmp { width, .. }
+            | Inst::FMvToX { width, .. }
+            | Inst::FMvToF { width, .. }
+            | Inst::FCvtToF { width, .. }
+            | Inst::FCvtToInt { width, .. }
+            | Inst::FMa { width, .. } => Some(width.ext()),
+            Inst::FCvtFF { .. } => Some(Ext::D),
+            Inst::Vsetvli { .. }
+            | Inst::VLoad { .. }
+            | Inst::VStore { .. }
+            | Inst::VArith { .. }
+            | Inst::VMvXS { .. }
+            | Inst::VMvSX { .. } => Some(Ext::V),
+            _ => None,
+        }
+    }
+
+    /// Whether the instruction can execute on a core with profile `profile`
+    /// (ignoring the C extension, which is a property of the *encoding*, not
+    /// the canonical instruction).
+    pub fn runnable_on(&self, profile: ExtSet) -> bool {
+        match self.ext() {
+            None => true,
+            Some(e) => profile.contains(e),
+        }
+    }
+
+    /// Whether the instruction unconditionally diverts control flow
+    /// (`jal`, `jalr`).
+    pub fn is_jump(&self) -> bool {
+        matches!(self, Inst::Jal { .. } | Inst::Jalr { .. })
+    }
+
+    /// Whether the instruction is a conditional branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// Whether the instruction ends a basic block (jump, branch, `ecall`,
+    /// `ebreak`).
+    pub fn is_terminator(&self) -> bool {
+        self.is_jump() || self.is_branch() || matches!(self, Inst::Ecall | Inst::Ebreak)
+    }
+
+    /// Whether control flow after this instruction is *indirect* (target not
+    /// statically known): a `jalr` through any register.
+    pub fn is_indirect_jump(&self) -> bool {
+        matches!(self, Inst::Jalr { .. })
+    }
+
+    /// The integer registers the instruction *reads*.
+    pub fn uses_x(&self) -> Vec<XReg> {
+        let mut v = Vec::with_capacity(2);
+        match *self {
+            Inst::Lui { .. } | Inst::Auipc { .. } | Inst::Jal { .. } => {}
+            Inst::Jalr { rs1, .. } => v.push(rs1),
+            Inst::Branch { rs1, rs2, .. } => {
+                v.push(rs1);
+                v.push(rs2);
+            }
+            Inst::Load { rs1, .. } => v.push(rs1),
+            Inst::Store { rs1, rs2, .. } => {
+                v.push(rs1);
+                v.push(rs2);
+            }
+            Inst::OpImm { rs1, .. } => v.push(rs1),
+            Inst::Op { rs1, rs2, .. } => {
+                v.push(rs1);
+                v.push(rs2);
+            }
+            Inst::Unary { rs1, .. } => v.push(rs1),
+            Inst::Fence | Inst::Ecall | Inst::Ebreak => {}
+            Inst::FLoad { rs1, .. } | Inst::FStore { rs1, .. } => v.push(rs1),
+            Inst::FOp { .. }
+            | Inst::FCmp { .. }
+            | Inst::FMvToX { .. }
+            | Inst::FCvtToInt { .. }
+            | Inst::FCvtFF { .. }
+            | Inst::FMa { .. } => {}
+            Inst::FMvToF { rs1, .. } | Inst::FCvtToF { rs1, .. } => v.push(rs1),
+            Inst::Vsetvli { rs1, .. } => v.push(rs1),
+            Inst::VLoad { rs1, .. } | Inst::VStore { rs1, .. } => v.push(rs1),
+            Inst::VArith { src, .. } => {
+                if let VSrc::X(rs1) = src {
+                    v.push(rs1);
+                }
+            }
+            Inst::VMvXS { .. } => {}
+            Inst::VMvSX { rs1, .. } => v.push(rs1),
+        }
+        v.retain(|r| *r != XReg::ZERO);
+        v
+    }
+
+    /// The integer register the instruction *writes*, if any. Writes to
+    /// `zero` are reported as `None` (they are architectural no-ops).
+    pub fn def_x(&self) -> Option<XReg> {
+        let rd = match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::Op { rd, .. }
+            | Inst::Unary { rd, .. }
+            | Inst::FCmp { rd, .. }
+            | Inst::FMvToX { rd, .. }
+            | Inst::FCvtToInt { rd, .. }
+            | Inst::Vsetvli { rd, .. }
+            | Inst::VMvXS { rd, .. } => rd,
+            _ => return None,
+        };
+        if rd == XReg::ZERO {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// The statically known control-flow target of a direct jump or branch,
+    /// given the instruction's own address. `None` for non-control-flow
+    /// instructions and for indirect jumps.
+    pub fn direct_target(&self, addr: u64) -> Option<u64> {
+        match *self {
+            Inst::Jal { offset, .. } | Inst::Branch { offset, .. } => {
+                Some(addr.wrapping_add(offset as i64 as u64))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction has an encoding in the compressed (RVC)
+    /// subset we model, i.e. could occupy 2 bytes in a binary.
+    pub fn has_compressed_form(&self) -> bool {
+        crate::encode::encode_compressed(self).is_some()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm20 } => write!(f, "lui {rd}, {imm20:#x}"),
+            Inst::Auipc { rd, imm20 } => write!(f, "auipc {rd}, {imm20:#x}"),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs1}, {rs2}, {offset}", kind.mnemonic()),
+            Inst::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => write!(f, "{} {rd}, {offset}({rs1})", kind.mnemonic()),
+            Inst::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs2}, {offset}({rs1})", kind.mnemonic()),
+            Inst::OpImm { kind, rd, rs1, imm } => {
+                write!(f, "{} {rd}, {rs1}, {imm}", kind.mnemonic())
+            }
+            Inst::Op { kind, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", kind.mnemonic())
+            }
+            Inst::Unary { kind, rd, rs1 } => write!(f, "{} {rd}, {rs1}", kind.mnemonic()),
+            Inst::Fence => write!(f, "fence"),
+            Inst::Ecall => write!(f, "ecall"),
+            Inst::Ebreak => write!(f, "ebreak"),
+            Inst::FLoad {
+                width,
+                frd,
+                rs1,
+                offset,
+            } => write!(f, "fl{} {frd}, {offset}({rs1})", width_letter(width)),
+            Inst::FStore {
+                width,
+                frs2,
+                rs1,
+                offset,
+            } => write!(f, "fs{} {frs2}, {offset}({rs1})", width_letter(width)),
+            Inst::FOp {
+                kind,
+                width,
+                frd,
+                frs1,
+                frs2,
+            } => write!(
+                f,
+                "{}.{} {frd}, {frs1}, {frs2}",
+                kind.stem(),
+                width.suffix()
+            ),
+            Inst::FCmp {
+                kind,
+                width,
+                rd,
+                frs1,
+                frs2,
+            } => write!(
+                f,
+                "{}.{} {rd}, {frs1}, {frs2}",
+                kind.stem(),
+                width.suffix()
+            ),
+            Inst::FMvToX { width, rd, frs1 } => {
+                let w = match width {
+                    FpWidth::S => 'w',
+                    FpWidth::D => 'd',
+                };
+                write!(f, "fmv.x.{w} {rd}, {frs1}")
+            }
+            Inst::FMvToF { width, frd, rs1 } => {
+                let w = match width {
+                    FpWidth::S => 'w',
+                    FpWidth::D => 'd',
+                };
+                write!(f, "fmv.{w}.x {frd}, {rs1}")
+            }
+            Inst::FCvtToF {
+                width,
+                from,
+                signed,
+                frd,
+                rs1,
+            } => {
+                let i = int_suffix(from, signed);
+                write!(f, "fcvt.{}.{i} {frd}, {rs1}", width.suffix())
+            }
+            Inst::FCvtToInt {
+                width,
+                to,
+                signed,
+                rd,
+                frs1,
+            } => {
+                let i = int_suffix(to, signed);
+                write!(f, "fcvt.{i}.{} {rd}, {frs1}", width.suffix())
+            }
+            Inst::FCvtFF { to, frd, frs1 } => {
+                let from = match to {
+                    FpWidth::S => 'd',
+                    FpWidth::D => 's',
+                };
+                write!(f, "fcvt.{}.{from} {frd}, {frs1}", to.suffix())
+            }
+            Inst::FMa {
+                kind,
+                width,
+                frd,
+                frs1,
+                frs2,
+                frs3,
+            } => write!(
+                f,
+                "{}.{} {frd}, {frs1}, {frs2}, {frs3}",
+                kind.stem(),
+                width.suffix()
+            ),
+            Inst::Vsetvli { rd, rs1, vtype } => {
+                let sew = vtype.sew.bits();
+                write!(
+                    f,
+                    "vsetvli {rd}, {rs1}, e{sew}, m{}, {}, {}",
+                    vtype.lmul,
+                    if vtype.ta { "ta" } else { "tu" },
+                    if vtype.ma { "ma" } else { "mu" },
+                )
+            }
+            Inst::VLoad { eew, vd, rs1 } => write!(f, "vle{}.v {vd}, ({rs1})", eew.bits()),
+            Inst::VStore { eew, vs3, rs1 } => write!(f, "vse{}.v {vs3}, ({rs1})", eew.bits()),
+            Inst::VArith { op, vd, vs2, src } => match src {
+                VSrc::V(vs1) => {
+                    if op.is_reduction() {
+                        write!(f, "{}.vs {vd}, {vs2}, {vs1}", op.stem())
+                    } else if op == VArithOp::Vmv {
+                        write!(f, "vmv.v.v {vd}, {vs1}")
+                    } else {
+                        write!(f, "{}.vv {vd}, {vs2}, {vs1}", op.stem())
+                    }
+                }
+                VSrc::X(rs1) => {
+                    if op == VArithOp::Vmv {
+                        write!(f, "vmv.v.x {vd}, {rs1}")
+                    } else {
+                        write!(f, "{}.vx {vd}, {vs2}, {rs1}", op.stem())
+                    }
+                }
+                VSrc::F(frs1) => write!(f, "{}.vf {vd}, {vs2}, {frs1}", op.stem()),
+                VSrc::I(imm) => {
+                    if op == VArithOp::Vmv {
+                        write!(f, "vmv.v.i {vd}, {imm}")
+                    } else {
+                        write!(f, "{}.vi {vd}, {vs2}, {imm}", op.stem())
+                    }
+                }
+            },
+            Inst::VMvXS { rd, vs2 } => write!(f, "vmv.x.s {rd}, {vs2}"),
+            Inst::VMvSX { vd, rs1 } => write!(f, "vmv.s.x {vd}, {rs1}"),
+        }
+    }
+}
+
+fn width_letter(w: FpWidth) -> char {
+    match w {
+        FpWidth::S => 'w',
+        FpWidth::D => 'd',
+    }
+}
+
+fn int_suffix(w: IntWidth, signed: bool) -> &'static str {
+    match (w, signed) {
+        (IntWidth::W, true) => "w",
+        (IntWidth::W, false) => "wu",
+        (IntWidth::L, true) => "l",
+        (IntWidth::L, false) => "lu",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_classification() {
+        let add = Inst::Op {
+            kind: OpKind::Add,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
+        assert_eq!(add.ext(), None);
+        assert!(add.runnable_on(ExtSet::RV64I));
+
+        let mul = Inst::Op {
+            kind: OpKind::Mul,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
+        assert_eq!(mul.ext(), Some(Ext::M));
+        assert!(!mul.runnable_on(ExtSet::RV64I));
+        assert!(mul.runnable_on(ExtSet::RV64GC));
+
+        let vadd = Inst::VArith {
+            op: VArithOp::Vadd,
+            vd: VReg::of(1),
+            vs2: VReg::of(2),
+            src: VSrc::V(VReg::of(3)),
+        };
+        assert_eq!(vadd.ext(), Some(Ext::V));
+        assert!(!vadd.runnable_on(ExtSet::RV64GC));
+        assert!(vadd.runnable_on(ExtSet::RV64GCV));
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Inst::Op {
+            kind: OpKind::Add,
+            rd: XReg::A0,
+            rs1: XReg::A1,
+            rs2: XReg::A2,
+        };
+        assert_eq!(i.def_x(), Some(XReg::A0));
+        assert_eq!(i.uses_x(), vec![XReg::A1, XReg::A2]);
+
+        // Writes to zero are architectural no-ops.
+        let nop = Inst::OpImm {
+            kind: OpImmKind::Addi,
+            rd: XReg::ZERO,
+            rs1: XReg::ZERO,
+            imm: 0,
+        };
+        assert_eq!(nop.def_x(), None);
+        assert!(nop.uses_x().is_empty());
+
+        let st = Inst::Store {
+            kind: StoreKind::Sd,
+            rs1: XReg::SP,
+            rs2: XReg::A0,
+            offset: 8,
+        };
+        assert_eq!(st.def_x(), None);
+        assert_eq!(st.uses_x(), vec![XReg::SP, XReg::A0]);
+    }
+
+    #[test]
+    fn control_flow_properties() {
+        let jal = Inst::Jal {
+            rd: XReg::RA,
+            offset: 64,
+        };
+        assert!(jal.is_jump());
+        assert!(!jal.is_indirect_jump());
+        assert_eq!(jal.direct_target(0x1000), Some(0x1040));
+
+        let jalr = Inst::Jalr {
+            rd: XReg::ZERO,
+            rs1: XReg::A0,
+            offset: 0,
+        };
+        assert!(jalr.is_indirect_jump());
+        assert_eq!(jalr.direct_target(0x1000), None);
+
+        let b = Inst::Branch {
+            kind: BranchKind::Beq,
+            rs1: XReg::A0,
+            rs2: XReg::A1,
+            offset: -8,
+        };
+        assert!(b.is_branch());
+        assert!(b.is_terminator());
+        assert_eq!(b.direct_target(0x1008), Some(0x1000));
+    }
+
+    #[test]
+    fn vtype_bits_roundtrip() {
+        for sew in [Eew::E8, Eew::E16, Eew::E32, Eew::E64] {
+            for lmul in [1u8, 2, 4, 8] {
+                for ta in [false, true] {
+                    for ma in [false, true] {
+                        let vt = VType { sew, lmul, ta, ma };
+                        assert_eq!(VType::from_bits(vt.to_bits()), Some(vt));
+                    }
+                }
+            }
+        }
+        // Fractional LMUL encodings are outside the subset.
+        assert_eq!(VType::from_bits(0b101), None);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::Vsetvli {
+            rd: XReg::T0,
+            rs1: XReg::A0,
+            vtype: VType {
+                sew: Eew::E64,
+                lmul: 1,
+                ta: true,
+                ma: true,
+            },
+        };
+        assert_eq!(i.to_string(), "vsetvli t0, a0, e64, m1, ta, ma");
+
+        let l = Inst::Load {
+            kind: LoadKind::Ld,
+            rd: XReg::A0,
+            rs1: XReg::SP,
+            offset: 16,
+        };
+        assert_eq!(l.to_string(), "ld a0, 16(sp)");
+    }
+}

@@ -1,0 +1,20 @@
+//! # chimera-kernel
+//!
+//! The simulated operating-system runtime of the Chimera reproduction:
+//! trap routing and passive fault handling ([`KernelRunner`]), the
+//! multi-view process model ([`Process`], MMViews), signal delivery with
+//! `gp` restoration, and ISAX-aware work-stealing scheduling (a
+//! deterministic simulator for the benchmarks plus a real threaded pool).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod process;
+mod runtime;
+mod sched;
+
+pub use process::{
+    sync_vectors_from_spill, sync_vectors_to_spill, Process, Variant, LAZY_SLACK,
+};
+pub use runtime::{FaultCounters, KernelRunner, RunOutcome, RuntimeTables, SIGRETURN_ADDR};
+pub use sched::{simulate_work_stealing, Pool, SimMachine, SimResult, TaskCost, ThreadedPool};

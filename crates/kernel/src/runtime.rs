@@ -1,0 +1,355 @@
+//! The kernel-side runtime: trap routing and Chimera's passive fault
+//! handling (§4.3).
+//!
+//! The kernel drives an emulated core, intercepting every trap:
+//!
+//! * **Deterministic SMILE faults** — a fetch fault in the data segment
+//!   (P1: partial trampoline execution jumped through the unmodified `gp`)
+//!   or an illegal-instruction fault at an address with a fault-handling
+//!   table entry (P2/P3/padding). The handler computes the fault address
+//!   (pc for SIGILL; `gp - 4` for SIGSEGV, since the SMILE `jalr` wrote its
+//!   return address into `gp`), restores `gp` to the psABI constant, and
+//!   redirects to the copied instruction.
+//! * **Trap-based trampolines** — `ebreak` entries/exits of the strawman
+//!   and fallback paths, ARMore original-section slots, and Safer slow
+//!   paths. Each costs a full kernel round trip
+//!   ([`chimera_emu::CostModel::trap`]).
+//! * **Unrecognized extension instructions** — rewritten lazily: the kernel
+//!   translates the instruction on the spot, patches the site with a
+//!   trap-based entry, and resumes (§4.1/§4.3).
+//! * **Unsupported instructions** (FAM, or untranslatable sites) — reported
+//!   to the scheduler as a migration request.
+
+use chimera_emu::{Access, Cpu, Memory, Stop, Trap};
+use chimera_isa::{decode, ExtSet, Inst, XReg};
+use chimera_rewrite::emitter::BlockEmitter;
+use chimera_rewrite::translate::Translator;
+use chimera_rewrite::{FaultTable, RegenInfo};
+use std::collections::BTreeMap;
+
+/// The magic return address installed in `ra` for signal handlers; a jump
+/// here (handler return) traps as an unmapped fetch the kernel recognizes
+/// as `sigreturn`.
+pub const SIGRETURN_ADDR: u64 = 0xffff_f000;
+
+/// Counters for every correctness-mechanism invocation (Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Deterministic SMILE faults handled (CHBP's passive mechanism).
+    pub smile_faults: u64,
+    /// Trap-based trampoline entries/exits taken.
+    pub trap_trampolines: u64,
+    /// Safer slow-path corrections.
+    pub safer_corrections: u64,
+    /// Lazily rewritten instructions.
+    pub lazy_rewrites: u64,
+    /// Signals delivered while inside a SMILE trampoline (gp restored).
+    pub signals_gp_restored: u64,
+}
+
+impl FaultCounters {
+    /// Total correctness-mechanism triggers.
+    pub fn total(&self) -> u64 {
+        self.smile_faults + self.trap_trampolines + self.safer_corrections + self.lazy_rewrites
+    }
+}
+
+/// Why a kernel-supervised run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The task exited with this code.
+    Exited(i64),
+    /// The task executed an instruction this core cannot run (and that has
+    /// no translation): the scheduler must migrate it (FAM path).
+    NeedsMigration {
+        /// pc of the unsupported instruction.
+        pc: u64,
+    },
+    /// Fuel exhausted (still runnable).
+    OutOfFuel,
+    /// Unrecoverable fault.
+    Fatal(String),
+}
+
+/// Runtime metadata for one loaded binary variant.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeTables {
+    /// CHBP / regeneration fault-handling table.
+    pub fht: Option<FaultTable>,
+    /// Safer regeneration slow-path metadata.
+    pub regen: Option<RegenInfo>,
+}
+
+/// A kernel supervising one task on one core.
+#[derive(Debug)]
+pub struct KernelRunner {
+    /// Tables for the active binary variant.
+    pub tables: RuntimeTables,
+    /// Accumulated fault counters.
+    pub counters: FaultCounters,
+    /// Lazily-added trap entries (runtime rewrites).
+    lazy_entries: BTreeMap<u64, u64>,
+    /// Where the next lazy block goes (grows past the target section).
+    lazy_cursor: Option<u64>,
+    /// Captured stdout.
+    pub stdout: Vec<u8>,
+    /// Saved context while a signal handler runs.
+    signal_ctx: Option<chimera_emu::Hart>,
+}
+
+impl KernelRunner {
+    /// Creates a runner with the given tables.
+    pub fn new(tables: RuntimeTables) -> Self {
+        KernelRunner {
+            tables,
+            counters: FaultCounters::default(),
+            lazy_entries: BTreeMap::new(),
+            lazy_cursor: None,
+            stdout: Vec::new(),
+            signal_ctx: None,
+        }
+    }
+
+    /// Delivers a signal (§4.3, Figure 10): saves the interrupted context,
+    /// and — when the interruption landed inside a SMILE trampoline, where
+    /// `gp` is temporarily overwritten — restores `gp` so the user-space
+    /// handler observes the correct psABI value. The handler runs with
+    /// `ra = `[`SIGRETURN_ADDR`]; its return restores the saved context
+    /// (including the trampoline's in-flight `gp`).
+    pub fn deliver_signal(&mut self, cpu: &mut Cpu, handler: u64) {
+        assert!(self.signal_ctx.is_none(), "nested signals unsupported");
+        self.signal_ctx = Some(cpu.hart.clone());
+        if let Some(fht) = &self.tables.fht {
+            if fht.inside_trampoline(cpu.hart.pc) || fht.in_target_section(cpu.hart.pc) {
+                // "Restoring gp" before the handler observes it.
+                cpu.hart.set_x(XReg::GP, fht.abi_gp);
+                self.counters.signals_gp_restored += 1;
+            }
+        }
+        cpu.hart.set_x(XReg::RA, SIGRETURN_ADDR);
+        cpu.hart.pc = handler;
+    }
+
+    /// Runs the task until exit, migration request or fuel exhaustion.
+    ///
+    /// The cost of each kernel entry (fault handling, trap trampolines) is
+    /// charged to `cpu.stats.cycles` at [`chimera_emu::CostModel::trap`].
+    pub fn run(&mut self, cpu: &mut Cpu, mem: &mut Memory, fuel: u64) -> RunOutcome {
+        let start = cpu.stats.instret;
+        loop {
+            let used = cpu.stats.instret - start;
+            if used >= fuel {
+                return RunOutcome::OutOfFuel;
+            }
+            let stop = cpu.run(mem, fuel - used);
+            let Stop::Trap(trap) = stop else {
+                return RunOutcome::OutOfFuel;
+            };
+            match self.handle_trap(trap, cpu, mem) {
+                TrapResult::Resume => continue,
+                TrapResult::Exit(code) => return RunOutcome::Exited(code),
+                TrapResult::Migrate { pc } => return RunOutcome::NeedsMigration { pc },
+                TrapResult::Fatal(msg) => return RunOutcome::Fatal(msg),
+            }
+        }
+    }
+
+    fn handle_trap(&mut self, trap: Trap, cpu: &mut Cpu, mem: &mut Memory) -> TrapResult {
+        match trap {
+            Trap::Ecall { pc } => {
+                let n = cpu.hart.get_x(XReg::A7);
+                match n {
+                    chimera_emu::sys::EXIT => {
+                        TrapResult::Exit(cpu.hart.get_x(XReg::A0) as i64)
+                    }
+                    chimera_emu::sys::WRITE => {
+                        let buf = cpu.hart.get_x(XReg::A1);
+                        let len = cpu.hart.get_x(XReg::A2) as usize;
+                        if let Some(bytes) = mem.peek(buf, len) {
+                            self.stdout.extend_from_slice(&bytes);
+                            cpu.hart.set_x(XReg::A0, len as u64);
+                        } else {
+                            cpu.hart.set_x(XReg::A0, u64::MAX);
+                        }
+                        cpu.hart.pc = pc + 4;
+                        cpu.stats.cycles += cpu.cost.trap / 8; // Light syscall.
+                        TrapResult::Resume
+                    }
+                    other => TrapResult::Fatal(format!("unknown syscall {other}")),
+                }
+            }
+            Trap::Mem { fault, .. } if fault.access == Access::Fetch => {
+                // Handler return? Restore the interrupted context.
+                if fault.addr == SIGRETURN_ADDR {
+                    if let Some(saved) = self.signal_ctx.take() {
+                        cpu.hart = saved;
+                        return TrapResult::Resume;
+                    }
+                }
+                // Candidate SMILE P1 fault: the jalr stored its return
+                // address (P1 + 4) in gp before jumping into the data
+                // segment.
+                cpu.stats.cycles += cpu.cost.trap;
+                let Some(fht) = self.tables.fht.clone() else {
+                    return TrapResult::Fatal(format!("fetch fault: {fault}"));
+                };
+                let fault_addr = cpu.hart.gp().wrapping_sub(4);
+                if let Some(&redirect) = fht.redirects.get(&fault_addr) {
+                    self.counters.smile_faults += 1;
+                    // Restore gp and redirect (§4.3).
+                    cpu.hart.set_x(XReg::GP, fht.abi_gp);
+                    cpu.hart.pc = redirect;
+                    TrapResult::Resume
+                } else {
+                    TrapResult::Fatal(format!(
+                        "fetch fault with no redirect (gp-4 = {fault_addr:#x}): {fault}"
+                    ))
+                }
+            }
+            Trap::Mem { fault, pc } => {
+                TrapResult::Fatal(format!("data fault at pc {pc:#x}: {fault}"))
+            }
+            Trap::Illegal { pc, raw } => {
+                cpu.stats.cycles += cpu.cost.trap;
+                let fht = self.tables.fht.clone();
+                // 1. P2/P3/padding or relocation slot: redirect via table.
+                if let Some(fht) = &fht {
+                    if let Some(&redirect) = fht.redirects.get(&pc) {
+                        self.counters.smile_faults += 1;
+                        cpu.hart.set_x(XReg::GP, fht.abi_gp);
+                        cpu.hart.pc = redirect;
+                        return TrapResult::Resume;
+                    }
+                    // 2. Known-untranslatable source instruction: migrate.
+                    if fht.untranslated.contains(&pc) {
+                        return TrapResult::Migrate { pc };
+                    }
+                }
+                // 3. Unrecognized-but-decodable extension instruction on a
+                //    core that lacks it: lazy rewriting when we have a
+                //    translator context, else migration (FAM).
+                match decode(raw) {
+                    Ok(d) if !d.inst.runnable_on(cpu.profile) => {
+                        if let Some(fht) = &fht {
+                            if self.lazy_rewrite(pc, d.inst, d.len, fht, cpu.profile, mem) {
+                                self.counters.lazy_rewrites += 1;
+                                // Resume at the same pc: it now traps into
+                                // the freshly built block.
+                                return TrapResult::Resume;
+                            }
+                        }
+                        TrapResult::Migrate { pc }
+                    }
+                    _ => TrapResult::Fatal(format!(
+                        "illegal instruction {raw:#x} at {pc:#x} with no handler"
+                    )),
+                }
+            }
+            Trap::Breakpoint { pc } => {
+                cpu.stats.cycles += cpu.cost.trap;
+                // Lazy entries first (they shadow nothing else).
+                if let Some(&block) = self.lazy_entries.get(&pc) {
+                    self.counters.trap_trampolines += 1;
+                    cpu.hart.pc = block;
+                    return TrapResult::Resume;
+                }
+                if let Some(regen) = &self.tables.regen {
+                    if let Some(st) = regen.slow_traps.get(&pc) {
+                        let old = cpu.hart.get_x(st.target_reg);
+                        let Some(fht) = &self.tables.fht else {
+                            return TrapResult::Fatal("safer trap without tables".into());
+                        };
+                        let Some(&new) = fht.redirects.get(&old) else {
+                            return TrapResult::Fatal(format!(
+                                "safer: uncorrectable indirect target {old:#x}"
+                            ));
+                        };
+                        if let Some(link) = st.link {
+                            cpu.hart.set_x(link, st.link_value);
+                        }
+                        self.counters.safer_corrections += 1;
+                        cpu.hart.pc = new;
+                        return TrapResult::Resume;
+                    }
+                }
+                if let Some(fht) = &self.tables.fht {
+                    if let Some(&block) = fht.trap_entries.get(&pc) {
+                        self.counters.trap_trampolines += 1;
+                        cpu.hart.pc = block;
+                        return TrapResult::Resume;
+                    }
+                    if let Some(&resume) = fht.trap_exits.get(&pc) {
+                        self.counters.trap_trampolines += 1;
+                        cpu.hart.pc = resume;
+                        return TrapResult::Resume;
+                    }
+                }
+                TrapResult::Fatal(format!("stray breakpoint at {pc:#x}"))
+            }
+        }
+    }
+
+    /// Lazy rewriting (§4.1/§4.3): translate the faulting instruction now,
+    /// append the block after the target section, patch the site with a
+    /// trap entry, and let execution re-trap into it.
+    fn lazy_rewrite(
+        &mut self,
+        pc: u64,
+        inst: Inst,
+        len: u8,
+        fht: &FaultTable,
+        _profile: ExtSet,
+        mem: &mut Memory,
+    ) -> bool {
+        // Grow region: right after the target section (the loader maps the
+        // section with slack; see `Process::load`).
+        let cursor = self
+            .lazy_cursor
+            .get_or_insert(fht.target_range.1)
+            .to_owned();
+        let mut translator = Translator::new(fht.spill_base, fht.abi_gp);
+        let mut em = BlockEmitter::new(cursor);
+        em.li32(XReg::GP, fht.abi_gp as i64);
+        if translator.downgrade(&inst, &mut em).is_err() {
+            return false;
+        }
+        let resume = pc + len as u64;
+        // Exit: a register trampoline cannot be chosen lazily without
+        // liveness; use a trap exit (rare path, already lazy).
+        let exit_at = em.addr();
+        em.inst(Inst::Ebreak);
+        let bytes = em.finish();
+        if mem.poke_code(cursor, &bytes).is_err() {
+            return false;
+        }
+        self.lazy_cursor = Some(cursor + bytes.len() as u64);
+        // Patch the site with an ebreak entry.
+        let patch: Vec<u8> = if len == 2 {
+            chimera_isa::encode_compressed(&Inst::Ebreak)
+                .expect("c.ebreak")
+                .to_le_bytes()
+                .to_vec()
+        } else {
+            chimera_isa::encode(&Inst::Ebreak)
+                .expect("ebreak")
+                .to_le_bytes()
+                .to_vec()
+        };
+        if mem.poke_code(pc, &patch).is_err() {
+            return false;
+        }
+        self.lazy_entries.insert(pc, cursor);
+        // Exit trap returns to the instruction after the site.
+        if let Some(fht_mut) = self.tables.fht.as_mut() {
+            fht_mut.trap_exits.insert(exit_at, resume);
+        }
+        true
+    }
+}
+
+enum TrapResult {
+    Resume,
+    Exit(i64),
+    Migrate { pc: u64 },
+    Fatal(String),
+}

@@ -1,0 +1,392 @@
+//! Task scheduling across ISAX cores (§6.1's methodology).
+//!
+//! Two schedulers are provided:
+//!
+//! * [`simulate_work_stealing`] — a deterministic discrete-event simulator
+//!   of the paper's policy: a base-core pool and an extension-core pool,
+//!   each task initially queued on its preferred pool, idle workers
+//!   stealing first from their own pool and then from the other. Per-task
+//!   per-core cycle costs come from real emulated runs (measured once per
+//!   distinct task/core/system combination by the bench harness), so the
+//!   simulation reproduces queueing dynamics without re-emulating thousands
+//!   of identical tasks.
+//! * [`ThreadedPool`] — a real work-stealing executor on OS threads
+//!   (crossbeam deques), used by the examples and integration tests to run
+//!   emulated tasks genuinely concurrently.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which pool a core (or task) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    /// Base-ISA cores.
+    Base,
+    /// Extension (vector-capable) cores.
+    Ext,
+}
+
+/// The cost profile of one task under one system.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCost {
+    /// The pool the task prefers (extension tasks prefer `Ext`).
+    pub prefers: Pool,
+    /// Cycles to complete on an extension core.
+    pub on_ext: u64,
+    /// Cycles to complete on a base core; `None` means the base core
+    /// cannot finish it (FAM): it burns [`TaskCost::fam_probe`] cycles,
+    /// pays migration, and requeues on the extension pool.
+    pub on_base: Option<u64>,
+    /// Cycles burnt on a base core before the illegal-instruction fault
+    /// (FAM only).
+    pub fam_probe: u64,
+    /// Whether running on an extension core uses vector acceleration
+    /// (false for base-version binaries under FAM, which are never
+    /// upgraded).
+    pub ext_accelerated: bool,
+}
+
+/// Machine shape for the simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct SimMachine {
+    /// Number of base cores.
+    pub base_cores: usize,
+    /// Number of extension cores.
+    pub ext_cores: usize,
+    /// Cycles charged for a cross-pool migration (FAM).
+    pub migrate_cost: u64,
+}
+
+/// The simulator's result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimResult {
+    /// End-to-end latency in cycles (makespan).
+    pub latency: u64,
+    /// Accumulated busy cycles over all cores.
+    pub cpu_time: u64,
+    /// Extension tasks that ran with vector acceleration.
+    pub accelerated_ext_tasks: usize,
+    /// Extension tasks total.
+    pub ext_tasks: usize,
+    /// Tasks that ran on base cores.
+    pub ran_on_base: usize,
+    /// FAM migrations performed.
+    pub migrations: usize,
+}
+
+/// Runs the deterministic work-stealing simulation to completion.
+pub fn simulate_work_stealing(machine: SimMachine, tasks: &[TaskCost]) -> SimResult {
+    #[derive(Debug)]
+    struct Core {
+        pool: Pool,
+        free_at: u64,
+        busy: u64,
+    }
+    let mut cores: Vec<Core> = Vec::new();
+    for _ in 0..machine.base_cores {
+        cores.push(Core {
+            pool: Pool::Base,
+            free_at: 0,
+            busy: 0,
+        });
+    }
+    for _ in 0..machine.ext_cores {
+        cores.push(Core {
+            pool: Pool::Ext,
+            free_at: 0,
+            busy: 0,
+        });
+    }
+
+    /// A queued task; `pinned` marks FAM tasks already migrated once, so
+    /// base cores stop re-stealing (and re-faulting on) them.
+    #[derive(Clone, Copy)]
+    struct QTask {
+        cost: TaskCost,
+        pinned: bool,
+        /// Earliest time the task may start (FAM requeues arrive when the
+        /// faulting base core finishes migrating them).
+        ready_at: u64,
+    }
+    let mut base_q: VecDeque<QTask> = VecDeque::new();
+    let mut ext_q: VecDeque<QTask> = VecDeque::new();
+    let mut result = SimResult::default();
+    for t in tasks {
+        let q = QTask {
+            cost: *t,
+            pinned: false,
+            ready_at: 0,
+        };
+        if t.prefers == Pool::Ext {
+            result.ext_tasks += 1;
+            ext_q.push_back(q);
+        } else {
+            base_q.push_back(q);
+        }
+    }
+
+    loop {
+        if base_q.is_empty() && ext_q.is_empty() {
+            break;
+        }
+        // Among cores in earliest-free order, pick the first that can take
+        // a task: own pool's queue first, then stealing from the other —
+        // except that a base core never steals a pinned (already-migrated
+        // FAM) task.
+        let mut order: Vec<usize> = (0..cores.len()).collect();
+        order.sort_by_key(|&i| (cores[i].free_at, i));
+        let mut picked: Option<(usize, QTask)> = None;
+        for idx in order {
+            let pool = cores[idx].pool;
+            let (own, other) = match pool {
+                Pool::Base => (&mut base_q, &mut ext_q),
+                Pool::Ext => (&mut ext_q, &mut base_q),
+            };
+            if let Some(t) = own.pop_front() {
+                picked = Some((idx, t));
+                break;
+            }
+            let stealable = other
+                .iter()
+                .position(|t| pool == Pool::Ext || !t.pinned);
+            if let Some(i) = stealable {
+                picked = Some((idx, other.remove(i).expect("indexed")));
+                break;
+            }
+        }
+        let Some((idx, task)) = picked else {
+            // Only pinned extension work remains and there are no
+            // extension cores: nothing can make progress.
+            break;
+        };
+        let core = &mut cores[idx];
+        let start = core.free_at.max(task.ready_at);
+        match (core.pool, task.cost.on_base) {
+            (Pool::Ext, _) => {
+                core.free_at = start + task.cost.on_ext;
+                core.busy += task.cost.on_ext;
+                if task.cost.prefers == Pool::Ext && task.cost.ext_accelerated {
+                    result.accelerated_ext_tasks += 1;
+                }
+            }
+            (Pool::Base, Some(cycles)) => {
+                core.free_at = start + cycles;
+                core.busy += cycles;
+                result.ran_on_base += 1;
+            }
+            (Pool::Base, None) => {
+                // FAM: fault, migrate, requeue pinned on the ext pool.
+                let burn = task.cost.fam_probe + machine.migrate_cost;
+                core.free_at = start + burn;
+                core.busy += burn;
+                result.migrations += 1;
+                ext_q.push_back(QTask {
+                    cost: task.cost,
+                    pinned: true,
+                    ready_at: start + burn,
+                });
+            }
+        }
+    }
+    result.latency = cores.iter().map(|c| c.free_at).max().unwrap_or(0);
+    result.cpu_time = cores.iter().map(|c| c.busy).sum();
+    result
+}
+
+/// A real work-stealing thread pool over two core classes, executing
+/// closures (each closure typically runs one emulated task to completion).
+pub struct ThreadedPool {
+    injector_base: Arc<Injector<Job>>,
+    injector_ext: Arc<Injector<Job>>,
+    results: Arc<Mutex<Vec<(usize, u64)>>>,
+    remaining: Arc<AtomicUsize>,
+    base_workers: usize,
+    ext_workers: usize,
+}
+
+type Job = Box<dyn FnOnce(Pool) -> u64 + Send>;
+
+impl ThreadedPool {
+    /// Creates a pool with the given worker counts.
+    pub fn new(base_workers: usize, ext_workers: usize) -> Self {
+        ThreadedPool {
+            injector_base: Arc::new(Injector::new()),
+            injector_ext: Arc::new(Injector::new()),
+            results: Arc::new(Mutex::new(Vec::new())),
+            remaining: Arc::new(AtomicUsize::new(0)),
+            base_workers,
+            ext_workers,
+        }
+    }
+
+    /// Queues a job on its preferred pool. The job receives the pool of the
+    /// worker that actually ran it (so it can pick the right binary
+    /// variant) and returns its simulated cycle count.
+    pub fn spawn(&self, prefers: Pool, job: impl FnOnce(Pool) -> u64 + Send + 'static) {
+        self.remaining.fetch_add(1, Ordering::SeqCst);
+        match prefers {
+            Pool::Base => self.injector_base.push(Box::new(job)),
+            Pool::Ext => self.injector_ext.push(Box::new(job)),
+        }
+    }
+
+    /// Runs all queued jobs to completion; returns per-job
+    /// `(job_index, cycles)` in completion order.
+    pub fn run(self) -> Vec<(usize, u64)> {
+        let mut handles = Vec::new();
+        let seq = Arc::new(AtomicUsize::new(0));
+        for wid in 0..self.base_workers + self.ext_workers {
+            let pool = if wid < self.base_workers {
+                Pool::Base
+            } else {
+                Pool::Ext
+            };
+            let own = match pool {
+                Pool::Base => Arc::clone(&self.injector_base),
+                Pool::Ext => Arc::clone(&self.injector_ext),
+            };
+            let other = match pool {
+                Pool::Base => Arc::clone(&self.injector_ext),
+                Pool::Ext => Arc::clone(&self.injector_base),
+            };
+            let results = Arc::clone(&self.results);
+            let remaining = Arc::clone(&self.remaining);
+            let seq = Arc::clone(&seq);
+            handles.push(std::thread::spawn(move || {
+                let local: Worker<Job> = Worker::new_fifo();
+                let _stealer: Stealer<Job> = local.stealer();
+                loop {
+                    if remaining.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    let job = local.pop().or_else(|| loop {
+                        match own.steal() {
+                            Steal::Success(j) => break Some(j),
+                            Steal::Empty => break None,
+                            Steal::Retry => continue,
+                        }
+                    });
+                    let job = match job {
+                        Some(j) => Some(j),
+                        None => loop {
+                            match other.steal() {
+                                Steal::Success(j) => break Some(j),
+                                Steal::Empty => break None,
+                                Steal::Retry => continue,
+                            }
+                        },
+                    };
+                    match job {
+                        Some(j) => {
+                            let cycles = j(pool);
+                            let idx = seq.fetch_add(1, Ordering::SeqCst);
+                            results.lock().push((idx, cycles));
+                            remaining.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        Arc::try_unwrap(self.results)
+            .expect("all workers joined")
+            .into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_task(cycles: u64) -> TaskCost {
+        TaskCost {
+            prefers: Pool::Base,
+            on_ext: cycles,
+            on_base: Some(cycles),
+            fam_probe: 0,
+            ext_accelerated: false,
+        }
+    }
+
+    fn ext_task(on_ext: u64, on_base: Option<u64>) -> TaskCost {
+        TaskCost {
+            prefers: Pool::Ext,
+            on_ext,
+            on_base,
+            fam_probe: 10,
+            ext_accelerated: true,
+        }
+    }
+
+    #[test]
+    fn all_cores_utilized_with_stealing() {
+        // 8 identical base tasks on 2+2 cores: latency = 2 task times.
+        let m = SimMachine {
+            base_cores: 2,
+            ext_cores: 2,
+            migrate_cost: 100,
+        };
+        let tasks = vec![base_task(1000); 8];
+        let r = simulate_work_stealing(m, &tasks);
+        assert_eq!(r.latency, 2000);
+        assert_eq!(r.cpu_time, 8000);
+    }
+
+    #[test]
+    fn fam_idles_base_cores_on_ext_only_load() {
+        // Only extension tasks that base cores cannot run: FAM burns the
+        // probe + migration on base cores but all real work is on ext.
+        let m = SimMachine {
+            base_cores: 2,
+            ext_cores: 2,
+            migrate_cost: 100,
+        };
+        let tasks = vec![ext_task(1000, None); 40];
+        let fam = simulate_work_stealing(m, &tasks);
+        // Chimera-like: base cores CAN run them (translated, 2x slower).
+        let tasks = vec![ext_task(1000, Some(2000)); 40];
+        let chimera = simulate_work_stealing(m, &tasks);
+        assert!(
+            chimera.latency < fam.latency,
+            "offloading must beat fault-and-migrate: {} vs {}",
+            chimera.latency,
+            fam.latency
+        );
+        assert!(chimera.ran_on_base > 0);
+        assert!(fam.migrations > 0);
+    }
+
+    #[test]
+    fn accelerated_share_counts() {
+        let m = SimMachine {
+            base_cores: 4,
+            ext_cores: 4,
+            migrate_cost: 100,
+        };
+        let tasks = vec![ext_task(1000, Some(2000)); 16];
+        let r = simulate_work_stealing(m, &tasks);
+        assert_eq!(r.ext_tasks, 16);
+        assert!(r.accelerated_ext_tasks < 16, "some offloaded to base");
+        assert!(r.accelerated_ext_tasks > 0);
+        assert_eq!(r.accelerated_ext_tasks + r.ran_on_base, 16);
+    }
+
+    #[test]
+    fn threaded_pool_runs_everything() {
+        let pool = ThreadedPool::new(2, 2);
+        for i in 0..32u64 {
+            pool.spawn(
+                if i % 2 == 0 { Pool::Base } else { Pool::Ext },
+                move |_p| i,
+            );
+        }
+        let results = pool.run();
+        assert_eq!(results.len(), 32);
+    }
+}

@@ -1,0 +1,390 @@
+//! Integration tests for the kernel runtime: passive fault handling,
+//! MMView migration, signal compatibility, and lazy rewriting.
+
+use chimera_isa::{Ext, ExtSet, XReg};
+use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
+use chimera_obj::{assemble, AsmOptions};
+use chimera_rewrite::{chbp_rewrite, Mode, RewriteOptions};
+
+const VEC_PROG: &str = "
+    .data
+    a: .dword 2
+       .dword 3
+       .dword 4
+       .dword 5
+    .text
+    _start:
+        li t0, 4
+        vsetvli t1, t0, e64, m1, ta, ma
+        la a0, a
+        vle64.v v1, (a0)
+        vmv.v.i v2, 0
+        vredsum.vs v3, v1, v2
+        vmv.x.s a0, v3
+        li a7, 93
+        ecall
+";
+
+fn chbp_variant(src: &str) -> Variant {
+    let bin = assemble(src, AsmOptions::default()).unwrap();
+    let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+    Variant {
+        binary: rw.binary,
+        tables: RuntimeTables {
+            fht: Some(rw.fht),
+            regen: None,
+        },
+    }
+}
+
+#[test]
+fn kernel_runs_downgraded_binary_with_zero_fault_handling() {
+    let variant = chbp_variant(VEC_PROG);
+    let process = Process::new(vec![variant]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
+    let mut k = KernelRunner::new(view.tables.clone());
+    let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(14));
+    // Assertion 2: normal executions trigger no fault handling at all.
+    assert_eq!(k.counters.total(), 0);
+}
+
+/// Runs the *original* binary with pc forced to `start`: the reference
+/// behaviour an erroneous jump must reproduce after rewriting (Claim 2 is
+/// semantic equivalence, not a fixed result).
+fn original_outcome(src: &str, start: u64) -> i64 {
+    let bin = assemble(src, AsmOptions::default()).unwrap();
+    let (mut cpu, mut mem) = chimera_emu::boot(&bin, ExtSet::RV64GCV);
+    cpu.hart.pc = start;
+    chimera_emu::run_cpu(&mut cpu, &mut mem, 1_000_000)
+        .expect("original runs")
+        .exit_code
+}
+
+#[test]
+fn erroneous_jump_is_recovered_passively() {
+    let variant = chbp_variant(VEC_PROG);
+    let fht = variant.tables.fht.clone().unwrap();
+    let process = Process::new(vec![variant]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
+    let mut k = KernelRunner::new(view.tables.clone());
+
+    // Force an erroneous jump onto an overwritten neighbour and let the
+    // kernel recover: execution continues with the original semantics of
+    // a jump to that address (Claim 2).
+    let (&fault_addr, _) = fht.redirects.iter().next().expect("redirects exist");
+    let expected = original_outcome(VEC_PROG, fault_addr);
+    cpu.hart.pc = fault_addr;
+    let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(expected));
+    assert_eq!(k.counters.smile_faults, 1);
+}
+
+#[test]
+fn every_redirect_target_recovers() {
+    // Exhaustive Claim 2 check: for EVERY fault-handling-table entry, an
+    // erroneous jump onto the overwritten instruction reproduces the
+    // original binary's behaviour for a jump to that address.
+    let variant = chbp_variant(VEC_PROG);
+    let fht = variant.tables.fht.clone().unwrap();
+    let process = Process::new(vec![variant]);
+    for (&fault_addr, _) in fht.redirects.iter() {
+        let expected = original_outcome(VEC_PROG, fault_addr);
+        let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
+        let mut k = KernelRunner::new(view.tables.clone());
+        cpu.hart.pc = fault_addr;
+        let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
+        assert_eq!(
+            outcome,
+            RunOutcome::Exited(expected),
+            "erroneous jump to {fault_addr:#x} must recover"
+        );
+        assert!(k.counters.smile_faults >= 1);
+    }
+}
+
+#[test]
+fn signal_inside_trampoline_sees_correct_gp() {
+    let variant = chbp_variant(VEC_PROG);
+    let fht = variant.tables.fht.clone().unwrap();
+    let abi_gp = fht.abi_gp;
+    let tramp = *fht.trampolines.iter().next().unwrap();
+    let process = Process::new(vec![variant]);
+    let (mut cpu, _mem, view) = process.load(ExtSet::RV64GC).unwrap();
+    let mut k = KernelRunner::new(view.tables.clone());
+
+    // Park mid-trampoline with gp clobbered (as if the auipc executed).
+    cpu.hart.pc = tramp + 4;
+    cpu.hart.set_x(XReg::GP, 0x9999_0000);
+    k.deliver_signal(&mut cpu, 0x4444_0000);
+    // Figure 10: the handler observes the correct (ABI) gp...
+    assert_eq!(cpu.hart.gp(), abi_gp);
+    assert_eq!(cpu.hart.get_x(XReg::RA), chimera_kernel::SIGRETURN_ADDR);
+    assert_eq!(k.counters.signals_gp_restored, 1);
+
+    // ...and outside a trampoline, gp passes through untouched.
+    let (mut cpu2, _mem2, view2) = process.load(ExtSet::RV64GC).unwrap();
+    let mut k2 = KernelRunner::new(view2.tables.clone());
+    cpu2.hart.set_x(XReg::GP, abi_gp);
+    k2.deliver_signal(&mut cpu2, 0x4444_0000);
+    assert_eq!(k2.counters.signals_gp_restored, 0);
+}
+
+#[test]
+fn sigreturn_restores_interrupted_context_and_program_completes() {
+    // Full Figure-10 scenario: a signal lands mid-trampoline (between the
+    // auipc and the jalr), the handler observes the ABI gp and records it,
+    // sigreturn restores the in-flight gp, and the program completes with
+    // the correct result.
+    let src_with_handler = "
+        .data
+        a: .dword 2
+           .dword 3
+           .dword 4
+           .dword 5
+        seen_gp: .dword 0
+        .text
+        _start:
+            li t0, 4
+            vsetvli t1, t0, e64, m1, ta, ma
+            la a0, a
+            vle64.v v1, (a0)
+            vmv.v.i v2, 0
+            vredsum.vs v3, v1, v2
+            vmv.x.s a0, v3
+            li a7, 93
+            ecall
+        handler:
+            la t6, seen_gp
+            sd gp, 0(t6)
+            ret
+    ";
+    let bin = assemble(src_with_handler, AsmOptions::default()).unwrap();
+    let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+    let abi_gp = rw.fht.abi_gp;
+    let tramp = *rw.fht.trampolines.iter().next().unwrap();
+    // Locate the handler (the `la t6, seen_gp` auipc).
+    let d = chimera_analysis::disassemble(&rw.binary);
+    let handler = d
+        .iter()
+        .find(|di| matches!(di.inst, chimera_isa::Inst::Auipc { rd: XReg::T6, .. }))
+        .expect("handler present")
+        .addr;
+    let data_addr = rw.binary.section(".data").unwrap().addr;
+    let variant = Variant {
+        binary: rw.binary,
+        tables: RuntimeTables {
+            fht: Some(rw.fht),
+            regen: None,
+        },
+    };
+    let process = Process::new(vec![variant]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
+    let mut k = KernelRunner::new(view.tables.clone());
+
+    // Execute naturally up to the point *between* the trampoline's auipc
+    // and jalr: gp now holds the in-flight target, registers are live.
+    while cpu.hart.pc != tramp + 4 {
+        cpu.step(&mut mem).expect("pre-signal execution is normal");
+    }
+    let inflight_gp = cpu.hart.gp();
+    assert_ne!(inflight_gp, abi_gp, "auipc must have clobbered gp");
+
+    k.deliver_signal(&mut cpu, handler);
+    assert_eq!(cpu.hart.gp(), abi_gp, "handler sees the ABI gp");
+
+    // Run to completion: handler -> sigreturn -> trampoline resumes with
+    // the in-flight gp -> program finishes normally.
+    let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(14));
+    // The handler recorded the gp it observed into `seen_gp` (registers
+    // are restored by sigreturn, so memory is the only channel).
+    let seen = mem.read_u64(data_addr + 32).unwrap();
+    assert_eq!(seen, abi_gp, "the gp value the handler recorded");
+}
+
+#[test]
+fn untranslated_source_requests_migration() {
+    // lmul=8 has no downgrade template: the site stays unpatched and the
+    // kernel requests migration when it executes (FAM fallback).
+    let src = "
+        _start:
+            li t0, 4
+            vsetvli t1, t0, e64, m8, ta, ma
+            li a0, 1
+            li a7, 93
+            ecall
+    ";
+    let bin = assemble(src, AsmOptions::default()).unwrap();
+    let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+    assert!(!rw.fht.untranslated.is_empty());
+    let variant = Variant {
+        binary: rw.binary,
+        tables: RuntimeTables {
+            fht: Some(rw.fht),
+            regen: None,
+        },
+    };
+    let process = Process::new(vec![variant]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
+    let mut k = KernelRunner::new(view.tables.clone());
+    match k.run(&mut cpu, &mut mem, 10_000) {
+        RunOutcome::NeedsMigration { pc } => {
+            let fht = process.views[0].tables.fht.as_ref().unwrap();
+            assert!(fht.untranslated.contains(&pc));
+        }
+        other => panic!("expected migration request, got {other:?}"),
+    }
+}
+
+#[test]
+fn mmview_migration_mid_task() {
+    // Run the first chunk on an extension core with the native binary,
+    // migrate, and finish on a base core with the downgraded view. Vector
+    // state carries over through the spill section.
+    let src = "
+        .data
+        a: .dword 100
+           .dword 200
+           .dword 300
+           .dword 400
+        .text
+        _start:
+            li t0, 4
+            vsetvli t1, t0, e64, m1, ta, ma
+            la a0, a
+            vle64.v v1, (a0)
+            vmv.v.i v2, 0
+            vredsum.vs v3, v1, v2
+            vmv.x.s a0, v3
+            li a7, 93
+            ecall
+    ";
+    let bin = assemble(src, AsmOptions::default()).unwrap();
+    let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+    let spill = rw.fht.spill_base;
+    let process = Process::new(vec![
+        Variant::native(bin.clone()),
+        Variant {
+            binary: rw.binary,
+            tables: RuntimeTables {
+                fht: Some(rw.fht),
+                regen: None,
+            },
+        },
+    ]);
+
+    // Phase 1: native on the extension core, stop after the vle64.
+    let (mut cpu, mut mem, _view) = process.load(ExtSet::RV64GCV).unwrap();
+    for _ in 0..64 {
+        if cpu.stats.vector_insts == 2 {
+            break;
+        }
+        cpu.step(&mut mem).unwrap();
+    }
+    assert_eq!(cpu.stats.vector_insts, 2, "vsetvli + vle64 executed");
+
+    // Migrate: switch views first (mapping the spill section), then sync
+    // the architectural vector state into it.
+    assert!(Process::migration_safe(&process.views[0], cpu.hart.pc));
+    assert!(process.switch_view(&mut mem, &mut cpu, ExtSet::RV64GC));
+    chimera_kernel::sync_vectors_to_spill(&cpu, &mut mem, spill);
+
+    // Phase 2: kernel-supervised run on the base core.
+    let view = process.view_for(ExtSet::RV64GC).unwrap();
+    let mut k = KernelRunner::new(view.tables.clone());
+    let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(1000));
+}
+
+#[test]
+fn lazy_rewriting_recovers_hidden_vector_code() {
+    // A vector block reachable only through a pointer the scan cannot see
+    // (stored doubled, halved at runtime): static rewriting misses it, so
+    // the kernel must rewrite lazily on the illegal-instruction fault.
+    let src = "
+        .data
+        a: .dword 7
+           .dword 8
+           .dword 9
+           .dword 10
+        coded_ptr: .dword 0
+        .text
+        _start:
+            li t0, 4
+            vsetvli t1, t0, e64, m1, ta, ma
+            la a0, a
+            la t2, coded_ptr
+            ld t3, 0(t2)
+            srli t3, t3, 1
+            jr t3
+        hidden:
+            vle64.v v1, (a0)
+            vmv.v.i v2, 0
+            vredsum.vs v3, v1, v2
+            vmv.x.s a0, v3
+            li a7, 93
+            ecall
+    ";
+    // Locate `hidden` using a reference build with a visible pointer.
+    let ref_bin = assemble(
+        &src.replace("coded_ptr: .dword 0", "coded_ptr: .dword hidden"),
+        AsmOptions::default(),
+    )
+    .unwrap();
+    let dref = chimera_analysis::disassemble(&ref_bin);
+    let hidden = dref
+        .iter()
+        .find(|di| matches!(di.inst, chimera_isa::Inst::VLoad { .. }))
+        .unwrap()
+        .addr;
+
+    let mut bin = assemble(src, AsmOptions::default()).unwrap();
+    let data = bin.section(".data").unwrap().addr;
+    bin.write(data + 32, &(hidden * 2).to_le_bytes());
+
+    // Sanity: the coded program runs natively.
+    let native = chimera_emu::run_binary(&bin, 100_000).unwrap();
+    assert_eq!(native.exit_code, 34);
+
+    // The static pass cannot see `hidden` (not in the redirect scan).
+    let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+    let variant = Variant {
+        binary: rw.binary,
+        tables: RuntimeTables {
+            fht: Some(rw.fht),
+            regen: None,
+        },
+    };
+    let process = Process::new(vec![variant]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
+    let mut k = KernelRunner::new(view.tables.clone());
+    let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(34));
+    assert!(k.counters.lazy_rewrites > 0, "lazy rewriting must trigger");
+}
+
+#[test]
+fn empty_patch_mode_via_kernel() {
+    let bin = assemble(VEC_PROG, AsmOptions::default()).unwrap();
+    let rw = chbp_rewrite(
+        &bin,
+        ExtSet::RV64GCV,
+        RewriteOptions {
+            mode: Mode::EmptyPatch(Ext::V),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let variant = Variant {
+        binary: rw.binary,
+        tables: RuntimeTables {
+            fht: Some(rw.fht),
+            regen: None,
+        },
+    };
+    let process = Process::new(vec![variant]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GCV).unwrap();
+    let mut k = KernelRunner::new(view.tables.clone());
+    assert_eq!(k.run(&mut cpu, &mut mem, 1_000_000), RunOutcome::Exited(14));
+}

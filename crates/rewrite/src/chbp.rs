@@ -1,0 +1,1148 @@
+//! CHBP — Correct and High-performance Binary Patching (§3.4, §4.2, §4.3).
+//!
+//! Given a binary and a target core profile, CHBP:
+//!
+//! 1. scans the disassembly for *source instructions* (instructions the
+//!    target profile cannot execute — or, in empty-patching mode, all
+//!    instructions of a chosen extension, re-emitted verbatim, the
+//!    methodology §6.2 uses);
+//! 2. generates *target instructions* for each patch site into a new
+//!    executable `.chimera.text` section (translations from
+//!    [`Translator`], plus position-independent copies of overwritten
+//!    neighbours and, under batching, of the rest of the basic block);
+//! 3. overwrites each site with a SMILE trampoline whose interior entry
+//!    points all fault deterministically ([`crate::smile`]);
+//! 4. emits the fault-handling table mapping every overwritten original
+//!    instruction address to its copy, for the runtime's passive fault
+//!    handler.
+//!
+//! Exit jumps from target blocks back to original code use, in order:
+//! a plain `jal` when in range; a dead register found by traditional
+//! liveness; CHBP's *exit-position shifting* (copy more instructions until
+//! a dead register appears); and finally a trap-based exit. The two failure
+//! counters feed Table 3.
+
+use crate::emitter::BlockEmitter;
+use crate::smile::{
+    encode_smile, next_reachable_target, Smile, SmileConstraints,
+};
+use crate::translate::{SpillLayout, Translator};
+use chimera_analysis::{disassemble, Cfg, DisasmInst, Disassembly, Liveness};
+use chimera_isa::{encode, Ext, ExtSet, Inst, XReg};
+use chimera_obj::{pcrel_hi_lo, Binary, Perms};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the rewrite should do with source instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Translate instructions the target profile lacks into base sequences.
+    Downgrade,
+    /// Re-emit source instructions of the given extension verbatim — the
+    /// "empty patching" methodology of §6.2, isolating rewriting overhead.
+    EmptyPatch(Ext),
+}
+
+/// Rewrite options.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Source-instruction handling.
+    pub mode: Mode,
+    /// Batch all source instructions of a basic block behind one
+    /// trampoline execution (§4.2 "Additionally, to enhance performance").
+    pub batching: bool,
+    /// Enable CHBP's exit-position shifting (disable to measure the
+    /// traditional-liveness-only baseline of Table 3).
+    pub exit_shifting: bool,
+    /// Give up on a SMILE trampoline whose constrained target placement
+    /// would waste more than this much padding, using a trap instead.
+    pub max_padding: u64,
+    /// Force trap-based entries at every patch site (the strawman
+    /// binary-patching baseline of §6.2, isolating SMILE's benefit).
+    pub force_trap_entries: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            mode: Mode::Downgrade,
+            batching: true,
+            exit_shifting: true,
+            max_padding: 64 * 1024,
+            force_trap_entries: false,
+        }
+    }
+}
+
+/// The fault-handling table and related runtime metadata (§4.3).
+#[derive(Debug, Clone, Default)]
+pub struct FaultTable {
+    /// Overwritten-instruction address → address of its copy in
+    /// `.chimera.text`. The passive fault handler redirects here.
+    pub redirects: BTreeMap<u64, u64>,
+    /// Trap-based *entries*: `ebreak` address in `.text` → target block.
+    pub trap_entries: BTreeMap<u64, u64>,
+    /// Trap-based *exits*: `ebreak` address in `.chimera.text` → original
+    /// resume address.
+    pub trap_exits: BTreeMap<u64, u64>,
+    /// The psABI `gp` value the handler restores after a P1 fault.
+    pub abi_gp: u64,
+    /// SMILE trampoline head addresses (each spans 8 bytes).
+    pub trampolines: BTreeSet<u64>,
+    /// The `.chimera.text` range (used to delay migration while pc is
+    /// inside target instructions, §4.3).
+    pub target_range: (u64, u64),
+    /// The `.chimera.vregs` spill section base (simulated vector state).
+    pub spill_base: u64,
+    /// Source instructions left unpatched because no downgrade template
+    /// exists; executing one raises an illegal-instruction fault and the
+    /// kernel migrates the task to a capable core (FAM-style fallback).
+    pub untranslated: BTreeSet<u64>,
+}
+
+impl FaultTable {
+    /// Whether `pc` lies inside any placed SMILE trampoline (used by the
+    /// signal-delivery path to restore `gp` for user handlers).
+    pub fn inside_trampoline(&self, pc: u64) -> bool {
+        self.trampolines
+            .range(..=pc)
+            .next_back()
+            .is_some_and(|&t| pc < t + 8)
+    }
+
+    /// Whether `pc` is inside the target-instruction section.
+    pub fn in_target_section(&self, pc: u64) -> bool {
+        pc >= self.target_range.0 && pc < self.target_range.1
+    }
+}
+
+/// Rewriting statistics (Table 3 and the §6.2 breakdowns).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RewriteStats {
+    /// Executable bytes in the original binary.
+    pub code_size: u64,
+    /// Recognized instructions.
+    pub total_insts: usize,
+    /// Source instructions (needing rewrite).
+    pub source_insts: usize,
+    /// Patch sites that got a SMILE trampoline.
+    pub smile_trampolines: usize,
+    /// Of those, sites needing P2/P3 encoding constraints.
+    pub constrained_smiles: usize,
+    /// Exit jumps emitted (jal + register trampolines + traps).
+    pub exit_jumps: usize,
+    /// Exits that needed a long-range register trampoline.
+    pub exit_trampolines: usize,
+    /// Exits where *traditional* liveness found no dead register.
+    pub dead_reg_not_found_traditional: usize,
+    /// Exits where CHBP (with shifting) still found no dead register.
+    pub dead_reg_not_found_shift: usize,
+    /// Sites that fell back to a trap-based entry.
+    pub trap_entries: usize,
+    /// Exits that fell back to a trap.
+    pub trap_exits: usize,
+    /// Bytes of target-section padding spent satisfying SMILE constraints.
+    pub padding_bytes: u64,
+    /// Final `.chimera.text` size.
+    pub target_section_size: u64,
+}
+
+/// A rewritten binary plus its runtime metadata.
+#[derive(Debug, Clone)]
+pub struct Rewritten {
+    /// The patched binary (target profile recorded).
+    pub binary: Binary,
+    /// Fault-handling table for the runtime.
+    pub fht: FaultTable,
+    /// Rewrite statistics.
+    pub stats: RewriteStats,
+}
+
+/// Rewriting errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The binary failed validation.
+    BadBinary(String),
+    /// Internal layout failure (should not happen; surfaced loudly).
+    Layout(String),
+}
+
+impl core::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RewriteError::BadBinary(s) => write!(f, "bad input binary: {s}"),
+            RewriteError::Layout(s) => write!(f, "layout failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Is `inst` a source instruction under `mode` for `target`?
+fn is_source(inst: &Inst, mode: Mode, target: ExtSet) -> bool {
+    match mode {
+        Mode::Downgrade => !inst.runnable_on(target),
+        Mode::EmptyPatch(ext) => inst.ext() == Some(ext),
+    }
+}
+
+/// Rewrites `binary` for a core with profile `target` using CHBP.
+pub fn chbp_rewrite(
+    binary: &Binary,
+    target: ExtSet,
+    opts: RewriteOptions,
+) -> Result<Rewritten, RewriteError> {
+    binary
+        .validate()
+        .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
+
+    let d = disassemble(binary);
+    let cfg = Cfg::build(&d);
+    let liveness = Liveness::compute(&cfg);
+
+    let mut out = binary.clone();
+    let mut stats = RewriteStats {
+        code_size: binary.code_size(),
+        total_insts: d.insts.len(),
+        ..Default::default()
+    };
+
+    // Reserve the spill section, then compute where .chimera.text will go.
+    let spill_base = out.append_section(
+        ".chimera.vregs",
+        vec![0u8; SpillLayout::SIZE.next_multiple_of(0x1000)],
+        Perms::RW,
+    );
+    let target_base = {
+        let top = out.sections.iter().map(|s| s.end()).max().unwrap_or(0);
+        (top + 0xfff) & !0xfff
+    };
+
+    let mut fht = FaultTable {
+        abi_gp: binary.gp,
+        spill_base,
+        ..Default::default()
+    };
+    let mut translator = Translator::new(spill_base, binary.gp);
+
+    // Collect patch sites: source instructions in address order.
+    let sources: Vec<DisasmInst> = d
+        .iter()
+        .filter(|di| is_source(&di.inst, opts.mode, target))
+        .copied()
+        .collect();
+    stats.source_insts = sources.len();
+
+    let mut target_code: Vec<u8> = Vec::new();
+    let mut text_patches: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut covered_until: u64 = 0;
+
+    for site in &sources {
+        if site.addr < covered_until {
+            // Inside a previous trampoline's space: no own trampoline; the
+            // previous site's block already translated it and the FHT
+            // redirect covers erroneous jumps onto it.
+            continue;
+        }
+        // A site whose instruction has no downgrade template stays
+        // unpatched: at runtime it raises an illegal-instruction fault and
+        // the kernel falls back to migration (FAM-style).
+        if opts.mode == Mode::Downgrade {
+            let mut probe = BlockEmitter::new(target_base);
+            if translator.downgrade(&site.inst, &mut probe).is_err() {
+                fht.untranslated.insert(site.addr);
+                covered_until = site.addr + site.len as u64;
+                continue;
+            }
+        }
+        if opts.force_trap_entries {
+            // Strawman: a trap-based entry, but with the same region
+            // batching as CHBP (one kernel round trip per block execution,
+            // not per source instruction). Only the source instruction's
+            // own bytes are replaced; neighbours stay intact.
+            if let Some(region) = build_region(&d, &cfg, site, opts) {
+                let block_addr = target_base + target_code.len() as u64;
+                let mut em = BlockEmitter::new(block_addr);
+                emit_block(
+                    &region,
+                    &d,
+                    &liveness,
+                    opts,
+                    &mut translator,
+                    &mut em,
+                    &mut fht,
+                    &mut stats,
+                    target,
+                );
+                target_code.extend_from_slice(&em.finish());
+                let patch = if site.len == 2 {
+                    chimera_isa::encode_compressed(&Inst::Ebreak)
+                        .expect("c.ebreak")
+                        .to_le_bytes()
+                        .to_vec()
+                } else {
+                    encode(&Inst::Ebreak)
+                        .expect("ebreak")
+                        .to_le_bytes()
+                        .to_vec()
+                };
+                text_patches.push((site.addr, patch));
+                fht.trap_entries.insert(site.addr, block_addr);
+                stats.trap_entries += 1;
+                // Neighbours keep their original bytes: interior redirects
+                // recorded by emit_block are unused but harmless.
+                covered_until = site.addr + site.len as u64;
+            } else {
+                place_trap_entry(
+                    site,
+                    &d,
+                    &liveness,
+                    opts,
+                    &mut translator,
+                    &mut target_code,
+                    target_base,
+                    &mut text_patches,
+                    &mut fht,
+                    &mut stats,
+                    target,
+                );
+                covered_until = site.addr + site.len as u64;
+            }
+            continue;
+        }
+        let Some(region) = build_region(&d, &cfg, site, opts) else {
+            // Cannot form an 8-byte space: trap-based entry.
+            place_trap_entry(
+                site,
+                &d,
+                &liveness,
+                opts,
+                &mut translator,
+                &mut target_code,
+                target_base,
+                &mut text_patches,
+                &mut fht,
+                &mut stats,
+                target,
+            );
+            covered_until = site.addr + site.len as u64;
+            continue;
+        };
+
+        let constraints = region.constraints(&d);
+
+        // Pick the block address under SMILE reachability.
+        let min_addr = target_base + target_code.len() as u64;
+        let block_addr = match next_reachable_target(site.addr, min_addr, constraints) {
+            Some(a) if a - min_addr <= opts.max_padding => a,
+            _ => {
+                place_trap_entry(
+                    site,
+                    &d,
+                    &liveness,
+                    opts,
+                    &mut translator,
+                    &mut target_code,
+                    target_base,
+                    &mut text_patches,
+                    &mut fht,
+                    &mut stats,
+                    target,
+                );
+                covered_until = site.addr + site.len as u64;
+                continue;
+            }
+        };
+        let padding = block_addr - min_addr;
+        stats.padding_bytes += padding;
+        pad_illegal(&mut target_code, padding as usize);
+
+        // Emit the target block.
+        let mut em = BlockEmitter::new(block_addr);
+        emit_block(
+            &region,
+            &d,
+            &liveness,
+            opts,
+            &mut translator,
+            &mut em,
+            &mut fht,
+            &mut stats,
+            target,
+        );
+        let bytes = em.finish();
+        debug_assert_eq!(target_base + target_code.len() as u64, block_addr);
+        target_code.extend_from_slice(&bytes);
+
+        // Encode and place the SMILE trampoline.
+        let smile: Smile = encode_smile(site.addr, block_addr, constraints)
+            .map_err(|e| RewriteError::Layout(format!("SMILE at {:#x}: {e}", site.addr)))?;
+        let mut patch = smile.bytes().to_vec();
+        // Fill the rest of the space (if the space is wider than 8 bytes)
+        // with reserved-illegal halfwords so any entry there faults.
+        let extra = (region.space_end - site.addr - 8) as usize;
+        for _ in 0..extra / 2 {
+            patch.extend_from_slice(&ILLEGAL_HALFWORD.to_le_bytes());
+        }
+        text_patches.push((site.addr, patch));
+        fht.trampolines.insert(site.addr);
+        stats.smile_trampolines += 1;
+        if constraints != SmileConstraints::NONE {
+            stats.constrained_smiles += 1;
+        }
+
+        covered_until = region.space_end;
+    }
+
+    // Apply text patches.
+    for (addr, bytes) in text_patches {
+        if !out.write(addr, &bytes) {
+            return Err(RewriteError::Layout(format!(
+                "patch at {addr:#x} does not fit its section"
+            )));
+        }
+    }
+
+    // Attach the target section.
+    stats.target_section_size = target_code.len() as u64;
+    if target_code.is_empty() {
+        // Keep an empty-but-mapped page so ranges stay meaningful.
+        target_code.resize(16, 0);
+    }
+    let placed = out.append_section(".chimera.text", target_code, Perms::RX);
+    if placed != target_base {
+        return Err(RewriteError::Layout(format!(
+            "target section landed at {placed:#x}, expected {target_base:#x}"
+        )));
+    }
+    fht.target_range = (target_base, out.section(".chimera.text").unwrap().end());
+    out.profile = target;
+
+    out.validate()
+        .map_err(|e| RewriteError::BadBinary(format!("rewritten binary invalid: {e}")))?;
+    Ok(Rewritten {
+        binary: out,
+        fht,
+        stats,
+    })
+}
+
+/// A reserved compressed encoding (quadrant 0, funct3 = 100): guaranteed
+/// illegal-instruction fault, used as filler for overwritten space beyond
+/// the 8-byte trampoline and for constraint padding.
+pub const ILLEGAL_HALFWORD: u16 = 0b100_0_0000_0000_00_00;
+
+fn pad_illegal(buf: &mut Vec<u8>, n: usize) {
+    debug_assert_eq!(n % 2, 0, "padding is halfword-granular");
+    for _ in 0..n / 2 {
+        buf.extend_from_slice(&ILLEGAL_HALFWORD.to_le_bytes());
+    }
+}
+
+/// A patch region: the instructions translated/copied into one target
+/// block.
+#[derive(Debug)]
+struct Region {
+    /// Instructions from the site onward, in order.
+    insts: Vec<DisasmInst>,
+    /// First byte after the overwritten space (≥ site + 8, an instruction
+    /// boundary).
+    space_end: u64,
+    /// Original address where execution resumes after the block (unless
+    /// the region ends in an unconditional jump).
+    resume: u64,
+    /// Whether the final instruction is a conditional branch (needs a
+    /// deferred taken-exit) or a plain jump (no fallthrough resume).
+    tail: RegionTail,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionTail {
+    /// Resume at `region.resume`.
+    Fallthrough,
+    /// Final instruction is `branch` to `taken`; fallthrough resumes.
+    Branch {
+        taken: u64,
+    },
+    /// Final instruction is an unconditional direct jump to `target`.
+    Jump {
+        target: u64,
+    },
+    /// Final instruction is an indirect non-linking jump (copied verbatim;
+    /// no resume).
+    IndirectJump,
+}
+
+impl Region {
+    /// Which interior trampoline offsets were original instruction starts.
+    fn constraints(&self, _d: &Disassembly) -> SmileConstraints {
+        let site = self.insts[0].addr;
+        let mut c = SmileConstraints::NONE;
+        for di in &self.insts {
+            if di.addr == site + 2 {
+                c.p2 = true;
+            }
+            if di.addr == site + 6 {
+                c.p3 = true;
+            }
+        }
+        c
+    }
+}
+
+/// Builds the region for a patch site, or `None` when no safe 8-byte space
+/// exists (the site then uses a trap-based entry).
+fn build_region(d: &Disassembly, cfg: &Cfg, site: &DisasmInst, opts: RewriteOptions) -> Option<Region> {
+    let block = cfg.block_containing(site.addr)?;
+    let block_last = block.insts.last().expect("blocks are non-empty");
+    let mut insts: Vec<DisasmInst> = Vec::new();
+    let mut addr = site.addr;
+    let space_min = site.addr + 8;
+    let mut tail = RegionTail::Fallthrough;
+
+    loop {
+        let Some(di) = d.at(addr) else {
+            // Ran out of recognized code before filling the space.
+            if addr >= space_min {
+                break;
+            }
+            return None;
+        };
+        let need_more_space = addr < space_min;
+        // Batching runs through the block *including* its terminator, so
+        // loop backedges stay inside the target block (branching to a
+        // local label when they target the site itself) and the
+        // fallthrough exit lands past the terminator, where exit-position
+        // shifting can walk (§4.2's basic-block merging).
+        let inside_batch = opts.batching && addr <= block_last.addr;
+        if !need_more_space && !inside_batch {
+            break;
+        }
+        match di.inst {
+            Inst::Branch { .. } => {
+                insts.push(*di);
+                let taken = di.inst.direct_target(di.addr).expect("branch target");
+                tail = RegionTail::Branch { taken };
+                addr = di.next_addr();
+                break;
+            }
+            Inst::Jal { rd, .. } if rd == XReg::ZERO => {
+                insts.push(*di);
+                let target = di.inst.direct_target(di.addr).expect("jal target");
+                tail = RegionTail::Jump { target };
+                addr = di.next_addr();
+                break;
+            }
+            Inst::Jalr { rd, .. } if rd == XReg::ZERO => {
+                insts.push(*di);
+                tail = RegionTail::IndirectJump;
+                addr = di.next_addr();
+                break;
+            }
+            _ => {
+                // Calls (jal/jalr with link), ecall and straight-line code
+                // continue the region.
+                insts.push(*di);
+                addr = di.next_addr();
+            }
+        }
+    }
+    let end = addr;
+    if end < space_min {
+        return None;
+    }
+    // space_end: the first instruction boundary ≥ site+8.
+    let mut space_end = site.addr;
+    for di in &insts {
+        if space_end >= space_min {
+            break;
+        }
+        space_end = di.next_addr();
+    }
+    if space_end < space_min {
+        return None;
+    }
+    Some(Region {
+        insts,
+        space_end,
+        resume: end,
+        tail,
+    })
+}
+
+/// Emits one region's target block: gp restore, then per-instruction
+/// translation/copy, then the exit(s). Updates the FHT with redirect
+/// entries for every instruction whose original bytes the trampoline
+/// overwrites.
+#[allow(clippy::too_many_arguments)]
+fn emit_block(
+    region: &Region,
+    d: &Disassembly,
+    liveness: &Liveness,
+    opts: RewriteOptions,
+    translator: &mut Translator,
+    em: &mut BlockEmitter,
+    fht: &mut FaultTable,
+    stats: &mut RewriteStats,
+    target: ExtSet,
+) {
+    let site = region.insts[0].addr;
+    // Restore gp: the SMILE jalr left the return address in it.
+    em.label("block_head");
+    translator.restore_gp(em);
+
+    let mut deferred_branch: Option<(u64, String)> = None;
+    // Consecutive translated vector instructions share one scratch
+    // save/restore sequence (the §4.2 batching optimization applied at the
+    // translation level). Sequences are broken at FHT entry points so a
+    // redirected erroneous jump always lands at sequence-safe code.
+    let mut in_seq = false;
+
+    for (idx, di) in region.insts.iter().enumerate() {
+        // FHT entry for overwritten instruction starts (not the site head:
+        // jumping there executes the full trampoline, which is correct).
+        let needs_entry = di.addr > site && di.addr < region.space_end;
+        let translated_vector = opts.mode == Mode::Downgrade
+            && is_source(&di.inst, opts.mode, target)
+            && crate::translate::Translator::sequenceable(&di.inst)
+            && translator.probe(&di.inst).is_ok();
+        if in_seq && (needs_entry || !translated_vector) {
+            translator.seq_end(em);
+            in_seq = false;
+        }
+        if needs_entry {
+            fht.redirects.insert(di.addr, em.addr());
+        }
+        let is_last = idx == region.insts.len() - 1;
+        match di.inst {
+            Inst::Branch {
+                kind, rs1, rs2, ..
+            } if is_last && matches!(region.tail, RegionTail::Branch { .. }) => {
+                let RegionTail::Branch { taken } = region.tail else {
+                    unreachable!()
+                };
+                if taken == site {
+                    // A loop backedge to the patch site: iterate inside
+                    // the target block instead of re-entering through the
+                    // trampoline.
+                    em.branch_to(kind, rs1, rs2, "block_head");
+                } else {
+                    let label = format!("taken_{:x}", di.addr);
+                    em.branch_to(kind, rs1, rs2, label.clone());
+                    deferred_branch = Some((taken, label));
+                }
+            }
+            // The final unconditional jump of a Jump-tail region is not
+            // copied: the region exit (emitted below) performs it.
+            _ if is_last && matches!(region.tail, RegionTail::Jump { .. }) => {}
+            _ => {
+                if is_source(&di.inst, opts.mode, target) {
+                    match opts.mode {
+                        Mode::EmptyPatch(_) => {
+                            em.inst(di.inst);
+                        }
+                        Mode::Downgrade => {
+                            if translated_vector {
+                                if !in_seq {
+                                    translator.seq_begin(em);
+                                    in_seq = true;
+                                }
+                                translator
+                                    .downgrade_in_seq(&di.inst, em)
+                                    .expect("probed translatable");
+                            } else if translator.downgrade(&di.inst, em).is_err() {
+                                // No template for this mid-region source
+                                // instruction: mark its copy position so the
+                                // kernel's FAM fallback migrates when the
+                                // trap fires.
+                                let at = em.addr();
+                                em.inst(Inst::Ebreak);
+                                fht.untranslated.insert(at);
+                                fht.trap_exits.insert(at, di.next_addr());
+                            }
+                        }
+                    }
+                } else {
+                    reemit(&di.inst, di.addr, em);
+                }
+            }
+        }
+    }
+    if in_seq {
+        translator.seq_end(em);
+    }
+
+    // Exits.
+    match region.tail {
+        RegionTail::Fallthrough | RegionTail::Branch { .. } => {
+            emit_exit(region.resume, d, liveness, opts, target, em, fht, stats);
+        }
+        RegionTail::Jump { target: t } => {
+            emit_exit(t, d, liveness, opts, target, em, fht, stats);
+        }
+        RegionTail::IndirectJump => {}
+    }
+    if let Some((taken, label)) = deferred_branch {
+        em.label(label);
+        emit_exit(taken, d, liveness, opts, target, em, fht, stats);
+    }
+}
+
+/// Re-emits a non-source instruction at a new location, preserving
+/// semantics: pc-relative instructions are rebuilt, everything else is
+/// copied in canonical (uncompressed) form.
+pub(crate) fn reemit(inst: &Inst, old_addr: u64, em: &mut BlockEmitter) {
+    match *inst {
+        Inst::Auipc { rd, imm20 } => {
+            // Rebuild the absolute value the original would have produced.
+            let value = old_addr.wrapping_add(((imm20 as i64) << 12) as u64);
+            let new_pc = em.addr();
+            let (hi, lo) = pcrel_hi_lo(value as i64 - new_pc as i64);
+            em.inst(Inst::Auipc { rd, imm20: hi });
+            if lo != 0 {
+                em.inst(chimera_obj::addi(rd, rd, lo));
+            }
+        }
+        Inst::Jal { rd, offset } if rd != XReg::ZERO => {
+            // A call: long-range call trampoline; the return address links
+            // into the target block, which continues correctly.
+            let target = old_addr.wrapping_add(offset as i64 as u64);
+            let new_pc = em.addr();
+            let (hi, lo) = pcrel_hi_lo(target as i64 - new_pc as i64);
+            em.inst(Inst::Auipc { rd, imm20: hi });
+            em.inst(Inst::Jalr {
+                rd,
+                rs1: rd,
+                offset: lo,
+            });
+        }
+        Inst::Jal { .. } | Inst::Branch { .. } => {
+            unreachable!("plain jumps/branches are region tails, handled by the caller")
+        }
+        _ => {
+            em.inst(*inst);
+        }
+    }
+}
+
+/// Emits a jump from the current block position back to original address
+/// `resume`, choosing `jal` / dead-register trampoline / shifted exit /
+/// trap (§4.2 Challenge 2). Updates Table-3 counters.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_exit(
+    resume: u64,
+    d: &Disassembly,
+    liveness: &Liveness,
+    opts: RewriteOptions,
+    target: ExtSet,
+    em: &mut BlockEmitter,
+    fht: &mut FaultTable,
+    stats: &mut RewriteStats,
+) {
+    stats.exit_jumps += 1;
+    let here = em.addr();
+    let rel = resume as i64 - here as i64;
+    if (-(1 << 20)..(1 << 20)).contains(&rel) {
+        em.inst(Inst::Jal {
+            rd: XReg::ZERO,
+            offset: rel as i32,
+        });
+        return;
+    }
+    stats.exit_trampolines += 1;
+
+    // Traditional liveness at the exit position.
+    let traditional = liveness.dead_register_at(resume);
+    if traditional.is_none() {
+        stats.dead_reg_not_found_traditional += 1;
+    }
+    let mut exit_at = resume;
+    let mut dead = traditional;
+
+    if dead.is_none() && opts.exit_shifting {
+        // Walk forward copying instructions until a dead register appears.
+        let mut cursor = resume;
+        for _ in 0..16 {
+            let Some(di) = d.at(cursor) else { break };
+            if di.inst.is_terminator()
+                || matches!(di.inst, Inst::Auipc { .. })
+                || is_source(&di.inst, opts.mode, target)
+            {
+                // Keep the shifted copies simple: stop at control flow and
+                // never duplicate another patch site's source instruction.
+                break;
+            }
+            let next = di.next_addr();
+            if let Some(r) = liveness.dead_register_at(next) {
+                // Copy [resume, next) and exit at `next`.
+                let mut c = resume;
+                while c < next {
+                    let ci = d.at(c).expect("walked over recognized insts");
+                    reemit(&ci.inst, ci.addr, em);
+                    c = ci.next_addr();
+                }
+                exit_at = next;
+                dead = Some(r);
+                break;
+            }
+            cursor = next;
+        }
+    }
+
+    match dead {
+        Some(r) => {
+            let here = em.addr();
+            let (hi, lo) = pcrel_hi_lo(exit_at as i64 - here as i64);
+            em.inst(Inst::Auipc { rd: r, imm20: hi });
+            em.inst(Inst::Jalr {
+                rd: XReg::ZERO,
+                rs1: r,
+                offset: lo,
+            });
+        }
+        None => {
+            stats.dead_reg_not_found_shift += 1;
+            stats.trap_exits += 1;
+            let at = em.addr();
+            em.inst(Inst::Ebreak);
+            fht.trap_exits.insert(at, resume);
+        }
+    }
+}
+
+/// Places a trap-based entry for a site where no SMILE trampoline works:
+/// the source instruction is replaced in place by an `ebreak` (2-byte
+/// `c.ebreak` for compressed sources, so neighbours stay intact), and the
+/// kernel redirects to the target block. The translation is known to exist
+/// (probed by the caller).
+#[allow(clippy::too_many_arguments)]
+fn place_trap_entry(
+    site: &DisasmInst,
+    d: &Disassembly,
+    liveness: &Liveness,
+    opts: RewriteOptions,
+    translator: &mut Translator,
+    target_code: &mut Vec<u8>,
+    target_base: u64,
+    text_patches: &mut Vec<(u64, Vec<u8>)>,
+    fht: &mut FaultTable,
+    stats: &mut RewriteStats,
+    _target: ExtSet,
+) {
+    stats.trap_entries += 1;
+    let block_addr = target_base + target_code.len() as u64;
+    let mut em = BlockEmitter::new(block_addr);
+    translator.restore_gp(&mut em);
+    match opts.mode {
+        Mode::EmptyPatch(_) => {
+            em.inst(site.inst);
+        }
+        Mode::Downgrade => {
+            translator
+                .downgrade(&site.inst, &mut em)
+                .expect("caller probed translatability");
+        }
+    }
+    emit_exit(site.next_addr(), d, liveness, opts, _target, &mut em, fht, stats);
+    target_code.extend_from_slice(&em.finish());
+
+    let patch = if site.len == 2 {
+        chimera_isa::encode_compressed(&Inst::Ebreak)
+            .expect("c.ebreak exists")
+            .to_le_bytes()
+            .to_vec()
+    } else {
+        encode(&Inst::Ebreak)
+            .expect("ebreak encodes")
+            .to_le_bytes()
+            .to_vec()
+    };
+    text_patches.push((site.addr, patch));
+    fht.trap_entries.insert(site.addr, block_addr);
+}
+
+/// Mechanized Claim 1 check on a rewritten binary: every placed SMILE
+/// trampoline's interior entry points decode to an illegal instruction or
+/// to the gp-pivot `jalr`; every overwritten instruction start has a
+/// redirect or trap entry.
+pub fn verify_claim1(rw: &Rewritten, original: &Binary) -> Result<(), String> {
+    let d_orig = disassemble(original);
+    for &t in &rw.fht.trampolines {
+        // Gather original instruction starts inside [t, t+8).
+        for off in [2u64, 4, 6] {
+            let addr = t + off;
+            if d_orig.at(addr).is_none() {
+                continue; // Not an original instruction boundary.
+            }
+            let halfword = rw
+                .binary
+                .read_u16(addr)
+                .ok_or_else(|| format!("trampoline at {t:#x} unreadable"))?;
+            if off == 4 {
+                // P1: must be the SMILE jalr (gp pivot).
+                let word = rw
+                    .binary
+                    .read_u32(addr)
+                    .ok_or_else(|| format!("jalr at {addr:#x} unreadable"))?;
+                match chimera_isa::decode(word) {
+                    Ok(dec) => match dec.inst {
+                        Inst::Jalr { rd, rs1, .. }
+                            if rd == XReg::GP && rs1 == XReg::GP => {}
+                        other => {
+                            return Err(format!(
+                                "P1 at {addr:#x} is {other}, not the SMILE jalr"
+                            ))
+                        }
+                    },
+                    Err(_) => {} // Illegal is fine too (padding).
+                }
+            } else {
+                // P2/P3: the fetch must be illegal.
+                if halfword & 0b11 == 0b11 {
+                    let word = rw.binary.read_u32(addr).unwrap_or(halfword as u32);
+                    if chimera_isa::decode(word).is_ok() {
+                        return Err(format!("interior entry at {addr:#x} decodes legally"));
+                    }
+                } else if chimera_isa::decode_compressed(halfword).is_ok() {
+                    return Err(format!(
+                        "interior entry at {addr:#x} decodes as legal RVC"
+                    ));
+                }
+                // And it must have a redirect so the fault is recoverable.
+                if !rw.fht.redirects.contains_key(&addr) {
+                    return Err(format!("no FHT redirect for overwritten inst {addr:#x}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_emu::{run_binary, run_binary_on, Trap};
+    use chimera_obj::{assemble, AsmOptions};
+
+    const VEC_SUM: &str = "
+        .data
+        a: .dword 1
+           .dword 2
+           .dword 3
+           .dword 4
+        b: .dword 10
+           .dword 20
+           .dword 30
+           .dword 40
+        .text
+        _start:
+            li t0, 4
+            vsetvli t1, t0, e64, m1, ta, ma
+            la a0, a
+            la a1, b
+            vle64.v v1, (a0)
+            vle64.v v2, (a1)
+            vadd.vv v3, v1, v2
+            vmv.v.i v4, 0
+            vredsum.vs v5, v3, v4
+            vmv.x.s a0, v5
+            li a7, 93
+            ecall
+    ";
+
+    fn asm(src: &str) -> Binary {
+        assemble(src, AsmOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn downgrade_runs_on_base_core() {
+        let bin = asm(VEC_SUM);
+        let native = run_binary(&bin, 100_000).unwrap();
+        assert_eq!(native.exit_code, 110);
+
+        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+        assert!(rw.stats.smile_trampolines > 0);
+        assert!(rw.fht.untranslated.is_empty());
+        verify_claim1(&rw, &bin).unwrap();
+        // The rewritten binary runs on a core WITHOUT the vector extension.
+        let r = run_binary_on(&rw.binary, ExtSet::RV64GC, 1_000_000).unwrap();
+        assert_eq!(r.exit_code, 110);
+        assert_eq!(r.stats.vector_insts, 0);
+    }
+
+    #[test]
+    fn empty_patch_preserves_semantics_on_vector_core() {
+        let bin = asm(VEC_SUM);
+        let rw = chbp_rewrite(
+            &bin,
+            ExtSet::RV64GCV,
+            RewriteOptions {
+                mode: Mode::EmptyPatch(Ext::V),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = run_binary_on(&rw.binary, ExtSet::RV64GCV, 1_000_000).unwrap();
+        assert_eq!(r.exit_code, 110);
+        assert!(rw.stats.smile_trampolines > 0);
+    }
+
+    #[test]
+    fn claim1_verifies_on_compressed_binary() {
+        let bin = assemble(
+            VEC_SUM,
+            AsmOptions {
+                compress: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+        verify_claim1(&rw, &bin).unwrap();
+        let r = run_binary_on(&rw.binary, ExtSet::RV64GC, 1_000_000).unwrap();
+        assert_eq!(r.exit_code, 110);
+    }
+
+    #[test]
+    fn erroneous_jump_into_trampoline_faults_deterministically() {
+        // A program with a function pointer that targets the instruction
+        // *after* a source instruction — which CHBP overwrites with the
+        // SMILE jalr. Jumping there must raise the deterministic fault.
+        let bin = asm("
+            .data
+            vals: .dword 5
+                  .dword 6
+                  .dword 7
+                  .dword 8
+            .text
+            _start:
+                la t2, after_vec
+                li t0, 4
+                vsetvli t1, t0, e64, m1, ta, ma
+                la a0, vals
+                vle64.v v1, (a0)
+            after_vec:
+                li a0, 0
+                li a7, 93
+                ecall
+        ");
+        let rw = chbp_rewrite(
+            &bin,
+            ExtSet::RV64GC,
+            RewriteOptions {
+                batching: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Find the vle64 site: its trampoline covers the following li.
+        let site = *rw
+            .fht
+            .trampolines
+            .iter()
+            .next_back()
+            .expect("trampolines placed");
+        let p1 = site + 4;
+        assert!(
+            rw.fht.redirects.contains_key(&p1),
+            "overwritten neighbour must have a redirect"
+        );
+
+        // Execute an erroneous jump: boot and force pc to P1 with the
+        // ABI gp value (as any normal execution would have).
+        let (mut cpu, mut mem) = chimera_emu::boot(&rw.binary, ExtSet::RV64GC);
+        cpu.hart.pc = p1;
+        let stop = cpu.run(&mut mem, 10);
+        match stop {
+            chimera_emu::Stop::Trap(Trap::Mem { fault, .. }) => {
+                assert_eq!(fault.access, chimera_emu::Access::Fetch);
+                // Fault address: gp + lo12, inside the data segment.
+                let data = rw.binary.section(".data").unwrap();
+                assert!(
+                    fault.addr >= data.addr.saturating_sub(0x800)
+                        && fault.addr < data.end() + 0x800,
+                    "fault at {:#x} should be near the data segment",
+                    fault.addr
+                );
+                // And gp now holds P1 + 4 — the handler recovers the fault
+                // address as gp - 4.
+                assert_eq!(cpu.hart.gp(), p1 + 4);
+            }
+            other => panic!("expected deterministic fetch fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zb_downgrade_runs_without_b() {
+        let bin = asm("
+            _start:
+                li t0, 12
+                li t1, 5
+                sh1add a0, t0, t1     # 29
+                min a1, t0, t1        # 5
+                add a0, a0, a1        # 34
+                clz a2, t1            # 61
+                add a0, a0, a2        # 95
+                andn a3, t0, t1       # 12 & !5 = 8
+                add a0, a0, a3        # 103
+                li a7, 93
+                ecall
+        ");
+        let native = run_binary(&bin, 10_000).unwrap();
+        let base_no_b = ExtSet::RV64GC.without(Ext::B);
+        let rw = chbp_rewrite(&bin, base_no_b, RewriteOptions::default()).unwrap();
+        let r = run_binary_on(&rw.binary, base_no_b, 1_000_000).unwrap();
+        assert_eq!(r.exit_code, native.exit_code);
+        assert_eq!(native.exit_code, 103);
+    }
+
+    #[test]
+    fn rewrite_without_sources_is_identity_like() {
+        let bin = asm("
+            _start:
+                li a0, 7
+                li a7, 93
+                ecall
+        ");
+        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+        assert_eq!(rw.stats.smile_trampolines, 0);
+        let r = run_binary_on(&rw.binary, ExtSet::RV64GC, 1000).unwrap();
+        assert_eq!(r.exit_code, 7);
+    }
+
+    #[test]
+    fn downgraded_loop_with_branches() {
+        // A vector op inside a loop: the trampoline executes every
+        // iteration; batching folds the loop tail into the block.
+        let bin = asm("
+            .data
+            acc: .dword 0
+            vals: .dword 2
+                  .dword 3
+                  .dword 4
+                  .dword 5
+            .text
+            _start:
+                li s0, 10          # iterations
+                li s1, 0           # total
+                li t0, 4
+                vsetvli t1, t0, e64, m1, ta, ma
+                la a0, vals
+            loop:
+                vle64.v v1, (a0)
+                vmv.v.i v2, 0
+                vredsum.vs v3, v1, v2
+                vmv.x.s t2, v3
+                add s1, s1, t2
+                addi s0, s0, -1
+                bnez s0, loop
+                mv a0, s1          # 10 * 14 = 140
+                li a7, 93
+                ecall
+        ");
+        let native = run_binary(&bin, 100_000).unwrap();
+        assert_eq!(native.exit_code, 140);
+        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+        let r = run_binary_on(&rw.binary, ExtSet::RV64GC, 10_000_000).unwrap();
+        assert_eq!(r.exit_code, 140);
+    }
+}

@@ -1,0 +1,225 @@
+//! A small position-aware code emitter for target-instruction blocks:
+//! 4-byte instructions with local labels, emitted at a known base address.
+//!
+//! Target blocks are always emitted uncompressed — only *original* code
+//! contains 2-byte encodings; keeping blocks 4-byte-aligned sidesteps any
+//! interior-entry concern inside the target section itself (nothing ever
+//! jumps into a target block except through its head).
+
+use chimera_isa::{encode, BranchKind, Inst, XReg};
+use std::collections::HashMap;
+
+/// Emits a contiguous run of instructions at a base address.
+#[derive(Debug)]
+pub struct BlockEmitter {
+    base: u64,
+    bytes: Vec<u8>,
+    labels: HashMap<String, u64>,
+    fixups: Vec<Fixup>,
+}
+
+#[derive(Debug)]
+struct Fixup {
+    offset: usize,
+    label: String,
+    kind: FixKind,
+}
+
+#[derive(Debug)]
+enum FixKind {
+    Branch {
+        kind: BranchKind,
+        rs1: XReg,
+        rs2: XReg,
+    },
+    Jal {
+        rd: XReg,
+    },
+}
+
+impl BlockEmitter {
+    /// Creates an emitter whose first instruction lands at `base`.
+    pub fn new(base: u64) -> Self {
+        BlockEmitter {
+            base,
+            bytes: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// The address of the next emitted instruction.
+    pub fn addr(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Emits one instruction (must encode; immediates are internal and
+    /// bounded by construction).
+    pub fn inst(&mut self, i: Inst) -> &mut Self {
+        let w = encode(&i).unwrap_or_else(|e| panic!("internal emit of {i}: {e}"));
+        self.bytes.extend_from_slice(&w.to_le_bytes());
+        self
+    }
+
+    /// Emits several instructions.
+    pub fn insts(&mut self, is: impl IntoIterator<Item = Inst>) -> &mut Self {
+        for i in is {
+            self.inst(i);
+        }
+        self
+    }
+
+    /// Emits raw pre-encoded bytes (copied original instructions).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// Defines a local label here.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let addr = self.addr();
+        let prev = self.labels.insert(name.clone(), addr);
+        assert!(prev.is_none(), "duplicate local label {name}");
+        self
+    }
+
+    /// Emits a branch to a local label (forward or backward).
+    pub fn branch_to(
+        &mut self,
+        kind: BranchKind,
+        rs1: XReg,
+        rs2: XReg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.fixups.push(Fixup {
+            offset: self.bytes.len(),
+            label: label.into(),
+            kind: FixKind::Branch { kind, rs1, rs2 },
+        });
+        self.bytes.extend_from_slice(&[0; 4]);
+        self
+    }
+
+    /// Emits `jal rd, label` to a local label.
+    pub fn jal_to(&mut self, rd: XReg, label: impl Into<String>) -> &mut Self {
+        self.fixups.push(Fixup {
+            offset: self.bytes.len(),
+            label: label.into(),
+            kind: FixKind::Jal { rd },
+        });
+        self.bytes.extend_from_slice(&[0; 4]);
+        self
+    }
+
+    /// Materializes the 32-bit-range constant `value` into `rd`
+    /// (`lui` + `addi`; covers all section addresses in our layouts).
+    pub fn li32(&mut self, rd: XReg, value: i64) -> &mut Self {
+        assert!(
+            i32::try_from(value).is_ok(),
+            "li32 constant out of range: {value:#x}"
+        );
+        let v = value as i32;
+        let hi = v.wrapping_add(0x800) >> 12;
+        let lo = v.wrapping_sub(hi << 12);
+        if hi != 0 {
+            self.inst(Inst::Lui { rd, imm20: hi });
+            if lo != 0 {
+                self.inst(Inst::OpImm {
+                    kind: chimera_isa::OpImmKind::Addiw,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                });
+            }
+        } else {
+            self.inst(Inst::OpImm {
+                kind: chimera_isa::OpImmKind::Addi,
+                rd,
+                rs1: XReg::ZERO,
+                imm: lo,
+            });
+        }
+        self
+    }
+
+    /// Resolves fixups and returns the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for f in &self.fixups {
+            let at = self.base + f.offset as u64;
+            let target = *self
+                .labels
+                .get(&f.label)
+                .unwrap_or_else(|| panic!("undefined local label {}", f.label));
+            let rel = target as i64 - at as i64;
+            let word = match f.kind {
+                FixKind::Branch { kind, rs1, rs2 } => encode(&Inst::Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset: i32::try_from(rel).expect("local branch in range"),
+                })
+                .expect("local branch encodes"),
+                FixKind::Jal { rd } => encode(&Inst::Jal {
+                    rd,
+                    offset: i32::try_from(rel).expect("local jal in range"),
+                })
+                .expect("local jal encodes"),
+            };
+            self.bytes[f.offset..f.offset + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_isa::{decode, OpImmKind};
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut e = BlockEmitter::new(0x1000);
+        e.label("top")
+            .inst(Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd: XReg::T0,
+                rs1: XReg::T0,
+                imm: -1,
+            })
+            .branch_to(BranchKind::Bne, XReg::T0, XReg::ZERO, "top")
+            .jal_to(XReg::ZERO, "end")
+            .inst(chimera_isa::nop())
+            .label("end");
+        let bytes = e.finish();
+        // The bne at offset 4 targets offset 0: rel = -4.
+        let w = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let Inst::Branch { offset, .. } = decode(w).unwrap().inst else {
+            panic!()
+        };
+        assert_eq!(offset, -4);
+        // The jal at offset 8 targets offset 16: rel = +8.
+        let w = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let Inst::Jal { offset, .. } = decode(w).unwrap().inst else {
+            panic!()
+        };
+        assert_eq!(offset, 8);
+    }
+
+    #[test]
+    fn li32_shapes() {
+        let mut e = BlockEmitter::new(0);
+        e.li32(XReg::T0, 42);
+        assert_eq!(e.finish().len(), 4);
+        let mut e = BlockEmitter::new(0);
+        e.li32(XReg::T0, 0x12345678);
+        assert_eq!(e.finish().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate local label")]
+    fn duplicate_label_panics() {
+        let mut e = BlockEmitter::new(0);
+        e.label("x").label("x");
+    }
+}

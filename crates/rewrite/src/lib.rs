@@ -1,0 +1,23 @@
+//! # chimera-rewrite
+//!
+//! CHBP — Correct and High-performance Binary Patching — plus the baseline
+//! rewriters the paper compares against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod smile;
+pub mod emitter;
+pub mod translate;
+pub mod chbp;
+
+pub use chbp::{
+    chbp_rewrite, verify_claim1, FaultTable, Mode, Rewritten, RewriteError, RewriteOptions,
+    RewriteStats,
+};
+pub mod regen;
+
+pub use regen::{regenerate, Flavor, Regenerated, RegenInfo, SlowTrap};
+pub mod upgrade;
+
+pub use upgrade::upgrade_rewrite;

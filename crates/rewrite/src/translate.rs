@@ -1,0 +1,1507 @@
+//! Target-instruction generation (§4.1): semantics-preserving translation
+//! of extension instructions into base-ISA sequences.
+//!
+//! Two register problems the paper calls out are handled here:
+//!
+//! * **Extra base registers.** Translations borrow scratch registers
+//!   (`t2`..`t6`, `ft8`..`ft10`) and save/restore them in a dedicated
+//!   scratch area, first-in last-out, so the surrounding program never sees
+//!   them change. The pointer used to reach the scratch area is `gp` itself
+//!   — legal precisely because the psABI makes `gp` a link-time constant the
+//!   translation can re-materialize at any point (the same property SMILE
+//!   exploits).
+//! * **Simulated extension registers.** Vector state (`v0..v31`, `vl`, the
+//!   selected element width) lives in a read-write `.chimera.vregs` section
+//!   appended to the rewritten binary ([`SpillLayout`]), so the computation
+//!   context survives migration between cores exactly as §4.1 requires.
+//!
+//! Supported downgrades: the whole modelled RVV subset at `e32`/`e64` with
+//! `m1` grouping (the element width is dispatched at runtime from the
+//! spilled `vtype`), and the Zba/Zbb subset. Anything else reports
+//! [`Untranslatable`] and the rewriter falls back to a trap-based
+//! trampoline for it.
+
+use crate::emitter::BlockEmitter;
+use chimera_isa::{
+    BranchKind, Eew, FMaKind, FOpKind, FReg, FpWidth, Inst, LoadKind, OpImmKind, OpKind,
+    StoreKind, UnaryKind, VArithOp, VReg, VSrc, XReg, VLEN,
+};
+
+/// Layout of the `.chimera.vregs` spill section.
+#[derive(Debug, Clone, Copy)]
+pub struct SpillLayout {
+    /// Base address of the section.
+    pub base: u64,
+}
+
+impl SpillLayout {
+    /// Total section size in bytes.
+    pub const SIZE: usize = 128 + 32 * (VLEN as usize / 8);
+    /// Offset of the current vector length (u64).
+    pub const VL: i32 = 0;
+    /// Offset of the current element width in bytes (u64: 4 or 8).
+    pub const SEW: i32 = 8;
+    /// Offset of the scalar-operand staging slot.
+    pub const RESULT: i32 = 104;
+    /// Offset of the simulated vector register file.
+    pub const VREGS: i32 = 128;
+
+    /// Save-slot offset for an integer scratch register.
+    pub(crate) fn x_slot(r: XReg) -> i32 {
+        match r {
+            XReg::T2 => 16,
+            XReg::T3 => 24,
+            XReg::T4 => 32,
+            XReg::T5 => 40,
+            XReg::T6 => 48,
+            _ => panic!("{r} is not a translation scratch register"),
+        }
+    }
+
+    /// Save-slot offset for an FP scratch register.
+    pub(crate) fn f_slot(r: FReg) -> i32 {
+        match r.index() {
+            28 => 56,
+            29 => 64,
+            30 => 72,
+            _ => panic!("{r} is not a translation FP scratch register"),
+        }
+    }
+
+    /// Offset of element 0 of simulated vector register `v`.
+    pub fn vreg_off(v: VReg) -> i32 {
+        Self::VREGS + (VLEN as i32 / 8) * v.index() as i32
+    }
+}
+
+/// The instruction has no downgrade template; the rewriter must fall back
+/// to a trap-based trampoline (kernel emulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Untranslatable(pub Inst);
+
+impl core::fmt::Display for Untranslatable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "no downgrade template for {}", self.0)
+    }
+}
+
+impl std::error::Error for Untranslatable {}
+
+/// The integer scratch pool, in preference order.
+const X_POOL: [XReg; 5] = [XReg::T2, XReg::T3, XReg::T4, XReg::T5, XReg::T6];
+/// The FP scratch pool.
+const F_SCRATCH: [FReg; 3] = [FReg::of(28), FReg::of(29), FReg::of(30)];
+
+/// Translates extension instructions to base sequences.
+#[derive(Debug)]
+pub struct Translator {
+    /// Spill-section layout.
+    pub spill: SpillLayout,
+    /// The ABI `gp` value to re-materialize after clobbering.
+    pub abi_gp: u64,
+    site: u64,
+}
+
+impl Translator {
+    /// Creates a translator for a binary whose spill section is at
+    /// `spill_base` and whose psABI `gp` is `abi_gp`.
+    pub fn new(spill_base: u64, abi_gp: u64) -> Self {
+        Translator {
+            spill: SpillLayout { base: spill_base },
+            abi_gp,
+            site: 0,
+        }
+    }
+
+    fn fresh(&mut self, stem: &str) -> String {
+        self.site += 1;
+        format!("{stem}_{}", self.site)
+    }
+
+    /// Emits `gp = abi_gp`.
+    pub fn restore_gp(&self, em: &mut BlockEmitter) {
+        em.li32(XReg::GP, self.abi_gp as i64);
+    }
+
+    fn spill_gp(&self, em: &mut BlockEmitter) {
+        em.li32(XReg::GP, self.spill.base as i64);
+    }
+
+    /// Whether `inst` is a vector instruction that can participate in a
+    /// translation *sequence* (shared scratch save/restore; the §4.2
+    /// batching optimization applied at the translation level).
+    pub fn sequenceable(inst: &Inst) -> bool {
+        matches!(
+            inst,
+            Inst::Vsetvli { .. }
+                | Inst::VLoad { .. }
+                | Inst::VStore { .. }
+                | Inst::VArith { .. }
+                | Inst::VMvXS { .. }
+                | Inst::VMvSX { .. }
+        )
+    }
+
+    /// Opens a translation sequence: `gp` → spill pointer, all scratch
+    /// registers saved. Between `seq_begin` and `seq_end` only
+    /// [`Translator::downgrade_in_seq`] emissions may run.
+    pub fn seq_begin(&self, em: &mut BlockEmitter) {
+        self.spill_gp(em);
+        for r in X_POOL {
+            em.inst(Inst::Store {
+                kind: StoreKind::Sd,
+                rs1: XReg::GP,
+                rs2: r,
+                offset: SpillLayout::x_slot(r),
+            });
+        }
+        for f in F_SCRATCH {
+            em.inst(Inst::FStore {
+                width: FpWidth::D,
+                frs2: f,
+                rs1: XReg::GP,
+                offset: SpillLayout::f_slot(f),
+            });
+        }
+    }
+
+    /// Closes a translation sequence: scratches restored (first-in,
+    /// last-out), `gp` re-materialized to the ABI value.
+    pub fn seq_end(&self, em: &mut BlockEmitter) {
+        for f in F_SCRATCH.iter().rev() {
+            em.inst(Inst::FLoad {
+                width: FpWidth::D,
+                frd: *f,
+                rs1: XReg::GP,
+                offset: SpillLayout::f_slot(*f),
+            });
+        }
+        for r in X_POOL.iter().rev() {
+            em.inst(Inst::Load {
+                kind: LoadKind::Ld,
+                rd: *r,
+                rs1: XReg::GP,
+                offset: SpillLayout::x_slot(*r),
+            });
+        }
+        self.restore_gp(em);
+    }
+
+    /// Reads source register `src` into scratch `dst`, honouring the
+    /// sequence discipline: a scratch register's *program* value lives in
+    /// its save slot while a sequence is open.
+    fn capture_x(&self, em: &mut BlockEmitter, dst: XReg, src: XReg) {
+        if X_POOL.contains(&src) {
+            em.inst(Inst::Load {
+                kind: LoadKind::Ld,
+                rd: dst,
+                rs1: XReg::GP,
+                offset: SpillLayout::x_slot(src),
+            });
+        } else {
+            em.inst(chimera_isa::mv(dst, src));
+        }
+    }
+
+    /// Delivers the value staged in the RESULT slot to destination `rd`:
+    /// a scratch destination's save slot is updated instead (the program
+    /// value materializes at `seq_end`).
+    fn deliver_rd(&self, em: &mut BlockEmitter, rd: XReg) {
+        if rd == XReg::ZERO {
+            return;
+        }
+        if X_POOL.contains(&rd) {
+            em.inst(Inst::Load {
+                kind: LoadKind::Ld,
+                rd: XReg::T2,
+                rs1: XReg::GP,
+                offset: SpillLayout::RESULT,
+            });
+            em.inst(Inst::Store {
+                kind: StoreKind::Sd,
+                rs1: XReg::GP,
+                rs2: XReg::T2,
+                offset: SpillLayout::x_slot(rd),
+            });
+        } else {
+            em.inst(Inst::Load {
+                kind: LoadKind::Ld,
+                rd,
+                rs1: XReg::GP,
+                offset: SpillLayout::RESULT,
+            });
+        }
+    }
+
+    /// Emits the downgrade of `inst` standalone: for vector instructions
+    /// this wraps the body in its own one-instruction sequence; Zba/Zbb
+    /// templates carry their own lightweight save discipline.
+    pub fn downgrade(&mut self, inst: &Inst, em: &mut BlockEmitter) -> Result<(), Untranslatable> {
+        if Self::sequenceable(inst) {
+            self.probe(inst)?;
+            self.seq_begin(em);
+            let r = self.downgrade_in_seq(inst, em);
+            self.seq_end(em);
+            return r;
+        }
+        self.downgrade_scalar(inst, em)
+    }
+
+    /// Checks translatability without emitting.
+    pub fn probe(&mut self, inst: &Inst) -> Result<(), Untranslatable> {
+        if inst.uses_x().contains(&XReg::GP) {
+            return Err(Untranslatable(*inst));
+        }
+        match *inst {
+            Inst::Vsetvli { vtype, .. } => {
+                if vtype.lmul != 1 || !matches!(vtype.sew, Eew::E32 | Eew::E64) {
+                    return Err(Untranslatable(*inst));
+                }
+            }
+            Inst::VLoad { eew, .. } | Inst::VStore { eew, .. } => {
+                if !matches!(eew, Eew::E32 | Eew::E64) {
+                    return Err(Untranslatable(*inst));
+                }
+            }
+            Inst::VArith { op, src, .. } => {
+                if op.is_fp() && matches!(src, VSrc::I(_)) {
+                    return Err(Untranslatable(*inst));
+                }
+            }
+            Inst::VMvXS { .. } | Inst::VMvSX { .. } => {}
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Emits the downgrade of a vector `inst` inside an open sequence
+    /// (`gp` = spill pointer, scratches saved).
+    pub fn downgrade_in_seq(
+        &mut self,
+        inst: &Inst,
+        em: &mut BlockEmitter,
+    ) -> Result<(), Untranslatable> {
+        self.probe(inst)?;
+        match *inst {
+            Inst::Vsetvli { rd, rs1, vtype } => {
+                self.vsetvli(rd, rs1, vtype.sew, em);
+                Ok(())
+            }
+            Inst::VLoad { eew, vd, rs1 } => {
+                self.vmem(true, eew, vd, rs1, em);
+                Ok(())
+            }
+            Inst::VStore { eew, vs3, rs1 } => {
+                self.vmem(false, eew, vs3, rs1, em);
+                Ok(())
+            }
+            Inst::VArith { op, vd, vs2, src } => self.varith(op, vd, vs2, src, em, inst),
+            Inst::VMvXS { rd, vs2 } => {
+                self.vmv_x_s(rd, vs2, em);
+                Ok(())
+            }
+            Inst::VMvSX { vd, rs1 } => {
+                self.vmv_s_x(vd, rs1, em);
+                Ok(())
+            }
+            _ => Err(Untranslatable(*inst)),
+        }
+    }
+
+    /// Downgrades the Zba/Zbb scalar instructions (standalone templates
+    /// with their own gp discipline).
+    fn downgrade_scalar(
+        &mut self,
+        inst: &Inst,
+        em: &mut BlockEmitter,
+    ) -> Result<(), Untranslatable> {
+        if inst.uses_x().contains(&XReg::GP) {
+            return Err(Untranslatable(*inst));
+        }
+        match *inst {
+            Inst::Op { kind, rd, rs1, rs2 } if kind.ext() == Some(chimera_isa::Ext::B) => {
+                self.zb_op(kind, rd, rs1, rs2, em, inst)
+            }
+            Inst::OpImm {
+                kind: OpImmKind::Rori,
+                rd,
+                rs1,
+                imm,
+            } => {
+                self.rori(rd, rs1, imm, em);
+                Ok(())
+            }
+            Inst::Unary { kind, rd, rs1 } => self.zb_unary(kind, rd, rs1, em),
+            _ => Err(Untranslatable(*inst)),
+        }
+    }
+
+    // ----- Vector templates ------------------------------------------------
+    //
+    // All bodies assume an *open sequence*: gp = spill pointer, scratches
+    // saved. Program values of scratch registers are read from their save
+    // slots (capture_x) and scratch destinations are written through their
+    // slots (deliver_rd).
+
+    fn vsetvli(&mut self, rd: XReg, rs1: XReg, sew: Eew, em: &mut BlockEmitter) {
+        let vlmax = (VLEN as i64) / sew.bits() as i64;
+        let done = self.fresh("vset_done");
+        // t2 = requested AVL (or VLMAX for the rs1=zero, rd!=zero form).
+        if rs1 == XReg::ZERO {
+            if rd == XReg::ZERO {
+                em.inst(Inst::Load {
+                    kind: LoadKind::Ld,
+                    rd: XReg::T2,
+                    rs1: XReg::GP,
+                    offset: SpillLayout::VL,
+                });
+            } else {
+                em.inst(chimera_obj::addi(XReg::T2, XReg::ZERO, vlmax as i32));
+            }
+        } else {
+            self.capture_x(em, XReg::T2, rs1);
+        }
+        // t3 = VLMAX; t2 = min(t2, t3).
+        em.inst(chimera_obj::addi(XReg::T3, XReg::ZERO, vlmax as i32));
+        em.branch_to(BranchKind::Bltu, XReg::T2, XReg::T3, done.clone());
+        em.inst(chimera_isa::mv(XReg::T2, XReg::T3));
+        em.label(done);
+        em.inst(Inst::Store {
+            kind: StoreKind::Sd,
+            rs1: XReg::GP,
+            rs2: XReg::T2,
+            offset: SpillLayout::VL,
+        });
+        em.inst(chimera_obj::addi(XReg::T3, XReg::ZERO, sew.bytes() as i32));
+        em.inst(Inst::Store {
+            kind: StoreKind::Sd,
+            rs1: XReg::GP,
+            rs2: XReg::T3,
+            offset: SpillLayout::SEW,
+        });
+        em.inst(Inst::Store {
+            kind: StoreKind::Sd,
+            rs1: XReg::GP,
+            rs2: XReg::T2,
+            offset: SpillLayout::RESULT,
+        });
+        self.deliver_rd(em, rd);
+    }
+
+    /// Unit-stride vector load/store between memory at `rs1` and the
+    /// simulated register file.
+    fn vmem(&mut self, is_load: bool, eew: Eew, v: VReg, rs1: XReg, em: &mut BlockEmitter) {
+        let (loop_l, done) = (self.fresh("vmem_loop"), self.fresh("vmem_done"));
+        let esz = eew.bytes() as i32;
+        // t2 = memory cursor.
+        self.capture_x(em, XReg::T2, rs1);
+        // t3 = remaining element count.
+        em.inst(Inst::Load {
+            kind: LoadKind::Ld,
+            rd: XReg::T3,
+            rs1: XReg::GP,
+            offset: SpillLayout::VL,
+        });
+        // t4 = vreg cursor.
+        em.inst(chimera_obj::addi(
+            XReg::T4,
+            XReg::GP,
+            SpillLayout::vreg_off(v),
+        ));
+        em.label(loop_l.clone());
+        em.branch_to(BranchKind::Beq, XReg::T3, XReg::ZERO, done.clone());
+        let (lk, sk) = if esz == 8 {
+            (LoadKind::Ld, StoreKind::Sd)
+        } else {
+            (LoadKind::Lw, StoreKind::Sw)
+        };
+        if is_load {
+            em.inst(Inst::Load {
+                kind: lk,
+                rd: XReg::T5,
+                rs1: XReg::T2,
+                offset: 0,
+            });
+            em.inst(Inst::Store {
+                kind: sk,
+                rs1: XReg::T4,
+                rs2: XReg::T5,
+                offset: 0,
+            });
+        } else {
+            em.inst(Inst::Load {
+                kind: lk,
+                rd: XReg::T5,
+                rs1: XReg::T4,
+                offset: 0,
+            });
+            em.inst(Inst::Store {
+                kind: sk,
+                rs1: XReg::T2,
+                rs2: XReg::T5,
+                offset: 0,
+            });
+        }
+        em.inst(chimera_obj::addi(XReg::T2, XReg::T2, esz));
+        em.inst(chimera_obj::addi(XReg::T4, XReg::T4, esz));
+        em.inst(chimera_obj::addi(XReg::T3, XReg::T3, -1));
+        em.jal_to(XReg::ZERO, loop_l);
+        em.label(done);
+    }
+
+    fn varith(
+        &mut self,
+        op: VArithOp,
+        vd: VReg,
+        vs2: VReg,
+        src: VSrc,
+        em: &mut BlockEmitter,
+        orig: &Inst,
+    ) -> Result<(), Untranslatable> {
+        let is_fp = op.is_fp();
+        if is_fp && matches!(src, VSrc::I(_)) {
+            return Err(Untranslatable(*orig));
+        }
+        let (l32, l_done) = (self.fresh("va32"), self.fresh("va_done"));
+        let (loop64, d64) = (self.fresh("va_loop64"), self.fresh("va_d64"));
+        let (loop32, d32) = (self.fresh("va_loop32"), self.fresh("va_d32"));
+
+        // Stage the scalar operand (x/f/i) into RESULT.
+        match src {
+            VSrc::X(rs1) => {
+                self.capture_x(em, XReg::T2, rs1);
+                em.inst(Inst::Store {
+                    kind: StoreKind::Sd,
+                    rs1: XReg::GP,
+                    rs2: XReg::T2,
+                    offset: SpillLayout::RESULT,
+                });
+            }
+            VSrc::F(frs1) => {
+                // FP scratch sources read their program value from the
+                // save slot.
+                if F_SCRATCH.contains(&frs1) {
+                    em.inst(Inst::FLoad {
+                        width: FpWidth::D,
+                        frd: F_SCRATCH[0],
+                        rs1: XReg::GP,
+                        offset: SpillLayout::f_slot(frs1),
+                    });
+                    em.inst(Inst::FStore {
+                        width: FpWidth::D,
+                        frs2: F_SCRATCH[0],
+                        rs1: XReg::GP,
+                        offset: SpillLayout::RESULT,
+                    });
+                } else {
+                    em.inst(Inst::FStore {
+                        width: FpWidth::D,
+                        frs2: frs1,
+                        rs1: XReg::GP,
+                        offset: SpillLayout::RESULT,
+                    });
+                }
+            }
+            VSrc::I(imm) => {
+                em.inst(chimera_obj::addi(XReg::T2, XReg::ZERO, imm as i32));
+                em.inst(Inst::Store {
+                    kind: StoreKind::Sd,
+                    rs1: XReg::GP,
+                    rs2: XReg::T2,
+                    offset: SpillLayout::RESULT,
+                });
+            }
+            VSrc::V(_) => {}
+        }
+        // Dispatch on the spilled SEW.
+        em.inst(Inst::Load {
+            kind: LoadKind::Ld,
+            rd: XReg::T2,
+            rs1: XReg::GP,
+            offset: SpillLayout::SEW,
+        });
+        em.inst(chimera_obj::addi(XReg::T2, XReg::T2, -8));
+        em.branch_to(BranchKind::Bne, XReg::T2, XReg::ZERO, l32.clone());
+        self.varith_loop(op, vd, vs2, src, Eew::E64, em, (&loop64, &d64));
+        em.jal_to(XReg::ZERO, l_done.clone());
+        em.label(l32);
+        self.varith_loop(op, vd, vs2, src, Eew::E32, em, (&loop32, &d32));
+        em.label(l_done);
+        Ok(())
+    }
+
+    /// One element-wise (or reduction) loop specialized to `eew`.
+    ///
+    /// Register roles inside the loop: `t2` = byte cursor, `t3` = end
+    /// offset, `t4` = element address, `t5`/`t6` = int operands
+    /// (`ft8`/`ft9`/`ft10` for FP); reductions accumulate in `t6`/`ft10`.
+    #[allow(clippy::too_many_arguments)]
+    fn varith_loop(
+        &mut self,
+        op: VArithOp,
+        vd: VReg,
+        vs2: VReg,
+        src: VSrc,
+        eew: Eew,
+        em: &mut BlockEmitter,
+        (loop_l, done): (&str, &str),
+    ) {
+        let esz = eew.bytes() as i32;
+        let shift = if esz == 8 { 3 } else { 2 };
+        let (lk, sk) = if esz == 8 {
+            (LoadKind::Ld, StoreKind::Sd)
+        } else {
+            (LoadKind::Lw, StoreKind::Sw)
+        };
+        let fw = if esz == 8 { FpWidth::D } else { FpWidth::S };
+        let is_red = op.is_reduction();
+        let (ft_a, ft_b, ft_d) = (F_SCRATCH[0], F_SCRATCH[1], F_SCRATCH[2]);
+
+        // t2 = 0; t3 = vl << shift.
+        em.inst(chimera_obj::addi(XReg::T2, XReg::ZERO, 0));
+        em.inst(Inst::Load {
+            kind: LoadKind::Ld,
+            rd: XReg::T3,
+            rs1: XReg::GP,
+            offset: SpillLayout::VL,
+        });
+        em.inst(Inst::OpImm {
+            kind: OpImmKind::Slli,
+            rd: XReg::T3,
+            rs1: XReg::T3,
+            imm: shift,
+        });
+        if is_red {
+            // Accumulator starts at vs1[0] (the `.vs` scalar input).
+            match src {
+                VSrc::V(vs1) => {
+                    if op.is_fp() {
+                        em.inst(Inst::FLoad {
+                            width: fw,
+                            frd: ft_d,
+                            rs1: XReg::GP,
+                            offset: SpillLayout::vreg_off(vs1),
+                        });
+                    } else {
+                        em.inst(Inst::Load {
+                            kind: lk,
+                            rd: XReg::T6,
+                            rs1: XReg::GP,
+                            offset: SpillLayout::vreg_off(vs1),
+                        });
+                    }
+                }
+                _ => {
+                    if op.is_fp() {
+                        // 0.0 accumulator.
+                        em.inst(Inst::Store {
+                            kind: StoreKind::Sd,
+                            rs1: XReg::GP,
+                            rs2: XReg::ZERO,
+                            offset: SpillLayout::RESULT,
+                        });
+                        em.inst(Inst::FLoad {
+                            width: fw,
+                            frd: ft_d,
+                            rs1: XReg::GP,
+                            offset: SpillLayout::RESULT,
+                        });
+                    } else {
+                        em.inst(chimera_obj::addi(XReg::T6, XReg::ZERO, 0));
+                    }
+                }
+            }
+        }
+        em.label(loop_l.to_string());
+        em.branch_to(BranchKind::Bge, XReg::T2, XReg::T3, done.to_string());
+        // t4 = gp + cursor; element fields at static offsets from t4.
+        em.inst(chimera_obj::add(XReg::T4, XReg::GP, XReg::T2));
+        let a_off = SpillLayout::vreg_off(vs2);
+        let d_off = SpillLayout::vreg_off(vd);
+
+        if op.is_fp() {
+            // ft_a = vs2 element.
+            em.inst(Inst::FLoad {
+                width: fw,
+                frd: ft_a,
+                rs1: XReg::T4,
+                offset: a_off,
+            });
+            // ft_b = second operand.
+            match src {
+                VSrc::V(vs1) if !is_red => {
+                    em.inst(Inst::FLoad {
+                        width: fw,
+                        frd: ft_b,
+                        rs1: XReg::T4,
+                        offset: SpillLayout::vreg_off(vs1),
+                    });
+                }
+                VSrc::F(_) => {
+                    em.inst(Inst::FLoad {
+                        width: fw,
+                        frd: ft_b,
+                        rs1: XReg::GP,
+                        offset: SpillLayout::RESULT,
+                    });
+                }
+                _ => {}
+            }
+            match op {
+                VArithOp::Vfadd | VArithOp::Vfsub | VArithOp::Vfmul | VArithOp::Vfdiv => {
+                    let kind = match op {
+                        VArithOp::Vfadd => FOpKind::Add,
+                        VArithOp::Vfsub => FOpKind::Sub,
+                        VArithOp::Vfmul => FOpKind::Mul,
+                        _ => FOpKind::Div,
+                    };
+                    em.inst(Inst::FOp {
+                        kind,
+                        width: fw,
+                        frd: ft_a,
+                        frs1: ft_a,
+                        frs2: ft_b,
+                    });
+                    em.inst(Inst::FStore {
+                        width: fw,
+                        frs2: ft_a,
+                        rs1: XReg::T4,
+                        offset: d_off,
+                    });
+                }
+                VArithOp::Vfmacc => {
+                    // vd += src * vs2.
+                    em.inst(Inst::FLoad {
+                        width: fw,
+                        frd: ft_d,
+                        rs1: XReg::T4,
+                        offset: d_off,
+                    });
+                    em.inst(Inst::FMa {
+                        kind: FMaKind::Madd,
+                        width: fw,
+                        frd: ft_d,
+                        frs1: ft_b,
+                        frs2: ft_a,
+                        frs3: ft_d,
+                    });
+                    em.inst(Inst::FStore {
+                        width: fw,
+                        frs2: ft_d,
+                        rs1: XReg::T4,
+                        offset: d_off,
+                    });
+                }
+                VArithOp::Vfredusum => {
+                    em.inst(Inst::FOp {
+                        kind: FOpKind::Add,
+                        width: fw,
+                        frd: ft_d,
+                        frs1: ft_d,
+                        frs2: ft_a,
+                    });
+                }
+                _ => unreachable!("fp op list is closed"),
+            }
+        } else {
+            // t5 = vs2 element (a); t6 = second operand (b) unless reduction.
+            em.inst(Inst::Load {
+                kind: lk,
+                rd: XReg::T5,
+                rs1: XReg::T4,
+                offset: a_off,
+            });
+            if !is_red && op != VArithOp::Vmv {
+                match src {
+                    VSrc::V(vs1) => {
+                        em.inst(Inst::Load {
+                            kind: lk,
+                            rd: XReg::T6,
+                            rs1: XReg::T4,
+                            offset: SpillLayout::vreg_off(vs1),
+                        });
+                    }
+                    _ => {
+                        em.inst(Inst::Load {
+                            kind: LoadKind::Ld,
+                            rd: XReg::T6,
+                            rs1: XReg::GP,
+                            offset: SpillLayout::RESULT,
+                        });
+                    }
+                }
+            }
+            match op {
+                VArithOp::Vredsum => {
+                    em.inst(chimera_obj::add(XReg::T6, XReg::T6, XReg::T5));
+                }
+                VArithOp::Vmv => {
+                    // Broadcast: element = staged operand (or vs1 element).
+                    match src {
+                        VSrc::V(vs1) => {
+                            em.inst(Inst::Load {
+                                kind: lk,
+                                rd: XReg::T5,
+                                rs1: XReg::T4,
+                                offset: SpillLayout::vreg_off(vs1),
+                            });
+                        }
+                        _ => {
+                            em.inst(Inst::Load {
+                                kind: LoadKind::Ld,
+                                rd: XReg::T5,
+                                rs1: XReg::GP,
+                                offset: SpillLayout::RESULT,
+                            });
+                        }
+                    }
+                    em.inst(Inst::Store {
+                        kind: sk,
+                        rs1: XReg::T4,
+                        rs2: XReg::T5,
+                        offset: d_off,
+                    });
+                }
+                VArithOp::Vmacc => {
+                    em.inst(Inst::Op {
+                        kind: OpKind::Mul,
+                        rd: XReg::T5,
+                        rs1: XReg::T5,
+                        rs2: XReg::T6,
+                    });
+                    em.inst(Inst::Load {
+                        kind: lk,
+                        rd: XReg::T6,
+                        rs1: XReg::T4,
+                        offset: d_off,
+                    });
+                    em.inst(chimera_obj::add(XReg::T5, XReg::T5, XReg::T6));
+                    em.inst(Inst::Store {
+                        kind: sk,
+                        rs1: XReg::T4,
+                        rs2: XReg::T5,
+                        offset: d_off,
+                    });
+                }
+                VArithOp::Vmin | VArithOp::Vmax => {
+                    // Branch-free via slt + masking is longer; use a branch.
+                    let keep = self.fresh("vminmax");
+                    let bk = if op == VArithOp::Vmin {
+                        BranchKind::Blt
+                    } else {
+                        BranchKind::Bge
+                    };
+                    em.branch_to(bk, XReg::T5, XReg::T6, keep.clone());
+                    em.inst(chimera_isa::mv(XReg::T5, XReg::T6));
+                    em.label(keep);
+                    em.inst(Inst::Store {
+                        kind: sk,
+                        rs1: XReg::T4,
+                        rs2: XReg::T5,
+                        offset: d_off,
+                    });
+                }
+                _ => {
+                    let kind = match op {
+                        VArithOp::Vadd => OpKind::Add,
+                        VArithOp::Vsub => OpKind::Sub,
+                        VArithOp::Vand => OpKind::And,
+                        VArithOp::Vor => OpKind::Or,
+                        VArithOp::Vxor => OpKind::Xor,
+                        VArithOp::Vmul => OpKind::Mul,
+                        _ => unreachable!("int op list is closed"),
+                    };
+                    em.inst(Inst::Op {
+                        kind,
+                        rd: XReg::T5,
+                        rs1: XReg::T5,
+                        rs2: XReg::T6,
+                    });
+                    em.inst(Inst::Store {
+                        kind: sk,
+                        rs1: XReg::T4,
+                        rs2: XReg::T5,
+                        offset: d_off,
+                    });
+                }
+            }
+        }
+        em.inst(chimera_obj::addi(XReg::T2, XReg::T2, esz));
+        em.jal_to(XReg::ZERO, loop_l.to_string());
+        em.label(done.to_string());
+        if is_red {
+            // Write the accumulator to vd[0].
+            if op.is_fp() {
+                em.inst(Inst::FStore {
+                    width: fw,
+                    frs2: ft_d,
+                    rs1: XReg::GP,
+                    offset: SpillLayout::vreg_off(vd),
+                });
+            } else {
+                em.inst(Inst::Store {
+                    kind: sk,
+                    rs1: XReg::GP,
+                    rs2: XReg::T6,
+                    offset: SpillLayout::vreg_off(vd),
+                });
+            }
+        }
+    }
+
+    fn vmv_x_s(&mut self, rd: XReg, vs2: VReg, em: &mut BlockEmitter) {
+        let (l32, done) = (self.fresh("vmvxs32"), self.fresh("vmvxs_done"));
+        em.inst(Inst::Load {
+            kind: LoadKind::Ld,
+            rd: XReg::T2,
+            rs1: XReg::GP,
+            offset: SpillLayout::SEW,
+        });
+        em.inst(chimera_obj::addi(XReg::T2, XReg::T2, -8));
+        em.branch_to(BranchKind::Bne, XReg::T2, XReg::ZERO, l32.clone());
+        em.inst(Inst::Load {
+            kind: LoadKind::Ld,
+            rd: XReg::T2,
+            rs1: XReg::GP,
+            offset: SpillLayout::vreg_off(vs2),
+        });
+        em.jal_to(XReg::ZERO, done.clone());
+        em.label(l32);
+        em.inst(Inst::Load {
+            kind: LoadKind::Lw,
+            rd: XReg::T2,
+            rs1: XReg::GP,
+            offset: SpillLayout::vreg_off(vs2),
+        });
+        em.label(done);
+        em.inst(Inst::Store {
+            kind: StoreKind::Sd,
+            rs1: XReg::GP,
+            rs2: XReg::T2,
+            offset: SpillLayout::RESULT,
+        });
+        self.deliver_rd(em, rd);
+    }
+
+    fn vmv_s_x(&mut self, vd: VReg, rs1: XReg, em: &mut BlockEmitter) {
+        let (l32, done) = (self.fresh("vmvsx32"), self.fresh("vmvsx_done"));
+        self.capture_x(em, XReg::T2, rs1);
+        em.inst(Inst::Load {
+            kind: LoadKind::Ld,
+            rd: XReg::T3,
+            rs1: XReg::GP,
+            offset: SpillLayout::SEW,
+        });
+        em.inst(chimera_obj::addi(XReg::T3, XReg::T3, -8));
+        em.branch_to(BranchKind::Bne, XReg::T3, XReg::ZERO, l32.clone());
+        em.inst(Inst::Store {
+            kind: StoreKind::Sd,
+            rs1: XReg::GP,
+            rs2: XReg::T2,
+            offset: SpillLayout::vreg_off(vd),
+        });
+        em.jal_to(XReg::ZERO, done.clone());
+        em.label(l32);
+        em.inst(Inst::Store {
+            kind: StoreKind::Sw,
+            rs1: XReg::GP,
+            rs2: XReg::T2,
+            offset: SpillLayout::vreg_off(vd),
+        });
+        em.label(done);
+    }
+
+    // ----- Zba/Zbb templates ------------------------------------------------
+
+    fn zb_op(
+        &mut self,
+        kind: OpKind,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+        em: &mut BlockEmitter,
+        orig: &Inst,
+    ) -> Result<(), Untranslatable> {
+        match kind {
+            OpKind::Sh1add | OpKind::Sh2add | OpKind::Sh3add => {
+                let n = match kind {
+                    OpKind::Sh1add => 1,
+                    OpKind::Sh2add => 2,
+                    _ => 3,
+                };
+                // gp is the free temporary; re-materialized after.
+                em.inst(Inst::OpImm {
+                    kind: OpImmKind::Slli,
+                    rd: XReg::GP,
+                    rs1,
+                    imm: n,
+                });
+                em.inst(chimera_obj::add(rd, XReg::GP, rs2));
+                self.restore_gp(em);
+                Ok(())
+            }
+            OpKind::AddUw => {
+                em.inst(Inst::OpImm {
+                    kind: OpImmKind::Slli,
+                    rd: XReg::GP,
+                    rs1,
+                    imm: 32,
+                });
+                em.inst(Inst::OpImm {
+                    kind: OpImmKind::Srli,
+                    rd: XReg::GP,
+                    rs1: XReg::GP,
+                    imm: 32,
+                });
+                em.inst(chimera_obj::add(rd, XReg::GP, rs2));
+                self.restore_gp(em);
+                Ok(())
+            }
+            OpKind::Andn | OpKind::Orn | OpKind::Xnor => {
+                em.inst(Inst::OpImm {
+                    kind: OpImmKind::Xori,
+                    rd: XReg::GP,
+                    rs1: rs2,
+                    imm: -1,
+                });
+                let k = match kind {
+                    OpKind::Andn => OpKind::And,
+                    OpKind::Orn => OpKind::Or,
+                    _ => OpKind::Xor,
+                };
+                em.inst(Inst::Op {
+                    kind: k,
+                    rd,
+                    rs1,
+                    rs2: XReg::GP,
+                });
+                if kind == OpKind::Xnor {
+                    // xnor = ~(a ^ b) = a ^ ~b ... already computed a ^ ~b.
+                }
+                self.restore_gp(em);
+                Ok(())
+            }
+            OpKind::Min | OpKind::Minu | OpKind::Max | OpKind::Maxu => {
+                let l1 = self.fresh("mm_take1");
+                let l2 = self.fresh("mm_done");
+                let bk = match kind {
+                    OpKind::Min => BranchKind::Blt,
+                    OpKind::Minu => BranchKind::Bltu,
+                    OpKind::Max => BranchKind::Bge,
+                    _ => BranchKind::Bgeu,
+                };
+                em.branch_to(bk, rs1, rs2, l1.clone());
+                em.inst(chimera_isa::mv(XReg::GP, rs2));
+                em.jal_to(XReg::ZERO, l2.clone());
+                em.label(l1);
+                em.inst(chimera_isa::mv(XReg::GP, rs1));
+                em.label(l2);
+                em.inst(chimera_isa::mv(rd, XReg::GP));
+                self.restore_gp(em);
+                Ok(())
+            }
+            OpKind::Rol | OpKind::Ror => {
+                // Pick a scratch distinct from all operands.
+                let s = pick_scratch(&[rs1, rs2, rd]);
+                self.spill_gp(em);
+                em.inst(Inst::Store {
+                    kind: StoreKind::Sd,
+                    rs1: XReg::GP,
+                    rs2: s,
+                    offset: SpillLayout::x_slot(s),
+                });
+                em.inst(Inst::OpImm {
+                    kind: OpImmKind::Andi,
+                    rd: s,
+                    rs1: rs2,
+                    imm: 63,
+                });
+                let (first, second) = if kind == OpKind::Rol {
+                    (OpKind::Sll, OpKind::Srl)
+                } else {
+                    (OpKind::Srl, OpKind::Sll)
+                };
+                em.inst(Inst::Op {
+                    kind: first,
+                    rd: XReg::GP,
+                    rs1,
+                    rs2: s,
+                });
+                em.inst(Inst::Op {
+                    kind: OpKind::Sub,
+                    rd: s,
+                    rs1: XReg::ZERO,
+                    rs2: s,
+                });
+                em.inst(Inst::OpImm {
+                    kind: OpImmKind::Andi,
+                    rd: s,
+                    rs1: s,
+                    imm: 63,
+                });
+                em.inst(Inst::Op {
+                    kind: second,
+                    rd: s,
+                    rs1,
+                    rs2: s,
+                });
+                em.inst(Inst::Op {
+                    kind: OpKind::Or,
+                    rd: XReg::GP,
+                    rs1: XReg::GP,
+                    rs2: s,
+                });
+                // Restore the scratch, deliver rd, restore gp.
+                let keep = XReg::GP; // gp holds the result
+                self.spill_gp_keeping(em, keep, s, rd)?;
+                Ok(())
+            }
+            _ => Err(Untranslatable(*orig)),
+        }
+    }
+
+    /// Epilogue for templates whose result lives in `gp`: spill the result,
+    /// restore the scratch, deliver to `rd`, restore `gp`.
+    fn spill_gp_keeping(
+        &mut self,
+        em: &mut BlockEmitter,
+        _result_in: XReg,
+        scratch: XReg,
+        rd: XReg,
+    ) -> Result<(), Untranslatable> {
+        // rd receives gp's value first (rd != scratch by construction).
+        em.inst(chimera_isa::mv(rd, XReg::GP));
+        self.spill_gp(em);
+        em.inst(Inst::Load {
+            kind: LoadKind::Ld,
+            rd: scratch,
+            rs1: XReg::GP,
+            offset: SpillLayout::x_slot(scratch),
+        });
+        self.restore_gp(em);
+        Ok(())
+    }
+
+    fn rori(&mut self, rd: XReg, rs1: XReg, imm: i32, em: &mut BlockEmitter) {
+        let sh = imm & 63;
+        if sh == 0 {
+            em.inst(chimera_isa::mv(rd, rs1));
+            return;
+        }
+        em.inst(Inst::OpImm {
+            kind: OpImmKind::Srli,
+            rd: XReg::GP,
+            rs1,
+            imm: sh,
+        });
+        em.inst(Inst::OpImm {
+            kind: OpImmKind::Slli,
+            rd,
+            rs1,
+            imm: 64 - sh,
+        });
+        em.inst(Inst::Op {
+            kind: OpKind::Or,
+            rd,
+            rs1: rd,
+            rs2: XReg::GP,
+        });
+        self.restore_gp(em);
+    }
+
+    fn zb_unary(
+        &mut self,
+        kind: UnaryKind,
+        rd: XReg,
+        rs1: XReg,
+        em: &mut BlockEmitter,
+    ) -> Result<(), Untranslatable> {
+        match kind {
+            UnaryKind::SextB | UnaryKind::SextH | UnaryKind::ZextH => {
+                let (sh, arith) = match kind {
+                    UnaryKind::SextB => (56, true),
+                    UnaryKind::SextH => (48, true),
+                    _ => (48, false),
+                };
+                em.inst(Inst::OpImm {
+                    kind: OpImmKind::Slli,
+                    rd,
+                    rs1,
+                    imm: sh,
+                });
+                em.inst(Inst::OpImm {
+                    kind: if arith {
+                        OpImmKind::Srai
+                    } else {
+                        OpImmKind::Srli
+                    },
+                    rd,
+                    rs1: rd,
+                    imm: sh,
+                });
+                Ok(())
+            }
+            UnaryKind::Clz => {
+                let (loop_l, done) = (self.fresh("clz_loop"), self.fresh("clz_done"));
+                // gp = working copy; rd = counter.
+                em.inst(chimera_isa::mv(XReg::GP, rs1));
+                em.inst(chimera_obj::addi(rd, XReg::ZERO, 64));
+                em.branch_to(BranchKind::Beq, XReg::GP, XReg::ZERO, done.clone());
+                em.inst(chimera_obj::addi(rd, XReg::ZERO, 0));
+                em.label(loop_l.clone());
+                em.branch_to(BranchKind::Blt, XReg::GP, XReg::ZERO, done.clone());
+                em.inst(Inst::OpImm {
+                    kind: OpImmKind::Slli,
+                    rd: XReg::GP,
+                    rs1: XReg::GP,
+                    imm: 1,
+                });
+                em.inst(chimera_obj::addi(rd, rd, 1));
+                em.jal_to(XReg::ZERO, loop_l);
+                em.label(done);
+                self.restore_gp(em);
+                Ok(())
+            }
+            UnaryKind::Ctz | UnaryKind::Cpop => {
+                let s = pick_scratch(&[rs1, rd]);
+                let (loop_l, done) = (self.fresh("zb_loop"), self.fresh("zb_done"));
+                self.spill_gp(em);
+                em.inst(Inst::Store {
+                    kind: StoreKind::Sd,
+                    rs1: XReg::GP,
+                    rs2: s,
+                    offset: SpillLayout::x_slot(s),
+                });
+                em.inst(chimera_isa::mv(XReg::GP, rs1));
+                if kind == UnaryKind::Ctz {
+                    em.inst(chimera_obj::addi(rd, XReg::ZERO, 64));
+                    em.branch_to(BranchKind::Beq, XReg::GP, XReg::ZERO, done.clone());
+                    em.inst(chimera_obj::addi(rd, XReg::ZERO, 0));
+                    em.label(loop_l.clone());
+                    em.inst(Inst::OpImm {
+                        kind: OpImmKind::Andi,
+                        rd: s,
+                        rs1: XReg::GP,
+                        imm: 1,
+                    });
+                    em.branch_to(BranchKind::Bne, s, XReg::ZERO, done.clone());
+                    em.inst(Inst::OpImm {
+                        kind: OpImmKind::Srli,
+                        rd: XReg::GP,
+                        rs1: XReg::GP,
+                        imm: 1,
+                    });
+                    em.inst(chimera_obj::addi(rd, rd, 1));
+                    em.jal_to(XReg::ZERO, loop_l);
+                } else {
+                    em.inst(chimera_obj::addi(rd, XReg::ZERO, 0));
+                    em.label(loop_l.clone());
+                    em.branch_to(BranchKind::Beq, XReg::GP, XReg::ZERO, done.clone());
+                    em.inst(Inst::OpImm {
+                        kind: OpImmKind::Andi,
+                        rd: s,
+                        rs1: XReg::GP,
+                        imm: 1,
+                    });
+                    em.inst(chimera_obj::add(rd, rd, s));
+                    em.inst(Inst::OpImm {
+                        kind: OpImmKind::Srli,
+                        rd: XReg::GP,
+                        rs1: XReg::GP,
+                        imm: 1,
+                    });
+                    em.jal_to(XReg::ZERO, loop_l);
+                }
+                em.label(done);
+                self.spill_gp(em);
+                em.inst(Inst::Load {
+                    kind: LoadKind::Ld,
+                    rd: s,
+                    rs1: XReg::GP,
+                    offset: SpillLayout::x_slot(s),
+                });
+                self.restore_gp(em);
+                Ok(())
+            }
+            UnaryKind::Rev8 => {
+                let s = pick_scratch(&[rs1, rd]);
+                let loop_l = self.fresh("rev_loop");
+                let done = self.fresh("rev_done");
+                self.spill_gp(em);
+                em.inst(Inst::Store {
+                    kind: StoreKind::Sd,
+                    rs1: XReg::GP,
+                    rs2: s,
+                    offset: SpillLayout::x_slot(s),
+                });
+                // gp = working copy, rd = result, s = byte/counter temp.
+                em.inst(chimera_isa::mv(XReg::GP, rs1));
+                em.inst(chimera_obj::addi(rd, XReg::ZERO, 0));
+                // Loop 8 times using s as counter packed with byte ops:
+                // simpler shape: repeat 8 unrolled byte moves.
+                let _ = (&loop_l, &done);
+                for _ in 0..8 {
+                    em.inst(Inst::OpImm {
+                        kind: OpImmKind::Slli,
+                        rd,
+                        rs1: rd,
+                        imm: 8,
+                    });
+                    em.inst(Inst::OpImm {
+                        kind: OpImmKind::Andi,
+                        rd: s,
+                        rs1: XReg::GP,
+                        imm: 0xff,
+                    });
+                    em.inst(Inst::Op {
+                        kind: OpKind::Or,
+                        rd,
+                        rs1: rd,
+                        rs2: s,
+                    });
+                    em.inst(Inst::OpImm {
+                        kind: OpImmKind::Srli,
+                        rd: XReg::GP,
+                        rs1: XReg::GP,
+                        imm: 8,
+                    });
+                }
+                self.spill_gp(em);
+                em.inst(Inst::Load {
+                    kind: LoadKind::Ld,
+                    rd: s,
+                    rs1: XReg::GP,
+                    offset: SpillLayout::x_slot(s),
+                });
+                self.restore_gp(em);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Picks a scratch register not aliasing any of `avoid`.
+fn pick_scratch(avoid: &[XReg]) -> XReg {
+    X_POOL
+        .into_iter()
+        .find(|r| !avoid.contains(r))
+        .expect("pool larger than operand count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_isa::decode;
+
+    #[test]
+    fn sh1add_template_shape() {
+        let mut t = Translator::new(0x9_0000, 0x8_0800);
+        let mut em = BlockEmitter::new(0x100_0000);
+        t.downgrade(
+            &Inst::Op {
+                kind: OpKind::Sh1add,
+                rd: XReg::A0,
+                rs1: XReg::A1,
+                rs2: XReg::A2,
+            },
+            &mut em,
+        )
+        .unwrap();
+        let bytes = em.finish();
+        // slli gp, a1, 1; add a0, gp, a2; lui/addi gp restore.
+        let w0 = decode(u32::from_le_bytes(bytes[0..4].try_into().unwrap()))
+            .unwrap()
+            .inst;
+        assert_eq!(
+            w0,
+            Inst::OpImm {
+                kind: OpImmKind::Slli,
+                rd: XReg::GP,
+                rs1: XReg::A1,
+                imm: 1
+            }
+        );
+    }
+
+    #[test]
+    fn untranslatable_for_lmul8() {
+        let mut t = Translator::new(0x9_0000, 0x8_0800);
+        let mut em = BlockEmitter::new(0x100_0000);
+        let r = t.downgrade(
+            &Inst::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                vtype: chimera_isa::VType {
+                    sew: Eew::E64,
+                    lmul: 8,
+                    ta: true,
+                    ma: true,
+                },
+            },
+            &mut em,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn all_vector_templates_emit() {
+        let mut t = Translator::new(0x9_0000, 0x8_0800);
+        let v = VReg::of;
+        let cases = vec![
+            Inst::Vsetvli {
+                rd: XReg::T0,
+                rs1: XReg::A0,
+                vtype: chimera_isa::VType {
+                    sew: Eew::E64,
+                    lmul: 1,
+                    ta: true,
+                    ma: true,
+                },
+            },
+            Inst::VLoad {
+                eew: Eew::E64,
+                vd: v(1),
+                rs1: XReg::A0,
+            },
+            Inst::VStore {
+                eew: Eew::E32,
+                vs3: v(2),
+                rs1: XReg::A1,
+            },
+            Inst::VArith {
+                op: VArithOp::Vadd,
+                vd: v(3),
+                vs2: v(1),
+                src: VSrc::V(v(2)),
+            },
+            Inst::VArith {
+                op: VArithOp::Vmacc,
+                vd: v(3),
+                vs2: v(1),
+                src: VSrc::X(XReg::A3),
+            },
+            Inst::VArith {
+                op: VArithOp::Vfmacc,
+                vd: v(3),
+                vs2: v(1),
+                src: VSrc::V(v(2)),
+            },
+            Inst::VArith {
+                op: VArithOp::Vredsum,
+                vd: v(4),
+                vs2: v(3),
+                src: VSrc::V(v(0)),
+            },
+            Inst::VArith {
+                op: VArithOp::Vmv,
+                vd: v(5),
+                vs2: v(0),
+                src: VSrc::I(0),
+            },
+            Inst::VMvXS {
+                rd: XReg::A0,
+                vs2: v(4),
+            },
+            Inst::VMvSX {
+                vd: v(6),
+                rs1: XReg::A5,
+            },
+        ];
+        for inst in cases {
+            let mut em = BlockEmitter::new(0x100_0000);
+            t.downgrade(&inst, &mut em)
+                .unwrap_or_else(|e| panic!("{inst}: {e}"));
+            let bytes = em.finish();
+            assert!(bytes.len() >= 8, "{inst} produced too little code");
+            // Every emitted word decodes to a base-profile instruction.
+            for chunk in bytes.chunks(4) {
+                let w = u32::from_le_bytes(chunk.try_into().unwrap());
+                let d = decode(w).unwrap_or_else(|e| panic!("{inst}: emitted {w:#x}: {e}"));
+                assert!(
+                    d.inst.runnable_on(chimera_isa::ExtSet::RV64GC.without(chimera_isa::Ext::B)),
+                    "{inst} emitted non-base inst {}",
+                    d.inst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zb_templates_emit_base_only() {
+        let mut t = Translator::new(0x9_0000, 0x8_0800);
+        let cases = vec![
+            Inst::Op {
+                kind: OpKind::Sh3add,
+                rd: XReg::A0,
+                rs1: XReg::A0,
+                rs2: XReg::A0,
+            },
+            Inst::Op {
+                kind: OpKind::Andn,
+                rd: XReg::T2,
+                rs1: XReg::T2,
+                rs2: XReg::T2,
+            },
+            Inst::Op {
+                kind: OpKind::Min,
+                rd: XReg::A1,
+                rs1: XReg::A2,
+                rs2: XReg::A3,
+            },
+            Inst::Op {
+                kind: OpKind::Rol,
+                rd: XReg::T3,
+                rs1: XReg::T4,
+                rs2: XReg::T5,
+            },
+            Inst::Op {
+                kind: OpKind::AddUw,
+                rd: XReg::S2,
+                rs1: XReg::S3,
+                rs2: XReg::S4,
+            },
+            Inst::OpImm {
+                kind: OpImmKind::Rori,
+                rd: XReg::A4,
+                rs1: XReg::A5,
+                imm: 17,
+            },
+            Inst::Unary {
+                kind: UnaryKind::Clz,
+                rd: XReg::A0,
+                rs1: XReg::A0,
+            },
+            Inst::Unary {
+                kind: UnaryKind::Ctz,
+                rd: XReg::T2,
+                rs1: XReg::T3,
+            },
+            Inst::Unary {
+                kind: UnaryKind::Cpop,
+                rd: XReg::A1,
+                rs1: XReg::A1,
+            },
+            Inst::Unary {
+                kind: UnaryKind::Rev8,
+                rd: XReg::A2,
+                rs1: XReg::A3,
+            },
+            Inst::Unary {
+                kind: UnaryKind::SextB,
+                rd: XReg::A2,
+                rs1: XReg::A3,
+            },
+        ];
+        let base = chimera_isa::ExtSet::RV64GC.without(chimera_isa::Ext::B);
+        for inst in cases {
+            let mut em = BlockEmitter::new(0x100_0000);
+            t.downgrade(&inst, &mut em)
+                .unwrap_or_else(|e| panic!("{inst}: {e}"));
+            for chunk in em.finish().chunks(4) {
+                let w = u32::from_le_bytes(chunk.try_into().unwrap());
+                let d = decode(w).unwrap();
+                assert!(d.inst.runnable_on(base), "{inst} emitted {}", d.inst);
+            }
+        }
+    }
+}

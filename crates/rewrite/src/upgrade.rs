@@ -1,0 +1,860 @@
+//! Instruction *upgrade*: optimizing base-ISA binaries with extension
+//! instructions (§3.4's upgrade direction; evaluated as the "Base Version"
+//! of Fig. 11).
+//!
+//! General binary auto-vectorization is an open problem; like the paper's
+//! prototype, this module batches the operations of base instructions into
+//! vector instructions where it can *prove* the transformation: canonical
+//! counted loops — a single-block self-loop of unit-stride loads, one
+//! arithmetic kernel, pointer bumps, a down-counting trip register and a
+//! `bnez` backedge (the shape compilers and BLAS kernels emit, and what our
+//! workload generators produce).
+//!
+//! The vectorized target block is *state-parametric*: it strip-mines from
+//! the live register state (pointers, remaining count, accumulator), so
+//! entering it at the loop head is correct on the first iteration **and**
+//! on every backedge — which is what makes a SMILE trampoline at the loop
+//! head sound. Erroneous jumps into the overwritten head bytes are repaired
+//! through the fault-handling table into a scalar *repair block* that
+//! replays the overwritten instructions and rejoins the intact scalar loop
+//! body, whose backedge then re-enters the vectorized code.
+
+use crate::chbp::{
+    emit_exit, reemit, FaultTable, RewriteError, RewriteOptions, RewriteStats, Rewritten,
+};
+use crate::emitter::BlockEmitter;
+use crate::smile::{encode_smile, next_reachable_target, SmileConstraints};
+use crate::translate::SpillLayout;
+use chimera_analysis::{disassemble, BasicBlock, Cfg, Liveness, Terminator};
+use chimera_isa::{
+    BranchKind, Eew, FMaKind, FOpKind, FReg, FpWidth, Inst, LoadKind, OpImmKind, OpKind,
+    StoreKind, VArithOp, VReg, VSrc, VType, XReg,
+};
+use chimera_obj::{Binary, Perms};
+use std::collections::BTreeMap;
+
+/// The arithmetic kernel of a recognized loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    /// `facc += a[i] * b[i]` (f64 dot product via `fmadd.d`).
+    DotF64 {
+        acc: FReg,
+        a: FReg,
+        b: FReg,
+    },
+    /// `c[i] = a[i] op b[i]` (f64 map via `fadd.d`/`fsub.d`/`fmul.d`).
+    MapF64 {
+        op: FOpKind,
+        a: FReg,
+        b: FReg,
+        dst: FReg,
+    },
+    /// `acc += a[i] * b[i]` (i64 dot via `mul` + `add`).
+    DotI64 {
+        acc: XReg,
+        a: XReg,
+        b: XReg,
+        prod: XReg,
+    },
+    /// `c[i] = a[i] op b[i]` (i64 map via `add`/`sub`/`and`/...).
+    MapI64 {
+        op: OpKind,
+        a: XReg,
+        b: XReg,
+        dst: XReg,
+    },
+}
+
+/// A recognized vectorizable loop.
+#[derive(Debug, Clone)]
+struct VecLoop {
+    /// Loop-head address (trampoline site).
+    head: u64,
+    /// Address control reaches when the loop exits (branch fallthrough).
+    exit: u64,
+    /// The two/three pointers with their bump registers (stride 8).
+    ptr_a: XReg,
+    ptr_b: XReg,
+    /// Store pointer for map kernels.
+    ptr_c: Option<XReg>,
+    /// Down-counting trip register.
+    counter: XReg,
+    /// The kernel.
+    kernel: Kernel,
+    /// All instructions of the loop block, in order (for the repair block).
+    insts: Vec<chimera_analysis::DisasmInst>,
+}
+
+/// Attempts to recognize the canonical loop shape in a self-loop block.
+fn recognize(block: &BasicBlock) -> Option<VecLoop> {
+    // Must be a conditional self-loop: `bnez counter, head`.
+    if block.terminator != Terminator::Branch {
+        return None;
+    }
+    let last = block.insts.last()?;
+    let Inst::Branch {
+        kind: BranchKind::Bne,
+        rs1: counter,
+        rs2: XReg::ZERO,
+        ..
+    } = last.inst
+    else {
+        return None;
+    };
+    if last.inst.direct_target(last.addr)? != block.start {
+        return None;
+    }
+    let exit = last.next_addr();
+
+    // Classify the body.
+    let mut floads: Vec<(FReg, XReg)> = Vec::new();
+    let mut fstores: Vec<(FReg, XReg)> = Vec::new();
+    let mut iloads: Vec<(XReg, XReg)> = Vec::new();
+    let mut istores: Vec<(XReg, XReg)> = Vec::new();
+    let mut bumps: BTreeMap<XReg, i32> = BTreeMap::new();
+    let mut dec: Option<XReg> = None;
+    let mut fma: Option<(FReg, FReg, FReg)> = None;
+    let mut fop: Option<(FOpKind, FReg, FReg, FReg)> = None;
+    let mut imul: Option<(XReg, XReg, XReg)> = None;
+    let mut iacc: Option<(XReg, XReg)> = None;
+    let mut iop: Option<(OpKind, XReg, XReg, XReg)> = None;
+
+    for di in &block.insts[..block.insts.len() - 1] {
+        match di.inst {
+            Inst::FLoad {
+                width: FpWidth::D,
+                frd,
+                rs1,
+                offset: 0,
+            } => floads.push((frd, rs1)),
+            Inst::FStore {
+                width: FpWidth::D,
+                frs2,
+                rs1,
+                offset: 0,
+            } => fstores.push((frs2, rs1)),
+            Inst::Load {
+                kind: LoadKind::Ld,
+                rd,
+                rs1,
+                offset: 0,
+            } => iloads.push((rd, rs1)),
+            Inst::Store {
+                kind: StoreKind::Sd,
+                rs1,
+                rs2,
+                offset: 0,
+            } => istores.push((rs2, rs1)),
+            Inst::OpImm {
+                kind: OpImmKind::Addi,
+                rd,
+                rs1,
+                imm,
+            } if rd == rs1 => {
+                if imm == 8 {
+                    bumps.insert(rd, imm);
+                } else if imm == -1 && dec.is_none() {
+                    dec = Some(rd);
+                } else {
+                    return None;
+                }
+            }
+            Inst::FMa {
+                kind: FMaKind::Madd,
+                width: FpWidth::D,
+                frd,
+                frs1,
+                frs2,
+                frs3,
+            } if frd == frs3 && fma.is_none() => fma = Some((frd, frs1, frs2)),
+            Inst::FOp {
+                kind: k @ (FOpKind::Add | FOpKind::Sub | FOpKind::Mul),
+                width: FpWidth::D,
+                frd,
+                frs1,
+                frs2,
+            } if fop.is_none() => fop = Some((k, frd, frs1, frs2)),
+            Inst::Op {
+                kind: OpKind::Mul,
+                rd,
+                rs1,
+                rs2,
+            } if imul.is_none() => imul = Some((rd, rs1, rs2)),
+            Inst::Op {
+                kind: OpKind::Add,
+                rd,
+                rs1,
+                rs2,
+            } if rd == rs1 && iacc.is_none() => iacc = Some((rd, rs2)),
+            Inst::Op {
+                kind: k @ (OpKind::Add | OpKind::Sub | OpKind::And | OpKind::Or | OpKind::Xor),
+                rd,
+                rs1,
+                rs2,
+            } if iop.is_none() => iop = Some((k, rd, rs1, rs2)),
+            _ => return None,
+        }
+    }
+    let counter_ok = dec == Some(counter);
+    if !counter_ok {
+        return None;
+    }
+
+    // Kernel shapes.
+    // f64 dot: fld a, fld b, fmadd acc.
+    if let (2, 0, Some((acc, m1, m2))) = (floads.len(), fstores.len(), fma) {
+        let (fa, pa) = floads[0];
+        let (fb, pb) = floads[1];
+        let ok = (m1 == fa && m2 == fb) || (m1 == fb && m2 == fa);
+        if ok && bumps.contains_key(&pa) && bumps.contains_key(&pb) && bumps.len() == 2 {
+            return Some(VecLoop {
+                head: block.start,
+                exit,
+                ptr_a: pa,
+                ptr_b: pb,
+                ptr_c: None,
+                counter,
+                kernel: Kernel::DotF64 { acc, a: fa, b: fb },
+                insts: block.insts.clone(),
+            });
+        }
+        return None;
+    }
+    // f64 map: fld a, fld b, fop dst, fsd dst.
+    if let (2, 1, Some((op, dst, s1, s2))) = (floads.len(), fstores.len(), fop) {
+        let (mut fa, mut pa) = floads[0];
+        let (mut fb, mut pb) = floads[1];
+        if s1 == fb && s2 == fa {
+            // Normalize operand order (matters for non-commutative ops).
+            std::mem::swap(&mut fa, &mut fb);
+            std::mem::swap(&mut pa, &mut pb);
+        }
+        let (sv, pc) = fstores[0];
+        let ok = sv == dst && s1 == fa && s2 == fb;
+        if ok
+            && bumps.contains_key(&pa)
+            && bumps.contains_key(&pb)
+            && bumps.contains_key(&pc)
+            && bumps.len() == 3
+        {
+            return Some(VecLoop {
+                head: block.start,
+                exit,
+                ptr_a: pa,
+                ptr_b: pb,
+                ptr_c: Some(pc),
+                counter,
+                kernel: Kernel::MapF64 {
+                    op,
+                    a: fa,
+                    b: fb,
+                    dst,
+                },
+                insts: block.insts.clone(),
+            });
+        }
+        return None;
+    }
+    // i64 dot: ld a, ld b, mul prod, add acc.
+    if let (2, 0, Some((prod, m1, m2)), Some((acc, addend))) =
+        (iloads.len(), istores.len(), imul, iacc)
+    {
+        let (xa, pa) = iloads[0];
+        let (xb, pb) = iloads[1];
+        let ok = addend == prod && ((m1 == xa && m2 == xb) || (m1 == xb && m2 == xa));
+        if ok && bumps.contains_key(&pa) && bumps.contains_key(&pb) && bumps.len() == 2 {
+            return Some(VecLoop {
+                head: block.start,
+                exit,
+                ptr_a: pa,
+                ptr_b: pb,
+                ptr_c: None,
+                counter,
+                kernel: Kernel::DotI64 {
+                    acc,
+                    a: xa,
+                    b: xb,
+                    prod,
+                },
+                insts: block.insts.clone(),
+            });
+        }
+        return None;
+    }
+    // i64 map: ld a, ld b, op dst, sd dst.
+    if let (2, 1, Some((op, dst, s1, s2))) = (iloads.len(), istores.len(), iop) {
+        let (mut xa, mut pa) = iloads[0];
+        let (mut xb, mut pb) = iloads[1];
+        if s1 == xb && s2 == xa {
+            std::mem::swap(&mut xa, &mut xb);
+            std::mem::swap(&mut pa, &mut pb);
+        }
+        let (sv, pc) = istores[0];
+        let ok = sv == dst && s1 == xa && s2 == xb;
+        if ok
+            && bumps.contains_key(&pa)
+            && bumps.contains_key(&pb)
+            && bumps.contains_key(&pc)
+            && bumps.len() == 3
+        {
+            return Some(VecLoop {
+                head: block.start,
+                exit,
+                ptr_a: pa,
+                ptr_b: pb,
+                ptr_c: Some(pc),
+                counter,
+                kernel: Kernel::MapI64 {
+                    op,
+                    a: xa,
+                    b: xb,
+                    dst,
+                },
+                insts: block.insts.clone(),
+            });
+        }
+    }
+    None
+}
+
+/// Upgrades a base-ISA binary: recognized loops are vectorized behind SMILE
+/// trampolines; everything else is untouched. The result requires a core
+/// with the V extension.
+pub fn upgrade_rewrite(
+    binary: &Binary,
+    opts: RewriteOptions,
+) -> Result<Rewritten, RewriteError> {
+    binary
+        .validate()
+        .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
+    let d = disassemble(binary);
+    let cfg = Cfg::build(&d);
+    let liveness = Liveness::compute(&cfg);
+
+    let mut out = binary.clone();
+    let mut stats = RewriteStats {
+        code_size: binary.code_size(),
+        total_insts: d.insts.len(),
+        ..Default::default()
+    };
+    let spill_base = out.append_section(
+        ".chimera.vregs",
+        vec![0u8; SpillLayout::SIZE.next_multiple_of(0x1000)],
+        Perms::RW,
+    );
+    let target_base = {
+        let top = out.sections.iter().map(|s| s.end()).max().unwrap_or(0);
+        (top + 0xfff) & !0xfff
+    };
+    let mut fht = FaultTable {
+        abi_gp: binary.gp,
+        spill_base,
+        ..Default::default()
+    };
+
+    let loops: Vec<VecLoop> = cfg.blocks.values().filter_map(recognize).collect();
+    stats.source_insts = loops.iter().map(|l| l.insts.len()).sum();
+
+    let mut target_code: Vec<u8> = Vec::new();
+    let mut text_patches: Vec<(u64, Vec<u8>)> = Vec::new();
+
+    for vl in &loops {
+        // The head space: 8 bytes of loop-head instructions.
+        let mut space_end = vl.head;
+        let mut overwritten: Vec<chimera_analysis::DisasmInst> = Vec::new();
+        for di in &vl.insts {
+            if space_end >= vl.head + 8 {
+                break;
+            }
+            overwritten.push(*di);
+            space_end = di.next_addr();
+        }
+        if space_end < vl.head + 8 {
+            continue; // Loop too small to patch; leave scalar.
+        }
+        let mut constraints = SmileConstraints::NONE;
+        for di in &overwritten {
+            if di.addr == vl.head + 2 {
+                constraints.p2 = true;
+            }
+            if di.addr == vl.head + 6 {
+                constraints.p3 = true;
+            }
+        }
+
+        let min_addr = target_base + target_code.len() as u64;
+        let Some(block_addr) = next_reachable_target(vl.head, min_addr, constraints) else {
+            continue;
+        };
+        if block_addr - min_addr > opts.max_padding {
+            continue;
+        }
+        stats.padding_bytes += block_addr - min_addr;
+        for _ in 0..(block_addr - min_addr) / 2 {
+            target_code.extend_from_slice(&crate::chbp::ILLEGAL_HALFWORD.to_le_bytes());
+        }
+
+        let mut em = BlockEmitter::new(block_addr);
+        // gp restore (clobbered by the SMILE jalr).
+        em.li32(XReg::GP, binary.gp as i64);
+        emit_vector_loop(vl, &mut em);
+        // The loop consumed gp as its scratch: restore the ABI value
+        // before control returns to original code.
+        em.li32(XReg::GP, binary.gp as i64);
+        emit_exit(
+            vl.exit,
+            &d,
+            &liveness,
+            opts,
+            chimera_isa::ExtSet::RV64GCV,
+            &mut em,
+            &mut fht,
+            &mut stats,
+        );
+        // Repair block: replay overwritten head instructions, rejoin the
+        // intact scalar body at space_end.
+        for di in &overwritten {
+            if di.addr > vl.head {
+                fht.redirects.insert(di.addr, em.addr());
+            }
+            if di.addr == vl.head {
+                // The head instruction's replay entry: jumps to the head
+                // run the trampoline (correct); no entry needed.
+                let repair_head = em.addr();
+                reemit(&di.inst, di.addr, &mut em);
+                let _ = repair_head;
+            } else {
+                reemit(&di.inst, di.addr, &mut em);
+            }
+        }
+        emit_exit(
+            space_end,
+            &d,
+            &liveness,
+            opts,
+            chimera_isa::ExtSet::RV64GCV,
+            &mut em,
+            &mut fht,
+            &mut stats,
+        );
+
+        let bytes = em.finish();
+        debug_assert_eq!(target_base + target_code.len() as u64, block_addr);
+        target_code.extend_from_slice(&bytes);
+
+        let smile = encode_smile(vl.head, block_addr, constraints)
+            .map_err(|e| RewriteError::Layout(format!("SMILE at {:#x}: {e}", vl.head)))?;
+        let mut patch = smile.bytes().to_vec();
+        for _ in 0..(space_end - vl.head - 8) / 2 {
+            patch.extend_from_slice(&crate::chbp::ILLEGAL_HALFWORD.to_le_bytes());
+        }
+        text_patches.push((vl.head, patch));
+        fht.trampolines.insert(vl.head);
+        stats.smile_trampolines += 1;
+        if constraints != SmileConstraints::NONE {
+            stats.constrained_smiles += 1;
+        }
+    }
+
+    for (addr, bytes) in text_patches {
+        if !out.write(addr, &bytes) {
+            return Err(RewriteError::Layout(format!(
+                "upgrade patch at {addr:#x} does not fit"
+            )));
+        }
+    }
+    stats.target_section_size = target_code.len() as u64;
+    if target_code.is_empty() {
+        target_code.resize(16, 0);
+    }
+    let placed = out.append_section(".chimera.text", target_code, Perms::RX);
+    if placed != target_base {
+        return Err(RewriteError::Layout("target section moved".into()));
+    }
+    fht.target_range = (target_base, out.section(".chimera.text").unwrap().end());
+    out.profile = chimera_isa::ExtSet::RV64GCV;
+    out.validate()
+        .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
+    Ok(Rewritten {
+        binary: out,
+        fht,
+        stats,
+    })
+}
+
+/// Emits the strip-mined vector loop. Register contract: on entry the
+/// original scalar state is live (pointers, counter, accumulator); on exit
+/// the state matches what the scalar loop would leave (counter = 0,
+/// pointers advanced, accumulator complete), with the loop's internal load
+/// registers treated as dead. `gp` is used as the only scratch and left
+/// restored.
+fn emit_vector_loop(vl: &VecLoop, em: &mut BlockEmitter) {
+    let vt = VType {
+        sew: Eew::E64,
+        lmul: 1,
+        ta: true,
+        ma: true,
+    };
+    let (v1, v2, v3, v4) = (VReg::of(1), VReg::of(2), VReg::of(3), VReg::of(4));
+    let vacc = VReg::of(8);
+    let head = format!("vloop_{:x}", vl.head);
+    // Dot kernels accumulate lane-wise in a vector register across strips
+    // and reduce ONCE at loop exit: internal loop iterations are not entry
+    // points (only the block head is), so mid-loop state need not match
+    // the scalar invariant.
+    let is_dot = matches!(vl.kernel, Kernel::DotF64 { .. } | Kernel::DotI64 { .. });
+    if is_dot {
+        // vacc = 0 across all VLMAX lanes.
+        em.inst(Inst::Vsetvli {
+            rd: XReg::GP,
+            rs1: XReg::ZERO,
+            vtype: vt,
+        });
+        em.inst(Inst::VArith {
+            op: VArithOp::Vmv,
+            vd: vacc,
+            vs2: VReg::V0,
+            src: VSrc::I(0),
+        });
+    }
+    em.label(head.clone());
+    // gp = vl = min(counter, VLMAX).
+    em.inst(Inst::Vsetvli {
+        rd: XReg::GP,
+        rs1: vl.counter,
+        vtype: vt,
+    });
+    em.inst(Inst::VLoad {
+        eew: Eew::E64,
+        vd: v1,
+        rs1: vl.ptr_a,
+    });
+    em.inst(Inst::VLoad {
+        eew: Eew::E64,
+        vd: v2,
+        rs1: vl.ptr_b,
+    });
+    match vl.kernel {
+        Kernel::DotF64 { .. } => {
+            // vacc[i] += a[i] * b[i]; reduced once after the loop.
+            em.inst(Inst::VArith {
+                op: VArithOp::Vfmacc,
+                vd: vacc,
+                vs2: v1,
+                src: VSrc::V(v2),
+            });
+            bump_pointers(vl, em);
+        }
+        Kernel::MapF64 { op, .. } => {
+            let vop = match op {
+                FOpKind::Add => VArithOp::Vfadd,
+                FOpKind::Sub => VArithOp::Vfsub,
+                _ => VArithOp::Vfmul,
+            };
+            em.inst(Inst::VArith {
+                op: vop,
+                vd: v3,
+                vs2: v1,
+                src: VSrc::V(v2),
+            });
+            em.inst(Inst::VStore {
+                eew: Eew::E64,
+                vs3: v3,
+                rs1: vl.ptr_c.expect("map kernels have a store pointer"),
+            });
+            bump_pointers(vl, em);
+        }
+        Kernel::DotI64 { .. } => {
+            em.inst(Inst::VArith {
+                op: VArithOp::Vmacc,
+                vd: vacc,
+                vs2: v1,
+                src: VSrc::V(v2),
+            });
+            bump_pointers(vl, em);
+        }
+        Kernel::MapI64 { op, .. } => {
+            let vop = match op {
+                OpKind::Add => VArithOp::Vadd,
+                OpKind::Sub => VArithOp::Vsub,
+                OpKind::And => VArithOp::Vand,
+                OpKind::Or => VArithOp::Vor,
+                _ => VArithOp::Vxor,
+            };
+            em.inst(Inst::VArith {
+                op: vop,
+                vd: v3,
+                vs2: v1,
+                src: VSrc::V(v2),
+            });
+            em.inst(Inst::VStore {
+                eew: Eew::E64,
+                vs3: v3,
+                rs1: vl.ptr_c.expect("map kernels have a store pointer"),
+            });
+            bump_pointers(vl, em);
+        }
+    }
+    em.branch_to(BranchKind::Bne, vl.counter, XReg::ZERO, head);
+    // Post-loop: fold the vector accumulator into the scalar one.
+    if is_dot {
+        em.inst(Inst::Vsetvli {
+            rd: XReg::GP,
+            rs1: XReg::ZERO,
+            vtype: vt,
+        });
+        em.inst(Inst::VArith {
+            op: VArithOp::Vmv,
+            vd: v4,
+            vs2: VReg::V0,
+            src: VSrc::I(0),
+        });
+        match vl.kernel {
+            Kernel::DotF64 { acc, a, .. } => {
+                em.inst(Inst::VArith {
+                    op: VArithOp::Vfredusum,
+                    vd: v3,
+                    vs2: vacc,
+                    src: VSrc::V(v4),
+                });
+                em.inst(Inst::VMvXS {
+                    rd: XReg::GP,
+                    vs2: v3,
+                });
+                em.inst(Inst::FMvToF {
+                    width: FpWidth::D,
+                    frd: a,
+                    rs1: XReg::GP,
+                });
+                em.inst(Inst::FOp {
+                    kind: FOpKind::Add,
+                    width: FpWidth::D,
+                    frd: acc,
+                    frs1: acc,
+                    frs2: a,
+                });
+            }
+            Kernel::DotI64 { acc, prod, .. } => {
+                em.inst(Inst::VArith {
+                    op: VArithOp::Vredsum,
+                    vd: v3,
+                    vs2: vacc,
+                    src: VSrc::V(v4),
+                });
+                em.inst(Inst::VMvXS { rd: prod, vs2: v3 });
+                em.inst(chimera_obj::add(acc, acc, prod));
+            }
+            _ => unreachable!("is_dot guards the kernel"),
+        }
+    }
+    // Restore gp for the exit path (the caller re-materializes it too).
+}
+
+/// `counter -= vl; ptrs += vl * 8` using `gp` (holding `vl`) as scratch;
+/// leaves `gp` = vl * 8 (clobbered — the caller restores before exit).
+fn bump_pointers(vl: &VecLoop, em: &mut BlockEmitter) {
+    em.inst(Inst::Op {
+        kind: OpKind::Sub,
+        rd: vl.counter,
+        rs1: vl.counter,
+        rs2: XReg::GP,
+    });
+    em.inst(Inst::OpImm {
+        kind: OpImmKind::Slli,
+        rd: XReg::GP,
+        rs1: XReg::GP,
+        imm: 3,
+    });
+    em.inst(chimera_obj::add(vl.ptr_a, vl.ptr_a, XReg::GP));
+    em.inst(chimera_obj::add(vl.ptr_b, vl.ptr_b, XReg::GP));
+    if let Some(pc) = vl.ptr_c {
+        em.inst(chimera_obj::add(pc, pc, XReg::GP));
+    }
+    // Restore gp to vl? Not needed: after the bump, gp's only consumer is
+    // the next vsetvli (which overwrites it) or the exit path below.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_emu::{run_binary_on, RunError};
+    use chimera_obj::{assemble, AsmOptions};
+
+    const SCALAR_DOT: &str = "
+        .data
+        a: .dword 1
+           .dword 2
+           .dword 3
+           .dword 4
+           .dword 5
+           .dword 6
+        b: .dword 7
+           .dword 8
+           .dword 9
+           .dword 10
+           .dword 11
+           .dword 12
+        .text
+        _start:
+            la t0, a
+            la t1, b
+            li t2, 6          # count
+            li a0, 0          # acc
+        loop:
+            ld a1, 0(t0)
+            ld a2, 0(t1)
+            mul a3, a1, a2
+            add a0, a0, a3
+            addi t0, t0, 8
+            addi t1, t1, 8
+            addi t2, t2, -1
+            bnez t2, loop
+            li a7, 93
+            ecall
+    ";
+
+    #[test]
+    fn integer_dot_loop_vectorizes() {
+        let bin = assemble(SCALAR_DOT, AsmOptions::default()).unwrap();
+        let native = chimera_emu::run_binary(&bin, 100_000).unwrap();
+        // 7+16+27+40+55+72 = 217.
+        assert_eq!(native.exit_code, 217);
+
+        let rw = upgrade_rewrite(&bin, RewriteOptions::default()).unwrap();
+        assert_eq!(rw.stats.smile_trampolines, 1, "one loop vectorized");
+        let r = run_binary_on(&rw.binary, chimera_isa::ExtSet::RV64GCV, 100_000).unwrap();
+        assert_eq!(r.exit_code, 217);
+        // And it actually used vector instructions.
+        assert!(r.stats.vector_insts > 0);
+        // Far fewer dynamic instructions than the scalar loop.
+        assert!(r.stats.instret < native.stats.instret + 40);
+    }
+
+    #[test]
+    fn upgraded_binary_fails_on_base_core_inside_loop() {
+        // The vectorized block needs V: running the upgraded binary on a
+        // base core faults at the first vector instruction (which is what
+        // FAM-style migration recovers from).
+        let bin = assemble(SCALAR_DOT, AsmOptions::default()).unwrap();
+        let rw = upgrade_rewrite(&bin, RewriteOptions::default()).unwrap();
+        let err = run_binary_on(&rw.binary, chimera_isa::ExtSet::RV64GC, 100_000).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Trap(chimera_emu::Trap::Illegal { .. })
+        ));
+    }
+
+    #[test]
+    fn map_loop_vectorizes() {
+        let bin = assemble(
+            "
+            .data
+            a: .dword 10
+               .dword 20
+               .dword 30
+               .dword 40
+               .dword 50
+            b: .dword 1
+               .dword 2
+               .dword 3
+               .dword 4
+               .dword 5
+            c: .zero 40
+            .text
+            _start:
+                la t0, a
+                la t1, b
+                la t3, c
+                li t2, 5
+            loop:
+                ld a1, 0(t0)
+                ld a2, 0(t1)
+                sub a3, a1, a2
+                sd a3, 0(t3)
+                addi t0, t0, 8
+                addi t1, t1, 8
+                addi t3, t3, 8
+                addi t2, t2, -1
+                bnez t2, loop
+                ld a0, -8(t3)     # c[4] = 50 - 5 = 45
+                li a7, 93
+                ecall
+            ",
+            AsmOptions::default(),
+        )
+        .unwrap();
+        let native = chimera_emu::run_binary(&bin, 100_000).unwrap();
+        assert_eq!(native.exit_code, 45);
+        let rw = upgrade_rewrite(&bin, RewriteOptions::default()).unwrap();
+        assert_eq!(rw.stats.smile_trampolines, 1);
+        let r = run_binary_on(&rw.binary, chimera_isa::ExtSet::RV64GCV, 100_000).unwrap();
+        assert_eq!(r.exit_code, 45);
+    }
+
+    #[test]
+    fn fp_dot_loop_vectorizes() {
+        let bin = assemble(
+            "
+            .data
+            a: .double 1.0
+               .double 2.0
+               .double 3.0
+               .double 4.0
+               .double 5.0
+            b: .double 2.0
+               .double 2.0
+               .double 2.0
+               .double 2.0
+               .double 2.0
+            .text
+            _start:
+                la t0, a
+                la t1, b
+                li t2, 5
+                fmv.d.x fa0, zero
+            loop:
+                fld ft0, 0(t0)
+                fld ft1, 0(t1)
+                fmadd.d fa0, ft0, ft1, fa0
+                addi t0, t0, 8
+                addi t1, t1, 8
+                addi t2, t2, -1
+                bnez t2, loop
+                fcvt.l.d a0, fa0   # (1+2+3+4+5)*2 = 30
+                li a7, 93
+                ecall
+            ",
+            AsmOptions::default(),
+        )
+        .unwrap();
+        let native = chimera_emu::run_binary(&bin, 100_000).unwrap();
+        assert_eq!(native.exit_code, 30);
+        let rw = upgrade_rewrite(&bin, RewriteOptions::default()).unwrap();
+        assert_eq!(rw.stats.smile_trampolines, 1);
+        let r = run_binary_on(&rw.binary, chimera_isa::ExtSet::RV64GCV, 100_000).unwrap();
+        assert_eq!(r.exit_code, 30);
+    }
+
+    #[test]
+    fn non_canonical_loops_left_alone() {
+        let bin = assemble(
+            "
+            _start:
+                li t0, 5
+                li a0, 0
+            loop:
+                add a0, a0, t0
+                addi t0, t0, -1
+                bnez t0, loop
+                li a7, 93
+                ecall
+            ",
+            AsmOptions::default(),
+        )
+        .unwrap();
+        let rw = upgrade_rewrite(&bin, RewriteOptions::default()).unwrap();
+        assert_eq!(rw.stats.smile_trampolines, 0);
+        let r = run_binary_on(&rw.binary, chimera_isa::ExtSet::RV64GCV, 100_000).unwrap();
+        assert_eq!(r.exit_code, 15);
+    }
+}

@@ -1,0 +1,311 @@
+//! The §6.1 heterogeneous workload: matrix tasks (vector-accelerable) and
+//! Fibonacci tasks (pure scalar), each in a *base* (RV64GC) and an
+//! *extension* (RV64GCV) version — the two input versions the paper feeds
+//! to every system to evaluate downgrading and upgrading.
+//!
+//! The scalar matrix kernels are written in the canonical counted-loop
+//! shape so the upgrade vectorizer (`chimera-rewrite::upgrade`) can prove
+//! and batch them — the same contract a compiler's auto-vectorizable output
+//! satisfies.
+
+use chimera_obj::{assemble, AsmOptions, Binary};
+use std::fmt::Write;
+
+/// A matrix "extension task": dot products over an `n`-element i64 array
+/// repeated `reps` times, accumulated into a checksum, plus a scalar
+/// mixing phase per repetition (identical in both versions).
+///
+/// The scalar phase models the non-vectorizable part every real extension
+/// task has (setup, bookkeeping, pointer chasing — here a chain of calls
+/// through an ifunc-style pointer, which also gives Safer's per-jump
+/// checks realistic work); its size is calibrated so that, under the
+/// default cost model, a *downgraded* run on a base core costs about
+/// 2.5× an accelerated run on an extension core — as close to the paper's
+/// 2:1 §6.1 ratio as our interpretive translation quality allows (see
+/// EXPERIMENTS.md).
+pub fn matrix_task(n: usize, reps: usize, vectorized: bool) -> Binary {
+    matrix_task_mixed(n, reps, (n * 13) / 10, vectorized)
+}
+
+/// [`matrix_task`] with an explicit scalar-phase iteration count.
+pub fn matrix_task_mixed(n: usize, reps: usize, scalar_iters: usize, vectorized: bool) -> Binary {
+    let mut data = String::new();
+    writeln!(data, "        .data").unwrap();
+    writeln!(data, "        va:").unwrap();
+    for i in 0..n {
+        writeln!(data, "            .dword {}", (i * 3 + 1) % 97).unwrap();
+    }
+    writeln!(data, "        vb:").unwrap();
+    for i in 0..n {
+        writeln!(data, "            .dword {}", (i * 7 + 2) % 89).unwrap();
+    }
+    writeln!(data, "        mixtab: .dword mix_step").unwrap();
+
+    let body = if vectorized {
+        format!(
+            "
+        _start:
+            li s2, {reps}
+            li s3, 0              # checksum
+        outer:
+            la t0, va
+            la t1, vb
+            li t2, {n}
+            li s4, 0              # dot accumulator
+            vsetvli t3, t2, e64, m1, ta, ma
+            vmv.v.i v8, 0
+        vloop:
+            vsetvli t3, t2, e64, m1, ta, ma
+            vle64.v v1, (t0)
+            vle64.v v2, (t1)
+            vmacc.vv v8, v1, v2
+            sub t2, t2, t3
+            slli t3, t3, 3
+            add t0, t0, t3
+            add t1, t1, t3
+            bnez t2, vloop
+            li t4, {n}
+            vsetvli t3, t4, e64, m1, ta, ma
+            vmv.v.i v4, 0
+            vredsum.vs v5, v8, v4
+            vmv.x.s t4, v5
+            add s4, s4, t4
+            add s3, s3, s4
+            li t5, {scalar_iters}
+        mix:
+            beqz t5, mix_done
+            la t6, mixtab
+            ld t6, 0(t6)
+            mv a0, s3
+            jalr t6              # indirect dispatch (ifunc-style)
+            mv s3, a0
+            addi t5, t5, -1
+            j mix
+        mix_done:
+            addi s2, s2, -1
+            bnez s2, outer
+            mv a0, s3
+            li a7, 93
+            ecall
+        mix_step:
+            slli t6, a0, 13
+            xor a0, a0, t6
+            srli t6, a0, 7
+            xor a0, a0, t6
+            slli t6, a0, 17
+            xor a0, a0, t6
+            slli t6, a0, 11
+            xor a0, a0, t6
+            srli t6, a0, 19
+            xor a0, a0, t6
+            slli t6, a0, 5
+            xor a0, a0, t6
+            srli t6, a0, 23
+            xor a0, a0, t6
+            slli t6, a0, 3
+            xor a0, a0, t6
+            ret
+            "
+        )
+    } else {
+        // Canonical scalar dot loop (upgrade-recognizable).
+        format!(
+            "
+        _start:
+            li s2, {reps}
+            li s3, 0
+        outer:
+            la t0, va
+            la t1, vb
+            li t2, {n}
+            li s4, 0
+        loop:
+            ld a1, 0(t0)
+            ld a2, 0(t1)
+            mul a3, a1, a2
+            add s4, s4, a3
+            addi t0, t0, 8
+            addi t1, t1, 8
+            addi t2, t2, -1
+            bnez t2, loop
+            add s3, s3, s4
+            li t5, {scalar_iters}
+        mix:
+            beqz t5, mix_done
+            la t6, mixtab
+            ld t6, 0(t6)
+            mv a0, s3
+            jalr t6              # indirect dispatch (ifunc-style)
+            mv s3, a0
+            addi t5, t5, -1
+            j mix
+        mix_done:
+            addi s2, s2, -1
+            bnez s2, outer
+            mv a0, s3
+            li a7, 93
+            ecall
+        mix_step:
+            slli t6, a0, 13
+            xor a0, a0, t6
+            srli t6, a0, 7
+            xor a0, a0, t6
+            slli t6, a0, 17
+            xor a0, a0, t6
+            slli t6, a0, 11
+            xor a0, a0, t6
+            srli t6, a0, 19
+            xor a0, a0, t6
+            slli t6, a0, 5
+            xor a0, a0, t6
+            srli t6, a0, 23
+            xor a0, a0, t6
+            slli t6, a0, 3
+            xor a0, a0, t6
+            ret
+            "
+        )
+    };
+    let profile = if vectorized {
+        chimera_isa::ExtSet::RV64GCV
+    } else {
+        chimera_isa::ExtSet::RV64GC
+    };
+    assemble(
+        &format!("{data}\n        .text\n{body}"),
+        AsmOptions {
+            compress: true,
+            profile,
+        },
+    )
+    .expect("matrix task assembles")
+}
+
+/// A Fibonacci "base task": iterative fib mod 2^64, repeated. Identical in
+/// both versions (it cannot be vector-accelerated).
+pub fn fib_task(n: u64, reps: usize) -> Binary {
+    let src = format!(
+        "
+        _start:
+            li s2, {reps}
+            li s3, 0
+        outer:
+            li t0, {n}
+            li a0, 0
+            li a1, 1
+        loop:
+            add t1, a0, a1
+            mv a0, a1
+            mv a1, t1
+            addi t0, t0, -1
+            bnez t0, loop
+            add s3, s3, a0
+            addi s2, s2, -1
+            bnez s2, outer
+            mv a0, s3
+            li a7, 93
+            ecall
+        "
+    );
+    assemble(
+        &src,
+        AsmOptions {
+            compress: true,
+            profile: chimera_isa::ExtSet::RV64GC,
+        },
+    )
+    .expect("fib task assembles")
+}
+
+/// The standard §6.1 task-pair sizes: tuned so that, under the default cost
+/// model, computation times are roughly in the paper's 2:2:2:1 ratio for
+/// (base task on base core) : (base task on ext core) :
+/// (ext task on base core) : (ext task on ext core).
+pub fn standard_tasks() -> StandardTasks {
+    StandardTasks {
+        matrix_ext: matrix_task(64, 24, true),
+        matrix_base: matrix_task(64, 24, false),
+        fib_base: fib_task(1500, 8),
+    }
+}
+
+/// The standard task binaries.
+#[derive(Debug, Clone)]
+pub struct StandardTasks {
+    /// Matrix task, RVV version.
+    pub matrix_ext: Binary,
+    /// Matrix task, scalar version (canonical loops).
+    pub matrix_base: Binary,
+    /// Fibonacci task (scalar only).
+    pub fib_base: Binary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_emu::run_binary;
+
+    #[test]
+    fn matrix_versions_agree() {
+        let v = matrix_task(16, 2, true);
+        let s = matrix_task(16, 2, false);
+        let rv = run_binary(&v, 10_000_000).unwrap();
+        let rs = run_binary(&s, 10_000_000).unwrap();
+        assert_eq!(rv.exit_code, rs.exit_code);
+        assert!(rv.stats.vector_insts > 0);
+        assert_eq!(rs.stats.vector_insts, 0);
+        // The vector version is meaningfully faster.
+        assert!(rv.stats.cycles < rs.stats.cycles);
+    }
+
+    #[test]
+    fn fib_runs() {
+        let f = fib_task(90, 2);
+        let r = run_binary(&f, 1_000_000).unwrap();
+        assert!(r.exit_code != 0);
+    }
+
+    #[test]
+    fn scalar_matrix_is_upgradeable() {
+        let s = matrix_task(32, 2, false);
+        let rw =
+            chimera_rewrite::upgrade_rewrite(&s, chimera_rewrite::RewriteOptions::default())
+                .unwrap();
+        assert!(rw.stats.smile_trampolines >= 1, "the dot loop vectorizes");
+        let native = run_binary(&s, 10_000_000).unwrap();
+        let up = chimera_emu::run_binary_on(
+            &rw.binary,
+            chimera_isa::ExtSet::RV64GCV,
+            10_000_000,
+        )
+        .unwrap();
+        assert_eq!(native.exit_code, up.exit_code);
+        assert!(up.stats.cycles < native.stats.cycles, "upgrade accelerates");
+    }
+
+    #[test]
+    fn ext_task_downgrade_cost_ratio_is_sane() {
+        // Paper §6.1: ext task on base core ≈ 2× ext task on ext core.
+        let v = matrix_task(64, 4, true);
+        let native = run_binary(&v, 50_000_000).unwrap();
+        let rw = chimera_rewrite::chbp_rewrite(
+            &v,
+            chimera_isa::ExtSet::RV64GC,
+            chimera_rewrite::RewriteOptions::default(),
+        )
+        .unwrap();
+        let down = chimera_emu::run_binary_on(
+            &rw.binary,
+            chimera_isa::ExtSet::RV64GC,
+            50_000_000,
+        )
+        .unwrap();
+        assert_eq!(native.exit_code, down.exit_code);
+        let ratio = down.stats.cycles as f64 / native.stats.cycles as f64;
+        assert!(
+            (1.8..3.5).contains(&ratio),
+            "downgrade slowdown ratio {ratio:.2} should sit near the paper's 2:1 \
+             (see EXPERIMENTS.md for the calibration discussion)"
+        );
+    }
+}

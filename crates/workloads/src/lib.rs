@@ -1,0 +1,13 @@
+//! # chimera-workloads
+//!
+//! Deterministic workload generators for every experiment in the paper:
+//! the §6.1 heterogeneous task suite ([`hetero`]), the §6.4 BLAS kernels
+//! ([`blas`]), and the §6.2/§6.3 SPEC-CPU2017-like synthetic programs
+//! ([`speclike`]) parameterised by the per-benchmark profiles of Table 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blas;
+pub mod hetero;
+pub mod speclike;
