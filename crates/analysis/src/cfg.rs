@@ -172,10 +172,7 @@ impl Cfg {
 fn successors(last: &DisasmInst, d: &Disassembly) -> (Vec<u64>, Terminator) {
     match last.inst {
         Inst::Jal { rd, .. } => {
-            let target = last
-                .inst
-                .direct_target(last.addr)
-                .expect("jal target");
+            let target = last.inst.direct_target(last.addr).expect("jal target");
             let is_call = rd != XReg::ZERO;
             let mut succs = vec![target];
             if is_call {
@@ -193,10 +190,7 @@ fn successors(last: &DisasmInst, d: &Disassembly) -> (Vec<u64>, Terminator) {
             (succs, Terminator::Indirect { is_call })
         }
         Inst::Branch { .. } => {
-            let target = last
-                .inst
-                .direct_target(last.addr)
-                .expect("branch target");
+            let target = last.inst.direct_target(last.addr).expect("branch target");
             (vec![target, last.next_addr()], Terminator::Branch)
         }
         Inst::Ebreak => (vec![], Terminator::Stop),

@@ -18,81 +18,97 @@ pub use disasm::{disassemble, DisasmInst, Disassembly};
 pub use liveness::{Liveness, RegSet};
 
 #[cfg(test)]
-mod proptests {
+mod seeded_tests {
     use super::*;
+    use chimera_isa::prng::Prng;
     use chimera_obj::{assemble, AsmOptions};
-    use proptest::prelude::*;
 
-    /// Generates small random-but-valid straightline+branch programs.
-    fn arb_program() -> impl Strategy<Value = String> {
-        let line = prop_oneof![
-            (0u8..8, 0u8..8, -64i32..64)
-                .prop_map(|(a, b, i)| format!("addi t{}, t{}, {}", a % 7, b % 7, i)),
-            (0u8..8, 0u8..8, 0u8..8)
-                .prop_map(|(a, b, c)| format!("add a{}, a{}, a{}", a % 8, b % 8, c % 8)),
-            (0u8..7).prop_map(|a| format!("beqz t{a}, end")),
-            Just("nop".to_string()),
-        ];
-        proptest::collection::vec(line, 1..40).prop_map(|lines| {
-            let mut src = String::from("_start:\n");
-            for l in lines {
-                src.push_str("    ");
-                src.push_str(&l);
-                src.push('\n');
-            }
-            src.push_str("end:\n    ecall\n");
-            src
-        })
+    /// Generates a small random-but-valid straightline+branch program
+    /// (seeded replacement for the former proptest strategy).
+    fn gen_program(rng: &mut Prng) -> String {
+        let mut src = String::from("_start:\n");
+        for _ in 0..rng.range_usize(1, 40) {
+            let line = match rng.range_usize(0, 4) {
+                0 => format!(
+                    "addi t{}, t{}, {}",
+                    rng.range_usize(0, 7),
+                    rng.range_usize(0, 7),
+                    rng.range_i64(-64, 64)
+                ),
+                1 => format!(
+                    "add a{}, a{}, a{}",
+                    rng.range_usize(0, 8),
+                    rng.range_usize(0, 8),
+                    rng.range_usize(0, 8)
+                ),
+                2 => format!("beqz t{}, end", rng.range_usize(0, 7)),
+                _ => "nop".to_string(),
+            };
+            src.push_str("    ");
+            src.push_str(&line);
+            src.push('\n');
+        }
+        src.push_str("end:\n    ecall\n");
+        src
     }
 
-    proptest! {
-        /// Every recognized instruction belongs to exactly one block, and
-        /// block ranges never overlap.
-        #[test]
-        fn cfg_partitions_disassembly(src in arb_program()) {
+    const CASES: u64 = 128;
+
+    /// Every recognized instruction belongs to exactly one block, and
+    /// block ranges never overlap.
+    #[test]
+    fn cfg_partitions_disassembly() {
+        for seed in 0..CASES {
+            let src = gen_program(&mut Prng::new(seed));
             let bin = assemble(&src, AsmOptions::default()).unwrap();
             let d = disassemble(&bin);
             let cfg = Cfg::build(&d);
             let mut covered = 0usize;
             let mut prev_end = 0u64;
             for b in cfg.blocks.values() {
-                prop_assert!(b.start >= prev_end, "blocks overlap");
+                assert!(b.start >= prev_end, "seed {seed}: blocks overlap");
                 prev_end = b.end();
                 covered += b.insts.len();
             }
-            prop_assert_eq!(covered, d.insts.len());
+            assert_eq!(covered, d.insts.len(), "seed {seed}");
         }
+    }
 
-        /// Liveness is sound on generated programs: a register reported
-        /// dead at an address is never the source of the instruction at
-        /// that address.
-        #[test]
-        fn dead_register_never_used_immediately(src in arb_program()) {
+    /// Liveness is sound on generated programs: a register reported
+    /// dead at an address is never the source of the instruction at
+    /// that address.
+    #[test]
+    fn dead_register_never_used_immediately() {
+        for seed in 0..CASES {
+            let src = gen_program(&mut Prng::new(0x11ff ^ seed));
             let bin = assemble(&src, AsmOptions::default()).unwrap();
             let d = disassemble(&bin);
             let cfg = Cfg::build(&d);
             let l = Liveness::compute(&cfg);
             for di in d.iter() {
                 if let Some(r) = l.dead_register_at(di.addr) {
-                    prop_assert!(
+                    assert!(
                         !di.inst.uses_x().contains(&r),
-                        "reported-dead {r} read at {:#x} by {}",
+                        "seed {seed}: reported-dead {r} read at {:#x} by {}",
                         di.addr,
                         di.inst
                     );
                 }
             }
         }
+    }
 
-        /// All successor edges point at block starts.
-        #[test]
-        fn succ_edges_are_block_starts(src in arb_program()) {
+    /// All successor edges point at block starts.
+    #[test]
+    fn succ_edges_are_block_starts() {
+        for seed in 0..CASES {
+            let src = gen_program(&mut Prng::new(0xcf90 ^ seed));
             let bin = assemble(&src, AsmOptions::default()).unwrap();
             let d = disassemble(&bin);
             let cfg = Cfg::build(&d);
             for b in cfg.blocks.values() {
                 for s in &b.succs {
-                    prop_assert!(cfg.blocks.contains_key(s));
+                    assert!(cfg.blocks.contains_key(s), "seed {seed}");
                 }
             }
         }

@@ -138,10 +138,7 @@ impl Liveness {
     /// may be read on some path from `addr`). Unanalyzed addresses report
     /// everything live (safe).
     pub fn live_in(&self, addr: u64) -> RegSet {
-        self.live_in
-            .get(&addr)
-            .copied()
-            .unwrap_or(RegSet::ALL)
+        self.live_in.get(&addr).copied().unwrap_or(RegSet::ALL)
     }
 
     /// A register that is *dead* immediately before `addr` — safe for a

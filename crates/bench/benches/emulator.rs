@@ -1,10 +1,16 @@
 //! Micro-bench: host-side emulator throughput (instructions per second of
 //! wall time) — the substrate's own speed, for context on harness runtimes.
+//! Run with `cargo bench --features bench-harness --bench emulator`.
+//!
+//! Includes the decode-cache comparison: the same scalar loop with the
+//! basic-block cache on vs off, with a cycle-accounting equality check
+//! (the cache must change wall time only, never simulated results).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use chimera_bench::harness::{bench, report_throughput};
+use chimera_isa::ExtSet;
 use chimera_obj::{assemble, AsmOptions};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let bin = assemble(
         "
         _start:
@@ -21,13 +27,39 @@ fn bench(c: &mut Criterion) {
         AsmOptions::default(),
     )
     .unwrap();
-    let insts = chimera_emu::run_binary(&bin, u64::MAX / 2).unwrap().stats.instret;
-    let mut g = c.benchmark_group("emulator");
-    g.throughput(Throughput::Elements(insts));
-    g.bench_function("scalar_loop", |b| {
-        b.iter(|| chimera_emu::run_binary(std::hint::black_box(&bin), u64::MAX / 2).unwrap())
+    let cached = chimera_emu::run_binary_with(&bin, ExtSet::RV64GCV, u64::MAX / 2, true).unwrap();
+    let uncached =
+        chimera_emu::run_binary_with(&bin, ExtSet::RV64GCV, u64::MAX / 2, false).unwrap();
+    assert_eq!(
+        cached, uncached,
+        "decode cache must not change architectural results or cycle accounting"
+    );
+    let insts = cached.stats.instret;
+
+    let t_on = bench("emulator/scalar_loop (cache on)", 50, 9, || {
+        chimera_emu::run_binary_with(
+            std::hint::black_box(&bin),
+            ExtSet::RV64GCV,
+            u64::MAX / 2,
+            true,
+        )
+        .unwrap()
     });
-    g.finish();
+    report_throughput("  -> dynamic insts/s", insts, t_on);
+    let t_off = bench("emulator/scalar_loop (cache off)", 50, 9, || {
+        chimera_emu::run_binary_with(
+            std::hint::black_box(&bin),
+            ExtSet::RV64GCV,
+            u64::MAX / 2,
+            false,
+        )
+        .unwrap()
+    });
+    report_throughput("  -> dynamic insts/s", insts, t_off);
+    println!(
+        "decode-cache speedup on scalar loop: {:.2}x",
+        t_off.median_ns / t_on.median_ns
+    );
 
     let vbin = assemble(
         "
@@ -55,14 +87,12 @@ fn bench(c: &mut Criterion) {
         AsmOptions::default(),
     )
     .unwrap();
-    let vinsts = chimera_emu::run_binary(&vbin, u64::MAX / 2).unwrap().stats.instret;
-    let mut g = c.benchmark_group("emulator_vector");
-    g.throughput(Throughput::Elements(vinsts));
-    g.bench_function("vector_loop", |b| {
-        b.iter(|| chimera_emu::run_binary(std::hint::black_box(&vbin), u64::MAX / 2).unwrap())
+    let vinsts = chimera_emu::run_binary(&vbin, u64::MAX / 2)
+        .unwrap()
+        .stats
+        .instret;
+    let tv = bench("emulator_vector/vector_loop", 50, 9, || {
+        chimera_emu::run_binary(std::hint::black_box(&vbin), u64::MAX / 2).unwrap()
     });
-    g.finish();
+    report_throughput("  -> dynamic insts/s", vinsts, tv);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,30 +1,25 @@
-//! Quick-scale wrappers of the figure harnesses, so `cargo bench` touches
-//! every experiment path (full-scale runs live in the `fig*`/`table*`
-//! binaries).
+//! Quick-scale wrappers of the figure harnesses, so the bench target
+//! touches every experiment path (full-scale runs live in the
+//! `fig*`/`table*` binaries).
+//! Run with `cargo bench --features bench-harness --bench figures`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use chimera::{InputVersion, SystemKind};
+use chimera_bench::harness::bench;
 use chimera_bench::{fig13_row, fig14_kernel, hetero_sweep, table3_row, Scale};
 use chimera_workloads::blas::BlasKind;
 use chimera_workloads::speclike::SPEC_PROFILES;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures_quick");
-    g.sample_size(10);
-    g.bench_function("fig11_one_system", |b| {
-        b.iter(|| hetero_sweep(SystemKind::Chimera, InputVersion::Ext, Scale::quick()))
+fn main() {
+    bench("figures_quick/fig11_one_system", 100, 5, || {
+        hetero_sweep(SystemKind::Chimera, InputVersion::Ext, Scale::quick())
     });
-    g.bench_function("fig13_one_row", |b| {
-        b.iter(|| fig13_row(&SPEC_PROFILES[4], Scale::quick()))
+    bench("figures_quick/fig13_one_row", 100, 5, || {
+        fig13_row(&SPEC_PROFILES[4], Scale::quick())
     });
-    g.bench_function("table3_one_row", |b| {
-        b.iter(|| table3_row(&SPEC_PROFILES[4], Scale::quick()))
+    bench("figures_quick/table3_one_row", 100, 5, || {
+        table3_row(&SPEC_PROFILES[4], Scale::quick())
     });
-    g.bench_function("fig14_one_point", |b| {
-        b.iter(|| fig14_kernel(BlasKind::Dgemv, 12, &[4], 4, 4))
+    bench("figures_quick/fig14_one_point", 100, 5, || {
+        fig14_kernel(BlasKind::Dgemv, 12, &[4], 4, 4)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

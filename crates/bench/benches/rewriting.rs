@@ -1,13 +1,14 @@
 //! Micro-bench: static rewriting throughput of CHBP and the regeneration
 //! baselines over a mid-size SPEC-like binary (the paper's "40 minutes vs
 //! 10 hours of compilation" angle: rewriting is cheap).
+//! Run with `cargo bench --features bench-harness --bench rewriting`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use chimera_bench::harness::{bench, report_throughput};
 use chimera_isa::ExtSet;
 use chimera_rewrite::{chbp_rewrite, regenerate, Flavor, Mode, RewriteOptions};
 use chimera_workloads::speclike::{generate, GenOptions, SPEC_PROFILES};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let bin = generate(
         &SPEC_PROFILES[4],
         GenOptions {
@@ -17,43 +18,31 @@ fn bench(c: &mut Criterion) {
         },
     );
     let code = bin.code_size();
-    let mut g = c.benchmark_group("rewriting");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(code));
-    g.bench_function("chbp_downgrade", |b| {
-        b.iter(|| {
-            chbp_rewrite(
-                std::hint::black_box(&bin),
-                ExtSet::RV64GC,
-                RewriteOptions::default(),
-            )
-            .unwrap()
-        })
+    let t = bench("rewriting/chbp_downgrade", 30, 7, || {
+        chbp_rewrite(
+            std::hint::black_box(&bin),
+            ExtSet::RV64GC,
+            RewriteOptions::default(),
+        )
+        .unwrap()
     });
-    g.bench_function("safer_regenerate", |b| {
-        b.iter(|| {
-            regenerate(
-                std::hint::black_box(&bin),
-                ExtSet::RV64GC,
-                Mode::Downgrade,
-                Flavor::Safer,
-            )
-            .unwrap()
-        })
+    report_throughput("  -> code bytes/s", code, t);
+    bench("rewriting/safer_regenerate", 30, 7, || {
+        regenerate(
+            std::hint::black_box(&bin),
+            ExtSet::RV64GC,
+            Mode::Downgrade,
+            Flavor::Safer,
+        )
+        .unwrap()
     });
-    g.bench_function("armore_regenerate", |b| {
-        b.iter(|| {
-            regenerate(
-                std::hint::black_box(&bin),
-                ExtSet::RV64GC,
-                Mode::Downgrade,
-                Flavor::Armore,
-            )
-            .unwrap()
-        })
+    bench("rewriting/armore_regenerate", 30, 7, || {
+        regenerate(
+            std::hint::black_box(&bin),
+            ExtSet::RV64GC,
+            Mode::Downgrade,
+            Flavor::Armore,
+        )
+        .unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

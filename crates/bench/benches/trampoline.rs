@@ -1,7 +1,8 @@
 //! Micro-bench: the cost of one SMILE trampoline round trip vs a
 //! trap-based trampoline round trip — the ratio behind Fig. 13.
+//! Run with `cargo bench --features bench-harness --bench trampoline`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use chimera_bench::harness::bench;
 use chimera_isa::ExtSet;
 use chimera_obj::{assemble, AsmOptions};
 use chimera_rewrite::{chbp_rewrite, Mode, RewriteOptions};
@@ -43,36 +44,31 @@ fn measured_cycles(force_traps: bool) -> u64 {
         .cycles
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trampoline");
-    g.sample_size(10);
-    g.bench_function("smile_roundtrip_run", |b| {
-        b.iter(|| std::hint::black_box(measured_cycles(false)))
+fn main() {
+    bench("trampoline/smile_roundtrip_run", 30, 7, || {
+        std::hint::black_box(measured_cycles(false))
     });
-    g.bench_function("trap_roundtrip_run", |b| {
-        b.iter(|| std::hint::black_box(measured_cycles(true)))
+    bench("trampoline/trap_roundtrip_run", 30, 7, || {
+        std::hint::black_box(measured_cycles(true))
     });
     // Also report the simulated-cycle ratio once.
     let smile = measured_cycles(false);
     let trap = measured_cycles(true);
-    println!("simulated cycles: SMILE {smile}, trap {trap} ({:.1}x)", trap as f64 / smile as f64);
+    println!(
+        "simulated cycles: SMILE {smile}, trap {trap} ({:.1}x)",
+        trap as f64 / smile as f64
+    );
     // And the rewrite itself.
     let bin = assemble(HOT, AsmOptions::default()).unwrap();
-    g.bench_function("chbp_rewrite_small", |b| {
-        b.iter(|| {
-            chbp_rewrite(
-                std::hint::black_box(&bin),
-                ExtSet::RV64GCV,
-                RewriteOptions {
-                    mode: Mode::EmptyPatch(chimera_isa::Ext::V),
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-        })
+    bench("trampoline/chbp_rewrite_small", 30, 7, || {
+        chbp_rewrite(
+            std::hint::black_box(&bin),
+            ExtSet::RV64GCV,
+            RewriteOptions {
+                mode: Mode::EmptyPatch(chimera_isa::Ext::V),
+                ..Default::default()
+            },
+        )
+        .unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

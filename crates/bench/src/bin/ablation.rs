@@ -49,7 +49,10 @@ fn main() {
     };
 
     println!("== CHBP ablations (cactuBSSN-like, empty patching) ==");
-    println!("{:<34}{:>12}{:>22}", "configuration", "overhead", "no-dead (ours/trad)");
+    println!(
+        "{:<34}{:>12}{:>22}",
+        "configuration", "overhead", "no-dead (ours/trad)"
+    );
 
     let configs: [(&str, RewriteOptions); 4] = [
         ("CHBP (batching + shifting)", base),

@@ -1,0 +1,78 @@
+//! Quick decode-cache throughput check (default build, no feature flags):
+//! runs a straight-line-heavy scalar workload with the basic-block decode
+//! cache on and off, asserts bit-identical architectural results and cycle
+//! accounting, and reports the dynamic-instruction throughput ratio.
+//!
+//!     cargo run --release -p chimera-bench --bin decode_cache
+//!
+//! The acceptance bar for the cache is a >= 2x dynamic-instruction
+//! throughput improvement on this workload (release build).
+
+use chimera_bench::harness::{bench, fmt_ns, report_throughput};
+use chimera_isa::ExtSet;
+use chimera_obj::{assemble, AsmOptions};
+
+fn main() {
+    // Straight-line-dominated: a long unrolled body re-entered from one
+    // backward branch, so nearly every retired instruction is served from
+    // a cached block after the first iteration.
+    let mut src = String::from(
+        "
+        _start:
+            li t0, 4000
+            li a0, 0
+            li a1, 7
+        loop:
+    ",
+    );
+    for _ in 0..32 {
+        src.push_str("        add a0, a0, a1\n");
+        src.push_str("        xor a0, a0, t0\n");
+    }
+    src.push_str(
+        "
+            addi t0, t0, -1
+            bnez t0, loop
+            li a7, 93
+            ecall
+        ",
+    );
+    let bin = assemble(&src, AsmOptions::default()).unwrap();
+
+    let fuel = u64::MAX / 2;
+    let cached = chimera_emu::run_binary_with(&bin, ExtSet::RV64GCV, fuel, true).unwrap();
+    let uncached = chimera_emu::run_binary_with(&bin, ExtSet::RV64GCV, fuel, false).unwrap();
+    assert_eq!(
+        cached, uncached,
+        "decode cache must not change results or cycle accounting"
+    );
+    println!(
+        "workload: {} dynamic insts, {} simulated cycles (identical cache on/off)",
+        cached.stats.instret, cached.stats.cycles
+    );
+
+    let insts = cached.stats.instret;
+    let t_on = bench("decode_cache/straight_line (cache on)", 60, 9, || {
+        chimera_emu::run_binary_with(std::hint::black_box(&bin), ExtSet::RV64GCV, fuel, true)
+            .unwrap()
+    });
+    report_throughput("  -> dynamic insts/s", insts, t_on);
+    let t_off = bench("decode_cache/straight_line (cache off)", 60, 9, || {
+        chimera_emu::run_binary_with(std::hint::black_box(&bin), ExtSet::RV64GCV, fuel, false)
+            .unwrap()
+    });
+    report_throughput("  -> dynamic insts/s", insts, t_off);
+
+    let speedup = t_off.median_ns / t_on.median_ns;
+    println!(
+        "decode-cache speedup: {speedup:.2}x (median {} -> {})",
+        fmt_ns(t_off.median_ns),
+        fmt_ns(t_on.median_ns)
+    );
+    assert!(
+        speedup >= 2.0,
+        "decode cache must at least double dynamic-instruction throughput \
+         on a straight-line workload (got {speedup:.2}x)"
+    );
+    println!("PASS: >= 2x with identical cycle accounting");
+}

@@ -13,8 +13,15 @@ fn main() {
     if scalability {
         // Fig. 14e: sgemm on the 64-core SG2042 (32 base + 32 ext).
         println!("== Fig. 14e — sgemm scalability (64-core, 32+32) ==");
-        println!("{:<8}{:>10}{:>10}{:>10}{:>10}", "threads", "FAM Ext.", "FAM Base", "MELF", "Chimera");
-        let threads: &[usize] = if quick { &[16, 32] } else { &[16, 24, 32, 40, 48, 56, 64] };
+        println!(
+            "{:<8}{:>10}{:>10}{:>10}{:>10}",
+            "threads", "FAM Ext.", "FAM Base", "MELF", "Chimera"
+        );
+        let threads: &[usize] = if quick {
+            &[16, 32]
+        } else {
+            &[16, 24, 32, 40, 48, 56, 64]
+        };
         for p in fig14_kernel(BlasKind::Sgemm, size * 2, threads, 32, 32) {
             println!(
                 "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
@@ -24,9 +31,20 @@ fn main() {
         return;
     }
     let threads: &[usize] = if quick { &[2, 8] } else { &[2, 4, 6, 8] };
-    for kind in [BlasKind::Dgemm, BlasKind::Sgemm, BlasKind::Dgemv, BlasKind::Sgemv] {
-        println!("== Fig. 14 — OpenBLAS {} (ratios vs FAM Ext.) ==", kind.name());
-        println!("{:<8}{:>10}{:>10}{:>10}{:>10}", "threads", "FAM Ext.", "FAM Base", "MELF", "Chimera");
+    for kind in [
+        BlasKind::Dgemm,
+        BlasKind::Sgemm,
+        BlasKind::Dgemv,
+        BlasKind::Sgemv,
+    ] {
+        println!(
+            "== Fig. 14 — OpenBLAS {} (ratios vs FAM Ext.) ==",
+            kind.name()
+        );
+        println!(
+            "{:<8}{:>10}{:>10}{:>10}{:>10}",
+            "threads", "FAM Ext.", "FAM Base", "MELF", "Chimera"
+        );
         for p in fig14_kernel(kind, size, threads, 4, 4) {
             println!(
                 "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",

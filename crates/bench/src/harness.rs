@@ -1,0 +1,110 @@
+//! A dependency-free micro-benchmark harness (wall-clock, median-of-runs).
+//!
+//! The workspace builds with zero registry dependencies, so the
+//! `benches/*.rs` targets (behind the `bench-harness` feature) use this
+//! module instead of Criterion. It is intentionally simple: warm up, time
+//! a fixed number of batches, report min/median/mean. Good enough to spot
+//! order-of-magnitude changes (e.g. the decode cache's ≥2x throughput win)
+//! without statistical machinery.
+
+use std::time::Instant;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Fastest batch (ns/iter).
+    pub min_ns: f64,
+    /// Median batch (ns/iter).
+    pub median_ns: f64,
+    /// Mean over all batches (ns/iter).
+    pub mean_ns: f64,
+    /// Iterations per batch used.
+    pub iters: u64,
+}
+
+/// Times `f` and prints a `name: median … (min …, mean …)` line.
+///
+/// Runs a calibration pass to pick an iteration count targeting roughly
+/// `budget_ms` per batch, then times `batches` batches.
+pub fn bench<R>(name: &str, budget_ms: u64, batches: usize, mut f: impl FnMut() -> R) -> Timing {
+    // Calibrate: grow the iteration count until one batch takes ≳ budget.
+    let budget_ns = (budget_ms.max(1) * 1_000_000) as u128;
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = t0.elapsed().as_nanos();
+        if elapsed >= budget_ns || iters >= 1 << 24 {
+            break;
+        }
+        // Aim directly at the budget, with a 2x floor to converge fast.
+        let scale = (budget_ns as f64 / elapsed.max(1) as f64).max(2.0);
+        iters = ((iters as f64 * scale) as u64).clamp(iters + 1, 1 << 24);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(batches);
+    for _ in 0..batches.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let timing = Timing {
+        min_ns: per_iter[0],
+        median_ns: per_iter[per_iter.len() / 2],
+        mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+        iters,
+    };
+    println!(
+        "{name:<40} median {:>12} (min {}, mean {}, {} iters/batch)",
+        fmt_ns(timing.median_ns),
+        fmt_ns(timing.min_ns),
+        fmt_ns(timing.mean_ns),
+        timing.iters
+    );
+    timing
+}
+
+/// Formats nanoseconds human-readably.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Prints an `elements/second` throughput line derived from a [`Timing`].
+pub fn report_throughput(name: &str, elements: u64, t: Timing) {
+    let per_sec = elements as f64 / (t.median_ns / 1_000_000_000.0);
+    println!("{name:<40} {:.2} M elements/s", per_sec / 1_000_000.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let t = bench("noop", 1, 3, || 1u64 + 1);
+        assert!(t.min_ns >= 0.0);
+        assert!(t.median_ns >= t.min_ns);
+        assert!(t.iters >= 1);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(10.0).ends_with("ns"));
+        assert!(fmt_ns(10_000.0).ends_with("µs"));
+        assert!(fmt_ns(10_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(10_000_000_000.0).ends_with("s"));
+    }
+}

@@ -2,12 +2,14 @@
 //!
 //! The experiment harness: one function per paper figure/table, shared by
 //! the `fig11`/`fig12`/`fig13`/`fig14`/`table1`/`table2`/`table3` binaries
-//! and the Criterion micro-benches. Every function prints the same rows or
-//! series the paper reports (shape, not absolute silicon numbers — see
-//! EXPERIMENTS.md).
+//! and the micro-benches (see [`harness`]). Every function prints the same
+//! rows or series the paper reports (shape, not absolute silicon numbers —
+//! see EXPERIMENTS.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use chimera::{
     empty_patch_with, measure, measure_or_fam_probe, prepare_process, run_variant, FamResult,
@@ -86,11 +88,7 @@ pub struct SweepPoint {
 
 /// Measures one system's per-task costs and sweeps the extension-task
 /// share (Fig. 11 one row, Fig. 12 via `accelerated`).
-pub fn hetero_sweep(
-    system: SystemKind,
-    input: InputVersion,
-    scale: Scale,
-) -> Vec<SweepPoint> {
+pub fn hetero_sweep(system: SystemKind, input: InputVersion, scale: Scale) -> Vec<SweepPoint> {
     let task = TaskBinaries {
         base_version: Some(matrix_task(64, 4, false)),
         ext_version: Some(matrix_task(64, 4, true)),
@@ -103,16 +101,13 @@ pub fn hetero_sweep(
     let fib = prepare_process(system, input, &fib_bins).expect("prepare fib");
 
     let m_ext = measure(&matrix, ExtSet::RV64GCV, FUEL).expect("matrix on ext");
-    let (on_base, probe) = match measure_or_fam_probe(&matrix, ExtSet::RV64GC, FUEL)
-        .expect("matrix on base")
-    {
-        FamResult::Completed(m) => (Some(m.cycles), 0),
-        FamResult::Migrated { probe_cycles } => (None, probe_cycles),
-    };
+    let (on_base, probe) =
+        match measure_or_fam_probe(&matrix, ExtSet::RV64GC, FUEL).expect("matrix on base") {
+            FamResult::Completed(m) => (Some(m.cycles), 0),
+            FamResult::Migrated { probe_cycles } => (None, probe_cycles),
+        };
     let f = measure(&fib, ExtSet::RV64GC, FUEL).expect("fib");
-    let accelerated = on_base
-        .map(|b| m_ext.cycles * 100 < b * 97)
-        .unwrap_or(true);
+    let accelerated = on_base.map(|b| m_ext.cycles * 100 < b * 97).unwrap_or(true);
 
     let matrix_cost = TaskCost {
         prefers: Pool::Ext,
@@ -274,10 +269,7 @@ pub fn table3_row(profile: &BenchProfile, scale: Scale) -> Table3Row {
         code_size: s.code_size,
         ext_share: s.source_insts as f64 / s.total_insts.max(1) as f64,
         exit_trampolines: s.exit_trampolines,
-        dead_not_found: (
-            s.dead_reg_not_found_shift,
-            s.dead_reg_not_found_traditional,
-        ),
+        dead_not_found: (s.dead_reg_not_found_shift, s.dead_reg_not_found_traditional),
         smile: s.smile_trampolines,
         traps: s.trap_entries,
     }
@@ -387,14 +379,19 @@ fn pool_latency(slices: &[u64], workers: usize) -> u64 {
 
 /// Latency of `(ext_cost, base_cost)` slices over a heterogeneous pool:
 /// greedy earliest-finish assignment.
-fn hetero_latency(slices: &[(u64, u64)], base_cores: usize, ext_cores: usize, threads: usize) -> u64 {
+fn hetero_latency(
+    slices: &[(u64, u64)],
+    base_cores: usize,
+    ext_cores: usize,
+    threads: usize,
+) -> u64 {
     let ext_n = ext_cores.min(threads.div_ceil(2).max(1));
-    let base_n = base_cores.min(threads - threads.div_ceil(2)).max(0);
+    let base_n = base_cores.min(threads - threads.div_ceil(2));
     let mut ext = vec![0u64; ext_n.max(1)];
     let mut base = vec![0u64; base_n.max(1)];
     let use_base = base_n > 0;
     let mut sorted: Vec<(u64, u64)> = slices.to_vec();
-    sorted.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    sorted.sort_unstable_by_key(|&(e, _)| std::cmp::Reverse(e));
     for (e, b) in sorted {
         let ext_finish = *ext.iter().min().expect("non-empty") + e;
         let base_finish = *base.iter().min().expect("non-empty") + b;

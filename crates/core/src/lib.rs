@@ -55,12 +55,12 @@ pub use chimera_obj as obj;
 pub use chimera_rewrite as rewrite;
 pub use chimera_workloads as workloads;
 
+pub use chimera_emu::CacheStats;
+
 use chimera_isa::ExtSet;
 use chimera_kernel::{FaultCounters, KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
 use chimera_obj::Binary;
-use chimera_rewrite::{
-    chbp_rewrite, regenerate, upgrade_rewrite, Flavor, Mode, RewriteOptions,
-};
+use chimera_rewrite::{chbp_rewrite, regenerate, upgrade_rewrite, Flavor, Mode, RewriteOptions};
 
 /// The heterogeneous computing systems compared in §6.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -256,6 +256,10 @@ pub struct Measurement {
     pub indirect_jumps: u64,
     /// Fault-handling counters (Table 2).
     pub counters: FaultCounters,
+    /// Decode-cache counters (hits/misses/invalidations/blocks built) —
+    /// observability for the interpreter's basic-block cache; lazy
+    /// rewriting shows up here as invalidations.
+    pub cache: CacheStats,
 }
 
 /// Errors from [`measure`].
@@ -279,11 +283,7 @@ impl core::fmt::Display for MeasureError {
 impl std::error::Error for MeasureError {}
 
 /// Runs the process's view for `profile` to completion under the kernel.
-pub fn measure(
-    process: &Process,
-    profile: ExtSet,
-    fuel: u64,
-) -> Result<Measurement, MeasureError> {
+pub fn measure(process: &Process, profile: ExtSet, fuel: u64) -> Result<Measurement, MeasureError> {
     let (mut cpu, mut mem, view) = process.load(profile).ok_or(MeasureError::NoView)?;
     let mut k = KernelRunner::new(view.tables.clone());
     match k.run(&mut cpu, &mut mem, fuel) {
@@ -293,6 +293,7 @@ pub fn measure(
             instret: cpu.stats.instret,
             indirect_jumps: cpu.stats.indirect_jumps,
             counters: k.counters,
+            cache: cpu.cache.stats,
         }),
         RunOutcome::NeedsMigration { pc } => {
             Err(MeasureError::Run(format!("needs migration at {pc:#x}")))
@@ -320,7 +321,8 @@ pub fn measure_or_fam_probe(
             let mut mem = chimera_emu::Memory::load(&view.binary);
             let mut cpu = chimera_emu::Cpu::new(profile);
             cpu.hart.pc = view.binary.entry;
-            cpu.hart.set_x(chimera_isa::XReg::SP, chimera_obj::STACK_TOP - 64);
+            cpu.hart
+                .set_x(chimera_isa::XReg::SP, chimera_obj::STACK_TOP - 64);
             cpu.hart.set_x(chimera_isa::XReg::GP, view.binary.gp);
             let mut k = KernelRunner::new(view.tables.clone());
             return Ok(match k.run(&mut cpu, &mut mem, fuel) {
@@ -330,6 +332,7 @@ pub fn measure_or_fam_probe(
                     instret: cpu.stats.instret,
                     indirect_jumps: cpu.stats.indirect_jumps,
                     counters: k.counters,
+                    cache: cpu.cache.stats,
                 }),
                 RunOutcome::NeedsMigration { .. } => FamResult::Migrated {
                     probe_cycles: cpu.stats.cycles,
@@ -346,6 +349,7 @@ pub fn measure_or_fam_probe(
             instret: cpu.stats.instret,
             indirect_jumps: cpu.stats.indirect_jumps,
             counters: k.counters,
+            cache: cpu.cache.stats,
         })),
         RunOutcome::NeedsMigration { .. } => Ok(FamResult::Migrated {
             probe_cycles: cpu.stats.cycles,

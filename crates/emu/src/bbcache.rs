@@ -1,0 +1,224 @@
+//! A generation-invalidated basic-block decode cache.
+//!
+//! The interpreter's hot loop used to pay fetch + decode + extension-gating
+//! for every dynamic instruction. This module memoizes that front end at
+//! basic-block granularity, the same trick binary translators (QEMU, r2vm)
+//! use: the first execution of a `pc` decodes forward until the first
+//! control-transfer or system instruction and records the decoded run; every
+//! later execution replays the recorded instructions directly.
+//!
+//! Correctness hinges on two things:
+//!
+//! * **Invalidation.** Chimera patches code at runtime (lazy rewriting via
+//!   [`crate::Memory::poke_code`], MMView switches that unmap/remap code,
+//!   and guest stores to writable+executable mappings). Every such mutation
+//!   bumps a per-region generation, and each cached block remembers the
+//!   `(region start, generation)` fingerprint it was decoded under — a
+//!   mismatch at lookup time drops the block. A global
+//!   [`crate::Memory::code_generation`] counter additionally guards the
+//!   *middle* of a block: after any store executed from inside a block the
+//!   CPU re-checks it and bails back to the dispatcher, so a block whose
+//!   own tail was just overwritten never executes stale instructions.
+//! * **Profile keying.** Whether an instruction is legal depends on the
+//!   hart's extension profile ([`chimera_isa::ExtSet`]) — the same bytes
+//!   must trap on a base core and execute on an extension core (that trap
+//!   is the paper's FAM mechanism). Blocks are therefore keyed by
+//!   `(pc, profile)` and gating runs at build time, once per block instead
+//!   of once per dynamic instruction.
+//!
+//! The cache is a pure front-end optimisation: execution still flows
+//! through the single `Cpu::exec` path, so cycle accounting, trap PCs, and
+//! architectural results are bit-identical with the cache on or off (the
+//! differential suite asserts full [`crate::RunResult`] equality).
+
+use chimera_isa::{ExtSet, Inst};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Longest run of instructions recorded in one block. Bounds build cost on
+/// pathological straight-line code; the tail simply starts the next block.
+const MAX_BLOCK_INSTS: usize = 64;
+
+/// Cache capacity in blocks. On overflow the whole map is cleared (workload
+/// code footprints here are far smaller; a full flush keeps the policy
+/// trivially correct).
+const MAX_BLOCKS: usize = 1 << 16;
+
+/// Decode-cache observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied by a valid cached block.
+    pub hits: u64,
+    /// Lookups that found no usable block (cold or just invalidated).
+    pub misses: u64,
+    /// Cached blocks dropped because their region fingerprint went stale.
+    pub invalidations: u64,
+    /// Blocks decoded and inserted.
+    pub blocks_built: u64,
+}
+
+/// One decoded instruction inside a block.
+#[derive(Debug, Clone)]
+pub struct CachedInst {
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Encoded length in bytes (2 or 4).
+    pub len: u64,
+    /// Whether this instruction can store to memory (used for the
+    /// mid-block self-modification re-check).
+    pub is_store: bool,
+}
+
+/// A decoded basic block: straight-line instructions ending at (and
+/// including) the first control-transfer or system instruction.
+#[derive(Debug)]
+pub struct Block {
+    /// The instructions, in address order starting at the block's key pc.
+    pub insts: Vec<CachedInst>,
+    /// Start address of the executable region the block was decoded from.
+    pub region_start: u64,
+    /// That region's generation at decode time.
+    pub region_gen: u64,
+}
+
+/// The per-CPU basic-block decode cache.
+///
+/// Blocks are shared via [`Arc`] (not `Rc`) so [`crate::Cpu`] stays `Send`
+/// — the kernel's `ThreadedPool` moves CPUs across OS threads.
+#[derive(Debug, Clone, Default)]
+pub struct BlockCache {
+    map: HashMap<(u64, ExtSet), Arc<Block>>,
+    /// Counters; reset with [`BlockCache::reset_stats`].
+    pub stats: CacheStats,
+    /// When false, the CPU bypasses the cache entirely (pure
+    /// fetch/decode/execute, the reference semantics).
+    pub enabled: bool,
+}
+
+impl BlockCache {
+    /// Creates an enabled, empty cache.
+    pub fn new() -> BlockCache {
+        BlockCache {
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled cache (reference interpreter semantics).
+    pub fn disabled() -> BlockCache {
+        BlockCache {
+            enabled: false,
+            ..BlockCache::new()
+        }
+    }
+
+    /// Looks up a valid block for `(pc, profile)` given the current
+    /// fingerprint of the executable region holding `pc`. Stale blocks are
+    /// dropped (counted as an invalidation AND a miss, since the caller
+    /// must rebuild).
+    pub fn lookup(
+        &mut self,
+        pc: u64,
+        profile: ExtSet,
+        fingerprint: (u64, u64),
+    ) -> Option<Arc<Block>> {
+        match self.map.get(&(pc, profile)) {
+            Some(b) if (b.region_start, b.region_gen) == fingerprint => {
+                self.stats.hits += 1;
+                Some(Arc::clone(b))
+            }
+            Some(_) => {
+                self.map.remove(&(pc, profile));
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly built block.
+    pub fn insert(&mut self, pc: u64, profile: ExtSet, block: Block) -> Arc<Block> {
+        if self.map.len() >= MAX_BLOCKS {
+            self.map.clear();
+        }
+        self.stats.blocks_built += 1;
+        let b = Arc::new(block);
+        self.map.insert((pc, profile), Arc::clone(&b));
+        b
+    }
+
+    /// Drops every cached block (stats are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of live cached blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The block-size cap, exposed for the builder in `cpu.rs`.
+    pub(crate) fn max_block_insts() -> usize {
+        MAX_BLOCK_INSTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_isa::nop;
+
+    fn block(gen: u64) -> Block {
+        Block {
+            insts: vec![CachedInst {
+                inst: nop(),
+                len: 4,
+                is_store: false,
+            }],
+            region_start: 0x1000,
+            region_gen: gen,
+        }
+    }
+
+    #[test]
+    fn hit_then_invalidate_on_generation_change() {
+        let mut c = BlockCache::new();
+        c.insert(0x1000, ExtSet::RV64GC, block(7));
+        assert!(c.lookup(0x1000, ExtSet::RV64GC, (0x1000, 7)).is_some());
+        assert_eq!(c.stats.hits, 1);
+        // Generation moved: the cached block must be dropped.
+        assert!(c.lookup(0x1000, ExtSet::RV64GC, (0x1000, 8)).is_none());
+        assert_eq!(c.stats.invalidations, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn profiles_are_distinct_keys() {
+        let mut c = BlockCache::new();
+        c.insert(0x1000, ExtSet::RV64GC, block(1));
+        assert!(c.lookup(0x1000, ExtSet::RV64GCV, (0x1000, 1)).is_none());
+        assert!(c.lookup(0x1000, ExtSet::RV64GC, (0x1000, 1)).is_some());
+    }
+
+    #[test]
+    fn disabled_cache_flag() {
+        assert!(!BlockCache::disabled().enabled);
+        assert!(BlockCache::new().enabled);
+    }
+}

@@ -152,7 +152,7 @@ impl ExecStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chimera_isa::{XReg};
+    use chimera_isa::XReg;
 
     #[test]
     fn trap_dwarfs_trampoline() {
@@ -171,6 +171,59 @@ mod tests {
             m.trap > 50 * smile,
             "trap must be orders of magnitude above a SMILE trampoline"
         );
+    }
+
+    #[test]
+    fn vl_words_only_affects_vector_costs() {
+        // The interpreter computes `vl_words` lazily, passing 0 for every
+        // non-vector instruction; that is only sound while vector loads,
+        // stores and arithmetic are the sole variants whose cost reads it.
+        let m = CostModel::default();
+        let scalars = [
+            Inst::Lui {
+                rd: XReg::GP,
+                imm20: 1,
+            },
+            Inst::Jalr {
+                rd: XReg::GP,
+                rs1: XReg::GP,
+                offset: 0,
+            },
+            Inst::Load {
+                kind: chimera_isa::LoadKind::Ld,
+                rd: XReg::GP,
+                rs1: XReg::SP,
+                offset: 0,
+            },
+            Inst::Store {
+                kind: chimera_isa::StoreKind::Sd,
+                rs1: XReg::SP,
+                rs2: XReg::GP,
+                offset: 0,
+            },
+            Inst::Vsetvli {
+                rd: XReg::GP,
+                rs1: XReg::GP,
+                vtype: chimera_isa::VType {
+                    sew: chimera_isa::Eew::E64,
+                    lmul: 1,
+                    ta: true,
+                    ma: true,
+                },
+            },
+            Inst::Ecall,
+            Inst::Ebreak,
+            chimera_isa::nop(),
+        ];
+        for inst in scalars {
+            for taken in [false, true] {
+                assert_eq!(
+                    m.cost(&inst, 0, taken),
+                    m.cost(&inst, 1000, taken),
+                    "{inst:?} cost must not depend on vl_words"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,10 +8,16 @@
 //! Fetching from non-executable memory raises [`Trap::Mem`] with a fetch
 //! access — the deterministic "segmentation fault" a partially executed
 //! SMILE trampoline produces.
+//!
+//! The front end (fetch + decode + gating) is memoized per basic block by
+//! [`BlockCache`] (see [`crate::bbcache`]); execution always flows through
+//! the single [`Cpu::exec`] path, so results and cycle accounting are
+//! identical with the cache on or off.
 
+use crate::bbcache::{Block, BlockCache, CachedInst};
 use crate::cost::{CostModel, ExecStats};
 use crate::hart::Hart;
-use crate::mem::{Memory, MemFault};
+use crate::mem::{MemFault, Memory};
 use chimera_isa::{
     decode, BranchKind, DecodeError, Eew, Ext, ExtSet, FCmpKind, FMaKind, FOpKind, FpWidth, Inst,
     IntWidth, LoadKind, OpImmKind, OpKind, StoreKind, UnaryKind, VArithOp, VSrc, XReg,
@@ -83,6 +89,9 @@ pub struct Cpu {
     pub cost: CostModel,
     /// Accumulated statistics.
     pub stats: ExecStats,
+    /// The basic-block decode cache (enabled by default; disable for the
+    /// reference fetch/decode/execute path).
+    pub cache: BlockCache,
 }
 
 impl Cpu {
@@ -93,15 +102,36 @@ impl Cpu {
             profile,
             cost: CostModel::default(),
             stats: ExecStats::default(),
+            cache: BlockCache::new(),
+        }
+    }
+
+    /// Creates a core with the decode cache disabled (pure per-instruction
+    /// fetch/decode/execute — the reference semantics the cached path must
+    /// match bit for bit).
+    pub fn new_uncached(profile: ExtSet) -> Self {
+        Cpu {
+            cache: BlockCache::disabled(),
+            ..Cpu::new(profile)
         }
     }
 
     /// Executes instructions until a trap or until `fuel` instructions have
     /// retired.
     pub fn run(&mut self, mem: &mut Memory, fuel: u64) -> Stop {
-        for _ in 0..fuel {
-            if let Err(t) = self.step(mem) {
-                return Stop::Trap(t);
+        if !self.cache.enabled {
+            for _ in 0..fuel {
+                if let Err(t) = self.step(mem) {
+                    return Stop::Trap(t);
+                }
+            }
+            return Stop::OutOfFuel;
+        }
+        let mut remaining = fuel;
+        while remaining > 0 {
+            match self.step_block(mem, remaining) {
+                Ok(retired) => remaining -= retired.min(remaining),
+                Err(t) => return Stop::Trap(t),
             }
         }
         Stop::OutOfFuel
@@ -141,6 +171,134 @@ impl Cpu {
             return Err(Trap::Illegal { pc, raw: word });
         }
         self.exec(mem, decoded.inst, decoded.len as u64)
+    }
+
+    /// Executes up to one basic block through the decode cache, bounded by
+    /// `budget` instructions; returns the number retired.
+    ///
+    /// Semantically equivalent to calling [`Cpu::step`] in a loop: every
+    /// instruction still executes through [`Cpu::exec`], and any trap leaves
+    /// pc exactly where the uncached path would.
+    fn step_block(&mut self, mem: &mut Memory, budget: u64) -> Result<u64, Trap> {
+        let pc = self.hart.pc;
+        let Some(fp) = mem.code_fingerprint(pc) else {
+            // Unmapped or non-executable pc: fall back to a plain step so
+            // the architecturally correct fetch fault is raised.
+            self.step(mem)?;
+            return Ok(1);
+        };
+        let block = match self.cache.lookup(pc, self.profile, fp) {
+            Some(b) => b,
+            None => self.build_block(mem, pc, fp)?,
+        };
+        let mut retired = 0u64;
+        for ci in block.insts.iter() {
+            if retired >= budget {
+                break;
+            }
+            let gen_before = if ci.is_store {
+                mem.code_generation()
+            } else {
+                0
+            };
+            self.exec(mem, ci.inst, ci.len)?;
+            retired += 1;
+            // A store may have rewritten code anywhere — including the rest
+            // of THIS block. Bail to the dispatcher, which revalidates
+            // against the bumped generation before executing anything else.
+            if ci.is_store && mem.code_generation() != gen_before {
+                break;
+            }
+        }
+        Ok(retired)
+    }
+
+    /// Decodes a basic block starting at `pc` and caches it.
+    ///
+    /// The block ends at the first control-transfer or system instruction
+    /// (included), at [`BlockCache::max_block_insts`], at the region edge,
+    /// or just before the first undecodable/ill-gated instruction. If the
+    /// *first* instruction already faults, nothing is cached and the trap
+    /// is returned with [`Cpu::step`]'s exact semantics (lazy rewriting may
+    /// legalise those bytes later, so they must stay uncached).
+    fn build_block(
+        &mut self,
+        mem: &mut Memory,
+        pc: u64,
+        fingerprint: (u64, u64),
+    ) -> Result<std::sync::Arc<Block>, Trap> {
+        let mut insts = Vec::new();
+        let mut cur = pc;
+        while insts.len() < BlockCache::max_block_insts() {
+            // Stop at the region edge (or if an interleaved build ever saw
+            // the region change — impossible today, checked for free).
+            if !insts.is_empty() && mem.code_fingerprint(cur) != Some(fingerprint) {
+                break;
+            }
+            let fetched = (|| {
+                let lo = mem.fetch_u16(cur).map_err(|fault| Trap::Mem {
+                    pc: fault.addr,
+                    fault,
+                })?;
+                let word = if lo & 0b11 == 0b11 {
+                    let hi = mem.fetch_u16(cur + 2).map_err(|fault| Trap::Mem {
+                        pc: fault.addr,
+                        fault,
+                    })?;
+                    (hi as u32) << 16 | lo as u32
+                } else {
+                    lo as u32
+                };
+                let decoded = decode(word).map_err(|e| {
+                    let raw = match e {
+                        DecodeError::Unrecognized(w) | DecodeError::ReservedLong(w) => w,
+                    };
+                    Trap::Illegal { pc: cur, raw }
+                })?;
+                if !decoded.inst.runnable_on(self.profile)
+                    || (decoded.len == 2 && !self.profile.contains(Ext::C))
+                {
+                    return Err(Trap::Illegal { pc: cur, raw: word });
+                }
+                Ok(decoded)
+            })();
+            let decoded = match fetched {
+                Ok(d) => d,
+                // First instruction faults: surface it, uncached.
+                Err(t) if insts.is_empty() => return Err(t),
+                // Later instruction faults: truncate; the dispatcher will
+                // re-derive the fault when (if) pc actually gets there.
+                Err(_) => break,
+            };
+            let inst = decoded.inst;
+            let len = decoded.len as u64;
+            let is_terminator = matches!(
+                inst,
+                Inst::Jal { .. }
+                    | Inst::Jalr { .. }
+                    | Inst::Branch { .. }
+                    | Inst::Ecall
+                    | Inst::Ebreak
+            );
+            insts.push(CachedInst {
+                inst,
+                len,
+                is_store: matches!(
+                    inst,
+                    Inst::Store { .. } | Inst::FStore { .. } | Inst::VStore { .. }
+                ),
+            });
+            cur += len;
+            if is_terminator {
+                break;
+            }
+        }
+        let block = Block {
+            insts,
+            region_start: fingerprint.0,
+            region_gen: fingerprint.1,
+        };
+        Ok(self.cache.insert(pc, self.profile, block))
     }
 
     /// Executes a decoded instruction (pc at `self.hart.pc`, length `len`).
@@ -493,12 +651,18 @@ impl Cpu {
             }
         }
 
-        // Commit pc and account cost.
+        // Commit pc and account cost. `vl_words` only feeds the vector
+        // variants' lane costs (asserted in `cost.rs` tests), so skip the
+        // vtype math everywhere else — a measurable win in the hot loop
+        // with identical accounting.
         self.hart.pc = next_pc;
         self.stats.instret += 1;
-        let vl_words = {
-            let sew_bits = self.hart.vtype.map(|t| t.sew.bits()).unwrap_or(64) as u64;
-            (self.hart.vl * sew_bits).div_ceil(64)
+        let vl_words = match inst {
+            Inst::VLoad { .. } | Inst::VStore { .. } | Inst::VArith { .. } => {
+                let sew_bits = self.hart.vtype.map(|t| t.sew.bits()).unwrap_or(64) as u64;
+                (self.hart.vl * sew_bits).div_ceil(64)
+            }
+            _ => 0,
         };
         self.stats.cycles += self.cost.cost(&inst, vl_words, taken);
         Ok(())
@@ -536,13 +700,7 @@ fn exec_op(kind: OpKind, a: u64, b: u64) -> u64 {
                 (a / b) as u64
             }
         }
-        OpKind::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        OpKind::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         OpKind::Rem => {
             let (a, b) = (a as i64, b as i64);
             if b == 0 {
@@ -574,7 +732,7 @@ fn exec_op(kind: OpKind, a: u64, b: u64) -> u64 {
         }
         OpKind::Divuw => {
             let (a, b) = (a as u32, b as u32);
-            let v = if b == 0 { u32::MAX } else { a / b };
+            let v = a.checked_div(b).unwrap_or(u32::MAX);
             v as i32 as i64 as u64
         }
         OpKind::Remw => {
@@ -627,12 +785,12 @@ fn exec_fop(
                 FOpKind::Div => a / b,
                 FOpKind::Min => a.min(b),
                 FOpKind::Max => a.max(b),
-                FOpKind::SgnJ => f32::from_bits(
-                    (a.to_bits() & 0x7fff_ffff) | (b.to_bits() & 0x8000_0000),
-                ),
-                FOpKind::SgnJN => f32::from_bits(
-                    (a.to_bits() & 0x7fff_ffff) | (!b.to_bits() & 0x8000_0000),
-                ),
+                FOpKind::SgnJ => {
+                    f32::from_bits((a.to_bits() & 0x7fff_ffff) | (b.to_bits() & 0x8000_0000))
+                }
+                FOpKind::SgnJN => {
+                    f32::from_bits((a.to_bits() & 0x7fff_ffff) | (!b.to_bits() & 0x8000_0000))
+                }
                 FOpKind::SgnJX => f32::from_bits(a.to_bits() ^ (b.to_bits() & 0x8000_0000)),
             };
             h.set_s(frd, v);
@@ -694,7 +852,13 @@ fn sext_to_u64(v: u64, eew: Eew) -> u64 {
     }
 }
 
-fn exec_varith(h: &mut Hart, op: VArithOp, vd: chimera_isa::VReg, vs2: chimera_isa::VReg, src: VSrc) {
+fn exec_varith(
+    h: &mut Hart,
+    op: VArithOp,
+    vd: chimera_isa::VReg,
+    vs2: chimera_isa::VReg,
+    src: VSrc,
+) {
     let Some(vtype) = h.vtype else {
         return; // No configuration yet: architecturally vl = 0.
     };
@@ -735,31 +899,29 @@ fn exec_varith(h: &mut Hart, op: VArithOp, vd: chimera_isa::VReg, vs2: chimera_i
             }
             h.set_v_elem(vd, sew, 0, acc);
         }
-        VArithOp::Vfredusum => {
-            match sew {
-                Eew::E64 => {
-                    let mut acc = match src {
-                        VSrc::V(vs1) => f64::from_bits(h.v_elem(vs1, sew, 0)),
-                        _ => 0.0,
-                    };
-                    for i in 0..vl {
-                        acc += f64::from_bits(h.v_elem(vs2, sew, i));
-                    }
-                    h.set_v_elem(vd, sew, 0, acc.to_bits());
+        VArithOp::Vfredusum => match sew {
+            Eew::E64 => {
+                let mut acc = match src {
+                    VSrc::V(vs1) => f64::from_bits(h.v_elem(vs1, sew, 0)),
+                    _ => 0.0,
+                };
+                for i in 0..vl {
+                    acc += f64::from_bits(h.v_elem(vs2, sew, i));
                 }
-                Eew::E32 => {
-                    let mut acc = match src {
-                        VSrc::V(vs1) => f32::from_bits(h.v_elem(vs1, sew, 0) as u32),
-                        _ => 0.0,
-                    };
-                    for i in 0..vl {
-                        acc += f32::from_bits(h.v_elem(vs2, sew, i) as u32);
-                    }
-                    h.set_v_elem(vd, sew, 0, acc.to_bits() as u64);
-                }
-                _ => {}
+                h.set_v_elem(vd, sew, 0, acc.to_bits());
             }
-        }
+            Eew::E32 => {
+                let mut acc = match src {
+                    VSrc::V(vs1) => f32::from_bits(h.v_elem(vs1, sew, 0) as u32),
+                    _ => 0.0,
+                };
+                for i in 0..vl {
+                    acc += f32::from_bits(h.v_elem(vs2, sew, i) as u32);
+                }
+                h.set_v_elem(vd, sew, 0, acc.to_bits() as u64);
+            }
+            _ => {}
+        },
         _ => {
             for i in 0..vl {
                 let b = src_elem(h, i);
@@ -782,7 +944,10 @@ fn exec_varith(h: &mut Hart, op: VArithOp, vd: chimera_isa::VReg, vs2: chimera_i
                         sa.max(sb) as u64
                     }
                     VArithOp::Vmv => b,
-                    VArithOp::Vfadd | VArithOp::Vfsub | VArithOp::Vfmul | VArithOp::Vfdiv
+                    VArithOp::Vfadd
+                    | VArithOp::Vfsub
+                    | VArithOp::Vfmul
+                    | VArithOp::Vfdiv
                     | VArithOp::Vfmacc => match sew {
                         Eew::E64 => {
                             let (fa, fb, fd) =

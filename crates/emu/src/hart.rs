@@ -49,6 +49,11 @@ impl Hart {
         self.x[r.index() as usize]
     }
 
+    /// Snapshot of the whole integer register file (differential testing).
+    pub fn xregs(&self) -> [u64; 32] {
+        self.x
+    }
+
     /// Writes an integer register (writes to `zero` are discarded).
     #[inline]
     pub fn set_x(&mut self, r: XReg, v: u64) {

@@ -15,21 +15,32 @@
 //!   trampoline produces.
 //! * **`ebreak` traps**: the trap-based trampolines of baseline rewriters
 //!   pay [`CostModel::trap`] through the simulated kernel.
+//!
+//! For speed, the interpreter front end is memoized by a
+//! generation-invalidated basic-block decode cache ([`BlockCache`]), keyed
+//! by `(pc, profile)` and invalidated whenever executable bytes change
+//! (`poke_code`, view remaps, or guest stores to W+X mappings). The cache
+//! is transparent: traps, results and cycle accounting are identical with
+//! it on or off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bbcache;
 mod cost;
 mod cpu;
 mod hart;
 mod mem;
 mod runner;
 
+pub use bbcache::{BlockCache, CacheStats};
 pub use cost::{CostModel, ExecStats};
 pub use cpu::{Cpu, Stop, Trap};
 pub use hart::{Hart, VLENB};
 pub use mem::{Access, MemFault, Memory, Region};
-pub use runner::{boot, run_binary, run_binary_on, run_cpu, sys, RunError, RunResult};
+pub use runner::{
+    boot, run_binary, run_binary_on, run_binary_with, run_cpu, sys, RunError, RunResult,
+};
 
 #[cfg(test)]
 mod tests {
@@ -140,8 +151,7 @@ mod tests {
 
     #[test]
     fn write_syscall_collects_stdout() {
-        let bin = asm(
-            "
+        let bin = asm("
             .data
             msg: .byte 104
                  .byte 105
@@ -155,8 +165,7 @@ mod tests {
                 li a7, 93
                 li a0, 0
                 ecall
-            ",
-        );
+            ");
         let r = run_binary(&bin, 10_000).unwrap();
         assert_eq!(r.stdout, b"hi");
     }
@@ -269,15 +278,13 @@ mod tests {
 
     #[test]
     fn vector_illegal_on_base_core() {
-        let bin = asm(
-            "
+        let bin = asm("
             _start:
                 li t0, 4
                 vsetvli t1, t0, e64, m1, ta, ma
                 li a7, 93
                 ecall
-            ",
-        );
+            ");
         let err = run_binary_on(&bin, ExtSet::RV64GC, 1000).unwrap_err();
         match err {
             RunError::Trap(Trap::Illegal { pc, .. }) => {
@@ -291,12 +298,10 @@ mod tests {
     #[test]
     fn fetch_from_data_is_deterministic_fault() {
         // Jump into the data segment through gp: the SMILE scenario.
-        let bin = asm(
-            "
+        let bin = asm("
             _start:
                 jr gp
-            ",
-        );
+            ");
         let err = run_binary(&bin, 100).unwrap_err();
         match err {
             RunError::Trap(Trap::Mem { fault, .. }) => {
@@ -310,12 +315,10 @@ mod tests {
 
     #[test]
     fn ebreak_traps_with_count() {
-        let bin = asm(
-            "
+        let bin = asm("
             _start:
                 ebreak
-            ",
-        );
+            ");
         let (mut cpu, mut mem) = boot(&bin, bin.profile);
         let stop = cpu.run(&mut mem, 100);
         assert!(matches!(stop, Stop::Trap(Trap::Breakpoint { .. })));
@@ -342,8 +345,8 @@ mod tests {
 
         // A core without the C extension rejects the first compressed
         // instruction.
-        let err = run_binary_on(&bin, ExtSet::RV64GC.without(chimera_isa::Ext::C), 1000)
-            .unwrap_err();
+        let err =
+            run_binary_on(&bin, ExtSet::RV64GC.without(chimera_isa::Ext::C), 1000).unwrap_err();
         assert!(matches!(err, RunError::Trap(Trap::Illegal { .. })));
     }
 
@@ -369,8 +372,7 @@ mod tests {
 
     #[test]
     fn stats_count_classes() {
-        let bin = asm(
-            "
+        let bin = asm("
             _start:
                 li t0, 3
             loop:
@@ -382,8 +384,7 @@ mod tests {
                 ecall
             ret_target:
                 ret
-            ",
-        );
+            ");
         let r = run_binary(&bin, 1000).unwrap();
         assert_eq!(r.stats.branches, 3);
         // jalr t1 + ret = 2 indirect jumps.
@@ -435,26 +436,22 @@ mod tests {
 
     #[test]
     fn out_of_fuel_reported() {
-        let bin = asm(
-            "
+        let bin = asm("
             _start:
             spin:
                 j spin
-            ",
-        );
+            ");
         assert!(matches!(run_binary(&bin, 1000), Err(RunError::OutOfFuel)));
     }
 
     #[test]
     fn gp_is_initialized_to_data_segment() {
-        let bin = asm(
-            "
+        let bin = asm("
             _start:
                 mv a0, gp
                 li a7, 93
                 ecall
-            ",
-        );
+            ");
         let r = run_binary(&bin, 100).unwrap();
         assert_eq!(r.exit_code as u64, bin.gp);
         let data = bin.section(".data").unwrap();

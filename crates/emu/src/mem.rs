@@ -61,6 +61,12 @@ pub struct Region {
     pub bytes: Vec<u8>,
     /// Diagnostic name (usually the originating section).
     pub name: String,
+    /// Write generation. Starts from a fresh workspace-unique value at map
+    /// time and is bumped whenever the region's bytes change while it is
+    /// executable; the CPU's basic-block decode cache keys validity on
+    /// `(start, generation)`, so a bump — or an unmap/remap at the same
+    /// address — invalidates every cached block decoded from this region.
+    pub generation: u64,
 }
 
 impl Region {
@@ -74,9 +80,14 @@ impl Region {
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     regions: Vec<Region>,
-    /// Incremented whenever executable bytes change (lazy rewriting); CPUs
-    /// use it to invalidate decoded-instruction caches.
+    /// Incremented whenever executable bytes change (lazy rewriting) or the
+    /// region layout changes; CPUs use it to invalidate decoded-instruction
+    /// caches cheaply ("anything executable may have changed").
     code_generation: u64,
+    /// Source of fresh per-region generation values. Monotonic across
+    /// map/unmap cycles so a region remapped at the same address never
+    /// reuses a generation an old cached block was validated against.
+    region_seq: u64,
     /// Index of the region that satisfied the last access (locality cache).
     last_hit: usize,
 }
@@ -103,14 +114,19 @@ impl Memory {
                 r.name
             );
         }
+        self.region_seq += 1;
         self.regions.push(Region {
             start,
             perms,
             bytes,
             name: name.to_string(),
+            generation: self.region_seq,
         });
         self.regions.sort_by_key(|r| r.start);
         self.last_hit = 0;
+        // Mapping can place new executable bytes at previously cached
+        // addresses (view switching); force decode-cache revalidation.
+        self.code_generation += 1;
     }
 
     /// Builds memory from a binary: every section becomes a region, plus a
@@ -152,7 +168,15 @@ impl Memory {
         }
     }
 
-    fn access(&mut self, addr: u64, len: usize, access: Access) -> Result<&mut [u8], MemFault> {
+    /// Resolves an access to `(region index, offset)` after the permission
+    /// and bounds checks, so callers that mutate (e.g. [`Memory::write`])
+    /// can also update the region's generation bookkeeping.
+    fn resolve(
+        &mut self,
+        addr: u64,
+        len: usize,
+        access: Access,
+    ) -> Result<(usize, usize), MemFault> {
         let Some(idx) = self.region_idx(addr) else {
             return Err(MemFault {
                 addr,
@@ -160,7 +184,7 @@ impl Memory {
                 mapped: false,
             });
         };
-        let r = &mut self.regions[idx];
+        let r = &self.regions[idx];
         let ok = match access {
             Access::Fetch => r.perms.x,
             Access::Load => r.perms.r,
@@ -182,7 +206,12 @@ impl Memory {
                 mapped: false,
             });
         }
-        Ok(&mut r.bytes[off..off + len])
+        Ok((idx, off))
+    }
+
+    fn access(&mut self, addr: u64, len: usize, access: Access) -> Result<&mut [u8], MemFault> {
+        let (idx, off) = self.resolve(addr, len, access)?;
+        Ok(&mut self.regions[idx].bytes[off..off + len])
     }
 
     /// Loads `N` bytes with R permission.
@@ -191,10 +220,19 @@ impl Memory {
         Ok(<[u8; N]>::try_from(&*b).expect("length checked"))
     }
 
-    /// Stores bytes with W permission.
+    /// Stores bytes with W permission. A store into an *executable* region
+    /// (self-modifying code on a writable+executable mapping) bumps both
+    /// that region's generation and the global code generation, so decode
+    /// caches invalidate before stale instructions could run.
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
-        let b = self.access(addr, bytes.len(), Access::Store)?;
-        b.copy_from_slice(bytes);
+        let (idx, off) = self.resolve(addr, bytes.len(), Access::Store)?;
+        let r = &mut self.regions[idx];
+        r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        if r.perms.x {
+            self.region_seq += 1;
+            r.generation = self.region_seq;
+            self.code_generation += 1;
+        }
         Ok(())
     }
 
@@ -240,6 +278,8 @@ impl Memory {
             });
         }
         r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        self.region_seq += 1;
+        r.generation = self.region_seq;
         self.code_generation += 1;
         Ok(())
     }
@@ -251,12 +291,29 @@ impl Memory {
         let before = self.regions.len();
         self.regions.retain(|r| r.name != name);
         self.last_hit = 0;
-        self.regions.len() != before
+        let removed = self.regions.len() != before;
+        if removed {
+            // The address range may be remapped with different code; force
+            // decode-cache revalidation.
+            self.code_generation += 1;
+        }
+        removed
     }
 
     /// The region with the given name, if mapped.
     pub fn region(&self, name: &str) -> Option<&Region> {
         self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// The decode-cache validity token for the *executable* region holding
+    /// `addr`: `(region start, region generation)`. `None` when `addr` is
+    /// unmapped or not executable (the caller falls back to a plain fetch,
+    /// which raises the architecturally correct fault). A cached block is
+    /// valid iff the fingerprint it was built under still matches.
+    pub fn code_fingerprint(&mut self, addr: u64) -> Option<(u64, u64)> {
+        let idx = self.region_idx(addr)?;
+        let r = &self.regions[idx];
+        r.perms.x.then_some((r.start, r.generation))
     }
 
     /// Convenience typed accessors.
@@ -321,9 +378,47 @@ mod tests {
     fn poke_code_bumps_generation() {
         let mut m = mem();
         let g0 = m.code_generation();
+        let fp0 = m.code_fingerprint(0x1000).unwrap();
         m.poke_code(0x1000, &[0xaa, 0xbb]).unwrap();
         assert!(m.code_generation() > g0);
+        assert_ne!(m.code_fingerprint(0x1000).unwrap(), fp0);
         assert_eq!(m.fetch_u16(0x1000).unwrap(), 0xbbaa);
+    }
+
+    #[test]
+    fn store_to_executable_region_bumps_generations() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x100, Perms::RWX, ".wx");
+        m.map(0x2000, 0x100, Perms::RW, ".data");
+        let g0 = m.code_generation();
+        let fp0 = m.code_fingerprint(0x1000).unwrap();
+        // A store to plain RW data must NOT bump the code generation.
+        m.write(0x2000, &[1, 2, 3]).unwrap();
+        assert_eq!(m.code_generation(), g0);
+        // A store into the RWX region must bump both.
+        m.write(0x1000, &[4, 5]).unwrap();
+        assert!(m.code_generation() > g0);
+        assert_ne!(m.code_fingerprint(0x1000).unwrap(), fp0);
+    }
+
+    #[test]
+    fn fingerprint_is_none_for_non_executable_or_unmapped() {
+        let mut m = mem();
+        assert!(m.code_fingerprint(0x1000).is_some()); // RX .text
+        assert!(m.code_fingerprint(0x2000).is_none()); // RW .data
+        assert!(m.code_fingerprint(0x9000).is_none()); // unmapped
+    }
+
+    #[test]
+    fn remap_at_same_address_changes_fingerprint() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x100, Perms::RX, ".text");
+        let fp0 = m.code_fingerprint(0x1000).unwrap();
+        let g0 = m.code_generation();
+        assert!(m.unmap(".text"));
+        assert!(m.code_generation() > g0);
+        m.map(0x1000, 0x100, Perms::RX, ".text2");
+        assert_ne!(m.code_fingerprint(0x1000).unwrap(), fp0);
     }
 
     #[test]

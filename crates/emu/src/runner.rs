@@ -9,8 +9,8 @@
 use crate::cost::ExecStats;
 use crate::cpu::{Cpu, Stop, Trap};
 use crate::mem::Memory;
-use chimera_obj::{Binary, STACK_TOP};
 use chimera_isa::{ExtSet, XReg};
+use chimera_obj::{Binary, STACK_TOP};
 
 /// Syscall numbers (Linux RV64 numbers for familiarity).
 pub mod sys {
@@ -80,12 +80,22 @@ pub fn run_binary(binary: &Binary, fuel: u64) -> Result<RunResult, RunError> {
 /// Runs a binary to `exit` on a core with an explicit profile (which may
 /// lack extensions the binary uses — then the run errs with an illegal
 /// instruction trap, as FAM would).
-pub fn run_binary_on(
+pub fn run_binary_on(binary: &Binary, profile: ExtSet, fuel: u64) -> Result<RunResult, RunError> {
+    run_binary_with(binary, profile, fuel, true)
+}
+
+/// Like [`run_binary_on`], with explicit control over the basic-block
+/// decode cache. `decode_cache: false` runs the reference per-instruction
+/// interpreter; results (including cycle accounting) are identical either
+/// way — the differential suite asserts it.
+pub fn run_binary_with(
     binary: &Binary,
     profile: ExtSet,
     fuel: u64,
+    decode_cache: bool,
 ) -> Result<RunResult, RunError> {
     let (mut cpu, mut mem) = boot(binary, profile);
+    cpu.cache.enabled = decode_cache;
     run_cpu(&mut cpu, &mut mem, fuel)
 }
 
@@ -104,15 +114,11 @@ pub fn run_cpu(cpu: &mut Cpu, mem: &mut Memory, fuel: u64) -> Result<RunResult, 
                 let number = cpu.hart.get_x(XReg::A7);
                 match number {
                     sys::EXIT => {
-                        let mut xregs = [0u64; 32];
-                        for r in XReg::all() {
-                            xregs[r.index() as usize] = cpu.hart.get_x(r);
-                        }
                         return Ok(RunResult {
                             exit_code: cpu.hart.get_x(XReg::A0) as i64,
                             stdout,
                             stats: cpu.stats,
-                            xregs,
+                            xregs: cpu.hart.xregs(),
                         });
                     }
                     sys::WRITE => {

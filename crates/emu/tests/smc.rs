@@ -1,0 +1,214 @@
+//! Self-modifying-code invalidation tests for the basic-block decode cache.
+//!
+//! The cache's correctness contract: a stale decoded block is *never*
+//! executed. Executable bytes can change through [`Memory::poke_code`]
+//! (the kernel's lazy-rewriting path), through guest stores to W+X
+//! mappings (JIT-style self-modification), and through remapping a region
+//! at the same address — each must invalidate affected blocks, and the
+//! cached run must remain bit-identical to the uncached reference
+//! interpreter.
+
+use chimera_emu::{Cpu, Memory, Stop, Trap};
+use chimera_isa::{encode, BranchKind, ExtSet, Inst, OpImmKind, StoreKind, XReg};
+use chimera_obj::Perms;
+
+const BASE: u64 = 0x1_0000;
+
+fn addi(rd: XReg, rs1: XReg, imm: i32) -> Inst {
+    Inst::OpImm {
+        kind: OpImmKind::Addi,
+        rd,
+        rs1,
+        imm,
+    }
+}
+
+fn words(insts: &[Inst]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for i in insts {
+        bytes.extend_from_slice(&encode(i).unwrap().to_le_bytes());
+    }
+    bytes
+}
+
+/// Runs from `BASE` until the program's `ecall`, returning `a0`.
+fn run_to_ecall(cpu: &mut Cpu, mem: &mut Memory) -> u64 {
+    cpu.hart.pc = BASE;
+    match cpu.run(mem, 100_000) {
+        Stop::Trap(Trap::Ecall { .. }) => cpu.hart.get_x(XReg::A0),
+        other => panic!("expected ecall, got {other:?}"),
+    }
+}
+
+/// `poke_code` between runs: the second run must execute the NEW bytes
+/// even though the old block is cached and was hit before.
+#[test]
+fn poke_code_between_runs_executes_new_code() {
+    let mut cpu = Cpu::new(ExtSet::RV64GC);
+    let mut mem = Memory::new();
+    mem.map_bytes(
+        BASE,
+        words(&[addi(XReg::A0, XReg::ZERO, 11), Inst::Ecall]),
+        Perms::RX,
+        ".text",
+    );
+
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 11);
+    // Second run: served from the cache.
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 11);
+    assert!(cpu.cache.stats.hits >= 1, "{:?}", cpu.cache.stats);
+    let invalidations_before = cpu.cache.stats.invalidations;
+
+    // The kernel patches the instruction (lazy-rewriting path).
+    mem.poke_code(BASE, &words(&[addi(XReg::A0, XReg::ZERO, 22)]))
+        .unwrap();
+
+    // A stale block would yield 11 here.
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 22);
+    assert!(
+        cpu.cache.stats.invalidations > invalidations_before,
+        "patching executable bytes must show up in the counters: {:?}",
+        cpu.cache.stats
+    );
+}
+
+/// A guest store into its *own basic block*, overwriting an instruction
+/// that comes later in the same block: the new instruction must execute,
+/// exactly as in the uncached reference interpreter.
+#[test]
+fn in_block_store_executes_new_code() {
+    // sw t1, 8(t0)        <- overwrites the inst at BASE+8
+    // addi a0, a0, 1
+    // addi a0, a0, 1      <- replaced by `addi a0, a0, 100` mid-block
+    // ecall
+    let prog = words(&[
+        Inst::Store {
+            kind: StoreKind::Sw,
+            rs1: XReg::T0,
+            rs2: XReg::T1,
+            offset: 8,
+        },
+        addi(XReg::A0, XReg::A0, 1),
+        addi(XReg::A0, XReg::A0, 1),
+        Inst::Ecall,
+    ]);
+    let new_inst = encode(&addi(XReg::A0, XReg::A0, 100)).unwrap();
+
+    let mut results = Vec::new();
+    for cached in [true, false] {
+        let mut cpu = if cached {
+            Cpu::new(ExtSet::RV64GC)
+        } else {
+            Cpu::new_uncached(ExtSet::RV64GC)
+        };
+        let mut mem = Memory::new();
+        mem.map_bytes(BASE, prog.clone(), Perms::RWX, ".jit");
+        cpu.hart.set_x(XReg::T0, BASE);
+        cpu.hart.set_x(XReg::T1, new_inst as u64);
+        assert_eq!(
+            run_to_ecall(&mut cpu, &mut mem),
+            101,
+            "cached={cached}: the overwritten instruction must execute"
+        );
+        results.push((cpu.hart.xregs(), cpu.stats));
+    }
+    // Registers and every stats counter (cycles included) are identical.
+    assert_eq!(results[0], results[1], "cache must be transparent");
+}
+
+/// Unmapping and remapping different code at the same address must not
+/// serve blocks decoded from the old mapping.
+#[test]
+fn remap_at_same_address_invalidates() {
+    let mut cpu = Cpu::new(ExtSet::RV64GC);
+    let mut mem = Memory::new();
+    mem.map_bytes(
+        BASE,
+        words(&[addi(XReg::A0, XReg::ZERO, 1), Inst::Ecall]),
+        Perms::RX,
+        "gen1",
+    );
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 1);
+
+    assert!(mem.unmap("gen1"));
+    mem.map_bytes(
+        BASE,
+        words(&[addi(XReg::A0, XReg::ZERO, 2), Inst::Ecall]),
+        Perms::RX,
+        "gen2",
+    );
+    assert_eq!(
+        run_to_ecall(&mut cpu, &mut mem),
+        2,
+        "stale block from the unmapped region must not execute"
+    );
+}
+
+/// Counter sanity on a loop: a handful of blocks, hit-dominated re-entry,
+/// and bit-identical results/cycles against the uncached interpreter.
+#[test]
+fn loop_is_hit_dominated_and_cycle_identical() {
+    let prog = words(&[
+        addi(XReg::T0, XReg::ZERO, 100),
+        addi(XReg::A0, XReg::ZERO, 0),
+        addi(XReg::A0, XReg::A0, 2), // loop:
+        addi(XReg::T0, XReg::T0, -1),
+        Inst::Branch {
+            kind: BranchKind::Bne,
+            rs1: XReg::T0,
+            rs2: XReg::ZERO,
+            offset: -8,
+        },
+        Inst::Ecall,
+    ]);
+
+    let mut cached = Cpu::new(ExtSet::RV64GC);
+    let mut mem = Memory::new();
+    mem.map_bytes(BASE, prog.clone(), Perms::RX, ".text");
+    assert_eq!(run_to_ecall(&mut cached, &mut mem), 200);
+
+    let s = cached.cache.stats;
+    assert!(s.blocks_built >= 2, "{s:?}");
+    assert!(s.blocks_built <= 4, "straight-line loop, few blocks: {s:?}");
+    assert!(s.misses >= s.blocks_built, "{s:?}");
+    assert!(
+        s.hits > s.misses,
+        "100 iterations must be hit-dominated: {s:?}"
+    );
+    assert_eq!(s.invalidations, 0, "nothing was modified: {s:?}");
+
+    let mut reference = Cpu::new_uncached(ExtSet::RV64GC);
+    let mut mem2 = Memory::new();
+    mem2.map_bytes(BASE, prog, Perms::RX, ".text");
+    assert_eq!(run_to_ecall(&mut reference, &mut mem2), 200);
+    assert_eq!(cached.stats, reference.stats, "cycle accounting diverged");
+    assert_eq!(cached.hart.xregs(), reference.hart.xregs());
+}
+
+/// A store to a *different* (non-executable) region must not invalidate
+/// anything — generations only move for executable mappings.
+#[test]
+fn data_stores_do_not_invalidate() {
+    let prog = words(&[
+        Inst::Store {
+            kind: StoreKind::Sd,
+            rs1: XReg::T0,
+            rs2: XReg::A0,
+            offset: 0,
+        },
+        addi(XReg::A0, XReg::A0, 5),
+        Inst::Ecall,
+    ]);
+    let mut cpu = Cpu::new(ExtSet::RV64GC);
+    let mut mem = Memory::new();
+    mem.map_bytes(BASE, prog, Perms::RX, ".text");
+    mem.map_bytes(0x2_0000, vec![0; 64], Perms::RW, ".data");
+    cpu.hart.set_x(XReg::T0, 0x2_0000);
+
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 5);
+    cpu.hart.set_x(XReg::A0, 0);
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 5);
+    let s = cpu.cache.stats;
+    assert_eq!(s.invalidations, 0, "{s:?}");
+    assert!(s.hits >= 1, "second run must reuse the block: {s:?}");
+}

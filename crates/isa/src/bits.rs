@@ -18,7 +18,7 @@ pub fn cfield(word: u16, lo: u32, len: u32) -> u32 {
 /// Sign-extends the low `bits` bits of `value`.
 #[inline]
 pub fn sext(value: u32, bits: u32) -> i32 {
-    debug_assert!(bits >= 1 && bits <= 32);
+    debug_assert!((1..=32).contains(&bits));
     let shift = 32 - bits;
     ((value << shift) as i32) >> shift
 }

@@ -624,7 +624,7 @@ fn decode_opv(word: u32) -> Result<Inst, DecodeError> {
     }
 
     let src = match funct3 {
-        0b000 | 0b001 | 0b010 => VSrc::V(vr(word, 15)),
+        0b000..=0b010 => VSrc::V(vr(word, 15)),
         0b100 | 0b110 => VSrc::X(xr(word, 15)),
         0b101 => VSrc::F(fr(word, 15)),
         0b011 => VSrc::I(sext(field(word, 15, 5), 5) as i8),
@@ -1120,7 +1120,7 @@ mod tests {
     #[test]
     fn rvc_reserved_row_is_illegal() {
         // Quadrant 0, funct3=100 is reserved in RVC.
-        let w: u16 = (0b100 << 13) | 0b00;
+        let w: u16 = 0b100 << 13;
         assert!(decode_compressed(w).is_err());
     }
 

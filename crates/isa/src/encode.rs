@@ -297,7 +297,13 @@ pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
                 LoadKind::Lhu => 0b101,
                 LoadKind::Lwu => 0b110,
             };
-            i(OP_LOAD, funct3, rd.index() as u32, rs1.index() as u32, offset)
+            i(
+                OP_LOAD,
+                funct3,
+                rd.index() as u32,
+                rs1.index() as u32,
+                offset,
+            )
         }
         Inst::Store {
             kind,
@@ -679,7 +685,10 @@ fn try_encode_compressed(inst: &Inst) -> Option<u16> {
                 // c.li rd, imm6
                 return Some(c_ci(0b010, 0b01, rd.index(), imm));
             }
-            if rd == XReg::SP && rs1 == XReg::SP && imm != 0 && imm % 16 == 0
+            if rd == XReg::SP
+                && rs1 == XReg::SP
+                && imm != 0
+                && imm % 16 == 0
                 && fits_signed(imm as i64, 10)
             {
                 // c.addi16sp
@@ -698,13 +707,11 @@ fn try_encode_compressed(inst: &Inst) -> Option<u16> {
                 if let Some(rdc) = c_reg(rd) {
                     // c.addi4spn
                     let u = imm as u32;
-                    let w = (0b000u16 << 13)
-                        | (((u >> 4) & 3) as u16) << 11
+                    let w = ((((u >> 4) & 3) as u16) << 11)
                         | (((u >> 6) & 0xf) as u16) << 7
                         | (((u >> 2) & 1) as u16) << 6
                         | (((u >> 3) & 1) as u16) << 5
-                        | (rdc << 2)
-                        | 0b00;
+                        | (rdc << 2);
                     return Some(w);
                 }
             }
@@ -723,11 +730,7 @@ fn try_encode_compressed(inst: &Inst) -> Option<u16> {
             None
         }
         Inst::Lui { rd, imm20 } => {
-            if rd != XReg::ZERO
-                && rd != XReg::SP
-                && imm20 != 0
-                && fits_signed(imm20 as i64, 6)
-            {
+            if rd != XReg::ZERO && rd != XReg::SP && imm20 != 0 && fits_signed(imm20 as i64, 6) {
                 // c.lui
                 return Some(c_ci(0b011, 0b01, rd.index(), imm20));
             }
@@ -926,8 +929,7 @@ fn try_encode_compressed(inst: &Inst) -> Option<u16> {
                                 | (rs1c << 7)
                                 | (((u >> 2) & 1) as u16) << 6
                                 | (((u >> 6) & 1) as u16) << 5
-                                | (rdc << 2)
-                                | 0b00;
+                                | (rdc << 2);
                             return Some(w);
                         }
                     }
@@ -958,8 +960,7 @@ fn try_encode_compressed(inst: &Inst) -> Option<u16> {
                                 | (((u >> 3) & 7) as u16) << 10
                                 | (rs1c << 7)
                                 | (((u >> 6) & 3) as u16) << 5
-                                | (rdc << 2)
-                                | 0b00;
+                                | (rdc << 2);
                             return Some(w);
                         }
                     }
@@ -999,8 +1000,7 @@ fn try_encode_compressed(inst: &Inst) -> Option<u16> {
                                 | (rs1c << 7)
                                 | (((u >> 2) & 1) as u16) << 6
                                 | (((u >> 6) & 1) as u16) << 5
-                                | (rs2c << 2)
-                                | 0b00;
+                                | (rs2c << 2);
                             return Some(w);
                         }
                     }
@@ -1029,8 +1029,7 @@ fn try_encode_compressed(inst: &Inst) -> Option<u16> {
                                 | (((u >> 3) & 7) as u16) << 10
                                 | (rs1c << 7)
                                 | (((u >> 6) & 3) as u16) << 5
-                                | (rs2c << 2)
-                                | 0b00;
+                                | (rs2c << 2);
                             return Some(w);
                         }
                     }

@@ -74,9 +74,8 @@ impl ExtSet {
 
     /// `RV64GC`: the "general" profile the paper uses for base cores
     /// (IMAFDC; we do not model `A` separately, so this is M+F+D+C).
-    pub const RV64GC: ExtSet = ExtSet(
-        Ext::M.bit() | Ext::F.bit() | Ext::D.bit() | Ext::C.bit() | Ext::B.bit(),
-    );
+    pub const RV64GC: ExtSet =
+        ExtSet(Ext::M.bit() | Ext::F.bit() | Ext::D.bit() | Ext::C.bit() | Ext::B.bit());
 
     /// `RV64GCV`: the profile of the paper's extension cores
     /// (RV64GC plus the vector extension).

@@ -1222,12 +1222,7 @@ impl fmt::Display for Inst {
                 rd,
                 frs1,
                 frs2,
-            } => write!(
-                f,
-                "{}.{} {rd}, {frs1}, {frs2}",
-                kind.stem(),
-                width.suffix()
-            ),
+            } => write!(f, "{}.{} {rd}, {frs1}, {frs2}", kind.stem(), width.suffix()),
             Inst::FMvToX { width, rd, frs1 } => {
                 let w = match width {
                     FpWidth::S => 'w',

@@ -26,6 +26,7 @@ mod decode;
 mod encode;
 mod ext;
 mod inst;
+pub mod prng;
 mod reg;
 
 pub use decode::{decode, decode_compressed, encoded_len, DecodeError, Decoded};
@@ -55,233 +56,5 @@ pub fn mv(rd: XReg, rs: XReg) -> Inst {
         rd,
         rs1: rs,
         imm: 0,
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-
-    fn arb_xreg() -> impl Strategy<Value = XReg> {
-        (0u8..32).prop_map(XReg::of)
-    }
-
-    fn arb_freg() -> impl Strategy<Value = FReg> {
-        (0u8..32).prop_map(FReg::of)
-    }
-
-    fn arb_vreg() -> impl Strategy<Value = VReg> {
-        (0u8..32).prop_map(VReg::of)
-    }
-
-    fn arb_i12() -> impl Strategy<Value = i32> {
-        -2048i32..=2047
-    }
-
-    prop_compose! {
-        fn arb_branch()(
-            k in prop_oneof![
-                Just(BranchKind::Beq), Just(BranchKind::Bne), Just(BranchKind::Blt),
-                Just(BranchKind::Bge), Just(BranchKind::Bltu), Just(BranchKind::Bgeu)
-            ],
-            rs1 in arb_xreg(), rs2 in arb_xreg(),
-            off in (-2048i32..=2047).prop_map(|x| x * 2),
-        ) -> Inst {
-            Inst::Branch { kind: k, rs1, rs2, offset: off }
-        }
-    }
-
-    fn arb_inst() -> impl Strategy<Value = Inst> {
-        prop_oneof![
-            (arb_xreg(), -(1i32 << 19)..(1 << 19))
-                .prop_map(|(rd, imm20)| Inst::Lui { rd, imm20 }),
-            (arb_xreg(), -(1i32 << 19)..(1 << 19))
-                .prop_map(|(rd, imm20)| Inst::Auipc { rd, imm20 }),
-            (arb_xreg(), (-(1i32 << 19)..(1 << 19)).prop_map(|x| x * 2))
-                .prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-            (arb_xreg(), arb_xreg(), arb_i12())
-                .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-            arb_branch(),
-            (
-                prop_oneof![
-                    Just(LoadKind::Lb), Just(LoadKind::Lh), Just(LoadKind::Lw),
-                    Just(LoadKind::Ld), Just(LoadKind::Lbu), Just(LoadKind::Lhu),
-                    Just(LoadKind::Lwu)
-                ],
-                arb_xreg(), arb_xreg(), arb_i12()
-            )
-                .prop_map(|(kind, rd, rs1, offset)| Inst::Load { kind, rd, rs1, offset }),
-            (
-                prop_oneof![
-                    Just(StoreKind::Sb), Just(StoreKind::Sh),
-                    Just(StoreKind::Sw), Just(StoreKind::Sd)
-                ],
-                arb_xreg(), arb_xreg(), arb_i12()
-            )
-                .prop_map(|(kind, rs1, rs2, offset)| Inst::Store { kind, rs1, rs2, offset }),
-            (
-                prop_oneof![
-                    Just(OpImmKind::Addi), Just(OpImmKind::Slti), Just(OpImmKind::Sltiu),
-                    Just(OpImmKind::Xori), Just(OpImmKind::Ori), Just(OpImmKind::Andi),
-                    Just(OpImmKind::Addiw)
-                ],
-                arb_xreg(), arb_xreg(), arb_i12()
-            )
-                .prop_map(|(kind, rd, rs1, imm)| Inst::OpImm { kind, rd, rs1, imm }),
-            (
-                prop_oneof![
-                    Just(OpImmKind::Slli), Just(OpImmKind::Srli),
-                    Just(OpImmKind::Srai), Just(OpImmKind::Rori)
-                ],
-                arb_xreg(), arb_xreg(), 0i32..64
-            )
-                .prop_map(|(kind, rd, rs1, imm)| Inst::OpImm { kind, rd, rs1, imm }),
-            (
-                prop_oneof![
-                    Just(OpKind::Add), Just(OpKind::Sub), Just(OpKind::Sll),
-                    Just(OpKind::Slt), Just(OpKind::Sltu), Just(OpKind::Xor),
-                    Just(OpKind::Srl), Just(OpKind::Sra), Just(OpKind::Or),
-                    Just(OpKind::And), Just(OpKind::Addw), Just(OpKind::Subw),
-                    Just(OpKind::Mul), Just(OpKind::Mulhu), Just(OpKind::Div),
-                    Just(OpKind::Remu), Just(OpKind::Mulw), Just(OpKind::Divw),
-                    Just(OpKind::Sh1add), Just(OpKind::Sh2add), Just(OpKind::Sh3add),
-                    Just(OpKind::Andn), Just(OpKind::Orn), Just(OpKind::Xnor),
-                    Just(OpKind::Min), Just(OpKind::Maxu), Just(OpKind::Rol),
-                    Just(OpKind::Ror), Just(OpKind::AddUw)
-                ],
-                arb_xreg(), arb_xreg(), arb_xreg()
-            )
-                .prop_map(|(kind, rd, rs1, rs2)| Inst::Op { kind, rd, rs1, rs2 }),
-            (
-                prop_oneof![
-                    Just(UnaryKind::Clz), Just(UnaryKind::Ctz), Just(UnaryKind::Cpop),
-                    Just(UnaryKind::SextB), Just(UnaryKind::SextH),
-                    Just(UnaryKind::ZextH), Just(UnaryKind::Rev8)
-                ],
-                arb_xreg(), arb_xreg()
-            )
-                .prop_map(|(kind, rd, rs1)| Inst::Unary { kind, rd, rs1 }),
-            Just(Inst::Fence),
-            Just(Inst::Ecall),
-            Just(Inst::Ebreak),
-            (
-                prop_oneof![Just(FpWidth::S), Just(FpWidth::D)],
-                arb_freg(), arb_xreg(), arb_i12()
-            )
-                .prop_map(|(width, frd, rs1, offset)| Inst::FLoad { width, frd, rs1, offset }),
-            (
-                prop_oneof![Just(FpWidth::S), Just(FpWidth::D)],
-                arb_freg(), arb_xreg(), arb_i12()
-            )
-                .prop_map(|(width, frs2, rs1, offset)| Inst::FStore { width, frs2, rs1, offset }),
-            (
-                prop_oneof![
-                    Just(FOpKind::Add), Just(FOpKind::Sub), Just(FOpKind::Mul),
-                    Just(FOpKind::Div), Just(FOpKind::Min), Just(FOpKind::Max),
-                    Just(FOpKind::SgnJ), Just(FOpKind::SgnJN), Just(FOpKind::SgnJX)
-                ],
-                prop_oneof![Just(FpWidth::S), Just(FpWidth::D)],
-                arb_freg(), arb_freg(), arb_freg()
-            )
-                .prop_map(|(kind, width, frd, frs1, frs2)| Inst::FOp {
-                    kind, width, frd, frs1, frs2
-                }),
-            (
-                prop_oneof![Just(FMaKind::Madd), Just(FMaKind::Msub),
-                            Just(FMaKind::Nmsub), Just(FMaKind::Nmadd)],
-                prop_oneof![Just(FpWidth::S), Just(FpWidth::D)],
-                arb_freg(), arb_freg(), arb_freg(), arb_freg()
-            )
-                .prop_map(|(kind, width, frd, frs1, frs2, frs3)| Inst::FMa {
-                    kind, width, frd, frs1, frs2, frs3
-                }),
-            (
-                arb_xreg(), arb_xreg(),
-                prop_oneof![Just(Eew::E8), Just(Eew::E16), Just(Eew::E32), Just(Eew::E64)],
-                1u8..=4u8, any::<bool>(), any::<bool>()
-            )
-                .prop_map(|(rd, rs1, sew, lg, ta, ma)| Inst::Vsetvli {
-                    rd, rs1,
-                    vtype: VType { sew, lmul: 1 << (lg - 1), ta, ma }
-                }),
-            (
-                prop_oneof![Just(Eew::E8), Just(Eew::E16), Just(Eew::E32), Just(Eew::E64)],
-                arb_vreg(), arb_xreg()
-            )
-                .prop_map(|(eew, vd, rs1)| Inst::VLoad { eew, vd, rs1 }),
-            (
-                prop_oneof![Just(Eew::E8), Just(Eew::E16), Just(Eew::E32), Just(Eew::E64)],
-                arb_vreg(), arb_xreg()
-            )
-                .prop_map(|(eew, vs3, rs1)| Inst::VStore { eew, vs3, rs1 }),
-            (
-                prop_oneof![
-                    Just(VArithOp::Vadd), Just(VArithOp::Vsub), Just(VArithOp::Vand),
-                    Just(VArithOp::Vor), Just(VArithOp::Vxor), Just(VArithOp::Vmul),
-                    Just(VArithOp::Vmacc), Just(VArithOp::Vmin), Just(VArithOp::Vmax),
-                    Just(VArithOp::Vfadd), Just(VArithOp::Vfsub), Just(VArithOp::Vfmul),
-                    Just(VArithOp::Vfdiv), Just(VArithOp::Vfmacc)
-                ],
-                arb_vreg(), arb_vreg(), arb_xreg(), arb_freg(), any::<u8>()
-            )
-                .prop_map(|(op, vd, vs2, rs1, frs1, pick)| {
-                    let src = if op.is_fp() {
-                        if pick % 2 == 0 {
-                            VSrc::V(VReg::of(pick % 32))
-                        } else {
-                            VSrc::F(frs1)
-                        }
-                    } else {
-                        match pick % 2 {
-                            0 => VSrc::V(VReg::of(pick % 32)),
-                            _ => VSrc::X(rs1),
-                        }
-                    };
-                    Inst::VArith { op, vd, vs2, src }
-                }),
-            (arb_xreg(), arb_vreg()).prop_map(|(rd, vs2)| Inst::VMvXS { rd, vs2 }),
-            (arb_vreg(), arb_xreg()).prop_map(|(vd, rs1)| Inst::VMvSX { vd, rs1 }),
-        ]
-    }
-
-    proptest! {
-        /// `decode(encode(i)) == i` for every well-formed instruction.
-        #[test]
-        fn decode_encode_roundtrip(inst in arb_inst()) {
-            let word = encode(&inst).expect("generated instructions encode");
-            let d = decode(word).expect("encoded instructions decode");
-            prop_assert_eq!(d.inst, inst);
-            prop_assert_eq!(d.len, 4);
-        }
-
-        /// Compressed encodings expand back to the same canonical form.
-        #[test]
-        fn compressed_roundtrip(inst in arb_inst()) {
-            if let Some(hw) = encode_compressed(&inst) {
-                let d = decode(hw as u32).expect("compressed encodings decode");
-                prop_assert_eq!(d.inst, inst);
-                prop_assert_eq!(d.len, 2);
-                prop_assert_ne!(hw & 0b11, 0b11);
-            }
-        }
-
-        /// `Inst::ext()` agrees with `runnable_on` for all profiles.
-        #[test]
-        fn ext_runnable_consistency(inst in arb_inst()) {
-            for profile in [ExtSet::RV64I, ExtSet::RV64GC, ExtSet::RV64GCV] {
-                let expect = match inst.ext() {
-                    None => true,
-                    Some(e) => profile.contains(e),
-                };
-                prop_assert_eq!(inst.runnable_on(profile), expect);
-            }
-        }
-
-        /// Decoding arbitrary words never panics.
-        #[test]
-        fn decode_total(word in any::<u32>()) {
-            let _ = decode(word);
-        }
     }
 }

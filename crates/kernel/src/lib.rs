@@ -13,8 +13,6 @@ mod process;
 mod runtime;
 mod sched;
 
-pub use process::{
-    sync_vectors_from_spill, sync_vectors_to_spill, Process, Variant, LAZY_SLACK,
-};
+pub use process::{sync_vectors_from_spill, sync_vectors_to_spill, Process, Variant, LAZY_SLACK};
 pub use runtime::{FaultCounters, KernelRunner, RunOutcome, RuntimeTables, SIGRETURN_ADDR};
 pub use sched::{simulate_work_stealing, Pool, SimMachine, SimResult, TaskCost, ThreadedPool};

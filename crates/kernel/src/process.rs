@@ -112,9 +112,7 @@ impl Process {
         // section the shared state does not have yet (e.g. the spill
         // section when coming from a native view).
         for s in &to.binary.sections {
-            if !s.perms.w {
-                mem.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
-            } else if mem.region(&s.name).is_none() {
+            if !s.perms.w || mem.region(&s.name).is_none() {
                 mem.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
             }
         }
@@ -150,7 +148,10 @@ pub fn sync_vectors_to_spill(cpu: &Cpu, mem: &mut Memory, spill_base: u64) {
         .vtype
         .map(|t| t.sew.bytes())
         .unwrap_or(Eew::E64.bytes());
-    let _ = mem.write(spill_base + SpillLayout::VL as u64, &cpu.hart.vl.to_le_bytes());
+    let _ = mem.write(
+        spill_base + SpillLayout::VL as u64,
+        &cpu.hart.vl.to_le_bytes(),
+    );
     let _ = mem.write(spill_base + SpillLayout::SEW as u64, &sew.to_le_bytes());
     for v in VReg::all() {
         let off = spill_base + SpillLayout::vreg_off(v) as u64;

@@ -159,9 +159,7 @@ impl KernelRunner {
             Trap::Ecall { pc } => {
                 let n = cpu.hart.get_x(XReg::A7);
                 match n {
-                    chimera_emu::sys::EXIT => {
-                        TrapResult::Exit(cpu.hart.get_x(XReg::A0) as i64)
-                    }
+                    chimera_emu::sys::EXIT => TrapResult::Exit(cpu.hart.get_x(XReg::A0) as i64),
                     chimera_emu::sys::WRITE => {
                         let buf = cpu.hart.get_x(XReg::A1);
                         let len = cpu.hart.get_x(XReg::A2) as usize;

@@ -11,14 +11,12 @@
 //!   simulation reproduces queueing dynamics without re-emulating thousands
 //!   of identical tasks.
 //! * [`ThreadedPool`] — a real work-stealing executor on OS threads
-//!   (crossbeam deques), used by the examples and integration tests to run
-//!   emulated tasks genuinely concurrently.
+//!   (two mutex-protected deques, one per core class), used by the examples
+//!   and integration tests to run emulated tasks genuinely concurrently.
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which pool a core (or task) belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,9 +147,7 @@ pub fn simulate_work_stealing(machine: SimMachine, tasks: &[TaskCost]) -> SimRes
                 picked = Some((idx, t));
                 break;
             }
-            let stealable = other
-                .iter()
-                .position(|t| pool == Pool::Ext || !t.pinned);
+            let stealable = other.iter().position(|t| pool == Pool::Ext || !t.pinned);
             if let Some(i) = stealable {
                 picked = Some((idx, other.remove(i).expect("indexed")));
                 break;
@@ -199,8 +195,8 @@ pub fn simulate_work_stealing(machine: SimMachine, tasks: &[TaskCost]) -> SimRes
 /// A real work-stealing thread pool over two core classes, executing
 /// closures (each closure typically runs one emulated task to completion).
 pub struct ThreadedPool {
-    injector_base: Arc<Injector<Job>>,
-    injector_ext: Arc<Injector<Job>>,
+    queue_base: Arc<Mutex<VecDeque<Job>>>,
+    queue_ext: Arc<Mutex<VecDeque<Job>>>,
     results: Arc<Mutex<Vec<(usize, u64)>>>,
     remaining: Arc<AtomicUsize>,
     base_workers: usize,
@@ -213,8 +209,8 @@ impl ThreadedPool {
     /// Creates a pool with the given worker counts.
     pub fn new(base_workers: usize, ext_workers: usize) -> Self {
         ThreadedPool {
-            injector_base: Arc::new(Injector::new()),
-            injector_ext: Arc::new(Injector::new()),
+            queue_base: Arc::new(Mutex::new(VecDeque::new())),
+            queue_ext: Arc::new(Mutex::new(VecDeque::new())),
             results: Arc::new(Mutex::new(Vec::new())),
             remaining: Arc::new(AtomicUsize::new(0)),
             base_workers,
@@ -227,10 +223,11 @@ impl ThreadedPool {
     /// variant) and returns its simulated cycle count.
     pub fn spawn(&self, prefers: Pool, job: impl FnOnce(Pool) -> u64 + Send + 'static) {
         self.remaining.fetch_add(1, Ordering::SeqCst);
-        match prefers {
-            Pool::Base => self.injector_base.push(Box::new(job)),
-            Pool::Ext => self.injector_ext.push(Box::new(job)),
-        }
+        let q = match prefers {
+            Pool::Base => &self.queue_base,
+            Pool::Ext => &self.queue_ext,
+        };
+        q.lock().expect("queue poisoned").push_back(Box::new(job));
     }
 
     /// Runs all queued jobs to completion; returns per-job
@@ -245,49 +242,37 @@ impl ThreadedPool {
                 Pool::Ext
             };
             let own = match pool {
-                Pool::Base => Arc::clone(&self.injector_base),
-                Pool::Ext => Arc::clone(&self.injector_ext),
+                Pool::Base => Arc::clone(&self.queue_base),
+                Pool::Ext => Arc::clone(&self.queue_ext),
             };
             let other = match pool {
-                Pool::Base => Arc::clone(&self.injector_ext),
-                Pool::Ext => Arc::clone(&self.injector_base),
+                Pool::Base => Arc::clone(&self.queue_ext),
+                Pool::Ext => Arc::clone(&self.queue_base),
             };
             let results = Arc::clone(&self.results);
             let remaining = Arc::clone(&self.remaining);
             let seq = Arc::clone(&seq);
-            handles.push(std::thread::spawn(move || {
-                let local: Worker<Job> = Worker::new_fifo();
-                let _stealer: Stealer<Job> = local.stealer();
-                loop {
-                    if remaining.load(Ordering::SeqCst) == 0 {
-                        break;
+            handles.push(std::thread::spawn(move || loop {
+                if remaining.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                // Own pool first, then steal from the other.
+                let job = own
+                    .lock()
+                    .expect("queue poisoned")
+                    .pop_front()
+                    .or_else(|| other.lock().expect("queue poisoned").pop_front());
+                match job {
+                    Some(j) => {
+                        let cycles = j(pool);
+                        let idx = seq.fetch_add(1, Ordering::SeqCst);
+                        results
+                            .lock()
+                            .expect("results poisoned")
+                            .push((idx, cycles));
+                        remaining.fetch_sub(1, Ordering::SeqCst);
                     }
-                    let job = local.pop().or_else(|| loop {
-                        match own.steal() {
-                            Steal::Success(j) => break Some(j),
-                            Steal::Empty => break None,
-                            Steal::Retry => continue,
-                        }
-                    });
-                    let job = match job {
-                        Some(j) => Some(j),
-                        None => loop {
-                            match other.steal() {
-                                Steal::Success(j) => break Some(j),
-                                Steal::Empty => break None,
-                                Steal::Retry => continue,
-                            }
-                        },
-                    };
-                    match job {
-                        Some(j) => {
-                            let cycles = j(pool);
-                            let idx = seq.fetch_add(1, Ordering::SeqCst);
-                            results.lock().push((idx, cycles));
-                            remaining.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        None => std::thread::yield_now(),
-                    }
+                    None => std::thread::yield_now(),
                 }
             }));
         }
@@ -297,6 +282,7 @@ impl ThreadedPool {
         Arc::try_unwrap(self.results)
             .expect("all workers joined")
             .into_inner()
+            .expect("results poisoned")
     }
 }
 
@@ -381,10 +367,7 @@ mod tests {
     fn threaded_pool_runs_everything() {
         let pool = ThreadedPool::new(2, 2);
         for i in 0..32u64 {
-            pool.spawn(
-                if i % 2 == 0 { Pool::Base } else { Pool::Ext },
-                move |_p| i,
-            );
+            pool.spawn(if i % 2 == 0 { Pool::Base } else { Pool::Ext }, move |_p| i);
         }
         let results = pool.run();
         assert_eq!(results.len(), 32);

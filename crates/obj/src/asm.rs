@@ -142,12 +142,10 @@ fn directive(
             b.global(args);
         }
         "align" | "p2align" => {
-            let n: u64 = args
-                .parse()
-                .map_err(|_| AsmError {
-                    line,
-                    msg: format!("bad alignment {args:?}"),
-                })?;
+            let n: u64 = args.parse().map_err(|_| AsmError {
+                line,
+                msg: format!("bad alignment {args:?}"),
+            })?;
             if *cursor == Cursor::Text {
                 return err(line, ".align in .text is unsupported".into());
             }

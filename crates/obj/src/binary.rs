@@ -46,6 +46,13 @@ impl Perms {
         w: false,
         x: true,
     };
+    /// Read-write-execute (self-modifying / JIT-style mappings; stores
+    /// here must invalidate decode caches).
+    pub const RWX: Perms = Perms {
+        r: true,
+        w: true,
+        x: true,
+    };
 }
 
 impl fmt::Display for Perms {

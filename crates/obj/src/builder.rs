@@ -8,9 +8,7 @@
 //! single-shot and deterministic.
 
 use crate::binary::{Binary, Perms, Section, SymKind, Symbol, TEXT_BASE};
-use chimera_isa::{
-    encode, encode_compressed, BranchKind, Inst, OpImmKind, OpKind, XReg,
-};
+use chimera_isa::{encode, encode_compressed, BranchKind, Inst, OpImmKind, OpKind, XReg};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -496,7 +494,8 @@ impl ModuleBuilder {
             gp: data_base + 0x800,
             profile,
         };
-        bin.validate().map_err(|e| BuildError::Encode(e.to_string()))?;
+        bin.validate()
+            .map_err(|e| BuildError::Encode(e.to_string()))?;
         Ok(bin)
     }
 }
@@ -569,7 +568,7 @@ pub fn li_sequence(rd: XReg, value: i64) -> Vec<Inst> {
     }
     // Wide constant: materialize the upper 32 bits, shift, then OR in the
     // lower bits 11 at a time (a simple, always-correct schema).
-    let hi32 = (value >> 32) as i64;
+    let hi32 = value >> 32;
     let mut seq = li_sequence(rd, hi32);
     let mut remaining = 32u32;
     let mut low = value as u32 as u64;
@@ -686,7 +685,8 @@ mod tests {
             .inst(chimera_isa::nop())
             .label("fn1")
             .ret();
-        b.data_label(DataSec::Ro, "table").addr_of(DataSec::Ro, "fn1");
+        b.data_label(DataSec::Ro, "table")
+            .addr_of(DataSec::Ro, "fn1");
         let bin = b.build(ExtSet::RV64GC).unwrap();
         let table = bin.symbol("table");
         assert!(table.is_none(), "not global unless marked");

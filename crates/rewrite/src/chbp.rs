@@ -23,9 +23,7 @@
 //! counters feed Table 3.
 
 use crate::emitter::BlockEmitter;
-use crate::smile::{
-    encode_smile, next_reachable_target, Smile, SmileConstraints,
-};
+use crate::smile::{encode_smile, next_reachable_target, Smile, SmileConstraints};
 use crate::translate::{SpillLayout, Translator};
 use chimera_analysis::{disassemble, Cfg, DisasmInst, Disassembly, Liveness};
 use chimera_isa::{encode, Ext, ExtSet, Inst, XReg};
@@ -429,6 +427,7 @@ pub fn chbp_rewrite(
 /// A reserved compressed encoding (quadrant 0, funct3 = 100): guaranteed
 /// illegal-instruction fault, used as filler for overwritten space beyond
 /// the 8-byte trampoline and for constraint padding.
+#[allow(clippy::unusual_byte_groupings)] // grouped by RVC field, not nibble
 pub const ILLEGAL_HALFWORD: u16 = 0b100_0_0000_0000_00_00;
 
 fn pad_illegal(buf: &mut Vec<u8>, n: usize) {
@@ -460,13 +459,9 @@ enum RegionTail {
     /// Resume at `region.resume`.
     Fallthrough,
     /// Final instruction is `branch` to `taken`; fallthrough resumes.
-    Branch {
-        taken: u64,
-    },
+    Branch { taken: u64 },
     /// Final instruction is an unconditional direct jump to `target`.
-    Jump {
-        target: u64,
-    },
+    Jump { target: u64 },
     /// Final instruction is an indirect non-linking jump (copied verbatim;
     /// no resume).
     IndirectJump,
@@ -491,7 +486,12 @@ impl Region {
 
 /// Builds the region for a patch site, or `None` when no safe 8-byte space
 /// exists (the site then uses a trap-based entry).
-fn build_region(d: &Disassembly, cfg: &Cfg, site: &DisasmInst, opts: RewriteOptions) -> Option<Region> {
+fn build_region(
+    d: &Disassembly,
+    cfg: &Cfg,
+    site: &DisasmInst,
+    opts: RewriteOptions,
+) -> Option<Region> {
     let block = cfg.block_containing(site.addr)?;
     let block_last = block.insts.last().expect("blocks are non-empty");
     let mut insts: Vec<DisasmInst> = Vec::new();
@@ -614,9 +614,9 @@ fn emit_block(
         }
         let is_last = idx == region.insts.len() - 1;
         match di.inst {
-            Inst::Branch {
-                kind, rs1, rs2, ..
-            } if is_last && matches!(region.tail, RegionTail::Branch { .. }) => {
+            Inst::Branch { kind, rs1, rs2, .. }
+                if is_last && matches!(region.tail, RegionTail::Branch { .. }) =>
+            {
                 let RegionTail::Branch { taken } = region.tail else {
                     unreachable!()
                 };
@@ -842,7 +842,16 @@ fn place_trap_entry(
                 .expect("caller probed translatability");
         }
     }
-    emit_exit(site.next_addr(), d, liveness, opts, _target, &mut em, fht, stats);
+    emit_exit(
+        site.next_addr(),
+        d,
+        liveness,
+        opts,
+        _target,
+        &mut em,
+        fht,
+        stats,
+    );
     target_code.extend_from_slice(&em.finish());
 
     let patch = if site.len == 2 {
@@ -883,17 +892,14 @@ pub fn verify_claim1(rw: &Rewritten, original: &Binary) -> Result<(), String> {
                     .binary
                     .read_u32(addr)
                     .ok_or_else(|| format!("jalr at {addr:#x} unreadable"))?;
-                match chimera_isa::decode(word) {
-                    Ok(dec) => match dec.inst {
-                        Inst::Jalr { rd, rs1, .. }
-                            if rd == XReg::GP && rs1 == XReg::GP => {}
+                // An undecodable word is fine too (padding).
+                if let Ok(dec) = chimera_isa::decode(word) {
+                    match dec.inst {
+                        Inst::Jalr { rd, rs1, .. } if rd == XReg::GP && rs1 == XReg::GP => {}
                         other => {
-                            return Err(format!(
-                                "P1 at {addr:#x} is {other}, not the SMILE jalr"
-                            ))
+                            return Err(format!("P1 at {addr:#x} is {other}, not the SMILE jalr"))
                         }
-                    },
-                    Err(_) => {} // Illegal is fine too (padding).
+                    }
                 }
             } else {
                 // P2/P3: the fetch must be illegal.
@@ -903,9 +909,7 @@ pub fn verify_claim1(rw: &Rewritten, original: &Binary) -> Result<(), String> {
                         return Err(format!("interior entry at {addr:#x} decodes legally"));
                     }
                 } else if chimera_isa::decode_compressed(halfword).is_ok() {
-                    return Err(format!(
-                        "interior entry at {addr:#x} decodes as legal RVC"
-                    ));
+                    return Err(format!("interior entry at {addr:#x} decodes as legal RVC"));
                 }
                 // And it must have a redirect so the fault is recoverable.
                 if !rw.fht.redirects.contains_key(&addr) {

@@ -6,18 +6,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod smile;
-pub mod emitter;
-pub mod translate;
 pub mod chbp;
+pub mod emitter;
+pub mod smile;
+pub mod translate;
 
 pub use chbp::{
-    chbp_rewrite, verify_claim1, FaultTable, Mode, Rewritten, RewriteError, RewriteOptions,
-    RewriteStats,
+    chbp_rewrite, verify_claim1, FaultTable, Mode, RewriteError, RewriteOptions, RewriteStats,
+    Rewritten,
 };
 pub mod regen;
 
-pub use regen::{regenerate, Flavor, Regenerated, RegenInfo, SlowTrap};
+pub use regen::{regenerate, Flavor, RegenInfo, Regenerated, SlowTrap};
 pub mod upgrade;
 
 pub use upgrade::upgrade_rewrite;

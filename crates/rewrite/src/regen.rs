@@ -89,7 +89,15 @@ pub fn regenerate(
     let mut direct_pair: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     for w in insts.windows(2) {
         let (a, b) = (&w[0], &w[1]);
-        if let (Inst::Auipc { rd, imm20 }, Inst::Jalr { rd: rd2, rs1, offset }) = (a.inst, b.inst) {
+        if let (
+            Inst::Auipc { rd, imm20 },
+            Inst::Jalr {
+                rd: rd2,
+                rs1,
+                offset,
+            },
+        ) = (a.inst, b.inst)
+        {
             // Only linking pairs (calls): a non-linking pair would need a
             // scratch register to span ±2 GiB, which plain relocation does
             // not have.
@@ -215,15 +223,7 @@ pub fn regenerate(
             });
         } else {
             emit_relocated(
-                di,
-                new_addr,
-                size,
-                &map,
-                flavor,
-                new_base,
-                binary.gp,
-                &mut em,
-                &mut info,
+                di, new_addr, size, &map, flavor, new_base, binary.gp, &mut em, &mut info,
                 &mut stats,
             )?;
         }
@@ -362,9 +362,9 @@ fn emit_relocated(
             })?;
             let rel = new_target as i64 - new_addr as i64;
             if rd == XReg::ZERO {
-                let off = i32::try_from(rel).ok().filter(|o| {
-                    (-(1 << 20)..(1 << 20)).contains(o)
-                });
+                let off = i32::try_from(rel)
+                    .ok()
+                    .filter(|o| (-(1 << 20)..(1 << 20)).contains(o));
                 match off {
                     Some(o) => {
                         em.inst(Inst::Jal {
@@ -390,7 +390,9 @@ fn emit_relocated(
         }
         Inst::Jalr { rd, rs1, offset } => {
             if flavor == Flavor::Safer && safer_instrumentable(rd, rs1, offset) {
-                emit_safer_check(di, new_addr, size, rd, rs1, offset, new_base, abi_gp, em, info);
+                emit_safer_check(
+                    di, new_addr, size, rd, rs1, offset, new_base, abi_gp, em, info,
+                );
                 stats.exit_trampolines += 1;
             } else {
                 em.inst(di.inst);
@@ -482,9 +484,8 @@ fn rewrite_original_section(
     for di in insts {
         let new = map[&di.addr];
         let rel = new as i64 - di.addr as i64;
-        let use_jal = flavor == Flavor::Armore
-            && di.len == 4
-            && (-(1 << 20)..(1 << 20)).contains(&rel);
+        let use_jal =
+            flavor == Flavor::Armore && di.len == 4 && (-(1 << 20)..(1 << 20)).contains(&rel);
         let bytes: Vec<u8> = if use_jal {
             encode(&Inst::Jal {
                 rd: XReg::ZERO,
@@ -631,8 +632,7 @@ mod tests {
         .unwrap();
         // The pointer in .rodata now targets the relocated section: the
         // call takes the fast path, so the bare runner suffices.
-        let r = run_binary_on(&rg.rewritten.binary, chimera_isa::ExtSet::RV64GCV, 100_000)
-            .unwrap();
+        let r = run_binary_on(&rg.rewritten.binary, chimera_isa::ExtSet::RV64GCV, 100_000).unwrap();
         assert_eq!(r.exit_code, 55);
         let ro = rg.rewritten.binary.section(".rodata").unwrap();
         let ptr = u64::from_le_bytes(ro.data[0..8].try_into().unwrap());
@@ -659,7 +659,10 @@ mod tests {
             );
         }
         // Entry moved into the relocated section.
-        assert!(rg.rewritten.fht.in_target_section(rg.rewritten.binary.entry));
+        assert!(rg
+            .rewritten
+            .fht
+            .in_target_section(rg.rewritten.binary.entry));
     }
 
     #[test]
@@ -714,8 +717,8 @@ mod tests {
                 flavor,
             )
             .unwrap();
-            let r = run_binary_on(&rg.rewritten.binary, chimera_isa::ExtSet::RV64GC, 100_000)
-                .unwrap();
+            let r =
+                run_binary_on(&rg.rewritten.binary, chimera_isa::ExtSet::RV64GC, 100_000).unwrap();
             assert_eq!(r.exit_code, 55, "{flavor:?}");
         }
     }

@@ -467,9 +467,8 @@ mod tests {
                 let t = next_reachable_target(tramp, min, c).unwrap();
                 assert!(t >= min);
                 assert!(t - min < 4 << 20, "padding should be bounded");
-                encode_smile(tramp, t, c).unwrap_or_else(|e| {
-                    panic!("tramp {tramp:#x} constraints {c:?}: {e}")
-                });
+                encode_smile(tramp, t, c)
+                    .unwrap_or_else(|e| panic!("tramp {tramp:#x} constraints {c:?}: {e}"));
             }
         }
     }

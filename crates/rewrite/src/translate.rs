@@ -23,8 +23,8 @@
 
 use crate::emitter::BlockEmitter;
 use chimera_isa::{
-    BranchKind, Eew, FMaKind, FOpKind, FReg, FpWidth, Inst, LoadKind, OpImmKind, OpKind,
-    StoreKind, UnaryKind, VArithOp, VReg, VSrc, XReg, VLEN,
+    BranchKind, Eew, FMaKind, FOpKind, FReg, FpWidth, Inst, LoadKind, OpImmKind, OpKind, StoreKind,
+    UnaryKind, VArithOp, VReg, VSrc, XReg, VLEN,
 };
 
 /// Layout of the `.chimera.vregs` spill section.
@@ -253,20 +253,18 @@ impl Translator {
             return Err(Untranslatable(*inst));
         }
         match *inst {
-            Inst::Vsetvli { vtype, .. } => {
-                if vtype.lmul != 1 || !matches!(vtype.sew, Eew::E32 | Eew::E64) {
-                    return Err(Untranslatable(*inst));
-                }
+            Inst::Vsetvli { vtype, .. }
+                if (vtype.lmul != 1 || !matches!(vtype.sew, Eew::E32 | Eew::E64)) =>
+            {
+                return Err(Untranslatable(*inst));
             }
-            Inst::VLoad { eew, .. } | Inst::VStore { eew, .. } => {
-                if !matches!(eew, Eew::E32 | Eew::E64) {
-                    return Err(Untranslatable(*inst));
-                }
+            Inst::VLoad { eew, .. } | Inst::VStore { eew, .. }
+                if !matches!(eew, Eew::E32 | Eew::E64) =>
+            {
+                return Err(Untranslatable(*inst));
             }
-            Inst::VArith { op, src, .. } => {
-                if op.is_fp() && matches!(src, VSrc::I(_)) {
-                    return Err(Untranslatable(*inst));
-                }
+            Inst::VArith { op, src, .. } if op.is_fp() && matches!(src, VSrc::I(_)) => {
+                return Err(Untranslatable(*inst));
             }
             Inst::VMvXS { .. } | Inst::VMvSX { .. } => {}
             _ => {}
@@ -1418,7 +1416,8 @@ mod tests {
                 let w = u32::from_le_bytes(chunk.try_into().unwrap());
                 let d = decode(w).unwrap_or_else(|e| panic!("{inst}: emitted {w:#x}: {e}"));
                 assert!(
-                    d.inst.runnable_on(chimera_isa::ExtSet::RV64GC.without(chimera_isa::Ext::B)),
+                    d.inst
+                        .runnable_on(chimera_isa::ExtSet::RV64GC.without(chimera_isa::Ext::B)),
                     "{inst} emitted non-base inst {}",
                     d.inst
                 );

@@ -27,8 +27,8 @@ use crate::smile::{encode_smile, next_reachable_target, SmileConstraints};
 use crate::translate::SpillLayout;
 use chimera_analysis::{disassemble, BasicBlock, Cfg, Liveness, Terminator};
 use chimera_isa::{
-    BranchKind, Eew, FMaKind, FOpKind, FReg, FpWidth, Inst, LoadKind, OpImmKind, OpKind,
-    StoreKind, VArithOp, VReg, VSrc, VType, XReg,
+    BranchKind, Eew, FMaKind, FOpKind, FReg, FpWidth, Inst, LoadKind, OpImmKind, OpKind, StoreKind,
+    VArithOp, VReg, VSrc, VType, XReg,
 };
 use chimera_obj::{Binary, Perms};
 use std::collections::BTreeMap;
@@ -37,11 +37,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kernel {
     /// `facc += a[i] * b[i]` (f64 dot product via `fmadd.d`).
-    DotF64 {
-        acc: FReg,
-        a: FReg,
-        b: FReg,
-    },
+    DotF64 { acc: FReg, a: FReg, b: FReg },
     /// `c[i] = a[i] op b[i]` (f64 map via `fadd.d`/`fsub.d`/`fmul.d`).
     MapF64 {
         op: FOpKind,
@@ -320,10 +316,7 @@ fn recognize(block: &BasicBlock) -> Option<VecLoop> {
 /// Upgrades a base-ISA binary: recognized loops are vectorized behind SMILE
 /// trampolines; everything else is untouched. The result requires a core
 /// with the V extension.
-pub fn upgrade_rewrite(
-    binary: &Binary,
-    opts: RewriteOptions,
-) -> Result<Rewritten, RewriteError> {
+pub fn upgrade_rewrite(binary: &Binary, opts: RewriteOptions) -> Result<Rewritten, RewriteError> {
     binary
         .validate()
         .map_err(|e| RewriteError::BadBinary(e.to_string()))?;

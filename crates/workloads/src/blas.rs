@@ -92,7 +92,15 @@ fn emit_matrix(out: &mut String, name: &str, rows: usize, cols: usize, p: Precis
 
 /// Generates a GEMM task: `C = A(m×k) · B(k×n)`, rows `[r0, r1)`,
 /// exiting with an integer checksum of the computed C slice.
-pub fn gemm(m: usize, n: usize, k: usize, r0: usize, r1: usize, p: Precision, vectorized: bool) -> Binary {
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    r0: usize,
+    r1: usize,
+    p: Precision,
+    vectorized: bool,
+) -> Binary {
     assert!(r0 < r1 && r1 <= m);
     let eb = p.bytes();
     let mut src = String::new();
@@ -377,11 +385,7 @@ pub fn gemv(m: usize, n: usize, r0: usize, r1: usize, p: Precision, vectorized: 
 
 /// The four §6.4 workloads at a given problem size, sliced for `threads`
 /// workers: returns per-worker (vector, scalar) binary pairs.
-pub fn sliced_kernels(
-    kind: BlasKind,
-    size: usize,
-    threads: usize,
-) -> Vec<(Binary, Binary)> {
+pub fn sliced_kernels(kind: BlasKind, size: usize, threads: usize) -> Vec<(Binary, Binary)> {
     let rows_per = size.div_ceil(threads);
     (0..threads)
         .map(|t| {
@@ -493,12 +497,8 @@ mod tests {
             chimera_rewrite::RewriteOptions::default(),
         )
         .unwrap();
-        let down = chimera_emu::run_binary_on(
-            &rw.binary,
-            chimera_isa::ExtSet::RV64GC,
-            500_000_000,
-        )
-        .unwrap();
+        let down = chimera_emu::run_binary_on(&rw.binary, chimera_isa::ExtSet::RV64GC, 500_000_000)
+            .unwrap();
         assert_eq!(native.exit_code, down.exit_code);
     }
 }

@@ -268,17 +268,12 @@ mod tests {
     #[test]
     fn scalar_matrix_is_upgradeable() {
         let s = matrix_task(32, 2, false);
-        let rw =
-            chimera_rewrite::upgrade_rewrite(&s, chimera_rewrite::RewriteOptions::default())
-                .unwrap();
+        let rw = chimera_rewrite::upgrade_rewrite(&s, chimera_rewrite::RewriteOptions::default())
+            .unwrap();
         assert!(rw.stats.smile_trampolines >= 1, "the dot loop vectorizes");
         let native = run_binary(&s, 10_000_000).unwrap();
-        let up = chimera_emu::run_binary_on(
-            &rw.binary,
-            chimera_isa::ExtSet::RV64GCV,
-            10_000_000,
-        )
-        .unwrap();
+        let up = chimera_emu::run_binary_on(&rw.binary, chimera_isa::ExtSet::RV64GCV, 10_000_000)
+            .unwrap();
         assert_eq!(native.exit_code, up.exit_code);
         assert!(up.stats.cycles < native.stats.cycles, "upgrade accelerates");
     }
@@ -294,12 +289,8 @@ mod tests {
             chimera_rewrite::RewriteOptions::default(),
         )
         .unwrap();
-        let down = chimera_emu::run_binary_on(
-            &rw.binary,
-            chimera_isa::ExtSet::RV64GC,
-            50_000_000,
-        )
-        .unwrap();
+        let down = chimera_emu::run_binary_on(&rw.binary, chimera_isa::ExtSet::RV64GC, 50_000_000)
+            .unwrap();
         assert_eq!(native.exit_code, down.exit_code);
         let ratio = down.stats.cycles as f64 / native.stats.cycles as f64;
         assert!(

@@ -15,9 +15,8 @@
 //! drives Safer checks / ARMore redirects at runtime), and conditional
 //! branches.
 
+use chimera_isa::prng::Prng;
 use chimera_obj::{assemble, AsmOptions, Binary};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use std::fmt::Write;
 
 /// The static profile of one benchmark (Table 3 columns).
@@ -38,33 +37,171 @@ pub struct BenchProfile {
 
 /// The 17 SPEC CPU2017 rows of Fig. 13 / Table 3 (code sections > 1 MiB).
 pub const SPEC_PROFILES: &[BenchProfile] = &[
-    BenchProfile { name: "perlbench_r", code_mb: 1.52, ext_frac: 0.0058, indirect_weight: 10, work: 10 },
-    BenchProfile { name: "gcc_r", code_mb: 6.88, ext_frac: 0.0044, indirect_weight: 6, work: 8 },
-    BenchProfile { name: "omnetpp_r", code_mb: 1.14, ext_frac: 0.0095, indirect_weight: 8, work: 8 },
-    BenchProfile { name: "xalancbmk_r", code_mb: 2.91, ext_frac: 0.0136, indirect_weight: 7, work: 8 },
-    BenchProfile { name: "cactuBSSN_r", code_mb: 3.49, ext_frac: 0.0324, indirect_weight: 1, work: 8 },
-    BenchProfile { name: "parest_r", code_mb: 2.0, ext_frac: 0.025, indirect_weight: 3, work: 8 },
-    BenchProfile { name: "wrf_r", code_mb: 16.79, ext_frac: 0.0321, indirect_weight: 2, work: 6 },
-    BenchProfile { name: "blender_r", code_mb: 7.31, ext_frac: 0.0151, indirect_weight: 4, work: 6 },
-    BenchProfile { name: "cam4_r", code_mb: 4.29, ext_frac: 0.0337, indirect_weight: 2, work: 8 },
-    BenchProfile { name: "imagick_r", code_mb: 1.41, ext_frac: 0.0163, indirect_weight: 5, work: 8 },
-    BenchProfile { name: "perlbench_s", code_mb: 1.52, ext_frac: 0.0058, indirect_weight: 10, work: 10 },
-    BenchProfile { name: "gcc_s", code_mb: 6.88, ext_frac: 0.0044, indirect_weight: 6, work: 8 },
-    BenchProfile { name: "omnetpp_s", code_mb: 1.14, ext_frac: 0.0095, indirect_weight: 8, work: 8 },
-    BenchProfile { name: "xalancbmk_s", code_mb: 2.91, ext_frac: 0.0136, indirect_weight: 7, work: 8 },
-    BenchProfile { name: "cactuBSSN_s", code_mb: 3.49, ext_frac: 0.0324, indirect_weight: 1, work: 8 },
-    BenchProfile { name: "wrf_s", code_mb: 16.78, ext_frac: 0.0320, indirect_weight: 2, work: 6 },
-    BenchProfile { name: "cam4_s", code_mb: 4.47, ext_frac: 0.0327, indirect_weight: 2, work: 8 },
+    BenchProfile {
+        name: "perlbench_r",
+        code_mb: 1.52,
+        ext_frac: 0.0058,
+        indirect_weight: 10,
+        work: 10,
+    },
+    BenchProfile {
+        name: "gcc_r",
+        code_mb: 6.88,
+        ext_frac: 0.0044,
+        indirect_weight: 6,
+        work: 8,
+    },
+    BenchProfile {
+        name: "omnetpp_r",
+        code_mb: 1.14,
+        ext_frac: 0.0095,
+        indirect_weight: 8,
+        work: 8,
+    },
+    BenchProfile {
+        name: "xalancbmk_r",
+        code_mb: 2.91,
+        ext_frac: 0.0136,
+        indirect_weight: 7,
+        work: 8,
+    },
+    BenchProfile {
+        name: "cactuBSSN_r",
+        code_mb: 3.49,
+        ext_frac: 0.0324,
+        indirect_weight: 1,
+        work: 8,
+    },
+    BenchProfile {
+        name: "parest_r",
+        code_mb: 2.0,
+        ext_frac: 0.025,
+        indirect_weight: 3,
+        work: 8,
+    },
+    BenchProfile {
+        name: "wrf_r",
+        code_mb: 16.79,
+        ext_frac: 0.0321,
+        indirect_weight: 2,
+        work: 6,
+    },
+    BenchProfile {
+        name: "blender_r",
+        code_mb: 7.31,
+        ext_frac: 0.0151,
+        indirect_weight: 4,
+        work: 6,
+    },
+    BenchProfile {
+        name: "cam4_r",
+        code_mb: 4.29,
+        ext_frac: 0.0337,
+        indirect_weight: 2,
+        work: 8,
+    },
+    BenchProfile {
+        name: "imagick_r",
+        code_mb: 1.41,
+        ext_frac: 0.0163,
+        indirect_weight: 5,
+        work: 8,
+    },
+    BenchProfile {
+        name: "perlbench_s",
+        code_mb: 1.52,
+        ext_frac: 0.0058,
+        indirect_weight: 10,
+        work: 10,
+    },
+    BenchProfile {
+        name: "gcc_s",
+        code_mb: 6.88,
+        ext_frac: 0.0044,
+        indirect_weight: 6,
+        work: 8,
+    },
+    BenchProfile {
+        name: "omnetpp_s",
+        code_mb: 1.14,
+        ext_frac: 0.0095,
+        indirect_weight: 8,
+        work: 8,
+    },
+    BenchProfile {
+        name: "xalancbmk_s",
+        code_mb: 2.91,
+        ext_frac: 0.0136,
+        indirect_weight: 7,
+        work: 8,
+    },
+    BenchProfile {
+        name: "cactuBSSN_s",
+        code_mb: 3.49,
+        ext_frac: 0.0324,
+        indirect_weight: 1,
+        work: 8,
+    },
+    BenchProfile {
+        name: "wrf_s",
+        code_mb: 16.78,
+        ext_frac: 0.0320,
+        indirect_weight: 2,
+        work: 6,
+    },
+    BenchProfile {
+        name: "cam4_s",
+        code_mb: 4.47,
+        ext_frac: 0.0327,
+        indirect_weight: 2,
+        work: 8,
+    },
 ];
 
 /// The real-world application rows of Tables 2–3.
 pub const APP_PROFILES: &[BenchProfile] = &[
-    BenchProfile { name: "Git", code_mb: 3.11, ext_frac: 0.027, indirect_weight: 4, work: 6 },
-    BenchProfile { name: "Vim", code_mb: 2.91, ext_frac: 0.0231, indirect_weight: 4, work: 6 },
-    BenchProfile { name: "CMake", code_mb: 7.60, ext_frac: 0.0332, indirect_weight: 6, work: 6 },
-    BenchProfile { name: "CTest", code_mb: 8.50, ext_frac: 0.0330, indirect_weight: 6, work: 6 },
-    BenchProfile { name: "Python", code_mb: 2.31, ext_frac: 0.0177, indirect_weight: 8, work: 6 },
-    BenchProfile { name: "Libopenblas", code_mb: 6.72, ext_frac: 0.0059, indirect_weight: 2, work: 8 },
+    BenchProfile {
+        name: "Git",
+        code_mb: 3.11,
+        ext_frac: 0.027,
+        indirect_weight: 4,
+        work: 6,
+    },
+    BenchProfile {
+        name: "Vim",
+        code_mb: 2.91,
+        ext_frac: 0.0231,
+        indirect_weight: 4,
+        work: 6,
+    },
+    BenchProfile {
+        name: "CMake",
+        code_mb: 7.60,
+        ext_frac: 0.0332,
+        indirect_weight: 6,
+        work: 6,
+    },
+    BenchProfile {
+        name: "CTest",
+        code_mb: 8.50,
+        ext_frac: 0.0330,
+        indirect_weight: 6,
+        work: 6,
+    },
+    BenchProfile {
+        name: "Python",
+        code_mb: 2.31,
+        ext_frac: 0.0177,
+        indirect_weight: 8,
+        work: 6,
+    },
+    BenchProfile {
+        name: "Libopenblas",
+        code_mb: 6.72,
+        ext_frac: 0.0059,
+        indirect_weight: 2,
+        work: 8,
+    },
 ];
 
 /// Generation options.
@@ -91,7 +228,7 @@ impl Default for GenOptions {
 
 /// Generates the synthetic program for a benchmark profile.
 pub fn generate(profile: &BenchProfile, opts: GenOptions) -> Binary {
-    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ hash_name(profile.name));
+    let mut rng = Prng::new(opts.seed ^ hash_name(profile.name));
     let target_bytes = (profile.code_mb * 1024.0 * 1024.0 * opts.size_scale) as usize;
     // A generated function averages ~140 bytes (compressed encodings).
     let n_fns = (target_bytes / 140).clamp(4, 120_000);
@@ -172,13 +309,13 @@ main_next:
     // (§4.2 Challenge 2, Table 3).
     let mut vector_left = vector_sites;
     for i in 0..n_fns {
-        let with_vector = vector_left > 0
-            && rng.random_bool((vector_sites as f64 / n_fns as f64).min(1.0));
+        let with_vector =
+            vector_left > 0 && rng.chance((vector_sites as f64 / n_fns as f64).min(1.0));
         if with_vector {
             vector_left -= 1;
         }
-        let pressure = if with_vector && rng.random_bool(0.4) {
-            if rng.random_bool(0.05) {
+        let pressure = if with_vector && rng.chance(0.4) {
+            if rng.chance(0.05) {
                 Pressure::Extreme
             } else {
                 Pressure::High
@@ -228,7 +365,7 @@ fn emit_function(
     n_fns: usize,
     vector: bool,
     pressure: Pressure,
-    rng: &mut ChaCha8Rng,
+    rng: &mut Prng,
 ) {
     if pressure != Pressure::None {
         emit_pressure_leaf(src, idx, pressure, rng);
@@ -238,22 +375,22 @@ fn emit_function(
     writeln!(src, "    addi sp, sp, -16").unwrap();
     writeln!(src, "    sd ra, 8(sp)").unwrap();
     // a0 = checksum-in, a1 = index. Mix deterministically.
-    let blocks = rng.random_range(2..6);
+    let blocks = rng.range_usize(2, 6);
     for b in 0..blocks {
-        let ops = rng.random_range(4..14);
+        let ops = rng.range_usize(4, 14);
         for _ in 0..ops {
-            match rng.random_range(0..6) {
-                0 => writeln!(src, "    addi a0, a0, {}", rng.random_range(-512..512)).unwrap(),
+            match rng.range_usize(0, 6) {
+                0 => writeln!(src, "    addi a0, a0, {}", rng.range_i64(-512, 512)).unwrap(),
                 1 => writeln!(src, "    xor a0, a0, a1").unwrap(),
-                2 => writeln!(src, "    slli t0, a0, {}", rng.random_range(1..16)).unwrap(),
+                2 => writeln!(src, "    slli t0, a0, {}", rng.range_usize(1, 16)).unwrap(),
                 3 => writeln!(src, "    add a0, a0, t0").unwrap(),
-                4 => writeln!(src, "    srli t1, a0, {}", rng.random_range(1..8)).unwrap(),
+                4 => writeln!(src, "    srli t1, a0, {}", rng.range_usize(1, 8)).unwrap(),
                 _ => writeln!(src, "    xor a0, a0, t1").unwrap(),
             }
         }
         // Conditional skip of the next block (taken on data parity).
         if b + 1 < blocks {
-            writeln!(src, "    andi t2, a0, {}", 1 << rng.random_range(0..4)).unwrap();
+            writeln!(src, "    andi t2, a0, {}", 1 << rng.range_usize(0, 4)).unwrap();
             writeln!(src, "    beqz t2, fn{idx}_b{next}", next = b + 1).unwrap();
             writeln!(src, "    addi a0, a0, 1").unwrap();
             writeln!(src, "fn{idx}_b{next}:", next = b + 1).unwrap();
@@ -297,8 +434,8 @@ fn{idx}_vloop:
     }
     // Occasionally call a later function directly (bounded depth: only
     // functions with larger indices, so the call graph is a DAG).
-    if idx + 1 < n_fns && rng.random_bool(0.25) {
-        let callee = rng.random_range(idx + 1..n_fns);
+    if idx + 1 < n_fns && rng.chance(0.25) {
+        let callee = rng.range_usize(idx + 1, n_fns);
         writeln!(src, "    call fn{callee}").unwrap();
     }
     writeln!(src, "    ld ra, 8(sp)").unwrap();
@@ -308,13 +445,16 @@ fn{idx}_vloop:
 
 /// A leaf function where every caller-saved register carries a live value
 /// across its vector loop (see [`Pressure`]).
-fn emit_pressure_leaf(src: &mut String, idx: usize, pressure: Pressure, rng: &mut ChaCha8Rng) {
+fn emit_pressure_leaf(src: &mut String, idx: usize, pressure: Pressure, rng: &mut Prng) {
     writeln!(src, "fn{idx}:").unwrap();
     // Load long-lived values into the registers the vector loop does not
     // use internally (t5, t6, a2..a7); a1 and ra are live anyway (argument
     // + leaf return address).
-    for (i, r) in ["t5", "t6", "a2", "a3", "a4", "a5", "a6", "a7"].iter().enumerate() {
-        writeln!(src, "    li {r}, {}", 17 + i * 13 + rng.random_range(0..8)).unwrap();
+    for (i, r) in ["t5", "t6", "a2", "a3", "a4", "a5", "a6", "a7"]
+        .iter()
+        .enumerate()
+    {
+        writeln!(src, "    li {r}, {}", 17 + i * 13 + rng.range_usize(0, 8)).unwrap();
     }
     writeln!(
         src,
@@ -342,7 +482,9 @@ fn{idx}_vloop:
     .unwrap();
     // Post-loop: first *read* the loop temporaries (so they are live at
     // the natural exit position), then consume the pressure registers.
-    let consume = ["t3", "t0", "t1", "t2", "t4", "a1", "t5", "t6", "a2", "a3", "a4", "a5", "a6", "a7"];
+    let consume = [
+        "t3", "t0", "t1", "t2", "t4", "a1", "t5", "t6", "a2", "a3", "a4", "a5", "a6", "a7",
+    ];
     match pressure {
         Pressure::High => {
             for r in consume {
@@ -394,7 +536,10 @@ mod tests {
     fn generation_is_deterministic() {
         let a = small(&SPEC_PROFILES[0]);
         let b = small(&SPEC_PROFILES[0]);
-        assert_eq!(a.section(".text").unwrap().data, b.section(".text").unwrap().data);
+        assert_eq!(
+            a.section(".text").unwrap().data,
+            b.section(".text").unwrap().data
+        );
     }
 
     #[test]
@@ -437,8 +582,7 @@ mod tests {
         let patched = run_binary_on(&rw.binary, ExtSet::RV64GCV, 2_000_000_000).unwrap();
         assert_eq!(native.exit_code, patched.exit_code);
         // Empty patching overhead should be small (§6.2: ~5%).
-        let overhead =
-            patched.stats.cycles as f64 / native.stats.cycles as f64 - 1.0;
+        let overhead = patched.stats.cycles as f64 / native.stats.cycles as f64 - 1.0;
         assert!(
             overhead < 0.35,
             "{}: empty-patch overhead {:.1}% too high",

@@ -65,7 +65,10 @@ fn main() {
     let mut k = KernelRunner::new(view.tables.clone());
     let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
     println!("\n== normal run ==");
-    println!("  outcome {outcome:?}, fault-handling invocations: {}", k.counters.total());
+    println!(
+        "  outcome {outcome:?}, fault-handling invocations: {}",
+        k.counters.total()
+    );
 
     // 2. An erroneous jump onto an overwritten instruction (P1).
     let (&p1, &redirect) = rw.fht.redirects.iter().next().unwrap();
@@ -102,7 +105,11 @@ fn main() {
     while cpu.hart.pc != tramp + 4 {
         cpu.step(&mut mem).unwrap();
     }
-    println!("  interrupted at {:#x}: in-flight gp = {:#x}", cpu.hart.pc, cpu.hart.gp());
+    println!(
+        "  interrupted at {:#x}: in-flight gp = {:#x}",
+        cpu.hart.pc,
+        cpu.hart.gp()
+    );
     k.deliver_signal(&mut cpu, 0x5555_0000);
     println!(
         "  handler observes gp = {:#x} (the psABI value), signals fixed: {}",
@@ -112,7 +119,9 @@ fn main() {
     assert_eq!(cpu.hart.gp(), rw.fht.abi_gp);
     assert_eq!(cpu.hart.get_x(XReg::RA), chimera_kernel::SIGRETURN_ADDR);
     match outcome {
-        RunOutcome::Exited(code) => println!("\nok: program result {code}, all mechanisms exercised"),
+        RunOutcome::Exited(code) => {
+            println!("\nok: program result {code}, all mechanisms exercised")
+        }
         other => panic!("unexpected outcome {other:?}"),
     }
 }

@@ -33,8 +33,14 @@ fn main() {
     let n_tasks = 200;
     let ext_share = 0.5;
 
-    println!("== downgrading (extension-version input), {n_tasks} tasks, {:.0}% extension ==", ext_share * 100.0);
-    println!("{:<10} {:>14} {:>14} {:>12}", "system", "latency (cyc)", "cpu time", "accelerated");
+    println!(
+        "== downgrading (extension-version input), {n_tasks} tasks, {:.0}% extension ==",
+        ext_share * 100.0
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "system", "latency (cyc)", "cpu time", "accelerated"
+    );
     for system in [
         SystemKind::Fam,
         SystemKind::Safer,
@@ -98,12 +104,12 @@ fn main() {
                 Pool::Base => ExtSet::RV64GC,
                 Pool::Ext => ExtSet::RV64GCV,
             };
-            measure(&p, profile, u64::MAX / 2).expect("task completes").cycles
+            measure(&p, profile, u64::MAX / 2)
+                .expect("task completes")
+                .cycles
         });
     }
     let results = pool.run();
     let total: u64 = results.iter().map(|(_, c)| c).sum();
-    println!(
-        "32 matrix tasks completed on real threads; total simulated cycles {total}"
-    );
+    println!("32 matrix tasks completed on real threads; total simulated cycles {total}");
 }

@@ -57,8 +57,8 @@ fn main() {
         base_version: None,
         ext_version: Some(ext_binary),
     };
-    let process = prepare_process(SystemKind::Chimera, InputVersion::Ext, &task)
-        .expect("rewriting succeeds");
+    let process =
+        prepare_process(SystemKind::Chimera, InputVersion::Ext, &task).expect("rewriting succeeds");
 
     let m = measure(&process, ExtSet::RV64GC, 10_000_000).expect("downgraded run");
     println!(

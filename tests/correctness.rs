@@ -2,12 +2,14 @@
 //! rewritten binaries over the synthetic benchmark suite and randomized
 //! programs, plus exhaustive erroneous-jump recovery (Claims 1 and 2).
 
+use chimera_isa::prng::Prng;
 use chimera_isa::{Ext, ExtSet};
 use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
 use chimera_obj::{assemble, AsmOptions};
 use chimera_rewrite::{chbp_rewrite, verify_claim1, Mode, RewriteOptions};
-use chimera_workloads::speclike::{generate, BenchProfile, GenOptions, APP_PROFILES, SPEC_PROFILES};
-use proptest::prelude::*;
+use chimera_workloads::speclike::{
+    generate, BenchProfile, GenOptions, APP_PROFILES, SPEC_PROFILES,
+};
 
 fn gen_small(p: &BenchProfile, seed: u64) -> chimera_obj::Binary {
     generate(
@@ -29,8 +31,7 @@ fn downgraded_spec_suite_is_semantically_equal() {
         let native = chimera_emu::run_binary(&bin, u64::MAX / 2).unwrap();
         let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
         verify_claim1(&rw, &bin).unwrap_or_else(|e| panic!("{}: {e}", p.name));
-        let down =
-            chimera_emu::run_binary_on(&rw.binary, ExtSet::RV64GC, u64::MAX / 2).unwrap();
+        let down = chimera_emu::run_binary_on(&rw.binary, ExtSet::RV64GC, u64::MAX / 2).unwrap();
         assert_eq!(native.exit_code, down.exit_code, "{}", p.name);
         assert_eq!(down.stats.vector_insts, 0, "{}: fully downgraded", p.name);
     }
@@ -42,8 +43,7 @@ fn real_world_profiles_pass_differential_suite() {
         let bin = gen_small(p, 2);
         let native = chimera_emu::run_binary(&bin, u64::MAX / 2).unwrap();
         let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
-        let down =
-            chimera_emu::run_binary_on(&rw.binary, ExtSet::RV64GC, u64::MAX / 2).unwrap();
+        let down = chimera_emu::run_binary_on(&rw.binary, ExtSet::RV64GC, u64::MAX / 2).unwrap();
         assert_eq!(native.exit_code, down.exit_code, "{}", p.name);
     }
 }
@@ -89,7 +89,10 @@ fn claim2_every_erroneous_jump_recovers_on_speclike() {
                 exits += 1;
             }
             (Ok(r), other) => {
-                panic!("{fault_addr:#x}: original exits {} but rewritten {other:?}", r.exit_code)
+                panic!(
+                    "{fault_addr:#x}: original exits {} but rewritten {other:?}",
+                    r.exit_code
+                )
             }
             (Err(_), RunOutcome::Exited(code)) => {
                 panic!("{fault_addr:#x}: original crashes but rewritten exits {code}")
@@ -118,96 +121,105 @@ fn empty_patch_differential_on_compressed_code() {
     )
     .unwrap();
     verify_claim1(&rw, &bin).unwrap();
-    let patched =
-        chimera_emu::run_binary_on(&rw.binary, ExtSet::RV64GCV, u64::MAX / 2).unwrap();
+    let patched = chimera_emu::run_binary_on(&rw.binary, ExtSet::RV64GCV, u64::MAX / 2).unwrap();
     assert_eq!(native.exit_code, patched.exit_code);
 }
 
-/// Generates small random vector programs: a data array, a handful of
-/// vector operations, and a reduction to an exit code.
-fn arb_vector_program() -> impl Strategy<Value = String> {
-    let op = prop_oneof![
-        Just("vadd.vv v3, v1, v2"),
-        Just("vsub.vv v3, v1, v2"),
-        Just("vmul.vv v3, v1, v2"),
-        Just("vand.vv v3, v1, v2"),
-        Just("vxor.vv v3, v1, v2"),
-        Just("vmax.vv v3, v1, v2"),
-        Just("vadd.vi v3, v1, 7"),
-        Just("vmacc.vv v3, v1, v2"),
+/// Generates a small random vector program: a data array, a handful of
+/// vector operations, and a reduction to an exit code (seeded replacement
+/// for the former proptest strategy).
+fn gen_vector_program(rng: &mut Prng) -> String {
+    const OPS: [&str; 8] = [
+        "vadd.vv v3, v1, v2",
+        "vsub.vv v3, v1, v2",
+        "vmul.vv v3, v1, v2",
+        "vand.vv v3, v1, v2",
+        "vxor.vv v3, v1, v2",
+        "vmax.vv v3, v1, v2",
+        "vadd.vi v3, v1, 7",
+        "vmacc.vv v3, v1, v2",
     ];
-    (
-        proptest::collection::vec(op, 1..6),
-        proptest::collection::vec(-50i64..50, 8),
-    )
-        .prop_map(|(ops, data)| {
-            let mut src = String::from(".data\narr:\n");
-            for d in &data {
-                src.push_str(&format!("    .dword {d}\n"));
-            }
-            src.push_str(
-                ".text\n_start:\n    li t0, 8\n    vsetvli t1, t0, e64, m1, ta, ma\n    la a0, arr\n    vle64.v v1, (a0)\n    vmv.v.i v2, 3\n    vmv.v.i v3, 0\n",
-            );
-            for o in ops {
-                src.push_str("    ");
-                src.push_str(o);
-                src.push('\n');
-            }
-            src.push_str(
-                "    vmv.v.i v4, 0\n    vredsum.vs v5, v3, v4\n    vmv.x.s a0, v5\n    li a7, 93\n    ecall\n",
-            );
-            src
-        })
+    let mut src = String::from(".data\narr:\n");
+    for _ in 0..8 {
+        src.push_str(&format!("    .dword {}\n", rng.range_i64(-50, 50)));
+    }
+    src.push_str(
+        ".text\n_start:\n    li t0, 8\n    vsetvli t1, t0, e64, m1, ta, ma\n    la a0, arr\n    vle64.v v1, (a0)\n    vmv.v.i v2, 3\n    vmv.v.i v3, 0\n",
+    );
+    for _ in 0..rng.range_usize(1, 6) {
+        let op = *rng.pick(&OPS);
+        src.push_str("    ");
+        src.push_str(op);
+        src.push('\n');
+    }
+    src.push_str(
+        "    vmv.v.i v4, 0\n    vredsum.vs v5, v3, v4\n    vmv.x.s a0, v5\n    li a7, 93\n    ecall\n",
+    );
+    src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Differential equivalence: original (vector core) vs. CHBP-downgraded
-    /// (base core) over random vector programs.
-    #[test]
-    fn random_vector_programs_downgrade_equivalently(src in arb_vector_program()) {
-        let bin = assemble(&src, AsmOptions { compress: true, ..Default::default() })
-            .expect("assembles");
+/// Differential equivalence: original (vector core) vs. CHBP-downgraded
+/// (base core) over random vector programs.
+#[test]
+fn random_vector_programs_downgrade_equivalently() {
+    for seed in 0..48u64 {
+        let src = gen_vector_program(&mut Prng::new(0xd1ff ^ seed));
+        let bin = assemble(
+            &src,
+            AsmOptions {
+                compress: true,
+                ..Default::default()
+            },
+        )
+        .expect("assembles");
         let native = chimera_emu::run_binary(&bin, 10_000_000).expect("native");
-        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default())
-            .expect("rewrites");
+        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).expect("rewrites");
         verify_claim1(&rw, &bin).expect("claim 1");
         let down = chimera_emu::run_binary_on(&rw.binary, ExtSet::RV64GC, 50_000_000)
             .expect("downgraded runs bare (no faults in normal flow)");
-        prop_assert_eq!(native.exit_code, down.exit_code);
-        prop_assert_eq!(down.stats.vector_insts, 0);
+        assert_eq!(native.exit_code, down.exit_code, "seed {seed}");
+        assert_eq!(down.stats.vector_insts, 0, "seed {seed}");
     }
+}
 
-    /// Claim 1, randomized: jumping to ANY overwritten instruction raises a
-    /// deterministic fault whose redirect the kernel resolves — never an
-    /// unhandled wild execution.
-    #[test]
-    fn random_erroneous_jumps_always_recover(src in arb_vector_program(), pick in any::<u16>()) {
-        let bin = assemble(&src, AsmOptions { compress: true, ..Default::default() })
-            .expect("assembles");
-        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default())
-            .expect("rewrites");
+/// Claim 1, randomized: jumping to ANY overwritten instruction raises a
+/// deterministic fault whose redirect the kernel resolves — never an
+/// unhandled wild execution.
+#[test]
+fn random_erroneous_jumps_always_recover() {
+    for seed in 0..48u64 {
+        let mut rng = Prng::new(0x3a2b ^ seed);
+        let src = gen_vector_program(&mut rng);
+        let bin = assemble(
+            &src,
+            AsmOptions {
+                compress: true,
+                ..Default::default()
+            },
+        )
+        .expect("assembles");
+        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).expect("rewrites");
         if rw.fht.redirects.is_empty() {
-            return Ok(());
+            continue;
         }
         let keys: Vec<u64> = rw.fht.redirects.keys().copied().collect();
-        let fault_addr = keys[pick as usize % keys.len()];
+        let fault_addr = *rng.pick(&keys);
         let variant = Variant {
             binary: rw.binary,
-            tables: RuntimeTables { fht: Some(rw.fht), regen: None },
+            tables: RuntimeTables {
+                fht: Some(rw.fht),
+                regen: None,
+            },
         };
         let process = Process::new(vec![variant]);
         let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
         let mut k = KernelRunner::new(view.tables.clone());
         cpu.hart.pc = fault_addr;
         let outcome = k.run(&mut cpu, &mut mem, 50_000_000);
-        prop_assert!(
+        assert!(
             matches!(outcome, RunOutcome::Exited(_)),
-            "jump to {:#x} ended with {:?}",
-            fault_addr,
-            outcome
+            "seed {seed}: jump to {fault_addr:#x} ended with {outcome:?}"
         );
-        prop_assert!(k.counters.smile_faults >= 1);
+        assert!(k.counters.smile_faults >= 1, "seed {seed}");
     }
 }

@@ -1,0 +1,211 @@
+//! The offline differential suite: every workload generator's output is
+//! executed (a) unrewritten on the extension profile vs CHBP-rewritten on
+//! the base profile, and (b) with the basic-block decode cache on vs off —
+//! asserting identical architectural results each way.
+//!
+//! (a) is the paper's Claim-1-style semantic-equivalence check over the
+//! whole workload zoo; (b) is the decode cache's transparency contract:
+//! the cache may change wall-clock time only, never results, traps,
+//! register files, memory, or simulated cycle accounting.
+
+use chimera_isa::ExtSet;
+use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
+use chimera_obj::Binary;
+use chimera_rewrite::{chbp_rewrite, verify_claim1, RewriteOptions, Rewritten};
+use chimera_workloads::blas::{self, Precision};
+use chimera_workloads::hetero;
+use chimera_workloads::speclike::{generate, GenOptions, APP_PROFILES, SPEC_PROFILES};
+
+const FUEL: u64 = u64::MAX / 2;
+
+/// Every workload generator's output, tiny-scaled for test runtime.
+fn workloads() -> Vec<(String, Binary)> {
+    let mut v: Vec<(String, Binary)> = Vec::new();
+    for p in SPEC_PROFILES {
+        v.push((
+            format!("spec:{}", p.name),
+            generate(
+                p,
+                GenOptions {
+                    size_scale: 1.0 / 512.0,
+                    work_scale: 0.25,
+                    seed: 7,
+                },
+            ),
+        ));
+    }
+    for p in APP_PROFILES {
+        v.push((
+            format!("app:{}", p.name),
+            generate(
+                p,
+                GenOptions {
+                    size_scale: 1.0 / 512.0,
+                    work_scale: 0.25,
+                    seed: 8,
+                },
+            ),
+        ));
+    }
+    v.push((
+        "blas:dgemm".into(),
+        blas::gemm(6, 5, 4, 1, 2, Precision::Double, true),
+    ));
+    v.push((
+        "blas:sgemv".into(),
+        blas::gemv(6, 5, 1, 2, Precision::Single, true),
+    ));
+    v.push(("hetero:matrix".into(), hetero::matrix_task(8, 2, true)));
+    v.push(("hetero:fib".into(), hetero::fib_task(12, 2)));
+    v
+}
+
+/// Runs `bin` keeping the final memory, so callers can compare data-section
+/// bytes in addition to the [`chimera_emu::RunResult`].
+fn run_keeping_mem(
+    bin: &Binary,
+    profile: ExtSet,
+    cache: bool,
+) -> (
+    Result<chimera_emu::RunResult, chimera_emu::RunError>,
+    chimera_emu::Memory,
+) {
+    let (mut cpu, mut mem) = chimera_emu::boot(bin, profile);
+    cpu.cache.enabled = cache;
+    let r = chimera_emu::run_cpu(&mut cpu, &mut mem, FUEL);
+    (r, mem)
+}
+
+/// Runs a CHBP-rewritten binary on the base profile under the simulated
+/// kernel (normal flow may route through SMILE trampolines, whose faults
+/// the kernel's passive handler resolves), returning exit code, stdout,
+/// the CPU (for stats) and the final memory.
+fn run_rewritten(
+    rw: &Rewritten,
+    cache: bool,
+) -> (i64, Vec<u8>, chimera_emu::Cpu, chimera_emu::Memory) {
+    let variant = Variant {
+        binary: rw.binary.clone(),
+        tables: RuntimeTables {
+            fht: Some(rw.fht.clone()),
+            regen: None,
+        },
+    };
+    let process = Process::new(vec![variant]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).expect("loads on RV64GC");
+    cpu.cache.enabled = cache;
+    let mut k = KernelRunner::new(view.tables.clone());
+    match k.run(&mut cpu, &mut mem, FUEL) {
+        RunOutcome::Exited(code) => (code, k.stdout, cpu, mem),
+        other => panic!("rewritten run (cache={cache}) ended with {other:?}"),
+    }
+}
+
+/// Final bytes of every writable section the binary declares (the output
+/// state a program leaves behind), read from the run's memory.
+fn writable_bytes(mem: &mut chimera_emu::Memory, bin: &Binary) -> Vec<(String, Vec<u8>)> {
+    bin.sections
+        .iter()
+        .filter(|s| s.perms.w)
+        .map(|s| {
+            let bytes = mem
+                .peek(s.addr, s.data.len())
+                .unwrap_or_else(|| panic!("section {} vanished", s.name));
+            (s.name.clone(), bytes)
+        })
+        .collect()
+}
+
+/// Decode cache on vs off: FULL result equality — exit code, stdout, the
+/// whole integer register file, every stats counter (so cycle accounting
+/// is provably identical), and the final bytes of every region.
+#[test]
+fn cache_on_off_identical_for_every_workload() {
+    for (name, bin) in workloads() {
+        for profile in [ExtSet::RV64GCV, bin.profile] {
+            let (on, mut mem_on) = run_keeping_mem(&bin, profile, true);
+            let (off, mut mem_off) = run_keeping_mem(&bin, profile, false);
+            assert_eq!(on, off, "{name}: cache on/off diverged on {profile}");
+            assert_eq!(
+                writable_bytes(&mut mem_on, &bin),
+                writable_bytes(&mut mem_off, &bin),
+                "{name}: output memory diverged on {profile}"
+            );
+        }
+    }
+}
+
+/// Unrewritten on RV64GCV vs CHBP-rewritten on RV64GC: identical exit
+/// code, stdout and output memory — with the rewritten binary itself run
+/// both cache-on and cache-off.
+#[test]
+fn rewritten_matches_native_for_every_workload() {
+    for (name, bin) in workloads() {
+        let (native, mut native_mem) = run_keeping_mem(&bin, ExtSet::RV64GCV, true);
+        let native = native.unwrap_or_else(|e| panic!("{name}: native run failed: {e}"));
+        let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: rewrite failed: {e}"));
+        verify_claim1(&rw, &bin).unwrap_or_else(|e| panic!("{name}: claim 1: {e}"));
+        let native_data = writable_bytes(&mut native_mem, &bin);
+        let mut per_cache = Vec::new();
+        for cache in [true, false] {
+            let (code, stdout, cpu, mut down_mem) = run_rewritten(&rw, cache);
+            assert_eq!(native.exit_code, code, "{name} (cache={cache})");
+            assert_eq!(native.stdout, stdout, "{name} (cache={cache})");
+            assert_eq!(cpu.stats.vector_insts, 0, "{name}: fully downgraded");
+            // The original's writable sections exist untouched (by name and
+            // address) in the rewritten binary; final contents must match.
+            assert_eq!(
+                native_data,
+                writable_bytes(&mut down_mem, &bin),
+                "{name} (cache={cache}): output memory diverged"
+            );
+            per_cache.push(cpu.stats);
+        }
+        // Cycle accounting of the rewritten run is itself cache-invariant.
+        assert_eq!(per_cache[0], per_cache[1], "{name}: stats diverged");
+    }
+}
+
+/// Error paths must be cache-transparent too: a program that traps
+/// (extension instruction on a base core; jump into non-executable data)
+/// produces the *same* error with the cache on and off.
+#[test]
+fn traps_identical_cache_on_off() {
+    // Vector program on a base core, unrewritten: illegal instruction.
+    let vec_bin = hetero::matrix_task(4, 1, true);
+    let (on, _) = run_keeping_mem(&vec_bin, ExtSet::RV64GC, true);
+    let (off, _) = run_keeping_mem(&vec_bin, ExtSet::RV64GC, false);
+    assert!(on.is_err(), "vector code must trap on RV64GC");
+    assert_eq!(on, off, "illegal-instruction trap diverged");
+
+    // A jump into the (non-executable) data region: fetch fault.
+    let src = "
+        .data
+        arr: .dword 7
+        .text
+        _start:
+            la t0, arr
+            jr t0
+    ";
+    let bin = chimera_obj::assemble(src, chimera_obj::AsmOptions::default()).unwrap();
+    let (on, _) = run_keeping_mem(&bin, ExtSet::RV64GCV, true);
+    let (off, _) = run_keeping_mem(&bin, ExtSet::RV64GCV, false);
+    assert!(on.is_err(), "fetch from data must fault");
+    assert_eq!(on, off, "fetch-fault trap diverged");
+}
+
+/// The cache actually engages on these workloads (hits dominate after the
+/// first iteration of any loop) — guards against a silently disabled cache
+/// making the equality tests above vacuous.
+#[test]
+fn cache_counters_engage() {
+    let bin = hetero::fib_task(10, 3);
+    let (mut cpu, mut mem) = chimera_emu::boot(&bin, ExtSet::RV64GCV);
+    assert!(cpu.cache.enabled, "cache must default to enabled");
+    let _ = chimera_emu::run_cpu(&mut cpu, &mut mem, FUEL).unwrap();
+    let s = cpu.cache.stats;
+    assert!(s.blocks_built > 0, "no blocks built: {s:?}");
+    assert!(s.misses >= s.blocks_built, "{s:?}");
+    assert!(s.hits > s.misses, "loopy code must be hit-dominated: {s:?}");
+}

@@ -81,7 +81,10 @@ fn downgrading_latency_ordering() {
     let (safer, _) = latency(SystemKind::Safer, InputVersion::Ext, 1.0);
     let (chimera, _) = latency(SystemKind::Chimera, InputVersion::Ext, 1.0);
 
-    assert!(melf <= chimera, "MELF ({melf}) is the ideal: Chimera ({chimera})");
+    assert!(
+        melf <= chimera,
+        "MELF ({melf}) is the ideal: Chimera ({chimera})"
+    );
     assert!(chimera < fam, "Chimera ({chimera}) must beat FAM ({fam})");
     assert!(chimera <= safer, "Chimera ({chimera}) vs Safer ({safer})");
 }
@@ -95,7 +98,10 @@ fn upgrading_gives_chimera_an_edge_over_fam() {
     let (chimera, ch_accel) = latency(SystemKind::Chimera, InputVersion::Base, 0.8);
     assert!(chimera < fam, "upgrading must help: {chimera} vs {fam}");
     assert_eq!(fam_accel, 0.0, "FAM never accelerates base binaries");
-    assert!(ch_accel > 0.3, "Chimera accelerates a real share: {ch_accel}");
+    assert!(
+        ch_accel > 0.3,
+        "Chimera accelerates a real share: {ch_accel}"
+    );
 }
 
 #[test]
