@@ -189,7 +189,16 @@ impl Cpu {
         };
         let block = match self.cache.lookup(pc, self.profile, fp) {
             Some(b) => b,
-            None => self.build_block(mem, pc, fp)?,
+            None => match self.build_block(mem, pc, fp)? {
+                Some(b) => b,
+                // First instruction's upper parcel lies outside the
+                // fingerprinted region: execute it uncached so writes to the
+                // neighbouring region are always observed.
+                None => {
+                    self.step(mem)?;
+                    return Ok(1);
+                }
+            },
         };
         let mut retired = 0u64;
         for ci in block.insts.iter() {
@@ -221,12 +230,18 @@ impl Cpu {
     /// *first* instruction already faults, nothing is cached and the trap
     /// is returned with [`Cpu::step`]'s exact semantics (lazy rewriting may
     /// legalise those bytes later, so they must stay uncached).
+    ///
+    /// A 4-byte instruction whose upper parcel straddles into a *different*
+    /// region is never cached either — the block's fingerprint only covers
+    /// the region holding its start pc, so a write to the neighbour region
+    /// would not invalidate it. `Ok(None)` tells the caller to execute the
+    /// first instruction uncached instead.
     fn build_block(
         &mut self,
         mem: &mut Memory,
         pc: u64,
         fingerprint: (u64, u64),
-    ) -> Result<std::sync::Arc<Block>, Trap> {
+    ) -> Result<Option<std::sync::Arc<Block>>, Trap> {
         let mut insts = Vec::new();
         let mut cur = pc;
         while insts.len() < BlockCache::max_block_insts() {
@@ -241,6 +256,11 @@ impl Cpu {
                     fault,
                 })?;
                 let word = if lo & 0b11 == 0b11 {
+                    // The upper parcel must sit in the same region as the
+                    // block fingerprint, or invalidation can't see it.
+                    if mem.code_fingerprint(cur + 2) != Some(fingerprint) {
+                        return Ok(None);
+                    }
                     let hi = mem.fetch_u16(cur + 2).map_err(|fault| Trap::Mem {
                         pc: fault.addr,
                         fault,
@@ -260,10 +280,16 @@ impl Cpu {
                 {
                     return Err(Trap::Illegal { pc: cur, raw: word });
                 }
-                Ok(decoded)
+                Ok(Some(decoded))
             })();
             let decoded = match fetched {
-                Ok(d) => d,
+                Ok(Some(d)) => d,
+                // First instruction straddles out of the region: the caller
+                // must run it uncached.
+                Ok(None) if insts.is_empty() => return Ok(None),
+                // A later one: truncate; the next dispatch re-fingerprints
+                // at the straddling pc and takes the uncached path there.
+                Ok(None) => break,
                 // First instruction faults: surface it, uncached.
                 Err(t) if insts.is_empty() => return Err(t),
                 // Later instruction faults: truncate; the dispatcher will
@@ -298,7 +324,7 @@ impl Cpu {
             region_start: fingerprint.0,
             region_gen: fingerprint.1,
         };
-        Ok(self.cache.insert(pc, self.profile, block))
+        Ok(Some(self.cache.insert(pc, self.profile, block)))
     }
 
     /// Executes a decoded instruction (pc at `self.hart.pc`, length `len`).

@@ -185,6 +185,54 @@ fn loop_is_hit_dominated_and_cycle_identical() {
     assert_eq!(cached.hart.xregs(), reference.hart.xregs());
 }
 
+/// A 4-byte instruction whose upper parcel lives in an *adjacent* executable
+/// region is never cached: a block's fingerprint only covers the region
+/// holding its start pc, so patching the neighbour region would not
+/// invalidate it. The straddling instruction must execute uncached and
+/// therefore observe the patch immediately.
+#[test]
+fn straddling_instruction_across_regions_is_never_stale() {
+    let straddler_old = encode(&addi(XReg::A0, XReg::A0, 1)).unwrap();
+    let straddler_new = encode(&addi(XReg::A0, XReg::A0, 100)).unwrap();
+    assert_eq!(
+        straddler_old & 0xffff,
+        straddler_new & 0xffff,
+        "test needs the rewrite to live entirely in the upper parcel"
+    );
+
+    // Lower region: a whole instruction, then the straddler's low parcel.
+    let mut lo_region = words(&[addi(XReg::A0, XReg::ZERO, 7)]);
+    lo_region.extend_from_slice(&(straddler_old as u16).to_le_bytes());
+    // Adjacent upper region: the straddler's high parcel, then ecall.
+    let mut hi_region = ((straddler_old >> 16) as u16).to_le_bytes().to_vec();
+    hi_region.extend_from_slice(&words(&[Inst::Ecall]));
+    let hi_start = BASE + lo_region.len() as u64;
+
+    for cached in [true, false] {
+        let mut cpu = if cached {
+            Cpu::new(ExtSet::RV64GC)
+        } else {
+            Cpu::new_uncached(ExtSet::RV64GC)
+        };
+        let mut mem = Memory::new();
+        mem.map_bytes(BASE, lo_region.clone(), Perms::RX, ".text.lo");
+        mem.map_bytes(hi_start, hi_region.clone(), Perms::RX, ".text.hi");
+
+        assert_eq!(run_to_ecall(&mut cpu, &mut mem), 8, "cached={cached}");
+        // Patch only the upper region: its generation moves, the lower
+        // region's does not. A block that cached the straddler under the
+        // lower region's fingerprint would dodge this invalidation.
+        mem.poke_code(hi_start, &((straddler_new >> 16) as u16).to_le_bytes())
+            .unwrap();
+        cpu.hart.set_x(XReg::A0, 0);
+        assert_eq!(
+            run_to_ecall(&mut cpu, &mut mem),
+            107,
+            "cached={cached}: stale straddling decode executed"
+        );
+    }
+}
+
 /// A store to a *different* (non-executable) region must not invalidate
 /// anything — generations only move for executable mappings.
 #[test]

@@ -256,12 +256,12 @@ impl ThreadedPool {
                 if remaining.load(Ordering::SeqCst) == 0 {
                     break;
                 }
-                // Own pool first, then steal from the other.
-                let job = own
-                    .lock()
-                    .expect("queue poisoned")
-                    .pop_front()
-                    .or_else(|| other.lock().expect("queue poisoned").pop_front());
+                // Own pool first, then steal from the other. The own-queue
+                // guard must drop before the other queue is locked: base and
+                // ext workers lock in opposite orders, so holding both
+                // ABBA-deadlocks two workers idling concurrently.
+                let job = own.lock().expect("queue poisoned").pop_front();
+                let job = job.or_else(|| other.lock().expect("queue poisoned").pop_front());
                 match job {
                     Some(j) => {
                         let cycles = j(pool);
@@ -371,5 +371,21 @@ mod tests {
         }
         let results = pool.run();
         assert_eq!(results.len(), 32);
+    }
+
+    /// Deadlock regression: idle base workers probe base→ext while idle ext
+    /// workers probe ext→base, so holding the own-queue lock across the
+    /// steal ABBA-deadlocks once both queues run dry with jobs in flight.
+    /// Tiny jobs and many iterations keep workers idle-spinning almost the
+    /// whole time, which hung reliably before the guard was dropped first.
+    #[test]
+    fn threaded_pool_idle_stealing_does_not_deadlock() {
+        for _ in 0..200 {
+            let pool = ThreadedPool::new(2, 2);
+            for i in 0..4u64 {
+                pool.spawn(if i % 2 == 0 { Pool::Base } else { Pool::Ext }, move |_p| i);
+            }
+            assert_eq!(pool.run().len(), 4);
+        }
     }
 }
