@@ -53,9 +53,11 @@ pub use chimera_isa as isa;
 pub use chimera_kernel as kernel;
 pub use chimera_obj as obj;
 pub use chimera_rewrite as rewrite;
+pub use chimera_trace as trace;
 pub use chimera_workloads as workloads;
 
 pub use chimera_emu::CacheStats;
+pub use chimera_trace::{export_json, summarize, MetricsRegistry, TraceEvent, Tracer};
 
 use chimera_isa::ExtSet;
 use chimera_kernel::{FaultCounters, KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
@@ -262,6 +264,85 @@ pub struct Measurement {
     pub cache: CacheStats,
 }
 
+/// `(registry name, accessor)` for every numeric [`Measurement`] field —
+/// the single source of truth [`Measurement::publish`] and
+/// [`Measurement::from_registry`] share.
+#[allow(clippy::type_complexity)]
+const MEASUREMENT_COUNTERS: [(&str, fn(&Measurement) -> u64); 12] = [
+    ("measure.cycles", |m| m.cycles),
+    ("measure.instret", |m| m.instret),
+    ("measure.indirect_jumps", |m| m.indirect_jumps),
+    ("measure.smile_faults", |m| m.counters.smile_faults),
+    ("measure.trap_trampolines", |m| m.counters.trap_trampolines),
+    ("measure.safer_corrections", |m| {
+        m.counters.safer_corrections
+    }),
+    ("measure.lazy_rewrites", |m| m.counters.lazy_rewrites),
+    ("measure.signals_gp_restored", |m| {
+        m.counters.signals_gp_restored
+    }),
+    ("measure.cache_hits", |m| m.cache.hits),
+    ("measure.cache_misses", |m| m.cache.misses),
+    ("measure.cache_invalidations", |m| m.cache.invalidations),
+    ("measure.blocks_built", |m| m.cache.blocks_built),
+];
+
+impl Measurement {
+    /// The single construction point from a finished kernel run.
+    fn from_run(cpu: &chimera_emu::Cpu, exit_code: i64, counters: FaultCounters) -> Measurement {
+        Measurement {
+            exit_code,
+            cycles: cpu.stats.cycles,
+            instret: cpu.stats.instret,
+            indirect_jumps: cpu.stats.indirect_jumps,
+            counters,
+            cache: cpu.cache.stats,
+        }
+    }
+
+    /// Publishes every field into `metrics` as `measure.*` counters
+    /// (monotonic: repeated publishes accumulate, matching runs that span
+    /// several measurements). The exit code is stored as
+    /// `measure.exit_code` and must be non-negative (every workload in
+    /// this repo exits 0..=255).
+    pub fn publish(&self, metrics: &MetricsRegistry) {
+        debug_assert!(self.exit_code >= 0, "negative exit codes not published");
+        metrics
+            .counter("measure.exit_code")
+            .add(self.exit_code as u64);
+        for (name, get) in MEASUREMENT_COUNTERS {
+            metrics.counter(name).add(get(self));
+        }
+    }
+
+    /// Reconstructs a measurement from `measure.*` counters previously
+    /// [`Measurement::publish`]ed into `metrics`. Returns `None` when no
+    /// measurement was published (the `measure.cycles` counter is absent).
+    pub fn from_registry(metrics: &MetricsRegistry) -> Option<Measurement> {
+        metrics.counter_value("measure.cycles")?;
+        let get = |name: &str| metrics.counter_value(name).unwrap_or(0);
+        Some(Measurement {
+            exit_code: get("measure.exit_code") as i64,
+            cycles: get("measure.cycles"),
+            instret: get("measure.instret"),
+            indirect_jumps: get("measure.indirect_jumps"),
+            counters: FaultCounters {
+                smile_faults: get("measure.smile_faults"),
+                trap_trampolines: get("measure.trap_trampolines"),
+                safer_corrections: get("measure.safer_corrections"),
+                lazy_rewrites: get("measure.lazy_rewrites"),
+                signals_gp_restored: get("measure.signals_gp_restored"),
+            },
+            cache: CacheStats {
+                hits: get("measure.cache_hits"),
+                misses: get("measure.cache_misses"),
+                invalidations: get("measure.cache_invalidations"),
+                blocks_built: get("measure.blocks_built"),
+            },
+        })
+    }
+}
+
 /// Errors from [`measure`].
 #[derive(Debug)]
 pub enum MeasureError {
@@ -284,17 +365,30 @@ impl std::error::Error for MeasureError {}
 
 /// Runs the process's view for `profile` to completion under the kernel.
 pub fn measure(process: &Process, profile: ExtSet, fuel: u64) -> Result<Measurement, MeasureError> {
+    measure_traced(process, profile, fuel, &Tracer::disabled())
+}
+
+/// [`measure`] with a trace handle threaded through the CPU and the
+/// kernel runner. On completion the measurement is also
+/// [`Measurement::publish`]ed into the tracer's metrics registry, so the
+/// trace dump carries the authoritative run totals to reconcile against.
+pub fn measure_traced(
+    process: &Process,
+    profile: ExtSet,
+    fuel: u64,
+    tracer: &Tracer,
+) -> Result<Measurement, MeasureError> {
     let (mut cpu, mut mem, view) = process.load(profile).ok_or(MeasureError::NoView)?;
-    let mut k = KernelRunner::new(view.tables.clone());
+    cpu.tracer = tracer.clone();
+    let mut k = KernelRunner::with_tracer(view.tables.clone(), tracer.clone());
     match k.run(&mut cpu, &mut mem, fuel) {
-        RunOutcome::Exited(code) => Ok(Measurement {
-            exit_code: code,
-            cycles: cpu.stats.cycles,
-            instret: cpu.stats.instret,
-            indirect_jumps: cpu.stats.indirect_jumps,
-            counters: k.counters,
-            cache: cpu.cache.stats,
-        }),
+        RunOutcome::Exited(code) => {
+            let m = Measurement::from_run(&cpu, code, k.counters);
+            if let Some(reg) = tracer.metrics() {
+                m.publish(reg);
+            }
+            Ok(m)
+        }
         RunOutcome::NeedsMigration { pc } => {
             Err(MeasureError::Run(format!("needs migration at {pc:#x}")))
         }
@@ -326,14 +420,9 @@ pub fn measure_or_fam_probe(
             cpu.hart.set_x(chimera_isa::XReg::GP, view.binary.gp);
             let mut k = KernelRunner::new(view.tables.clone());
             return Ok(match k.run(&mut cpu, &mut mem, fuel) {
-                RunOutcome::Exited(code) => FamResult::Completed(Measurement {
-                    exit_code: code,
-                    cycles: cpu.stats.cycles,
-                    instret: cpu.stats.instret,
-                    indirect_jumps: cpu.stats.indirect_jumps,
-                    counters: k.counters,
-                    cache: cpu.cache.stats,
-                }),
+                RunOutcome::Exited(code) => {
+                    FamResult::Completed(Measurement::from_run(&cpu, code, k.counters))
+                }
                 RunOutcome::NeedsMigration { .. } => FamResult::Migrated {
                     probe_cycles: cpu.stats.cycles,
                 },
@@ -343,14 +432,9 @@ pub fn measure_or_fam_probe(
     };
     let mut k = KernelRunner::new(view.tables.clone());
     match k.run(&mut cpu, &mut mem, fuel) {
-        RunOutcome::Exited(code) => Ok(FamResult::Completed(Measurement {
-            exit_code: code,
-            cycles: cpu.stats.cycles,
-            instret: cpu.stats.instret,
-            indirect_jumps: cpu.stats.indirect_jumps,
-            counters: k.counters,
-            cache: cpu.cache.stats,
-        })),
+        RunOutcome::Exited(code) => Ok(FamResult::Completed(Measurement::from_run(
+            &cpu, code, k.counters,
+        ))),
         RunOutcome::NeedsMigration { .. } => Ok(FamResult::Migrated {
             probe_cycles: cpu.stats.cycles,
         }),

@@ -22,6 +22,7 @@ use chimera_isa::{
     decode, BranchKind, DecodeError, Eew, Ext, ExtSet, FCmpKind, FMaKind, FOpKind, FpWidth, Inst,
     IntWidth, LoadKind, OpImmKind, OpKind, StoreKind, UnaryKind, VArithOp, VSrc, XReg,
 };
+use chimera_trace::{TraceEvent, Tracer, TrapKind};
 use core::fmt;
 
 /// A trap delivered to the (simulated) kernel.
@@ -92,6 +93,11 @@ pub struct Cpu {
     /// The basic-block decode cache (enabled by default; disable for the
     /// reference fetch/decode/execute path).
     pub cache: BlockCache,
+    /// The trace handle (disabled by default; see `chimera_trace`). The
+    /// CPU emits [`TraceEvent::BlockBuilt`], [`TraceEvent::CacheInvalidate`]
+    /// and [`TraceEvent::Trap`] — coarse events only, never per retired
+    /// instruction, so the enabled overhead stays bounded.
+    pub tracer: Tracer,
 }
 
 impl Cpu {
@@ -103,6 +109,7 @@ impl Cpu {
             cost: CostModel::default(),
             stats: ExecStats::default(),
             cache: BlockCache::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -122,6 +129,7 @@ impl Cpu {
         if !self.cache.enabled {
             for _ in 0..fuel {
                 if let Err(t) = self.step(mem) {
+                    self.trace_trap(&t);
                     return Stop::Trap(t);
                 }
             }
@@ -131,10 +139,35 @@ impl Cpu {
         while remaining > 0 {
             match self.step_block(mem, remaining) {
                 Ok(retired) => remaining -= retired.min(remaining),
-                Err(t) => return Stop::Trap(t),
+                Err(t) => {
+                    self.trace_trap(&t);
+                    return Stop::Trap(t);
+                }
             }
         }
         Stop::OutOfFuel
+    }
+
+    /// Emits a [`TraceEvent::Trap`] for a trap about to be delivered.
+    fn trace_trap(&self, t: &Trap) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let (pc, kind) = match *t {
+            Trap::Illegal { pc, .. } => (pc, TrapKind::Illegal),
+            Trap::Mem { pc, fault } => (
+                pc,
+                match fault.access {
+                    crate::mem::Access::Fetch => TrapKind::MemFetch,
+                    crate::mem::Access::Load => TrapKind::MemLoad,
+                    crate::mem::Access::Store => TrapKind::MemStore,
+                },
+            ),
+            Trap::Breakpoint { pc } => (pc, TrapKind::Breakpoint),
+            Trap::Ecall { pc } => (pc, TrapKind::Ecall),
+        };
+        self.tracer
+            .record(self.stats.cycles, TraceEvent::Trap { pc, kind });
     }
 
     /// Fetches, decodes and executes one instruction.
@@ -187,7 +220,14 @@ impl Cpu {
             self.step(mem)?;
             return Ok(1);
         };
-        let block = match self.cache.lookup(pc, self.profile, fp) {
+        let inv_before = self.cache.stats.invalidations;
+        let looked_up = self.cache.lookup(pc, self.profile, fp);
+        if self.cache.stats.invalidations != inv_before {
+            self.tracer
+                .record(self.stats.cycles, TraceEvent::CacheInvalidate { pc });
+            self.tracer.count("emu.cache_invalidations", 1);
+        }
+        let block = match looked_up {
             Some(b) => b,
             None => match self.build_block(mem, pc, fp)? {
                 Some(b) => b,
@@ -324,7 +364,18 @@ impl Cpu {
             region_start: fingerprint.0,
             region_gen: fingerprint.1,
         };
-        Ok(Some(self.cache.insert(pc, self.profile, block)))
+        let cached = self.cache.insert(pc, self.profile, block);
+        if self.tracer.is_enabled() {
+            self.tracer.record(
+                self.stats.cycles,
+                TraceEvent::BlockBuilt {
+                    pc,
+                    insts: cached.insts.len() as u64,
+                },
+            );
+            self.tracer.count("emu.blocks_built", 1);
+        }
+        Ok(Some(cached))
     }
 
     /// Executes a decoded instruction (pc at `self.hart.pc`, length `len`).

@@ -39,8 +39,12 @@ pub use cpu::{Cpu, Stop, Trap};
 pub use hart::{Hart, VLENB};
 pub use mem::{Access, MemFault, Memory, Region};
 pub use runner::{
-    boot, run_binary, run_binary_on, run_binary_with, run_cpu, sys, RunError, RunResult,
+    boot, run_binary, run_binary_on, run_binary_traced, run_binary_with, run_cpu, sys, RunError,
+    RunResult,
 };
+// Re-exported so emulator users can construct tracers without a separate
+// chimera-trace dependency line.
+pub use chimera_trace::{TraceEvent, Tracer, TrapKind};
 
 #[cfg(test)]
 mod tests {

@@ -11,6 +11,7 @@ use crate::cpu::{Cpu, Stop, Trap};
 use crate::mem::Memory;
 use chimera_isa::{ExtSet, XReg};
 use chimera_obj::{Binary, STACK_TOP};
+use chimera_trace::Tracer;
 
 /// Syscall numbers (Linux RV64 numbers for familiarity).
 pub mod sys {
@@ -96,6 +97,24 @@ pub fn run_binary_with(
 ) -> Result<RunResult, RunError> {
     let (mut cpu, mut mem) = boot(binary, profile);
     cpu.cache.enabled = decode_cache;
+    run_cpu(&mut cpu, &mut mem, fuel)
+}
+
+/// Like [`run_binary_with`], with a [`Tracer`] handle attached to the CPU.
+///
+/// Tracing is transparent: results (exit code, stdout, stats, registers)
+/// are bit-identical to the untraced run — `trace_overhead` and the
+/// differential suite assert it.
+pub fn run_binary_traced(
+    binary: &Binary,
+    profile: ExtSet,
+    fuel: u64,
+    decode_cache: bool,
+    tracer: &Tracer,
+) -> Result<RunResult, RunError> {
+    let (mut cpu, mut mem) = boot(binary, profile);
+    cpu.cache.enabled = decode_cache;
+    cpu.tracer = tracer.clone();
     run_cpu(&mut cpu, &mut mem, fuel)
 }
 

@@ -15,4 +15,10 @@ mod sched;
 
 pub use process::{sync_vectors_from_spill, sync_vectors_to_spill, Process, Variant, LAZY_SLACK};
 pub use runtime::{FaultCounters, KernelRunner, RunOutcome, RuntimeTables, SIGRETURN_ADDR};
-pub use sched::{simulate_work_stealing, Pool, SimMachine, SimResult, TaskCost, ThreadedPool};
+pub use sched::{
+    simulate_work_stealing, simulate_work_stealing_traced, Pool, SimMachine, SimResult, TaskCost,
+    ThreadedPool,
+};
+// Re-exported so kernel users can construct tracers without a separate
+// chimera-trace dependency line.
+pub use chimera_trace::{TraceEvent, Tracer};

@@ -16,6 +16,7 @@ use chimera_emu::{Cpu, Memory, VLENB};
 use chimera_isa::{Eew, ExtSet, VReg, XReg};
 use chimera_obj::{Binary, Perms, STACK_SIZE, STACK_TOP};
 use chimera_rewrite::translate::SpillLayout;
+use chimera_trace::{TraceEvent, Tracer};
 
 /// Extra executable slack mapped after the target section for lazy
 /// rewriting at runtime.
@@ -123,6 +124,33 @@ impl Process {
             }
         }
         cpu.profile = to_profile;
+        true
+    }
+
+    /// [`Process::switch_view`] with migration tracing: on success, emits
+    /// [`TraceEvent::TaskMigrated`] (`from_base` = the new view is strictly
+    /// more capable than the old, i.e. the task is moving *up* off a base
+    /// core) and bumps `process.view_switches`.
+    pub fn switch_view_traced(
+        &self,
+        mem: &mut Memory,
+        cpu: &mut Cpu,
+        to_profile: ExtSet,
+        task: u64,
+        tracer: &Tracer,
+    ) -> bool {
+        let from_profile = cpu.profile;
+        if !self.switch_view(mem, cpu, to_profile) {
+            return false;
+        }
+        if tracer.is_enabled() {
+            let from_base = to_profile != from_profile && to_profile.is_superset_of(from_profile);
+            tracer.record(
+                cpu.stats.cycles,
+                TraceEvent::TaskMigrated { task, from_base },
+            );
+            tracer.count("process.view_switches", 1);
+        }
         true
     }
 

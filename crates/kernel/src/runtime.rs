@@ -25,6 +25,7 @@ use chimera_isa::{decode, ExtSet, Inst, XReg};
 use chimera_rewrite::emitter::BlockEmitter;
 use chimera_rewrite::translate::Translator;
 use chimera_rewrite::{FaultTable, RegenInfo};
+use chimera_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
 /// The magic return address installed in `ra` for signal handlers; a jump
@@ -95,11 +96,21 @@ pub struct KernelRunner {
     pub stdout: Vec<u8>,
     /// Saved context while a signal handler runs.
     signal_ctx: Option<chimera_emu::Hart>,
+    /// The trace handle (disabled by default). The kernel emits
+    /// [`TraceEvent::SmileFaultRecovered`] and [`TraceEvent::LazyRewrite`]
+    /// and mirrors every [`FaultCounters`] field into `kernel.*` counters,
+    /// so traces reconcile exactly against the struct.
+    pub tracer: Tracer,
 }
 
 impl KernelRunner {
     /// Creates a runner with the given tables.
     pub fn new(tables: RuntimeTables) -> Self {
+        KernelRunner::with_tracer(tables, Tracer::disabled())
+    }
+
+    /// Creates a runner with the given tables and trace handle.
+    pub fn with_tracer(tables: RuntimeTables, tracer: Tracer) -> Self {
         KernelRunner {
             tables,
             counters: FaultCounters::default(),
@@ -107,6 +118,7 @@ impl KernelRunner {
             lazy_cursor: None,
             stdout: Vec::new(),
             signal_ctx: None,
+            tracer,
         }
     }
 
@@ -124,6 +136,7 @@ impl KernelRunner {
                 // "Restoring gp" before the handler observes it.
                 cpu.hart.set_x(XReg::GP, fht.abi_gp);
                 self.counters.signals_gp_restored += 1;
+                self.tracer.count("kernel.signals_gp_restored", 1);
             }
         }
         cpu.hart.set_x(XReg::RA, SIGRETURN_ADDR);
@@ -152,6 +165,22 @@ impl KernelRunner {
                 TrapResult::Fatal(msg) => return RunOutcome::Fatal(msg),
             }
         }
+    }
+
+    /// Emits the trace event + metrics for one recovered SMILE fault.
+    fn trace_smile_recovery(&self, cpu: &Cpu, fault_addr: u64, redirect: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.record(
+            cpu.stats.cycles,
+            TraceEvent::SmileFaultRecovered {
+                fault_addr,
+                redirect,
+            },
+        );
+        self.tracer.count("kernel.smile_faults", 1);
+        self.tracer.observe("kernel.fault_cycles", cpu.cost.trap);
     }
 
     fn handle_trap(&mut self, trap: Trap, cpu: &mut Cpu, mem: &mut Memory) -> TrapResult {
@@ -194,6 +223,7 @@ impl KernelRunner {
                 let fault_addr = cpu.hart.gp().wrapping_sub(4);
                 if let Some(&redirect) = fht.redirects.get(&fault_addr) {
                     self.counters.smile_faults += 1;
+                    self.trace_smile_recovery(cpu, fault_addr, redirect);
                     // Restore gp and redirect (§4.3).
                     cpu.hart.set_x(XReg::GP, fht.abi_gp);
                     cpu.hart.pc = redirect;
@@ -214,6 +244,7 @@ impl KernelRunner {
                 if let Some(fht) = &fht {
                     if let Some(&redirect) = fht.redirects.get(&pc) {
                         self.counters.smile_faults += 1;
+                        self.trace_smile_recovery(cpu, pc, redirect);
                         cpu.hart.set_x(XReg::GP, fht.abi_gp);
                         cpu.hart.pc = redirect;
                         return TrapResult::Resume;
@@ -229,8 +260,15 @@ impl KernelRunner {
                 match decode(raw) {
                     Ok(d) if !d.inst.runnable_on(cpu.profile) => {
                         if let Some(fht) = &fht {
-                            if self.lazy_rewrite(pc, d.inst, d.len, fht, cpu.profile, mem) {
+                            if let Some(block) =
+                                self.lazy_rewrite(pc, d.inst, d.len, fht, cpu.profile, mem)
+                            {
                                 self.counters.lazy_rewrites += 1;
+                                self.tracer.record(
+                                    cpu.stats.cycles,
+                                    TraceEvent::LazyRewrite { pc, block },
+                                );
+                                self.tracer.count("kernel.lazy_rewrites", 1);
                                 // Resume at the same pc: it now traps into
                                 // the freshly built block.
                                 return TrapResult::Resume;
@@ -248,6 +286,7 @@ impl KernelRunner {
                 // Lazy entries first (they shadow nothing else).
                 if let Some(&block) = self.lazy_entries.get(&pc) {
                     self.counters.trap_trampolines += 1;
+                    self.tracer.count("kernel.trap_trampolines", 1);
                     cpu.hart.pc = block;
                     return TrapResult::Resume;
                 }
@@ -266,6 +305,7 @@ impl KernelRunner {
                             cpu.hart.set_x(link, st.link_value);
                         }
                         self.counters.safer_corrections += 1;
+                        self.tracer.count("kernel.safer_corrections", 1);
                         cpu.hart.pc = new;
                         return TrapResult::Resume;
                     }
@@ -273,11 +313,13 @@ impl KernelRunner {
                 if let Some(fht) = &self.tables.fht {
                     if let Some(&block) = fht.trap_entries.get(&pc) {
                         self.counters.trap_trampolines += 1;
+                        self.tracer.count("kernel.trap_trampolines", 1);
                         cpu.hart.pc = block;
                         return TrapResult::Resume;
                     }
                     if let Some(&resume) = fht.trap_exits.get(&pc) {
                         self.counters.trap_trampolines += 1;
+                        self.tracer.count("kernel.trap_trampolines", 1);
                         cpu.hart.pc = resume;
                         return TrapResult::Resume;
                     }
@@ -289,7 +331,8 @@ impl KernelRunner {
 
     /// Lazy rewriting (§4.1/§4.3): translate the faulting instruction now,
     /// append the block after the target section, patch the site with a
-    /// trap entry, and let execution re-trap into it.
+    /// trap entry, and let execution re-trap into it. Returns the address
+    /// of the freshly emitted block.
     fn lazy_rewrite(
         &mut self,
         pc: u64,
@@ -298,7 +341,7 @@ impl KernelRunner {
         fht: &FaultTable,
         _profile: ExtSet,
         mem: &mut Memory,
-    ) -> bool {
+    ) -> Option<u64> {
         // Grow region: right after the target section (the loader maps the
         // section with slack; see `Process::load`).
         let cursor = self
@@ -309,7 +352,7 @@ impl KernelRunner {
         let mut em = BlockEmitter::new(cursor);
         em.li32(XReg::GP, fht.abi_gp as i64);
         if translator.downgrade(&inst, &mut em).is_err() {
-            return false;
+            return None;
         }
         let resume = pc + len as u64;
         // Exit: a register trampoline cannot be chosen lazily without
@@ -318,7 +361,7 @@ impl KernelRunner {
         em.inst(Inst::Ebreak);
         let bytes = em.finish();
         if mem.poke_code(cursor, &bytes).is_err() {
-            return false;
+            return None;
         }
         self.lazy_cursor = Some(cursor + bytes.len() as u64);
         // Patch the site with an ebreak entry.
@@ -334,14 +377,14 @@ impl KernelRunner {
                 .to_vec()
         };
         if mem.poke_code(pc, &patch).is_err() {
-            return false;
+            return None;
         }
         self.lazy_entries.insert(pc, cursor);
         // Exit trap returns to the instruction after the site.
         if let Some(fht_mut) = self.tables.fht.as_mut() {
             fht_mut.trap_exits.insert(exit_at, resume);
         }
-        true
+        Some(cursor)
     }
 }
 

@@ -14,6 +14,7 @@
 //!   (two mutex-protected deques, one per core class), used by the examples
 //!   and integration tests to run emulated tasks genuinely concurrently.
 
+use chimera_trace::{TraceEvent, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -77,6 +78,22 @@ pub struct SimResult {
 
 /// Runs the deterministic work-stealing simulation to completion.
 pub fn simulate_work_stealing(machine: SimMachine, tasks: &[TaskCost]) -> SimResult {
+    simulate_work_stealing_traced(machine, tasks, &Tracer::disabled())
+}
+
+/// [`simulate_work_stealing`] with a trace handle.
+///
+/// Task ids in the emitted events are indices into `tasks`. Per task, one
+/// [`TraceEvent::TaskScheduled`] fires for every dispatch (including the
+/// base-core attempt a FAM task faults out of), one
+/// [`TraceEvent::TaskMigrated`] per FAM requeue, and a
+/// [`TraceEvent::StealAttempt`] per cross-pool steal probe — so for every
+/// task, `scheduled - migrated == 1` exactly.
+pub fn simulate_work_stealing_traced(
+    machine: SimMachine,
+    tasks: &[TaskCost],
+    tracer: &Tracer,
+) -> SimResult {
     #[derive(Debug)]
     struct Core {
         pool: Pool,
@@ -103,6 +120,8 @@ pub fn simulate_work_stealing(machine: SimMachine, tasks: &[TaskCost]) -> SimRes
     /// base cores stop re-stealing (and re-faulting on) them.
     #[derive(Clone, Copy)]
     struct QTask {
+        /// Index into the caller's task slice (stable across requeues).
+        id: usize,
         cost: TaskCost,
         pinned: bool,
         /// Earliest time the task may start (FAM requeues arrive when the
@@ -112,8 +131,9 @@ pub fn simulate_work_stealing(machine: SimMachine, tasks: &[TaskCost]) -> SimRes
     let mut base_q: VecDeque<QTask> = VecDeque::new();
     let mut ext_q: VecDeque<QTask> = VecDeque::new();
     let mut result = SimResult::default();
-    for t in tasks {
+    for (id, t) in tasks.iter().enumerate() {
         let q = QTask {
+            id,
             cost: *t,
             pinned: false,
             ready_at: 0,
@@ -136,30 +156,53 @@ pub fn simulate_work_stealing(machine: SimMachine, tasks: &[TaskCost]) -> SimRes
         // FAM) task.
         let mut order: Vec<usize> = (0..cores.len()).collect();
         order.sort_by_key(|&i| (cores[i].free_at, i));
-        let mut picked: Option<(usize, QTask)> = None;
+        let mut picked: Option<(usize, QTask, bool)> = None;
         for idx in order {
             let pool = cores[idx].pool;
+            let free_at = cores[idx].free_at;
             let (own, other) = match pool {
                 Pool::Base => (&mut base_q, &mut ext_q),
                 Pool::Ext => (&mut ext_q, &mut base_q),
             };
             if let Some(t) = own.pop_front() {
-                picked = Some((idx, t));
+                picked = Some((idx, t, false));
                 break;
             }
             let stealable = other.iter().position(|t| pool == Pool::Ext || !t.pinned);
+            if tracer.is_enabled() && !other.is_empty() {
+                tracer.record(
+                    free_at,
+                    TraceEvent::StealAttempt {
+                        worker: idx as u64,
+                        from_ext: pool == Pool::Base,
+                        success: stealable.is_some(),
+                    },
+                );
+                if stealable.is_some() {
+                    tracer.count("sched.steals", 1);
+                }
+            }
             if let Some(i) = stealable {
-                picked = Some((idx, other.remove(i).expect("indexed")));
+                picked = Some((idx, other.remove(i).expect("indexed"), true));
                 break;
             }
         }
-        let Some((idx, task)) = picked else {
+        let Some((idx, task, stolen)) = picked else {
             // Only pinned extension work remains and there are no
             // extension cores: nothing can make progress.
             break;
         };
         let core = &mut cores[idx];
         let start = core.free_at.max(task.ready_at);
+        tracer.record(
+            start,
+            TraceEvent::TaskScheduled {
+                task: task.id as u64,
+                on_ext: core.pool == Pool::Ext,
+                stolen,
+            },
+        );
+        tracer.count("sched.tasks_scheduled", 1);
         match (core.pool, task.cost.on_base) {
             (Pool::Ext, _) => {
                 core.free_at = start + task.cost.on_ext;
@@ -179,7 +222,19 @@ pub fn simulate_work_stealing(machine: SimMachine, tasks: &[TaskCost]) -> SimRes
                 core.free_at = start + burn;
                 core.busy += burn;
                 result.migrations += 1;
+                if tracer.is_enabled() {
+                    tracer.record(
+                        start + burn,
+                        TraceEvent::TaskMigrated {
+                            task: task.id as u64,
+                            from_base: true,
+                        },
+                    );
+                    tracer.count("sched.migrations", 1);
+                    tracer.observe("sched.migrate_cycles", burn);
+                }
                 ext_q.push_back(QTask {
+                    id: task.id,
                     cost: task.cost,
                     pinned: true,
                     ready_at: start + burn,
@@ -201,6 +256,7 @@ pub struct ThreadedPool {
     remaining: Arc<AtomicUsize>,
     base_workers: usize,
     ext_workers: usize,
+    tracer: Tracer,
 }
 
 type Job = Box<dyn FnOnce(Pool) -> u64 + Send>;
@@ -208,6 +264,15 @@ type Job = Box<dyn FnOnce(Pool) -> u64 + Send>;
 impl ThreadedPool {
     /// Creates a pool with the given worker counts.
     pub fn new(base_workers: usize, ext_workers: usize) -> Self {
+        ThreadedPool::with_tracer(base_workers, ext_workers, Tracer::disabled())
+    }
+
+    /// Creates a pool that emits [`TraceEvent::TaskScheduled`] (task id =
+    /// completion index, timestamp = the job's simulated cycles) and a
+    /// successful [`TraceEvent::StealAttempt`] per cross-pool steal.
+    /// Idle-spin probe misses are *not* recorded (they would flood the
+    /// trace while workers wait), only steals that dequeued work.
+    pub fn with_tracer(base_workers: usize, ext_workers: usize, tracer: Tracer) -> Self {
         ThreadedPool {
             queue_base: Arc::new(Mutex::new(VecDeque::new())),
             queue_ext: Arc::new(Mutex::new(VecDeque::new())),
@@ -215,6 +280,7 @@ impl ThreadedPool {
             remaining: Arc::new(AtomicUsize::new(0)),
             base_workers,
             ext_workers,
+            tracer,
         }
     }
 
@@ -252,6 +318,7 @@ impl ThreadedPool {
             let results = Arc::clone(&self.results);
             let remaining = Arc::clone(&self.remaining);
             let seq = Arc::clone(&seq);
+            let tracer = self.tracer.clone();
             handles.push(std::thread::spawn(move || loop {
                 if remaining.load(Ordering::SeqCst) == 0 {
                     break;
@@ -261,11 +328,36 @@ impl ThreadedPool {
                 // ext workers lock in opposite orders, so holding both
                 // ABBA-deadlocks two workers idling concurrently.
                 let job = own.lock().expect("queue poisoned").pop_front();
-                let job = job.or_else(|| other.lock().expect("queue poisoned").pop_front());
+                let mut stolen = false;
+                let job = job.or_else(|| {
+                    let j = other.lock().expect("queue poisoned").pop_front();
+                    stolen = j.is_some();
+                    j
+                });
                 match job {
                     Some(j) => {
+                        if stolen {
+                            tracer.record(
+                                0,
+                                TraceEvent::StealAttempt {
+                                    worker: wid as u64,
+                                    from_ext: pool == Pool::Base,
+                                    success: true,
+                                },
+                            );
+                            tracer.count("pool.steals", 1);
+                        }
                         let cycles = j(pool);
                         let idx = seq.fetch_add(1, Ordering::SeqCst);
+                        tracer.record(
+                            cycles,
+                            TraceEvent::TaskScheduled {
+                                task: idx as u64,
+                                on_ext: pool == Pool::Ext,
+                                stolen,
+                            },
+                        );
+                        tracer.count("pool.tasks_run", 1);
                         results
                             .lock()
                             .expect("results poisoned")

@@ -28,6 +28,7 @@ use crate::translate::{SpillLayout, Translator};
 use chimera_analysis::{disassemble, Cfg, DisasmInst, Disassembly, Liveness};
 use chimera_isa::{encode, Ext, ExtSet, Inst, XReg};
 use chimera_obj::{pcrel_hi_lo, Binary, Perms};
+use chimera_trace::{RewritePass, TraceEvent, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What the rewrite should do with source instructions.
@@ -189,13 +190,33 @@ pub fn chbp_rewrite(
     target: ExtSet,
     opts: RewriteOptions,
 ) -> Result<Rewritten, RewriteError> {
+    chbp_rewrite_traced(binary, target, opts, &Tracer::disabled())
+}
+
+/// [`chbp_rewrite`] with per-pass timing: each pipeline pass emits a
+/// [`TraceEvent::RewritePassDone`] carrying its wall-clock duration and an
+/// item count, plus `rewrite.*` counters mirroring [`RewriteStats`].
+/// Rewrite-time events are timestamped at cycle 0 (there is no simulated
+/// clock at rewrite time); durations live in the event payload, so traces
+/// of deterministic runs stay deterministic apart from those payloads.
+pub fn chbp_rewrite_traced(
+    binary: &Binary,
+    target: ExtSet,
+    opts: RewriteOptions,
+    tracer: &Tracer,
+) -> Result<Rewritten, RewriteError> {
+    let mut pass_timer = PassTimer::new(tracer);
     binary
         .validate()
         .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
+    pass_timer.done(RewritePass::Validate, 1);
 
     let d = disassemble(binary);
+    pass_timer.done(RewritePass::Disassemble, d.insts.len() as u64);
     let cfg = Cfg::build(&d);
+    pass_timer.done(RewritePass::Cfg, cfg.blocks.len() as u64);
     let liveness = Liveness::compute(&cfg);
+    pass_timer.done(RewritePass::Liveness, cfg.blocks.len() as u64);
 
     let mut out = binary.clone();
     let mut stats = RewriteStats {
@@ -390,8 +411,10 @@ pub fn chbp_rewrite(
 
         covered_until = region.space_end;
     }
+    pass_timer.done(RewritePass::EmitBlocks, sources.len() as u64);
 
     // Apply text patches.
+    let patch_count = text_patches.len() as u64;
     for (addr, bytes) in text_patches {
         if !out.write(addr, &bytes) {
             return Err(RewriteError::Layout(format!(
@@ -417,11 +440,50 @@ pub fn chbp_rewrite(
 
     out.validate()
         .map_err(|e| RewriteError::BadBinary(format!("rewritten binary invalid: {e}")))?;
+    pass_timer.done(RewritePass::ApplyPatches, patch_count);
+    if tracer.is_enabled() {
+        tracer.count("rewrite.smile_trampolines", stats.smile_trampolines as u64);
+        tracer.count(
+            "rewrite.constrained_smiles",
+            stats.constrained_smiles as u64,
+        );
+        tracer.count("rewrite.trap_entries", stats.trap_entries as u64);
+        tracer.count("rewrite.trap_exits", stats.trap_exits as u64);
+        tracer.count("rewrite.untranslated", fht.untranslated.len() as u64);
+        tracer.count("rewrite.target_bytes", stats.target_section_size);
+    }
     Ok(Rewritten {
         binary: out,
         fht,
         stats,
     })
+}
+
+/// Times rewrite pipeline passes and reports them to a tracer. Inert (no
+/// clock reads) when the tracer is disabled.
+struct PassTimer<'a> {
+    tracer: &'a Tracer,
+    last: Option<std::time::Instant>,
+}
+
+impl<'a> PassTimer<'a> {
+    fn new(tracer: &'a Tracer) -> Self {
+        PassTimer {
+            tracer,
+            last: tracer.is_enabled().then(std::time::Instant::now),
+        }
+    }
+
+    fn done(&mut self, pass: RewritePass, items: u64) {
+        let Some(last) = self.last else {
+            return;
+        };
+        let nanos = last.elapsed().as_nanos() as u64;
+        self.tracer
+            .record(0, TraceEvent::RewritePassDone { pass, nanos, items });
+        self.tracer.observe("rewrite.pass_nanos", nanos);
+        self.last = Some(std::time::Instant::now());
+    }
 }
 
 /// A reserved compressed encoding (quadrant 0, funct3 = 100): guaranteed

@@ -12,8 +12,8 @@ pub mod smile;
 pub mod translate;
 
 pub use chbp::{
-    chbp_rewrite, verify_claim1, FaultTable, Mode, RewriteError, RewriteOptions, RewriteStats,
-    Rewritten,
+    chbp_rewrite, chbp_rewrite_traced, verify_claim1, FaultTable, Mode, RewriteError,
+    RewriteOptions, RewriteStats, Rewritten,
 };
 pub mod regen;
 

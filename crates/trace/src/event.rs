@@ -1,0 +1,187 @@
+//! The typed event taxonomy shared by the emulator, kernel and rewriter.
+//!
+//! Events are deliberately coarse: one per basic-block build, trap, fault
+//! recovery, scheduling decision or rewrite pass — never one per retired
+//! instruction — so an enabled tracer stays within its overhead budget.
+
+/// Why a trap was delivered (a dependency-free mirror of
+/// `chimera_emu::Trap`, so this crate can sit below the emulator in the
+/// dependency graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapKind {
+    /// Illegal instruction (undecodable, reserved, or extension-gated).
+    Illegal,
+    /// Fetch from non-executable memory — the deterministic SMILE fault.
+    MemFetch,
+    /// Data load fault.
+    MemLoad,
+    /// Data store fault.
+    MemStore,
+    /// `ebreak` (trap-based trampolines).
+    Breakpoint,
+    /// `ecall` (system call).
+    Ecall,
+}
+
+impl TrapKind {
+    /// Short identifier for the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrapKind::Illegal => "illegal",
+            TrapKind::MemFetch => "mem_fetch",
+            TrapKind::MemLoad => "mem_load",
+            TrapKind::MemStore => "mem_store",
+            TrapKind::Breakpoint => "breakpoint",
+            TrapKind::Ecall => "ecall",
+        }
+    }
+}
+
+/// A phase of the CHBP rewriting pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewritePass {
+    /// Linear-sweep disassembly.
+    Disassemble,
+    /// Control-flow-graph construction.
+    Cfg,
+    /// Register liveness analysis.
+    Liveness,
+    /// Target-block emission + trampoline placement (the main loop).
+    EmitBlocks,
+    /// Text patching and target-section attachment.
+    ApplyPatches,
+    /// Output-binary validation.
+    Validate,
+}
+
+impl RewritePass {
+    /// Short identifier for the JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            RewritePass::Disassemble => "disassemble",
+            RewritePass::Cfg => "cfg",
+            RewritePass::Liveness => "liveness",
+            RewritePass::EmitBlocks => "emit_blocks",
+            RewritePass::ApplyPatches => "apply_patches",
+            RewritePass::Validate => "validate",
+        }
+    }
+}
+
+/// One traced occurrence. Every variant carries enough payload to be
+/// useful on its own in a `results/trace-*.json` dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The decode cache built (and inserted) a basic block.
+    BlockBuilt {
+        /// Block start pc.
+        pc: u64,
+        /// Decoded instructions in the block.
+        insts: u64,
+    },
+    /// A cached block was dropped because its region fingerprint went
+    /// stale (lazy rewriting, MMView remap, or guest self-modification).
+    CacheInvalidate {
+        /// The pc whose lookup found the stale block.
+        pc: u64,
+    },
+    /// A trap was delivered to the kernel.
+    Trap {
+        /// Trapping pc (fetch-fault address for fetch faults).
+        pc: u64,
+        /// Trap class.
+        kind: TrapKind,
+    },
+    /// The passive fault handler recovered a deterministic SMILE fault.
+    SmileFaultRecovered {
+        /// The overwritten-instruction address the fault encoded.
+        fault_addr: u64,
+        /// Where execution was redirected (the instruction's copy).
+        redirect: u64,
+    },
+    /// The kernel lazily rewrote an instruction the static pass missed.
+    LazyRewrite {
+        /// The faulting site that was patched.
+        pc: u64,
+        /// The freshly emitted block's address.
+        block: u64,
+    },
+    /// A task migrated across core pools (FAM fault-and-migrate).
+    TaskMigrated {
+        /// Task index.
+        task: u64,
+        /// True when the migration left a base core for the ext pool.
+        from_base: bool,
+    },
+    /// A task started executing on a core.
+    TaskScheduled {
+        /// Task index.
+        task: u64,
+        /// True when the executing core is in the extension pool.
+        on_ext: bool,
+        /// Whether the core took the task from the other pool's queue.
+        stolen: bool,
+    },
+    /// A worker probed the other pool's queue for work.
+    StealAttempt {
+        /// Worker (core) index.
+        worker: u64,
+        /// True when the victim queue was the extension pool's.
+        from_ext: bool,
+        /// Whether a task was actually taken.
+        success: bool,
+    },
+    /// A rewriting pass finished.
+    RewritePassDone {
+        /// Which pass.
+        pass: RewritePass,
+        /// Wall-clock duration in nanoseconds.
+        nanos: u64,
+        /// Pass-specific work-item count (instructions, sites, patches…).
+        items: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event-type tag used in JSON dumps and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::BlockBuilt { .. } => "BlockBuilt",
+            TraceEvent::CacheInvalidate { .. } => "CacheInvalidate",
+            TraceEvent::Trap { .. } => "Trap",
+            TraceEvent::SmileFaultRecovered { .. } => "SmileFaultRecovered",
+            TraceEvent::LazyRewrite { .. } => "LazyRewrite",
+            TraceEvent::TaskMigrated { .. } => "TaskMigrated",
+            TraceEvent::TaskScheduled { .. } => "TaskScheduled",
+            TraceEvent::StealAttempt { .. } => "StealAttempt",
+            TraceEvent::RewritePassDone { .. } => "RewritePassDone",
+        }
+    }
+
+    /// Every event-type tag, in a fixed order (used by coverage checks).
+    pub const KINDS: [&'static str; 9] = [
+        "BlockBuilt",
+        "CacheInvalidate",
+        "Trap",
+        "SmileFaultRecovered",
+        "LazyRewrite",
+        "TaskMigrated",
+        "TaskScheduled",
+        "StealAttempt",
+        "RewritePassDone",
+    ];
+}
+
+/// A recorded event: the payload plus a global sequence number (total
+/// order across threads) and a simulated-cycle timestamp supplied by the
+/// recording site (the emulator's cost-model clock; 0 for rewrite-time
+/// events, which predate execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global sequence number (drain order).
+    pub seq: u64,
+    /// Simulated cycles at record time.
+    pub cycles: u64,
+    /// The event.
+    pub event: TraceEvent,
+}

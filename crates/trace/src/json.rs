@@ -1,0 +1,182 @@
+//! Hand-rolled JSON export (the workspace is registry-dependency-free, so
+//! no serde) plus a compact text summary.
+//!
+//! The schema of a `results/trace-*.json` dump:
+//!
+//! ```json
+//! {
+//!   "name": "hetero",
+//!   "dropped": 0,
+//!   "events": [
+//!     {"seq": 0, "cycles": 0, "type": "RewritePassDone",
+//!      "pass": "disassemble", "nanos": 1234, "items": 56},
+//!     {"seq": 7, "cycles": 4100, "type": "Trap",
+//!      "pc": 65588, "kind": "illegal"}
+//!   ],
+//!   "counters": {"kernel.smile_faults": 1},
+//!   "histograms": {
+//!     "kernel.fault_cycles": {"count": 1, "sum": 800,
+//!                             "buckets": [[512, 1]]}
+//!   }
+//! }
+//! ```
+//!
+//! Addresses and cycle counts are plain JSON numbers (all values in this
+//! codebase stay far below 2^53).
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn event_fields(e: &TraceEvent, out: &mut String) {
+    match *e {
+        TraceEvent::BlockBuilt { pc, insts } => {
+            let _ = write!(out, "\"pc\": {pc}, \"insts\": {insts}");
+        }
+        TraceEvent::CacheInvalidate { pc } => {
+            let _ = write!(out, "\"pc\": {pc}");
+        }
+        TraceEvent::Trap { pc, kind } => {
+            let _ = write!(out, "\"pc\": {pc}, \"kind\": \"{}\"", kind.name());
+        }
+        TraceEvent::SmileFaultRecovered {
+            fault_addr,
+            redirect,
+        } => {
+            let _ = write!(
+                out,
+                "\"fault_addr\": {fault_addr}, \"redirect\": {redirect}"
+            );
+        }
+        TraceEvent::LazyRewrite { pc, block } => {
+            let _ = write!(out, "\"pc\": {pc}, \"block\": {block}");
+        }
+        TraceEvent::TaskMigrated { task, from_base } => {
+            let _ = write!(out, "\"task\": {task}, \"from_base\": {from_base}");
+        }
+        TraceEvent::TaskScheduled {
+            task,
+            on_ext,
+            stolen,
+        } => {
+            let _ = write!(
+                out,
+                "\"task\": {task}, \"on_ext\": {on_ext}, \"stolen\": {stolen}"
+            );
+        }
+        TraceEvent::StealAttempt {
+            worker,
+            from_ext,
+            success,
+        } => {
+            let _ = write!(
+                out,
+                "\"worker\": {worker}, \"from_ext\": {from_ext}, \"success\": {success}"
+            );
+        }
+        TraceEvent::RewritePassDone { pass, nanos, items } => {
+            let _ = write!(
+                out,
+                "\"pass\": \"{}\", \"nanos\": {nanos}, \"items\": {items}",
+                pass.name()
+            );
+        }
+    }
+}
+
+/// Serializes a drained trace plus its metrics registry.
+pub fn export_json(
+    name: &str,
+    records: &[TraceRecord],
+    metrics: Option<&MetricsRegistry>,
+    dropped: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"name\": \"");
+    escape(name, &mut out);
+    let _ = writeln!(out, "\",\n  \"dropped\": {dropped},");
+    out.push_str("  \"events\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"seq\": {}, \"cycles\": {}, \"type\": \"{}\", ",
+            r.seq,
+            r.cycles,
+            r.event.kind()
+        );
+        event_fields(&r.event, &mut out);
+        out.push_str(if i + 1 == records.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ],\n  \"counters\": {");
+    let counters = metrics.map(|m| m.counter_snapshot()).unwrap_or_default();
+    for (i, (name, v)) in counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    \"");
+        escape(name, &mut out);
+        let _ = write!(out, "\": {v}");
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    let hists = metrics.map(|m| m.histogram_snapshot()).unwrap_or_default();
+    for (i, (name, count, sum, buckets)) in hists.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    \"");
+        escape(name, &mut out);
+        let _ = write!(
+            out,
+            "\": {{\"count\": {count}, \"sum\": {sum}, \"buckets\": ["
+        );
+        for (j, (lo, n)) in buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{lo}, {n}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// A compact human-readable summary: per-type event counts, then counters.
+pub fn summarize(records: &[TraceRecord], metrics: Option<&MetricsRegistry>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {} events", records.len());
+    for kind in TraceEvent::KINDS {
+        let n = records.iter().filter(|r| r.event.kind() == kind).count();
+        if n > 0 {
+            let _ = writeln!(out, "  {kind:<20} {n}");
+        }
+    }
+    if let Some(m) = metrics {
+        let counters = m.counter_snapshot();
+        if !counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in counters {
+                let _ = writeln!(out, "  {name:<28} {v}");
+            }
+        }
+        for (name, count, sum, _) in m.histogram_snapshot() {
+            let mean = sum.checked_div(count).unwrap_or(0);
+            let _ = writeln!(out, "histogram {name}: n={count} sum={sum} mean={mean}");
+        }
+    }
+    out
+}

@@ -1,0 +1,300 @@
+//! The tracer handle and its sinks.
+//!
+//! [`Tracer`] is the handle every instrumented component holds. Disabled
+//! (the default) it is a `None` and [`Tracer::record`] is a single branch
+//! — cheap enough to leave in release builds unconditionally. Enabled, it
+//! forwards to a [`TraceSink`].
+//!
+//! The default sink, [`RingSink`], is lock-light: each OS thread buffers
+//! records in a private fixed-capacity ring (a `thread_local`), and the
+//! shared mutex is taken only when a ring fills, when its thread exits, or
+//! on [`TraceSink::drain`] — never per record. The merged buffer is itself
+//! bounded; overflow drops the newest records and counts them, so a
+//! runaway event source degrades the trace instead of memory.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::MetricsRegistry;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where enabled tracers deliver records.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one record (called from any thread).
+    fn record(&self, rec: TraceRecord);
+    /// Removes and returns everything recorded so far, in sequence order.
+    ///
+    /// Rings belonging to *other* threads flush on fill or thread exit;
+    /// drain after joining worker threads to observe their tail records.
+    fn drain(&self) -> Vec<TraceRecord>;
+    /// Records dropped due to buffer overflow (0 for unbounded sinks).
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Default capacity of each per-thread ring, in records.
+pub const RING_CAPACITY: usize = 1024;
+
+/// Cap on the merged buffer, in records. Generous for every workload in
+/// this repo; the bound exists so tracing can never exhaust memory.
+const MAX_MERGED: usize = 1 << 20;
+
+/// Identity + shared state of one [`RingSink`].
+struct RingShared {
+    /// Distinguishes sinks inside the per-thread registry.
+    id: u64,
+    capacity: usize,
+    merged: Mutex<Vec<TraceRecord>>,
+    dropped: AtomicU64,
+}
+
+impl RingShared {
+    fn flush_from(&self, buf: &mut Vec<TraceRecord>) {
+        if buf.is_empty() {
+            return;
+        }
+        // `into_inner` on poison: flushing from a thread-exit destructor
+        // must not double-panic.
+        let mut merged = self
+            .merged
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let room = MAX_MERGED.saturating_sub(merged.len());
+        if buf.len() > room {
+            self.dropped
+                .fetch_add((buf.len() - room) as u64, Ordering::Relaxed);
+            buf.truncate(room);
+        }
+        merged.append(buf);
+    }
+}
+
+/// One thread's private ring for one sink. Dropping it (thread exit or
+/// registry pruning) flushes the tail into the shared buffer.
+struct ThreadRing {
+    shared: Arc<RingShared>,
+    buf: Vec<TraceRecord>,
+}
+
+impl ThreadRing {
+    fn push(&mut self, rec: TraceRecord) {
+        self.buf.push(rec);
+        if self.buf.len() >= self.shared.capacity {
+            self.shared.flush_from(&mut self.buf);
+        }
+    }
+}
+
+impl Drop for ThreadRing {
+    fn drop(&mut self) {
+        self.shared.flush_from(&mut self.buf);
+    }
+}
+
+thread_local! {
+    /// This thread's rings, one per live sink it has recorded into.
+    static RINGS: RefCell<Vec<ThreadRing>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The default lock-light sink: per-thread rings merged on drain.
+pub struct RingSink {
+    shared: Arc<RingShared>,
+}
+
+impl RingSink {
+    /// Creates a sink with the given per-thread ring capacity.
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        RingSink {
+            shared: Arc::new(RingShared {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                capacity: capacity.max(1),
+                merged: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Creates a sink with [`RING_CAPACITY`].
+    pub fn new() -> RingSink {
+        RingSink::with_capacity(RING_CAPACITY)
+    }
+}
+
+impl Default for RingSink {
+    fn default() -> Self {
+        RingSink::new()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, rec: TraceRecord) {
+        RINGS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            // Prune rings whose sink died (this thread holds the last Arc);
+            // their Drop flushes any tail into the abandoned buffer.
+            rings.retain(|r| Arc::strong_count(&r.shared) > 1 || r.shared.id == self.shared.id);
+            match rings.iter_mut().find(|r| r.shared.id == self.shared.id) {
+                Some(ring) => ring.push(rec),
+                None => {
+                    let mut ring = ThreadRing {
+                        shared: Arc::clone(&self.shared),
+                        buf: Vec::with_capacity(self.shared.capacity),
+                    };
+                    ring.push(rec);
+                    rings.push(ring);
+                }
+            }
+        });
+    }
+
+    fn drain(&self) -> Vec<TraceRecord> {
+        // Flush the calling thread's own ring first.
+        RINGS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            if let Some(ring) = rings.iter_mut().find(|r| r.shared.id == self.shared.id) {
+                let shared = Arc::clone(&ring.shared);
+                shared.flush_from(&mut ring.buf);
+            }
+        });
+        let mut v = std::mem::take(
+            &mut *self
+                .shared
+                .merged
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+        v.sort_by_key(|r| r.seq);
+        v
+    }
+
+    fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// A trivially correct unbuffered sink (one mutex per record) — the
+/// reference the ring sink's tests compare against.
+#[derive(Default)]
+pub struct VecSink {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, rec: TraceRecord) {
+        self.records.lock().expect("sink poisoned").push(rec);
+    }
+
+    fn drain(&self) -> Vec<TraceRecord> {
+        let mut v = std::mem::take(&mut *self.records.lock().expect("sink poisoned"));
+        v.sort_by_key(|r| r.seq);
+        v
+    }
+}
+
+struct TracerShared {
+    sink: Arc<dyn TraceSink>,
+    seq: AtomicU64,
+    metrics: MetricsRegistry,
+}
+
+/// The handle instrumented components hold.
+///
+/// Cloning shares the underlying sink, sequence counter and metrics (the
+/// same tracer is handed to the CPU, the kernel and the scheduler of one
+/// run). The disabled tracer is a `None`: [`Tracer::record`] compiles to
+/// a branch over an `Option`, so instrumentation can stay unconditional.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerShared>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(_) => write!(f, "Tracer(enabled)"),
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer (the default everywhere).
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer over a fresh [`RingSink`].
+    pub fn enabled() -> Tracer {
+        Tracer::with_sink(Arc::new(RingSink::new()))
+    }
+
+    /// An enabled tracer over a caller-supplied sink.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerShared {
+                sink,
+                seq: AtomicU64::new(0),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// Whether records are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records an event at the given simulated-cycle timestamp. A no-op
+    /// when disabled.
+    #[inline]
+    pub fn record(&self, cycles: u64, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            inner.sink.record(TraceRecord { seq, cycles, event });
+        }
+    }
+
+    /// Bumps the named monotonic counter by `n`. A no-op when disabled.
+    pub fn count(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.counter(name).add(n);
+        }
+    }
+
+    /// Records `value` into the named log2 histogram. A no-op when
+    /// disabled.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.histogram(name).record(value);
+        }
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    /// Drains every record collected so far, in sequence order. Empty for
+    /// a disabled tracer.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(inner) => inner.sink.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records dropped by the sink so far (0 when disabled).
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.sink.dropped())
+    }
+}

@@ -195,6 +195,54 @@ fn traps_identical_cache_on_off() {
     assert_eq!(on, off, "fetch-fault trap diverged");
 }
 
+/// Tracing is architecturally transparent: every workload produces a
+/// bit-identical [`chimera_emu::RunResult`] (exit code, stdout, register
+/// file, every stats counter, cycle accounting) with the tracer disabled
+/// and enabled — on both the native and the kernel-mediated rewritten
+/// path. The enabled runs must actually record events, so the equality is
+/// not vacuous.
+#[test]
+fn tracing_enabled_vs_disabled_identical_for_every_workload() {
+    use chimera_kernel::Tracer;
+    for (name, bin) in workloads() {
+        let baseline = chimera_emu::run_binary_with(&bin, ExtSet::RV64GCV, FUEL, true);
+        let disabled =
+            chimera_emu::run_binary_traced(&bin, ExtSet::RV64GCV, FUEL, true, &Tracer::disabled());
+        let tracer = Tracer::enabled();
+        let enabled = chimera_emu::run_binary_traced(&bin, ExtSet::RV64GCV, FUEL, true, &tracer);
+        assert_eq!(baseline, disabled, "{name}: disabled tracer not inert");
+        assert_eq!(baseline, enabled, "{name}: enabled tracer not transparent");
+        assert!(
+            !tracer.drain().is_empty(),
+            "{name}: the enabled run must record events"
+        );
+    }
+
+    // The kernel path (SMILE recovery in the loop) is transparent too.
+    let bin = hetero::matrix_task(8, 2, true);
+    let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+    let (code, stdout, cpu, _) = run_rewritten(&rw, true);
+    let process = Process::new(vec![Variant {
+        binary: rw.binary.clone(),
+        tables: RuntimeTables {
+            fht: Some(rw.fht.clone()),
+            regen: None,
+        },
+    }]);
+    let tracer = Tracer::enabled();
+    let (mut tcpu, mut tmem, view) = process.load(ExtSet::RV64GC).unwrap();
+    tcpu.tracer = tracer.clone();
+    let mut k = KernelRunner::with_tracer(view.tables.clone(), tracer.clone());
+    match k.run(&mut tcpu, &mut tmem, FUEL) {
+        RunOutcome::Exited(tcode) => {
+            assert_eq!((code, &stdout), (tcode, &k.stdout), "kernel path diverged");
+            assert_eq!(cpu.stats, tcpu.stats, "kernel-path stats diverged");
+        }
+        other => panic!("traced kernel run ended with {other:?}"),
+    }
+    assert!(!tracer.drain().is_empty(), "kernel run must record events");
+}
+
 /// The cache actually engages on these workloads (hits dominate after the
 /// first iteration of any loop) — guards against a silently disabled cache
 /// making the equality tests above vacuous.
