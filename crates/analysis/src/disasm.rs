@@ -13,7 +13,7 @@
 //! 3. a scan of data sections for 8-byte values that look like code
 //!    addresses (how jump tables and function-pointer tables are found).
 
-use chimera_isa::{decode, Decoded, Inst, XReg};
+use chimera_isa::{decode, Inst, XReg};
 use chimera_obj::Binary;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -36,7 +36,7 @@ impl DisasmInst {
 }
 
 /// The result of disassembling a binary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Disassembly {
     /// Recognized instructions, keyed by address.
     pub insts: BTreeMap<u64, DisasmInst>,
@@ -74,13 +74,85 @@ impl Disassembly {
     }
 }
 
+/// The decode outcome at one candidate address (what the traversal needs
+/// to know, whether it came from a live decode or a precomputed table).
+#[derive(Clone, Copy)]
+enum DecodeSlot {
+    /// No code bytes readable at this address.
+    NoWord,
+    /// Bytes present but undecodable.
+    Bad,
+    /// A recognized instruction.
+    Inst(u8, Inst),
+}
+
+/// Reads and decodes the code word at `addr`.
+fn decode_at(binary: &Binary, addr: u64) -> DecodeSlot {
+    let Some(word) = read_code_word(binary, addr) else {
+        return DecodeSlot::NoWord;
+    };
+    match decode(word) {
+        Ok(d) => DecodeSlot::Inst(d.len, d.inst),
+        Err(_) => DecodeSlot::Bad,
+    }
+}
+
 /// Disassembles a binary by recursive descent from its entry points.
 pub fn disassemble(binary: &Binary) -> Disassembly {
+    disassemble_with(binary, 1)
+}
+
+/// [`disassemble`] with an explicit worker count.
+///
+/// With `workers > 1` the expensive part — decoding — is hoisted into a
+/// speculative pass that decodes *every* halfword offset of `.text` in
+/// parallel (decoding is a pure function of the bytes), and the recursive
+/// traversal then consumes table lookups instead of live decodes. The
+/// traversal itself — and therefore the output — is byte-for-byte the
+/// same as the sequential path for every worker count.
+pub fn disassemble_with(binary: &Binary, workers: usize) -> Disassembly {
     let text = binary
         .section(".text")
         .expect("binary validated to have .text");
     let text_range = text.addr..text.end();
 
+    if workers <= 1 {
+        return traverse(binary, &text_range, |addr| decode_at(binary, addr));
+    }
+
+    // Speculative parallel decode: one slot per halfword of .text.
+    let halfwords = ((text.end() - text.addr) / 2) as usize;
+    const CHUNK: usize = 8192;
+    let chunks = crate::par::map_indexed(workers, halfwords.div_ceil(CHUNK), |c| {
+        let start = c * CHUNK;
+        let end = (start + CHUNK).min(halfwords);
+        (start..end)
+            .map(|i| decode_at(binary, text.addr + 2 * i as u64))
+            .collect::<Vec<DecodeSlot>>()
+    });
+    let table: Vec<DecodeSlot> = chunks.into_iter().flatten().collect();
+
+    let base = text.addr;
+    traverse(binary, &text_range, move |addr| {
+        let off = addr - base;
+        if off.is_multiple_of(2) {
+            table[(off / 2) as usize]
+        } else {
+            // Misaligned entry points are not table-indexed; decode live
+            // (identical to what the sequential path would do).
+            decode_at(binary, addr)
+        }
+    })
+}
+
+/// The recursive-descent traversal, generic over where decode results
+/// come from. `decode_slot` is only consulted for addresses inside
+/// `text_range`.
+fn traverse(
+    binary: &Binary,
+    text_range: &std::ops::Range<u64>,
+    decode_slot: impl Fn(u64) -> DecodeSlot,
+) -> Disassembly {
     let mut out = Disassembly::default();
     let mut worklist: VecDeque<u64> = VecDeque::new();
     let mut queued: BTreeSet<u64> = BTreeSet::new();
@@ -121,29 +193,20 @@ pub fn disassemble(binary: &Binary) -> Disassembly {
             if out.insts.contains_key(&addr) || !text_range.contains(&addr) {
                 break;
             }
-            let Some(word) = read_code_word(binary, addr) else {
-                break;
-            };
-            let decoded: Decoded = match decode(word) {
-                Ok(d) => d,
-                Err(_) => {
+            let (len, inst) = match decode_slot(addr) {
+                DecodeSlot::NoWord => break,
+                DecodeSlot::Bad => {
                     out.undecodable.insert(addr);
                     break;
                 }
+                DecodeSlot::Inst(len, inst) => (len, inst),
             };
-            let di = DisasmInst {
-                addr,
-                len: decoded.len,
-                inst: decoded.inst,
-            };
+            let di = DisasmInst { addr, len, inst };
             out.insts.insert(addr, di);
 
-            match decoded.inst {
+            match inst {
                 Inst::Jal { rd, .. } => {
-                    let target = decoded
-                        .inst
-                        .direct_target(addr)
-                        .expect("jal has direct target");
+                    let target = inst.direct_target(addr).expect("jal has direct target");
                     out.targets.insert(target);
                     push(&mut worklist, &mut queued, target);
                     if rd != XReg::ZERO {
@@ -161,10 +224,7 @@ pub fn disassemble(binary: &Binary) -> Disassembly {
                     break;
                 }
                 Inst::Branch { .. } => {
-                    let target = decoded
-                        .inst
-                        .direct_target(addr)
-                        .expect("branch has direct target");
+                    let target = inst.direct_target(addr).expect("branch has direct target");
                     out.targets.insert(target);
                     push(&mut worklist, &mut queued, target);
                     addr = di.next_addr();
@@ -284,6 +344,29 @@ mod tests {
         assert!(d.at(text.addr + 4).is_none());
         // But `end` is found via the jump.
         assert!(d.targets.contains(&(text.addr + 16)));
+    }
+
+    #[test]
+    fn parallel_decode_table_matches_sequential() {
+        let (bin, d) = dis("
+            _start:
+                la t0, table
+                ld t1, 0(t0)
+                beqz t1, skip
+                jr t1
+            skip:
+                li a0, 7
+                ecall
+            target:
+                addi a0, a0, 1
+                ret
+            .rodata
+            table:
+                .dword target
+        ");
+        for workers in [2, 4, 8] {
+            assert_eq!(disassemble_with(&bin, workers), d, "{workers} workers");
+        }
     }
 
     #[test]

@@ -12,10 +12,13 @@
 mod cfg;
 mod disasm;
 mod liveness;
+pub mod par;
+mod partition;
 
 pub use cfg::{BasicBlock, Cfg, Terminator};
-pub use disasm::{disassemble, DisasmInst, Disassembly};
+pub use disasm::{disassemble, disassemble_with, DisasmInst, Disassembly};
 pub use liveness::{Liveness, RegSet};
+pub use partition::inst_spans;
 
 #[cfg(test)]
 mod seeded_tests {

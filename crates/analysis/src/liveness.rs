@@ -49,7 +49,7 @@ impl RegSet {
 }
 
 /// Liveness facts: the set of registers live *into* each instruction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Liveness {
     /// live-in per instruction address.
     live_in: HashMap<u64, RegSet>,
@@ -68,50 +68,91 @@ fn pinned() -> RegSet {
     s
 }
 
+/// Computes one block's live-in from its successors' live-ins: the union
+/// of successor entries (everything for unknown successors) pushed
+/// backward through the block's instructions.
+fn block_transfer(b: &crate::cfg::BasicBlock, block_in: &HashMap<u64, RegSet>) -> RegSet {
+    let mut live: RegSet = if b.has_unknown_succs() {
+        RegSet::ALL
+    } else {
+        let mut l = RegSet::EMPTY;
+        for succ in &b.succs {
+            l = l.union(block_in.get(succ).copied().unwrap_or(RegSet::EMPTY));
+        }
+        l
+    };
+    for di in b.insts.iter().rev() {
+        if let Some(d) = di.inst.def_x() {
+            live.remove(d);
+        }
+        for u in di.inst.uses_x() {
+            live.insert(u);
+        }
+    }
+    live
+}
+
 impl Liveness {
     /// Runs the backward dataflow to a fixpoint.
     pub fn compute(cfg: &Cfg) -> Liveness {
-        // Block-level live-in/out.
+        Self::compute_with(cfg, 1)
+    }
+
+    /// [`Liveness::compute`] with an explicit worker count.
+    ///
+    /// The sequential path iterates blocks Gauss–Seidel style (reverse
+    /// address order, in-place updates); the parallel path runs Jacobi
+    /// rounds — every block's transfer evaluated against the *previous*
+    /// round's facts, in parallel. Both are chaotic iterations of the
+    /// same monotone system on a finite lattice, so they converge to the
+    /// identical least fixpoint; the resulting per-instruction facts are
+    /// bit-identical for every worker count.
+    pub fn compute_with(cfg: &Cfg, workers: usize) -> Liveness {
+        // Block-level live-in.
         let mut block_in: HashMap<u64, RegSet> = HashMap::new();
         let starts: Vec<u64> = cfg.blocks.keys().copied().collect();
 
-        let mut changed = true;
-        while changed {
-            changed = false;
-            // Reverse address order is a decent approximation of reverse
-            // topological order for typical layouts.
-            for &s in starts.iter().rev() {
-                let b = &cfg.blocks[&s];
-                let mut live: RegSet = if b.has_unknown_succs() {
-                    RegSet::ALL
-                } else {
-                    let mut l = RegSet::EMPTY;
-                    for succ in &b.succs {
-                        l = l.union(block_in.get(succ).copied().unwrap_or(RegSet::EMPTY));
-                    }
-                    l
-                };
-                // Backward transfer through the block.
-                for di in b.insts.iter().rev() {
-                    if let Some(d) = di.inst.def_x() {
-                        live.remove(d);
-                    }
-                    for u in di.inst.uses_x() {
-                        live.insert(u);
+        if workers <= 1 {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                // Reverse address order is a decent approximation of
+                // reverse topological order for typical layouts.
+                for &s in starts.iter().rev() {
+                    let live = block_transfer(&cfg.blocks[&s], &block_in);
+                    let entry = block_in.entry(s).or_insert(RegSet::EMPTY);
+                    let merged = entry.union(live);
+                    if merged != *entry {
+                        *entry = merged;
+                        changed = true;
                     }
                 }
-                let entry = block_in.entry(b.start).or_insert(RegSet::EMPTY);
-                let merged = entry.union(live);
-                if merged != *entry {
-                    *entry = merged;
-                    changed = true;
+            }
+        } else {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                let round = crate::par::map_indexed(workers, starts.len(), |i| {
+                    // Jacobi: reads only the previous round's facts.
+                    block_transfer(&cfg.blocks[&starts[i]], &block_in)
+                });
+                for (&s, live) in starts.iter().zip(round) {
+                    let entry = block_in.entry(s).or_insert(RegSet::EMPTY);
+                    let merged = entry.union(live);
+                    if merged != *entry {
+                        *entry = merged;
+                        changed = true;
+                    }
                 }
             }
         }
 
-        // Expand to per-instruction live-in.
-        let mut live_in: HashMap<u64, RegSet> = HashMap::new();
-        for b in cfg.blocks.values() {
+        // Expand to per-instruction live-in (independent per block; the
+        // per-block fact vectors land in a keyed map, so merge order is
+        // irrelevant).
+        let blocks: Vec<&crate::cfg::BasicBlock> = cfg.blocks.values().collect();
+        let expanded = crate::par::map_indexed(workers, blocks.len(), |i| {
+            let b = blocks[i];
             let mut live: RegSet = if b.has_unknown_succs() {
                 RegSet::ALL
             } else {
@@ -121,6 +162,7 @@ impl Liveness {
                 }
                 l
             };
+            let mut facts = Vec::with_capacity(b.insts.len());
             for di in b.insts.iter().rev() {
                 if let Some(d) = di.inst.def_x() {
                     live.remove(d);
@@ -128,8 +170,13 @@ impl Liveness {
                 for u in di.inst.uses_x() {
                     live.insert(u);
                 }
-                live_in.insert(di.addr, live);
+                facts.push((di.addr, live));
             }
+            facts
+        });
+        let mut live_in: HashMap<u64, RegSet> = HashMap::new();
+        for facts in expanded {
+            live_in.extend(facts);
         }
         Liveness { live_in }
     }
@@ -253,6 +300,34 @@ mod tests {
                 r != chimera_isa::XReg::GP
                     && r != chimera_isa::XReg::SP
                     && r != chimera_isa::XReg::TP
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_rounds_match_gauss_seidel() {
+        let src = "
+            _start:
+                li t0, 5
+                li a0, 0
+            loop:
+                add a0, a0, t0
+                addi t0, t0, -1
+                beqz t1, skip
+                addi a1, a1, 1
+            skip:
+                bnez t0, loop
+                jr ra
+        ";
+        let bin = assemble(src, AsmOptions::default()).unwrap();
+        let d = disassemble(&bin);
+        let cfg = Cfg::build(&d);
+        let seq = Liveness::compute(&cfg);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                Liveness::compute_with(&cfg, workers),
+                seq,
+                "{workers} workers"
             );
         }
     }

@@ -1,0 +1,80 @@
+//! Zero-dependency deterministic parallel mapping.
+//!
+//! The rewrite pipeline's parallel stages all reduce to "apply a pure
+//! function to every index and reassemble the results in index order".
+//! [`map_indexed`] implements exactly that on scoped `std::thread` workers
+//! pulling indices from a shared atomic counter: scheduling is racy, but
+//! because each element is produced by a pure function of its index and
+//! the results are reassembled positionally, the output is bit-identical
+//! for every worker count (including 1, which runs inline with no
+//! threads at all).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every index in `0..n` and returns the results in index
+/// order, fanning the work out over `workers` scoped threads.
+///
+/// `workers <= 1` (or trivially small `n`) runs sequentially on the
+/// calling thread — the same closure on the same indices — so the
+/// sequential path is the parallel path minus the threads, not a
+/// separate implementation.
+pub fn map_indexed<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map_indexed worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, v) in part {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let expect: Vec<usize> = (0..1000).map(|i| i * 7 + 3).collect();
+        for workers in [1, 2, 4, 8] {
+            assert_eq!(map_indexed(workers, 1000, |i| i * 7 + 3), expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(map_indexed(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(8, 1, |i| i + 1), vec![1]);
+    }
+}

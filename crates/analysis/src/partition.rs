@@ -1,0 +1,49 @@
+//! Stable partitioning of a disassembly into fixed-size instruction
+//! spans.
+//!
+//! The rewrite pipeline's per-unit parallelism needs a partition that is
+//! a pure function of the disassembly — never of the worker count or of
+//! scheduling — so that unit boundaries (and therefore every downstream
+//! layout decision) are deterministic. [`inst_spans`] is that primitive:
+//! half-open index ranges over the address-ordered instruction list.
+
+use crate::disasm::Disassembly;
+
+/// Splits `d`'s instructions (in address order) into consecutive spans of
+/// at most `span_insts` instructions, returned as half-open `[start, end)`
+/// index ranges into the address-ordered instruction sequence.
+///
+/// The result depends only on the disassembly and `span_insts`, making it
+/// a stable unit partition for deterministic parallel rewriting.
+pub fn inst_spans(d: &Disassembly, span_insts: usize) -> Vec<(usize, usize)> {
+    let n = d.insts.len();
+    let step = span_insts.max(1);
+    (0..n)
+        .step_by(step)
+        .map(|start| (start, (start + step).min(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+    use chimera_obj::{assemble, AsmOptions};
+
+    #[test]
+    fn spans_cover_exactly_once() {
+        let src = "_start:\n".to_string() + &"    nop\n".repeat(23) + "    ecall\n";
+        let bin = assemble(&src, AsmOptions::default()).unwrap();
+        let d = disassemble(&bin);
+        for span in [1, 3, 7, 1000] {
+            let spans = inst_spans(&d, span);
+            let mut next = 0;
+            for (s, e) in &spans {
+                assert_eq!(*s, next);
+                assert!(*e > *s && *e - *s <= span);
+                next = *e;
+            }
+            assert_eq!(next, d.insts.len());
+        }
+    }
+}

@@ -251,7 +251,8 @@ fn hetero_scenario() {
     let tracer = Tracer::enabled();
     let mut expected = Expected::default();
 
-    // (a) Static rewrite of the vector program, traced: 6 RewritePassDone.
+    // (a) Static rewrite of the vector program, traced: 6 RewritePassDone
+    // (scan/plan/transform/place/link/verify pipeline stages).
     let vec_bin = assemble(VEC_PROG, AsmOptions::default()).unwrap();
     let rw =
         chbp_rewrite_traced(&vec_bin, ExtSet::RV64GC, RewriteOptions::default(), &tracer).unwrap();
@@ -431,7 +432,8 @@ fn hetero_scenario() {
         .filter(|r| matches!(r.event, TraceEvent::StealAttempt { success: true, .. }))
         .count() as u64;
     assert_eq!(successful_steals, counter("sched.steals"));
-    // Two traced rewrites, six passes each.
+    // Two traced rewrites, six pipeline stages each
+    // (scan/plan/transform/place/link/verify).
     assert_eq!(count("RewritePassDone"), 12);
     assert_eq!(tracer.dropped(), 0, "nothing may have been dropped");
 

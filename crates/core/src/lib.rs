@@ -62,7 +62,10 @@ pub use chimera_trace::{export_json, summarize, MetricsRegistry, TraceEvent, Tra
 use chimera_isa::ExtSet;
 use chimera_kernel::{FaultCounters, KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
 use chimera_obj::Binary;
-use chimera_rewrite::{chbp_rewrite, regenerate, upgrade_rewrite, Flavor, Mode, RewriteOptions};
+use chimera_rewrite::{
+    default_workers, run, upgrade_rewrite, ChbpEngine, Flavor, IdentityEngine, Mode, RegenEngine,
+    RewriteEngine, RewriteOptions,
+};
 
 /// The heterogeneous computing systems compared in §6.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,8 +141,66 @@ impl From<chimera_rewrite::RewriteError> for PrepareError {
     }
 }
 
+/// How one process view is produced from its input binary. Every system's
+/// view plan is a list of these; [`prepare_process`] builds them through
+/// one uniform loop over the [`RewriteEngine`] pipeline.
+enum Build {
+    /// Run the binary as-is (FAM/MELF native views): the identity engine
+    /// passes it through the pipeline unchanged, and no runtime tables are
+    /// attached.
+    Identity,
+    /// Rewrite through the staged pass pipeline.
+    Engine(Box<dyn RewriteEngine>),
+    /// The vectorizing upgrade rewriter (sequential; consumes the shared
+    /// translate/emit primitives but predates the unit pipeline).
+    Upgrade,
+}
+
+/// Runs one view plan: the single dispatch point through which every
+/// system's rewriting flows.
+fn build_view(build: Build, bin: Binary) -> Result<Variant, PrepareError> {
+    Ok(match build {
+        Build::Identity => {
+            let r = run(
+                &IdentityEngine,
+                &bin,
+                default_workers(),
+                &Tracer::disabled(),
+            )?;
+            Variant::native(r.rewritten.binary)
+        }
+        Build::Engine(engine) => {
+            let r = run(
+                engine.as_ref(),
+                &bin,
+                default_workers(),
+                &Tracer::disabled(),
+            )?;
+            Variant {
+                binary: r.rewritten.binary,
+                tables: RuntimeTables {
+                    fht: Some(r.rewritten.fht),
+                    regen: r.regen,
+                },
+            }
+        }
+        Build::Upgrade => {
+            let up = upgrade_rewrite(&bin, RewriteOptions::default())?;
+            Variant {
+                binary: up.binary,
+                tables: RuntimeTables {
+                    fht: Some(up.fht),
+                    regen: None,
+                },
+            }
+        }
+    })
+}
+
 /// Builds the multi-view process `system` would run for `task`, given the
-/// input version (§6.1 methodology).
+/// input version (§6.1 methodology). Every system dispatches through the
+/// same [`RewriteEngine`] pipeline: the `(system, input)` match only
+/// *plans* the views (most-specific first); [`build_view`] executes them.
 pub fn prepare_process(
     system: SystemKind,
     input: InputVersion,
@@ -155,93 +216,63 @@ pub fn prepare_process(
             .clone()
             .ok_or(PrepareError::MissingInput("base_version"))
     };
-    let views = match (system, input) {
-        (SystemKind::Fam, InputVersion::Ext) => {
-            // The ext binary runs only on extension cores; base cores
-            // fault and the scheduler migrates.
-            vec![Variant::native(ext_in()?)]
-        }
-        (SystemKind::Fam, InputVersion::Base) => {
-            // Base binary everywhere; never accelerated.
-            vec![Variant::native(base_in()?)]
-        }
-        (SystemKind::Melf, _) => {
-            // Native binaries for both core classes (most-specific first).
-            vec![Variant::native(ext_in()?), Variant::native(base_in()?)]
-        }
+    let safer = |mode: Mode| -> Box<dyn RewriteEngine> {
+        Box::new(RegenEngine {
+            target: ExtSet::RV64GC,
+            mode,
+            flavor: Flavor::Safer,
+        })
+    };
+    let plans: Vec<(Binary, Build)> = match (system, input) {
+        // FAM: the input binary runs only on cores that support it; others
+        // fault and the scheduler migrates.
+        (SystemKind::Fam, InputVersion::Ext) => vec![(ext_in()?, Build::Identity)],
+        (SystemKind::Fam, InputVersion::Base) => vec![(base_in()?, Build::Identity)],
+        // MELF: native binaries for both core classes (it has the source).
+        (SystemKind::Melf, _) => vec![(ext_in()?, Build::Identity), (base_in()?, Build::Identity)],
         (SystemKind::Safer, InputVersion::Ext) => {
-            let input_bin = ext_in()?;
-            let rg = regenerate(&input_bin, ExtSet::RV64GC, Mode::Downgrade, Flavor::Safer)?;
+            let b = ext_in()?;
             vec![
-                Variant::native(input_bin),
-                Variant {
-                    binary: rg.rewritten.binary,
-                    tables: RuntimeTables {
-                        fht: Some(rg.rewritten.fht),
-                        regen: Some(rg.info),
-                    },
-                },
+                (b.clone(), Build::Identity),
+                (b, Build::Engine(safer(Mode::Downgrade))),
             ]
         }
+        // Safer has no upgrade story of its own; per §6.1 it is adapted
+        // for ISAX by pairing its regenerated base binary with the
+        // vectorizer's output for extension cores, keeping its
+        // per-indirect-jump checks on the base side.
         (SystemKind::Safer, InputVersion::Base) => {
-            // Safer has no upgrade story of its own; per §6.1 it is adapted
-            // for ISAX by pairing its regenerated base binary with the
-            // vectorizer's output for extension cores, keeping its
-            // per-indirect-jump checks on the base side.
-            let input_bin = base_in()?;
-            let up = upgrade_rewrite(&input_bin, RewriteOptions::default())?;
-            let rg = regenerate(
-                &input_bin,
-                ExtSet::RV64GC,
-                Mode::EmptyPatch(chimera_isa::Ext::V),
-                Flavor::Safer,
-            )?;
+            let b = base_in()?;
             vec![
-                Variant {
-                    binary: up.binary,
-                    tables: RuntimeTables {
-                        fht: Some(up.fht),
-                        regen: None,
-                    },
-                },
-                Variant {
-                    binary: rg.rewritten.binary,
-                    tables: RuntimeTables {
-                        fht: Some(rg.rewritten.fht),
-                        regen: Some(rg.info),
-                    },
-                },
+                (b.clone(), Build::Upgrade),
+                (
+                    b,
+                    Build::Engine(safer(Mode::EmptyPatch(chimera_isa::Ext::V))),
+                ),
             ]
         }
         (SystemKind::Chimera, InputVersion::Ext) => {
-            let input_bin = ext_in()?;
-            let rw = chbp_rewrite(&input_bin, ExtSet::RV64GC, RewriteOptions::default())?;
+            let b = ext_in()?;
             vec![
-                Variant::native(input_bin),
-                Variant {
-                    binary: rw.binary,
-                    tables: RuntimeTables {
-                        fht: Some(rw.fht),
-                        regen: None,
-                    },
-                },
+                (b.clone(), Build::Identity),
+                (
+                    b,
+                    Build::Engine(Box::new(ChbpEngine {
+                        target: ExtSet::RV64GC,
+                        opts: RewriteOptions::default(),
+                    })),
+                ),
             ]
         }
         (SystemKind::Chimera, InputVersion::Base) => {
-            let input_bin = base_in()?;
-            let up = upgrade_rewrite(&input_bin, RewriteOptions::default())?;
-            vec![
-                Variant {
-                    binary: up.binary,
-                    tables: RuntimeTables {
-                        fht: Some(up.fht),
-                        regen: None,
-                    },
-                },
-                Variant::native(input_bin),
-            ]
+            let b = base_in()?;
+            vec![(b.clone(), Build::Upgrade), (b, Build::Identity)]
         }
     };
+    let views = plans
+        .into_iter()
+        .map(|(bin, build)| build_view(build, bin))
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(Process::new(views))
 }
 
@@ -483,67 +514,52 @@ impl RewriterKind {
 
 /// Applies a §6.2 rewriter in empty-patching mode (source instructions of
 /// the V extension re-emitted verbatim) and returns the runnable variant.
+/// All four rewriters are [`RewriteEngine`]s run through the same pass
+/// pipeline.
 pub fn empty_patch_with(
     rewriter: RewriterKind,
     binary: &Binary,
 ) -> Result<Variant, chimera_rewrite::RewriteError> {
     let mode = Mode::EmptyPatch(chimera_isa::Ext::V);
-    Ok(match rewriter {
-        RewriterKind::Chbp => {
-            let rw = chbp_rewrite(
-                binary,
-                ExtSet::RV64GCV,
-                RewriteOptions {
-                    mode,
-                    ..Default::default()
-                },
-            )?;
-            Variant {
-                binary: rw.binary,
-                tables: RuntimeTables {
-                    fht: Some(rw.fht),
-                    regen: None,
-                },
-            }
-        }
-        RewriterKind::Strawman => {
-            let rw = chbp_rewrite(
-                binary,
-                ExtSet::RV64GCV,
-                RewriteOptions {
-                    mode,
-                    force_trap_entries: true,
-                    ..Default::default()
-                },
-            )?;
-            Variant {
-                binary: rw.binary,
-                tables: RuntimeTables {
-                    fht: Some(rw.fht),
-                    regen: None,
-                },
-            }
-        }
-        RewriterKind::Armore => {
-            let rg = regenerate(binary, ExtSet::RV64GCV, mode, Flavor::Armore)?;
-            Variant {
-                binary: rg.rewritten.binary,
-                tables: RuntimeTables {
-                    fht: Some(rg.rewritten.fht),
-                    regen: Some(rg.info),
-                },
-            }
-        }
-        RewriterKind::Safer => {
-            let rg = regenerate(binary, ExtSet::RV64GCV, mode, Flavor::Safer)?;
-            Variant {
-                binary: rg.rewritten.binary,
-                tables: RuntimeTables {
-                    fht: Some(rg.rewritten.fht),
-                    regen: Some(rg.info),
-                },
-            }
-        }
+    let engine: Box<dyn RewriteEngine> = match rewriter {
+        RewriterKind::Chbp => Box::new(ChbpEngine {
+            target: ExtSet::RV64GCV,
+            opts: RewriteOptions {
+                mode,
+                ..Default::default()
+            },
+        }),
+        RewriterKind::Strawman => Box::new(ChbpEngine {
+            target: ExtSet::RV64GCV,
+            opts: RewriteOptions {
+                mode,
+                force_trap_entries: true,
+                ..Default::default()
+            },
+        }),
+        RewriterKind::Armore => Box::new(RegenEngine {
+            target: ExtSet::RV64GCV,
+            mode,
+            flavor: Flavor::Armore,
+        }),
+        RewriterKind::Safer => Box::new(RegenEngine {
+            target: ExtSet::RV64GCV,
+            mode,
+            flavor: Flavor::Safer,
+        }),
+    };
+    let r = run(
+        engine.as_ref(),
+        binary,
+        default_workers(),
+        &Tracer::disabled(),
+    )?;
+    Ok(Variant {
+        binary: r.rewritten.binary,
+        tables: RuntimeTables {
+            fht: Some(r.rewritten.fht),
+            regen: r.regen,
+        },
     })
 }
 

@@ -24,7 +24,7 @@ use chimera_emu::{Access, Cpu, Memory, Stop, Trap};
 use chimera_isa::{decode, ExtSet, Inst, XReg};
 use chimera_rewrite::emitter::BlockEmitter;
 use chimera_rewrite::translate::Translator;
-use chimera_rewrite::{FaultTable, RegenInfo};
+use chimera_rewrite::{ebreak_patch, emit_site_translation, FaultTable, Mode, RegenInfo};
 use chimera_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
@@ -348,10 +348,12 @@ impl KernelRunner {
             .lazy_cursor
             .get_or_insert(fht.target_range.1)
             .to_owned();
+        // The same translate/emit primitive the static pipeline uses for
+        // its site units (gp restore + downgrade), so lazily built blocks
+        // can never diverge from statically built ones.
         let mut translator = Translator::new(fht.spill_base, fht.abi_gp);
         let mut em = BlockEmitter::new(cursor);
-        em.li32(XReg::GP, fht.abi_gp as i64);
-        if translator.downgrade(&inst, &mut em).is_err() {
+        if emit_site_translation(&inst, Mode::Downgrade, &mut translator, &mut em).is_err() {
             return None;
         }
         let resume = pc + len as u64;
@@ -364,19 +366,8 @@ impl KernelRunner {
             return None;
         }
         self.lazy_cursor = Some(cursor + bytes.len() as u64);
-        // Patch the site with an ebreak entry.
-        let patch: Vec<u8> = if len == 2 {
-            chimera_isa::encode_compressed(&Inst::Ebreak)
-                .expect("c.ebreak")
-                .to_le_bytes()
-                .to_vec()
-        } else {
-            chimera_isa::encode(&Inst::Ebreak)
-                .expect("ebreak")
-                .to_le_bytes()
-                .to_vec()
-        };
-        if mem.poke_code(pc, &patch).is_err() {
+        // Patch the site with the pipeline's in-place trap entry.
+        if mem.poke_code(pc, &ebreak_patch(len)).is_err() {
             return None;
         }
         self.lazy_entries.insert(pc, cursor);

@@ -23,12 +23,13 @@
 //! counters feed Table 3.
 
 use crate::emitter::BlockEmitter;
+use crate::engine::{EngineState, RewriteEngine, RewriteUnit, UnitArtifact, UnitKind, UnitPlan};
 use crate::smile::{encode_smile, next_reachable_target, Smile, SmileConstraints};
 use crate::translate::{SpillLayout, Translator};
-use chimera_analysis::{disassemble, Cfg, DisasmInst, Disassembly, Liveness};
+use chimera_analysis::{disassemble_with, Cfg, DisasmInst, Disassembly, Liveness};
 use chimera_isa::{encode, Ext, ExtSet, Inst, XReg};
 use chimera_obj::{pcrel_hi_lo, Binary, Perms};
-use chimera_trace::{RewritePass, TraceEvent, Tracer};
+use chimera_trace::Tracer;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What the rewrite should do with source instructions.
@@ -73,7 +74,7 @@ impl Default for RewriteOptions {
 }
 
 /// The fault-handling table and related runtime metadata (§4.3).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultTable {
     /// Overwritten-instruction address → address of its copy in
     /// `.chimera.text`. The passive fault handler redirects here.
@@ -115,7 +116,7 @@ impl FaultTable {
 }
 
 /// Rewriting statistics (Table 3 and the §6.2 breakdowns).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RewriteStats {
     /// Executable bytes in the original binary.
     pub code_size: u64,
@@ -146,7 +147,7 @@ pub struct RewriteStats {
 }
 
 /// A rewritten binary plus its runtime metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rewritten {
     /// The patched binary (target profile recorded).
     pub binary: Binary,
@@ -193,8 +194,8 @@ pub fn chbp_rewrite(
     chbp_rewrite_traced(binary, target, opts, &Tracer::disabled())
 }
 
-/// [`chbp_rewrite`] with per-pass timing: each pipeline pass emits a
-/// [`TraceEvent::RewritePassDone`] carrying its wall-clock duration and an
+/// [`chbp_rewrite`] with per-stage timing: each pipeline stage emits a
+/// `TraceEvent::RewritePassDone` carrying its wall-clock duration and an
 /// item count, plus `rewrite.*` counters mirroring [`RewriteStats`].
 /// Rewrite-time events are timestamped at cycle 0 (there is no simulated
 /// clock at rewrite time); durations live in the event payload, so traces
@@ -205,284 +206,420 @@ pub fn chbp_rewrite_traced(
     opts: RewriteOptions,
     tracer: &Tracer,
 ) -> Result<Rewritten, RewriteError> {
-    let mut pass_timer = PassTimer::new(tracer);
-    binary
-        .validate()
-        .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
-    pass_timer.done(RewritePass::Validate, 1);
+    chbp_rewrite_with(
+        binary,
+        target,
+        opts,
+        crate::pipeline::default_workers(),
+        tracer,
+    )
+}
 
-    let d = disassemble(binary);
-    pass_timer.done(RewritePass::Disassemble, d.insts.len() as u64);
-    let cfg = Cfg::build(&d);
-    pass_timer.done(RewritePass::Cfg, cfg.blocks.len() as u64);
-    let liveness = Liveness::compute(&cfg);
-    pass_timer.done(RewritePass::Liveness, cfg.blocks.len() as u64);
+/// [`chbp_rewrite`] with an explicit worker count for the parallel
+/// pipeline stages. Output is bit-identical for every worker count.
+pub fn chbp_rewrite_with(
+    binary: &Binary,
+    target: ExtSet,
+    opts: RewriteOptions,
+    workers: usize,
+    tracer: &Tracer,
+) -> Result<Rewritten, RewriteError> {
+    let engine = ChbpEngine { target, opts };
+    crate::pipeline::run(&engine, binary, workers, tracer).map(|r| r.rewritten)
+}
 
-    let mut out = binary.clone();
-    let mut stats = RewriteStats {
-        code_size: binary.code_size(),
-        total_insts: d.insts.len(),
-        ..Default::default()
-    };
+/// The CHBP patching engine (also the §6.2 strawman, via
+/// [`RewriteOptions::force_trap_entries`]).
+pub struct ChbpEngine {
+    /// The target core profile.
+    pub target: ExtSet,
+    /// Rewrite options.
+    pub opts: RewriteOptions,
+}
 
-    // Reserve the spill section, then compute where .chimera.text will go.
-    let spill_base = out.append_section(
-        ".chimera.vregs",
-        vec![0u8; SpillLayout::SIZE.next_multiple_of(0x1000)],
-        Perms::RW,
-    );
-    let target_base = {
-        let top = out.sections.iter().map(|s| s.end()).max().unwrap_or(0);
-        (top + 0xfff) & !0xfff
-    };
-
-    let mut fht = FaultTable {
-        abi_gp: binary.gp,
-        spill_base,
-        ..Default::default()
-    };
-    let mut translator = Translator::new(spill_base, binary.gp);
-
-    // Collect patch sites: source instructions in address order.
-    let sources: Vec<DisasmInst> = d
-        .iter()
-        .filter(|di| is_source(&di.inst, opts.mode, target))
-        .copied()
-        .collect();
-    stats.source_insts = sources.len();
-
-    let mut target_code: Vec<u8> = Vec::new();
-    let mut text_patches: Vec<(u64, Vec<u8>)> = Vec::new();
-    let mut covered_until: u64 = 0;
-
-    for site in &sources {
-        if site.addr < covered_until {
-            // Inside a previous trampoline's space: no own trampoline; the
-            // previous site's block already translated it and the FHT
-            // redirect covers erroneous jumps onto it.
-            continue;
+impl RewriteEngine for ChbpEngine {
+    fn name(&self) -> &'static str {
+        if self.opts.force_trap_entries {
+            "strawman"
+        } else {
+            "chbp"
         }
-        // A site whose instruction has no downgrade template stays
-        // unpatched: at runtime it raises an illegal-instruction fault and
-        // the kernel falls back to migration (FAM-style).
-        if opts.mode == Mode::Downgrade {
-            let mut probe = BlockEmitter::new(target_base);
-            if translator.downgrade(&site.inst, &mut probe).is_err() {
-                fht.untranslated.insert(site.addr);
+    }
+
+    fn scan(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.input
+            .validate()
+            .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
+        let d = disassemble_with(st.input, st.workers);
+        let cfg = Cfg::build(&d);
+        let liveness = Liveness::compute_with(&cfg, st.workers);
+
+        st.stats.code_size = st.input.code_size();
+        st.stats.total_insts = d.insts.len();
+
+        // Reserve the spill section, then compute where .chimera.text
+        // will go.
+        let mut out = st.input.clone();
+        let spill_base = out.append_section(
+            ".chimera.vregs",
+            vec![0u8; SpillLayout::SIZE.next_multiple_of(0x1000)],
+            Perms::RW,
+        );
+        let target_base = {
+            let top = out.sections.iter().map(|s| s.end()).max().unwrap_or(0);
+            (top + 0xfff) & !0xfff
+        };
+        st.fht.abi_gp = st.input.gp;
+        st.fht.spill_base = spill_base;
+        st.target_base = target_base;
+        st.out = Some(out);
+
+        // Collect patch sites: source instructions in address order.
+        let sources: Vec<DisasmInst> = d
+            .iter()
+            .filter(|di| is_source(&di.inst, self.opts.mode, self.target))
+            .copied()
+            .collect();
+        st.stats.source_insts = sources.len();
+
+        // Parallel translatability check: a site whose instruction has no
+        // downgrade template stays unpatched (raises an illegal fault at
+        // runtime; the kernel falls back to migration, FAM-style). A full
+        // scratch downgrade is the check — `probe` alone does not cover
+        // the scalar templates.
+        let abi_gp = st.input.gp;
+        let translatable: Vec<bool> = match self.opts.mode {
+            Mode::Downgrade => chimera_analysis::par::map_indexed(st.workers, sources.len(), |i| {
+                let mut t = Translator::new(spill_base, abi_gp);
+                let mut probe = BlockEmitter::new(target_base);
+                t.downgrade(&sources[i].inst, &mut probe).is_ok()
+            }),
+            Mode::EmptyPatch(_) => vec![true; sources.len()],
+        };
+
+        // Sequential unit partition: the covered_until walk. Cheap — all
+        // expensive work (analyses above, measurement below) is parallel.
+        let mut units: Vec<RewriteUnit> = Vec::new();
+        let mut covered_until: u64 = 0;
+        for (i, site) in sources.iter().enumerate() {
+            if site.addr < covered_until {
+                // Inside a previous trampoline's space: no own trampoline;
+                // the previous site's block already translated it and the
+                // FHT redirect covers erroneous jumps onto it.
+                continue;
+            }
+            if !translatable[i] {
+                st.fht.untranslated.insert(site.addr);
                 covered_until = site.addr + site.len as u64;
                 continue;
             }
-        }
-        if opts.force_trap_entries {
-            // Strawman: a trap-based entry, but with the same region
-            // batching as CHBP (one kernel round trip per block execution,
-            // not per source instruction). Only the source instruction's
-            // own bytes are replaced; neighbours stay intact.
-            if let Some(region) = build_region(&d, &cfg, site, opts) {
-                let block_addr = target_base + target_code.len() as u64;
-                let mut em = BlockEmitter::new(block_addr);
-                emit_block(
-                    &region,
-                    &d,
-                    &liveness,
-                    opts,
-                    &mut translator,
-                    &mut em,
-                    &mut fht,
-                    &mut stats,
-                    target,
-                );
-                target_code.extend_from_slice(&em.finish());
-                let patch = if site.len == 2 {
-                    chimera_isa::encode_compressed(&Inst::Ebreak)
-                        .expect("c.ebreak")
-                        .to_le_bytes()
-                        .to_vec()
-                } else {
-                    encode(&Inst::Ebreak)
-                        .expect("ebreak")
-                        .to_le_bytes()
-                        .to_vec()
-                };
-                text_patches.push((site.addr, patch));
-                fht.trap_entries.insert(site.addr, block_addr);
-                stats.trap_entries += 1;
-                // Neighbours keep their original bytes: interior redirects
-                // recorded by emit_block are unused but harmless.
-                covered_until = site.addr + site.len as u64;
-            } else {
-                place_trap_entry(
-                    site,
-                    &d,
-                    &liveness,
-                    opts,
-                    &mut translator,
-                    &mut target_code,
-                    target_base,
-                    &mut text_patches,
-                    &mut fht,
-                    &mut stats,
-                    target,
-                );
-                covered_until = site.addr + site.len as u64;
+            match build_region(&d, &cfg, site, self.opts) {
+                Some(region) => {
+                    // Strawman regions replace only the site's own bytes,
+                    // so following sources still get their own units;
+                    // SMILE regions own the whole overwritten space.
+                    covered_until = if self.opts.force_trap_entries {
+                        site.addr + site.len as u64
+                    } else {
+                        region.space_end
+                    };
+                    units.push(RewriteUnit {
+                        kind: UnitKind::Region {
+                            region,
+                            forced_trap: self.opts.force_trap_entries,
+                        },
+                    });
+                }
+                None => {
+                    // Cannot form an 8-byte space: trap entry + lone
+                    // translation.
+                    covered_until = site.addr + site.len as u64;
+                    units.push(RewriteUnit {
+                        kind: UnitKind::Site(*site),
+                    });
+                }
             }
-            continue;
         }
-        let Some(region) = build_region(&d, &cfg, site, opts) else {
-            // Cannot form an 8-byte space: trap-based entry.
-            place_trap_entry(
-                site,
+
+        // Parallel size measurement: scratch-emit every unit at the
+        // target base and keep only the length. Emission is size-invariant
+        // in its base address (fixed-width exit slots, always-paired
+        // auipc+addi), so the measured size equals the final one.
+        let (opts, target) = (self.opts, self.target);
+        let sizes: Vec<u64> = chimera_analysis::par::map_indexed(st.workers, units.len(), |i| {
+            emit_unit(
+                &units[i],
+                target_base,
                 &d,
                 &liveness,
                 opts,
-                &mut translator,
-                &mut target_code,
-                target_base,
-                &mut text_patches,
-                &mut fht,
-                &mut stats,
                 target,
-            );
-            covered_until = site.addr + site.len as u64;
-            continue;
-        };
+                spill_base,
+                abi_gp,
+            )
+            .bytes
+            .len() as u64
+        });
 
-        let constraints = region.constraints(&d);
-
-        // Pick the block address under SMILE reachability.
-        let min_addr = target_base + target_code.len() as u64;
-        let block_addr = match next_reachable_target(site.addr, min_addr, constraints) {
-            Some(a) if a - min_addr <= opts.max_padding => a,
-            _ => {
-                place_trap_entry(
-                    site,
-                    &d,
-                    &liveness,
-                    opts,
-                    &mut translator,
-                    &mut target_code,
-                    target_base,
-                    &mut text_patches,
-                    &mut fht,
-                    &mut stats,
-                    target,
-                );
-                covered_until = site.addr + site.len as u64;
-                continue;
-            }
-        };
-        let padding = block_addr - min_addr;
-        stats.padding_bytes += padding;
-        pad_illegal(&mut target_code, padding as usize);
-
-        // Emit the target block.
-        let mut em = BlockEmitter::new(block_addr);
-        emit_block(
-            &region,
-            &d,
-            &liveness,
-            opts,
-            &mut translator,
-            &mut em,
-            &mut fht,
-            &mut stats,
-            target,
-        );
-        let bytes = em.finish();
-        debug_assert_eq!(target_base + target_code.len() as u64, block_addr);
-        target_code.extend_from_slice(&bytes);
-
-        // Encode and place the SMILE trampoline.
-        let smile: Smile = encode_smile(site.addr, block_addr, constraints)
-            .map_err(|e| RewriteError::Layout(format!("SMILE at {:#x}: {e}", site.addr)))?;
-        let mut patch = smile.bytes().to_vec();
-        // Fill the rest of the space (if the space is wider than 8 bytes)
-        // with reserved-illegal halfwords so any entry there faults.
-        let extra = (region.space_end - site.addr - 8) as usize;
-        for _ in 0..extra / 2 {
-            patch.extend_from_slice(&ILLEGAL_HALFWORD.to_le_bytes());
-        }
-        text_patches.push((site.addr, patch));
-        fht.trampolines.insert(site.addr);
-        stats.smile_trampolines += 1;
-        if constraints != SmileConstraints::NONE {
-            stats.constrained_smiles += 1;
-        }
-
-        covered_until = region.space_end;
+        st.pass_items = d.insts.len() as u64;
+        st.units = units;
+        st.unit_sizes = sizes;
+        st.disasm = Some(d);
+        st.cfg = Some(cfg);
+        st.liveness = Some(liveness);
+        Ok(())
     }
-    pass_timer.done(RewritePass::EmitBlocks, sources.len() as u64);
 
-    // Apply text patches.
-    let patch_count = text_patches.len() as u64;
-    for (addr, bytes) in text_patches {
-        if !out.write(addr, &bytes) {
+    fn plan(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        let d = st.disasm.as_ref().expect("scan ran");
+        let mut cursor = st.target_base;
+        let mut plans: Vec<UnitPlan> = Vec::with_capacity(st.units.len());
+        for (unit, &size) in st.units.iter().zip(&st.unit_sizes) {
+            match &unit.kind {
+                UnitKind::Region {
+                    region,
+                    forced_trap,
+                } => {
+                    let site = region.insts[0];
+                    let constraints = region.constraints(d);
+                    // Pick the block address under SMILE reachability
+                    // (never for the strawman).
+                    let placed = if *forced_trap {
+                        None
+                    } else {
+                        next_reachable_target(site.addr, cursor, constraints)
+                            .filter(|a| a - cursor <= self.opts.max_padding)
+                    };
+                    match placed {
+                        Some(block_addr) => {
+                            let smile: Smile = encode_smile(site.addr, block_addr, constraints)
+                                .map_err(|e| {
+                                    RewriteError::Layout(format!("SMILE at {:#x}: {e}", site.addr))
+                                })?;
+                            let mut patch = smile.bytes().to_vec();
+                            // Fill the rest of the space (if wider than 8
+                            // bytes) with reserved-illegal halfwords so any
+                            // entry there faults.
+                            let extra = (region.space_end - site.addr - 8) as usize;
+                            for _ in 0..extra / 2 {
+                                patch.extend_from_slice(&ILLEGAL_HALFWORD.to_le_bytes());
+                            }
+                            st.text_patches.push((site.addr, patch));
+                            st.fht.trampolines.insert(site.addr);
+                            st.stats.smile_trampolines += 1;
+                            if constraints != SmileConstraints::NONE {
+                                st.stats.constrained_smiles += 1;
+                            }
+                            let padding = block_addr - cursor;
+                            st.stats.padding_bytes += padding;
+                            plans.push(UnitPlan {
+                                addr: block_addr,
+                                padding,
+                            });
+                            cursor = block_addr + size;
+                        }
+                        None => {
+                            // No reachable SMILE placement within the
+                            // padding budget (or strawman): trap entry, but
+                            // keep the full region block — only the site's
+                            // own bytes are replaced, neighbours stay
+                            // intact, and the block's interior redirects
+                            // cover erroneous jumps.
+                            st.text_patches.push((site.addr, ebreak_patch(site.len)));
+                            st.fht.trap_entries.insert(site.addr, cursor);
+                            st.stats.trap_entries += 1;
+                            plans.push(UnitPlan {
+                                addr: cursor,
+                                padding: 0,
+                            });
+                            cursor += size;
+                        }
+                    }
+                }
+                UnitKind::Site(site) => {
+                    st.text_patches.push((site.addr, ebreak_patch(site.len)));
+                    st.fht.trap_entries.insert(site.addr, cursor);
+                    st.stats.trap_entries += 1;
+                    plans.push(UnitPlan {
+                        addr: cursor,
+                        padding: 0,
+                    });
+                    cursor += size;
+                }
+                UnitKind::Span { .. } => {
+                    unreachable!("span units belong to the regeneration engine")
+                }
+            }
+        }
+        st.pass_items = st.units.len() as u64;
+        st.plans = plans;
+        Ok(())
+    }
+
+    fn transform(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        let d = st.disasm.as_ref().expect("scan ran");
+        let liveness = st.liveness.as_ref().expect("scan ran");
+        let units = &st.units;
+        let plans = &st.plans;
+        let (opts, target) = (self.opts, self.target);
+        let (spill_base, abi_gp) = (st.fht.spill_base, st.fht.abi_gp);
+        let artifacts: Vec<UnitArtifact> =
+            chimera_analysis::par::map_indexed(st.workers, units.len(), |i| {
+                emit_unit(
+                    &units[i],
+                    plans[i].addr,
+                    d,
+                    liveness,
+                    opts,
+                    target,
+                    spill_base,
+                    abi_gp,
+                )
+            });
+        for (art, &size) in artifacts.iter().zip(&st.unit_sizes) {
+            debug_assert_eq!(
+                art.bytes.len() as u64,
+                size,
+                "emission must be size-invariant in its base address"
+            );
+        }
+        st.pass_items = artifacts.len() as u64;
+        st.artifacts = artifacts;
+        Ok(())
+    }
+
+    fn place(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.pass_items = st.artifacts.len() as u64;
+        let artifacts = std::mem::take(&mut st.artifacts);
+        for (plan, art) in st.plans.iter().zip(artifacts) {
+            pad_illegal(&mut st.target_code, plan.padding as usize);
+            debug_assert_eq!(st.target_base + st.target_code.len() as u64, plan.addr);
+            st.target_code.extend_from_slice(&art.bytes);
+            crate::engine::merge_fragment(&mut st.fht, &mut st.stats, art);
+        }
+        Ok(())
+    }
+
+    fn link(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        let out = st.out.as_mut().expect("scan cloned the input");
+        st.pass_items = st.text_patches.len() as u64;
+        for (addr, bytes) in st.text_patches.drain(..) {
+            if !out.write(addr, &bytes) {
+                return Err(RewriteError::Layout(format!(
+                    "patch at {addr:#x} does not fit its section"
+                )));
+            }
+        }
+
+        st.stats.target_section_size = st.target_code.len() as u64;
+        let mut target_code = std::mem::take(&mut st.target_code);
+        if target_code.is_empty() {
+            // Keep an empty-but-mapped page so ranges stay meaningful.
+            target_code.resize(16, 0);
+        }
+        let placed = out.append_section(".chimera.text", target_code, Perms::RX);
+        if placed != st.target_base {
             return Err(RewriteError::Layout(format!(
-                "patch at {addr:#x} does not fit its section"
+                "target section landed at {placed:#x}, expected {:#x}",
+                st.target_base
             )));
         }
+        st.fht.target_range = (st.target_base, out.section(".chimera.text").unwrap().end());
+        out.profile = self.target;
+        Ok(())
     }
-
-    // Attach the target section.
-    stats.target_section_size = target_code.len() as u64;
-    if target_code.is_empty() {
-        // Keep an empty-but-mapped page so ranges stay meaningful.
-        target_code.resize(16, 0);
-    }
-    let placed = out.append_section(".chimera.text", target_code, Perms::RX);
-    if placed != target_base {
-        return Err(RewriteError::Layout(format!(
-            "target section landed at {placed:#x}, expected {target_base:#x}"
-        )));
-    }
-    fht.target_range = (target_base, out.section(".chimera.text").unwrap().end());
-    out.profile = target;
-
-    out.validate()
-        .map_err(|e| RewriteError::BadBinary(format!("rewritten binary invalid: {e}")))?;
-    pass_timer.done(RewritePass::ApplyPatches, patch_count);
-    if tracer.is_enabled() {
-        tracer.count("rewrite.smile_trampolines", stats.smile_trampolines as u64);
-        tracer.count(
-            "rewrite.constrained_smiles",
-            stats.constrained_smiles as u64,
-        );
-        tracer.count("rewrite.trap_entries", stats.trap_entries as u64);
-        tracer.count("rewrite.trap_exits", stats.trap_exits as u64);
-        tracer.count("rewrite.untranslated", fht.untranslated.len() as u64);
-        tracer.count("rewrite.target_bytes", stats.target_section_size);
-    }
-    Ok(Rewritten {
-        binary: out,
-        fht,
-        stats,
-    })
 }
 
-/// Times rewrite pipeline passes and reports them to a tracer. Inert (no
-/// clock reads) when the tracer is disabled.
-struct PassTimer<'a> {
-    tracer: &'a Tracer,
-    last: Option<std::time::Instant>,
-}
-
-impl<'a> PassTimer<'a> {
-    fn new(tracer: &'a Tracer) -> Self {
-        PassTimer {
-            tracer,
-            last: tracer.is_enabled().then(std::time::Instant::now),
+/// Emits one unit at `addr` into a fresh artifact: the pure per-unit
+/// function behind both the scan-stage size measurement and the parallel
+/// transform stage. Each call uses its own [`Translator`] (its only
+/// mutable state is a label-name counter, which never reaches the bytes).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_unit(
+    unit: &RewriteUnit,
+    addr: u64,
+    d: &Disassembly,
+    liveness: &Liveness,
+    opts: RewriteOptions,
+    target: ExtSet,
+    spill_base: u64,
+    abi_gp: u64,
+) -> UnitArtifact {
+    let mut translator = Translator::new(spill_base, abi_gp);
+    let mut em = BlockEmitter::new(addr);
+    let mut art = UnitArtifact::default();
+    match &unit.kind {
+        UnitKind::Region { region, .. } => {
+            emit_block(
+                region,
+                d,
+                liveness,
+                opts,
+                &mut translator,
+                &mut em,
+                &mut art.fht,
+                &mut art.stats,
+                target,
+            );
         }
+        UnitKind::Site(site) => {
+            emit_site_translation(&site.inst, opts.mode, &mut translator, &mut em)
+                .expect("scan verified translatability");
+            emit_exit(
+                site.next_addr(),
+                d,
+                liveness,
+                opts,
+                target,
+                &mut em,
+                &mut art.fht,
+                &mut art.stats,
+            );
+        }
+        UnitKind::Span { .. } => unreachable!("span units belong to the regeneration engine"),
     }
+    art.bytes = em.finish();
+    art
+}
 
-    fn done(&mut self, pass: RewritePass, items: u64) {
-        let Some(last) = self.last else {
-            return;
-        };
-        let nanos = last.elapsed().as_nanos() as u64;
-        self.tracer
-            .record(0, TraceEvent::RewritePassDone { pass, nanos, items });
-        self.tracer.observe("rewrite.pass_nanos", nanos);
-        self.last = Some(std::time::Instant::now());
+/// Emits the translation for one patch site: gp restore followed by the
+/// verbatim re-emission (empty patching) or the downgrade sequence. This
+/// is the single translate/emit primitive shared by the static pipeline's
+/// site units and the kernel's fault-time `lazy_rewrite`, so the two can
+/// never diverge.
+pub fn emit_site_translation(
+    inst: &Inst,
+    mode: Mode,
+    translator: &mut Translator,
+    em: &mut BlockEmitter,
+) -> Result<(), crate::translate::Untranslatable> {
+    // Restore gp: the entry path (SMILE jalr or kernel trap) left it
+    // clobbered or the block may be entered with the spill base loaded.
+    translator.restore_gp(em);
+    match mode {
+        Mode::EmptyPatch(_) => {
+            em.inst(*inst);
+            Ok(())
+        }
+        Mode::Downgrade => translator.downgrade(inst, em),
+    }
+}
+
+/// The in-place patch replacing a source instruction with a trap:
+/// `c.ebreak` for 2-byte sites (so neighbours stay intact), `ebreak` for
+/// 4-byte ones. Shared by the static plan stage and the kernel's lazy
+/// rewriter.
+pub fn ebreak_patch(len: u8) -> Vec<u8> {
+    if len == 2 {
+        chimera_isa::encode_compressed(&Inst::Ebreak)
+            .expect("c.ebreak exists")
+            .to_le_bytes()
+            .to_vec()
+    } else {
+        encode(&Inst::Ebreak)
+            .expect("ebreak encodes")
+            .to_le_bytes()
+            .to_vec()
     }
 }
 
@@ -502,7 +639,7 @@ fn pad_illegal(buf: &mut Vec<u8>, n: usize) {
 /// A patch region: the instructions translated/copied into one target
 /// block.
 #[derive(Debug)]
-struct Region {
+pub(crate) struct Region {
     /// Instructions from the site onward, in order.
     insts: Vec<DisasmInst>,
     /// First byte after the overwritten space (≥ site + 8, an instruction
@@ -756,13 +893,15 @@ pub(crate) fn reemit(inst: &Inst, old_addr: u64, em: &mut BlockEmitter) {
     match *inst {
         Inst::Auipc { rd, imm20 } => {
             // Rebuild the absolute value the original would have produced.
+            // Always emit the paired addi (even when the low part is zero)
+            // so the re-emission is size-invariant in its base address —
+            // the pipeline measures unit sizes at a scratch base and must
+            // get the same length at the final one.
             let value = old_addr.wrapping_add(((imm20 as i64) << 12) as u64);
             let new_pc = em.addr();
             let (hi, lo) = pcrel_hi_lo(value as i64 - new_pc as i64);
             em.inst(Inst::Auipc { rd, imm20: hi });
-            if lo != 0 {
-                em.inst(chimera_obj::addi(rd, rd, lo));
-            }
+            em.inst(chimera_obj::addi(rd, rd, lo));
         }
         Inst::Jal { rd, offset } if rd != XReg::ZERO => {
             // A call: long-range call trampoline; the return address links
@@ -789,6 +928,16 @@ pub(crate) fn reemit(inst: &Inst, old_addr: u64, em: &mut BlockEmitter) {
 /// Emits a jump from the current block position back to original address
 /// `resume`, choosing `jal` / dead-register trampoline / shifted exit /
 /// trap (§4.2 Challenge 2). Updates Table-3 counters.
+///
+/// Size invariance: the emitted length depends only on `(resume, opts,
+/// analyses)` — never on `em`'s base address. Which dead register exists
+/// (and how far the exit shifts) is a liveness fact; the final jump itself
+/// is a fixed 8-byte slot (`jal` + illegal filler, `auipc+jalr`, or
+/// `ebreak` + filler), so near and far exits occupy the same space. The
+/// Table-3 counters (`exit_trampolines`, `dead_reg_not_found_*`) are
+/// evaluated at the *actual* emission address; the pipeline's scan-stage
+/// measurement discards its stats fragment, so only the transform stage's
+/// final-address counters reach the caller.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn emit_exit(
     resume: u64,
@@ -801,27 +950,15 @@ pub(crate) fn emit_exit(
     stats: &mut RewriteStats,
 ) {
     stats.exit_jumps += 1;
-    let here = em.addr();
-    let rel = resume as i64 - here as i64;
-    if (-(1 << 20)..(1 << 20)).contains(&rel) {
-        em.inst(Inst::Jal {
-            rd: XReg::ZERO,
-            offset: rel as i32,
-        });
-        return;
-    }
-    stats.exit_trampolines += 1;
 
     // Traditional liveness at the exit position.
     let traditional = liveness.dead_register_at(resume);
-    if traditional.is_none() {
-        stats.dead_reg_not_found_traditional += 1;
-    }
     let mut exit_at = resume;
     let mut dead = traditional;
 
     if dead.is_none() && opts.exit_shifting {
-        // Walk forward copying instructions until a dead register appears.
+        // Walk forward until a dead register appears; the instructions in
+        // between will be copied before the exit slot.
         let mut cursor = resume;
         for _ in 0..16 {
             let Some(di) = d.at(cursor) else { break };
@@ -835,13 +972,6 @@ pub(crate) fn emit_exit(
             }
             let next = di.next_addr();
             if let Some(r) = liveness.dead_register_at(next) {
-                // Copy [resume, next) and exit at `next`.
-                let mut c = resume;
-                while c < next {
-                    let ci = d.at(c).expect("walked over recognized insts");
-                    reemit(&ci.inst, ci.addr, em);
-                    c = ci.next_addr();
-                }
                 exit_at = next;
                 dead = Some(r);
                 break;
@@ -850,9 +980,32 @@ pub(crate) fn emit_exit(
         }
     }
 
+    // Copy [resume, exit_at) — empty unless shifting moved the exit.
+    let mut c = resume;
+    while c < exit_at {
+        let ci = d.at(c).expect("walked over recognized insts");
+        reemit(&ci.inst, ci.addr, em);
+        c = ci.next_addr();
+    }
+
+    // The fixed 8-byte exit slot.
+    let here = em.addr();
+    let rel = exit_at as i64 - here as i64;
+    if (-(1 << 20)..(1 << 20)).contains(&rel) {
+        em.inst(Inst::Jal {
+            rd: XReg::ZERO,
+            offset: rel as i32,
+        });
+        em.raw(&ILLEGAL_HALFWORD.to_le_bytes());
+        em.raw(&ILLEGAL_HALFWORD.to_le_bytes());
+        return;
+    }
+    stats.exit_trampolines += 1;
+    if traditional.is_none() {
+        stats.dead_reg_not_found_traditional += 1;
+    }
     match dead {
         Some(r) => {
-            let here = em.addr();
             let (hi, lo) = pcrel_hi_lo(exit_at as i64 - here as i64);
             em.inst(Inst::Auipc { rd: r, imm20: hi });
             em.inst(Inst::Jalr {
@@ -864,71 +1017,14 @@ pub(crate) fn emit_exit(
         None => {
             stats.dead_reg_not_found_shift += 1;
             stats.trap_exits += 1;
-            let at = em.addr();
+            // No copies were emitted (shifting failed), so resuming at
+            // `resume` after the trap is correct.
             em.inst(Inst::Ebreak);
-            fht.trap_exits.insert(at, resume);
+            em.raw(&ILLEGAL_HALFWORD.to_le_bytes());
+            em.raw(&ILLEGAL_HALFWORD.to_le_bytes());
+            fht.trap_exits.insert(here, resume);
         }
     }
-}
-
-/// Places a trap-based entry for a site where no SMILE trampoline works:
-/// the source instruction is replaced in place by an `ebreak` (2-byte
-/// `c.ebreak` for compressed sources, so neighbours stay intact), and the
-/// kernel redirects to the target block. The translation is known to exist
-/// (probed by the caller).
-#[allow(clippy::too_many_arguments)]
-fn place_trap_entry(
-    site: &DisasmInst,
-    d: &Disassembly,
-    liveness: &Liveness,
-    opts: RewriteOptions,
-    translator: &mut Translator,
-    target_code: &mut Vec<u8>,
-    target_base: u64,
-    text_patches: &mut Vec<(u64, Vec<u8>)>,
-    fht: &mut FaultTable,
-    stats: &mut RewriteStats,
-    _target: ExtSet,
-) {
-    stats.trap_entries += 1;
-    let block_addr = target_base + target_code.len() as u64;
-    let mut em = BlockEmitter::new(block_addr);
-    translator.restore_gp(&mut em);
-    match opts.mode {
-        Mode::EmptyPatch(_) => {
-            em.inst(site.inst);
-        }
-        Mode::Downgrade => {
-            translator
-                .downgrade(&site.inst, &mut em)
-                .expect("caller probed translatability");
-        }
-    }
-    emit_exit(
-        site.next_addr(),
-        d,
-        liveness,
-        opts,
-        _target,
-        &mut em,
-        fht,
-        stats,
-    );
-    target_code.extend_from_slice(&em.finish());
-
-    let patch = if site.len == 2 {
-        chimera_isa::encode_compressed(&Inst::Ebreak)
-            .expect("c.ebreak exists")
-            .to_le_bytes()
-            .to_vec()
-    } else {
-        encode(&Inst::Ebreak)
-            .expect("ebreak encodes")
-            .to_le_bytes()
-            .to_vec()
-    };
-    text_patches.push((site.addr, patch));
-    fht.trap_entries.insert(site.addr, block_addr);
 }
 
 /// Mechanized Claim 1 check on a rewritten binary: every placed SMILE
@@ -936,7 +1032,7 @@ fn place_trap_entry(
 /// to the gp-pivot `jalr`; every overwritten instruction start has a
 /// redirect or trap entry.
 pub fn verify_claim1(rw: &Rewritten, original: &Binary) -> Result<(), String> {
-    let d_orig = disassemble(original);
+    let d_orig = chimera_analysis::disassemble(original);
     for &t in &rw.fht.trampolines {
         // Gather original instruction starts inside [t, t+8).
         for off in [2u64, 4, 6] {

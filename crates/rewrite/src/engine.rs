@@ -1,0 +1,240 @@
+//! The unified rewrite-engine abstraction: every rewriting system (CHBP,
+//! the strawman, the Safer/ARMore regeneration flavors, and the FAM/MELF
+//! identity passthrough) implements [`RewriteEngine`] — six explicit
+//! stages over a shared [`RewriteUnit`] IR, driven by
+//! [`crate::pipeline::run`]:
+//!
+//! 1. **scan** — validate the input, build the analyses (disassembly,
+//!    CFG, liveness), partition the binary into independent rewrite
+//!    units, and *measure* each unit's emitted size (block emission is
+//!    size-invariant in its base address, so a scratch emission at any
+//!    base measures the real size).
+//! 2. **plan** — sequentially assign every unit its final target-section
+//!    address, decide entry kinds (SMILE vs. trap) and collect text
+//!    patches. This is the only stage whose decisions depend on layout,
+//!    and it is deterministic by construction.
+//! 3. **transform** — re-emit every unit at its planned final address.
+//!    Each unit is a pure function of `(unit, address, analyses)`, so
+//!    this stage runs on a worker pool with bit-identical output for
+//!    every worker count.
+//! 4. **place** — concatenate unit bytes (plus planned padding) into the
+//!    target section and merge per-unit fault-table/statistics fragments
+//!    in unit order.
+//! 5. **link** — apply text patches, attach the target section, fix up
+//!    the entry point and profile.
+//! 6. **verify** — validate the output binary.
+
+use crate::chbp::{FaultTable, Region, RewriteError, RewriteStats};
+use crate::regen::{RegenAux, RegenInfo};
+use chimera_analysis::{Cfg, DisasmInst, Disassembly, Liveness};
+use chimera_obj::Binary;
+
+/// One independent rewrite unit: the granularity of parallel transform.
+/// Its position in [`EngineState::units`] is its identity — plans,
+/// artifacts and fragment merges all follow that order, which is what
+/// makes parallel transform deterministic.
+#[derive(Debug)]
+pub struct RewriteUnit {
+    /// What the unit covers.
+    pub(crate) kind: UnitKind,
+}
+
+/// The unit payload, per engine family.
+#[derive(Debug)]
+pub(crate) enum UnitKind {
+    /// A CHBP patch region (site + batched neighbourhood). `forced_trap`
+    /// marks strawman units, which always take a trap entry.
+    Region {
+        /// The region to emit.
+        region: Region,
+        /// Strawman mode: never attempt a SMILE entry.
+        forced_trap: bool,
+    },
+    /// A CHBP site with no usable region: trap entry + lone translation.
+    Site(DisasmInst),
+    /// A regeneration span: instruction index range `[start, end)` in the
+    /// address-ordered disassembly.
+    Span {
+        /// First instruction index.
+        start: usize,
+        /// One past the last instruction index.
+        end: usize,
+    },
+}
+
+/// What one unit's transform produced: emitted bytes plus fragments of
+/// the fault table, statistics and regeneration metadata, merged (in unit
+/// order) during the place stage.
+#[derive(Debug, Default)]
+pub(crate) struct UnitArtifact {
+    /// The unit's emitted bytes.
+    pub bytes: Vec<u8>,
+    /// Fault-table fragment (`redirects`/`trap_exits`/`untranslated`).
+    pub fht: FaultTable,
+    /// Statistics fragment (exit-side counters only).
+    pub stats: RewriteStats,
+    /// Regeneration-metadata fragment (Safer slow traps).
+    pub regen: RegenInfo,
+}
+
+/// One unit's planned placement.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct UnitPlan {
+    /// Final address of the unit's first emitted byte.
+    pub addr: u64,
+    /// Illegal-filler padding preceding the unit (SMILE reachability).
+    pub padding: u64,
+}
+
+/// Shared mutable state threaded through the six pipeline stages.
+pub struct EngineState<'a> {
+    /// The input binary (never mutated).
+    pub(crate) input: &'a Binary,
+    /// Worker count for the parallel stages (1 = fully sequential).
+    pub(crate) workers: usize,
+    /// The output binary under construction (cloned from the input by
+    /// scan for patching engines, by link for the identity engine).
+    pub(crate) out: Option<Binary>,
+    /// Scan: disassembly.
+    pub(crate) disasm: Option<Disassembly>,
+    /// Scan: control-flow graph.
+    pub(crate) cfg: Option<Cfg>,
+    /// Scan: liveness facts.
+    pub(crate) liveness: Option<Liveness>,
+    /// Scan: the unit partition.
+    pub(crate) units: Vec<RewriteUnit>,
+    /// Scan: measured emitted size per unit.
+    pub(crate) unit_sizes: Vec<u64>,
+    /// Plan: per-unit placement.
+    pub(crate) plans: Vec<UnitPlan>,
+    /// Transform: per-unit artifacts (consumed by place).
+    pub(crate) artifacts: Vec<UnitArtifact>,
+    /// Plan: original-section patches (applied by link).
+    pub(crate) text_patches: Vec<(u64, Vec<u8>)>,
+    /// Place: the assembled target section.
+    pub(crate) target_code: Vec<u8>,
+    /// Scan: where the target section will land.
+    pub(crate) target_base: u64,
+    /// The fault-handling table under construction.
+    pub(crate) fht: FaultTable,
+    /// Statistics under construction.
+    pub(crate) stats: RewriteStats,
+    /// Regeneration metadata (regeneration engines only).
+    pub(crate) regen: Option<RegenInfo>,
+    /// Regeneration working state (address map, slot sizes).
+    pub(crate) regen_aux: Option<RegenAux>,
+    /// Work-item count of the stage that just ran (for trace events).
+    pub(crate) pass_items: u64,
+}
+
+impl<'a> EngineState<'a> {
+    pub(crate) fn new(input: &'a Binary, workers: usize) -> Self {
+        EngineState {
+            input,
+            workers: workers.max(1),
+            out: None,
+            disasm: None,
+            cfg: None,
+            liveness: None,
+            units: Vec::new(),
+            unit_sizes: Vec::new(),
+            plans: Vec::new(),
+            artifacts: Vec::new(),
+            text_patches: Vec::new(),
+            target_code: Vec::new(),
+            target_base: 0,
+            fht: FaultTable::default(),
+            stats: RewriteStats::default(),
+            regen: None,
+            regen_aux: None,
+            pass_items: 0,
+        }
+    }
+}
+
+/// Merges one unit's fragments into the global fault table / statistics.
+/// Called in unit-index order, so merge results are deterministic.
+pub(crate) fn merge_fragment(fht: &mut FaultTable, stats: &mut RewriteStats, art: UnitArtifact) {
+    fht.redirects.extend(art.fht.redirects);
+    fht.trap_exits.extend(art.fht.trap_exits);
+    fht.untranslated.extend(art.fht.untranslated);
+    stats.exit_jumps += art.stats.exit_jumps;
+    stats.exit_trampolines += art.stats.exit_trampolines;
+    stats.dead_reg_not_found_traditional += art.stats.dead_reg_not_found_traditional;
+    stats.dead_reg_not_found_shift += art.stats.dead_reg_not_found_shift;
+    stats.trap_exits += art.stats.trap_exits;
+}
+
+/// A staged rewriting system. Implementations must be [`Sync`]: the
+/// pipeline shares the engine across transform workers.
+///
+/// Stage contract: `scan` fills the analyses + unit partition + sizes,
+/// `plan` assigns layout sequentially, `transform` emits units (the
+/// parallel stage), `place` assembles + merges, `link` produces the
+/// output binary, `verify` validates it. Engines with nothing to do in a
+/// stage inherit the no-op default. Every stage sets
+/// `EngineState::pass_items` for the `RewritePassDone` trace event.
+pub trait RewriteEngine: Sync {
+    /// Engine name (for diagnostics and JSON dumps).
+    fn name(&self) -> &'static str;
+
+    /// Validate input, build analyses, partition into units, measure.
+    fn scan(&self, st: &mut EngineState) -> Result<(), RewriteError>;
+
+    /// Sequential deterministic layout assignment.
+    fn plan(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.pass_items = 0;
+        Ok(())
+    }
+
+    /// Per-unit emission at final addresses (parallel).
+    fn transform(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.pass_items = 0;
+        Ok(())
+    }
+
+    /// Target-section assembly + fragment merge.
+    fn place(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.pass_items = 0;
+        Ok(())
+    }
+
+    /// Patching, section attachment, entry/profile fixup.
+    fn link(&self, st: &mut EngineState) -> Result<(), RewriteError>;
+
+    /// Output validation.
+    fn verify(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        let out = st.out.as_ref().expect("link produced the output binary");
+        out.validate()
+            .map_err(|e| RewriteError::BadBinary(format!("rewritten binary invalid: {e}")))?;
+        st.pass_items = 1;
+        Ok(())
+    }
+}
+
+/// The FAM/MELF identity engine: no rewriting at all — the variant runs
+/// the input binary as-is. Exists so every system in the §6.1 comparison
+/// dispatches through the same pipeline (and produces the same trace
+/// shape).
+pub struct IdentityEngine;
+
+impl RewriteEngine for IdentityEngine {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn scan(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.input
+            .validate()
+            .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
+        st.stats.code_size = st.input.code_size();
+        st.pass_items = 1;
+        Ok(())
+    }
+
+    fn link(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.out = Some(st.input.clone());
+        st.pass_items = 1;
+        Ok(())
+    }
+}

@@ -1,23 +1,34 @@
 //! # chimera-rewrite
 //!
 //! CHBP — Correct and High-performance Binary Patching — plus the baseline
-//! rewriters the paper compares against.
+//! rewriters the paper compares against. Every rewriting system dispatches
+//! through the staged [`RewriteEngine`] pass pipeline
+//! (scan → plan → transform → place → link → verify), whose transform
+//! stage runs on a worker pool with bit-identical output for every worker
+//! count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chbp;
 pub mod emitter;
+pub mod engine;
+pub mod pipeline;
 pub mod smile;
 pub mod translate;
 
 pub use chbp::{
-    chbp_rewrite, chbp_rewrite_traced, verify_claim1, FaultTable, Mode, RewriteError,
-    RewriteOptions, RewriteStats, Rewritten,
+    chbp_rewrite, chbp_rewrite_traced, chbp_rewrite_with, ebreak_patch, emit_site_translation,
+    verify_claim1, ChbpEngine, FaultTable, Mode, RewriteError, RewriteOptions, RewriteStats,
+    Rewritten,
 };
+pub use engine::{IdentityEngine, RewriteEngine};
+pub use pipeline::{default_workers, run, EngineResult};
 pub mod regen;
 
-pub use regen::{regenerate, Flavor, RegenInfo, Regenerated, SlowTrap};
+pub use regen::{
+    regenerate, regenerate_with, Flavor, RegenEngine, RegenInfo, Regenerated, SlowTrap,
+};
 pub mod upgrade;
 
 pub use upgrade::upgrade_rewrite;

@@ -1,0 +1,111 @@
+//! The pass-pipeline driver: runs a [`RewriteEngine`]'s six stages over
+//! one binary, emitting a [`TraceEvent::RewritePassDone`] per stage and
+//! the `rewrite.*` counters at the end.
+//!
+//! Determinism contract: for a fixed engine + input, the output —
+//! binary bytes, [`FaultTable`](crate::FaultTable), and
+//! [`RewriteStats`](crate::RewriteStats) — is bit-identical for every
+//! `workers` value. Layout is assigned in the sequential plan stage;
+//! the parallel stages (scan measurement, transform) compute pure
+//! per-unit functions reassembled in unit order.
+
+use crate::chbp::{RewriteError, Rewritten};
+use crate::engine::{EngineState, RewriteEngine};
+use crate::regen::RegenInfo;
+use chimera_obj::Binary;
+use chimera_trace::{RewritePass, TraceEvent, Tracer};
+
+/// What a pipeline run produced.
+pub struct EngineResult {
+    /// The rewritten binary, fault table and statistics.
+    pub rewritten: Rewritten,
+    /// Regeneration metadata (regeneration engines only).
+    pub regen: Option<RegenInfo>,
+}
+
+/// The default transform worker count: the machine's parallelism, capped
+/// at 8 (the gate's measured scaling point; rewriting saturates quickly
+/// beyond that).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs `engine`'s six stages over `binary` with `workers` transform
+/// threads (`<= 1` runs fully sequentially — same output).
+pub fn run(
+    engine: &dyn RewriteEngine,
+    binary: &Binary,
+    workers: usize,
+    tracer: &Tracer,
+) -> Result<EngineResult, RewriteError> {
+    let mut st = EngineState::new(binary, workers);
+    let mut timer = PassTimer::new(tracer);
+
+    engine.scan(&mut st)?;
+    timer.done(RewritePass::Scan, st.pass_items);
+    engine.plan(&mut st)?;
+    timer.done(RewritePass::Plan, st.pass_items);
+    engine.transform(&mut st)?;
+    timer.done(RewritePass::Transform, st.pass_items);
+    engine.place(&mut st)?;
+    timer.done(RewritePass::Place, st.pass_items);
+    engine.link(&mut st)?;
+    timer.done(RewritePass::Link, st.pass_items);
+    engine.verify(&mut st)?;
+    timer.done(RewritePass::Verify, st.pass_items);
+
+    if tracer.is_enabled() {
+        tracer.count(
+            "rewrite.smile_trampolines",
+            st.stats.smile_trampolines as u64,
+        );
+        tracer.count(
+            "rewrite.constrained_smiles",
+            st.stats.constrained_smiles as u64,
+        );
+        tracer.count("rewrite.trap_entries", st.stats.trap_entries as u64);
+        tracer.count("rewrite.trap_exits", st.stats.trap_exits as u64);
+        tracer.count("rewrite.untranslated", st.fht.untranslated.len() as u64);
+        tracer.count("rewrite.target_bytes", st.stats.target_section_size);
+    }
+
+    let binary = st.out.take().expect("link produced the output binary");
+    Ok(EngineResult {
+        rewritten: Rewritten {
+            binary,
+            fht: st.fht,
+            stats: st.stats,
+        },
+        regen: st.regen.take(),
+    })
+}
+
+/// Times pipeline stages and reports them to a tracer. Inert (no clock
+/// reads) when the tracer is disabled.
+struct PassTimer<'a> {
+    tracer: &'a Tracer,
+    last: Option<std::time::Instant>,
+}
+
+impl<'a> PassTimer<'a> {
+    fn new(tracer: &'a Tracer) -> Self {
+        PassTimer {
+            tracer,
+            last: tracer.is_enabled().then(std::time::Instant::now),
+        }
+    }
+
+    fn done(&mut self, pass: RewritePass, items: u64) {
+        let Some(last) = self.last else {
+            return;
+        };
+        let nanos = last.elapsed().as_nanos() as u64;
+        self.tracer
+            .record(0, TraceEvent::RewritePassDone { pass, nanos, items });
+        self.tracer.observe("rewrite.pass_nanos", nanos);
+        self.last = Some(std::time::Instant::now());
+    }
+}

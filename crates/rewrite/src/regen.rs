@@ -22,11 +22,16 @@
 
 use crate::chbp::{FaultTable, Mode, RewriteError, RewriteStats, Rewritten, ILLEGAL_HALFWORD};
 use crate::emitter::BlockEmitter;
+use crate::engine::{EngineState, RewriteEngine, RewriteUnit, UnitArtifact, UnitKind, UnitPlan};
 use crate::translate::{SpillLayout, Translator};
-use chimera_analysis::{disassemble, DisasmInst};
+use chimera_analysis::{disassemble_with, inst_spans, DisasmInst};
 use chimera_isa::{encode, ExtSet, Inst, XReg};
 use chimera_obj::{pcrel_hi_lo, Binary, Perms};
+use chimera_trace::Tracer;
 use std::collections::BTreeMap;
+
+/// Instructions per regeneration span (the parallel transform unit).
+const SPAN_INSTS: usize = 1024;
 
 /// Which regeneration baseline to produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,7 +44,7 @@ pub enum Flavor {
 }
 
 /// Extra metadata the kernel needs to run a regenerated binary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegenInfo {
     /// Safer slow-path trap sites: ebreak address → (jump-holding register,
     /// link register or `None`, link value to install).
@@ -47,7 +52,7 @@ pub struct RegenInfo {
 }
 
 /// One Safer slow-path trap site.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlowTrap {
     /// Register holding the (original-space) jump target at the trap.
     pub target_reg: XReg,
@@ -58,7 +63,7 @@ pub struct SlowTrap {
 }
 
 /// A regenerated binary: the rewritten output plus regeneration metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Regenerated {
     /// The rewritten binary and shared runtime tables (`redirects` maps
     /// every original instruction address to its relocated copy).
@@ -74,81 +79,87 @@ pub fn regenerate(
     mode: Mode,
     flavor: Flavor,
 ) -> Result<Regenerated, RewriteError> {
-    binary
-        .validate()
-        .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
-    let d = disassemble(binary);
-    let insts: Vec<DisasmInst> = d.iter().copied().collect();
+    regenerate_with(
+        binary,
+        target,
+        mode,
+        flavor,
+        crate::pipeline::default_workers(),
+        &Tracer::disabled(),
+    )
+}
 
-    // Statically resolvable `auipc rd, hi; jalr rd2, lo(rd)` pairs: direct
-    // calls in disguise (the standard `call` expansion). Regeneration
-    // redirects them to the relocated target without runtime machinery —
-    // exactly what Safer's "statically corrected/encoded" targets and
-    // ARMore's direct-control-flow fixup do. The fixup is skipped when the
-    // jalr is itself a jump target (the pairing assumption would not hold).
-    let mut direct_pair: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
-    for w in insts.windows(2) {
-        let (a, b) = (&w[0], &w[1]);
-        if let (
-            Inst::Auipc { rd, imm20 },
-            Inst::Jalr {
-                rd: rd2,
-                rs1,
-                offset,
-            },
-        ) = (a.inst, b.inst)
-        {
-            // Only linking pairs (calls): a non-linking pair would need a
-            // scratch register to span ±2 GiB, which plain relocation does
-            // not have.
-            if rd == rs1
-                && rd2 != XReg::ZERO
-                && !d.targets.contains(&b.addr)
-                && !d.data_refs.contains(&b.addr)
-            {
-                let target = a
-                    .addr
-                    .wrapping_add(((imm20 as i64) << 12) as u64)
-                    .wrapping_add(offset as i64 as u64);
-                if d.insts.contains_key(&target) {
-                    direct_pair.insert(b.addr, target);
-                }
-            }
+/// [`regenerate`] with an explicit worker count and tracer. Output is
+/// bit-identical for every worker count.
+pub fn regenerate_with(
+    binary: &Binary,
+    target: ExtSet,
+    mode: Mode,
+    flavor: Flavor,
+    workers: usize,
+    tracer: &Tracer,
+) -> Result<Regenerated, RewriteError> {
+    let engine = RegenEngine {
+        target,
+        mode,
+        flavor,
+    };
+    let r = crate::pipeline::run(&engine, binary, workers, tracer)?;
+    Ok(Regenerated {
+        rewritten: r.rewritten,
+        info: r.regen.unwrap_or_default(),
+    })
+}
+
+/// Regeneration working state carried between pipeline stages.
+pub(crate) struct RegenAux {
+    /// All recognized instructions, in address order.
+    insts: Vec<DisasmInst>,
+    /// Statically resolved `auipc; jalr` call pairs: jalr address →
+    /// original call target.
+    direct_pair: BTreeMap<u64, u64>,
+    /// Address map: original → relocated (filled by plan).
+    map: BTreeMap<u64, u64>,
+    /// Relocated slot size per instruction.
+    sizes: Vec<u64>,
+}
+
+/// The Safer/ARMore regeneration engine.
+pub struct RegenEngine {
+    /// The target core profile.
+    pub target: ExtSet,
+    /// Source-instruction handling.
+    pub mode: Mode,
+    /// Which baseline to produce.
+    pub flavor: Flavor,
+}
+
+impl RegenEngine {
+    fn is_source(&self, inst: &Inst) -> bool {
+        match self.mode {
+            Mode::Downgrade => !inst.runnable_on(self.target),
+            Mode::EmptyPatch(ext) => inst.ext() == Some(ext),
         }
     }
 
-    let mut out = binary.clone();
-    let spill_base = out.append_section(
-        ".chimera.vregs",
-        vec![0u8; SpillLayout::SIZE.next_multiple_of(0x1000)],
-        Perms::RW,
-    );
-    let new_base = {
-        let top = out.sections.iter().map(|s| s.end()).max().unwrap_or(0);
-        (top + 0xfff) & !0xfff
-    };
-    let mut translator = Translator::new(spill_base, binary.gp);
-    let mut stats = RewriteStats {
-        code_size: binary.code_size(),
-        total_insts: insts.len(),
-        ..Default::default()
-    };
-
-    let is_source = |inst: &Inst| match mode {
-        Mode::Downgrade => !inst.runnable_on(target),
-        Mode::EmptyPatch(ext) => inst.ext() == Some(ext),
-    };
-
-    // Pass 1: compute each instruction's relocated size.
-    let mut sizes: Vec<u64> = Vec::with_capacity(insts.len());
-    for di in &insts {
-        let size = if is_source(&di.inst) {
-            stats.source_insts += 1;
-            match mode {
+    /// The relocated slot size of one instruction: a pure function of the
+    /// instruction (+ the direct-pair set and translator parameters),
+    /// never of its final address — variable-length sequences are
+    /// nop-padded to their fixed slot.
+    fn slot_size(
+        &self,
+        di: &DisasmInst,
+        direct_pair: &BTreeMap<u64, u64>,
+        spill_base: u64,
+        abi_gp: u64,
+    ) -> u64 {
+        if self.is_source(&di.inst) {
+            match self.mode {
                 Mode::EmptyPatch(_) => 4,
                 Mode::Downgrade => {
+                    let mut t = Translator::new(spill_base, abi_gp);
                     let mut probe = BlockEmitter::new(0);
-                    match translator.downgrade(&di.inst, &mut probe) {
+                    match t.downgrade(&di.inst, &mut probe) {
                         Ok(()) => probe.finish().len() as u64,
                         Err(_) => 4, // Left as-is; faults lazily at runtime.
                     }
@@ -161,7 +172,8 @@ pub fn regenerate(
                 Inst::Jalr { rd, rs1, offset } => {
                     if direct_pair.contains_key(&di.addr) {
                         8 // Redirected direct call: auipc + jalr.
-                    } else if flavor == Flavor::Safer && safer_instrumentable(rd, rs1, offset) {
+                    } else if self.flavor == Flavor::Safer && safer_instrumentable(rd, rs1, offset)
+                    {
                         4 * 9 // The instrumentation sequence (fixed shape).
                     } else {
                         4
@@ -170,127 +182,319 @@ pub fn regenerate(
                 Inst::Auipc { .. } => 8, // Re-materialization.
                 _ => 4,
             }
-        };
-        sizes.push(size);
-    }
-    // Address map: original → relocated.
-    let mut map: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut cursor = new_base;
-    for (di, size) in insts.iter().zip(&sizes) {
-        map.insert(di.addr, cursor);
-        cursor += size;
+        }
     }
 
-    // Pass 2: emit.
-    let mut em = BlockEmitter::new(new_base);
-    let mut info = RegenInfo::default();
-    let mut fht = FaultTable {
-        abi_gp: binary.gp,
-        spill_base,
-        ..Default::default()
-    };
-    for (di, &size) in insts.iter().zip(&sizes) {
-        let new_addr = map[&di.addr];
-        debug_assert_eq!(em.addr(), new_addr, "size plan must match emission");
-        if is_source(&di.inst) {
-            match mode {
-                Mode::EmptyPatch(_) => {
-                    em.inst(di.inst);
-                }
-                Mode::Downgrade => {
-                    if translator.downgrade(&di.inst, &mut em).is_err() {
-                        em.inst(di.inst); // Untranslated: traps at runtime.
-                        fht.untranslated.insert(new_addr);
+    /// Emits the instructions of one span at their final addresses.
+    fn emit_span(
+        &self,
+        start: usize,
+        end: usize,
+        aux: &RegenAux,
+        new_base: u64,
+        spill_base: u64,
+        abi_gp: u64,
+    ) -> Result<UnitArtifact, RewriteError> {
+        let mut translator = Translator::new(spill_base, abi_gp);
+        let mut em = BlockEmitter::new(aux.map[&aux.insts[start].addr]);
+        let mut art = UnitArtifact::default();
+        for (di, &size) in aux.insts[start..end].iter().zip(&aux.sizes[start..end]) {
+            let new_addr = aux.map[&di.addr];
+            debug_assert_eq!(em.addr(), new_addr, "size plan must match emission");
+            if self.is_source(&di.inst) {
+                match self.mode {
+                    Mode::EmptyPatch(_) => {
+                        em.inst(di.inst);
                     }
-                }
-            }
-        } else if let Some(&old_target) = direct_pair.get(&di.addr) {
-            // Statically resolved call: jump straight to the relocated
-            // target, linking the relocated return address.
-            let Inst::Jalr { rd, .. } = di.inst else {
-                unreachable!("direct pairs are jalr instructions")
-            };
-            let new_target = *map
-                .get(&old_target)
-                .ok_or_else(|| RewriteError::Layout(format!("pair target {old_target:#x}")))?;
-            debug_assert_ne!(rd, XReg::ZERO, "pair matcher only accepts calls");
-            let (hi, lo) = pcrel_hi_lo(new_target as i64 - new_addr as i64);
-            em.inst(Inst::Auipc { rd, imm20: hi });
-            em.inst(Inst::Jalr {
-                rd,
-                rs1: rd,
-                offset: lo,
-            });
-        } else {
-            emit_relocated(
-                di, new_addr, size, &map, flavor, new_base, binary.gp, &mut em, &mut info,
-                &mut stats,
-            )?;
-        }
-        // Pad to the planned size with nops: straight-line slots fall
-        // through their padding into the next slot (original program
-        // order), so the filler must execute as a no-op.
-        let emitted = em.addr() - new_addr;
-        assert!(emitted <= size, "{} overflowed its slot", di.inst);
-        debug_assert_eq!((size - emitted) % 4, 0, "slot sizes are word-granular");
-        for _ in 0..(size - emitted) / 4 {
-            em.inst(chimera_isa::nop());
-        }
-    }
-    let new_code = em.finish();
-
-    // Original section: redirects.
-    rewrite_original_section(&mut out, &insts, &map, flavor, &mut fht, &mut stats)?;
-
-    // Safer: "encode" discovered code pointers in data sections.
-    if flavor == Flavor::Safer {
-        let text = binary.section(".text").expect("validated").clone();
-        let patches: Vec<(u64, u64)> = out
-            .sections
-            .iter()
-            .filter(|s| !s.perms.x)
-            .flat_map(|s| {
-                let mut v = Vec::new();
-                for off in (0..s.data.len().saturating_sub(7)).step_by(8) {
-                    let val = u64::from_le_bytes(s.data[off..off + 8].try_into().unwrap());
-                    if val >= text.addr && val < text.end() {
-                        if let Some(&new) = map.get(&val) {
-                            v.push((s.addr + off as u64, new));
+                    Mode::Downgrade => {
+                        if translator.downgrade(&di.inst, &mut em).is_err() {
+                            em.inst(di.inst); // Untranslated: traps at runtime.
+                            art.fht.untranslated.insert(new_addr);
                         }
                     }
                 }
-                v
-            })
-            .collect();
-        for (addr, new) in patches {
-            out.write(addr, &new.to_le_bytes());
+            } else if let Some(&old_target) = aux.direct_pair.get(&di.addr) {
+                // Statically resolved call: jump straight to the relocated
+                // target, linking the relocated return address.
+                let Inst::Jalr { rd, .. } = di.inst else {
+                    unreachable!("direct pairs are jalr instructions")
+                };
+                let new_target = *aux
+                    .map
+                    .get(&old_target)
+                    .ok_or_else(|| RewriteError::Layout(format!("pair target {old_target:#x}")))?;
+                debug_assert_ne!(rd, XReg::ZERO, "pair matcher only accepts calls");
+                let (hi, lo) = pcrel_hi_lo(new_target as i64 - new_addr as i64);
+                em.inst(Inst::Auipc { rd, imm20: hi });
+                em.inst(Inst::Jalr {
+                    rd,
+                    rs1: rd,
+                    offset: lo,
+                });
+            } else {
+                emit_relocated(
+                    di,
+                    new_addr,
+                    size,
+                    &aux.map,
+                    self.flavor,
+                    new_base,
+                    abi_gp,
+                    &mut em,
+                    &mut art.regen,
+                    &mut art.stats,
+                )?;
+            }
+            // Pad to the planned size with nops: straight-line slots fall
+            // through their padding into the next slot (original program
+            // order), so the filler must execute as a no-op.
+            let emitted = em.addr() - new_addr;
+            assert!(emitted <= size, "{} overflowed its slot", di.inst);
+            debug_assert_eq!((size - emitted) % 4, 0, "slot sizes are word-granular");
+            for _ in 0..(size - emitted) / 4 {
+                em.inst(chimera_isa::nop());
+            }
+        }
+        art.bytes = em.finish();
+        Ok(art)
+    }
+}
+
+impl RewriteEngine for RegenEngine {
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            Flavor::Safer => "safer",
+            Flavor::Armore => "armore",
         }
     }
 
-    stats.target_section_size = new_code.len() as u64;
-    let placed = out.append_section(".regen.text", new_code, Perms::RX);
-    if placed != new_base {
-        return Err(RewriteError::Layout(format!(
-            "relocated section at {placed:#x}, expected {new_base:#x}"
-        )));
-    }
-    fht.target_range = (new_base, out.section(".regen.text").unwrap().end());
-    for (&old, &new) in &map {
-        fht.redirects.insert(old, new);
-    }
-    out.entry = *map.get(&binary.entry).unwrap_or(&binary.entry);
-    out.profile = target;
-    out.validate()
-        .map_err(|e| RewriteError::BadBinary(format!("regenerated binary invalid: {e}")))?;
+    fn scan(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.input
+            .validate()
+            .map_err(|e| RewriteError::BadBinary(e.to_string()))?;
+        let d = disassemble_with(st.input, st.workers);
+        let insts: Vec<DisasmInst> = d.iter().copied().collect();
 
-    Ok(Regenerated {
-        rewritten: Rewritten {
-            binary: out,
-            fht,
-            stats,
-        },
-        info,
-    })
+        // Statically resolvable `auipc rd, hi; jalr rd2, lo(rd)` pairs:
+        // direct calls in disguise (the standard `call` expansion).
+        // Regeneration redirects them to the relocated target without
+        // runtime machinery — exactly what Safer's "statically
+        // corrected/encoded" targets and ARMore's direct-control-flow
+        // fixup do. The fixup is skipped when the jalr is itself a jump
+        // target (the pairing assumption would not hold).
+        let mut direct_pair: BTreeMap<u64, u64> = BTreeMap::new();
+        for w in insts.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if let (
+                Inst::Auipc { rd, imm20 },
+                Inst::Jalr {
+                    rd: rd2,
+                    rs1,
+                    offset,
+                },
+            ) = (a.inst, b.inst)
+            {
+                // Only linking pairs (calls): a non-linking pair would
+                // need a scratch register to span ±2 GiB, which plain
+                // relocation does not have.
+                if rd == rs1
+                    && rd2 != XReg::ZERO
+                    && !d.targets.contains(&b.addr)
+                    && !d.data_refs.contains(&b.addr)
+                {
+                    let target = a
+                        .addr
+                        .wrapping_add(((imm20 as i64) << 12) as u64)
+                        .wrapping_add(offset as i64 as u64);
+                    if d.insts.contains_key(&target) {
+                        direct_pair.insert(b.addr, target);
+                    }
+                }
+            }
+        }
+
+        let mut out = st.input.clone();
+        let spill_base = out.append_section(
+            ".chimera.vregs",
+            vec![0u8; SpillLayout::SIZE.next_multiple_of(0x1000)],
+            Perms::RW,
+        );
+        let new_base = {
+            let top = out.sections.iter().map(|s| s.end()).max().unwrap_or(0);
+            (top + 0xfff) & !0xfff
+        };
+        st.fht.abi_gp = st.input.gp;
+        st.fht.spill_base = spill_base;
+        st.target_base = new_base;
+        st.out = Some(out);
+
+        st.stats.code_size = st.input.code_size();
+        st.stats.total_insts = insts.len();
+        st.stats.source_insts = insts.iter().filter(|di| self.is_source(&di.inst)).count();
+
+        // Span partition + parallel slot sizing (pure per instruction).
+        let abi_gp = st.input.gp;
+        let spans = inst_spans(&d, SPAN_INSTS);
+        let span_sizes: Vec<Vec<u64>> =
+            chimera_analysis::par::map_indexed(st.workers, spans.len(), |i| {
+                let (s, e) = spans[i];
+                insts[s..e]
+                    .iter()
+                    .map(|di| self.slot_size(di, &direct_pair, spill_base, abi_gp))
+                    .collect()
+            });
+        let sizes: Vec<u64> = span_sizes.into_iter().flatten().collect();
+
+        st.units = spans
+            .iter()
+            .map(|&(start, end)| RewriteUnit {
+                kind: UnitKind::Span { start, end },
+            })
+            .collect();
+        st.unit_sizes = spans
+            .iter()
+            .map(|&(s, e)| sizes[s..e].iter().sum())
+            .collect();
+        st.pass_items = insts.len() as u64;
+        st.regen_aux = Some(RegenAux {
+            insts,
+            direct_pair,
+            map: BTreeMap::new(),
+            sizes,
+        });
+        st.disasm = Some(d);
+        Ok(())
+    }
+
+    fn plan(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        // Address map: original → relocated (prefix sum over slot sizes).
+        let aux = st.regen_aux.as_mut().expect("scan ran");
+        let mut cursor = st.target_base;
+        for (di, size) in aux.insts.iter().zip(&aux.sizes) {
+            aux.map.insert(di.addr, cursor);
+            cursor += size;
+        }
+        st.plans = st
+            .units
+            .iter()
+            .map(|u| {
+                let UnitKind::Span { start, .. } = u.kind else {
+                    unreachable!("regeneration units are spans")
+                };
+                UnitPlan {
+                    addr: aux.map[&aux.insts[start].addr],
+                    padding: 0,
+                }
+            })
+            .collect();
+        st.pass_items = st.units.len() as u64;
+        Ok(())
+    }
+
+    fn transform(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        let aux = st.regen_aux.as_ref().expect("scan ran");
+        let units = &st.units;
+        let new_base = st.target_base;
+        let (spill_base, abi_gp) = (st.fht.spill_base, st.fht.abi_gp);
+        let results: Vec<Result<UnitArtifact, RewriteError>> =
+            chimera_analysis::par::map_indexed(st.workers, units.len(), |i| {
+                let UnitKind::Span { start, end } = units[i].kind else {
+                    unreachable!("regeneration units are spans")
+                };
+                self.emit_span(start, end, aux, new_base, spill_base, abi_gp)
+            });
+        let mut artifacts = Vec::with_capacity(results.len());
+        for r in results {
+            artifacts.push(r?);
+        }
+        for (art, &size) in artifacts.iter().zip(&st.unit_sizes) {
+            debug_assert_eq!(art.bytes.len() as u64, size, "span must fill its slots");
+        }
+        st.pass_items = artifacts.len() as u64;
+        st.artifacts = artifacts;
+        Ok(())
+    }
+
+    fn place(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        st.pass_items = st.artifacts.len() as u64;
+        let artifacts = std::mem::take(&mut st.artifacts);
+        for (plan, mut art) in st.plans.iter().zip(artifacts) {
+            debug_assert_eq!(st.target_base + st.target_code.len() as u64, plan.addr);
+            st.target_code.extend_from_slice(&art.bytes);
+            let regen = st.regen.get_or_insert_with(RegenInfo::default);
+            regen
+                .slow_traps
+                .extend(std::mem::take(&mut art.regen).slow_traps);
+            crate::engine::merge_fragment(&mut st.fht, &mut st.stats, art);
+        }
+        Ok(())
+    }
+
+    fn link(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        let aux = st.regen_aux.as_ref().expect("scan ran");
+        let out = st.out.as_mut().expect("scan cloned the input");
+        let new_base = st.target_base;
+
+        // Original section: redirects.
+        rewrite_original_section(
+            out,
+            &aux.insts,
+            &aux.map,
+            self.flavor,
+            &mut st.fht,
+            &mut st.stats,
+        )?;
+
+        // Safer: "encode" discovered code pointers in data sections.
+        if self.flavor == Flavor::Safer {
+            let text = st.input.section(".text").expect("validated").clone();
+            let patches: Vec<(u64, u64)> = out
+                .sections
+                .iter()
+                .filter(|s| !s.perms.x)
+                .flat_map(|s| {
+                    let mut v = Vec::new();
+                    for off in (0..s.data.len().saturating_sub(7)).step_by(8) {
+                        let val = u64::from_le_bytes(s.data[off..off + 8].try_into().unwrap());
+                        if val >= text.addr && val < text.end() {
+                            if let Some(&new) = aux.map.get(&val) {
+                                v.push((s.addr + off as u64, new));
+                            }
+                        }
+                    }
+                    v
+                })
+                .collect();
+            for (addr, new) in patches {
+                out.write(addr, &new.to_le_bytes());
+            }
+        }
+
+        st.stats.target_section_size = st.target_code.len() as u64;
+        let new_code = std::mem::take(&mut st.target_code);
+        let placed = out.append_section(".regen.text", new_code, Perms::RX);
+        if placed != new_base {
+            return Err(RewriteError::Layout(format!(
+                "relocated section at {placed:#x}, expected {new_base:#x}"
+            )));
+        }
+        st.fht.target_range = (new_base, out.section(".regen.text").unwrap().end());
+        for (&old, &new) in &aux.map {
+            st.fht.redirects.insert(old, new);
+        }
+        out.entry = *aux.map.get(&st.input.entry).unwrap_or(&st.input.entry);
+        out.profile = self.target;
+        st.pass_items = aux.insts.len() as u64;
+        Ok(())
+    }
+
+    fn verify(&self, st: &mut EngineState) -> Result<(), RewriteError> {
+        let out = st.out.as_ref().expect("link produced the output binary");
+        out.validate()
+            .map_err(|e| RewriteError::BadBinary(format!("regenerated binary invalid: {e}")))?;
+        st.pass_items = 1;
+        Ok(())
+    }
 }
 
 fn safer_instrumentable(rd: XReg, rs1: XReg, offset: i32) -> bool {

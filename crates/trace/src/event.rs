@@ -37,33 +37,38 @@ impl TrapKind {
     }
 }
 
-/// A phase of the CHBP rewriting pipeline.
+/// A stage of the unified `RewriteEngine` pass pipeline
+/// (`scan → plan → transform → place → link → verify`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RewritePass {
-    /// Linear-sweep disassembly.
-    Disassemble,
-    /// Control-flow-graph construction.
-    Cfg,
-    /// Register liveness analysis.
-    Liveness,
-    /// Target-block emission + trampoline placement (the main loop).
-    EmitBlocks,
-    /// Text patching and target-section attachment.
-    ApplyPatches,
+    /// Input validation + analyses (disassembly, CFG, liveness) + unit
+    /// partitioning and size measurement.
+    Scan,
+    /// Sequential deterministic layout: final target-section addresses,
+    /// entry kinds and text patches for every unit.
+    Plan,
+    /// Per-unit code emission at the planned final addresses (the
+    /// parallel stage).
+    Transform,
+    /// Target-section assembly: unit bytes + padding gaps, fault-table
+    /// and statistics merge in unit order.
+    Place,
+    /// Text patching, target-section attachment, entry/profile fixup.
+    Link,
     /// Output-binary validation.
-    Validate,
+    Verify,
 }
 
 impl RewritePass {
     /// Short identifier for the JSON export.
     pub fn name(self) -> &'static str {
         match self {
-            RewritePass::Disassemble => "disassemble",
-            RewritePass::Cfg => "cfg",
-            RewritePass::Liveness => "liveness",
-            RewritePass::EmitBlocks => "emit_blocks",
-            RewritePass::ApplyPatches => "apply_patches",
-            RewritePass::Validate => "validate",
+            RewritePass::Scan => "scan",
+            RewritePass::Plan => "plan",
+            RewritePass::Transform => "transform",
+            RewritePass::Place => "place",
+            RewritePass::Link => "link",
+            RewritePass::Verify => "verify",
         }
     }
 }

@@ -152,7 +152,7 @@ mod tests {
         t.record(
             200,
             TraceEvent::RewritePassDone {
-                pass: RewritePass::Cfg,
+                pass: RewritePass::Plan,
                 nanos: 42,
                 items: 7,
             },
@@ -163,7 +163,7 @@ mod tests {
         let js = export_json("unit \"quoted\"", &recs, t.metrics(), t.dropped());
         assert!(js.contains("\"type\": \"Trap\""));
         assert!(js.contains("\"kind\": \"ecall\""));
-        assert!(js.contains("\"pass\": \"cfg\""));
+        assert!(js.contains("\"pass\": \"plan\""));
         assert!(js.contains("\"kernel.smile_faults\": 2"));
         assert!(js.contains("\\\"quoted\\\""));
         assert!(js.contains("[512, 1]"));
