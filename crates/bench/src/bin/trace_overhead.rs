@@ -17,7 +17,7 @@
 //! Part 2 runs one heterogeneous scenario — static rewrite, forced SMILE
 //! fault, lazy rewriting of hidden vector code, a decode-cache
 //! invalidation via self-modification, and the work-stealing simulator —
-//! against one shared tracer, asserts every one of the nine
+//! against one shared tracer, asserts every one of the ten
 //! [`TraceEvent`] kinds occurred, reconciles event counts against the
 //! metrics registry and the kernel's [`FaultCounters`], and dumps
 //! `results/trace-hetero.json`.
@@ -243,6 +243,7 @@ fn overhead_gate(bin: &Binary) {
 struct Expected {
     blocks_built: u64,
     invalidations: u64,
+    chained: u64,
     smile_faults: u64,
     lazy_rewrites: u64,
 }
@@ -285,6 +286,7 @@ fn hetero_scenario() {
         expected.lazy_rewrites += k.counters.lazy_rewrites;
         expected.blocks_built += cpu.cache.stats.blocks_built;
         expected.invalidations += cpu.cache.stats.invalidations;
+        expected.chained += cpu.cache.stats.chained;
     }
 
     // (c) Hidden vector code behind a doubled pointer: the kernel must
@@ -325,6 +327,7 @@ fn hetero_scenario() {
         expected.lazy_rewrites += k.counters.lazy_rewrites;
         expected.blocks_built += cpu.cache.stats.blocks_built;
         expected.invalidations += cpu.cache.stats.invalidations;
+        expected.chained += cpu.cache.stats.chained;
     }
 
     // (d) Decode-cache invalidation: run a loop long enough to cache its
@@ -363,6 +366,7 @@ fn hetero_scenario() {
         );
         expected.blocks_built += cpu.cache.stats.blocks_built;
         expected.invalidations += cpu.cache.stats.invalidations;
+        expected.chained += cpu.cache.stats.chained;
     }
 
     // (e) A measured run through the full stack, published into the same
@@ -373,6 +377,7 @@ fn hetero_scenario() {
     expected.lazy_rewrites += m.counters.lazy_rewrites;
     expected.blocks_built += m.cache.blocks_built;
     expected.invalidations += m.cache.invalidations;
+    expected.chained += m.cache.chained;
     let metrics = tracer.metrics().expect("enabled tracer has metrics");
     let round_trip = Measurement::from_registry(metrics).expect("measurement published");
     assert_eq!(round_trip, m, "publish/from_registry must round-trip");
@@ -420,6 +425,15 @@ fn hetero_scenario() {
     assert_eq!(count("BlockBuilt"), expected.blocks_built);
     assert_eq!(count("CacheInvalidate"), counter("emu.cache_invalidations"));
     assert_eq!(count("CacheInvalidate"), expected.invalidations);
+    // BlockChained is emitted once per *created* link (a cold event); the
+    // per-CPU `chained` stat counts link *follows*, so the trace only
+    // reconciles against its own counter. Follows are asserted non-zero —
+    // the engine must actually run on chains in these loopy scenarios.
+    assert_eq!(count("BlockChained"), counter("emu.blocks_chained"));
+    assert!(
+        expected.chained > 0,
+        "the engine must follow chain links in the hetero scenario"
+    );
     assert_eq!(count("SmileFaultRecovered"), counter("kernel.smile_faults"));
     assert_eq!(count("SmileFaultRecovered"), expected.smile_faults);
     assert_eq!(count("LazyRewrite"), counter("kernel.lazy_rewrites"));
@@ -442,7 +456,7 @@ fn hetero_scenario() {
     std::fs::write("results/trace-hetero.json", &json).unwrap();
     println!("wrote results/trace-hetero.json ({} bytes)", json.len());
     print!("{}", summarize(&records, Some(metrics)));
-    println!("PASS: all 9 event kinds present, counters reconcile exactly");
+    println!("PASS: all 10 event kinds present, counters reconcile exactly");
 }
 
 fn main() {

@@ -289,9 +289,10 @@ pub struct Measurement {
     pub indirect_jumps: u64,
     /// Fault-handling counters (Table 2).
     pub counters: FaultCounters,
-    /// Decode-cache counters (hits/misses/invalidations/blocks built) —
-    /// observability for the interpreter's basic-block cache; lazy
-    /// rewriting shows up here as invalidations.
+    /// Decode-cache counters (hits/misses/invalidations/blocks built/
+    /// chained follows) — observability for the basic-block cache and the
+    /// micro-op engine's block chaining; lazy rewriting shows up here as
+    /// invalidations.
     pub cache: CacheStats,
 }
 
@@ -299,7 +300,7 @@ pub struct Measurement {
 /// the single source of truth [`Measurement::publish`] and
 /// [`Measurement::from_registry`] share.
 #[allow(clippy::type_complexity)]
-const MEASUREMENT_COUNTERS: [(&str, fn(&Measurement) -> u64); 12] = [
+const MEASUREMENT_COUNTERS: [(&str, fn(&Measurement) -> u64); 13] = [
     ("measure.cycles", |m| m.cycles),
     ("measure.instret", |m| m.instret),
     ("measure.indirect_jumps", |m| m.indirect_jumps),
@@ -316,6 +317,7 @@ const MEASUREMENT_COUNTERS: [(&str, fn(&Measurement) -> u64); 12] = [
     ("measure.cache_misses", |m| m.cache.misses),
     ("measure.cache_invalidations", |m| m.cache.invalidations),
     ("measure.blocks_built", |m| m.cache.blocks_built),
+    ("measure.cache_chained", |m| m.cache.chained),
 ];
 
 impl Measurement {
@@ -369,6 +371,7 @@ impl Measurement {
                 misses: get("measure.cache_misses"),
                 invalidations: get("measure.cache_invalidations"),
                 blocks_built: get("measure.blocks_built"),
+                chained: get("measure.cache_chained"),
             },
         })
     }

@@ -112,6 +112,17 @@ impl CostModel {
             _ => self.base,
         }
     }
+
+    /// The `(not taken, taken)` cycle costs of `inst` with zero active
+    /// vector elements — what the micro-op lowering (`crate::uop`)
+    /// pre-computes once per cached instruction. Only sound for non-vector
+    /// instructions (vector costs depend on the live `vl`); the lowering
+    /// guarantees this by routing vector instructions through its generic
+    /// path, and the `vl_words_only_affects_vector_costs` test pins the
+    /// model side of that contract.
+    pub fn static_costs(&self, inst: &Inst) -> (u64, u64) {
+        (self.cost(inst, 0, false), self.cost(inst, 0, true))
+    }
 }
 
 /// Execution statistics accumulated by a CPU.

@@ -14,10 +14,11 @@
 //! the single [`Cpu::exec`] path, so results and cycle accounting are
 //! identical with the cache on or off.
 
-use crate::bbcache::{Block, BlockCache, CachedInst};
+use crate::bbcache::{Block, BlockCache, CachedInst, ChainEdge, ChainLink};
 use crate::cost::{CostModel, ExecStats};
 use crate::hart::Hart;
-use crate::mem::{MemFault, Memory};
+use crate::mem::{AccessHints, MemFault, Memory};
+use crate::uop::{lower_block, MicroOp};
 use chimera_isa::{
     decode, BranchKind, DecodeError, Eew, Ext, ExtSet, FCmpKind, FMaKind, FOpKind, FpWidth, Inst,
     IntWidth, LoadKind, OpImmKind, OpKind, StoreKind, UnaryKind, VArithOp, VSrc, XReg,
@@ -79,6 +80,22 @@ pub enum Stop {
     OutOfFuel,
 }
 
+/// Which front end executes instructions. All three modes are bit-identical
+/// in results, traps, `ExecStats` (including cycles) and fuel accounting —
+/// they differ only in wall-clock speed. The differential suite asserts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Pure per-instruction fetch/decode/execute — the reference semantics
+    /// the other two modes must match bit for bit.
+    Reference,
+    /// Decode-cached interpreter: memoized front end, per-instruction
+    /// dispatch through [`Cpu::exec`].
+    Interpreter,
+    /// Micro-op execution engine: lowered block bodies, block-to-block
+    /// chaining, per-core memory translation hints. The default.
+    Engine,
+}
+
 /// One simulated core.
 #[derive(Debug, Clone)]
 pub struct Cpu {
@@ -93,11 +110,39 @@ pub struct Cpu {
     /// The basic-block decode cache (enabled by default; disable for the
     /// reference fetch/decode/execute path).
     pub cache: BlockCache,
+    /// When true (the default) and the cache is enabled, cached blocks run
+    /// through the lowered micro-op engine with block chaining; when false
+    /// they replay through the per-instruction interpreter. See
+    /// [`ExecMode`] / [`Cpu::set_mode`].
+    pub engine: bool,
+    /// Per-access-kind last-region translation hints (micro-architectural
+    /// state only: hints are revalidated on every use and never change
+    /// results or faults).
+    pub hints: AccessHints,
     /// The trace handle (disabled by default; see `chimera_trace`). The
-    /// CPU emits [`TraceEvent::BlockBuilt`], [`TraceEvent::CacheInvalidate`]
-    /// and [`TraceEvent::Trap`] — coarse events only, never per retired
-    /// instruction, so the enabled overhead stays bounded.
+    /// CPU emits [`TraceEvent::BlockBuilt`], [`TraceEvent::BlockChained`],
+    /// [`TraceEvent::CacheInvalidate`] and [`TraceEvent::Trap`] — coarse
+    /// events only, never per retired instruction, so the enabled overhead
+    /// stays bounded.
     pub tracer: Tracer,
+}
+
+/// How a lowered block body finished (engine mode).
+enum BlockExit {
+    /// Ran off the end of the body (size-truncated block) or a conditional
+    /// branch fell through: the fall-through edge, chainable.
+    Fall,
+    /// A direct control transfer redirected (`jal`, taken branch): the
+    /// taken edge, chainable.
+    Taken,
+    /// An indirect jump (`jalr`): target is data-dependent, chained
+    /// through the one-entry-BTB edge ([`ChainEdge::Indirect`]).
+    Indirect,
+    /// A store invalidated this block's own region mid-body: bail to the
+    /// dispatcher, which revalidates before executing anything else.
+    Bail,
+    /// The fuel budget ran out mid-body.
+    Budget,
 }
 
 impl Cpu {
@@ -109,6 +154,8 @@ impl Cpu {
             cost: CostModel::default(),
             stats: ExecStats::default(),
             cache: BlockCache::new(),
+            engine: true,
+            hints: AccessHints::default(),
             tracer: Tracer::disabled(),
         }
     }
@@ -120,6 +167,21 @@ impl Cpu {
         Cpu {
             cache: BlockCache::disabled(),
             ..Cpu::new(profile)
+        }
+    }
+
+    /// Selects the execution front end (see [`ExecMode`]).
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.cache.enabled = mode != ExecMode::Reference;
+        self.engine = mode == ExecMode::Engine;
+    }
+
+    /// The currently selected execution front end.
+    pub fn mode(&self) -> ExecMode {
+        match (self.cache.enabled, self.engine) {
+            (false, _) => ExecMode::Reference,
+            (true, false) => ExecMode::Interpreter,
+            (true, true) => ExecMode::Engine,
         }
     }
 
@@ -137,7 +199,12 @@ impl Cpu {
         }
         let mut remaining = fuel;
         while remaining > 0 {
-            match self.step_block(mem, remaining) {
+            let stepped = if self.engine {
+                self.step_engine(mem, remaining)
+            } else {
+                self.step_block(mem, remaining)
+            };
+            match stepped {
                 Ok(retired) => remaining -= retired.min(remaining),
                 Err(t) => {
                     self.trace_trap(&t);
@@ -176,16 +243,20 @@ impl Cpu {
     /// fault address for fetch faults), exactly like hardware `*epc`.
     pub fn step(&mut self, mem: &mut Memory) -> Result<(), Trap> {
         let pc = self.hart.pc;
-        let lo = mem.fetch_u16(pc).map_err(|fault| Trap::Mem {
-            pc: fault.addr,
-            fault,
-        })?;
-        let word = if lo & 0b11 == 0b11 {
-            // 32-bit encoding: fetch the upper parcel too.
-            let hi = mem.fetch_u16(pc + 2).map_err(|fault| Trap::Mem {
+        let lo = mem
+            .fetch_u16_hinted(&mut self.hints.fetch, pc)
+            .map_err(|fault| Trap::Mem {
                 pc: fault.addr,
                 fault,
             })?;
+        let word = if lo & 0b11 == 0b11 {
+            // 32-bit encoding: fetch the upper parcel too.
+            let hi = mem
+                .fetch_u16_hinted(&mut self.hints.fetch, pc + 2)
+                .map_err(|fault| Trap::Mem {
+                    pc: fault.addr,
+                    fault,
+                })?;
             (hi as u32) << 16 | lo as u32
         } else {
             lo as u32
@@ -230,7 +301,7 @@ impl Cpu {
         let block = match looked_up {
             Some(b) => b,
             None => match self.build_block(mem, pc, fp)? {
-                Some(b) => b,
+                Some((_, b)) => b,
                 // First instruction's upper parcel lies outside the
                 // fingerprinted region: execute it uncached so writes to the
                 // neighbouring region are always observed.
@@ -252,14 +323,510 @@ impl Cpu {
             };
             self.exec(mem, ci.inst, ci.len)?;
             retired += 1;
-            // A store may have rewritten code anywhere — including the rest
-            // of THIS block. Bail to the dispatcher, which revalidates
-            // against the bumped generation before executing anything else.
-            if ci.is_store && mem.code_generation() != gen_before {
+            // A store may have rewritten code — including the rest of THIS
+            // block. The global generation is the cheap filter; when it
+            // moved, the block survives iff its own region's fingerprint is
+            // intact (stores to *other* executable regions can't change
+            // these bytes). Otherwise bail to the dispatcher, which
+            // revalidates before executing anything else.
+            if ci.is_store && mem.code_generation() != gen_before && !block_intact(mem, &block) {
                 break;
             }
         }
         Ok(retired)
+    }
+
+    /// Executes through the micro-op engine, bounded by `budget` retired
+    /// instructions; returns the number retired.
+    ///
+    /// The dispatcher half mirrors [`Cpu::step_block`] exactly (same
+    /// fingerprint lookup, same miss/build/invalidate counting and trace
+    /// mirroring, same uncached fallbacks), so cache counters reconcile
+    /// with the interpreter as `hits_interp == hits_engine + chained`.
+    /// Between dispatches, validated chain links jump block-to-block
+    /// directly.
+    fn step_engine(&mut self, mem: &mut Memory, budget: u64) -> Result<u64, Trap> {
+        let mut retired = 0u64;
+        // The slot+edge that led to the pc we're about to dispatch, so a
+        // successful lookup/build installs the missing chain link.
+        let mut pending: Option<(u32, (u64, ExtSet), ChainEdge)> = None;
+        // A block reached by a validated chain link, consumed (and counted)
+        // by the next iteration instead of a dispatcher lookup.
+        let mut next: Option<(u32, std::sync::Arc<Block>)> = None;
+        while retired < budget {
+            let pc = self.hart.pc;
+            let (id, block) = match next.take() {
+                Some(n) => {
+                    self.cache.stats.chained += 1;
+                    n
+                }
+                None => {
+                    // Jump-cache probe first: a direct-mapped hint
+                    // revalidated with the exact chain-link rules. A
+                    // validated hit is the same dispatcher hit the
+                    // interpreter counts, minus the fingerprint + hash
+                    // lookup — this is what keeps BTB misses on
+                    // megamorphic indirect call sites cheap.
+                    let hinted = self
+                        .cache
+                        .jump_hint(pc)
+                        .and_then(|link| self.validate_link(mem, link));
+                    let (id, block) = if let Some((id, block, needs_restamp)) = hinted {
+                        if needs_restamp {
+                            self.cache.jump_restamp(pc, mem.code_generation());
+                        }
+                        self.cache.stats.hits += 1;
+                        (id, block)
+                    } else {
+                        // Any stale entry for this pc is dead; dropping it
+                        // is a no-op when the probe simply missed.
+                        self.cache.jump_clear(pc);
+                        let Some(fp) = mem.code_fingerprint(pc) else {
+                            // Unmapped or non-executable pc: plain step
+                            // raises the architecturally correct fetch
+                            // fault.
+                            self.step(mem)?;
+                            return Ok(retired + 1);
+                        };
+                        let inv_before = self.cache.stats.invalidations;
+                        let looked_up = self.cache.lookup_slot(pc, self.profile, fp);
+                        if self.cache.stats.invalidations != inv_before {
+                            self.tracer
+                                .record(self.stats.cycles, TraceEvent::CacheInvalidate { pc });
+                            self.tracer.count("emu.cache_invalidations", 1);
+                        }
+                        let (id, block) = match looked_up {
+                            Some(ib) => ib,
+                            None => match self.build_block(mem, pc, fp)? {
+                                Some(ib) => ib,
+                                None => {
+                                    self.step(mem)?;
+                                    return Ok(retired + 1);
+                                }
+                            },
+                        };
+                        self.cache.jump_set(ChainLink {
+                            to: id,
+                            pc,
+                            stamp: mem.code_generation(),
+                        });
+                        (id, block)
+                    };
+                    if let Some((from, from_key, edge)) = pending.take() {
+                        let link = ChainLink {
+                            to: id,
+                            pc,
+                            stamp: mem.code_generation(),
+                        };
+                        if self.cache.set_link(from, from_key, edge, link)
+                            && self.tracer.is_enabled()
+                        {
+                            self.tracer.record(
+                                self.stats.cycles,
+                                TraceEvent::BlockChained {
+                                    from: from_key.0,
+                                    to: pc,
+                                },
+                            );
+                            self.tracer.count("emu.blocks_chained", 1);
+                        }
+                    }
+                    (id, block)
+                }
+            };
+            pending = None;
+            let (r, exit) = self.exec_lowered(mem, &block, budget - retired)?;
+            retired += r;
+            match exit {
+                BlockExit::Budget => return Ok(retired),
+                // A bail needs full revalidation: back through the
+                // dispatcher, unlinked.
+                BlockExit::Bail => {}
+                // Indirect targets are data-dependent, so the edge is a
+                // one-entry BTB: a pc-matching link short-circuits the
+                // dispatcher, a miss re-dispatches and retrains the link.
+                BlockExit::Taken | BlockExit::Fall | BlockExit::Indirect => {
+                    let edge = match exit {
+                        BlockExit::Taken => ChainEdge::Taken,
+                        BlockExit::Fall => ChainEdge::Fall,
+                        _ => ChainEdge::Indirect,
+                    };
+                    match self.follow_link(mem, id, edge) {
+                        Some(n) => next = Some(n),
+                        None => pending = Some((id, (pc, self.profile), edge)),
+                    }
+                }
+            }
+        }
+        Ok(retired)
+    }
+
+    /// Follows the chain link on one of `from`'s edges if it validates
+    /// (see [`ChainLink`] for the fast/slow path rules); severs it and
+    /// returns `None` otherwise, sending the dispatcher through the
+    /// ordinary invalidating lookup.
+    fn follow_link(
+        &mut self,
+        mem: &mut Memory,
+        from: u32,
+        edge: ChainEdge,
+    ) -> Option<(u32, std::sync::Arc<Block>)> {
+        let link = self.cache.link_of(from, edge)?;
+        if self.hart.pc != link.pc {
+            // BTB miss on the indirect edge (the call site produced a
+            // different target this time). The link may still be right for
+            // other executions, so don't sever — the dispatcher retrains
+            // the prediction after its lookup. Static edges always
+            // reproduce the same target pc, so for them this is dead code.
+            return None;
+        }
+        match self.validate_link(mem, link) {
+            Some((id, block, needs_restamp)) => {
+                if needs_restamp {
+                    self.cache.restamp(from, edge, mem.code_generation());
+                }
+                Some((id, block))
+            }
+            None => {
+                self.cache.sever(from, edge);
+                None
+            }
+        }
+    }
+
+    /// Revalidates a [`ChainLink`]'s target — slot key, then the
+    /// generation-stamp fast path / fingerprint slow path (see
+    /// [`ChainLink`]). Shared by chain-edge follows and jump-cache probes,
+    /// which only differ in where they store the refreshed stamp. Returns
+    /// the target and whether the caller must restamp; `None` means the
+    /// target is gone or stale.
+    fn validate_link(
+        &self,
+        mem: &mut Memory,
+        link: ChainLink,
+    ) -> Option<(u32, std::sync::Arc<Block>, bool)> {
+        let (key, fp, block) = self.cache.slot_block(link.to)?;
+        if key != (link.pc, self.profile) {
+            // The slot was flushed and reused under a different key.
+            return None;
+        }
+        if link.stamp == mem.code_generation() {
+            return Some((link.to, block, false));
+        }
+        // Executable bytes changed somewhere since the stamp; the target is
+        // still valid iff its own region fingerprint is unchanged.
+        if mem.code_fingerprint(link.pc) == Some(fp) {
+            return Some((link.to, block, true));
+        }
+        None
+    }
+
+    /// Executes a lowered block body, bounded by `budget`; returns the
+    /// instructions retired and how the body ended.
+    ///
+    /// Instruction-for-instruction equivalent to the interpreter's replay
+    /// loop in [`Cpu::step_block`] — same trap pcs, same budget semantics,
+    /// same mid-block self-modification guard — but `pc` and the hot stat
+    /// counters (`instret`, `cycles`, `loads`, `stores`) live in locals
+    /// and are flushed to `self` only at observable boundaries: a trap, a
+    /// [`MicroOp::Generic`] delegate, or a block exit. Nothing can read
+    /// CPU state between two uops of the same block, so the batching is
+    /// invisible — any trap still sees bit-identical `hart`/stats — while
+    /// the straight-line loop sheds four memory read-modify-writes per
+    /// instruction. The budget bound is the loop bound itself (`n`), not a
+    /// per-op check.
+    fn exec_lowered(
+        &mut self,
+        mem: &mut Memory,
+        block: &Block,
+        budget: u64,
+    ) -> Result<(u64, BlockExit), Trap> {
+        let n = (block.ops.len() as u64).min(budget) as usize;
+        let mut pc = self.hart.pc;
+        let mut retired = 0u64;
+        // Prefix of `retired` already reflected in `self.stats.instret`
+        // (advanced past Generic ops, which account for themselves through
+        // `Cpu::exec`).
+        let mut flushed = 0u64;
+        let mut d_cycles = 0u64;
+        let mut d_loads = 0u64;
+        let mut d_stores = 0u64;
+
+        // Flush the batched locals. Callers reset / stop using the deltas
+        // themselves (keeping dead stores out of the exit paths).
+        macro_rules! flush {
+            () => {{
+                self.hart.pc = pc;
+                self.stats.instret += retired - flushed;
+                self.stats.cycles += d_cycles;
+                self.stats.loads += d_loads;
+                self.stats.stores += d_stores;
+            }};
+        }
+        // A memory fault flushes the pre-instruction state first: the
+        // faulting instruction contributes nothing and pc stays on it,
+        // exactly like the uncached path.
+        macro_rules! memtrap {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(fault) => {
+                        flush!();
+                        return Err(Trap::Mem { pc, fault });
+                    }
+                }
+            };
+        }
+
+        for u in block.ops[..n].iter() {
+            let next_pc = pc + u.len as u64;
+            match u.op {
+                // Cold operations delegate to `Cpu::exec`, which does its
+                // own pc/cost/stats accounting against flushed state. None
+                // of them end a block (`ecall`/`ebreak` trap out of the
+                // body instead).
+                MicroOp::Generic(inst) => {
+                    let gen_before = mem.code_generation();
+                    flush!();
+                    flushed = retired;
+                    d_cycles = 0;
+                    d_loads = 0;
+                    d_stores = 0;
+                    self.exec(mem, inst, u.len as u64)?;
+                    retired += 1;
+                    flushed += 1;
+                    pc = self.hart.pc;
+                    if u.is_store
+                        && mem.code_generation() != gen_before
+                        && !block_intact(mem, block)
+                    {
+                        // Everything is already flushed, pc included.
+                        return Ok((retired, BlockExit::Bail));
+                    }
+                    continue;
+                }
+                MicroOp::Lui { rd, imm } => self.hart.set_x(rd, imm as i64 as u64),
+                MicroOp::Auipc { rd, imm } => {
+                    self.hart.set_x(rd, pc.wrapping_add(imm as i64 as u64))
+                }
+                MicroOp::Jal { rd, offset } => {
+                    self.hart.set_x(rd, next_pc);
+                    pc = pc.wrapping_add(offset as i64 as u64);
+                    retired += 1;
+                    d_cycles += u.cost as u64;
+                    flush!();
+                    return Ok((retired, BlockExit::Taken));
+                }
+                MicroOp::Jalr { rd, rs1, offset } => {
+                    let target = self.hart.get_x(rs1).wrapping_add(offset as i64 as u64) & !1;
+                    self.hart.set_x(rd, next_pc);
+                    pc = target;
+                    retired += 1;
+                    d_cycles += u.cost as u64;
+                    self.stats.indirect_jumps += 1;
+                    flush!();
+                    return Ok((retired, BlockExit::Indirect));
+                }
+                MicroOp::Branch {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset,
+                    taken_cost,
+                } => {
+                    let a = self.hart.get_x(rs1);
+                    let b = self.hart.get_x(rs2);
+                    retired += 1;
+                    self.stats.branches += 1;
+                    let exit = if branch_cond(kind, a, b) {
+                        pc = pc.wrapping_add(offset as i64 as u64);
+                        d_cycles += taken_cost as u64;
+                        BlockExit::Taken
+                    } else {
+                        pc = next_pc;
+                        d_cycles += u.cost as u64;
+                        BlockExit::Fall
+                    };
+                    flush!();
+                    return Ok((retired, exit));
+                }
+                MicroOp::Load {
+                    kind,
+                    rd,
+                    rs1,
+                    offset,
+                } => {
+                    let addr = self.hart.get_x(rs1).wrapping_add(offset as i64 as u64);
+                    let hint = &mut self.hints.load;
+                    let v = match kind {
+                        LoadKind::Lb => {
+                            memtrap!(mem.read_hinted::<1>(hint, addr))[0] as i8 as i64 as u64
+                        }
+                        LoadKind::Lbu => memtrap!(mem.read_hinted::<1>(hint, addr))[0] as u64,
+                        LoadKind::Lh => {
+                            i16::from_le_bytes(memtrap!(mem.read_hinted::<2>(hint, addr))) as i64
+                                as u64
+                        }
+                        LoadKind::Lhu => {
+                            u16::from_le_bytes(memtrap!(mem.read_hinted::<2>(hint, addr))) as u64
+                        }
+                        LoadKind::Lw => {
+                            i32::from_le_bytes(memtrap!(mem.read_hinted::<4>(hint, addr))) as i64
+                                as u64
+                        }
+                        LoadKind::Lwu => {
+                            u32::from_le_bytes(memtrap!(mem.read_hinted::<4>(hint, addr))) as u64
+                        }
+                        LoadKind::Ld => {
+                            u64::from_le_bytes(memtrap!(mem.read_hinted::<8>(hint, addr)))
+                        }
+                    };
+                    self.hart.set_x(rd, v);
+                    d_loads += 1;
+                }
+                MicroOp::Store {
+                    kind,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
+                    let gen_before = mem.code_generation();
+                    let addr = self.hart.get_x(rs1).wrapping_add(offset as i64 as u64);
+                    let v = self.hart.get_x(rs2);
+                    let hint = &mut self.hints.store;
+                    match kind {
+                        StoreKind::Sb => memtrap!(mem.write_hinted(hint, addr, &[v as u8])),
+                        StoreKind::Sh => {
+                            memtrap!(mem.write_hinted(hint, addr, &(v as u16).to_le_bytes()))
+                        }
+                        StoreKind::Sw => {
+                            memtrap!(mem.write_hinted(hint, addr, &(v as u32).to_le_bytes()))
+                        }
+                        StoreKind::Sd => memtrap!(mem.write_hinted(hint, addr, &v.to_le_bytes())),
+                    }
+                    d_stores += 1;
+                    pc = next_pc;
+                    retired += 1;
+                    d_cycles += u.cost as u64;
+                    // The store may have rewritten code — including the
+                    // rest of THIS block (same guard as the interpreter's
+                    // replay loop).
+                    if mem.code_generation() != gen_before && !block_intact(mem, block) {
+                        flush!();
+                        return Ok((retired, BlockExit::Bail));
+                    }
+                    continue;
+                }
+                // Flattened hot ALU ops: semantics identical to the
+                // matching `exec_opimm`/`exec_op` arm, minus the second
+                // kind dispatch.
+                MicroOp::Addi { rd, rs1, imm } => {
+                    let a = self.hart.get_x(rs1);
+                    self.hart.set_x(rd, a.wrapping_add(imm as i64 as u64));
+                }
+                MicroOp::Andi { rd, rs1, imm } => {
+                    let a = self.hart.get_x(rs1);
+                    self.hart.set_x(rd, a & (imm as i64 as u64));
+                }
+                MicroOp::Slli { rd, rs1, shamt } => {
+                    let a = self.hart.get_x(rs1);
+                    self.hart.set_x(rd, a << shamt);
+                }
+                MicroOp::Srli { rd, rs1, shamt } => {
+                    let a = self.hart.get_x(rs1);
+                    self.hart.set_x(rd, a >> shamt);
+                }
+                MicroOp::Add { rd, rs1, rs2 } => {
+                    let a = self.hart.get_x(rs1);
+                    let b = self.hart.get_x(rs2);
+                    self.hart.set_x(rd, a.wrapping_add(b));
+                }
+                MicroOp::Sub { rd, rs1, rs2 } => {
+                    let a = self.hart.get_x(rs1);
+                    let b = self.hart.get_x(rs2);
+                    self.hart.set_x(rd, a.wrapping_sub(b));
+                }
+                MicroOp::Xor { rd, rs1, rs2 } => {
+                    let a = self.hart.get_x(rs1);
+                    let b = self.hart.get_x(rs2);
+                    self.hart.set_x(rd, a ^ b);
+                }
+                MicroOp::OpImm { kind, rd, rs1, imm } => {
+                    let a = self.hart.get_x(rs1);
+                    self.hart.set_x(rd, exec_opimm(kind, a, imm));
+                }
+                MicroOp::Op { kind, rd, rs1, rs2 } => {
+                    let a = self.hart.get_x(rs1);
+                    let b = self.hart.get_x(rs2);
+                    self.hart.set_x(rd, exec_op(kind, a, b));
+                }
+                MicroOp::Unary { kind, rd, rs1 } => {
+                    let a = self.hart.get_x(rs1);
+                    self.hart.set_x(rd, exec_unary(kind, a));
+                }
+                MicroOp::Fence => {}
+                MicroOp::FLoad {
+                    width,
+                    frd,
+                    rs1,
+                    offset,
+                } => {
+                    let addr = self.hart.get_x(rs1).wrapping_add(offset as i64 as u64);
+                    let hint = &mut self.hints.load;
+                    match width {
+                        FpWidth::S => {
+                            let bits =
+                                u32::from_le_bytes(memtrap!(mem.read_hinted::<4>(hint, addr)));
+                            self.hart.set_f(frd, 0xffff_ffff_0000_0000 | bits as u64);
+                        }
+                        FpWidth::D => {
+                            let bits =
+                                u64::from_le_bytes(memtrap!(mem.read_hinted::<8>(hint, addr)));
+                            self.hart.set_f(frd, bits);
+                        }
+                    }
+                    d_loads += 1;
+                }
+                MicroOp::FStore {
+                    width,
+                    frs2,
+                    rs1,
+                    offset,
+                } => {
+                    let gen_before = mem.code_generation();
+                    let addr = self.hart.get_x(rs1).wrapping_add(offset as i64 as u64);
+                    let v = self.hart.get_f(frs2);
+                    let hint = &mut self.hints.store;
+                    match width {
+                        FpWidth::S => {
+                            memtrap!(mem.write_hinted(hint, addr, &(v as u32).to_le_bytes()))
+                        }
+                        FpWidth::D => memtrap!(mem.write_hinted(hint, addr, &v.to_le_bytes())),
+                    }
+                    d_stores += 1;
+                    pc = next_pc;
+                    retired += 1;
+                    d_cycles += u.cost as u64;
+                    if mem.code_generation() != gen_before && !block_intact(mem, block) {
+                        flush!();
+                        return Ok((retired, BlockExit::Bail));
+                    }
+                    continue;
+                }
+            }
+            // Straight-line tail: only non-store, non-exit ops reach here
+            // (stores run their own tail plus the self-modification guard;
+            // exit ops returned above; Generic advanced pc itself).
+            pc = next_pc;
+            retired += 1;
+            d_cycles += u.cost as u64;
+        }
+        flush!();
+        if n < block.ops.len() {
+            Ok((retired, BlockExit::Budget))
+        } else {
+            Ok((retired, BlockExit::Fall))
+        }
     }
 
     /// Decodes a basic block starting at `pc` and caches it.
@@ -281,7 +848,7 @@ impl Cpu {
         mem: &mut Memory,
         pc: u64,
         fingerprint: (u64, u64),
-    ) -> Result<Option<std::sync::Arc<Block>>, Trap> {
+    ) -> Result<Option<(u32, std::sync::Arc<Block>)>, Trap> {
         let mut insts = Vec::new();
         let mut cur = pc;
         while insts.len() < BlockCache::max_block_insts() {
@@ -290,21 +857,26 @@ impl Cpu {
             if !insts.is_empty() && mem.code_fingerprint(cur) != Some(fingerprint) {
                 break;
             }
+            let fetch_hint = &mut self.hints.fetch;
             let fetched = (|| {
-                let lo = mem.fetch_u16(cur).map_err(|fault| Trap::Mem {
-                    pc: fault.addr,
-                    fault,
-                })?;
+                let lo = mem
+                    .fetch_u16_hinted(fetch_hint, cur)
+                    .map_err(|fault| Trap::Mem {
+                        pc: fault.addr,
+                        fault,
+                    })?;
                 let word = if lo & 0b11 == 0b11 {
                     // The upper parcel must sit in the same region as the
                     // block fingerprint, or invalidation can't see it.
                     if mem.code_fingerprint(cur + 2) != Some(fingerprint) {
                         return Ok(None);
                     }
-                    let hi = mem.fetch_u16(cur + 2).map_err(|fault| Trap::Mem {
-                        pc: fault.addr,
-                        fault,
-                    })?;
+                    let hi =
+                        mem.fetch_u16_hinted(fetch_hint, cur + 2)
+                            .map_err(|fault| Trap::Mem {
+                                pc: fault.addr,
+                                fault,
+                            })?;
                     (hi as u32) << 16 | lo as u32
                 } else {
                     lo as u32
@@ -359,12 +931,17 @@ impl Cpu {
                 break;
             }
         }
+        // Lower the micro-op body at build time in every mode, so
+        // interpreter and engine runs build byte-identical blocks (and the
+        // `blocks_built` counters reconcile trivially).
+        let ops = lower_block(&insts, &self.cost);
         let block = Block {
             insts,
+            ops,
             region_start: fingerprint.0,
             region_gen: fingerprint.1,
         };
-        let cached = self.cache.insert(pc, self.profile, block);
+        let (id, cached) = self.cache.insert(pc, self.profile, block);
         if self.tracer.is_enabled() {
             self.tracer.record(
                 self.stats.cycles,
@@ -375,7 +952,7 @@ impl Cpu {
             );
             self.tracer.count("emu.blocks_built", 1);
         }
-        Ok(Some(cached))
+        Ok(Some((id, cached)))
     }
 
     /// Executes a decoded instruction (pc at `self.hart.pc`, length `len`).
@@ -416,15 +993,7 @@ impl Cpu {
             } => {
                 let a = h.get_x(rs1);
                 let b = h.get_x(rs2);
-                let cond = match kind {
-                    BranchKind::Beq => a == b,
-                    BranchKind::Bne => a != b,
-                    BranchKind::Blt => (a as i64) < (b as i64),
-                    BranchKind::Bge => (a as i64) >= (b as i64),
-                    BranchKind::Bltu => a < b,
-                    BranchKind::Bgeu => a >= b,
-                };
-                if cond {
+                if branch_cond(kind, a, b) {
                     next_pc = pc.wrapping_add(offset as i64 as u64);
                     taken = true;
                 }
@@ -437,14 +1006,25 @@ impl Cpu {
                 offset,
             } => {
                 let addr = h.get_x(rs1).wrapping_add(offset as i64 as u64);
+                let hint = &mut self.hints.load;
                 let v = match kind {
-                    LoadKind::Lb => memtrap!(mem.read::<1>(addr))[0] as i8 as i64 as u64,
-                    LoadKind::Lbu => memtrap!(mem.read::<1>(addr))[0] as u64,
-                    LoadKind::Lh => i16::from_le_bytes(memtrap!(mem.read::<2>(addr))) as i64 as u64,
-                    LoadKind::Lhu => u16::from_le_bytes(memtrap!(mem.read::<2>(addr))) as u64,
-                    LoadKind::Lw => i32::from_le_bytes(memtrap!(mem.read::<4>(addr))) as i64 as u64,
-                    LoadKind::Lwu => u32::from_le_bytes(memtrap!(mem.read::<4>(addr))) as u64,
-                    LoadKind::Ld => u64::from_le_bytes(memtrap!(mem.read::<8>(addr))),
+                    LoadKind::Lb => {
+                        memtrap!(mem.read_hinted::<1>(hint, addr))[0] as i8 as i64 as u64
+                    }
+                    LoadKind::Lbu => memtrap!(mem.read_hinted::<1>(hint, addr))[0] as u64,
+                    LoadKind::Lh => {
+                        i16::from_le_bytes(memtrap!(mem.read_hinted::<2>(hint, addr))) as i64 as u64
+                    }
+                    LoadKind::Lhu => {
+                        u16::from_le_bytes(memtrap!(mem.read_hinted::<2>(hint, addr))) as u64
+                    }
+                    LoadKind::Lw => {
+                        i32::from_le_bytes(memtrap!(mem.read_hinted::<4>(hint, addr))) as i64 as u64
+                    }
+                    LoadKind::Lwu => {
+                        u32::from_le_bytes(memtrap!(mem.read_hinted::<4>(hint, addr))) as u64
+                    }
+                    LoadKind::Ld => u64::from_le_bytes(memtrap!(mem.read_hinted::<8>(hint, addr))),
                 };
                 h.set_x(rd, v);
                 self.stats.loads += 1;
@@ -457,34 +1037,22 @@ impl Cpu {
             } => {
                 let addr = h.get_x(rs1).wrapping_add(offset as i64 as u64);
                 let v = h.get_x(rs2);
+                let hint = &mut self.hints.store;
                 match kind {
-                    StoreKind::Sb => memtrap!(mem.write(addr, &[v as u8])),
-                    StoreKind::Sh => memtrap!(mem.write(addr, &(v as u16).to_le_bytes())),
-                    StoreKind::Sw => memtrap!(mem.write(addr, &(v as u32).to_le_bytes())),
-                    StoreKind::Sd => memtrap!(mem.write(addr, &v.to_le_bytes())),
+                    StoreKind::Sb => memtrap!(mem.write_hinted(hint, addr, &[v as u8])),
+                    StoreKind::Sh => {
+                        memtrap!(mem.write_hinted(hint, addr, &(v as u16).to_le_bytes()))
+                    }
+                    StoreKind::Sw => {
+                        memtrap!(mem.write_hinted(hint, addr, &(v as u32).to_le_bytes()))
+                    }
+                    StoreKind::Sd => memtrap!(mem.write_hinted(hint, addr, &v.to_le_bytes())),
                 }
                 self.stats.stores += 1;
             }
             Inst::OpImm { kind, rd, rs1, imm } => {
                 let a = h.get_x(rs1);
-                let i = imm as i64 as u64;
-                let v = match kind {
-                    OpImmKind::Addi => a.wrapping_add(i),
-                    OpImmKind::Slti => ((a as i64) < (i as i64)) as u64,
-                    OpImmKind::Sltiu => (a < i) as u64,
-                    OpImmKind::Xori => a ^ i,
-                    OpImmKind::Ori => a | i,
-                    OpImmKind::Andi => a & i,
-                    OpImmKind::Slli => a << (imm & 63),
-                    OpImmKind::Srli => a >> (imm & 63),
-                    OpImmKind::Srai => ((a as i64) >> (imm & 63)) as u64,
-                    OpImmKind::Rori => a.rotate_right((imm & 63) as u32),
-                    OpImmKind::Addiw => (a.wrapping_add(i) as i32) as i64 as u64,
-                    OpImmKind::Slliw => (((a as u32) << (imm & 31)) as i32) as i64 as u64,
-                    OpImmKind::Srliw => (((a as u32) >> (imm & 31)) as i32) as i64 as u64,
-                    OpImmKind::Sraiw => ((a as i32) >> (imm & 31)) as i64 as u64,
-                };
-                h.set_x(rd, v);
+                h.set_x(rd, exec_opimm(kind, a, imm));
             }
             Inst::Op { kind, rd, rs1, rs2 } => {
                 let a = h.get_x(rs1);
@@ -494,16 +1062,7 @@ impl Cpu {
             }
             Inst::Unary { kind, rd, rs1 } => {
                 let a = h.get_x(rs1);
-                let v = match kind {
-                    UnaryKind::Clz => a.leading_zeros() as u64,
-                    UnaryKind::Ctz => a.trailing_zeros() as u64,
-                    UnaryKind::Cpop => a.count_ones() as u64,
-                    UnaryKind::SextB => a as u8 as i8 as i64 as u64,
-                    UnaryKind::SextH => a as u16 as i16 as i64 as u64,
-                    UnaryKind::ZextH => a as u16 as u64,
-                    UnaryKind::Rev8 => a.swap_bytes(),
-                };
-                h.set_x(rd, v);
+                h.set_x(rd, exec_unary(kind, a));
             }
             Inst::Fence => {}
             Inst::Ecall => return Err(Trap::Ecall { pc }),
@@ -518,13 +1077,14 @@ impl Cpu {
                 offset,
             } => {
                 let addr = h.get_x(rs1).wrapping_add(offset as i64 as u64);
+                let hint = &mut self.hints.load;
                 match width {
                     FpWidth::S => {
-                        let bits = u32::from_le_bytes(memtrap!(mem.read::<4>(addr)));
+                        let bits = u32::from_le_bytes(memtrap!(mem.read_hinted::<4>(hint, addr)));
                         h.set_f(frd, 0xffff_ffff_0000_0000 | bits as u64);
                     }
                     FpWidth::D => {
-                        let bits = u64::from_le_bytes(memtrap!(mem.read::<8>(addr)));
+                        let bits = u64::from_le_bytes(memtrap!(mem.read_hinted::<8>(hint, addr)));
                         h.set_f(frd, bits);
                     }
                 }
@@ -537,11 +1097,18 @@ impl Cpu {
                 offset,
             } => {
                 let addr = h.get_x(rs1).wrapping_add(offset as i64 as u64);
+                let hint = &mut self.hints.store;
                 match width {
                     FpWidth::S => {
-                        memtrap!(mem.write(addr, &(h.get_f(frs2) as u32).to_le_bytes()))
+                        memtrap!(mem.write_hinted(
+                            hint,
+                            addr,
+                            &(h.get_f(frs2) as u32).to_le_bytes()
+                        ))
                     }
-                    FpWidth::D => memtrap!(mem.write(addr, &h.get_f(frs2).to_le_bytes())),
+                    FpWidth::D => {
+                        memtrap!(mem.write_hinted(hint, addr, &h.get_f(frs2).to_le_bytes()))
+                    }
                 }
                 self.stats.stores += 1;
             }
@@ -685,13 +1252,18 @@ impl Cpu {
             Inst::VLoad { eew, vd, rs1 } => {
                 let base = h.get_x(rs1);
                 let vl = h.vl;
+                let hint = &mut self.hints.load;
                 for i in 0..vl {
                     let addr = base + i * eew.bytes();
                     let v = match eew {
-                        Eew::E8 => memtrap!(mem.read::<1>(addr))[0] as u64,
-                        Eew::E16 => u16::from_le_bytes(memtrap!(mem.read::<2>(addr))) as u64,
-                        Eew::E32 => u32::from_le_bytes(memtrap!(mem.read::<4>(addr))) as u64,
-                        Eew::E64 => u64::from_le_bytes(memtrap!(mem.read::<8>(addr))),
+                        Eew::E8 => memtrap!(mem.read_hinted::<1>(hint, addr))[0] as u64,
+                        Eew::E16 => {
+                            u16::from_le_bytes(memtrap!(mem.read_hinted::<2>(hint, addr))) as u64
+                        }
+                        Eew::E32 => {
+                            u32::from_le_bytes(memtrap!(mem.read_hinted::<4>(hint, addr))) as u64
+                        }
+                        Eew::E64 => u64::from_le_bytes(memtrap!(mem.read_hinted::<8>(hint, addr))),
                     };
                     h.set_v_elem(vd, eew, i as usize, v);
                 }
@@ -701,11 +1273,12 @@ impl Cpu {
             Inst::VStore { eew, vs3, rs1 } => {
                 let base = h.get_x(rs1);
                 let vl = h.vl;
+                let hint = &mut self.hints.store;
                 for i in 0..vl {
                     let addr = base + i * eew.bytes();
                     let v = h.v_elem(vs3, eew, i as usize);
                     let bytes = v.to_le_bytes();
-                    memtrap!(mem.write(addr, &bytes[..eew.bytes() as usize]));
+                    memtrap!(mem.write_hinted(hint, addr, &bytes[..eew.bytes() as usize]));
                 }
                 self.stats.stores += 1;
                 self.stats.vector_insts += 1;
@@ -743,6 +1316,67 @@ impl Cpu {
         };
         self.stats.cycles += self.cost.cost(&inst, vl_words, taken);
         Ok(())
+    }
+}
+
+/// Whether `block`'s own region fingerprint is still current — the
+/// per-region mid-block self-modification guard shared by the interpreter
+/// and the engine. Stores that bumped *other* executable regions leave the
+/// block intact (its bytes cannot have changed), so cross-region SMC no
+/// longer bails or cold-starts unrelated blocks.
+fn block_intact(mem: &mut Memory, block: &Block) -> bool {
+    mem.code_fingerprint(block.region_start) == Some((block.region_start, block.region_gen))
+}
+
+/// Branch comparison, shared by `Cpu::exec` and the micro-op engine.
+#[inline]
+fn branch_cond(kind: BranchKind, a: u64, b: u64) -> bool {
+    match kind {
+        BranchKind::Beq => a == b,
+        BranchKind::Bne => a != b,
+        BranchKind::Blt => (a as i64) < (b as i64),
+        BranchKind::Bge => (a as i64) >= (b as i64),
+        BranchKind::Bltu => a < b,
+        BranchKind::Bgeu => a >= b,
+    }
+}
+
+/// Register-immediate ALU semantics, shared by `Cpu::exec` and the
+/// micro-op engine (the immediate's sign/shift handling is kind-specific,
+/// so it stays here rather than being pre-expanded at lowering time).
+#[inline]
+fn exec_opimm(kind: OpImmKind, a: u64, imm: i32) -> u64 {
+    let i = imm as i64 as u64;
+    match kind {
+        OpImmKind::Addi => a.wrapping_add(i),
+        OpImmKind::Slti => ((a as i64) < (i as i64)) as u64,
+        OpImmKind::Sltiu => (a < i) as u64,
+        OpImmKind::Xori => a ^ i,
+        OpImmKind::Ori => a | i,
+        OpImmKind::Andi => a & i,
+        OpImmKind::Slli => a << (imm & 63),
+        OpImmKind::Srli => a >> (imm & 63),
+        OpImmKind::Srai => ((a as i64) >> (imm & 63)) as u64,
+        OpImmKind::Rori => a.rotate_right((imm & 63) as u32),
+        OpImmKind::Addiw => (a.wrapping_add(i) as i32) as i64 as u64,
+        OpImmKind::Slliw => (((a as u32) << (imm & 31)) as i32) as i64 as u64,
+        OpImmKind::Srliw => (((a as u32) >> (imm & 31)) as i32) as i64 as u64,
+        OpImmKind::Sraiw => ((a as i32) >> (imm & 31)) as i64 as u64,
+    }
+}
+
+/// Single-source bit-manipulation semantics, shared by `Cpu::exec` and the
+/// micro-op engine.
+#[inline]
+fn exec_unary(kind: UnaryKind, a: u64) -> u64 {
+    match kind {
+        UnaryKind::Clz => a.leading_zeros() as u64,
+        UnaryKind::Ctz => a.trailing_zeros() as u64,
+        UnaryKind::Cpop => a.count_ones() as u64,
+        UnaryKind::SextB => a as u8 as i8 as i64 as u64,
+        UnaryKind::SextH => a as u16 as i16 as i64 as u64,
+        UnaryKind::ZextH => a as u16 as u64,
+        UnaryKind::Rev8 => a.swap_bytes(),
     }
 }
 

@@ -19,9 +19,17 @@
 //! For speed, the interpreter front end is memoized by a
 //! generation-invalidated basic-block decode cache ([`BlockCache`]), keyed
 //! by `(pc, profile)` and invalidated whenever executable bytes change
-//! (`poke_code`, view remaps, or guest stores to W+X mappings). The cache
-//! is transparent: traps, results and cycle accounting are identical with
-//! it on or off.
+//! (`poke_code`, view remaps, or guest stores to W+X mappings). On top of
+//! the cache sits the default **micro-op execution engine**
+//! ([`ExecMode::Engine`]): block bodies are lowered once into a flat
+//! pre-resolved [`uop`] buffer with pre-computed cycle costs, blocks chain
+//! directly to their static successors (severed on invalidation), and
+//! per-core last-region hints ([`mem::AccessHints`]) turn hot-loop memory
+//! accesses into a bounds check plus pointer arithmetic. All of it is
+//! architecturally transparent: traps, results, `ExecStats` and trace
+//! counters are identical across [`ExecMode::Reference`],
+//! [`ExecMode::Interpreter`] and [`ExecMode::Engine`] (the differential
+//! suite asserts it; `exec_engine` in `chimera-bench` gates the speedup).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,15 +40,16 @@ mod cpu;
 mod hart;
 mod mem;
 mod runner;
+pub mod uop;
 
-pub use bbcache::{BlockCache, CacheStats};
+pub use bbcache::{BlockCache, CacheStats, ChainLink};
 pub use cost::{CostModel, ExecStats};
-pub use cpu::{Cpu, Stop, Trap};
+pub use cpu::{Cpu, ExecMode, Stop, Trap};
 pub use hart::{Hart, VLENB};
-pub use mem::{Access, MemFault, Memory, Region};
+pub use mem::{Access, AccessHints, MemFault, Memory, Region, RegionHint};
 pub use runner::{
-    boot, run_binary, run_binary_on, run_binary_traced, run_binary_with, run_cpu, sys, RunError,
-    RunResult,
+    boot, run_binary, run_binary_mode, run_binary_on, run_binary_traced, run_binary_with, run_cpu,
+    sys, RunError, RunResult,
 };
 // Re-exported so emulator users can construct tracers without a separate
 // chimera-trace dependency line.

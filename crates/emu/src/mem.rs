@@ -76,6 +76,32 @@ impl Region {
     }
 }
 
+/// A per-access-kind "last region" translation hint held by the CPU (one
+/// each for loads, stores and fetches — see [`AccessHints`]).
+///
+/// The hint is only ever an *index guess*: the fast path re-validates
+/// bounds and permissions against the live region on every access, so a
+/// stale hint can never return wrong data or skip a fault — it just falls
+/// back to the full region search (which refreshes the hint). No epoch or
+/// generation is needed for correctness; the store fast path additionally
+/// restricts itself to writable non-executable regions so the
+/// self-modifying-code generation bookkeeping in [`Memory::write`] is never
+/// bypassed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionHint(u32);
+
+/// The three per-CPU translation hints, one per access kind, so a hot
+/// loop's loads, stores and fetches each stay pinned to their own region.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccessHints {
+    /// Last region that satisfied a data load.
+    pub load: RegionHint,
+    /// Last (non-executable) region that satisfied a data store.
+    pub store: RegionHint,
+    /// Last region that satisfied an instruction fetch.
+    pub fetch: RegionHint,
+}
+
 /// Region-based memory.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
@@ -234,6 +260,85 @@ impl Memory {
             self.code_generation += 1;
         }
         Ok(())
+    }
+
+    /// Loads `N` bytes with R permission through a [`RegionHint`].
+    ///
+    /// Fast path: the hinted region is bounds- and permission-checked
+    /// directly (one compare each plus pointer arithmetic). Any failure —
+    /// stale hint, region boundary, missing permission — falls back to
+    /// [`Memory::read`]'s full resolution, which refreshes the hint, so
+    /// results and faults are identical to the unhinted accessor.
+    #[inline]
+    pub fn read_hinted<const N: usize>(
+        &mut self,
+        hint: &mut RegionHint,
+        addr: u64,
+    ) -> Result<[u8; N], MemFault> {
+        if let Some(r) = self.regions.get(hint.0 as usize) {
+            if r.perms.r && addr >= r.start {
+                let off = (addr - r.start) as usize;
+                if let Some(b) = r.bytes.get(off..off.wrapping_add(N)) {
+                    return Ok(<[u8; N]>::try_from(b).expect("length checked"));
+                }
+            }
+        }
+        let (idx, off) = self.resolve(addr, N, Access::Load)?;
+        hint.0 = idx as u32;
+        let b = &self.regions[idx].bytes[off..off + N];
+        Ok(<[u8; N]>::try_from(b).expect("length checked"))
+    }
+
+    /// Stores bytes with W permission through a [`RegionHint`].
+    ///
+    /// The fast path only engages for writable **non-executable** regions:
+    /// stores into W+X mappings are self-modifying code and must go through
+    /// [`Memory::write`]'s generation bookkeeping (the slow path below),
+    /// which therefore never updates the hint with an executable region.
+    #[inline]
+    pub fn write_hinted(
+        &mut self,
+        hint: &mut RegionHint,
+        addr: u64,
+        bytes: &[u8],
+    ) -> Result<(), MemFault> {
+        if let Some(r) = self.regions.get_mut(hint.0 as usize) {
+            if r.perms.w && !r.perms.x && addr >= r.start {
+                let off = (addr - r.start) as usize;
+                if let Some(dst) = r.bytes.get_mut(off..off.wrapping_add(bytes.len())) {
+                    dst.copy_from_slice(bytes);
+                    return Ok(());
+                }
+            }
+        }
+        let (idx, off) = self.resolve(addr, bytes.len(), Access::Store)?;
+        let r = &mut self.regions[idx];
+        r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        if r.perms.x {
+            self.region_seq += 1;
+            r.generation = self.region_seq;
+            self.code_generation += 1;
+        } else {
+            hint.0 = idx as u32;
+        }
+        Ok(())
+    }
+
+    /// Fetches a 16-bit parcel with X permission through a [`RegionHint`].
+    #[inline]
+    pub fn fetch_u16_hinted(&mut self, hint: &mut RegionHint, addr: u64) -> Result<u16, MemFault> {
+        if let Some(r) = self.regions.get(hint.0 as usize) {
+            if r.perms.x && addr >= r.start {
+                let off = (addr - r.start) as usize;
+                if let Some(b) = r.bytes.get(off..off.wrapping_add(2)) {
+                    return Ok(u16::from_le_bytes([b[0], b[1]]));
+                }
+            }
+        }
+        let (idx, off) = self.resolve(addr, 2, Access::Fetch)?;
+        hint.0 = idx as u32;
+        let b = &self.regions[idx].bytes[off..off + 2];
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Fetches a 16-bit parcel with X permission.
@@ -419,6 +524,68 @@ mod tests {
         assert!(m.code_generation() > g0);
         m.map(0x1000, 0x100, Perms::RX, ".text2");
         assert_ne!(m.code_fingerprint(0x1000).unwrap(), fp0);
+    }
+
+    #[test]
+    fn hinted_accessors_match_unhinted_across_regions_and_faults() {
+        let mut m = Memory::new();
+        m.map_bytes(0x1000, (0..=255).collect(), Perms::RX, ".text");
+        m.map(0x2000, 0x100, Perms::RW, ".data");
+        m.map(0x3000, 0x100, Perms::R, ".rodata");
+        let mut h = AccessHints::default();
+        // Ping-pong across regions: every access must agree with the
+        // unhinted path no matter how stale the hint is.
+        for addr in [0x1000u64, 0x3000, 0x1004, 0x2000, 0x30f0, 0x1040] {
+            let hinted = m.read_hinted::<4>(&mut h.load, addr);
+            let plain = m.read::<4>(addr);
+            assert_eq!(hinted, plain, "load at {addr:#x}");
+        }
+        // Faults are identical too: unmapped, permission, off-end.
+        for addr in [0x9000u64, 0x30fe, 0x20fd] {
+            assert_eq!(
+                m.read_hinted::<4>(&mut h.load, addr).unwrap_err(),
+                m.read::<4>(addr).unwrap_err(),
+                "load fault at {addr:#x}"
+            );
+        }
+        assert_eq!(
+            m.write_hinted(&mut h.store, 0x3000, &[1]).unwrap_err(),
+            m.write(0x3000, &[1]).unwrap_err()
+        );
+        // Hinted stores land and hinted fetches read the stored bytes back.
+        m.write_hinted(&mut h.store, 0x2010, &[7, 8]).unwrap();
+        assert_eq!(m.read::<2>(0x2010).unwrap(), [7, 8]);
+        assert_eq!(
+            m.fetch_u16_hinted(&mut h.fetch, 0x1002).unwrap(),
+            m.fetch_u16(0x1002).unwrap()
+        );
+        assert_eq!(
+            m.fetch_u16_hinted(&mut h.fetch, 0x2000).unwrap_err(),
+            m.fetch_u16(0x2000).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn hinted_store_to_wx_region_still_bumps_generations() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x100, Perms::RWX, ".wx");
+        m.map(0x2000, 0x100, Perms::RW, ".data");
+        let mut h = AccessHints::default();
+        // Warm the hint on the W+X region's index via a plain-data store
+        // first — the hint must never be *used* for the W+X region.
+        m.write_hinted(&mut h.store, 0x2000, &[1]).unwrap();
+        let g0 = m.code_generation();
+        let fp0 = m.code_fingerprint(0x1000).unwrap();
+        m.write_hinted(&mut h.store, 0x1000, &[0xaa]).unwrap();
+        assert!(
+            m.code_generation() > g0,
+            "SMC bookkeeping must not be skipped"
+        );
+        assert_ne!(m.code_fingerprint(0x1000).unwrap(), fp0);
+        // And repeated stores keep bumping (the hint never pins W+X).
+        let g1 = m.code_generation();
+        m.write_hinted(&mut h.store, 0x1001, &[0xbb]).unwrap();
+        assert!(m.code_generation() > g1);
     }
 
     #[test]

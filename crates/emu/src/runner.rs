@@ -7,7 +7,7 @@
 //! lives in `chimera-kernel` and drives [`Cpu`] itself.
 
 use crate::cost::ExecStats;
-use crate::cpu::{Cpu, Stop, Trap};
+use crate::cpu::{Cpu, ExecMode, Stop, Trap};
 use crate::mem::Memory;
 use chimera_isa::{ExtSet, XReg};
 use chimera_obj::{Binary, STACK_TOP};
@@ -86,17 +86,36 @@ pub fn run_binary_on(binary: &Binary, profile: ExtSet, fuel: u64) -> Result<RunR
 }
 
 /// Like [`run_binary_on`], with explicit control over the basic-block
-/// decode cache. `decode_cache: false` runs the reference per-instruction
-/// interpreter; results (including cycle accounting) are identical either
-/// way — the differential suite asserts it.
+/// decode cache. `decode_cache: true` runs the default front end (the
+/// micro-op engine); `false` runs the reference per-instruction
+/// interpreter. Results (including cycle accounting) are identical either
+/// way — the differential suite asserts it. For the full three-way mode
+/// choice use [`run_binary_mode`].
 pub fn run_binary_with(
     binary: &Binary,
     profile: ExtSet,
     fuel: u64,
     decode_cache: bool,
 ) -> Result<RunResult, RunError> {
+    let mode = if decode_cache {
+        ExecMode::Engine
+    } else {
+        ExecMode::Reference
+    };
+    run_binary_mode(binary, profile, fuel, mode)
+}
+
+/// Like [`run_binary_on`], with an explicit execution front end (see
+/// [`ExecMode`]). All modes are bit-identical in results; they differ only
+/// in wall-clock speed (`exec_engine` in `chimera-bench` gates the ratio).
+pub fn run_binary_mode(
+    binary: &Binary,
+    profile: ExtSet,
+    fuel: u64,
+    mode: ExecMode,
+) -> Result<RunResult, RunError> {
     let (mut cpu, mut mem) = boot(binary, profile);
-    cpu.cache.enabled = decode_cache;
+    cpu.set_mode(mode);
     run_cpu(&mut cpu, &mut mem, fuel)
 }
 

@@ -171,9 +171,15 @@ fn loop_is_hit_dominated_and_cycle_identical() {
     assert!(s.blocks_built >= 2, "{s:?}");
     assert!(s.blocks_built <= 4, "straight-line loop, few blocks: {s:?}");
     assert!(s.misses >= s.blocks_built, "{s:?}");
+    // Re-entries are either dispatcher hits or (under the engine front
+    // end) chained follows; together they must dominate the misses.
     assert!(
-        s.hits > s.misses,
-        "100 iterations must be hit-dominated: {s:?}"
+        s.hits + s.chained > s.misses,
+        "100 iterations must be re-entry-dominated: {s:?}"
+    );
+    assert!(
+        s.chained > s.misses,
+        "a hot loop must run on chain links, not dispatches: {s:?}"
     );
     assert_eq!(s.invalidations, 0, "nothing was modified: {s:?}");
 
@@ -231,6 +237,55 @@ fn straddling_instruction_across_regions_is_never_stale() {
             "cached={cached}: stale straddling decode executed"
         );
     }
+}
+
+/// Patching one executable region must not evict blocks cached from a
+/// *different* executable region: validation is purely per-region
+/// fingerprints (`(region start, generation)`), with no global-generation
+/// guard. Blocks in the untouched region keep serving re-entries with no
+/// new invalidations or rebuilds.
+#[test]
+fn cross_region_blocks_survive_poke_elsewhere() {
+    let hot_base = BASE;
+    let cold_base = 0x4_0000;
+    // Hot region: a straight-line block ending in ecall, re-entered often.
+    let hot = words(&[addi(XReg::A0, XReg::A0, 3), Inst::Ecall]);
+    // Cold region: executable bytes the kernel keeps patching.
+    let cold = words(&[addi(XReg::A1, XReg::ZERO, 1), Inst::Ecall]);
+
+    let mut cpu = Cpu::new(ExtSet::RV64GC);
+    let mut mem = Memory::new();
+    mem.map_bytes(hot_base, hot, Perms::RX, ".text.hot");
+    mem.map_bytes(cold_base, cold, Perms::RX, ".text.cold");
+
+    // Warm the hot block into the cache.
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 3);
+    let warm = cpu.cache.stats;
+
+    // Ten kernel patches to the cold region, each followed by a hot-region
+    // re-entry. A global-generation guard would flush (or at least
+    // re-validate-to-miss) the hot block every time.
+    for i in 0..10u64 {
+        mem.poke_code(cold_base, &words(&[addi(XReg::A1, XReg::ZERO, 1)]))
+            .unwrap();
+        cpu.hart.set_x(XReg::A0, 0);
+        assert_eq!(run_to_ecall(&mut cpu, &mut mem), 3, "patch round {i}");
+    }
+
+    let s = cpu.cache.stats;
+    assert_eq!(
+        s.invalidations, warm.invalidations,
+        "patches elsewhere must not invalidate this region's blocks: {s:?}"
+    );
+    assert_eq!(
+        s.blocks_built, warm.blocks_built,
+        "the hot block must never be rebuilt: {s:?}"
+    );
+    assert_eq!(s.misses, warm.misses, "re-entries must not miss: {s:?}");
+    assert!(
+        s.hits + s.chained >= warm.hits + warm.chained + 10,
+        "every re-entry must be served from the cache: {s:?}"
+    );
 }
 
 /// A store to a *different* (non-executable) region must not invalidate

@@ -364,6 +364,131 @@ fn lazy_rewriting_recovers_hidden_vector_code() {
     assert!(k.counters.lazy_rewrites > 0, "lazy rewriting must trigger");
 }
 
+/// Lazy rewriting severs only the *bumped* regions' cached blocks: every
+/// `poke_code` the kernel issues (the ebreak site patch in `.text`, the
+/// emitted block in the `[lazy]` slack) invalidates blocks of those two
+/// regions only. A hot loop living in a third executable region keeps its
+/// cached blocks — and its chain links — across repeated lazy rewrites,
+/// so invalidations and rebuilds stay proportional to the number of
+/// rewrites, never to the hot loop's re-entry count. (These per-CPU cache
+/// stats are exactly what `Measurement::cache` publishes.)
+#[test]
+fn lazy_rewrite_severs_only_bumped_region() {
+    const ROUNDS: usize = 6;
+    const EXTRA_BASE: u64 = 0x100_0000;
+
+    // Trigger sites: each block holds one vector instruction the static
+    // scan cannot reach (entered only through doubled pointers in `vtab`),
+    // so each first execution forces one lazy rewrite (= two `poke_code`s).
+    let mut src = String::from(
+        "
+        .data
+        vtab:
+    ",
+    );
+    for i in 0..ROUNDS {
+        src.push_str(&format!("        .dword trig{i}\n"));
+    }
+    src.push_str(&format!(
+        "
+        .text
+        _start:
+            li t0, 4
+            vsetvli t1, t0, e64, m1, ta, ma
+            la s3, vtab
+            li s2, {EXTRA_BASE}
+            jr s2
+        "
+    ));
+    for i in 0..ROUNDS {
+        src.push_str(&format!(
+            "
+        trig{i}:
+            vmv.v.i v2, {i}
+            jr s4
+        "
+        ));
+    }
+    let mut bin = assemble(&src, AsmOptions::default()).unwrap();
+    // Double the trigger pointers in place so the static scan sees garbage
+    // addresses and leaves every trigger un-rewritten (the lazy path).
+    let data = bin.section(".data").unwrap().clone();
+    for i in 0..ROUNDS {
+        let off = i * 8;
+        let ptr = u64::from_le_bytes(data.data[off..off + 8].try_into().unwrap());
+        bin.write(data.addr + off as u64, &(ptr * 2).to_le_bytes());
+    }
+
+    // The hot region: a separate position-independent blob mapped at
+    // EXTRA_BASE, never poked by anyone. It runs a tight inner loop, then
+    // fires the next trigger, ROUNDS times.
+    let extra_src = "
+        _start:
+            li s5, 6
+            li s6, 0
+        round:
+            li t0, 50
+        inner:
+            addi a1, a1, 3
+            xor a1, a1, t0
+            addi t0, t0, -1
+            bnez t0, inner
+            slli t1, s6, 3
+            add t1, t1, s3
+            ld t2, 0(t1)
+            srli t2, t2, 1
+            la s4, back
+            jr t2
+        back:
+            addi s6, s6, 1
+            addi s5, s5, -1
+            bnez s5, round
+            li a0, 77
+            li a7, 93
+            ecall
+    ";
+    let extra_bin = assemble(extra_src, AsmOptions::default()).unwrap();
+    let extra_bytes = extra_bin.section(".text").unwrap().data.clone();
+
+    let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
+    let process = Process::new(vec![Variant {
+        binary: rw.binary,
+        tables: RuntimeTables {
+            fht: Some(rw.fht),
+            regen: None,
+        },
+    }]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
+    mem.map_bytes(EXTRA_BASE, extra_bytes, chimera_obj::Perms::RX, ".text.hot");
+    let mut k = KernelRunner::new(view.tables.clone());
+    let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
+    assert_eq!(outcome, RunOutcome::Exited(77));
+    assert_eq!(
+        k.counters.lazy_rewrites, ROUNDS as u64,
+        "each trigger must lazily rewrite exactly once"
+    );
+
+    let s = cpu.cache.stats;
+    // The hot loop body re-enters ~50 times per round; those re-entries
+    // ride chain links in the untouched hot region.
+    assert!(
+        s.chained >= 200,
+        "hot-region chains must survive the lazy rewrites: {s:?}"
+    );
+    // Invalidations track the bumped regions only: ~one stale re-lookup
+    // per rewrite (the patched trigger site). A validation scheme that
+    // flushed on the *global* generation would additionally invalidate
+    // the hot region's blocks every round and blow this bound.
+    assert!(
+        s.invalidations <= 2 * ROUNDS as u64,
+        "invalidations must scale with rewrites, not hot re-entries: {s:?}"
+    );
+    assert!(
+        s.hits + s.chained > 5 * s.misses,
+        "the hot region must stay cache-resident throughout: {s:?}"
+    );
+}
+
 #[test]
 fn empty_patch_mode_via_kernel() {
     let bin = assemble(VEC_PROG, AsmOptions::default()).unwrap();

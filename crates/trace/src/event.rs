@@ -90,6 +90,16 @@ pub enum TraceEvent {
         /// The pc whose lookup found the stale block.
         pc: u64,
     },
+    /// The execution engine chained two cached blocks: a static control-
+    /// flow edge's successor slot was recorded, so later executions follow
+    /// the link instead of dispatching. Emitted once per created link (a
+    /// cold event — follows themselves are only counted, never traced).
+    BlockChained {
+        /// Source block start pc.
+        from: u64,
+        /// Target block start pc.
+        to: u64,
+    },
     /// A trap was delivered to the kernel.
     Trap {
         /// Trapping pc (fetch-fault address for fetch faults).
@@ -153,6 +163,7 @@ impl TraceEvent {
         match self {
             TraceEvent::BlockBuilt { .. } => "BlockBuilt",
             TraceEvent::CacheInvalidate { .. } => "CacheInvalidate",
+            TraceEvent::BlockChained { .. } => "BlockChained",
             TraceEvent::Trap { .. } => "Trap",
             TraceEvent::SmileFaultRecovered { .. } => "SmileFaultRecovered",
             TraceEvent::LazyRewrite { .. } => "LazyRewrite",
@@ -164,9 +175,10 @@ impl TraceEvent {
     }
 
     /// Every event-type tag, in a fixed order (used by coverage checks).
-    pub const KINDS: [&'static str; 9] = [
+    pub const KINDS: [&'static str; 10] = [
         "BlockBuilt",
         "CacheInvalidate",
+        "BlockChained",
         "Trap",
         "SmileFaultRecovered",
         "LazyRewrite",

@@ -50,6 +50,9 @@ fn event_fields(e: &TraceEvent, out: &mut String) {
         TraceEvent::CacheInvalidate { pc } => {
             let _ = write!(out, "\"pc\": {pc}");
         }
+        TraceEvent::BlockChained { from, to } => {
+            let _ = write!(out, "\"from\": {from}, \"to\": {to}");
+        }
         TraceEvent::Trap { pc, kind } => {
             let _ = write!(out, "\"pc\": {pc}, \"kind\": \"{}\"", kind.name());
         }
