@@ -1,0 +1,203 @@
+//! Incremental re-rewriting gate (default build): primes the per-unit
+//! rewrite cache on a >= 1 MB SPEC-like binary, then repeatedly dirties
+//! a small set of patch sites (< 10% of the rewrite units) through the
+//! emulator's dirty-region channel and refreshes the output with
+//! `run_incremental`, comparing against a from-scratch full rewrite.
+//!
+//!     cargo run --release -p chimera-bench --bin rewrite_incremental
+//!
+//! Two acceptance bars, both hard:
+//!
+//!  * **Byte equality.** The incremental output must be bit-identical to
+//!    the full rewrite — binary bytes, fault table, and statistics — and
+//!    the `rewrite.units_reused`/`rewrite.units_redone` counters must
+//!    reconcile exactly with the unit total.
+//!  * **>= 5x refresh speedup** over a from-scratch rewrite when < 10%
+//!    of the units are dirty. The expected margin is large (scan
+//!    dominates a full rewrite and the incremental path reuses all of
+//!    its analyses), so the bar does not need a timing-noise band and is
+//!    not gated on hardware-thread count.
+//!
+//! Results land in `results/rewrite-incremental.json`.
+
+use chimera_bench::harness::{bench, fmt_ns, Timing};
+use chimera_emu::Memory;
+use chimera_isa::ExtSet;
+use chimera_rewrite::{
+    default_workers, ebreak_patch, run, run_cached, run_incremental, ChbpEngine, DirtySpan, Mode,
+    RewriteOptions,
+};
+use chimera_trace::Tracer;
+use chimera_workloads::speclike::{generate, GenOptions, SPEC_PROFILES};
+use std::io::Write;
+
+fn main() {
+    // Same workload as the rewrite_parallel gate: the smallest SPEC
+    // profile over the 1 MB floor, generated at full scale.
+    let profile = SPEC_PROFILES
+        .iter()
+        .filter(|p| p.code_mb >= 1.0)
+        .min_by(|a, b| a.code_mb.total_cmp(&b.code_mb))
+        .expect("SPEC table is non-empty");
+    let bin = generate(
+        profile,
+        GenOptions {
+            size_scale: 1.0,
+            work_scale: 0.1,
+            seed: 42,
+        },
+    );
+    let code_bytes = bin.code_size();
+    assert!(
+        code_bytes >= 1024 * 1024,
+        "gate needs a >= 1 MB code section, got {code_bytes}"
+    );
+    let workers = default_workers();
+    println!(
+        "workload: {} ({} code bytes, profile {:.2} MB, {workers} workers)",
+        profile.name, code_bytes, profile.code_mb
+    );
+
+    let engine = ChbpEngine {
+        target: ExtSet::RV64GC,
+        opts: RewriteOptions {
+            mode: Mode::Downgrade,
+            ..Default::default()
+        },
+    };
+
+    // Prime the cache and pin the reference output.
+    let (primed, mut cache) = run_cached(&engine, &bin, workers, &Tracer::disabled()).unwrap();
+    let full = run(&engine, &bin, workers, &Tracer::disabled()).unwrap();
+    assert_eq!(
+        primed.rewritten, full.rewritten,
+        "cached run diverges from plain run"
+    );
+    let units = cache.unit_count() as u64;
+
+    // The runtime mutation surface: the rewritten image loaded into a
+    // bare memory. Dirty a fixed set of trampoline heads (~2% of the
+    // units) — guaranteed to lie inside unit source ranges, so each
+    // poke invalidates exactly the covering unit.
+    let mut mem = Memory::new();
+    for s in &primed.rewritten.binary.sections {
+        mem.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
+    }
+    let stride = 50; // 1-in-50 trampolines => ~2% of the units dirty.
+    let sites: Vec<u64> = primed
+        .rewritten
+        .fht
+        .trampolines
+        .iter()
+        .step_by(stride)
+        .copied()
+        .collect();
+    assert!(!sites.is_empty(), "SPEC workload must have patch sites");
+
+    let mut watermark = mem.generation_watermark();
+    let mut refresh = |mem: &mut Memory, tracer: &Tracer| {
+        // Re-poke every site so each refresh sees fresh generations —
+        // validation stamps make a consumed dirty report a no-op, which
+        // would otherwise let later iterations measure the 0-dirty path.
+        for &site in &sites {
+            mem.poke_code(site, &ebreak_patch(4)).expect("poke site");
+        }
+        let dirty: Vec<DirtySpan> = mem
+            .dirty_regions_since(watermark)
+            .iter()
+            .map(|d| DirtySpan {
+                start: d.start,
+                end: d.end,
+                generation: d.generation,
+            })
+            .collect();
+        watermark = mem.generation_watermark();
+        run_incremental(&engine, &bin, &mut cache, &dirty, workers, tracer).unwrap()
+    };
+
+    // Correctness pass (traced): byte equality + counter reconciliation
+    // + the < 10% dirty-fraction precondition for the speedup bar.
+    let tracer = Tracer::enabled();
+    let refreshed = refresh(&mut mem, &tracer);
+    assert_eq!(
+        refreshed.rewritten, full.rewritten,
+        "incremental refresh diverged from the from-scratch rewrite"
+    );
+    let m = tracer.metrics().expect("enabled tracer has metrics");
+    let reused = m.counter_value("rewrite.units_reused").unwrap_or(0);
+    let redone = m.counter_value("rewrite.units_redone").unwrap_or(0);
+    assert_eq!(reused + redone, units, "reuse counters must reconcile");
+    assert!(redone >= 1, "the poked sites must dirty at least one unit");
+    assert!(
+        redone * 10 < units,
+        "gate precondition: < 10% of units dirty (got {redone}/{units})"
+    );
+    println!(
+        "correctness: bit-identical refresh, {redone}/{units} units redone \
+         ({} dirty sites, counters reconcile)",
+        sites.len()
+    );
+
+    let t_full = bench("rewrite_incremental/full rewrite", 60, 9, || {
+        run(
+            &engine,
+            std::hint::black_box(&bin),
+            workers,
+            &Tracer::disabled(),
+        )
+        .unwrap()
+    });
+    let t_inc = bench("rewrite_incremental/refresh", 60, 9, || {
+        refresh(&mut mem, &Tracer::disabled())
+    });
+    let speedup = t_full.median_ns / t_inc.median_ns;
+    println!(
+        "incremental refresh speedup: {speedup:.2}x (median {} -> {})",
+        fmt_ns(t_full.median_ns),
+        fmt_ns(t_inc.median_ns)
+    );
+
+    dump_json(
+        profile.name,
+        code_bytes,
+        units,
+        redone,
+        workers,
+        &t_full,
+        &t_inc,
+        speedup,
+    );
+
+    assert!(
+        speedup >= 5.0,
+        "incremental refresh must be >= 5x faster than a full rewrite with \
+         < 10% of units dirty (got {speedup:.2}x)"
+    );
+    println!("PASS: >= 5x refresh at {redone}/{units} dirty units, bit-identical output");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dump_json(
+    name: &str,
+    code_bytes: u64,
+    units: u64,
+    units_redone: u64,
+    workers: usize,
+    t_full: &Timing,
+    t_inc: &Timing,
+    speedup: f64,
+) {
+    std::fs::create_dir_all("results").unwrap();
+    let mut f = std::fs::File::create("results/rewrite-incremental.json").unwrap();
+    writeln!(
+        f,
+        "{{\n  \"workload\": \"{name}\",\n  \"code_bytes\": {code_bytes},\n  \
+         \"units\": {units},\n  \"units_redone\": {units_redone},\n  \
+         \"workers\": {workers},\n  \
+         \"median_ns_full\": {:.0},\n  \"median_ns_incremental\": {:.0},\n  \
+         \"speedup\": {speedup:.3},\n  \"bit_identical\": true\n}}",
+        t_full.median_ns, t_inc.median_ns
+    )
+    .unwrap();
+    println!("wrote results/rewrite-incremental.json");
+}

@@ -17,7 +17,7 @@
 //! Part 2 runs one heterogeneous scenario — static rewrite, forced SMILE
 //! fault, lazy rewriting of hidden vector code, a decode-cache
 //! invalidation via self-modification, and the work-stealing simulator —
-//! against one shared tracer, asserts every one of the ten
+//! against one shared tracer, asserts every one of the eleven
 //! [`TraceEvent`] kinds occurred, reconciles event counts against the
 //! metrics registry and the kernel's [`FaultCounters`], and dumps
 //! `results/trace-hetero.json`.
@@ -28,7 +28,9 @@ use chimera_emu::{RunError, RunResult};
 use chimera_isa::ExtSet;
 use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
 use chimera_obj::{assemble, AsmOptions, Binary};
-use chimera_rewrite::{chbp_rewrite_traced, RewriteOptions};
+use chimera_rewrite::{
+    chbp_rewrite_traced, run_cached, run_incremental, ChbpEngine, DirtySpan, RewriteOptions,
+};
 use chimera_trace::{export_json, summarize, TraceEvent, Tracer};
 
 /// The decode_cache straight-line workload: a long unrolled body
@@ -266,6 +268,36 @@ fn hetero_scenario() {
     };
     let process = Process::new(vec![variant]);
 
+    // (a2) Incremental re-rewrite: prime a per-unit cache (6 more
+    // RewritePassDone), dirty one site, and re-rewrite incrementally —
+    // one RewriteIncremental event plus the units_reused/units_redone
+    // counters, which must reconcile with the unit total.
+    let incremental_total = {
+        let engine = ChbpEngine {
+            target: ExtSet::RV64GC,
+            opts: RewriteOptions::default(),
+        };
+        let (primed, mut cache) = run_cached(&engine, &vec_bin, 2, &tracer).unwrap();
+        let site = *primed
+            .rewritten
+            .fht
+            .trampolines
+            .iter()
+            .next()
+            .expect("the vector program has patch sites");
+        let dirty = [DirtySpan {
+            start: site,
+            end: site + 4,
+            generation: 1,
+        }];
+        let inc = run_incremental(&engine, &vec_bin, &mut cache, &dirty, 2, &tracer).unwrap();
+        assert_eq!(
+            inc.rewritten, primed.rewritten,
+            "incremental must be bit-identical to the cached full rewrite"
+        );
+        cache.unit_count() as u64
+    };
+
     // (b) Forced erroneous jump onto a SMILE redirect key: the passive
     // fault handler must recover it (normal trampoline execution never
     // faults, so the fault is provoked explicitly).
@@ -446,9 +478,20 @@ fn hetero_scenario() {
         .filter(|r| matches!(r.event, TraceEvent::StealAttempt { success: true, .. }))
         .count() as u64;
     assert_eq!(successful_steals, counter("sched.steals"));
-    // Two traced rewrites, six pipeline stages each
-    // (scan/plan/transform/place/link/verify).
-    assert_eq!(count("RewritePassDone"), 12);
+    // Three traced full rewrites (two chbp_rewrite_traced + the cache
+    // priming run), six pipeline stages each; the incremental run emits
+    // no per-pass events — just its one RewriteIncremental.
+    assert_eq!(count("RewritePassDone"), 18);
+    assert_eq!(count("RewriteIncremental"), 1);
+    assert_eq!(
+        counter("rewrite.units_reused") + counter("rewrite.units_redone"),
+        incremental_total,
+        "reuse counters must reconcile with the unit total"
+    );
+    assert!(
+        counter("rewrite.units_redone") >= 1,
+        "the dirtied site's unit must be redone"
+    );
     assert_eq!(tracer.dropped(), 0, "nothing may have been dropped");
 
     std::fs::create_dir_all("results").unwrap();
@@ -456,7 +499,7 @@ fn hetero_scenario() {
     std::fs::write("results/trace-hetero.json", &json).unwrap();
     println!("wrote results/trace-hetero.json ({} bytes)", json.len());
     print!("{}", summarize(&records, Some(metrics)));
-    println!("PASS: all 10 event kinds present, counters reconcile exactly");
+    println!("PASS: all 11 event kinds present, counters reconcile exactly");
 }
 
 fn main() {

@@ -46,7 +46,7 @@ pub use bbcache::{BlockCache, CacheStats, ChainLink};
 pub use cost::{CostModel, ExecStats};
 pub use cpu::{Cpu, ExecMode, Stop, Trap};
 pub use hart::{Hart, VLENB};
-pub use mem::{Access, AccessHints, MemFault, Memory, Region, RegionHint};
+pub use mem::{Access, AccessHints, DirtySpan, MemFault, Memory, Region, RegionHint};
 pub use runner::{
     boot, run_binary, run_binary_mode, run_binary_on, run_binary_traced, run_binary_with, run_cpu,
     sys, RunError, RunResult,

@@ -9,6 +9,35 @@
 
 use chimera_obj::{Binary, Perms, STACK_SIZE, STACK_TOP};
 use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The workspace-global source of region generation values. Process-wide
+/// (not per-[`Memory`]) so that two `Memory` instances can never hand out
+/// the same `(start, generation)` fingerprint for different bytes — a
+/// decode cache shared across view switches or differential runs must
+/// never validate a block against a recycled stamp. Monotonic; the value
+/// itself carries no meaning beyond ordering and uniqueness.
+static GENERATION_SOURCE: AtomicU64 = AtomicU64::new(0);
+
+fn next_generation() -> u64 {
+    GENERATION_SOURCE.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// One recorded executable-code mutation: the byte span `[start, end)`
+/// changed (or appeared, or vanished) and carries the generation stamp
+/// the mutation produced. This is the dirty-region channel consumed by
+/// incremental re-rewriting: [`Memory::dirty_regions_since`] returns the
+/// spans stamped after a caller-held watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirtySpan {
+    /// First mutated address.
+    pub start: u64,
+    /// One past the last mutated address.
+    pub end: u64,
+    /// The generation stamp the mutation produced (compare against
+    /// [`Memory::generation_watermark`]).
+    pub generation: u64,
+}
 
 /// The access kind that faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,9 +90,11 @@ pub struct Region {
     pub bytes: Vec<u8>,
     /// Diagnostic name (usually the originating section).
     pub name: String,
-    /// Write generation. Starts from a fresh workspace-unique value at map
-    /// time and is bumped whenever the region's bytes change while it is
-    /// executable; the CPU's basic-block decode cache keys validity on
+    /// Write generation. Starts from a fresh **workspace-unique** value at
+    /// map time (drawn from a process-global monotonic counter, so not even
+    /// two different [`Memory`] instances can repeat one) and is bumped
+    /// whenever the region's bytes change while it is executable; the
+    /// CPU's basic-block decode cache keys validity on
     /// `(start, generation)`, so a bump — or an unmap/remap at the same
     /// address — invalidates every cached block decoded from this region.
     pub generation: u64,
@@ -110,13 +141,19 @@ pub struct Memory {
     /// region layout changes; CPUs use it to invalidate decoded-instruction
     /// caches cheaply ("anything executable may have changed").
     code_generation: u64,
-    /// Source of fresh per-region generation values. Monotonic across
-    /// map/unmap cycles so a region remapped at the same address never
-    /// reuses a generation an old cached block was validated against.
-    region_seq: u64,
+    /// Bounded log of executable-code mutations (see [`DirtySpan`]),
+    /// coalesced on insert and queried by
+    /// [`Memory::dirty_regions_since`]. Over-approximation is allowed
+    /// (merged spans may cover untouched bytes); *losing* a span is not.
+    edits: Vec<DirtySpan>,
     /// Index of the region that satisfied the last access (locality cache).
     last_hit: usize,
 }
+
+/// Cap on the edit log: past this, the two closest spans merge into their
+/// bounding span (a conservative over-approximation), keeping the log
+/// O(1) in memory for arbitrarily long self-modifying runs.
+const MAX_CODE_EDITS: usize = 128;
 
 impl Memory {
     /// Creates empty memory.
@@ -140,13 +177,23 @@ impl Memory {
                 r.name
             );
         }
-        self.region_seq += 1;
+        let generation = next_generation();
+        if perms.x {
+            // Freshly mapped executable bytes are dirty in their entirety:
+            // a remap at a previously rewritten address must re-dirty every
+            // unit derived from it.
+            self.record_edit(DirtySpan {
+                start,
+                end,
+                generation,
+            });
+        }
         self.regions.push(Region {
             start,
             perms,
             bytes,
             name: name.to_string(),
-            generation: self.region_seq,
+            generation,
         });
         self.regions.sort_by_key(|r| r.start);
         self.last_hit = 0;
@@ -255,9 +302,14 @@ impl Memory {
         let r = &mut self.regions[idx];
         r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
         if r.perms.x {
-            self.region_seq += 1;
-            r.generation = self.region_seq;
+            let generation = next_generation();
+            r.generation = generation;
             self.code_generation += 1;
+            self.record_edit(DirtySpan {
+                start: addr,
+                end: addr + bytes.len() as u64,
+                generation,
+            });
         }
         Ok(())
     }
@@ -315,9 +367,14 @@ impl Memory {
         let r = &mut self.regions[idx];
         r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
         if r.perms.x {
-            self.region_seq += 1;
-            r.generation = self.region_seq;
+            let generation = next_generation();
+            r.generation = generation;
             self.code_generation += 1;
+            self.record_edit(DirtySpan {
+                start: addr,
+                end: addr + bytes.len() as u64,
+                generation,
+            });
         } else {
             hint.0 = idx as u32;
         }
@@ -383,26 +440,113 @@ impl Memory {
             });
         }
         r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
-        self.region_seq += 1;
-        r.generation = self.region_seq;
+        let generation = next_generation();
+        r.generation = generation;
         self.code_generation += 1;
+        self.record_edit(DirtySpan {
+            start: addr,
+            end: addr + bytes.len() as u64,
+            generation,
+        });
         Ok(())
     }
 
     /// Unmaps the region with the given name; `true` if found. Used by the
     /// kernel's MMView switching (per-view code sections come and go while
-    /// shared data regions stay).
+    /// shared data regions stay). Unmapping an *executable* region records
+    /// its whole span as dirty with a fresh generation: the address range
+    /// may be remapped with different code, and a remap itself draws a new
+    /// workspace-unique generation, so a block cached against the old
+    /// region can never validate against the remapped one.
     pub fn unmap(&mut self, name: &str) -> bool {
         let before = self.regions.len();
-        self.regions.retain(|r| r.name != name);
+        let mut dirty: Vec<DirtySpan> = Vec::new();
+        self.regions.retain(|r| {
+            if r.name == name {
+                if r.perms.x {
+                    dirty.push(DirtySpan {
+                        start: r.start,
+                        end: r.end(),
+                        generation: 0, // stamped below
+                    });
+                }
+                false
+            } else {
+                true
+            }
+        });
         self.last_hit = 0;
         let removed = self.regions.len() != before;
         if removed {
+            for mut span in dirty {
+                span.generation = next_generation();
+                self.record_edit(span);
+            }
             // The address range may be remapped with different code; force
             // decode-cache revalidation.
             self.code_generation += 1;
         }
         removed
+    }
+
+    /// A watermark for [`Memory::dirty_regions_since`]: every code
+    /// mutation from this moment on (in *any* `Memory` of the process —
+    /// generations are workspace-global) carries a larger generation.
+    pub fn generation_watermark(&self) -> u64 {
+        GENERATION_SOURCE.load(Ordering::Relaxed)
+    }
+
+    /// The executable spans mutated since `watermark` (a value previously
+    /// returned by [`Memory::generation_watermark`]), sorted by address.
+    /// Spans are coalesced conservatively: a returned span may cover some
+    /// untouched bytes, but every mutated byte since the watermark is
+    /// covered. This is the signal incremental re-rewriting keys its
+    /// dirty-unit set on.
+    pub fn dirty_regions_since(&self, watermark: u64) -> Vec<DirtySpan> {
+        let mut v: Vec<DirtySpan> = self
+            .edits
+            .iter()
+            .filter(|e| e.generation > watermark)
+            .copied()
+            .collect();
+        v.sort_by_key(|e| e.start);
+        v
+    }
+
+    /// Appends one span to the edit log. Entries fully contained in the
+    /// new span are absorbed (the new span covers them at a newer
+    /// generation, so no watermark loses visibility); partially
+    /// overlapping entries are kept separate to stay precise — merging
+    /// them would make an old wide edit (e.g. the map-time whole-region
+    /// span) swallow later pinpoint pokes and over-dirty every consumer.
+    /// Past [`MAX_CODE_EDITS`], the two closest spans merge into their
+    /// bounding span so the log stays bounded (a conservative
+    /// over-approximation; dirtiness may widen but is never lost).
+    fn record_edit(&mut self, span: DirtySpan) {
+        let mut merged = span;
+        self.edits.retain(|e| {
+            if merged.start <= e.start && e.end <= merged.end {
+                merged.generation = merged.generation.max(e.generation);
+                false
+            } else {
+                true
+            }
+        });
+        self.edits.push(merged);
+        if self.edits.len() > MAX_CODE_EDITS {
+            self.edits.sort_by_key(|e| e.start);
+            let (mut best, mut gap) = (0, u64::MAX);
+            for i in 0..self.edits.len() - 1 {
+                let g = self.edits[i + 1].start.saturating_sub(self.edits[i].end);
+                if g < gap {
+                    (best, gap) = (i, g);
+                }
+            }
+            let b = self.edits.remove(best + 1);
+            let a = &mut self.edits[best];
+            a.end = a.end.max(b.end);
+            a.generation = a.generation.max(b.generation);
+        }
     }
 
     /// The region with the given name, if mapped.
@@ -586,6 +730,105 @@ mod tests {
         let g1 = m.code_generation();
         m.write_hinted(&mut h.store, 0x1001, &[0xbb]).unwrap();
         assert!(m.code_generation() > g1);
+    }
+
+    #[test]
+    fn generations_are_workspace_unique_across_instances() {
+        // Two independent memories mapping different code at the same
+        // address must hand out different fingerprints: a decode cache
+        // shared across them (differential runs, view switches through
+        // fresh Memory instances) must never validate a stale block.
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.map_bytes(0x1000, vec![1, 2, 3, 4], Perms::RX, ".text");
+        b.map_bytes(0x1000, vec![5, 6, 7, 8], Perms::RX, ".text");
+        assert_ne!(
+            a.code_fingerprint(0x1000).unwrap(),
+            b.code_fingerprint(0x1000).unwrap()
+        );
+    }
+
+    #[test]
+    fn dirty_regions_track_code_mutations_since_watermark() {
+        let mut m = mem();
+        let wm = m.generation_watermark();
+        assert!(m.dirty_regions_since(wm).is_empty());
+
+        // A data store is not a code mutation.
+        m.write(0x2000, &[1, 2]).unwrap();
+        assert!(m.dirty_regions_since(wm).is_empty());
+
+        // A code poke is; its span and a later-than-watermark stamp land
+        // in the query.
+        m.poke_code(0x1002, &[0xaa, 0xbb]).unwrap();
+        let d = m.dirty_regions_since(wm);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].start, d[0].end), (0x1002, 0x1004));
+        assert!(d[0].generation > wm);
+
+        // Advancing the watermark drains the view.
+        let wm2 = m.generation_watermark();
+        assert!(m.dirty_regions_since(wm2).is_empty());
+        // ... but the old watermark still sees the old edit.
+        assert_eq!(m.dirty_regions_since(wm).len(), 1);
+    }
+
+    #[test]
+    fn repeated_pokes_at_one_site_keep_one_edit() {
+        let mut m = mem();
+        let wm = m.generation_watermark();
+        for _ in 0..10 {
+            m.poke_code(0x1002, &[3, 4]).unwrap();
+        }
+        let d = m.dirty_regions_since(wm);
+        assert_eq!(d.len(), 1, "identical spans absorb, not accumulate: {d:?}");
+        assert_eq!((d[0].start, d[0].end), (0x1002, 0x1004));
+    }
+
+    #[test]
+    fn edit_log_stays_bounded_without_losing_dirty_bytes() {
+        let mut m = Memory::new();
+        m.map(0x1_0000, 0x20_0000, Perms::RX, ".text");
+        let wm = m.generation_watermark();
+        // Far-apart pokes (nothing coalesces on insert): the log must cap
+        // via conservative merging, never by dropping a span.
+        for i in 0..500u64 {
+            m.poke_code(0x1_0000 + i * 0x1000, &[0u8; 2]).unwrap();
+        }
+        let d = m.dirty_regions_since(wm);
+        assert!(d.len() <= MAX_CODE_EDITS, "log must stay bounded");
+        for i in 0..500u64 {
+            let a = 0x1_0000 + i * 0x1000;
+            assert!(
+                d.iter().any(|s| s.start <= a && a + 2 <= s.end),
+                "poke at {a:#x} lost from the dirty log"
+            );
+        }
+    }
+
+    #[test]
+    fn unmap_and_remap_record_dirty_spans() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x100, Perms::RX, ".text");
+        m.map(0x2000, 0x100, Perms::RW, ".data");
+        let wm = m.generation_watermark();
+        // Unmapping a data region records nothing.
+        assert!(m.unmap(".data"));
+        assert!(m.dirty_regions_since(wm).is_empty());
+        // Unmapping + remapping code dirties the whole span, with the
+        // remap's generation matching the new region's stamp.
+        assert!(m.unmap(".text"));
+        let d = m.dirty_regions_since(wm);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].start, d[0].end), (0x1000, 0x1100));
+        m.map(0x1000, 0x100, Perms::RX, ".text");
+        let d = m.dirty_regions_since(wm);
+        assert_eq!(d.len(), 1, "unmap+remap of the same span coalesces");
+        assert_eq!(
+            d[0].generation,
+            m.code_fingerprint(0x1000).unwrap().1,
+            "the remap edit carries the fresh region generation"
+        );
     }
 
     #[test]

@@ -315,3 +315,80 @@ fn data_stores_do_not_invalidate() {
     assert_eq!(s.invalidations, 0, "{s:?}");
     assert!(s.hits >= 1, "second run must reuse the block: {s:?}");
 }
+
+/// Unmap-then-remap at the same address severs *everything* decoded under
+/// the old region: cached blocks AND the chain links between them. A hot
+/// loop is chained block-to-block; after the region is unmapped and new
+/// code mapped at the same base, neither a stale block nor a stale chain
+/// link may fire — the workspace-unique region generations guarantee the
+/// remapped region can never reproduce a fingerprint the old links were
+/// validated against.
+#[test]
+fn unmap_then_remap_severs_blocks_and_chain_links() {
+    // Two-block loop so chain links form between them.
+    let loop_of = |step: i32| {
+        words(&[
+            addi(XReg::T0, XReg::ZERO, 50),
+            addi(XReg::A0, XReg::ZERO, 0),
+            addi(XReg::A0, XReg::A0, step), // loop:
+            Inst::Branch {
+                kind: BranchKind::Beq,
+                rs1: XReg::ZERO,
+                rs2: XReg::ZERO,
+                offset: 4, // Split the loop body into two blocks.
+            },
+            addi(XReg::T0, XReg::T0, -1),
+            Inst::Branch {
+                kind: BranchKind::Bne,
+                rs1: XReg::T0,
+                rs2: XReg::ZERO,
+                offset: -12,
+            },
+            Inst::Ecall,
+        ])
+    };
+    let mut cpu = Cpu::new(ExtSet::RV64GC);
+    let mut mem = Memory::new();
+    mem.map_bytes(BASE, loop_of(2), Perms::RX, "gen1");
+    let gen1 = mem.region("gen1").unwrap().generation;
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 100);
+    let warm = cpu.cache.stats;
+    assert!(
+        warm.chained > 0,
+        "hot loop must run on chain links: {warm:?}"
+    );
+
+    assert!(mem.unmap("gen1"));
+    mem.map_bytes(BASE, loop_of(3), Perms::RX, "gen2");
+    let gen2 = mem.region("gen2").unwrap().generation;
+    assert!(
+        gen2 > gen1,
+        "remap at the same address must draw a fresh workspace-unique generation"
+    );
+
+    // Every stale block (and every chain link validated under gen1) must
+    // be dropped: the run executes the new bytes only.
+    assert_eq!(
+        run_to_ecall(&mut cpu, &mut mem),
+        150,
+        "stale blocks or chain links from the unmapped region survived the remap"
+    );
+    let s = cpu.cache.stats;
+    assert!(
+        s.invalidations > warm.invalidations,
+        "remap must invalidate the cached blocks: {s:?}"
+    );
+    assert!(
+        s.blocks_built > warm.blocks_built,
+        "the new code must be decoded fresh: {s:?}"
+    );
+
+    // And the dirty-region channel reports both the unmap and the remap.
+    let spans = mem.dirty_regions_since(gen1);
+    assert!(
+        spans
+            .iter()
+            .any(|d| d.start == BASE && d.generation >= gen2),
+        "unmap/remap must be visible to incremental re-rewriting: {spans:?}"
+    );
+}

@@ -10,10 +10,12 @@
 #![warn(missing_docs)]
 
 mod process;
+mod refresh;
 mod runtime;
 mod sched;
 
 pub use process::{sync_vectors_from_spill, sync_vectors_to_spill, Process, Variant, LAZY_SLACK};
+pub use refresh::VariantRefresher;
 pub use runtime::{FaultCounters, KernelRunner, RunOutcome, RuntimeTables, SIGRETURN_ADDR};
 pub use sched::{
     simulate_work_stealing, simulate_work_stealing_traced, Pool, SimMachine, SimResult, TaskCost,

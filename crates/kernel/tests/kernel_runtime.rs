@@ -513,3 +513,109 @@ fn empty_patch_mode_via_kernel() {
     let mut k = KernelRunner::new(view.tables.clone());
     assert_eq!(k.run(&mut cpu, &mut mem, 1_000_000), RunOutcome::Exited(14));
 }
+
+/// The kernel's lazy-rewrite pokes flow through the same generation /
+/// dirty-region channel that incremental re-rewriting consumes: every
+/// patch severs cached blocks (cache stats), lands in
+/// `dirty_regions_since`, and is correctly classified by the refresher —
+/// lazy patches mutate the *runtime image*, not the input binary, so a
+/// refresh reuses every unit and still reproduces the full rewrite bit
+/// for bit; an SMC poke on a patch site, by contrast, invalidates its
+/// unit.
+#[test]
+fn lazy_rewrite_feeds_incremental_dirty_channel() {
+    use chimera_kernel::{TraceEvent, Tracer, VariantRefresher};
+    use chimera_rewrite::{run, ChbpEngine};
+
+    let bin = assemble(VEC_PROG, AsmOptions::default()).unwrap();
+    let opts = RewriteOptions {
+        mode: Mode::EmptyPatch(Ext::V),
+        ..Default::default()
+    };
+    let engine = ChbpEngine {
+        target: ExtSet::RV64GC,
+        opts,
+    };
+    let full = run(&engine, &bin, 2, &Tracer::disabled()).unwrap();
+    let (mut refresher, variant) =
+        VariantRefresher::build(Box::new(engine), bin.clone(), 2, &Tracer::disabled()).unwrap();
+    assert_eq!(variant.binary, full.rewritten.binary);
+    let fht = variant.tables.fht.clone().unwrap();
+
+    let process = Process::new(vec![variant]);
+    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).unwrap();
+    let entry = cpu.hart.pc;
+    refresher.mark_clean(&mem);
+    assert!(
+        refresher
+            .refresh(&mem, &Tracer::disabled())
+            .unwrap()
+            .is_none(),
+        "a clean image needs no refresh"
+    );
+    let watermark = mem.generation_watermark();
+
+    // EmptyPatch keeps the vector instructions verbatim in the target
+    // section: each one faults on RV64GC and is lazily rewritten.
+    let mut k = KernelRunner::new(view.tables.clone());
+    assert_eq!(k.run(&mut cpu, &mut mem, 1_000_000), RunOutcome::Exited(14));
+    assert!(k.counters.lazy_rewrites >= 4, "{:?}", k.counters);
+
+    // The pokes bumped the patched regions' generations: a second pass
+    // over the same code must drop every block decoded before the last
+    // patch (invalidations are counted at the stale lookup), and the
+    // re-run still behaves identically — now with zero new rewrites.
+    let first_run = cpu.cache.stats;
+    cpu.hart.pc = entry;
+    assert_eq!(k.run(&mut cpu, &mut mem, 1_000_000), RunOutcome::Exited(14));
+    assert!(
+        cpu.cache.stats.invalidations > first_run.invalidations,
+        "lazy pokes must sever cached blocks: {:?}",
+        cpu.cache.stats
+    );
+    assert!(k.counters.lazy_rewrites >= 4, "{:?}", k.counters);
+
+    // Every lazy patch is visible in the dirty channel, inside the
+    // patched target section (or the [lazy] slack after it).
+    let dirty = mem.dirty_regions_since(watermark);
+    assert!(!dirty.is_empty(), "lazy rewrites must report dirty spans");
+    assert!(
+        dirty.iter().all(|d| d.start >= fht.target_range.0),
+        "lazy patches live past the target base: {dirty:?}"
+    );
+
+    // The refresher consumes the report: target-section patches overlap
+    // no unit's *input* source range, so the refreshed variant reuses
+    // every unit — and is still bit-identical to the full rewrite.
+    let tracer = Tracer::enabled();
+    let refreshed = refresher
+        .refresh(&mem, &tracer)
+        .unwrap()
+        .expect("a dirty image refreshes");
+    assert_eq!(refreshed.binary, full.rewritten.binary);
+    let redone: Vec<u64> = tracer
+        .drain()
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::RewriteIncremental { units_redone, .. } => Some(units_redone),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(redone, vec![0], "lazy patches invalidate no input units");
+
+    // An SMC poke on a patch site, through the very same channel, does
+    // invalidate its unit — and the output still matches bit for bit.
+    let site = *fht.trampolines.iter().next().expect("sites exist");
+    mem.poke_code(site, &[0x13, 0x00, 0x00, 0x00]).unwrap();
+    let tracer = Tracer::enabled();
+    let refreshed = refresher
+        .refresh(&mem, &tracer)
+        .unwrap()
+        .expect("the poke dirties the image");
+    assert_eq!(refreshed.binary, full.rewritten.binary);
+    let m = tracer.metrics().unwrap();
+    assert!(
+        m.counter_value("rewrite.units_redone").unwrap_or(0) >= 1,
+        "an SMC poke on a site must redo its unit"
+    );
+}

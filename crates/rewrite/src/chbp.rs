@@ -164,6 +164,10 @@ pub enum RewriteError {
     BadBinary(String),
     /// Internal layout failure (should not happen; surfaced loudly).
     Layout(String),
+    /// A section the rewriter just attached is missing from the output —
+    /// the output binary is corrupt, so surfaced as a typed error rather
+    /// than a panic.
+    MissingSection(&'static str),
 }
 
 impl core::fmt::Display for RewriteError {
@@ -171,6 +175,9 @@ impl core::fmt::Display for RewriteError {
         match self {
             RewriteError::BadBinary(s) => write!(f, "bad input binary: {s}"),
             RewriteError::Layout(s) => write!(f, "layout failure: {s}"),
+            RewriteError::MissingSection(s) => {
+                write!(f, "output binary lost its '{s}' section")
+            }
         }
     }
 }
@@ -362,19 +369,20 @@ impl RewriteEngine for ChbpEngine {
         });
 
         st.pass_items = d.insts.len() as u64;
-        st.units = units;
-        st.unit_sizes = sizes;
-        st.disasm = Some(d);
-        st.cfg = Some(cfg);
-        st.liveness = Some(liveness);
+        st.units = std::sync::Arc::new(units);
+        st.unit_sizes = std::sync::Arc::new(sizes);
+        st.disasm = Some(std::sync::Arc::new(d));
+        st.cfg = Some(std::sync::Arc::new(cfg));
+        st.liveness = Some(std::sync::Arc::new(liveness));
         Ok(())
     }
 
     fn plan(&self, st: &mut EngineState) -> Result<(), RewriteError> {
-        let d = st.disasm.as_ref().expect("scan ran");
+        let d = st.disasm.clone().expect("scan ran");
+        let d = &*d;
         let mut cursor = st.target_base;
         let mut plans: Vec<UnitPlan> = Vec::with_capacity(st.units.len());
-        for (unit, &size) in st.units.iter().zip(&st.unit_sizes) {
+        for (unit, &size) in st.units.iter().zip(st.unit_sizes.iter()) {
             match &unit.kind {
                 UnitKind::Region {
                     region,
@@ -457,8 +465,8 @@ impl RewriteEngine for ChbpEngine {
     }
 
     fn transform(&self, st: &mut EngineState) -> Result<(), RewriteError> {
-        let d = st.disasm.as_ref().expect("scan ran");
-        let liveness = st.liveness.as_ref().expect("scan ran");
+        let d = st.disasm.as_deref().expect("scan ran");
+        let liveness = st.liveness.as_deref().expect("scan ran");
         let units = &st.units;
         let plans = &st.plans;
         let (opts, target) = (self.opts, self.target);
@@ -476,7 +484,7 @@ impl RewriteEngine for ChbpEngine {
                     abi_gp,
                 )
             });
-        for (art, &size) in artifacts.iter().zip(&st.unit_sizes) {
+        for (art, &size) in artifacts.iter().zip(st.unit_sizes.iter()) {
             debug_assert_eq!(
                 art.bytes.len() as u64,
                 size,
@@ -524,9 +532,28 @@ impl RewriteEngine for ChbpEngine {
                 st.target_base
             )));
         }
-        st.fht.target_range = (st.target_base, out.section(".chimera.text").unwrap().end());
+        let target_end = out
+            .section(".chimera.text")
+            .ok_or(RewriteError::MissingSection(".chimera.text"))?
+            .end();
+        st.fht.target_range = (st.target_base, target_end);
         out.profile = self.target;
         Ok(())
+    }
+
+    fn transform_unit(&self, st: &EngineState, idx: usize) -> Result<UnitArtifact, RewriteError> {
+        let d = st.disasm.as_deref().expect("cache holds the analyses");
+        let liveness = st.liveness.as_deref().expect("cache holds the analyses");
+        Ok(emit_unit(
+            &st.units[idx],
+            st.plans[idx].addr,
+            d,
+            liveness,
+            self.opts,
+            self.target,
+            st.fht.spill_base,
+            st.fht.abi_gp,
+        ))
     }
 }
 
@@ -667,6 +694,16 @@ enum RegionTail {
 }
 
 impl Region {
+    /// The input-address range `[start, end)` whose bytes this region
+    /// translates: from the patch site through the later of the
+    /// overwritten space and the last batched instruction. The
+    /// incremental driver keys the dirty-unit set on this range.
+    pub(crate) fn source_range(&self) -> (u64, u64) {
+        let start = self.insts[0].addr;
+        let last = self.insts.last().expect("regions are non-empty");
+        (start, self.space_end.max(last.addr + last.len as u64))
+    }
+
     /// Which interior trampoline offsets were original instruction starts.
     fn constraints(&self, _d: &Disassembly) -> SmileConstraints {
         let site = self.insts[0].addr;

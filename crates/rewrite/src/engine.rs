@@ -28,6 +28,7 @@ use crate::chbp::{FaultTable, Region, RewriteError, RewriteStats};
 use crate::regen::{RegenAux, RegenInfo};
 use chimera_analysis::{Cfg, DisasmInst, Disassembly, Liveness};
 use chimera_obj::Binary;
+use std::sync::Arc;
 
 /// One independent rewrite unit: the granularity of parallel transform.
 /// Its position in [`EngineState::units`] is its identity — plans,
@@ -64,9 +65,12 @@ pub(crate) enum UnitKind {
 
 /// What one unit's transform produced: emitted bytes plus fragments of
 /// the fault table, statistics and regeneration metadata, merged (in unit
-/// order) during the place stage.
-#[derive(Debug, Default)]
-pub(crate) struct UnitArtifact {
+/// order) during the place stage. Artifacts are also what the
+/// incremental path caches per unit: emission is a pure function of
+/// `(unit, planned address, analyses)`, so a cached artifact is reusable
+/// verbatim until its unit's source range is invalidated.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct UnitArtifact {
     /// The unit's emitted bytes.
     pub bytes: Vec<u8>,
     /// Fault-table fragment (`redirects`/`trap_exits`/`untranslated`).
@@ -95,16 +99,17 @@ pub struct EngineState<'a> {
     /// The output binary under construction (cloned from the input by
     /// scan for patching engines, by link for the identity engine).
     pub(crate) out: Option<Binary>,
-    /// Scan: disassembly.
-    pub(crate) disasm: Option<Disassembly>,
+    /// Scan: disassembly (shared with the per-unit cache so incremental
+    /// re-rewrites reuse it without recomputation or deep clones).
+    pub(crate) disasm: Option<Arc<Disassembly>>,
     /// Scan: control-flow graph.
-    pub(crate) cfg: Option<Cfg>,
+    pub(crate) cfg: Option<Arc<Cfg>>,
     /// Scan: liveness facts.
-    pub(crate) liveness: Option<Liveness>,
+    pub(crate) liveness: Option<Arc<Liveness>>,
     /// Scan: the unit partition.
-    pub(crate) units: Vec<RewriteUnit>,
+    pub(crate) units: Arc<Vec<RewriteUnit>>,
     /// Scan: measured emitted size per unit.
-    pub(crate) unit_sizes: Vec<u64>,
+    pub(crate) unit_sizes: Arc<Vec<u64>>,
     /// Plan: per-unit placement.
     pub(crate) plans: Vec<UnitPlan>,
     /// Transform: per-unit artifacts (consumed by place).
@@ -122,7 +127,7 @@ pub struct EngineState<'a> {
     /// Regeneration metadata (regeneration engines only).
     pub(crate) regen: Option<RegenInfo>,
     /// Regeneration working state (address map, slot sizes).
-    pub(crate) regen_aux: Option<RegenAux>,
+    pub(crate) regen_aux: Option<Arc<RegenAux>>,
     /// Work-item count of the stage that just ran (for trace events).
     pub(crate) pass_items: u64,
 }
@@ -136,8 +141,8 @@ impl<'a> EngineState<'a> {
             disasm: None,
             cfg: None,
             liveness: None,
-            units: Vec::new(),
-            unit_sizes: Vec::new(),
+            units: Arc::new(Vec::new()),
+            unit_sizes: Arc::new(Vec::new()),
             plans: Vec::new(),
             artifacts: Vec::new(),
             text_patches: Vec::new(),
@@ -148,6 +153,24 @@ impl<'a> EngineState<'a> {
             regen: None,
             regen_aux: None,
             pass_items: 0,
+        }
+    }
+}
+
+impl RewriteUnit {
+    /// The input-address range `[start, end)` whose bytes this unit
+    /// translates. The dirty-unit set is keyed on these ranges: a unit is
+    /// invalidated when a reported dirty region intersects its source
+    /// range with a generation newer than the unit's validation stamp.
+    pub(crate) fn source_range(&self, st: &EngineState) -> (u64, u64) {
+        match &self.kind {
+            UnitKind::Region { region, .. } => region.source_range(),
+            UnitKind::Site(site) => (site.addr, site.addr + site.len as u64),
+            UnitKind::Span { start, end } => st
+                .regen_aux
+                .as_deref()
+                .expect("span units carry regeneration state")
+                .span_range(*start, *end),
         }
     }
 }
@@ -191,6 +214,39 @@ pub trait RewriteEngine: Sync {
     fn transform(&self, st: &mut EngineState) -> Result<(), RewriteError> {
         st.pass_items = 0;
         Ok(())
+    }
+
+    /// Re-emits a single unit at its planned address: the per-unit pure
+    /// function behind `transform`, exposed so the incremental driver can
+    /// redo only dirty units. Engines whose `transform` is a no-op (no
+    /// units) never receive this call; unit-producing engines must
+    /// override it.
+    fn transform_unit(&self, _st: &EngineState, _idx: usize) -> Result<UnitArtifact, RewriteError> {
+        Err(RewriteError::Layout(format!(
+            "engine '{}' does not support incremental re-transform",
+            self.name()
+        )))
+    }
+
+    /// Incrementally re-rewrites `binary` against a cache primed by
+    /// [`crate::pipeline::run_cached`]: only the units whose source
+    /// ranges intersect `dirty` (at a generation newer than their
+    /// validation stamp) are re-emitted; every clean unit's bytes are
+    /// reused verbatim. Output is bit-identical to a from-scratch
+    /// rewrite. See [`crate::pipeline::run_incremental`] (which `dyn`
+    /// callers use directly) for the full contract.
+    fn rewrite_incremental(
+        &self,
+        binary: &Binary,
+        cache: &mut crate::pipeline::RewriteCache,
+        dirty: &[crate::pipeline::DirtySpan],
+        workers: usize,
+        tracer: &chimera_trace::Tracer,
+    ) -> Result<crate::pipeline::EngineResult, RewriteError>
+    where
+        Self: Sized,
+    {
+        crate::pipeline::run_incremental(self, binary, cache, dirty, workers, tracer)
     }
 
     /// Target-section assembly + fragment merge.

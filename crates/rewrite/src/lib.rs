@@ -22,8 +22,10 @@ pub use chbp::{
     verify_claim1, ChbpEngine, FaultTable, Mode, RewriteError, RewriteOptions, RewriteStats,
     Rewritten,
 };
-pub use engine::{IdentityEngine, RewriteEngine};
-pub use pipeline::{default_workers, run, EngineResult};
+pub use engine::{IdentityEngine, RewriteEngine, UnitArtifact};
+pub use pipeline::{
+    default_workers, run, run_cached, run_incremental, DirtySpan, EngineResult, RewriteCache,
+};
 pub mod regen;
 
 pub use regen::{

@@ -1,6 +1,8 @@
 //! The pass-pipeline driver: runs a [`RewriteEngine`]'s six stages over
 //! one binary, emitting a [`TraceEvent::RewritePassDone`] per stage and
-//! the `rewrite.*` counters at the end.
+//! the `rewrite.*` counters at the end — plus the **incremental** driver
+//! ([`run_incremental`]), which replays a cached run redoing only the
+//! units a dirty-region report invalidated.
 //!
 //! Determinism contract: for a fixed engine + input, the output —
 //! binary bytes, [`FaultTable`](crate::FaultTable), and
@@ -8,12 +10,24 @@
 //! `workers` value. Layout is assigned in the sequential plan stage;
 //! the parallel stages (scan measurement, transform) compute pure
 //! per-unit functions reassembled in unit order.
+//!
+//! Incremental contract: the input binary is immutable, so a rewrite is
+//! a pure function of it — invalidations (lazy patches, SMC pokes,
+//! remaps) live in the *runtime memory image*, not the input. An
+//! incremental run therefore reproduces the full-rewrite output exactly:
+//! it reuses the cached analyses and layout, re-emits only the dirty
+//! units (hard-asserting each re-emission matches its cached artifact),
+//! clones every clean artifact verbatim, and replays place/link/verify.
+//! The dirty set decides how much work is *saved*, never what the output
+//! *is* — which is what makes the byte-equality invariant unconditional.
 
 use crate::chbp::{RewriteError, Rewritten};
-use crate::engine::{EngineState, RewriteEngine};
-use crate::regen::RegenInfo;
+use crate::engine::{EngineState, RewriteEngine, RewriteUnit, UnitArtifact, UnitPlan};
+use crate::regen::{RegenAux, RegenInfo};
+use chimera_analysis::{Cfg, Disassembly, Liveness};
 use chimera_obj::Binary;
 use chimera_trace::{RewritePass, TraceEvent, Tracer};
+use std::sync::Arc;
 
 /// What a pipeline run produced.
 pub struct EngineResult {
@@ -21,6 +35,69 @@ pub struct EngineResult {
     pub rewritten: Rewritten,
     /// Regeneration metadata (regeneration engines only).
     pub regen: Option<RegenInfo>,
+}
+
+/// A mutated input-address span, as reported by the emulator's
+/// `Memory::dirty_regions_since`: the byte range plus the region
+/// generation stamp the mutation produced. A unit whose source range
+/// intersects a span with `generation` newer than the unit's validation
+/// stamp is dirty and gets re-emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirtySpan {
+    /// First mutated address.
+    pub start: u64,
+    /// One past the last mutated address.
+    pub end: u64,
+    /// The `(start, generation)` stamp's generation half.
+    pub generation: u64,
+}
+
+/// One cached unit: its transform artifact plus the validation stamp —
+/// the newest dirty-region generation this unit has been re-validated
+/// against. Re-presenting an already-consumed dirty report is a no-op.
+struct CachedUnit {
+    artifact: UnitArtifact,
+    stamp: u64,
+    source: (u64, u64),
+}
+
+/// The per-unit rewrite cache primed by [`run_cached`]: the scan stage's
+/// analyses (shared, not cloned), the plan stage's layout and snapshots,
+/// and every unit's artifact with a validation stamp. One cache serves
+/// one `(engine, input binary)` pair; [`run_incremental`] re-primes it
+/// automatically when either changed.
+pub struct RewriteCache {
+    engine_name: &'static str,
+    /// The exact input the cache was built from (incremental runs verify
+    /// equality — a stale cache silently reused would break the
+    /// byte-identity invariant).
+    input: Binary,
+    /// `st.out` as scan left it (cloned into each incremental run; link
+    /// mutates it).
+    out_template: Option<Binary>,
+    disasm: Option<Arc<Disassembly>>,
+    cfg: Option<Arc<Cfg>>,
+    liveness: Option<Arc<Liveness>>,
+    /// Post-plan (address map filled, for regeneration engines).
+    regen_aux: Option<Arc<RegenAux>>,
+    units: Arc<Vec<RewriteUnit>>,
+    unit_sizes: Arc<Vec<u64>>,
+    target_base: u64,
+    /// Post-plan layout + original-section patches.
+    plans: Vec<UnitPlan>,
+    text_patches: Vec<(u64, Vec<u8>)>,
+    /// Fault table / statistics as the plan stage left them (place and
+    /// link replay their merges on top).
+    fht_after_plan: crate::chbp::FaultTable,
+    stats_after_plan: crate::chbp::RewriteStats,
+    cached: Vec<CachedUnit>,
+}
+
+impl RewriteCache {
+    /// Number of units in the cached partition.
+    pub fn unit_count(&self) -> usize {
+        self.cached.len()
+    }
 }
 
 /// The default transform worker count: the machine's parallelism, capped
@@ -41,6 +118,47 @@ pub fn run(
     workers: usize,
     tracer: &Tracer,
 ) -> Result<EngineResult, RewriteError> {
+    run_stages(engine, binary, workers, tracer, None)
+}
+
+/// [`run`], additionally priming a [`RewriteCache`] for later
+/// [`run_incremental`] calls: the analyses and unit partition are shared
+/// (`Arc`), the post-plan layout is snapshotted, and every unit's
+/// artifact is kept with a fresh validation stamp.
+pub fn run_cached(
+    engine: &dyn RewriteEngine,
+    binary: &Binary,
+    workers: usize,
+    tracer: &Tracer,
+) -> Result<(EngineResult, RewriteCache), RewriteError> {
+    let mut cache = RewriteCache {
+        engine_name: engine.name(),
+        input: binary.clone(),
+        out_template: None,
+        disasm: None,
+        cfg: None,
+        liveness: None,
+        regen_aux: None,
+        units: Arc::new(Vec::new()),
+        unit_sizes: Arc::new(Vec::new()),
+        target_base: 0,
+        plans: Vec::new(),
+        text_patches: Vec::new(),
+        fht_after_plan: Default::default(),
+        stats_after_plan: Default::default(),
+        cached: Vec::new(),
+    };
+    let result = run_stages(engine, binary, workers, tracer, Some(&mut cache))?;
+    Ok((result, cache))
+}
+
+fn run_stages(
+    engine: &dyn RewriteEngine,
+    binary: &Binary,
+    workers: usize,
+    tracer: &Tracer,
+    mut capture: Option<&mut RewriteCache>,
+) -> Result<EngineResult, RewriteError> {
     let mut st = EngineState::new(binary, workers);
     let mut timer = PassTimer::new(tracer);
 
@@ -48,8 +166,35 @@ pub fn run(
     timer.done(RewritePass::Scan, st.pass_items);
     engine.plan(&mut st)?;
     timer.done(RewritePass::Plan, st.pass_items);
+    if let Some(cache) = capture.as_deref_mut() {
+        cache.out_template = st.out.clone();
+        cache.disasm = st.disasm.clone();
+        cache.cfg = st.cfg.clone();
+        cache.liveness = st.liveness.clone();
+        cache.regen_aux = st.regen_aux.clone();
+        cache.units = st.units.clone();
+        cache.unit_sizes = st.unit_sizes.clone();
+        cache.target_base = st.target_base;
+        cache.plans = st.plans.clone();
+        cache.text_patches = st.text_patches.clone();
+        cache.fht_after_plan = st.fht.clone();
+        cache.stats_after_plan = st.stats;
+    }
     engine.transform(&mut st)?;
     timer.done(RewritePass::Transform, st.pass_items);
+    if let Some(cache) = capture {
+        let stamp = 0;
+        cache.cached = st
+            .artifacts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| CachedUnit {
+                artifact: a.clone(),
+                stamp,
+                source: st.units[i].source_range(&st),
+            })
+            .collect();
+    }
     engine.place(&mut st)?;
     timer.done(RewritePass::Place, st.pass_items);
     engine.link(&mut st)?;
@@ -57,21 +202,146 @@ pub fn run(
     engine.verify(&mut st)?;
     timer.done(RewritePass::Verify, st.pass_items);
 
-    if tracer.is_enabled() {
-        tracer.count(
-            "rewrite.smile_trampolines",
-            st.stats.smile_trampolines as u64,
-        );
-        tracer.count(
-            "rewrite.constrained_smiles",
-            st.stats.constrained_smiles as u64,
-        );
-        tracer.count("rewrite.trap_entries", st.stats.trap_entries as u64);
-        tracer.count("rewrite.trap_exits", st.stats.trap_exits as u64);
-        tracer.count("rewrite.untranslated", st.fht.untranslated.len() as u64);
-        tracer.count("rewrite.target_bytes", st.stats.target_section_size);
+    emit_counters(&st, tracer);
+    finish(st)
+}
+
+/// Incrementally re-rewrites `binary`: computes the dirty-unit set from
+/// `dirty` (source-range intersection, generation newer than the unit's
+/// validation stamp), re-emits exactly those units in parallel —
+/// hard-asserting each re-emission is byte-identical to its cached
+/// artifact — reuses every clean unit verbatim, and replays the cheap
+/// place/link/verify stages to reconstruct the output. Bit-identical to
+/// a from-scratch [`run`] of the same engine over the same input.
+///
+/// Emits one [`TraceEvent::RewriteIncremental`] plus the
+/// `rewrite.units_reused` / `rewrite.units_redone` counters (they always
+/// sum to the unit total).
+///
+/// If the cache was primed by a different engine or input, the cache is
+/// re-primed with a full run (every unit counts as redone) — callers
+/// never observe a stale result.
+pub fn run_incremental(
+    engine: &dyn RewriteEngine,
+    binary: &Binary,
+    cache: &mut RewriteCache,
+    dirty: &[DirtySpan],
+    workers: usize,
+    tracer: &Tracer,
+) -> Result<EngineResult, RewriteError> {
+    let started = tracer.is_enabled().then(std::time::Instant::now);
+    if cache.engine_name != engine.name() || cache.input != *binary {
+        let (result, fresh) = run_cached(engine, binary, workers, tracer)?;
+        *cache = fresh;
+        let total = cache.cached.len() as u64;
+        record_incremental(tracer, started, total, total);
+        return Ok(result);
     }
 
+    // Dirty-unit set: source-range intersection against spans newer than
+    // each unit's validation stamp.
+    let mut redo: Vec<usize> = Vec::new();
+    for (i, cu) in cache.cached.iter_mut().enumerate() {
+        let (s, e) = cu.source;
+        let newest = dirty
+            .iter()
+            .filter(|d| d.start < e && s < d.end && d.generation > cu.stamp)
+            .map(|d| d.generation)
+            .max();
+        if let Some(gen) = newest {
+            cu.stamp = gen;
+            redo.push(i);
+        }
+    }
+
+    // Restore the post-plan state the cached run snapshotted.
+    let mut st = EngineState::new(binary, workers);
+    st.out = cache.out_template.clone();
+    st.disasm = cache.disasm.clone();
+    st.cfg = cache.cfg.clone();
+    st.liveness = cache.liveness.clone();
+    st.regen_aux = cache.regen_aux.clone();
+    st.units = cache.units.clone();
+    st.unit_sizes = cache.unit_sizes.clone();
+    st.target_base = cache.target_base;
+    st.plans = cache.plans.clone();
+    st.text_patches = cache.text_patches.clone();
+    st.fht = cache.fht_after_plan.clone();
+    st.stats = cache.stats_after_plan;
+
+    // Re-emit the dirty units (parallel), then hard-assert the reuse
+    // invariant: emission is pure, so a re-emitted unit must match its
+    // cached artifact bit for bit. A divergence means the cache no longer
+    // describes this engine configuration — corrupt output, so fail loud.
+    let fresh: Vec<Result<UnitArtifact, RewriteError>> =
+        chimera_analysis::par::map_indexed(st.workers, redo.len(), |j| {
+            engine.transform_unit(&st, redo[j])
+        });
+    for (&i, art) in redo.iter().zip(fresh) {
+        let art = art?;
+        assert!(
+            art == cache.cached[i].artifact,
+            "incremental re-emission of unit {i} diverged from its cached \
+             artifact (engine '{}'): emission is not pure or the cache is \
+             stale",
+            engine.name()
+        );
+    }
+    st.artifacts = cache.cached.iter().map(|cu| cu.artifact.clone()).collect();
+
+    // Replay the cheap tail stages for real: the output binary is
+    // reconstructed, not copied.
+    engine.place(&mut st)?;
+    engine.link(&mut st)?;
+    engine.verify(&mut st)?;
+
+    emit_counters(&st, tracer);
+    let total = cache.cached.len() as u64;
+    record_incremental(tracer, started, total, redo.len() as u64);
+    finish(st)
+}
+
+fn record_incremental(
+    tracer: &Tracer,
+    started: Option<std::time::Instant>,
+    units_total: u64,
+    units_redone: u64,
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let nanos = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+    tracer.record(
+        0,
+        TraceEvent::RewriteIncremental {
+            units_total,
+            units_redone,
+            nanos,
+        },
+    );
+    tracer.count("rewrite.units_reused", units_total - units_redone);
+    tracer.count("rewrite.units_redone", units_redone);
+}
+
+fn emit_counters(st: &EngineState, tracer: &Tracer) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.count(
+        "rewrite.smile_trampolines",
+        st.stats.smile_trampolines as u64,
+    );
+    tracer.count(
+        "rewrite.constrained_smiles",
+        st.stats.constrained_smiles as u64,
+    );
+    tracer.count("rewrite.trap_entries", st.stats.trap_entries as u64);
+    tracer.count("rewrite.trap_exits", st.stats.trap_exits as u64);
+    tracer.count("rewrite.untranslated", st.fht.untranslated.len() as u64);
+    tracer.count("rewrite.target_bytes", st.stats.target_section_size);
+}
+
+fn finish(mut st: EngineState) -> Result<EngineResult, RewriteError> {
     let binary = st.out.take().expect("link produced the output binary");
     Ok(EngineResult {
         rewritten: Rewritten {

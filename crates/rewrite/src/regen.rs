@@ -124,6 +124,17 @@ pub(crate) struct RegenAux {
     sizes: Vec<u64>,
 }
 
+impl RegenAux {
+    /// The input-address range `[start, end)` covered by the span of
+    /// instruction indices `[start, end)` — the source range the
+    /// incremental driver keys the dirty-unit set on.
+    pub(crate) fn span_range(&self, start: usize, end: usize) -> (u64, u64) {
+        let first = &self.insts[start];
+        let last = &self.insts[end - 1];
+        (first.addr, last.addr + last.len as u64)
+    }
+}
+
 /// The Safer/ARMore regeneration engine.
 pub struct RegenEngine {
     /// The target core profile.
@@ -345,30 +356,37 @@ impl RewriteEngine for RegenEngine {
             });
         let sizes: Vec<u64> = span_sizes.into_iter().flatten().collect();
 
-        st.units = spans
-            .iter()
-            .map(|&(start, end)| RewriteUnit {
-                kind: UnitKind::Span { start, end },
-            })
-            .collect();
-        st.unit_sizes = spans
-            .iter()
-            .map(|&(s, e)| sizes[s..e].iter().sum())
-            .collect();
+        st.units = std::sync::Arc::new(
+            spans
+                .iter()
+                .map(|&(start, end)| RewriteUnit {
+                    kind: UnitKind::Span { start, end },
+                })
+                .collect(),
+        );
+        st.unit_sizes = std::sync::Arc::new(
+            spans
+                .iter()
+                .map(|&(s, e)| sizes[s..e].iter().sum())
+                .collect(),
+        );
         st.pass_items = insts.len() as u64;
-        st.regen_aux = Some(RegenAux {
+        st.regen_aux = Some(std::sync::Arc::new(RegenAux {
             insts,
             direct_pair,
             map: BTreeMap::new(),
             sizes,
-        });
-        st.disasm = Some(d);
+        }));
+        st.disasm = Some(std::sync::Arc::new(d));
         Ok(())
     }
 
     fn plan(&self, st: &mut EngineState) -> Result<(), RewriteError> {
         // Address map: original → relocated (prefix sum over slot sizes).
-        let aux = st.regen_aux.as_mut().expect("scan ran");
+        // Plan runs before the cache snapshot shares the aux, so the Arc
+        // is still uniquely owned here.
+        let aux = std::sync::Arc::get_mut(st.regen_aux.as_mut().expect("scan ran"))
+            .expect("plan mutates the aux before it is shared");
         let mut cursor = st.target_base;
         for (di, size) in aux.insts.iter().zip(&aux.sizes) {
             aux.map.insert(di.addr, cursor);
@@ -392,7 +410,7 @@ impl RewriteEngine for RegenEngine {
     }
 
     fn transform(&self, st: &mut EngineState) -> Result<(), RewriteError> {
-        let aux = st.regen_aux.as_ref().expect("scan ran");
+        let aux = st.regen_aux.as_deref().expect("scan ran");
         let units = &st.units;
         let new_base = st.target_base;
         let (spill_base, abi_gp) = (st.fht.spill_base, st.fht.abi_gp);
@@ -407,12 +425,27 @@ impl RewriteEngine for RegenEngine {
         for r in results {
             artifacts.push(r?);
         }
-        for (art, &size) in artifacts.iter().zip(&st.unit_sizes) {
+        for (art, &size) in artifacts.iter().zip(st.unit_sizes.iter()) {
             debug_assert_eq!(art.bytes.len() as u64, size, "span must fill its slots");
         }
         st.pass_items = artifacts.len() as u64;
         st.artifacts = artifacts;
         Ok(())
+    }
+
+    fn transform_unit(&self, st: &EngineState, idx: usize) -> Result<UnitArtifact, RewriteError> {
+        let aux = st.regen_aux.as_deref().expect("cache holds the aux");
+        let UnitKind::Span { start, end } = st.units[idx].kind else {
+            unreachable!("regeneration units are spans")
+        };
+        self.emit_span(
+            start,
+            end,
+            aux,
+            st.target_base,
+            st.fht.spill_base,
+            st.fht.abi_gp,
+        )
     }
 
     fn place(&self, st: &mut EngineState) -> Result<(), RewriteError> {
@@ -431,7 +464,7 @@ impl RewriteEngine for RegenEngine {
     }
 
     fn link(&self, st: &mut EngineState) -> Result<(), RewriteError> {
-        let aux = st.regen_aux.as_ref().expect("scan ran");
+        let aux = st.regen_aux.clone().expect("scan ran");
         let out = st.out.as_mut().expect("scan cloned the input");
         let new_base = st.target_base;
 
@@ -478,7 +511,11 @@ impl RewriteEngine for RegenEngine {
                 "relocated section at {placed:#x}, expected {new_base:#x}"
             )));
         }
-        st.fht.target_range = (new_base, out.section(".regen.text").unwrap().end());
+        let target_end = out
+            .section(".regen.text")
+            .ok_or(RewriteError::MissingSection(".regen.text"))?
+            .end();
+        st.fht.target_range = (new_base, target_end);
         for (&old, &new) in &aux.map {
             st.fht.redirects.insert(old, new);
         }

@@ -464,7 +464,11 @@ pub fn upgrade_rewrite(binary: &Binary, opts: RewriteOptions) -> Result<Rewritte
     if placed != target_base {
         return Err(RewriteError::Layout("target section moved".into()));
     }
-    fht.target_range = (target_base, out.section(".chimera.text").unwrap().end());
+    let target_end = out
+        .section(".chimera.text")
+        .ok_or(RewriteError::MissingSection(".chimera.text"))?
+        .end();
+    fht.target_range = (target_base, target_end);
     out.profile = chimera_isa::ExtSet::RV64GCV;
     out.validate()
         .map_err(|e| RewriteError::BadBinary(e.to_string()))?;

@@ -1,0 +1,403 @@
+//! Property tests for incremental re-rewriting.
+//!
+//! The incremental driver's contract: for any sequence of runtime code
+//! mutations — SMC pokes, lazy `ebreak` patches, unmap/remap cycles —
+//! reported through the emulator's dirty-region channel, an incremental
+//! re-rewrite produces output **bit-identical** to a from-scratch full
+//! rewrite of the (immutable) input binary, for every engine and every
+//! worker count. The dirty set decides how much work is saved, never
+//! what the output is.
+//!
+//! Also pinned here: the validation-stamp idempotence (re-presenting a
+//! consumed dirty report redoes zero units), the stale-cache rebuild
+//! fallback (different input ⇒ full re-prime, never a stale result), and
+//! the zero-patch-site regression for the fixed
+//! `.section(...).unwrap()` panics in the CHBP and upgrade linkers.
+
+use chimera_emu::Memory;
+use chimera_isa::ExtSet;
+use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
+use chimera_obj::Binary;
+use chimera_rewrite::{
+    ebreak_patch, run, run_cached, run_incremental, upgrade_rewrite, ChbpEngine, DirtySpan, Flavor,
+    IdentityEngine, Mode, RegenEngine, RewriteEngine, RewriteOptions,
+};
+use chimera_trace::{TraceEvent, Tracer};
+
+const FUEL: u64 = u64::MAX / 2;
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Deterministic xorshift64* — the tests must not depend on ambient
+/// randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn engines() -> Vec<(&'static str, Box<dyn RewriteEngine>)> {
+    vec![
+        (
+            "chbp",
+            Box::new(ChbpEngine {
+                target: ExtSet::RV64GC,
+                opts: RewriteOptions::default(),
+            }) as Box<dyn RewriteEngine>,
+        ),
+        (
+            "strawman",
+            Box::new(ChbpEngine {
+                target: ExtSet::RV64GC,
+                opts: RewriteOptions {
+                    force_trap_entries: true,
+                    ..Default::default()
+                },
+            }),
+        ),
+        (
+            "safer",
+            Box::new(RegenEngine {
+                target: ExtSet::RV64GC,
+                mode: Mode::Downgrade,
+                flavor: Flavor::Safer,
+            }),
+        ),
+        (
+            "armore",
+            Box::new(RegenEngine {
+                target: ExtSet::RV64GC,
+                mode: Mode::Downgrade,
+                flavor: Flavor::Armore,
+            }),
+        ),
+        ("identity", Box::new(IdentityEngine)),
+    ]
+}
+
+fn zoo() -> Vec<(String, Binary)> {
+    let p = chimera_workloads::speclike::SPEC_PROFILES
+        .iter()
+        .find(|p| p.name == "omnetpp_r")
+        .unwrap();
+    vec![
+        (
+            "spec:omnetpp_r".into(),
+            chimera_workloads::speclike::generate(
+                p,
+                chimera_workloads::speclike::GenOptions {
+                    size_scale: 1.0 / 64.0,
+                    work_scale: 0.25,
+                    seed: 7,
+                },
+            ),
+        ),
+        (
+            "hetero:matrix".into(),
+            chimera_workloads::hetero::matrix_task(8, 2, true),
+        ),
+    ]
+}
+
+/// Loads a rewritten image into a bare memory (the runtime mutation
+/// surface) and returns it with the input `.text` range, where mutations
+/// can invalidate rewrite units.
+fn load_image(out: &Binary) -> (Memory, u64, u64) {
+    let mut mem = Memory::new();
+    for s in &out.sections {
+        mem.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
+    }
+    let text = out.section(".text").expect("rewritten keeps .text");
+    (mem, text.addr, text.end())
+}
+
+/// Applies one random runtime code mutation to `mem` — the three kinds
+/// the kernel's real paths produce.
+fn mutate(mem: &mut Memory, rng: &mut Rng, text_start: u64, text_end: u64) {
+    match rng.below(3) {
+        // Guest self-modification: an arbitrary small poke.
+        0 => {
+            let addr = text_start + (rng.below((text_end - text_start - 8) / 2)) * 2;
+            let len = 2 + 2 * rng.below(4) as usize;
+            let bytes: Vec<u8> = (0..len).map(|i| (rng.next() >> (i % 8)) as u8).collect();
+            mem.poke_code(addr, &bytes).expect("poke inside .text");
+        }
+        // A lazy-rewrite-style patch: the kernel overwrites a site with
+        // an `ebreak` trampoline.
+        1 => {
+            let addr = text_start + (rng.below((text_end - text_start - 8) / 4)) * 4;
+            mem.poke_code(addr, &ebreak_patch(4)).expect("ebreak patch");
+        }
+        // An MMView-style remap: unmap the code region and map the same
+        // bytes back at the same address (generations must not repeat).
+        _ => {
+            let r = mem.region(".text").expect(".text is mapped").clone();
+            assert!(mem.unmap(".text"), "unmap succeeds");
+            mem.map_bytes(r.start, r.bytes, r.perms, ".text");
+        }
+    }
+}
+
+/// Drains `tracer` and returns the sole `RewriteIncremental` payload.
+fn incremental_event(tracer: &Tracer) -> (u64, u64) {
+    let events: Vec<(u64, u64)> = tracer
+        .drain()
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::RewriteIncremental {
+                units_total,
+                units_redone,
+                ..
+            } => Some((units_total, units_redone)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(events.len(), 1, "exactly one RewriteIncremental per run");
+    events[0]
+}
+
+fn to_rewrite_spans(dirty: &[chimera_emu::DirtySpan]) -> Vec<DirtySpan> {
+    dirty
+        .iter()
+        .map(|d| DirtySpan {
+            start: d.start,
+            end: d.end,
+            generation: d.generation,
+        })
+        .collect()
+}
+
+/// The core property: random invalidation sequences never change the
+/// output — incremental == full rewrite, bit for bit, for every engine ×
+/// worker count — and the reuse counters always reconcile with the unit
+/// total.
+#[test]
+fn incremental_matches_full_rewrite_under_random_invalidation() {
+    for (bin_name, bin) in zoo() {
+        for (eng_name, engine) in engines() {
+            let full = run(engine.as_ref(), &bin, 4, &Tracer::disabled()).unwrap();
+            for workers in WORKERS {
+                let (primed, mut cache) =
+                    run_cached(engine.as_ref(), &bin, workers, &Tracer::disabled()).unwrap();
+                assert_eq!(
+                    primed.rewritten, full.rewritten,
+                    "{bin_name} [{eng_name}]: cached run diverges from plain run"
+                );
+
+                let (mut mem, text_start, text_end) = load_image(&primed.rewritten.binary);
+                let mut rng = Rng(0x9e37_79b9 ^ (workers as u64) << 32 ^ bin.entry);
+                let mut watermark = mem.generation_watermark();
+                for round in 0..6 {
+                    for _ in 0..=rng.below(2) {
+                        mutate(&mut mem, &mut rng, text_start, text_end);
+                    }
+                    let dirty = to_rewrite_spans(&mem.dirty_regions_since(watermark));
+                    assert!(!dirty.is_empty(), "mutations must report dirty spans");
+                    watermark = mem.generation_watermark();
+
+                    let tracer = Tracer::enabled();
+                    let inc = run_incremental(
+                        engine.as_ref(),
+                        &bin,
+                        &mut cache,
+                        &dirty,
+                        workers,
+                        &tracer,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        inc.rewritten, full.rewritten,
+                        "{bin_name} [{eng_name}] w={workers} round {round}: \
+                         incremental output diverged from full rewrite"
+                    );
+                    assert_eq!(
+                        inc.regen.unwrap_or_default(),
+                        full.regen.clone().unwrap_or_default(),
+                        "{bin_name} [{eng_name}] w={workers} round {round}: regen info diverged"
+                    );
+
+                    let (total, redone) = incremental_event(&tracer);
+                    assert_eq!(total, cache.unit_count() as u64);
+                    let m = tracer.metrics().expect("enabled tracer has metrics");
+                    let reused = m.counter_value("rewrite.units_reused").unwrap_or(0);
+                    let counted_redone = m.counter_value("rewrite.units_redone").unwrap_or(0);
+                    assert_eq!(
+                        reused + counted_redone,
+                        total,
+                        "{bin_name} [{eng_name}]: reuse counters must reconcile"
+                    );
+                    assert_eq!(counted_redone, redone);
+                }
+            }
+        }
+    }
+}
+
+/// Validation stamps make dirty reports idempotent: a consumed report
+/// presented again redoes zero units (and still yields the full output).
+#[test]
+fn consumed_dirty_reports_are_idempotent() {
+    let bin = chimera_workloads::hetero::matrix_task(8, 2, true);
+    let engine = ChbpEngine {
+        target: ExtSet::RV64GC,
+        opts: RewriteOptions::default(),
+    };
+    let (primed, mut cache) = run_cached(&engine, &bin, 2, &Tracer::disabled()).unwrap();
+    let (mut mem, _, _) = load_image(&primed.rewritten.binary);
+    // Poke a trampoline head: guaranteed to lie inside a unit's source
+    // range, so exactly that unit goes dirty.
+    let site = *primed
+        .rewritten
+        .fht
+        .trampolines
+        .iter()
+        .next()
+        .expect("matrix task has patch sites");
+    let watermark = mem.generation_watermark();
+    mem.poke_code(site, &ebreak_patch(4)).unwrap();
+    let dirty = to_rewrite_spans(&mem.dirty_regions_since(watermark));
+
+    let tracer = Tracer::enabled();
+    let first = run_incremental(&engine, &bin, &mut cache, &dirty, 2, &tracer).unwrap();
+    let (_, redone_first) = incremental_event(&tracer);
+    assert!(redone_first >= 1, "the poked unit must be redone");
+    assert_eq!(first.rewritten, primed.rewritten);
+
+    let tracer = Tracer::enabled();
+    let second = run_incremental(&engine, &bin, &mut cache, &dirty, 2, &tracer).unwrap();
+    let (_, redone_second) = incremental_event(&tracer);
+    assert_eq!(redone_second, 0, "a consumed report is a no-op");
+    assert_eq!(second.rewritten, primed.rewritten);
+}
+
+/// A cache primed for a different input (or engine) is never silently
+/// reused: the driver re-primes it with a full run, so the caller still
+/// gets the right output — with every unit counted as redone.
+#[test]
+fn stale_cache_triggers_full_reprime() {
+    let bin_a = chimera_workloads::hetero::matrix_task(8, 2, true);
+    let bin_b = chimera_workloads::hetero::fib_task(12, 2);
+    let engine = ChbpEngine {
+        target: ExtSet::RV64GC,
+        opts: RewriteOptions::default(),
+    };
+    let (_, mut cache) = run_cached(&engine, &bin_a, 2, &Tracer::disabled()).unwrap();
+
+    let tracer = Tracer::enabled();
+    let inc = run_incremental(&engine, &bin_b, &mut cache, &[], 2, &tracer).unwrap();
+    let full = run(&engine, &bin_b, 2, &Tracer::disabled()).unwrap();
+    assert_eq!(inc.rewritten, full.rewritten, "re-primed output is correct");
+    let (total, redone) = incremental_event(&tracer);
+    assert_eq!(redone, total, "a rebuild redoes every unit");
+
+    // The cache now serves the new input incrementally.
+    let tracer = Tracer::enabled();
+    let again = run_incremental(&engine, &bin_b, &mut cache, &[], 2, &tracer).unwrap();
+    assert_eq!(again.rewritten, full.rewritten);
+    let (_, redone) = incremental_event(&tracer);
+    assert_eq!(redone, 0);
+}
+
+/// Differential behaviour: after an invalidation sequence, the refreshed
+/// variant still runs correctly under the kernel — the same `RunResult`
+/// as the native binary on the extension profile.
+#[test]
+fn refreshed_variant_matches_native_behaviour() {
+    for (bin_name, bin) in zoo() {
+        let r = chimera_emu::run_binary_on(&bin, ExtSet::RV64GCV, FUEL).unwrap();
+        let expected = (r.exit_code, r.stdout);
+        for (eng_name, engine) in engines() {
+            if eng_name == "identity" {
+                continue; // Needs the extension profile; nothing to refresh.
+            }
+            let (primed, mut cache) =
+                run_cached(engine.as_ref(), &bin, 4, &Tracer::disabled()).unwrap();
+            let (mut mem, text_start, text_end) = load_image(&primed.rewritten.binary);
+            let mut rng = Rng(0xfeed_beef ^ bin.entry);
+            let watermark = mem.generation_watermark();
+            for _ in 0..4 {
+                mutate(&mut mem, &mut rng, text_start, text_end);
+            }
+            let dirty = to_rewrite_spans(&mem.dirty_regions_since(watermark));
+            let refreshed = run_incremental(
+                engine.as_ref(),
+                &bin,
+                &mut cache,
+                &dirty,
+                4,
+                &Tracer::disabled(),
+            )
+            .unwrap();
+
+            let tables = RuntimeTables {
+                fht: Some(refreshed.rewritten.fht.clone()),
+                regen: refreshed.regen.clone(),
+            };
+            let process = Process::new(vec![Variant {
+                binary: refreshed.rewritten.binary.clone(),
+                tables: tables.clone(),
+            }]);
+            let (mut cpu, mut run_mem, view) = process.load(ExtSet::RV64GC).expect("view loads");
+            let mut k = KernelRunner::new(view.tables.clone());
+            match k.run(&mut cpu, &mut run_mem, FUEL) {
+                RunOutcome::Exited(code) => {
+                    assert_eq!(
+                        (code, k.stdout.clone()),
+                        expected,
+                        "{bin_name} [{eng_name}]: refreshed variant diverged from native"
+                    );
+                }
+                other => panic!("{bin_name} [{eng_name}]: kernel run ended with {other:?}"),
+            }
+        }
+    }
+}
+
+/// Regression for the fixed `.section(".chimera.text").unwrap()` panic:
+/// a binary with zero patch sites takes the empty-target-section path in
+/// the CHBP linker and must come back `Ok` with a well-formed
+/// (placeholder-sized) target range.
+#[test]
+fn zero_patch_sites_link_without_panicking() {
+    // Pure base-ISA program: no source instructions for a RV64GC target.
+    let bin = chimera_workloads::hetero::fib_task(6, 1);
+    for force_trap in [false, true] {
+        let engine = ChbpEngine {
+            target: ExtSet::RV64GCV,
+            opts: RewriteOptions {
+                force_trap_entries: force_trap,
+                ..Default::default()
+            },
+        };
+        let r = run(&engine, &bin, 2, &Tracer::disabled()).unwrap();
+        assert_eq!(r.rewritten.stats.source_insts, 0, "no sites expected");
+        let (lo, hi) = r.rewritten.fht.target_range;
+        assert_eq!(hi - lo, 16, "placeholder target section spans 16 bytes");
+        assert!(
+            r.rewritten.binary.section(".chimera.text").is_some(),
+            "placeholder section is attached"
+        );
+    }
+}
+
+/// Same regression for the upgrade path: a program with no vector loops
+/// to upgrade must link its placeholder target section without panicking.
+#[test]
+fn upgrade_with_no_vector_loops_links_cleanly() {
+    let bin = chimera_workloads::hetero::fib_task(6, 1);
+    let r = upgrade_rewrite(&bin, RewriteOptions::default())
+        .expect("upgrade with nothing to do succeeds");
+    assert_eq!(r.stats.smile_trampolines, 0);
+    let (lo, hi) = r.fht.target_range;
+    assert_eq!(hi - lo, 16, "placeholder target section spans 16 bytes");
+}

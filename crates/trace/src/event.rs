@@ -155,6 +155,17 @@ pub enum TraceEvent {
         /// Pass-specific work-item count (instructions, sites, patches…).
         items: u64,
     },
+    /// An incremental re-rewrite finished: only the units whose source
+    /// ranges intersected a dirty region were re-emitted; every other
+    /// unit's bytes were reused verbatim from the per-unit cache.
+    RewriteIncremental {
+        /// Units in the partition.
+        units_total: u64,
+        /// Units re-scanned and re-transformed (dirty).
+        units_redone: u64,
+        /// Wall-clock duration of the whole incremental run, nanoseconds.
+        nanos: u64,
+    },
 }
 
 impl TraceEvent {
@@ -171,11 +182,12 @@ impl TraceEvent {
             TraceEvent::TaskScheduled { .. } => "TaskScheduled",
             TraceEvent::StealAttempt { .. } => "StealAttempt",
             TraceEvent::RewritePassDone { .. } => "RewritePassDone",
+            TraceEvent::RewriteIncremental { .. } => "RewriteIncremental",
         }
     }
 
     /// Every event-type tag, in a fixed order (used by coverage checks).
-    pub const KINDS: [&'static str; 10] = [
+    pub const KINDS: [&'static str; 11] = [
         "BlockBuilt",
         "CacheInvalidate",
         "BlockChained",
@@ -186,6 +198,7 @@ impl TraceEvent {
         "TaskScheduled",
         "StealAttempt",
         "RewritePassDone",
+        "RewriteIncremental",
     ];
 }
 

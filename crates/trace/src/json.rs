@@ -98,6 +98,16 @@ fn event_fields(e: &TraceEvent, out: &mut String) {
                 pass.name()
             );
         }
+        TraceEvent::RewriteIncremental {
+            units_total,
+            units_redone,
+            nanos,
+        } => {
+            let _ = write!(
+                out,
+                "\"units_total\": {units_total}, \"units_redone\": {units_redone}, \"nanos\": {nanos}"
+            );
+        }
     }
 }
 
