@@ -324,3 +324,62 @@ fn stack_discipline_roundtrip() {
         42
     );
 }
+
+#[test]
+fn megamorphic_jalr_stays_transparent_under_jump_cache_eviction() {
+    // One indirect-jump site cycling through more distinct targets than
+    // the direct-mapped jump cache has entries (2304 > 2048): every
+    // dispatch evicts, the block-chaining fast path keeps mispredicting,
+    // and the engine must still be bit-transparent to the reference
+    // interpreter — with the cache counters reconciling exactly.
+    use chimera_emu::ExecMode;
+    use chimera_testutil::observe_mode;
+
+    const TARGETS: usize = 2304;
+    let mut src = String::from(".data\ntable:");
+    for i in 0..TARGETS {
+        src.push_str(&format!(" .dword t{i}\n"));
+    }
+    src.push_str(
+        ".text\n_start:\n    li s2, 0\n    la s3, table\nloop:\n    slli t0, s2, 3\n    add t0, t0, s3\n    ld t1, 0(t0)\n    jalr t1\n    addi s2, s2, 1\n",
+    );
+    src.push_str(&format!("    li t2, {TARGETS}\n    blt s2, t2, loop\n"));
+    src.push_str("    andi a0, a0, 255\n    li a7, 93\n    ecall\n");
+    for i in 0..TARGETS {
+        src.push_str(&format!("t{i}: addi a0, a0, {}\n    ret\n", i % 7 + 1));
+    }
+    let bin = assemble(&src, AsmOptions::default()).expect("assembles");
+
+    let expected: i64 = ((0..TARGETS).map(|i| i % 7 + 1).sum::<usize>() & 255) as i64;
+    let fuel = 10_000_000;
+    let (reference, ref_stats) =
+        observe_mode(&bin, ExtSet::RV64GC, ExecMode::Reference, false, fuel);
+    assert_eq!(
+        reference
+            .result
+            .as_ref()
+            .expect("reference run exits")
+            .exit_code,
+        expected
+    );
+    assert_eq!(
+        (ref_stats.hits, ref_stats.misses, ref_stats.blocks_built),
+        (0, 0, 0)
+    );
+
+    let (interp, is) = observe_mode(&bin, ExtSet::RV64GC, ExecMode::Interpreter, true, fuel);
+    let (engine, es) = observe_mode(&bin, ExtSet::RV64GC, ExecMode::Engine, true, fuel);
+    assert_eq!(interp, reference, "cached interpreter transparent");
+    assert_eq!(engine, reference, "micro-op engine transparent");
+
+    // Counter reconciliation under sustained eviction: every cached
+    // dispatch the interpreter counts as a hit is, on the engine side,
+    // either a plain hit or a chained block transfer.
+    assert_eq!(is.hits, es.hits + es.chained, "{is:?} vs {es:?}");
+    assert_eq!(is.misses, es.misses, "{is:?} vs {es:?}");
+    assert_eq!(is.blocks_built, es.blocks_built, "{is:?} vs {es:?}");
+    // The workload actually engaged the cache and built blocks for the
+    // target spread (each distinct target head is its own block).
+    assert!(es.blocks_built >= TARGETS as u64, "{es:?}");
+    assert!(es.hits + es.chained > 0, "{es:?}");
+}

@@ -1,0 +1,161 @@
+//! Delta-debugging minimization: shrinks a diverging [`FuzzCase`] to a
+//! (locally) minimal one that still diverges **at the same oracle
+//! stage**, then simplifies the build flags.
+//!
+//! The shrinker is classic ddmin over the case's op list, keyed by the
+//! ops' generation-time indices — so the minimized case is described
+//! exactly by `(seed, kept indices, flags)`, which is what a reproducer
+//! file stores. The predicate is "still diverges with the same
+//! [`Divergence::stage`]": shrinking must not wander onto a *different*
+//! bug (or onto a generator artifact) halfway through.
+
+use crate::gen::FuzzCase;
+use crate::oracle::{check_case, Divergence, Inject};
+
+/// A minimization result.
+pub struct Minimized {
+    /// The minimized case (flags simplified, ops shrunk).
+    pub case: FuzzCase,
+    /// The kept generation-time op indices (what a reproducer records).
+    pub keep: Vec<usize>,
+    /// The divergence the minimized case still produces.
+    pub divergence: Divergence,
+    /// Oracle evaluations spent.
+    pub evals: usize,
+}
+
+/// Shrinks `case` — which must diverge under `inject` — spending at most
+/// `budget` oracle evaluations. Returns `None` if the case does not
+/// actually diverge.
+pub fn minimize(case: &FuzzCase, inject: Inject, budget: usize) -> Option<Minimized> {
+    let original = check_case(case, inject).err()?;
+    let stage = original.stage.clone();
+    let mut evals = 0usize;
+
+    let mk = |keep: &[usize], compress: bool, straddle: bool, trap_tail: bool, iters: u64| {
+        let mut c = case.restrict(keep);
+        c.compress = compress;
+        c.straddle = straddle;
+        c.trap_tail = trap_tail;
+        c.iters = iters;
+        c
+    };
+    let fails = |c: &FuzzCase, evals: &mut usize| -> Option<Divergence> {
+        if *evals >= budget {
+            return None;
+        }
+        *evals += 1;
+        match check_case(c, inject) {
+            Err(d) if d.stage == stage => Some(d),
+            _ => None,
+        }
+    };
+
+    let mut keep = case.kept_uids();
+    let (mut compress, mut straddle, mut trap_tail, mut iters) =
+        (case.compress, case.straddle, case.trap_tail, case.iters);
+    let mut div = original;
+
+    // ddmin over the op list.
+    let mut n = 2usize;
+    while keep.len() >= 2 && evals < budget {
+        let chunk = keep.len().div_ceil(n);
+        let mut reduced = false;
+        let mut i = 0usize;
+        while i * chunk < keep.len() {
+            let hi = ((i + 1) * chunk).min(keep.len());
+            let mut cand: Vec<usize> = keep[..i * chunk].to_vec();
+            cand.extend_from_slice(&keep[hi..]);
+            if cand.len() < keep.len() {
+                if let Some(d) = fails(&mk(&cand, compress, straddle, trap_tail, iters), &mut evals)
+                {
+                    keep = cand;
+                    div = d;
+                    n = n.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        if !reduced {
+            if n >= keep.len() {
+                break;
+            }
+            n = (n * 2).min(keep.len());
+        }
+    }
+
+    // Flag simplification: prefer the plainest build that still shows
+    // the same divergence.
+    if straddle {
+        if let Some(d) = fails(&mk(&keep, compress, false, trap_tail, iters), &mut evals) {
+            straddle = false;
+            div = d;
+        }
+    }
+    if compress {
+        if let Some(d) = fails(&mk(&keep, false, straddle, trap_tail, iters), &mut evals) {
+            compress = false;
+            div = d;
+        }
+    }
+    if trap_tail {
+        if let Some(d) = fails(&mk(&keep, compress, straddle, false, iters), &mut evals) {
+            trap_tail = false;
+            div = d;
+        }
+    }
+    if iters > 3 {
+        if let Some(d) = fails(&mk(&keep, compress, straddle, trap_tail, 3), &mut evals) {
+            iters = 3;
+            div = d;
+        }
+    }
+
+    Some(Minimized {
+        case: mk(&keep, compress, straddle, trap_tail, iters),
+        keep,
+        divergence: div,
+        evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, OpClass};
+
+    #[test]
+    fn minimizes_an_injected_fault_to_the_faulty_class() {
+        // Perturb the engine whenever a LoadStore op is present: the
+        // minimizer must shrink to a case that still *has* one (the
+        // "bug" trigger) and drop unrelated ops.
+        let case = (0..128)
+            .map(generate)
+            .find(|c| c.has_class(OpClass::LoadStore) && c.ops.len() >= 10)
+            .expect("load/store ops are common");
+        let inject = Inject {
+            perturb_engine: Some(OpClass::LoadStore),
+        };
+        let m = minimize(&case, inject, 300).expect("case diverges under injection");
+        assert!(m.case.has_class(OpClass::LoadStore), "trigger kept");
+        assert!(
+            m.case.ops.len() < case.ops.len(),
+            "shrunk: {} -> {}",
+            case.ops.len(),
+            m.case.ops.len()
+        );
+        assert!(m.divergence.stage.starts_with("mode:engine"));
+        // The minimized case still fails the same way, and the pristine
+        // oracle (no injection) passes it — the "bug" is the injection.
+        assert!(check_case(&m.case, inject).is_err());
+        assert!(check_case(&m.case, Inject::none()).is_ok());
+    }
+
+    #[test]
+    fn non_diverging_case_returns_none() {
+        let case = generate(3);
+        assert!(minimize(&case, Inject::none(), 50).is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! The reproducer file format: a divergence, minimized, serialized as a
+//! small text file under `tests/reproducers/` and replayed as a
+//! regression test.
+//!
+//! A reproducer does **not** store the program — it stores the recipe:
+//! `(seed, generator version, kept op indices, build flags)`. The
+//! generator is a pure function of the seed (see [`crate::gen`]), so the
+//! recipe regenerates the exact case; the rendered assembly is appended
+//! after a `--- source ---` marker purely for human readers and is
+//! ignored on parse. [`GEN_VERSION`] is checked on replay: a reproducer
+//! written by an incompatible generator refuses to replay (loudly)
+//! instead of silently replaying a different program.
+
+use crate::gen::{generate, FuzzCase, GEN_VERSION};
+use crate::minimize::Minimized;
+use std::path::PathBuf;
+
+/// The header marker every reproducer file starts with.
+pub const MAGIC: &str = "chimera-fuzz-repro v1";
+/// The marker separating the machine-read header from the informative
+/// source listing.
+pub const SOURCE_MARKER: &str = "--- source ---";
+
+/// A parsed (or to-be-written) reproducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reproducer {
+    /// Root seed of the diverging case.
+    pub seed: u64,
+    /// Generator version the recipe assumes.
+    pub gen_version: u32,
+    /// Kept op indices (`None` = the full generated op list).
+    pub keep: Option<Vec<usize>>,
+    /// Build flag: compressed encodings.
+    pub compress: bool,
+    /// Build flag: cross-region straddle split.
+    pub straddle: bool,
+    /// Build flag: trapping tail.
+    pub trap_tail: bool,
+    /// Outer loop iterations.
+    pub iters: u64,
+    /// The oracle stage that diverged.
+    pub stage: String,
+    /// Human-readable divergence description (informative).
+    pub detail: String,
+}
+
+impl Reproducer {
+    /// Builds the recipe for a minimization result.
+    pub fn from_minimized(m: &Minimized) -> Reproducer {
+        Reproducer {
+            seed: m.case.seed,
+            gen_version: GEN_VERSION,
+            keep: Some(m.keep.clone()),
+            compress: m.case.compress,
+            straddle: m.case.straddle,
+            trap_tail: m.case.trap_tail,
+            iters: m.case.iters,
+            stage: m.divergence.stage.clone(),
+            detail: m.divergence.detail.clone(),
+        }
+    }
+
+    /// Regenerates the case this recipe describes.
+    pub fn to_case(&self) -> Result<FuzzCase, String> {
+        if self.gen_version != GEN_VERSION {
+            return Err(format!(
+                "reproducer was written by generator v{}, this build is v{GEN_VERSION}: \
+                 regenerate the reproducer instead of replaying a different program",
+                self.gen_version
+            ));
+        }
+        let mut case = generate(self.seed);
+        if let Some(keep) = &self.keep {
+            case = case.restrict(keep);
+        }
+        case.compress = self.compress;
+        case.straddle = self.straddle;
+        case.trap_tail = self.trap_tail;
+        case.iters = self.iters;
+        Ok(case)
+    }
+
+    /// The conventional file name for this reproducer.
+    pub fn filename(&self) -> String {
+        let stage: String = self
+            .stage
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        format!("seed-{:#x}-{stage}.txt", self.seed)
+    }
+}
+
+/// Renders the reproducer file text (header + informative source).
+pub fn render_reproducer(r: &Reproducer) -> String {
+    let keep = match &r.keep {
+        None => "all".to_string(),
+        Some(k) => {
+            if k.is_empty() {
+                "none".to_string()
+            } else {
+                k.iter()
+                    .map(|u| u.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+        }
+    };
+    let source = r
+        .to_case()
+        .map(|c| c.source())
+        .unwrap_or_else(|e| format!("<unrenderable: {e}>\n"));
+    format!(
+        "{MAGIC}\n\
+         seed: {:#x}\n\
+         gen: {}\n\
+         keep: {keep}\n\
+         compress: {}\n\
+         straddle: {}\n\
+         trap_tail: {}\n\
+         iters: {}\n\
+         stage: {}\n\
+         detail: {}\n\
+         {SOURCE_MARKER}\n{source}",
+        r.seed,
+        r.gen_version,
+        r.compress,
+        r.straddle,
+        r.trap_tail,
+        r.iters,
+        r.stage,
+        r.detail.replace('\n', " / "),
+    )
+}
+
+/// Parses a reproducer file. The source listing (if any) is ignored.
+pub fn parse_reproducer(text: &str) -> Result<Reproducer, String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(MAGIC) {
+        return Err(format!("missing '{MAGIC}' header"));
+    }
+    let mut r = Reproducer {
+        seed: 0,
+        gen_version: 0,
+        keep: None,
+        compress: false,
+        straddle: false,
+        trap_tail: false,
+        iters: 3,
+        stage: String::new(),
+        detail: String::new(),
+    };
+    let mut seen_seed = false;
+    for line in lines {
+        let line = line.trim();
+        if line == SOURCE_MARKER {
+            break;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line: {line}"))?;
+        let value = value.trim();
+        match key.trim() {
+            "seed" => {
+                let v = value.strip_prefix("0x").unwrap_or(value);
+                r.seed = u64::from_str_radix(v, 16)
+                    .or_else(|_| value.parse())
+                    .map_err(|_| format!("bad seed: {value}"))?;
+                seen_seed = true;
+            }
+            "gen" => r.gen_version = value.parse().map_err(|_| format!("bad gen: {value}"))?,
+            "keep" => {
+                r.keep = match value {
+                    "all" => None,
+                    "none" => Some(Vec::new()),
+                    _ => Some(
+                        value
+                            .split_whitespace()
+                            .map(|t| t.parse().map_err(|_| format!("bad keep index: {t}")))
+                            .collect::<Result<Vec<usize>, String>>()?,
+                    ),
+                }
+            }
+            "compress" => r.compress = value == "true",
+            "straddle" => r.straddle = value == "true",
+            "trap_tail" => r.trap_tail = value == "true",
+            "iters" => r.iters = value.parse().map_err(|_| format!("bad iters: {value}"))?,
+            "stage" => r.stage = value.to_string(),
+            "detail" => r.detail = value.to_string(),
+            other => return Err(format!("unknown header key: {other}")),
+        }
+    }
+    if !seen_seed {
+        return Err("reproducer is missing its seed".into());
+    }
+    Ok(r)
+}
+
+/// The committed reproducer directory: `$CHIMERA_REPRO_DIR` if set,
+/// otherwise `tests/reproducers/` at the workspace root.
+pub fn reproducer_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CHIMERA_REPRO_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("tests/reproducers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Reproducer {
+        Reproducer {
+            seed: 0xC41A5,
+            gen_version: GEN_VERSION,
+            keep: Some(vec![0, 2, 5]),
+            compress: true,
+            straddle: false,
+            trap_tail: false,
+            iters: 3,
+            stage: "mode:engine-cache".into(),
+            detail: "x5: 0x1 vs 0x2".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let r = sample();
+        let text = render_reproducer(&r);
+        let parsed = parse_reproducer(&text).unwrap();
+        assert_eq!(parsed, r);
+        // And the regenerated case matches the recipe.
+        let case = parsed.to_case().unwrap();
+        assert_eq!(case.kept_uids(), vec![0, 2, 5]);
+        assert!(case.compress);
+        assert_eq!(case.iters, 3);
+    }
+
+    #[test]
+    fn full_keep_roundtrips_as_all() {
+        let mut r = sample();
+        r.keep = None;
+        let parsed = parse_reproducer(&render_reproducer(&r)).unwrap();
+        assert_eq!(parsed.keep, None);
+        assert_eq!(
+            parsed.to_case().unwrap().ops.len(),
+            generate(r.seed).ops.len()
+        );
+    }
+
+    #[test]
+    fn version_mismatch_refuses_to_replay() {
+        let mut r = sample();
+        r.gen_version = GEN_VERSION + 1;
+        assert!(r.to_case().is_err());
+    }
+
+    #[test]
+    fn source_listing_is_ignored_on_parse() {
+        let r = sample();
+        let mut text = render_reproducer(&r);
+        text.push_str("\ngarbage: that is not a header\n");
+        assert_eq!(parse_reproducer(&text).unwrap(), r);
+    }
+}

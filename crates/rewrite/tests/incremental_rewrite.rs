@@ -14,76 +14,17 @@
 //! the zero-patch-site regression for the fixed
 //! `.section(...).unwrap()` panics in the CHBP and upgrade linkers.
 
-use chimera_emu::Memory;
+use chimera_isa::prng::Prng;
 use chimera_isa::ExtSet;
-use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
 use chimera_obj::Binary;
 use chimera_rewrite::{
-    ebreak_patch, run, run_cached, run_incremental, upgrade_rewrite, ChbpEngine, DirtySpan, Flavor,
-    IdentityEngine, Mode, RegenEngine, RewriteEngine, RewriteOptions,
+    ebreak_patch, run, run_cached, run_incremental, upgrade_rewrite, ChbpEngine, RewriteOptions,
 };
+use chimera_testutil::{engines, load_image, mutate_image, run_under_kernel, to_rewrite_spans};
 use chimera_trace::{TraceEvent, Tracer};
 
 const FUEL: u64 = u64::MAX / 2;
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
-
-/// Deterministic xorshift64* — the tests must not depend on ambient
-/// randomness.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-fn engines() -> Vec<(&'static str, Box<dyn RewriteEngine>)> {
-    vec![
-        (
-            "chbp",
-            Box::new(ChbpEngine {
-                target: ExtSet::RV64GC,
-                opts: RewriteOptions::default(),
-            }) as Box<dyn RewriteEngine>,
-        ),
-        (
-            "strawman",
-            Box::new(ChbpEngine {
-                target: ExtSet::RV64GC,
-                opts: RewriteOptions {
-                    force_trap_entries: true,
-                    ..Default::default()
-                },
-            }),
-        ),
-        (
-            "safer",
-            Box::new(RegenEngine {
-                target: ExtSet::RV64GC,
-                mode: Mode::Downgrade,
-                flavor: Flavor::Safer,
-            }),
-        ),
-        (
-            "armore",
-            Box::new(RegenEngine {
-                target: ExtSet::RV64GC,
-                mode: Mode::Downgrade,
-                flavor: Flavor::Armore,
-            }),
-        ),
-        ("identity", Box::new(IdentityEngine)),
-    ]
-}
 
 fn zoo() -> Vec<(String, Binary)> {
     let p = chimera_workloads::speclike::SPEC_PROFILES
@@ -109,45 +50,6 @@ fn zoo() -> Vec<(String, Binary)> {
     ]
 }
 
-/// Loads a rewritten image into a bare memory (the runtime mutation
-/// surface) and returns it with the input `.text` range, where mutations
-/// can invalidate rewrite units.
-fn load_image(out: &Binary) -> (Memory, u64, u64) {
-    let mut mem = Memory::new();
-    for s in &out.sections {
-        mem.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
-    }
-    let text = out.section(".text").expect("rewritten keeps .text");
-    (mem, text.addr, text.end())
-}
-
-/// Applies one random runtime code mutation to `mem` — the three kinds
-/// the kernel's real paths produce.
-fn mutate(mem: &mut Memory, rng: &mut Rng, text_start: u64, text_end: u64) {
-    match rng.below(3) {
-        // Guest self-modification: an arbitrary small poke.
-        0 => {
-            let addr = text_start + (rng.below((text_end - text_start - 8) / 2)) * 2;
-            let len = 2 + 2 * rng.below(4) as usize;
-            let bytes: Vec<u8> = (0..len).map(|i| (rng.next() >> (i % 8)) as u8).collect();
-            mem.poke_code(addr, &bytes).expect("poke inside .text");
-        }
-        // A lazy-rewrite-style patch: the kernel overwrites a site with
-        // an `ebreak` trampoline.
-        1 => {
-            let addr = text_start + (rng.below((text_end - text_start - 8) / 4)) * 4;
-            mem.poke_code(addr, &ebreak_patch(4)).expect("ebreak patch");
-        }
-        // An MMView-style remap: unmap the code region and map the same
-        // bytes back at the same address (generations must not repeat).
-        _ => {
-            let r = mem.region(".text").expect(".text is mapped").clone();
-            assert!(mem.unmap(".text"), "unmap succeeds");
-            mem.map_bytes(r.start, r.bytes, r.perms, ".text");
-        }
-    }
-}
-
 /// Drains `tracer` and returns the sole `RewriteIncremental` payload.
 fn incremental_event(tracer: &Tracer) -> (u64, u64) {
     let events: Vec<(u64, u64)> = tracer
@@ -164,17 +66,6 @@ fn incremental_event(tracer: &Tracer) -> (u64, u64) {
         .collect();
     assert_eq!(events.len(), 1, "exactly one RewriteIncremental per run");
     events[0]
-}
-
-fn to_rewrite_spans(dirty: &[chimera_emu::DirtySpan]) -> Vec<DirtySpan> {
-    dirty
-        .iter()
-        .map(|d| DirtySpan {
-            start: d.start,
-            end: d.end,
-            generation: d.generation,
-        })
-        .collect()
 }
 
 /// The core property: random invalidation sequences never change the
@@ -195,11 +86,11 @@ fn incremental_matches_full_rewrite_under_random_invalidation() {
                 );
 
                 let (mut mem, text_start, text_end) = load_image(&primed.rewritten.binary);
-                let mut rng = Rng(0x9e37_79b9 ^ (workers as u64) << 32 ^ bin.entry);
+                let mut rng = Prng::new(0x9e37_79b9 ^ (workers as u64) << 32 ^ bin.entry);
                 let mut watermark = mem.generation_watermark();
                 for round in 0..6 {
                     for _ in 0..=rng.below(2) {
-                        mutate(&mut mem, &mut rng, text_start, text_end);
+                        mutate_image(&mut mem, &mut rng, text_start, text_end);
                     }
                     let dirty = to_rewrite_spans(&mem.dirty_regions_since(watermark));
                     assert!(!dirty.is_empty(), "mutations must report dirty spans");
@@ -323,10 +214,10 @@ fn refreshed_variant_matches_native_behaviour() {
             let (primed, mut cache) =
                 run_cached(engine.as_ref(), &bin, 4, &Tracer::disabled()).unwrap();
             let (mut mem, text_start, text_end) = load_image(&primed.rewritten.binary);
-            let mut rng = Rng(0xfeed_beef ^ bin.entry);
+            let mut rng = Prng::new(0xfeed_beef ^ bin.entry);
             let watermark = mem.generation_watermark();
             for _ in 0..4 {
-                mutate(&mut mem, &mut rng, text_start, text_end);
+                mutate_image(&mut mem, &mut rng, text_start, text_end);
             }
             let dirty = to_rewrite_spans(&mem.dirty_regions_since(watermark));
             let refreshed = run_incremental(
@@ -339,26 +230,21 @@ fn refreshed_variant_matches_native_behaviour() {
             )
             .unwrap();
 
-            let tables = RuntimeTables {
+            let tables = chimera_kernel::RuntimeTables {
                 fht: Some(refreshed.rewritten.fht.clone()),
                 regen: refreshed.regen.clone(),
             };
-            let process = Process::new(vec![Variant {
-                binary: refreshed.rewritten.binary.clone(),
-                tables: tables.clone(),
-            }]);
-            let (mut cpu, mut run_mem, view) = process.load(ExtSet::RV64GC).expect("view loads");
-            let mut k = KernelRunner::new(view.tables.clone());
-            match k.run(&mut cpu, &mut run_mem, FUEL) {
-                RunOutcome::Exited(code) => {
-                    assert_eq!(
-                        (code, k.stdout.clone()),
-                        expected,
-                        "{bin_name} [{eng_name}]: refreshed variant diverged from native"
-                    );
-                }
-                other => panic!("{bin_name} [{eng_name}]: kernel run ended with {other:?}"),
-            }
+            let kr = run_under_kernel(
+                refreshed.rewritten.binary.clone(),
+                tables,
+                ExtSet::RV64GC,
+                true,
+            );
+            assert_eq!(
+                (kr.exit_code, kr.stdout),
+                expected,
+                "{bin_name} [{eng_name}]: refreshed variant diverged from native"
+            );
         }
     }
 }

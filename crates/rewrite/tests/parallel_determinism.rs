@@ -23,7 +23,7 @@
 //! address.
 
 use chimera_isa::{Ext, ExtSet, Inst};
-use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
+use chimera_kernel::RuntimeTables;
 use chimera_obj::Binary;
 use chimera_rewrite::emitter::BlockEmitter;
 use chimera_rewrite::translate::Translator;
@@ -31,11 +31,11 @@ use chimera_rewrite::{
     chbp_rewrite_with, emit_site_translation, regenerate_with, run, ChbpEngine, Flavor,
     IdentityEngine, Mode, RegenEngine, RewriteOptions, Rewritten,
 };
+use chimera_testutil::{native_reference, run_under_kernel, KernelRun};
 use chimera_trace::Tracer;
 use chimera_workloads::hetero;
 use chimera_workloads::speclike::{generate, GenOptions, APP_PROFILES, SPEC_PROFILES};
 
-const FUEL: u64 = u64::MAX / 2;
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 /// A zoo slice sized for exhaustive × worker-count × engine sweeps:
@@ -154,39 +154,13 @@ fn regen_bit_identical_across_worker_counts() {
     }
 }
 
-/// Native reference: the original binary on the extension profile.
-fn native(bin: &Binary) -> (i64, Vec<u8>) {
-    let r = chimera_emu::run_binary_on(bin, ExtSet::RV64GCV, FUEL).unwrap();
-    (r.exit_code, r.stdout)
-}
-
-/// Runs a pipeline-rewritten binary on the base profile under the kernel
-/// (SMILE faults, trap trampolines, Safer slow paths and lazy rewrites
-/// all pass through the real handler).
-fn run_under_kernel(
-    binary: Binary,
-    tables: RuntimeTables,
-    profile: ExtSet,
-) -> ((i64, Vec<u8>), KernelRunner, chimera_emu::Memory) {
-    let process = Process::new(vec![Variant { binary, tables }]);
-    let (mut cpu, mut mem, view) = process.load(profile).expect("view loads");
-    let mut k = KernelRunner::new(view.tables.clone());
-    match k.run(&mut cpu, &mut mem, FUEL) {
-        RunOutcome::Exited(code) => {
-            let stdout = k.stdout.clone();
-            ((code, stdout), k, mem)
-        }
-        other => panic!("kernel run ended with {other:?}"),
-    }
-}
-
 /// Every engine behind the trait — one per `SystemKind` of the §6.1
 /// comparison — passes the differential behaviour check through the
 /// shared pipeline: rewritten-on-RV64GC ≡ native-on-RV64GCV.
 #[test]
 fn every_engine_passes_differential_check() {
     for (name, bin) in zoo() {
-        let expected = native(&bin);
+        let expected = native_reference(&bin);
 
         // FAM / MELF: the identity engine must hand the input through
         // unchanged (their "rewrite" is running a native binary as-is).
@@ -214,8 +188,12 @@ fn every_engine_passes_differential_check() {
                 fht: Some(rw.fht),
                 regen: None,
             };
-            let (got, _, _) = run_under_kernel(rw.binary, tables, ExtSet::RV64GC);
-            assert_eq!(got, expected, "{name} [{sys}] diverged from native");
+            let kr = run_under_kernel(rw.binary, tables, ExtSet::RV64GC, true);
+            assert_eq!(
+                (kr.exit_code, kr.stdout),
+                expected,
+                "{name} [{sys}] diverged from native"
+            );
         }
 
         // Safer / ARMore regeneration: relocated binary + redirect map
@@ -234,8 +212,12 @@ fn every_engine_passes_differential_check() {
                 fht: Some(rg.rewritten.fht),
                 regen: Some(rg.info),
             };
-            let (got, _, _) = run_under_kernel(rg.rewritten.binary, tables, ExtSet::RV64GC);
-            assert_eq!(got, expected, "{name} [{flavor:?}] diverged from native");
+            let kr = run_under_kernel(rg.rewritten.binary, tables, ExtSet::RV64GC, true);
+            assert_eq!(
+                (kr.exit_code, kr.stdout),
+                expected,
+                "{name} [{flavor:?}] diverged from native"
+            );
         }
     }
 }
@@ -303,7 +285,7 @@ fn lazy_blocks_match_static_translation() {
             ecall
     ";
     let bin = chimera_obj::assemble(src, chimera_obj::AsmOptions::default()).unwrap();
-    let expected = native(&bin);
+    let expected = native_reference(&bin);
     assert_eq!(expected.0, 10, "vector sum exits 10");
 
     // EmptyPatch(V) keeps the vector instructions verbatim in the target
@@ -321,8 +303,18 @@ fn lazy_blocks_match_static_translation() {
         fht: Some(rw.fht),
         regen: None,
     };
-    let (got, k, mut mem) = run_under_kernel(rw.binary, tables, ExtSet::RV64GC);
-    assert_eq!(got, expected, "lazy-rewritten run diverged from native");
+    let KernelRun {
+        exit_code,
+        stdout,
+        kernel: k,
+        mut mem,
+        ..
+    } = run_under_kernel(rw.binary, tables, ExtSet::RV64GC, true);
+    assert_eq!(
+        (exit_code, stdout),
+        expected,
+        "lazy-rewritten run diverged from native"
+    );
     let sites: Vec<Inst> = chimera_analysis::disassemble(&bin)
         .iter()
         .filter(|di| !di.inst.runnable_on(ExtSet::RV64GC))

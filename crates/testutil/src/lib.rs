@@ -1,0 +1,341 @@
+//! # chimera-testutil
+//!
+//! Shared execution/byte-equality helpers for the differential test
+//! suites and the fuzzing oracles.
+//!
+//! Before this crate, `tests/differential.rs`,
+//! `crates/rewrite/tests/incremental_rewrite.rs` and
+//! `crates/rewrite/tests/parallel_determinism.rs` each carried their own
+//! copy of "run this binary and capture everything comparable": the final
+//! [`RunResult`], the bytes of every writable section, kernel-mediated
+//! runs of rewritten variants, and the engine roster of the §6.1
+//! comparison. The copies had started to drift (different return shapes,
+//! different fuel constants), which is exactly how a transparency bug
+//! slips past one suite while another would have caught it. Everything
+//! comparable now lives here, and the fuzzing crate's oracles assert over
+//! the *same* observations the curated suites pin.
+//!
+//! Nothing here asserts by itself (except the `run_*` helpers panicking
+//! on outcomes the caller declared impossible): helpers *capture*
+//! observations; suites compare them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chimera_emu::{Cpu, ExecMode, Memory, RunError, RunResult};
+use chimera_isa::prng::Prng;
+use chimera_isa::ExtSet;
+use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
+use chimera_obj::Binary;
+use chimera_rewrite::{
+    ebreak_patch, ChbpEngine, Flavor, IdentityEngine, Mode, RegenEngine, RewriteEngine,
+    RewriteOptions, Rewritten,
+};
+
+/// The default fuel budget for runs that must finish: effectively
+/// unbounded, while still letting a runaway loop terminate the test run
+/// (`u64::MAX` itself would mask fuel-accounting overflow bugs).
+pub const FUEL: u64 = u64::MAX / 2;
+
+/// Final bytes of every writable section the binary declares (the output
+/// state a program leaves behind), read from the run's memory.
+pub fn writable_bytes(mem: &mut Memory, bin: &Binary) -> Vec<(String, Vec<u8>)> {
+    bin.sections
+        .iter()
+        .filter(|s| s.perms.w)
+        .map(|s| {
+            let bytes = mem
+                .peek(s.addr, s.data.len())
+                .unwrap_or_else(|| panic!("section {} vanished", s.name));
+            (s.name.clone(), bytes)
+        })
+        .collect()
+}
+
+/// Runs `bin` keeping the final memory, so callers can compare
+/// data-section bytes in addition to the [`RunResult`].
+pub fn run_keeping_mem(
+    bin: &Binary,
+    profile: ExtSet,
+    cache: bool,
+) -> (Result<RunResult, RunError>, Memory) {
+    let (mut cpu, mut mem) = chimera_emu::boot(bin, profile);
+    cpu.cache.enabled = cache;
+    let r = chimera_emu::run_cpu(&mut cpu, &mut mem, FUEL);
+    (r, mem)
+}
+
+/// Everything observable about one execution configuration of one
+/// program — the unit of comparison for differential suites and the
+/// fuzzing oracles. Two configurations agree iff their `Obs` are equal
+/// (cache statistics excluded: those follow the reconciliation laws the
+/// suites assert separately).
+///
+/// `xregs` and `stats` are captured from the CPU itself, not the
+/// [`RunResult`], so trapping runs are compared on full architectural
+/// state too — a divergence hidden behind an identical trap enum still
+/// fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Obs {
+    /// The run's result (or its error — traps must be identical too).
+    pub result: Result<RunResult, RunError>,
+    /// Final integer register file (valid even when the run trapped).
+    pub xregs: [u64; 32],
+    /// Final execution statistics (valid even when the run trapped).
+    pub stats: chimera_emu::ExecStats,
+    /// Final program counter.
+    pub pc: u64,
+    /// Final bytes of every writable section.
+    pub mem: Vec<(String, Vec<u8>)>,
+}
+
+/// Runs `bin` under an explicit [`ExecMode`] and cache switch, capturing
+/// the comparable observation plus the cache counters.
+pub fn observe_mode(
+    bin: &Binary,
+    profile: ExtSet,
+    mode: ExecMode,
+    cache: bool,
+    fuel: u64,
+) -> (Obs, chimera_emu::CacheStats) {
+    observe_mode_traced(
+        bin,
+        profile,
+        mode,
+        cache,
+        fuel,
+        &chimera_trace::Tracer::disabled(),
+    )
+}
+
+/// [`observe_mode`] with an explicit tracer attached to the CPU (for
+/// trace-transparency comparisons).
+pub fn observe_mode_traced(
+    bin: &Binary,
+    profile: ExtSet,
+    mode: ExecMode,
+    cache: bool,
+    fuel: u64,
+    tracer: &chimera_trace::Tracer,
+) -> (Obs, chimera_emu::CacheStats) {
+    let (mut cpu, mut mem) = chimera_emu::boot(bin, profile);
+    cpu.set_mode(mode);
+    cpu.cache.enabled = cache;
+    cpu.tracer = tracer.clone();
+    let result = chimera_emu::run_cpu(&mut cpu, &mut mem, fuel);
+    let mem_bytes = writable_bytes(&mut mem, bin);
+    (
+        Obs {
+            result,
+            xregs: cpu.hart.xregs(),
+            stats: cpu.stats,
+            pc: cpu.hart.pc,
+            mem: mem_bytes,
+        },
+        cpu.cache.stats,
+    )
+}
+
+/// A completed kernel-supervised run of one binary variant.
+pub struct KernelRun {
+    /// The code passed to `exit`.
+    pub exit_code: i64,
+    /// Bytes the task wrote to stdout through the kernel.
+    pub stdout: Vec<u8>,
+    /// The CPU after the run (stats, registers, cache counters).
+    pub cpu: Cpu,
+    /// The kernel runner (fault counters, tables).
+    pub kernel: KernelRunner,
+    /// The final memory.
+    pub mem: Memory,
+}
+
+/// Runs `binary` on `profile` under the simulated kernel (normal flow may
+/// route through SMILE trampolines, trap trampolines, Safer corrections
+/// and lazy rewrites — the passive handler resolves them all), panicking
+/// unless the task exits. `cache` switches the decode cache.
+pub fn run_under_kernel(
+    binary: Binary,
+    tables: RuntimeTables,
+    profile: ExtSet,
+    cache: bool,
+) -> KernelRun {
+    let process = Process::new(vec![Variant { binary, tables }]);
+    let (mut cpu, mut mem, view) = process.load(profile).expect("view loads");
+    cpu.cache.enabled = cache;
+    let mut k = KernelRunner::new(view.tables.clone());
+    match k.run(&mut cpu, &mut mem, FUEL) {
+        RunOutcome::Exited(exit_code) => KernelRun {
+            exit_code,
+            stdout: k.stdout.clone(),
+            cpu,
+            kernel: k,
+            mem,
+        },
+        other => panic!("kernel run (cache={cache}) ended with {other:?}"),
+    }
+}
+
+/// A kernel-supervised run that is allowed to end any way — the
+/// non-panicking sibling of [`KernelRun`] for oracles that compare
+/// *outcomes* (including traps and fuel exhaustion) rather than assume a
+/// clean exit.
+pub struct KernelObs {
+    /// How the run stopped.
+    pub outcome: RunOutcome,
+    /// Bytes the task wrote to stdout through the kernel.
+    pub stdout: Vec<u8>,
+    /// The CPU after the run (stats, registers, cache counters).
+    pub cpu: Cpu,
+    /// The kernel runner (fault counters, tables).
+    pub kernel: KernelRunner,
+    /// The final memory.
+    pub mem: Memory,
+}
+
+/// Like [`run_under_kernel`], but never panics, takes an explicit fuel
+/// budget, and optionally overrides the entry pc (the misaligned-entry
+/// fuzzing hook: forcing execution into the middle of a SMILE
+/// trampoline).
+pub fn run_under_kernel_at(
+    binary: Binary,
+    tables: RuntimeTables,
+    profile: ExtSet,
+    cache: bool,
+    entry: Option<u64>,
+    fuel: u64,
+) -> KernelObs {
+    let process = Process::new(vec![Variant { binary, tables }]);
+    let (mut cpu, mut mem, view) = process.load(profile).expect("view loads");
+    cpu.cache.enabled = cache;
+    if let Some(pc) = entry {
+        cpu.hart.pc = pc;
+    }
+    let mut k = KernelRunner::new(view.tables.clone());
+    let outcome = k.run(&mut cpu, &mut mem, fuel);
+    KernelObs {
+        outcome,
+        stdout: k.stdout.clone(),
+        cpu,
+        kernel: k,
+        mem,
+    }
+}
+
+/// Runs a CHBP-style [`Rewritten`] (patched binary + fault table) on the
+/// base profile under the kernel.
+pub fn run_rewritten(rw: &Rewritten, cache: bool) -> KernelRun {
+    run_under_kernel(
+        rw.binary.clone(),
+        RuntimeTables {
+            fht: Some(rw.fht.clone()),
+            regen: None,
+        },
+        ExtSet::RV64GC,
+        cache,
+    )
+}
+
+/// Native reference behaviour: the original binary run to completion on
+/// the extension profile. Panics if it does not exit cleanly.
+pub fn native_reference(bin: &Binary) -> (i64, Vec<u8>) {
+    let r = chimera_emu::run_binary_on(bin, ExtSet::RV64GCV, FUEL).expect("native run exits");
+    (r.exit_code, r.stdout)
+}
+
+/// The engine roster of the §6.1 system comparison, one per
+/// `SystemKind`: CHBP (Chimera), the §6.2 trap-entry strawman, the Safer
+/// and ARMore regeneration baselines, and the FAM/MELF identity engine.
+pub fn engines() -> Vec<(&'static str, Box<dyn RewriteEngine>)> {
+    vec![
+        (
+            "chbp",
+            Box::new(ChbpEngine {
+                target: ExtSet::RV64GC,
+                opts: RewriteOptions::default(),
+            }) as Box<dyn RewriteEngine>,
+        ),
+        (
+            "strawman",
+            Box::new(ChbpEngine {
+                target: ExtSet::RV64GC,
+                opts: RewriteOptions {
+                    force_trap_entries: true,
+                    ..Default::default()
+                },
+            }),
+        ),
+        (
+            "safer",
+            Box::new(RegenEngine {
+                target: ExtSet::RV64GC,
+                mode: Mode::Downgrade,
+                flavor: Flavor::Safer,
+            }),
+        ),
+        (
+            "armore",
+            Box::new(RegenEngine {
+                target: ExtSet::RV64GC,
+                mode: Mode::Downgrade,
+                flavor: Flavor::Armore,
+            }),
+        ),
+        ("identity", Box::new(IdentityEngine)),
+    ]
+}
+
+/// Loads a rewritten image into a bare memory (the runtime mutation
+/// surface) and returns it with the `.text` range, where mutations can
+/// invalidate rewrite units.
+pub fn load_image(out: &Binary) -> (Memory, u64, u64) {
+    let mut mem = Memory::new();
+    for s in &out.sections {
+        mem.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
+    }
+    let text = out.section(".text").expect("rewritten keeps .text");
+    (mem, text.addr, text.end())
+}
+
+/// Applies one random runtime code mutation to `mem` — the three kinds
+/// the kernel's real paths produce: a guest SMC poke, a lazy-rewrite
+/// `ebreak` patch, and an MMView-style unmap/remap cycle.
+pub fn mutate_image(mem: &mut Memory, rng: &mut Prng, text_start: u64, text_end: u64) {
+    match rng.below(3) {
+        // Guest self-modification: an arbitrary small poke.
+        0 => {
+            let addr = text_start + rng.below((text_end - text_start - 8) / 2) * 2;
+            let len = 2 + 2 * rng.below(4) as usize;
+            let bytes: Vec<u8> = (0..len)
+                .map(|i| (rng.next_u64() >> (i % 8)) as u8)
+                .collect();
+            mem.poke_code(addr, &bytes).expect("poke inside .text");
+        }
+        // A lazy-rewrite-style patch: the kernel overwrites a site with
+        // an `ebreak` trampoline.
+        1 => {
+            let addr = text_start + rng.below((text_end - text_start - 8) / 4) * 4;
+            mem.poke_code(addr, &ebreak_patch(4)).expect("ebreak patch");
+        }
+        // An MMView-style remap: unmap the code region and map the same
+        // bytes back at the same address (generations must not repeat).
+        _ => {
+            let r = mem.region(".text").expect(".text is mapped").clone();
+            assert!(mem.unmap(".text"), "unmap succeeds");
+            mem.map_bytes(r.start, r.bytes, r.perms, ".text");
+        }
+    }
+}
+
+/// Converts the emulator's dirty-span report into the rewrite pipeline's
+/// span type.
+pub fn to_rewrite_spans(dirty: &[chimera_emu::DirtySpan]) -> Vec<chimera_rewrite::DirtySpan> {
+    dirty
+        .iter()
+        .map(|d| chimera_rewrite::DirtySpan {
+            start: d.start,
+            end: d.end,
+            generation: d.generation,
+        })
+        .collect()
+}

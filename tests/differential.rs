@@ -11,12 +11,11 @@
 use chimera_isa::ExtSet;
 use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
 use chimera_obj::Binary;
-use chimera_rewrite::{chbp_rewrite, verify_claim1, RewriteOptions, Rewritten};
+use chimera_rewrite::{chbp_rewrite, verify_claim1, RewriteOptions};
+use chimera_testutil::{run_keeping_mem, run_rewritten, writable_bytes, FUEL};
 use chimera_workloads::blas::{self, Precision};
 use chimera_workloads::hetero;
 use chimera_workloads::speclike::{generate, GenOptions, APP_PROFILES, SPEC_PROFILES};
-
-const FUEL: u64 = u64::MAX / 2;
 
 /// Every workload generator's output, tiny-scaled for test runtime.
 fn workloads() -> Vec<(String, Binary)> {
@@ -60,62 +59,6 @@ fn workloads() -> Vec<(String, Binary)> {
     v
 }
 
-/// Runs `bin` keeping the final memory, so callers can compare data-section
-/// bytes in addition to the [`chimera_emu::RunResult`].
-fn run_keeping_mem(
-    bin: &Binary,
-    profile: ExtSet,
-    cache: bool,
-) -> (
-    Result<chimera_emu::RunResult, chimera_emu::RunError>,
-    chimera_emu::Memory,
-) {
-    let (mut cpu, mut mem) = chimera_emu::boot(bin, profile);
-    cpu.cache.enabled = cache;
-    let r = chimera_emu::run_cpu(&mut cpu, &mut mem, FUEL);
-    (r, mem)
-}
-
-/// Runs a CHBP-rewritten binary on the base profile under the simulated
-/// kernel (normal flow may route through SMILE trampolines, whose faults
-/// the kernel's passive handler resolves), returning exit code, stdout,
-/// the CPU (for stats) and the final memory.
-fn run_rewritten(
-    rw: &Rewritten,
-    cache: bool,
-) -> (i64, Vec<u8>, chimera_emu::Cpu, chimera_emu::Memory) {
-    let variant = Variant {
-        binary: rw.binary.clone(),
-        tables: RuntimeTables {
-            fht: Some(rw.fht.clone()),
-            regen: None,
-        },
-    };
-    let process = Process::new(vec![variant]);
-    let (mut cpu, mut mem, view) = process.load(ExtSet::RV64GC).expect("loads on RV64GC");
-    cpu.cache.enabled = cache;
-    let mut k = KernelRunner::new(view.tables.clone());
-    match k.run(&mut cpu, &mut mem, FUEL) {
-        RunOutcome::Exited(code) => (code, k.stdout, cpu, mem),
-        other => panic!("rewritten run (cache={cache}) ended with {other:?}"),
-    }
-}
-
-/// Final bytes of every writable section the binary declares (the output
-/// state a program leaves behind), read from the run's memory.
-fn writable_bytes(mem: &mut chimera_emu::Memory, bin: &Binary) -> Vec<(String, Vec<u8>)> {
-    bin.sections
-        .iter()
-        .filter(|s| s.perms.w)
-        .map(|s| {
-            let bytes = mem
-                .peek(s.addr, s.data.len())
-                .unwrap_or_else(|| panic!("section {} vanished", s.name));
-            (s.name.clone(), bytes)
-        })
-        .collect()
-}
-
 /// Decode cache on vs off: FULL result equality — exit code, stdout, the
 /// whole integer register file, every stats counter (so cycle accounting
 /// is provably identical), and the final bytes of every region.
@@ -149,18 +92,18 @@ fn rewritten_matches_native_for_every_workload() {
         let native_data = writable_bytes(&mut native_mem, &bin);
         let mut per_cache = Vec::new();
         for cache in [true, false] {
-            let (code, stdout, cpu, mut down_mem) = run_rewritten(&rw, cache);
-            assert_eq!(native.exit_code, code, "{name} (cache={cache})");
-            assert_eq!(native.stdout, stdout, "{name} (cache={cache})");
-            assert_eq!(cpu.stats.vector_insts, 0, "{name}: fully downgraded");
+            let mut kr = run_rewritten(&rw, cache);
+            assert_eq!(native.exit_code, kr.exit_code, "{name} (cache={cache})");
+            assert_eq!(native.stdout, kr.stdout, "{name} (cache={cache})");
+            assert_eq!(kr.cpu.stats.vector_insts, 0, "{name}: fully downgraded");
             // The original's writable sections exist untouched (by name and
             // address) in the rewritten binary; final contents must match.
             assert_eq!(
                 native_data,
-                writable_bytes(&mut down_mem, &bin),
+                writable_bytes(&mut kr.mem, &bin),
                 "{name} (cache={cache}): output memory diverged"
             );
-            per_cache.push(cpu.stats);
+            per_cache.push(kr.cpu.stats);
         }
         // Cycle accounting of the rewritten run is itself cache-invariant.
         assert_eq!(per_cache[0], per_cache[1], "{name}: stats diverged");
@@ -221,7 +164,7 @@ fn tracing_enabled_vs_disabled_identical_for_every_workload() {
     // The kernel path (SMILE recovery in the loop) is transparent too.
     let bin = hetero::matrix_task(8, 2, true);
     let rw = chbp_rewrite(&bin, ExtSet::RV64GC, RewriteOptions::default()).unwrap();
-    let (code, stdout, cpu, _) = run_rewritten(&rw, true);
+    let kr = run_rewritten(&rw, true);
     let process = Process::new(vec![Variant {
         binary: rw.binary.clone(),
         tables: RuntimeTables {
@@ -235,8 +178,12 @@ fn tracing_enabled_vs_disabled_identical_for_every_workload() {
     let mut k = KernelRunner::with_tracer(view.tables.clone(), tracer.clone());
     match k.run(&mut tcpu, &mut tmem, FUEL) {
         RunOutcome::Exited(tcode) => {
-            assert_eq!((code, &stdout), (tcode, &k.stdout), "kernel path diverged");
-            assert_eq!(cpu.stats, tcpu.stats, "kernel-path stats diverged");
+            assert_eq!(
+                (kr.exit_code, &kr.stdout),
+                (tcode, &k.stdout),
+                "kernel path diverged"
+            );
+            assert_eq!(kr.cpu.stats, tcpu.stats, "kernel-path stats diverged");
         }
         other => panic!("traced kernel run ended with {other:?}"),
     }
