@@ -1,0 +1,241 @@
+//! Host-code JIT-tier gate: throughput over the micro-op engine, with
+//! hard transparency, reconciliation and determinism asserts.
+//!
+//!     cargo run --release -p chimera-bench --bin jit_tier
+//!
+//! For each gate workload the four front ends (reference interpreter,
+//! decode-cache interpreter, micro-op engine, JIT) must produce
+//! bit-identical [`chimera_emu::RunResult`]s — exit code, stdout, final
+//! registers, every stats counter including simulated cycles — the JIT
+//! counters must reconcile against the interpreter's dispatcher hits
+//! (`hits_interp == hits_jit + chained_jit + jitted`), two JIT runs must
+//! be bit-identical (counters included), and compiled traces must
+//! actually carry the run (`jitted > 0`). All hard asserts.
+//!
+//! The acceptance bar for the tier is a >= 2x dynamic-instruction
+//! throughput improvement over the *micro-op engine* (geomean across the
+//! gate workloads, release build), measured as best-of-alternating
+//! batches (see [`time_pair`]). The bar hard-fails only below 1.5x so
+//! timing noise on shared CI runners can't flake the gate, and warns
+//! between 1.5x and 2x. Results land in `results/jit-tier.json`.
+//!
+//! On hosts without executable pages ([`chimera_emu::jit_available`] is
+//! false) the gate degrades to transparency-only: the four-way equality
+//! and determinism asserts still run (Jit mode then has engine
+//! semantics), the speedup gate is skipped, and the JSON records
+//! `"jit_available": false`.
+
+use chimera_bench::harness::fmt_ns;
+use chimera_emu::ExecMode;
+use chimera_isa::ExtSet;
+use chimera_obj::Binary;
+use chimera_workloads::speclike::{generate, GenOptions, SPEC_PROFILES};
+use std::io::Write as _;
+use std::time::Instant;
+
+const FUEL: u64 = u64::MAX / 2;
+
+/// The same diverse speclike subset the exec_engine gate times:
+/// indirect-heavy, large-code, vector-leaning and balanced profiles.
+const GATE_WORKLOADS: &[&str] = &["perlbench_r", "gcc_r", "cactuBSSN_r", "imagick_r"];
+
+struct Row {
+    name: &'static str,
+    insts: u64,
+    jitted: u64,
+    min_ns_jit: f64,
+    min_ns_engine: f64,
+    speedup: f64,
+}
+
+/// Target duration of one timed batch.
+const BATCH_MS: u64 = 25;
+/// Alternating jit/engine batch pairs per workload.
+const ROUNDS: usize = 10;
+
+/// One timed batch: ns per run.
+fn batch_ns(bin: &Binary, mode: ExecMode, iters: u64) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(run_mode(std::hint::black_box(bin), mode));
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Times the two modes in *alternating* batches and compares fastest
+/// batches. Shared virtualized runners have one-sided noise (steal time
+/// only ever slows a batch down) that drifts on the scale of a whole
+/// measurement phase; interleaving keeps both modes exposed to the same
+/// drift, and min-of-batches estimates the unperturbed speed of each.
+fn time_pair(bin: &Binary) -> (f64, f64) {
+    let budget = (BATCH_MS * 1_000_000) as f64;
+    let calibrate = |mode| {
+        let once = batch_ns(bin, mode, 1);
+        ((budget / once.max(1.0)).ceil() as u64).max(1)
+    };
+    let iters_jit = calibrate(ExecMode::Jit);
+    let iters_engine = calibrate(ExecMode::Engine);
+    let mut best_jit = f64::INFINITY;
+    let mut best_engine = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        best_jit = best_jit.min(batch_ns(bin, ExecMode::Jit, iters_jit));
+        best_engine = best_engine.min(batch_ns(bin, ExecMode::Engine, iters_engine));
+    }
+    (best_jit, best_engine)
+}
+
+fn run_mode(bin: &Binary, mode: ExecMode) -> (chimera_emu::RunResult, chimera_emu::CacheStats) {
+    let (mut cpu, mut mem) = chimera_emu::boot(bin, ExtSet::RV64GCV);
+    cpu.set_mode(mode);
+    let r = chimera_emu::run_cpu(&mut cpu, &mut mem, FUEL).expect("workload exits cleanly");
+    (r, cpu.cache.stats)
+}
+
+fn main() {
+    let jit_available = chimera_emu::jit_available();
+    if !jit_available {
+        println!(
+            "NOTE: no executable pages on this host — running the \
+             transparency gate only (Jit mode has engine semantics here)"
+        );
+    }
+
+    let mut rows = Vec::new();
+    for profile in SPEC_PROFILES
+        .iter()
+        .filter(|p| GATE_WORKLOADS.contains(&p.name))
+    {
+        // Millions of retired instructions per run: throughput is a
+        // steady-state property, and the tiering warm-up (interpret ->
+        // engine -> compile) must be amortized the way it would be in a
+        // real process, not hidden by a tiny run.
+        let bin = generate(
+            profile,
+            GenOptions {
+                size_scale: 1.0 / 256.0,
+                work_scale: 64.0,
+                seed: 11,
+            },
+        );
+
+        // Transparency (hard): all four front ends bit-identical.
+        let (reference, _) = run_mode(&bin, ExecMode::Reference);
+        let (interp, ci) = run_mode(&bin, ExecMode::Interpreter);
+        let (engine, _) = run_mode(&bin, ExecMode::Engine);
+        let (jit, cj) = run_mode(&bin, ExecMode::Jit);
+        assert_eq!(reference, interp, "{}: interpreter diverged", profile.name);
+        assert_eq!(reference, engine, "{}: engine diverged", profile.name);
+        assert_eq!(reference, jit, "{}: jit diverged", profile.name);
+
+        // Counter reconciliation (hard): every in-trace chain-entry pass
+        // replaces exactly one dispatcher hit, and the decode-cache
+        // behaviour underneath is untouched.
+        assert_eq!(
+            ci.hits,
+            cj.hits + cj.chained + cj.jitted,
+            "{}: hits must reconcile: {ci:?} vs {cj:?}",
+            profile.name
+        );
+        assert_eq!(
+            (ci.misses, ci.blocks_built, ci.invalidations),
+            (cj.misses, cj.blocks_built, cj.invalidations),
+            "{}: cache counters diverged",
+            profile.name
+        );
+        if jit_available {
+            assert!(cj.jit_execs > 0, "{}: jit never executed", profile.name);
+            assert!(
+                cj.jitted > 0,
+                "{}: compiled traces never chained — the timed runs would \
+                 not actually measure the JIT",
+                profile.name
+            );
+        }
+
+        // Determinism (hard): a repeated JIT run is bit-identical, cache
+        // counters included.
+        let (jit2, cj2) = run_mode(&bin, ExecMode::Jit);
+        assert_eq!(jit, jit2, "{}: jit run not deterministic", profile.name);
+        assert_eq!(cj, cj2, "{}: jit counters not deterministic", profile.name);
+
+        let insts = jit.stats.instret;
+        println!(
+            "jit_tier/{}: {} dynamic insts, {} simulated cycles, \
+             {} jitted chain passes, {} trace execs",
+            profile.name, insts, jit.stats.cycles, cj.jitted, cj.jit_execs
+        );
+        if !jit_available {
+            continue;
+        }
+        let (min_ns_jit, min_ns_engine) = time_pair(&bin);
+        let speedup = min_ns_engine / min_ns_jit;
+        println!(
+            "  -> speedup {speedup:.2}x (best batches: {} -> {})",
+            fmt_ns(min_ns_engine),
+            fmt_ns(min_ns_jit)
+        );
+        rows.push(Row {
+            name: profile.name,
+            insts,
+            jitted: cj.jitted,
+            min_ns_jit,
+            min_ns_engine,
+            speedup,
+        });
+    }
+
+    if !jit_available {
+        dump_json(&[], 0.0, false);
+        println!("PASS (transparency only): bit-identical results in all modes");
+        return;
+    }
+
+    let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!("jit-tier speedup geomean: {geomean:.2}x over the micro-op engine");
+
+    dump_json(&rows, geomean, true);
+
+    assert!(
+        geomean >= 1.5,
+        "jit speedup collapsed: target is >= 2x over the micro-op engine, \
+         hard floor 1.5x to absorb shared-runner timing noise \
+         (got {geomean:.2}x)"
+    );
+    if geomean >= 2.0 {
+        println!("PASS: >= 2x geomean with bit-identical results in all modes");
+    } else {
+        println!(
+            "WARN: {geomean:.2}x is under the 2x target (within the 1.5x \
+             noise floor); rerun on quiet hardware if this persists"
+        );
+    }
+}
+
+fn dump_json(rows: &[Row], geomean: f64, jit_available: bool) {
+    std::fs::create_dir_all("results").unwrap();
+    let mut f = std::fs::File::create("results/jit-tier.json").unwrap();
+    writeln!(f, "{{\n  \"jit_available\": {jit_available},").unwrap();
+    writeln!(f, "  \"workloads\": [").unwrap();
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(
+            f,
+            "    {{\"name\": \"{}\", \"dynamic_insts\": {}, \"jitted\": {}, \
+             \"min_ns_jit\": {:.0}, \"min_ns_engine\": {:.0}, \
+             \"speedup\": {:.3}}}{}",
+            r.name,
+            r.insts,
+            r.jitted,
+            r.min_ns_jit,
+            r.min_ns_engine,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    writeln!(
+        f,
+        "  ],\n  \"geomean_speedup\": {geomean:.3},\n  \"deterministic\": true\n}}"
+    )
+    .unwrap();
+    println!("wrote results/jit-tier.json");
+}

@@ -16,9 +16,10 @@
 //!
 //! Part 2 runs one heterogeneous scenario — static rewrite, forced SMILE
 //! fault, lazy rewriting of hidden vector code, a decode-cache
-//! invalidation via self-modification, and the work-stealing simulator —
-//! against one shared tracer, asserts every one of the eleven
-//! [`TraceEvent`] kinds occurred, reconciles event counts against the
+//! invalidation via self-modification, a JIT-tier promotion, and the
+//! work-stealing simulator — against one shared tracer, asserts every one
+//! of the twelve [`TraceEvent`] kinds occurred (TierPromote is excused on
+//! hosts without executable pages), reconciles event counts against the
 //! metrics registry and the kernel's [`FaultCounters`], and dumps
 //! `results/trace-hetero.json`.
 
@@ -401,7 +402,43 @@ fn hetero_scenario() {
         expected.chained += cpu.cache.stats.chained;
     }
 
-    // (e) A measured run through the full stack, published into the same
+    // (e) JIT-tier promotion: a hot loop over the compile threshold in
+    // Jit mode emits TierPromote events. Hosts without executable pages
+    // skip this segment (the tier stays inert there), and the kind
+    // check below relaxes to match.
+    let jit_available = chimera_emu::jit_available();
+    if jit_available {
+        let bin = assemble(
+            "
+            _start:
+                li t0, 200
+                li a0, 0
+            loop:
+                addi a0, a0, 1
+                addi t0, t0, -1
+                bnez t0, loop
+                li a7, 93
+                ecall
+            ",
+            AsmOptions::default(),
+        )
+        .unwrap();
+        let (mut cpu, mut mem) = chimera_emu::boot(&bin, ExtSet::RV64GCV);
+        cpu.set_mode(chimera_emu::ExecMode::Jit);
+        cpu.set_jit_threshold(1);
+        cpu.tracer = tracer.clone();
+        let r = chimera_emu::run_cpu(&mut cpu, &mut mem, 1_000_000).unwrap();
+        assert_eq!(r.exit_code, 200);
+        assert!(
+            cpu.cache.stats.jit_execs >= 1,
+            "the hot loop must promote into the jit tier"
+        );
+        expected.blocks_built += cpu.cache.stats.blocks_built;
+        expected.invalidations += cpu.cache.stats.invalidations;
+        expected.chained += cpu.cache.stats.chained;
+    }
+
+    // (f) A measured run through the full stack, published into the same
     // registry: the trace dump carries the authoritative totals.
     let m = measure_traced(&process, ExtSet::RV64GC, 1_000_000, &tracer).unwrap();
     assert_eq!(m.exit_code, 14);
@@ -414,7 +451,7 @@ fn hetero_scenario() {
     let round_trip = Measurement::from_registry(metrics).expect("measurement published");
     assert_eq!(round_trip, m, "publish/from_registry must round-trip");
 
-    // (f) Work-stealing simulation: base tasks plus FAM-only extension
+    // (g) Work-stealing simulation: base tasks plus FAM-only extension
     // tasks force scheduling, stealing and migration events.
     let machine = chimera_kernel::SimMachine {
         base_cores: 2,
@@ -449,9 +486,13 @@ fn hetero_scenario() {
     let records = tracer.drain();
     let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count() as u64;
     for kind in TraceEvent::KINDS {
+        if kind == "TierPromote" && !jit_available {
+            continue;
+        }
         assert!(count(kind) > 0, "no {kind} event in the hetero trace");
     }
     let counter = |name: &str| metrics.counter_value(name).unwrap_or(0);
+    assert_eq!(count("TierPromote"), counter("emu.blocks_jitted"));
 
     assert_eq!(count("BlockBuilt"), counter("emu.blocks_built"));
     assert_eq!(count("BlockBuilt"), expected.blocks_built);
@@ -499,7 +540,14 @@ fn hetero_scenario() {
     std::fs::write("results/trace-hetero.json", &json).unwrap();
     println!("wrote results/trace-hetero.json ({} bytes)", json.len());
     print!("{}", summarize(&records, Some(metrics)));
-    println!("PASS: all 11 event kinds present, counters reconcile exactly");
+    if jit_available {
+        println!("PASS: all 12 event kinds present, counters reconcile exactly");
+    } else {
+        println!(
+            "PASS: 11/12 event kinds present (TierPromote excused: no \
+             executable pages), counters reconcile exactly"
+        );
+    }
 }
 
 fn main() {

@@ -300,7 +300,7 @@ pub struct Measurement {
 /// the single source of truth [`Measurement::publish`] and
 /// [`Measurement::from_registry`] share.
 #[allow(clippy::type_complexity)]
-const MEASUREMENT_COUNTERS: [(&str, fn(&Measurement) -> u64); 13] = [
+const MEASUREMENT_COUNTERS: [(&str, fn(&Measurement) -> u64); 15] = [
     ("measure.cycles", |m| m.cycles),
     ("measure.instret", |m| m.instret),
     ("measure.indirect_jumps", |m| m.indirect_jumps),
@@ -318,6 +318,8 @@ const MEASUREMENT_COUNTERS: [(&str, fn(&Measurement) -> u64); 13] = [
     ("measure.cache_invalidations", |m| m.cache.invalidations),
     ("measure.blocks_built", |m| m.cache.blocks_built),
     ("measure.cache_chained", |m| m.cache.chained),
+    ("measure.cache_jitted", |m| m.cache.jitted),
+    ("measure.jit_execs", |m| m.cache.jit_execs),
 ];
 
 impl Measurement {
@@ -372,6 +374,8 @@ impl Measurement {
                 invalidations: get("measure.cache_invalidations"),
                 blocks_built: get("measure.blocks_built"),
                 chained: get("measure.cache_chained"),
+                jitted: get("measure.cache_jitted"),
+                jit_execs: get("measure.jit_execs"),
             },
         })
     }

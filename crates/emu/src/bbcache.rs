@@ -78,8 +78,10 @@ const JUMP_CACHE: usize = 1 << 11;
 ///
 /// Reconciliation invariant (asserted by the differential suite): for the
 /// same program, `hits(interpreter) == hits(engine) + chained(engine)` and
-/// `misses`/`invalidations`/`blocks_built` are identical — a chained follow
-/// is exactly a hit whose lookup was short-circuited.
+/// `hits(interpreter) == hits(jit) + chained(jit) + jitted(jit)` — with
+/// `misses`/`invalidations`/`blocks_built` identical across all modes. A
+/// chained follow is exactly a hit whose lookup was short-circuited, and a
+/// jitted chain entry is exactly a hit whose dispatch never left host code.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups satisfied by a valid cached block.
@@ -93,6 +95,14 @@ pub struct CacheStats {
     /// Block entries that followed a validated chain link instead of doing
     /// a dispatcher lookup (engine mode only; 0 for the interpreter).
     pub chained: u64,
+    /// Block entries through a compiled trace's chain entry — direct
+    /// trace-to-trace jumps that bypassed the dispatcher entirely (JIT
+    /// mode only; 0 elsewhere).
+    pub jitted: u64,
+    /// Compiled-trace executions entered from the dispatcher (JIT mode
+    /// only). Coverage witness: a Jit-mode run with `jit_execs == 0`
+    /// never actually ran host code.
+    pub jit_execs: u64,
 }
 
 /// One decoded instruction inside a block.

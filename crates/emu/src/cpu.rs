@@ -80,8 +80,8 @@ pub enum Stop {
     OutOfFuel,
 }
 
-/// Which front end executes instructions. All three modes are bit-identical
-/// in results, traps, `ExecStats` (including cycles) and fuel accounting —
+/// Which front end executes instructions. All modes are bit-identical in
+/// results, traps, `ExecStats` (including cycles) and fuel accounting —
 /// they differ only in wall-clock speed. The differential suite asserts it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -94,6 +94,12 @@ pub enum ExecMode {
     /// Micro-op execution engine: lowered block bodies, block-to-block
     /// chaining, per-core memory translation hints. The default.
     Engine,
+    /// Host-code JIT tier: hot block bodies template-compiled to x86-64
+    /// and chained with patched direct jumps; cold blocks run through the
+    /// engine. On hosts without executable pages
+    /// ([`crate::jit_available`] is false) this mode runs with the
+    /// engine's exact semantics and zero JIT counters.
+    Jit,
 }
 
 /// One simulated core.
@@ -119,6 +125,9 @@ pub struct Cpu {
     /// state only: hints are revalidated on every use and never change
     /// results or faults).
     pub hints: AccessHints,
+    /// The host-code JIT tier ([`ExecMode::Jit`]): executable arena,
+    /// resident traces, and the deterministic tiering policy.
+    pub(crate) jit: crate::jit::JitTier,
     /// The trace handle (disabled by default; see `chimera_trace`). The
     /// CPU emits [`TraceEvent::BlockBuilt`], [`TraceEvent::BlockChained`],
     /// [`TraceEvent::CacheInvalidate`] and [`TraceEvent::Trap`] — coarse
@@ -156,6 +165,7 @@ impl Cpu {
             cache: BlockCache::new(),
             engine: true,
             hints: AccessHints::default(),
+            jit: crate::jit::JitTier::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -171,9 +181,15 @@ impl Cpu {
     }
 
     /// Selects the execution front end (see [`ExecMode`]).
+    ///
+    /// Always performs a full JIT-tier reset — resident traces, hotness
+    /// counters and demotion hysteresis — so no promotion state carries
+    /// across a mode switch (asserted by the tiering-policy tests).
     pub fn set_mode(&mut self, mode: ExecMode) {
         self.cache.enabled = mode != ExecMode::Reference;
-        self.engine = mode == ExecMode::Engine;
+        self.engine = matches!(mode, ExecMode::Engine | ExecMode::Jit);
+        self.jit.enabled = mode == ExecMode::Jit;
+        self.jit.reset();
     }
 
     /// The currently selected execution front end.
@@ -181,8 +197,34 @@ impl Cpu {
         match (self.cache.enabled, self.engine) {
             (false, _) => ExecMode::Reference,
             (true, false) => ExecMode::Interpreter,
+            (true, true) if self.jit.enabled => ExecMode::Jit,
             (true, true) => ExecMode::Engine,
         }
+    }
+
+    /// Overrides the JIT promotion threshold: dispatcher entries of a
+    /// valid cached block before its body is compiled (default 16).
+    /// Applies to [`ExecMode::Jit`] only; tests and benches use 1 to
+    /// force immediate promotion.
+    pub fn set_jit_threshold(&mut self, threshold: u32) {
+        self.jit.set_threshold(threshold);
+    }
+
+    /// The unpatched host-code bytes compiled for the live trace at `pc`,
+    /// if one is resident (SMC byte-identity regressions).
+    pub fn jit_trace_bytes(&self, pc: u64) -> Option<Vec<u8>> {
+        self.jit.trace_bytes(pc)
+    }
+
+    /// The dispatcher-entry count accumulated toward promoting `pc` (0
+    /// once promoted or never seen).
+    pub fn jit_hotness(&self, pc: u64) -> u32 {
+        self.jit.hotness(pc)
+    }
+
+    /// Lifetime count of block bodies compiled to host code.
+    pub fn jit_compiled(&self) -> u64 {
+        self.jit.compiled()
     }
 
     /// Executes instructions until a trap or until `fuel` instructions have
@@ -199,7 +241,9 @@ impl Cpu {
         }
         let mut remaining = fuel;
         while remaining > 0 {
-            let stepped = if self.engine {
+            let stepped = if self.engine && self.jit.enabled {
+                self.step_jit(mem, remaining)
+            } else if self.engine {
                 self.step_engine(mem, remaining)
             } else {
                 self.step_block(mem, remaining)
@@ -454,6 +498,74 @@ impl Cpu {
                     match self.follow_link(mem, id, edge) {
                         Some(n) => next = Some(n),
                         None => pending = Some((id, (pc, self.profile), edge)),
+                    }
+                }
+            }
+        }
+        Ok(retired)
+    }
+
+    /// The JIT-tier dispatcher: the engine dispatcher with uop-level
+    /// block chaining replaced by compiled-trace entry. Every dispatch
+    /// counts exactly as it does in the other modes (jump-cache hits,
+    /// lookups, misses, builds), then hands the block to
+    /// [`crate::jit::try_enter`]; blocks the tier declines — cold,
+    /// host-unsupported, under-funded — run through [`Cpu::exec_lowered`]
+    /// unchanged. Uop chain links are neither followed nor trained here,
+    /// so `CacheStats::chained` stays 0 and the reconciliation law reads
+    /// `hits(interp) == hits(jit) + jitted(jit)`.
+    fn step_jit(&mut self, mem: &mut Memory, budget: u64) -> Result<u64, Trap> {
+        let mut retired = 0u64;
+        while retired < budget {
+            let pc = self.hart.pc;
+            let hinted = self
+                .cache
+                .jump_hint(pc)
+                .and_then(|link| self.validate_link(mem, link));
+            let block = if let Some((_, block, needs_restamp)) = hinted {
+                if needs_restamp {
+                    self.cache.jump_restamp(pc, mem.code_generation());
+                }
+                self.cache.stats.hits += 1;
+                block
+            } else {
+                self.cache.jump_clear(pc);
+                let Some(fp) = mem.code_fingerprint(pc) else {
+                    self.step(mem)?;
+                    return Ok(retired + 1);
+                };
+                let inv_before = self.cache.stats.invalidations;
+                let looked_up = self.cache.lookup_slot(pc, self.profile, fp);
+                if self.cache.stats.invalidations != inv_before {
+                    self.tracer
+                        .record(self.stats.cycles, TraceEvent::CacheInvalidate { pc });
+                    self.tracer.count("emu.cache_invalidations", 1);
+                }
+                let (id, block) = match looked_up {
+                    Some(ib) => ib,
+                    None => match self.build_block(mem, pc, fp)? {
+                        Some(ib) => ib,
+                        None => {
+                            self.step(mem)?;
+                            return Ok(retired + 1);
+                        }
+                    },
+                };
+                self.cache.jump_set(ChainLink {
+                    to: id,
+                    pc,
+                    stamp: mem.code_generation(),
+                });
+                block
+            };
+            match crate::jit::try_enter(self, mem, budget - retired, &block, pc) {
+                Some(Ok(r)) => retired += r,
+                Some(Err(t)) => return Err(t),
+                None => {
+                    let (r, exit) = self.exec_lowered(mem, &block, budget - retired)?;
+                    retired += r;
+                    if matches!(exit, BlockExit::Budget) {
+                        return Ok(retired);
                     }
                 }
             }
@@ -956,7 +1068,7 @@ impl Cpu {
     }
 
     /// Executes a decoded instruction (pc at `self.hart.pc`, length `len`).
-    fn exec(&mut self, mem: &mut Memory, inst: Inst, len: u64) -> Result<(), Trap> {
+    pub(crate) fn exec(&mut self, mem: &mut Memory, inst: Inst, len: u64) -> Result<(), Trap> {
         let h = &mut self.hart;
         let pc = h.pc;
         let mut next_pc = pc + len;
@@ -1324,7 +1436,7 @@ impl Cpu {
 /// and the engine. Stores that bumped *other* executable regions leave the
 /// block intact (its bytes cannot have changed), so cross-region SMC no
 /// longer bails or cold-starts unrelated blocks.
-fn block_intact(mem: &mut Memory, block: &Block) -> bool {
+pub(crate) fn block_intact(mem: &mut Memory, block: &Block) -> bool {
     mem.code_fingerprint(block.region_start) == Some((block.region_start, block.region_gen))
 }
 
@@ -1345,7 +1457,7 @@ fn branch_cond(kind: BranchKind, a: u64, b: u64) -> bool {
 /// micro-op engine (the immediate's sign/shift handling is kind-specific,
 /// so it stays here rather than being pre-expanded at lowering time).
 #[inline]
-fn exec_opimm(kind: OpImmKind, a: u64, imm: i32) -> u64 {
+pub(crate) fn exec_opimm(kind: OpImmKind, a: u64, imm: i32) -> u64 {
     let i = imm as i64 as u64;
     match kind {
         OpImmKind::Addi => a.wrapping_add(i),
@@ -1368,7 +1480,7 @@ fn exec_opimm(kind: OpImmKind, a: u64, imm: i32) -> u64 {
 /// Single-source bit-manipulation semantics, shared by `Cpu::exec` and the
 /// micro-op engine.
 #[inline]
-fn exec_unary(kind: UnaryKind, a: u64) -> u64 {
+pub(crate) fn exec_unary(kind: UnaryKind, a: u64) -> u64 {
     match kind {
         UnaryKind::Clz => a.leading_zeros() as u64,
         UnaryKind::Ctz => a.trailing_zeros() as u64,
@@ -1380,7 +1492,7 @@ fn exec_unary(kind: UnaryKind, a: u64) -> u64 {
     }
 }
 
-fn exec_op(kind: OpKind, a: u64, b: u64) -> u64 {
+pub(crate) fn exec_op(kind: OpKind, a: u64, b: u64) -> u64 {
     match kind {
         OpKind::Add => a.wrapping_add(b),
         OpKind::Sub => a.wrapping_sub(b),

@@ -54,6 +54,19 @@ impl Hart {
         self.x
     }
 
+    /// Raw pointer to the integer register file, for the JIT tier's
+    /// register contract (`r13` in emitted traces). Templates never write
+    /// index 0, preserving the `zero` invariant `set_x` enforces.
+    pub(crate) fn x_ptr(&mut self) -> *mut u64 {
+        self.x.as_mut_ptr()
+    }
+
+    /// Raw pointer to the FP register file (`JitCtx::fregs`); same
+    /// contract as [`Hart::x_ptr`].
+    pub(crate) fn f_ptr(&mut self) -> *mut u64 {
+        self.f.as_mut_ptr()
+    }
+
     /// Writes an integer register (writes to `zero` are discarded).
     #[inline]
     pub fn set_x(&mut self, r: XReg, v: u64) {

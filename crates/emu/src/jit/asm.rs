@@ -1,0 +1,779 @@
+//! A minimal x86-64 instruction encoder for the template JIT.
+//!
+//! Only the handful of forms the per-uop templates need are implemented,
+//! each as a dedicated method so call sites read like assembly listings.
+//! Emission is append-only into a `Vec<u8>`; forward references go through
+//! [`Label`]s whose rel32 slots are back-patched by [`Asm::finish`]. All
+//! emitted code is position-independent *by construction*: the encoder has
+//! no absolute-address form at all (external state is reached through
+//! `[r12 + disp]` context fields, and every jump/call is rel32 within the
+//! buffer or indirect through memory), which is what makes recompiled
+//! traces byte-identical regardless of where the arena cursor sits.
+//!
+//! Safety note: this module is pure data manipulation — it builds byte
+//! vectors and never executes them. The unsafe execution lives in
+//! [`super::exec`].
+
+/// A general-purpose register, numbered 0 (`rax`) to 15 (`r15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reg(pub u8);
+
+pub const RAX: Reg = Reg(0);
+pub const RCX: Reg = Reg(1);
+pub const RDX: Reg = Reg(2);
+pub const RBX: Reg = Reg(3);
+pub const RBP: Reg = Reg(5);
+pub const RSI: Reg = Reg(6);
+pub const RDI: Reg = Reg(7);
+pub const R12: Reg = Reg(12);
+pub const R13: Reg = Reg(13);
+pub const R14: Reg = Reg(14);
+pub const R15: Reg = Reg(15);
+
+/// A condition code (the low nibble of the `0F 8x`/`0F 9x` opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cc {
+    /// Equal / zero.
+    E = 0x4,
+    /// Not equal / not zero.
+    Ne = 0x5,
+    /// Unsigned below.
+    B = 0x2,
+    /// Unsigned above or equal.
+    Ae = 0x3,
+    /// Signed less.
+    L = 0xc,
+    /// Signed greater or equal.
+    Ge = 0xd,
+}
+
+/// A forward-referencable code position.
+#[derive(Debug, Clone, Copy)]
+pub struct Label(usize);
+
+/// The append-only encoder.
+#[derive(Debug, Default)]
+pub struct Asm {
+    code: Vec<u8>,
+    /// `(offset of a rel32 slot, label id)`; the displacement is relative
+    /// to the end of the slot.
+    fixups: Vec<(usize, usize)>,
+    labels: Vec<Option<usize>>,
+}
+
+/// Two-operand ALU opcode bytes (`op r/m64, r64` form; the `r64, r/m64`
+/// form is `base + 2`, the `r/m64, imm` forms use `/digit`).
+#[derive(Debug, Clone, Copy)]
+pub enum Alu {
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Compare (subtract, flags only).
+    Cmp,
+}
+
+impl Alu {
+    fn mr(self) -> u8 {
+        match self {
+            Alu::Add => 0x01,
+            Alu::Or => 0x09,
+            Alu::And => 0x21,
+            Alu::Sub => 0x29,
+            Alu::Xor => 0x31,
+            Alu::Cmp => 0x39,
+        }
+    }
+    fn digit(self) -> u8 {
+        match self {
+            Alu::Add => 0,
+            Alu::Or => 1,
+            Alu::And => 4,
+            Alu::Sub => 5,
+            Alu::Xor => 6,
+            Alu::Cmp => 7,
+        }
+    }
+}
+
+impl Asm {
+    /// Creates an empty encoder.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current emission offset.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Allocates a label to bind later.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the current offset.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.code.len());
+    }
+
+    /// Resolves all fixups and returns the code. Panics on unbound labels
+    /// (a compiler bug, not a runtime condition).
+    pub fn finish(mut self) -> Vec<u8> {
+        for (at, id) in self.fixups {
+            let target = self.labels[id].expect("unbound label");
+            let rel = target as i64 - (at as i64 + 4);
+            let rel = i32::try_from(rel).expect("rel32 overflow");
+            self.code[at..at + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        self.code
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.code.push(b);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.code.extend_from_slice(b);
+    }
+
+    /// REX prefix. `w` selects 64-bit operands, `r` extends the modrm reg
+    /// field, `x` the SIB index, `b` the modrm r/m / SIB base.
+    fn rex(&mut self, w: bool, r: u8, x: u8, b: u8) {
+        let v = 0x40 | (w as u8) << 3 | ((r >> 3) & 1) << 2 | ((x >> 3) & 1) << 1 | ((b >> 3) & 1);
+        if v != 0x40 {
+            self.byte(v);
+        }
+    }
+
+    /// REX that may be omitted entirely when no bit is set (for 32-bit
+    /// forms on low registers).
+    fn rex_opt(&mut self, r: u8, x: u8, b: u8) {
+        let v = 0x40 | ((r >> 3) & 1) << 2 | ((x >> 3) & 1) << 1 | ((b >> 3) & 1);
+        if v != 0x40 {
+            self.byte(v);
+        }
+    }
+
+    /// modrm + optional SIB + displacement for a `[base + disp]` operand.
+    fn modrm_mem(&mut self, reg: u8, base: Reg, disp: i32) {
+        let b = base.0 & 7;
+        let need_sib = b == 4; // rsp/r12 encodings require a SIB byte
+        let (modbits, short) = if disp == 0 && b != 5 {
+            (0b00u8, true)
+        } else if i8::try_from(disp).is_ok() {
+            (0b01, false)
+        } else {
+            (0b10, false)
+        };
+        let rm = if need_sib { 4 } else { b };
+        self.byte(modbits << 6 | (reg & 7) << 3 | rm);
+        if need_sib {
+            self.byte(0x24); // scale 0, no index, base = base
+        }
+        match (modbits, short) {
+            (0b00, true) => {}
+            (0b01, _) => self.byte(disp as i8 as u8),
+            _ => self.bytes(&disp.to_le_bytes()),
+        }
+    }
+
+    /// modrm + SIB for a `[base + index]` operand (scale 1, no disp; the
+    /// templates never use rbp/r13 as the base here).
+    fn modrm_bi(&mut self, reg: u8, base: Reg, index: Reg) {
+        assert!(base.0 & 7 != 5, "base needing disp8 unsupported");
+        assert!(index.0 & 7 != 4, "rsp cannot be an index");
+        self.byte((reg & 7) << 3 | 4);
+        self.byte((index.0 & 7) << 3 | (base.0 & 7));
+    }
+
+    /// `push r64`.
+    pub fn push(&mut self, r: Reg) {
+        self.rex_opt(0, 0, r.0);
+        self.byte(0x50 + (r.0 & 7));
+    }
+
+    /// `pop r64`.
+    pub fn pop(&mut self, r: Reg) {
+        self.rex_opt(0, 0, r.0);
+        self.byte(0x58 + (r.0 & 7));
+    }
+
+    /// `mov dst, src` (64-bit).
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, src.0, 0, dst.0);
+        self.byte(0x89);
+        self.byte(0xc0 | (src.0 & 7) << 3 | (dst.0 & 7));
+    }
+
+    /// `mov dst32, src32` (zero-extends to 64 bits).
+    pub fn mov_rr32(&mut self, dst: Reg, src: Reg) {
+        self.rex_opt(src.0, 0, dst.0);
+        self.byte(0x89);
+        self.byte(0xc0 | (src.0 & 7) << 3 | (dst.0 & 7));
+    }
+
+    /// `mov dst, qword [base + index*8]` (the stamp-table probe; the
+    /// templates never use an rbp/r13-class base here).
+    pub fn mov_rm_s8(&mut self, dst: Reg, base: Reg, index: Reg) {
+        assert!(base.0 & 7 != 5, "base needing disp8 unsupported");
+        assert!(index.0 & 7 != 4, "rsp cannot be an index");
+        self.rex(true, dst.0, index.0, base.0);
+        self.byte(0x8b);
+        self.byte((dst.0 & 7) << 3 | 4);
+        self.byte(0xc0 | (index.0 & 7) << 3 | (base.0 & 7));
+    }
+
+    /// `mov dst, qword [base + disp]`.
+    pub fn mov_rm(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(true, dst.0, 0, base.0);
+        self.byte(0x8b);
+        self.modrm_mem(dst.0, base, disp);
+    }
+
+    /// `mov dst32, dword [base + disp]` (zero-extends to 64 bits).
+    pub fn mov_rm32(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex_opt(dst.0, 0, base.0);
+        self.byte(0x8b);
+        self.modrm_mem(dst.0, base, disp);
+    }
+
+    /// `mov qword [base + disp], src`.
+    pub fn mov_mr(&mut self, base: Reg, disp: i32, src: Reg) {
+        self.rex(true, src.0, 0, base.0);
+        self.byte(0x89);
+        self.modrm_mem(src.0, base, disp);
+    }
+
+    /// `mov qword [base + disp], imm32` (sign-extended).
+    pub fn mov_mi(&mut self, base: Reg, disp: i32, imm: i32) {
+        self.rex(true, 0, 0, base.0);
+        self.byte(0xc7);
+        self.modrm_mem(0, base, disp);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// Loads a 64-bit constant with the shortest encoding whose result is
+    /// exact: `mov r32, imm32` (zero-extends), `mov r64, simm32`
+    /// (sign-extends) or `movabs`.
+    pub fn mov_ri(&mut self, dst: Reg, imm: u64) {
+        if u32::try_from(imm).is_ok() {
+            self.rex_opt(0, 0, dst.0);
+            self.byte(0xb8 + (dst.0 & 7));
+            self.bytes(&(imm as u32).to_le_bytes());
+        } else if i32::try_from(imm as i64).is_ok() {
+            self.rex(true, 0, 0, dst.0);
+            self.byte(0xc7);
+            self.byte(0xc0 | (dst.0 & 7));
+            self.bytes(&(imm as u32).to_le_bytes());
+        } else {
+            self.rex(true, 0, 0, dst.0);
+            self.byte(0xb8 + (dst.0 & 7));
+            self.bytes(&imm.to_le_bytes());
+        }
+    }
+
+    /// `op dst, src` (64-bit).
+    pub fn alu_rr(&mut self, op: Alu, dst: Reg, src: Reg) {
+        self.rex(true, src.0, 0, dst.0);
+        self.byte(op.mr());
+        self.byte(0xc0 | (src.0 & 7) << 3 | (dst.0 & 7));
+    }
+
+    /// `op dst, qword [base + index*8]` (the indirect-target-table key
+    /// probe; same base/index restrictions as [`Asm::mov_rm_s8`]).
+    pub fn alu_rm_s8(&mut self, op: Alu, dst: Reg, base: Reg, index: Reg) {
+        assert!(base.0 & 7 != 5, "base needing disp8 unsupported");
+        assert!(index.0 & 7 != 4, "rsp cannot be an index");
+        self.rex(true, dst.0, index.0, base.0);
+        self.byte(op.mr() + 2);
+        self.byte((dst.0 & 7) << 3 | 4);
+        self.byte(0xc0 | (index.0 & 7) << 3 | (base.0 & 7));
+    }
+
+    /// `op dst, qword [base + disp]`.
+    pub fn alu_rm(&mut self, op: Alu, dst: Reg, base: Reg, disp: i32) {
+        self.rex(true, dst.0, 0, base.0);
+        self.byte(op.mr() + 2);
+        self.modrm_mem(dst.0, base, disp);
+    }
+
+    /// `op qword [base + disp], src`.
+    pub fn alu_mr(&mut self, op: Alu, base: Reg, disp: i32, src: Reg) {
+        self.rex(true, src.0, 0, base.0);
+        self.byte(op.mr());
+        self.modrm_mem(src.0, base, disp);
+    }
+
+    /// `op dst, imm32` (64-bit, sign-extended; imm8 form when it fits).
+    pub fn alu_ri(&mut self, op: Alu, dst: Reg, imm: i32) {
+        self.rex(true, 0, 0, dst.0);
+        if i8::try_from(imm).is_ok() {
+            self.byte(0x83);
+            self.byte(0xc0 | op.digit() << 3 | (dst.0 & 7));
+            self.byte(imm as i8 as u8);
+        } else {
+            self.byte(0x81);
+            self.byte(0xc0 | op.digit() << 3 | (dst.0 & 7));
+            self.bytes(&imm.to_le_bytes());
+        }
+    }
+
+    /// `op dst32, imm32` (32-bit form).
+    pub fn alu_ri32(&mut self, op: Alu, dst: Reg, imm: i32) {
+        self.rex_opt(0, 0, dst.0);
+        if i8::try_from(imm).is_ok() {
+            self.byte(0x83);
+            self.byte(0xc0 | op.digit() << 3 | (dst.0 & 7));
+            self.byte(imm as i8 as u8);
+        } else {
+            self.byte(0x81);
+            self.byte(0xc0 | op.digit() << 3 | (dst.0 & 7));
+            self.bytes(&imm.to_le_bytes());
+        }
+    }
+
+    /// `op qword [base + disp], imm32` (sign-extended; imm8 when it fits).
+    pub fn alu_mi(&mut self, op: Alu, base: Reg, disp: i32, imm: i32) {
+        self.rex(true, 0, 0, base.0);
+        if i8::try_from(imm).is_ok() {
+            self.byte(0x83);
+            self.modrm_mem(op.digit(), base, disp);
+            self.byte(imm as i8 as u8);
+        } else {
+            self.byte(0x81);
+            self.modrm_mem(op.digit(), base, disp);
+            self.bytes(&imm.to_le_bytes());
+        }
+    }
+
+    /// `cmp dst, qword [base + disp]`.
+    pub fn cmp_rm(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.alu_rm(Alu::Cmp, dst, base, disp);
+    }
+
+    /// Sign-extending load of `bytes` (1/2/4) from `[base + index]` into a
+    /// 64-bit register; 8-byte loads are plain `mov`.
+    pub fn load_sx(&mut self, dst: Reg, base: Reg, index: Reg, bytes: u8) {
+        match bytes {
+            1 => {
+                self.rex(true, dst.0, index.0, base.0);
+                self.bytes(&[0x0f, 0xbe]);
+                self.modrm_bi(dst.0, base, index);
+            }
+            2 => {
+                self.rex(true, dst.0, index.0, base.0);
+                self.bytes(&[0x0f, 0xbf]);
+                self.modrm_bi(dst.0, base, index);
+            }
+            4 => {
+                self.rex(true, dst.0, index.0, base.0);
+                self.byte(0x63); // movsxd
+                self.modrm_bi(dst.0, base, index);
+            }
+            8 => {
+                self.rex(true, dst.0, index.0, base.0);
+                self.byte(0x8b);
+                self.modrm_bi(dst.0, base, index);
+            }
+            _ => unreachable!("bad load width"),
+        }
+    }
+
+    /// Zero-extending load of `bytes` (1/2/4) from `[base + index]` into a
+    /// 64-bit register; 8-byte loads are plain `mov`.
+    pub fn load_zx(&mut self, dst: Reg, base: Reg, index: Reg, bytes: u8) {
+        match bytes {
+            1 => {
+                self.rex_opt(dst.0, index.0, base.0);
+                self.bytes(&[0x0f, 0xb6]);
+                self.modrm_bi(dst.0, base, index);
+            }
+            2 => {
+                self.rex_opt(dst.0, index.0, base.0);
+                self.bytes(&[0x0f, 0xb7]);
+                self.modrm_bi(dst.0, base, index);
+            }
+            4 => {
+                self.rex_opt(dst.0, index.0, base.0);
+                self.byte(0x8b);
+                self.modrm_bi(dst.0, base, index);
+            }
+            8 => {
+                self.rex(true, dst.0, index.0, base.0);
+                self.byte(0x8b);
+                self.modrm_bi(dst.0, base, index);
+            }
+            _ => unreachable!("bad load width"),
+        }
+    }
+
+    /// Store of the low `bytes` (1/2/4/8) of `src` to `[base + index]`.
+    pub fn store_idx(&mut self, base: Reg, index: Reg, src: Reg, bytes: u8) {
+        match bytes {
+            1 => {
+                // Low-byte stores of rsi/rdi need a REX prefix even when no
+                // extension bit is set (else they'd address dh/bh).
+                let v = 0x40
+                    | ((src.0 >> 3) & 1) << 2
+                    | ((index.0 >> 3) & 1) << 1
+                    | ((base.0 >> 3) & 1);
+                if v != 0x40 || src.0 >= 4 {
+                    self.byte(v);
+                }
+                self.byte(0x88);
+                self.modrm_bi(src.0, base, index);
+            }
+            2 => {
+                self.byte(0x66);
+                self.rex_opt(src.0, index.0, base.0);
+                self.byte(0x89);
+                self.modrm_bi(src.0, base, index);
+            }
+            4 => {
+                self.rex_opt(src.0, index.0, base.0);
+                self.byte(0x89);
+                self.modrm_bi(src.0, base, index);
+            }
+            8 => {
+                self.rex(true, src.0, index.0, base.0);
+                self.byte(0x89);
+                self.modrm_bi(src.0, base, index);
+            }
+            _ => unreachable!("bad store width"),
+        }
+    }
+
+    fn shift(&mut self, w: bool, digit: u8, r: Reg, imm: u8) {
+        if w {
+            self.rex(true, 0, 0, r.0);
+        } else {
+            self.rex_opt(0, 0, r.0);
+        }
+        if imm == 1 {
+            self.byte(0xd1);
+            self.byte(0xc0 | digit << 3 | (r.0 & 7));
+        } else {
+            self.byte(0xc1);
+            self.byte(0xc0 | digit << 3 | (r.0 & 7));
+            self.byte(imm);
+        }
+    }
+
+    fn shift_cl(&mut self, w: bool, digit: u8, r: Reg) {
+        if w {
+            self.rex(true, 0, 0, r.0);
+        } else {
+            self.rex_opt(0, 0, r.0);
+        }
+        self.byte(0xd3);
+        self.byte(0xc0 | digit << 3 | (r.0 & 7));
+    }
+
+    /// `shl r, imm` (64-bit).
+    pub fn shl_ri(&mut self, r: Reg, imm: u8) {
+        self.shift(true, 4, r, imm);
+    }
+    /// `shr r, imm` (64-bit).
+    pub fn shr_ri(&mut self, r: Reg, imm: u8) {
+        self.shift(true, 5, r, imm);
+    }
+    /// `sar r, imm` (64-bit).
+    pub fn sar_ri(&mut self, r: Reg, imm: u8) {
+        self.shift(true, 7, r, imm);
+    }
+    /// `shl r32, imm`.
+    pub fn shl32_ri(&mut self, r: Reg, imm: u8) {
+        self.shift(false, 4, r, imm);
+    }
+    /// `shr r32, imm`.
+    pub fn shr32_ri(&mut self, r: Reg, imm: u8) {
+        self.shift(false, 5, r, imm);
+    }
+    /// `sar r32, imm`.
+    pub fn sar32_ri(&mut self, r: Reg, imm: u8) {
+        self.shift(false, 7, r, imm);
+    }
+    /// `shl r, cl` (64-bit).
+    pub fn shl_cl(&mut self, r: Reg) {
+        self.shift_cl(true, 4, r);
+    }
+    /// `shr r, cl` (64-bit).
+    pub fn shr_cl(&mut self, r: Reg) {
+        self.shift_cl(true, 5, r);
+    }
+    /// `sar r, cl` (64-bit).
+    pub fn sar_cl(&mut self, r: Reg) {
+        self.shift_cl(true, 7, r);
+    }
+    /// `shl r32, cl`.
+    pub fn shl32_cl(&mut self, r: Reg) {
+        self.shift_cl(false, 4, r);
+    }
+    /// `shr r32, cl`.
+    pub fn shr32_cl(&mut self, r: Reg) {
+        self.shift_cl(false, 5, r);
+    }
+    /// `sar r32, cl`.
+    pub fn sar32_cl(&mut self, r: Reg) {
+        self.shift_cl(false, 7, r);
+    }
+
+    /// `movsxd dst, src32` (sign-extend the low 32 bits of `src`).
+    pub fn movsxd(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, dst.0, 0, src.0);
+        self.byte(0x63);
+        self.byte(0xc0 | (dst.0 & 7) << 3 | (src.0 & 7));
+    }
+
+    /// `imul dst, src` (64-bit).
+    pub fn imul_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, dst.0, 0, src.0);
+        self.bytes(&[0x0f, 0xaf]);
+        self.byte(0xc0 | (dst.0 & 7) << 3 | (src.0 & 7));
+    }
+
+    /// `imul dst32, src32`.
+    pub fn imul_rr32(&mut self, dst: Reg, src: Reg) {
+        self.rex_opt(dst.0, 0, src.0);
+        self.bytes(&[0x0f, 0xaf]);
+        self.byte(0xc0 | (dst.0 & 7) << 3 | (src.0 & 7));
+    }
+
+    /// `setcc r8` then `movzx r32, r8` — leaves 0/1 in the full register.
+    /// Only low registers (rax..rdx) are supported.
+    pub fn setcc_zx(&mut self, cc: Cc, r: Reg) {
+        assert!(r.0 < 4, "setcc_zx needs a low register");
+        self.bytes(&[0x0f, 0x90 + cc as u8]);
+        self.byte(0xc0 | (r.0 & 7));
+        self.bytes(&[0x0f, 0xb6]);
+        self.byte(0xc0 | (r.0 & 7) << 3 | (r.0 & 7));
+    }
+
+    /// `test r, r` (64-bit).
+    pub fn test_rr(&mut self, a: Reg, b: Reg) {
+        self.rex(true, b.0, 0, a.0);
+        self.byte(0x85);
+        self.byte(0xc0 | (b.0 & 7) << 3 | (a.0 & 7));
+    }
+
+    /// `jcc label` (rel32 form).
+    pub fn jcc(&mut self, cc: Cc, l: Label) {
+        self.bytes(&[0x0f, 0x80 + cc as u8]);
+        self.fixups.push((self.code.len(), l.0));
+        self.bytes(&[0; 4]);
+    }
+
+    /// `jmp label` (rel32 form).
+    pub fn jmp(&mut self, l: Label) {
+        self.byte(0xe9);
+        self.fixups.push((self.code.len(), l.0));
+        self.bytes(&[0; 4]);
+    }
+
+    /// `jmp r64`.
+    pub fn jmp_r(&mut self, r: Reg) {
+        self.rex_opt(0, 0, r.0);
+        self.byte(0xff);
+        self.byte(0xe0 | (r.0 & 7));
+    }
+
+    /// `jmp qword [base + disp]`.
+    pub fn jmp_m(&mut self, base: Reg, disp: i32) {
+        self.rex_opt(0, 0, base.0);
+        self.byte(0xff);
+        self.modrm_mem(4, base, disp);
+    }
+
+    /// `call qword [base + disp]`.
+    pub fn call_m(&mut self, base: Reg, disp: i32) {
+        self.rex_opt(0, 0, base.0);
+        self.byte(0xff);
+        self.modrm_mem(2, base, disp);
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.byte(0xc3);
+    }
+
+    /// `int3` (emitted as padding in patchable exit slots).
+    pub fn int3(&mut self) {
+        self.byte(0xcc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(f: impl FnOnce(&mut Asm)) -> Vec<u8> {
+        let mut a = Asm::new();
+        f(&mut a);
+        a.finish()
+    }
+
+    #[test]
+    fn hand_checked_encodings() {
+        // Each expectation hand-assembled against the Intel SDM.
+        assert_eq!(one(|a| a.push(R12)), [0x41, 0x54]);
+        assert_eq!(one(|a| a.pop(R14)), [0x41, 0x5e]);
+        assert_eq!(one(|a| a.mov_rr(R12, RDI)), [0x49, 0x89, 0xfc]);
+        // mov r13, [r12+0x40]: REX.WRB, SIB required for r12 base.
+        assert_eq!(
+            one(|a| a.mov_rm(R13, R12, 0x40)),
+            [0x4d, 0x8b, 0x6c, 0x24, 0x40]
+        );
+        // mov rax, [r13+0]: r13 base forces a disp8 of zero.
+        assert_eq!(one(|a| a.mov_rm(RAX, R13, 0)), [0x49, 0x8b, 0x45, 0x00]);
+        assert_eq!(one(|a| a.mov_rm(RAX, RCX, 0)), [0x48, 0x8b, 0x01]);
+        // mov [r12+0x10], rax.
+        assert_eq!(
+            one(|a| a.mov_mr(R12, 0x10, RAX)),
+            [0x49, 0x89, 0x44, 0x24, 0x10]
+        );
+        // add qword [r12+0x10], 5 (imm8 form).
+        assert_eq!(
+            one(|a| a.alu_mi(Alu::Add, R12, 0x10, 5)),
+            [0x49, 0x83, 0x44, 0x24, 0x10, 0x05]
+        );
+        // sub qword [r12+8], 0x1234 (imm32 form).
+        assert_eq!(
+            one(|a| a.alu_mi(Alu::Sub, R12, 8, 0x1234)),
+            [0x49, 0x81, 0x6c, 0x24, 0x08, 0x34, 0x12, 0x00, 0x00]
+        );
+        // cmp qword [r12+0x18], 64.
+        assert_eq!(
+            one(|a| a.alu_mi(Alu::Cmp, R12, 0x18, 64)),
+            [0x49, 0x83, 0x7c, 0x24, 0x18, 0x40]
+        );
+        // mov qword [r12+0x20], 0x1234 (sign-extended imm32).
+        assert_eq!(
+            one(|a| a.mov_mi(R12, 0x20, 0x1234)),
+            [0x49, 0xc7, 0x44, 0x24, 0x20, 0x34, 0x12, 0x00, 0x00]
+        );
+        // movzx eax, byte [rcx+rdx].
+        assert_eq!(
+            one(|a| a.load_zx(RAX, RCX, RDX, 1)),
+            [0x0f, 0xb6, 0x04, 0x11]
+        );
+        // movsx rax, word [rcx+rdx].
+        assert_eq!(
+            one(|a| a.load_sx(RAX, RCX, RDX, 2)),
+            [0x48, 0x0f, 0xbf, 0x04, 0x11]
+        );
+        // movsxd rax, dword [rcx+rdx].
+        assert_eq!(
+            one(|a| a.load_sx(RAX, RCX, RDX, 4)),
+            [0x48, 0x63, 0x04, 0x11]
+        );
+        // mov [rcx+rdx], sil needs the bare REX.
+        assert_eq!(
+            one(|a| a.store_idx(RCX, RDX, RSI, 1)),
+            [0x40, 0x88, 0x34, 0x11]
+        );
+        // mov word [rcx+rdx], si.
+        assert_eq!(
+            one(|a| a.store_idx(RCX, RDX, RSI, 2)),
+            [0x66, 0x89, 0x34, 0x11]
+        );
+        // mov [rcx+rdx], rsi.
+        assert_eq!(
+            one(|a| a.store_idx(RCX, RDX, RSI, 8)),
+            [0x48, 0x89, 0x34, 0x11]
+        );
+        // add rax, [r13+0x28].
+        assert_eq!(
+            one(|a| a.alu_rm(Alu::Add, RAX, R13, 0x28)),
+            [0x49, 0x03, 0x45, 0x28]
+        );
+        // add rax, -16 (imm8).
+        assert_eq!(
+            one(|a| a.alu_ri(Alu::Add, RAX, -16)),
+            [0x48, 0x83, 0xc0, 0xf0]
+        );
+        // and eax, 0x7f (32-bit, imm8).
+        assert_eq!(one(|a| a.alu_ri32(Alu::And, RAX, 0x7f)), [0x83, 0xe0, 0x7f]);
+        // mov eax, 7 / mov rax, -2 / movabs.
+        assert_eq!(one(|a| a.mov_ri(RAX, 7)), [0xb8, 0x07, 0x00, 0x00, 0x00]);
+        assert_eq!(
+            one(|a| a.mov_ri(RAX, (-2i64) as u64)),
+            [0x48, 0xc7, 0xc0, 0xfe, 0xff, 0xff, 0xff]
+        );
+        assert_eq!(
+            one(|a| a.mov_ri(RCX, 0x1_0000_0000)),
+            [0x48, 0xb9, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00]
+        );
+        // shl rax, 3 / sar eax, 1 / shr rax, cl.
+        assert_eq!(one(|a| a.shl_ri(RAX, 3)), [0x48, 0xc1, 0xe0, 0x03]);
+        assert_eq!(one(|a| a.sar32_ri(RAX, 1)), [0xd1, 0xf8]);
+        assert_eq!(one(|a| a.shr_cl(RAX)), [0x48, 0xd3, 0xe8]);
+        // movsxd rax, eax.
+        assert_eq!(one(|a| a.movsxd(RAX, RAX)), [0x48, 0x63, 0xc0]);
+        // imul rax, rcx.
+        assert_eq!(one(|a| a.imul_rr(RAX, RCX)), [0x48, 0x0f, 0xaf, 0xc1]);
+        // cmp rax, [rsi+4]; setl al; movzx eax, al.
+        assert_eq!(one(|a| a.cmp_rm(RAX, RSI, 4)), [0x48, 0x3b, 0x46, 0x04]);
+        assert_eq!(
+            one(|a| a.setcc_zx(Cc::L, RAX)),
+            [0x0f, 0x9c, 0xc0, 0x0f, 0xb6, 0xc0]
+        );
+        // test rax, rax.
+        assert_eq!(one(|a| a.test_rr(RAX, RAX)), [0x48, 0x85, 0xc0]);
+        // mov r14d, esi.
+        assert_eq!(one(|a| a.mov_rr32(R14, RSI)), [0x41, 0x89, 0xf6]);
+        // mov rax, [rax + r14*8].
+        assert_eq!(
+            one(|a| a.mov_rm_s8(RAX, RAX, R14)),
+            [0x4a, 0x8b, 0x04, 0xf0]
+        );
+        // cmp rax, [rdx + rcx*8].
+        assert_eq!(
+            one(|a| a.alu_rm_s8(Alu::Cmp, RAX, RDX, RCX)),
+            [0x48, 0x3b, 0x04, 0xca]
+        );
+        // or rax, rcx.
+        assert_eq!(one(|a| a.alu_rr(Alu::Or, RAX, RCX)), [0x48, 0x09, 0xc8]);
+        // add qword [r12+0x10], rbp.
+        assert_eq!(
+            one(|a| a.alu_mr(Alu::Add, R12, 0x10, RBP)),
+            [0x49, 0x01, 0x6c, 0x24, 0x10]
+        );
+        // jmp rdx.
+        assert_eq!(one(|a| a.jmp_r(RDX)), [0xff, 0xe2]);
+        // jmp qword [r12+0x78].
+        assert_eq!(one(|a| a.jmp_m(R12, 0x78)), [0x41, 0xff, 0x64, 0x24, 0x78]);
+        // call qword [r12+0x50].
+        assert_eq!(one(|a| a.call_m(R12, 0x50)), [0x41, 0xff, 0x54, 0x24, 0x50]);
+        assert_eq!(one(|a| a.ret()), [0xc3]);
+        assert_eq!(one(|a| a.int3()), [0xcc]);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut a = Asm::new();
+        let top = a.label();
+        let out = a.label();
+        a.bind(top);
+        a.test_rr(RAX, RAX);
+        a.jcc(Cc::Ne, out); // +? forward
+        a.jmp(top); // backward
+        a.bind(out);
+        a.ret();
+        let code = a.finish();
+        // Layout: test (3) + jcc rel32 (6) + jmp rel32 (5) + ret.
+        // jcc target = 14, end of jcc = 9 -> rel 5.
+        assert_eq!(&code[5..9], &5i32.to_le_bytes());
+        // jmp target = 0, end of jmp = 14 -> rel -14.
+        assert_eq!(&code[10..14], &(-14i32).to_le_bytes());
+        assert_eq!(code[14], 0xc3);
+    }
+}

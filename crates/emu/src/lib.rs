@@ -30,14 +30,25 @@
 //! counters are identical across [`ExecMode::Reference`],
 //! [`ExecMode::Interpreter`] and [`ExecMode::Engine`] (the differential
 //! suite asserts it; `exec_engine` in `chimera-bench` gates the speedup).
+//!
+//! The hottest tier is the host-code JIT ([`ExecMode::Jit`]): block
+//! bodies past a deterministic hotness threshold are template-compiled
+//! to x86-64 and run out of a W^X-toggled arena, chained by patched
+//! direct jumps and validated by the same (generation stamp, region
+//! fingerprint) contract as uop chaining. On hosts without executable
+//! pages ([`jit_available`] is false) the mode transparently degrades to
+//! engine semantics. All `unsafe` in the crate lives in the `jit` module
+//! — everything else keeps the deny.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bbcache;
 mod cost;
 mod cpu;
 mod hart;
+#[allow(unsafe_code)]
+mod jit;
 mod mem;
 mod runner;
 pub mod uop;
@@ -46,6 +57,7 @@ pub use bbcache::{BlockCache, CacheStats, ChainLink};
 pub use cost::{CostModel, ExecStats};
 pub use cpu::{Cpu, ExecMode, Stop, Trap};
 pub use hart::{Hart, VLENB};
+pub use jit::jit_available;
 pub use mem::{Access, AccessHints, DirtySpan, MemFault, Memory, Region, RegionHint};
 pub use runner::{
     boot, run_binary, run_binary_mode, run_binary_on, run_binary_traced, run_binary_with, run_cpu,

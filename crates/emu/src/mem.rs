@@ -223,6 +223,24 @@ impl Memory {
         self.code_generation
     }
 
+    /// Raw view of the region containing `addr`, for the JIT tier's
+    /// in-trace fast-path mirrors: `(backing pointer, start, len)`. Loads
+    /// mirror any readable region; stores only writable *non-executable*
+    /// regions, so the self-modifying-code generation bookkeeping in
+    /// [`Memory::write`] can never be bypassed. The pointer stays valid
+    /// until the region list changes (nothing reachable from guest
+    /// execution does that) and is re-requested on every mirror refresh.
+    pub(crate) fn region_raw(&mut self, addr: u64, store: bool) -> Option<(*mut u8, u64, usize)> {
+        let idx = self.region_idx(addr)?;
+        let r = &mut self.regions[idx];
+        let ok = if store {
+            r.perms.w && !r.perms.x
+        } else {
+            r.perms.r
+        };
+        ok.then_some((r.bytes.as_mut_ptr(), r.start, r.bytes.len()))
+    }
+
     fn region_idx(&mut self, addr: u64) -> Option<usize> {
         let r = &self.regions[self.last_hit.min(self.regions.len().saturating_sub(1))];
         if !self.regions.is_empty() && addr >= r.start && addr < r.end() {

@@ -392,3 +392,152 @@ fn unmap_then_remap_severs_blocks_and_chain_links() {
         "unmap/remap must be visible to incremental re-rewriting: {spans:?}"
     );
 }
+
+// ---- JIT-tier SMC regressions ---------------------------------------
+//
+// The JIT inherits the cache's invalidation contract through the same
+// `(region start, generation)` fingerprints: a poke severs the resident
+// trace before it can run again, re-promotion of identical guest bytes
+// compiles bit-identical host code, and blocks the cache itself refuses
+// (cross-region straddlers) never reach the JIT at all. Each test
+// returns early on hosts without executable pages, where the Jit mode
+// legitimately runs with engine semantics.
+
+/// `poke_code` severs the resident compiled trace: the next run executes
+/// the NEW bytes through the engine, and the pc re-promotes only after
+/// re-proving itself hot.
+#[test]
+fn poke_code_severs_jit_trace() {
+    if !chimera_emu::jit_available() {
+        eprintln!("skipping: no executable pages on this host");
+        return;
+    }
+    let mut cpu = Cpu::new(ExtSet::RV64GC);
+    cpu.set_mode(chimera_emu::ExecMode::Jit);
+    cpu.set_jit_threshold(1);
+    let mut mem = Memory::new();
+    mem.map_bytes(
+        BASE,
+        words(&[addi(XReg::A0, XReg::ZERO, 11), Inst::Ecall]),
+        Perms::RX,
+        ".text",
+    );
+
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 11);
+    assert_eq!(cpu.jit_compiled(), 1, "threshold 1 promotes immediately");
+    assert!(cpu.cache.stats.jit_execs >= 1, "{:?}", cpu.cache.stats);
+    assert!(cpu.jit_trace_bytes(BASE).is_some(), "trace is resident");
+
+    mem.poke_code(BASE, &words(&[addi(XReg::A0, XReg::ZERO, 22)]))
+        .unwrap();
+
+    // A stale trace would yield 11.
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 22);
+    assert!(
+        cpu.jit_trace_bytes(BASE).is_none(),
+        "the poked trace must be severed, not re-entered"
+    );
+
+    // The pc re-promotes once it re-proves itself hot (the sever doubled
+    // its threshold), and keeps executing the new bytes.
+    for _ in 0..4 {
+        assert_eq!(run_to_ecall(&mut cpu, &mut mem), 22);
+    }
+    assert!(cpu.jit_compiled() >= 2, "re-promotion must happen");
+    assert!(cpu.jit_trace_bytes(BASE).is_some());
+}
+
+/// Re-promoting the *same guest bytes* at the same pc after an SMC round
+/// trip compiles bit-identical host code — compilation is a pure
+/// function of the lowered block.
+#[test]
+fn repromotion_after_smc_is_byte_identical() {
+    if !chimera_emu::jit_available() {
+        eprintln!("skipping: no executable pages on this host");
+        return;
+    }
+    let v1 = words(&[addi(XReg::A0, XReg::ZERO, 11), Inst::Ecall]);
+    let v2 = words(&[addi(XReg::A0, XReg::ZERO, 22), Inst::Ecall]);
+
+    let mut cpu = Cpu::new(ExtSet::RV64GC);
+    cpu.set_mode(chimera_emu::ExecMode::Jit);
+    cpu.set_jit_threshold(1);
+    let mut mem = Memory::new();
+    mem.map_bytes(BASE, v1.clone(), Perms::RX, ".text");
+
+    assert_eq!(run_to_ecall(&mut cpu, &mut mem), 11);
+    let first = cpu.jit_trace_bytes(BASE).expect("v1 promoted");
+
+    // SMC to v2 and back to v1, driving enough re-entries after each poke
+    // to clear the sever-escalated threshold.
+    mem.poke_code(BASE, &v2).unwrap();
+    for _ in 0..8 {
+        assert_eq!(run_to_ecall(&mut cpu, &mut mem), 22);
+    }
+    let second = cpu.jit_trace_bytes(BASE).expect("v2 promoted");
+    assert_ne!(first, second, "different guest bytes, different trace");
+
+    mem.poke_code(BASE, &v1).unwrap();
+    for _ in 0..16 {
+        assert_eq!(run_to_ecall(&mut cpu, &mut mem), 11);
+    }
+    let third = cpu.jit_trace_bytes(BASE).expect("v1 re-promoted");
+    assert_eq!(
+        first, third,
+        "re-promoting identical guest bytes must compile identical host code"
+    );
+}
+
+/// The straddler regression in Jit mode: an instruction whose upper
+/// parcel lives in an adjacent region is never cached, so it can never be
+/// compiled into a trace either — patching the neighbour region takes
+/// effect immediately, and the run stays bit-identical to the uncached
+/// reference.
+#[test]
+fn straddling_instruction_demotes_from_jit() {
+    let straddler_old = encode(&addi(XReg::A0, XReg::A0, 1)).unwrap();
+    let straddler_new = encode(&addi(XReg::A0, XReg::A0, 100)).unwrap();
+    let mut lo_region = words(&[addi(XReg::A0, XReg::ZERO, 7)]);
+    lo_region.extend_from_slice(&(straddler_old as u16).to_le_bytes());
+    let mut hi_region = ((straddler_old >> 16) as u16).to_le_bytes().to_vec();
+    hi_region.extend_from_slice(&words(&[Inst::Ecall]));
+    let hi_start = BASE + lo_region.len() as u64;
+
+    let mut results = Vec::new();
+    for jit in [true, false] {
+        let mut cpu = if jit {
+            let mut c = Cpu::new(ExtSet::RV64GC);
+            c.set_mode(chimera_emu::ExecMode::Jit);
+            c.set_jit_threshold(1);
+            c
+        } else {
+            Cpu::new_uncached(ExtSet::RV64GC)
+        };
+        let mut mem = Memory::new();
+        mem.map_bytes(BASE, lo_region.clone(), Perms::RX, ".text.lo");
+        mem.map_bytes(hi_start, hi_region.clone(), Perms::RX, ".text.hi");
+
+        assert_eq!(run_to_ecall(&mut cpu, &mut mem), 8, "jit={jit}");
+        if jit {
+            // The leading block (truncated before the straddler) may
+            // compile, but the straddling instruction itself must never
+            // enter a trace — it has no single-region fingerprint.
+            assert!(
+                cpu.jit_trace_bytes(BASE + 4).is_none(),
+                "a straddling block must never be promoted"
+            );
+        }
+        // Patch only the upper region; a trace fingerprinted on the lower
+        // region alone would dodge this invalidation.
+        mem.poke_code(hi_start, &((straddler_new >> 16) as u16).to_le_bytes())
+            .unwrap();
+        cpu.hart.set_x(XReg::A0, 0);
+        assert_eq!(
+            run_to_ecall(&mut cpu, &mut mem),
+            107,
+            "jit={jit}: stale straddling decode executed"
+        );
+        results.push((cpu.hart.xregs(), cpu.stats));
+    }
+    assert_eq!(results[0], results[1], "jit tier must be transparent");
+}

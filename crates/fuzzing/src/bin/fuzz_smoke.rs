@@ -10,9 +10,10 @@
 //!   drawn from the root's `"corpus"` stream.
 //! * `FUZZ_INJECT` — op-class name (`alu`, `vector`, `loadstore`, ...):
 //!   deliberately perturb the engine observation for cases containing
-//!   that class. This is the mutation-testing mode — the gate must then
-//!   *fail*, minimize, and emit a reproducer; it proves the oracle and
-//!   shrinker actually work.
+//!   that class. The special value `jit` perturbs the *JIT-mode*
+//!   observation instead (for ALU-bearing cases). This is the
+//!   mutation-testing mode — the gate must then *fail*, minimize, and
+//!   emit a reproducer; it proves the oracle and shrinker actually work.
 //! * `FUZZ_WRITE_REPRO` — set to `0` to skip writing the reproducer
 //!   file on divergence (it is always printed).
 //!
@@ -47,12 +48,20 @@ fn main() {
     let root_seed = env_u64("FUZZ_SEED", 0xC41A5);
     let write_repro = std::env::var("FUZZ_WRITE_REPRO").map_or(true, |v| v != "0");
     let inject = match std::env::var("FUZZ_INJECT") {
+        Ok(name) if name == "jit" => {
+            eprintln!("NOTE: fault injection active (perturbing the JIT column on ALU cases)");
+            Inject {
+                perturb_jit: Some(OpClass::Alu),
+                ..Inject::none()
+            }
+        }
         Ok(name) if !name.is_empty() => {
             let class = OpClass::parse(&name)
                 .unwrap_or_else(|| panic!("FUZZ_INJECT: unknown op class '{name}'"));
             eprintln!("NOTE: fault injection active (perturbing engine on '{name}' cases)");
             Inject {
                 perturb_engine: Some(class),
+                ..Inject::none()
             }
         }
         _ => Inject::none(),
@@ -108,7 +117,14 @@ fn main() {
     // Non-vacuity: the corpus must actually exercise every feature the
     // generator claims to cover. A zero here means the generator (or an
     // oracle family's eligibility gate) silently regressed.
+    let jit = chimera_emu::jit_available();
     for (name, v) in cov.entries() {
+        if !jit && (name == "jit_execs" || name == "jit_chained") {
+            // Without executable pages the JIT column degrades to engine
+            // semantics: the transparency checks ran, but no compiled
+            // trace could execute.
+            continue;
+        }
         assert!(v > 0, "coverage '{name}' is zero — the corpus is vacuous");
     }
 

@@ -137,6 +137,7 @@ mod tests {
             .expect("load/store ops are common");
         let inject = Inject {
             perturb_engine: Some(OpClass::LoadStore),
+            ..Inject::none()
         };
         let m = minimize(&case, inject, 300).expect("case diverges under injection");
         assert!(m.case.has_class(OpClass::LoadStore), "trigger kept");

@@ -5,12 +5,16 @@
 //! Three oracle families, in increasing cost:
 //!
 //! 1. **Mode matrix** — reference interpreter vs decode-cache
-//!    interpreter vs micro-op engine, cache on/off, tracer on/off, all
-//!    compared as full [`Obs`] (result, trap, registers, stats, output
-//!    memory) against the reference run, plus the cache
-//!    counter-reconciliation laws (`hits_interp == hits_engine +
-//!    chained`, identical misses/builds/invalidations, reference run
-//!    untouched cache).
+//!    interpreter vs micro-op engine vs host-code JIT (promotion
+//!    threshold 1, so every re-entered block actually runs compiled),
+//!    cache on/off, tracer on/off, all compared as full [`Obs`] (result,
+//!    trap, registers, stats, output memory) against the reference run,
+//!    plus the cache counter-reconciliation laws (`hits_interp ==
+//!    hits_engine + chained`, `hits_interp == hits_jit + chained_jit +
+//!    jitted`, identical misses/builds/invalidations, reference run
+//!    untouched cache). On hosts without executable pages the JIT column
+//!    degrades to engine semantics; the equality checks still run and
+//!    the JIT coverage counters report zero.
 //! 2. **Rewrite matrix** — every [`RewriteEngine`] at 1/2/4/8 workers
 //!    (bit-identical artifacts), cached and incremental drivers (empty
 //!    and post-mutation dirty sets) reproducing the full rewrite bit for
@@ -33,8 +37,8 @@ use chimera_isa::ExtSet;
 use chimera_kernel::{RunOutcome, RuntimeTables};
 use chimera_rewrite::{run, run_cached, run_incremental, EngineResult, Rewritten};
 use chimera_testutil::{
-    engines, load_image, mutate_image, observe_mode, observe_mode_traced, run_under_kernel_at,
-    to_rewrite_spans, writable_bytes, Obs,
+    engines, load_image, mutate_image, observe_jit, observe_mode, observe_mode_traced,
+    run_under_kernel_at, to_rewrite_spans, writable_bytes, Obs,
 };
 use chimera_trace::Tracer;
 
@@ -83,6 +87,13 @@ pub struct Coverage {
     pub fp: u64,
     /// Cases ending in a trap.
     pub trap_tail: u64,
+    /// JIT-mode executions compared against the reference.
+    pub jit_runs: u64,
+    /// Compiled-trace executions across those runs (0 on hosts without
+    /// executable pages).
+    pub jit_execs: u64,
+    /// Jitted chain-entry passes (trace-to-trace direct jumps taken).
+    pub jit_chained: u64,
     /// Cases that went through the rewrite matrix.
     pub rewrite_cases: u64,
     /// Engine pipeline runs compared for bit-identity.
@@ -104,6 +115,9 @@ impl Coverage {
         self.vector += o.vector;
         self.fp += o.fp;
         self.trap_tail += o.trap_tail;
+        self.jit_runs += o.jit_runs;
+        self.jit_execs += o.jit_execs;
+        self.jit_chained += o.jit_chained;
         self.rewrite_cases += o.rewrite_cases;
         self.engine_runs += o.engine_runs;
         self.kernel_runs += o.kernel_runs;
@@ -121,6 +135,9 @@ impl Coverage {
             ("vector", self.vector),
             ("fp", self.fp),
             ("trap_tail", self.trap_tail),
+            ("jit_runs", self.jit_runs),
+            ("jit_execs", self.jit_execs),
+            ("jit_chained", self.jit_chained),
             ("rewrite_cases", self.rewrite_cases),
             ("engine_runs", self.engine_runs),
             ("kernel_runs", self.kernel_runs),
@@ -138,6 +155,9 @@ impl Coverage {
 pub struct Inject {
     /// Perturb the engine observation when this op class is present.
     pub perturb_engine: Option<OpClass>,
+    /// Perturb the JIT observation when this op class is present (the
+    /// `FUZZ_INJECT=jit` drill — proves the JIT column actually gates).
+    pub perturb_jit: Option<OpClass>,
 }
 
 impl Inject {
@@ -245,30 +265,40 @@ pub fn check_case(case: &FuzzCase, inject: Inject) -> Result<Coverage, Divergenc
     let configs = [
         (ExecMode::Interpreter, "mode:interp-cache"),
         (ExecMode::Engine, "mode:engine-cache"),
+        (ExecMode::Jit, "mode:jit-cache"),
     ];
     let mut interp_cache_stats = None;
     let mut engine_cache = None;
+    let mut jit_stats = None;
     for (mode, stage) in configs {
-        let (mut obs, stats) = observe_mode(bin, ExtSet::RV64GCV, mode, true, CASE_FUEL);
-        if mode == ExecMode::Engine {
-            if let Some(class) = inject.perturb_engine {
-                if case.has_class(class) {
-                    perturb(&mut obs);
-                }
+        let (mut obs, stats) = if mode == ExecMode::Jit {
+            observe_jit(bin, ExtSet::RV64GCV, CASE_FUEL, 1)
+        } else {
+            observe_mode(bin, ExtSet::RV64GCV, mode, true, CASE_FUEL)
+        };
+        let injected = match mode {
+            ExecMode::Engine => inject.perturb_engine,
+            ExecMode::Jit => inject.perturb_jit,
+            _ => None,
+        };
+        if let Some(class) = injected {
+            if case.has_class(class) {
+                perturb(&mut obs);
             }
         }
         if obs != reference {
             return Err(fail(stage, first_diff(&reference, &obs)));
         }
-        if mode == ExecMode::Interpreter {
-            interp_cache_stats = Some(stats);
-        }
-        if mode == ExecMode::Engine {
-            engine_cache = Some((obs, stats));
+        match mode {
+            ExecMode::Interpreter => interp_cache_stats = Some(stats),
+            ExecMode::Engine => engine_cache = Some((obs, stats)),
+            ExecMode::Jit => jit_stats = Some(stats),
+            ExecMode::Reference => unreachable!(),
         }
     }
     let is = interp_cache_stats.expect("config matrix ran");
     let (engine_obs, es) = engine_cache.expect("config matrix ran");
+    let js = jit_stats.expect("config matrix ran");
     if is.hits != es.hits + es.chained {
         return Err(fail(
             "mode:reconcile",
@@ -283,6 +313,23 @@ pub fn check_case(case: &FuzzCase, inject: Inject) -> Result<Coverage, Divergenc
             format!("miss/build/invalidation counters diverged: {is:?} vs {es:?}"),
         ));
     }
+    if is.hits != js.hits + js.chained + js.jitted {
+        return Err(fail(
+            "mode:reconcile-jit",
+            format!("hits_interp != hits_jit + chained + jitted: {is:?} vs {js:?}"),
+        ));
+    }
+    if (is.misses, is.blocks_built, is.invalidations)
+        != (js.misses, js.blocks_built, js.invalidations)
+    {
+        return Err(fail(
+            "mode:reconcile-jit",
+            format!("jit miss/build/invalidation counters diverged: {is:?} vs {js:?}"),
+        ));
+    }
+    cov.jit_runs = 1;
+    cov.jit_execs = js.jit_execs;
+    cov.jit_chained = js.jitted;
 
     let tracer = Tracer::enabled();
     let (traced, _) = observe_mode_traced(
@@ -616,6 +663,7 @@ mod tests {
             &case,
             Inject {
                 perturb_engine: Some(OpClass::Alu),
+                ..Inject::none()
             },
         )
         .expect_err("perturbed engine must diverge");

@@ -72,6 +72,7 @@ fn mini_corpus_is_divergence_free() {
 fn injected_fault_roundtrips_through_the_pipeline() {
     let inject = Inject {
         perturb_engine: Some(OpClass::Bitmanip),
+        ..Inject::none()
     };
     let case = (0..256)
         .map(generate)

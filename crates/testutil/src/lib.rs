@@ -136,6 +136,80 @@ pub fn observe_mode_traced(
     )
 }
 
+/// Observations of every [`ExecMode`] for one binary — the full
+/// differential matrix in a single call, in tier order: reference
+/// interpreter, decode-cached interpreter, micro-op engine, JIT.
+///
+/// The JIT run uses a promotion threshold of 1 so every re-entered block
+/// compiles (the matrix exists to exercise JIT coverage; the tiering
+/// policy has its own unit tests). On hosts without executable pages the
+/// `jit` column still runs — it degrades to the engine's semantics, so
+/// equality assertions stay valid and merely become vacuous as *JIT*
+/// coverage (see [`chimera_emu::jit_available`]).
+#[derive(Debug, Clone)]
+pub struct ModeMatrix {
+    /// Pure fetch/decode/execute (its cache counters must stay zero —
+    /// suites assert that, so it is captured too).
+    pub reference: (Obs, chimera_emu::CacheStats),
+    /// Decode-cached interpreter and its cache counters.
+    pub interpreter: (Obs, chimera_emu::CacheStats),
+    /// Micro-op engine and its cache counters.
+    pub engine: (Obs, chimera_emu::CacheStats),
+    /// JIT tier and its cache counters.
+    pub jit: (Obs, chimera_emu::CacheStats),
+}
+
+impl ModeMatrix {
+    /// The four observations with their mode names, for uniform
+    /// "all modes agree" comparisons.
+    pub fn columns(&self) -> [(&'static str, &Obs); 4] {
+        [
+            ("reference", &self.reference.0),
+            ("interpreter", &self.interpreter.0),
+            ("engine", &self.engine.0),
+            ("jit", &self.jit.0),
+        ]
+    }
+}
+
+/// Runs `bin` in [`ExecMode::Jit`] with an explicit promotion threshold
+/// and captures the observation plus cache counters. Suites usually pass
+/// threshold 1 (compile every re-entered block) so the comparison
+/// actually exercises compiled code.
+pub fn observe_jit(
+    bin: &Binary,
+    profile: ExtSet,
+    fuel: u64,
+    threshold: u32,
+) -> (Obs, chimera_emu::CacheStats) {
+    let (mut cpu, mut mem) = chimera_emu::boot(bin, profile);
+    cpu.set_mode(ExecMode::Jit);
+    cpu.set_jit_threshold(threshold);
+    let result = chimera_emu::run_cpu(&mut cpu, &mut mem, fuel);
+    let mem_bytes = writable_bytes(&mut mem, bin);
+    (
+        Obs {
+            result,
+            xregs: cpu.hart.xregs(),
+            stats: cpu.stats,
+            pc: cpu.hart.pc,
+            mem: mem_bytes,
+        },
+        cpu.cache.stats,
+    )
+}
+
+/// Runs `bin` once per [`ExecMode`] and captures each observation — the
+/// standard way for a suite to assert four-way transparency.
+pub fn run_all_modes(bin: &Binary, profile: ExtSet, fuel: u64) -> ModeMatrix {
+    ModeMatrix {
+        reference: observe_mode(bin, profile, ExecMode::Reference, false, fuel),
+        interpreter: observe_mode(bin, profile, ExecMode::Interpreter, true, fuel),
+        engine: observe_mode(bin, profile, ExecMode::Engine, true, fuel),
+        jit: observe_jit(bin, profile, fuel, 1),
+    }
+}
+
 /// A completed kernel-supervised run of one binary variant.
 pub struct KernelRun {
     /// The code passed to `exit`.

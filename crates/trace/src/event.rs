@@ -100,6 +100,15 @@ pub enum TraceEvent {
         /// Target block start pc.
         to: u64,
     },
+    /// The JIT tier promoted a hot block body to compiled host code.
+    /// Emitted once per compilation (re-promotions after an SMC sever
+    /// emit again — byte-identical code, same event).
+    TierPromote {
+        /// Block start pc.
+        pc: u64,
+        /// Emitted host-code bytes.
+        bytes: u64,
+    },
     /// A trap was delivered to the kernel.
     Trap {
         /// Trapping pc (fetch-fault address for fetch faults).
@@ -175,6 +184,7 @@ impl TraceEvent {
             TraceEvent::BlockBuilt { .. } => "BlockBuilt",
             TraceEvent::CacheInvalidate { .. } => "CacheInvalidate",
             TraceEvent::BlockChained { .. } => "BlockChained",
+            TraceEvent::TierPromote { .. } => "TierPromote",
             TraceEvent::Trap { .. } => "Trap",
             TraceEvent::SmileFaultRecovered { .. } => "SmileFaultRecovered",
             TraceEvent::LazyRewrite { .. } => "LazyRewrite",
@@ -187,10 +197,11 @@ impl TraceEvent {
     }
 
     /// Every event-type tag, in a fixed order (used by coverage checks).
-    pub const KINDS: [&'static str; 11] = [
+    pub const KINDS: [&'static str; 12] = [
         "BlockBuilt",
         "CacheInvalidate",
         "BlockChained",
+        "TierPromote",
         "Trap",
         "SmileFaultRecovered",
         "LazyRewrite",

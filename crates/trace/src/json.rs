@@ -53,6 +53,9 @@ fn event_fields(e: &TraceEvent, out: &mut String) {
         TraceEvent::BlockChained { from, to } => {
             let _ = write!(out, "\"from\": {from}, \"to\": {to}");
         }
+        TraceEvent::TierPromote { pc, bytes } => {
+            let _ = write!(out, "\"pc\": {pc}, \"bytes\": {bytes}");
+        }
         TraceEvent::Trap { pc, kind } => {
             let _ = write!(out, "\"pc\": {pc}, \"kind\": \"{}\"", kind.name());
         }

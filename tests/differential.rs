@@ -12,7 +12,7 @@ use chimera_isa::ExtSet;
 use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
 use chimera_obj::Binary;
 use chimera_rewrite::{chbp_rewrite, verify_claim1, RewriteOptions};
-use chimera_testutil::{run_keeping_mem, run_rewritten, writable_bytes, FUEL};
+use chimera_testutil::{run_all_modes, run_keeping_mem, run_rewritten, writable_bytes, FUEL};
 use chimera_workloads::blas::{self, Precision};
 use chimera_workloads::hetero;
 use chimera_workloads::speclike::{generate, GenOptions, APP_PROFILES, SPEC_PROFILES};
@@ -190,95 +190,116 @@ fn tracing_enabled_vs_disabled_identical_for_every_workload() {
     assert!(!tracer.drain().is_empty(), "kernel run must record events");
 }
 
-/// All three execution front ends — reference interpreter, decode-cache
-/// interpreter, and micro-op engine — produce bit-identical results for
-/// every workload: exit code, stdout, register file, every stats counter
-/// (cycle accounting included), and output memory. The cache counters of
-/// the two cached modes reconcile exactly: the engine turns a subset of
-/// the interpreter's dispatcher hits into chained follows
-/// (`hits_interp == hits_engine + chained_engine`) while misses, builds
-/// and invalidations are identical.
+/// All four execution front ends — reference interpreter, decode-cache
+/// interpreter, micro-op engine, and host-code JIT — produce bit-identical
+/// results for every workload: exit code, stdout, register file, every
+/// stats counter (cycle accounting included), and output memory. The cache
+/// counters of the cached modes reconcile exactly: the engine turns a
+/// subset of the interpreter's dispatcher hits into chained follows
+/// (`hits_interp == hits_engine + chained_engine`) and the JIT turns a
+/// subset into in-trace chain-entry passes
+/// (`hits_interp == hits_jit + chained_jit + jitted_jit`), while misses,
+/// builds and invalidations are identical everywhere.
 #[test]
 fn engine_matches_interpreter_and_reference_for_every_workload() {
-    use chimera_emu::ExecMode;
+    let mut total_jitted = 0u64;
     for (name, bin) in workloads() {
         for profile in [ExtSet::RV64GCV, bin.profile] {
-            let mut runs = Vec::new();
-            for mode in [ExecMode::Reference, ExecMode::Interpreter, ExecMode::Engine] {
-                let (mut cpu, mut mem) = chimera_emu::boot(&bin, profile);
-                cpu.set_mode(mode);
-                let r = chimera_emu::run_cpu(&mut cpu, &mut mem, FUEL);
-                let data = writable_bytes(&mut mem, &bin);
-                runs.push((r, cpu.hart.xregs(), cpu.stats, data, cpu.cache.stats));
-            }
-            let (ref_r, interp, engine) = (&runs[0], &runs[1], &runs[2]);
-            for (mode, r) in [("interpreter", interp), ("engine", engine)] {
+            let m = run_all_modes(&bin, profile, FUEL);
+            let reference = &m.reference.0;
+            for (mode, obs) in &m.columns()[1..] {
                 assert_eq!(
-                    ref_r.0, r.0,
-                    "{name} ({mode}): result diverged on {profile}"
+                    reference, *obs,
+                    "{name} ({mode}): observation diverged on {profile}"
                 );
-                assert_eq!(ref_r.1, r.1, "{name} ({mode}): registers diverged");
-                assert_eq!(ref_r.2, r.2, "{name} ({mode}): stats diverged");
-                assert_eq!(ref_r.3, r.3, "{name} ({mode}): output memory diverged");
             }
-            let (i, e) = (interp.4, engine.4);
+            let (i, e, j) = (m.interpreter.1, m.engine.1, m.jit.1);
             assert_eq!(
                 i.hits,
                 e.hits + e.chained,
                 "{name}: chained follows must account exactly for the \
                  dispatcher hits they replace: {i:?} vs {e:?}"
             );
-            assert_eq!(i.misses, e.misses, "{name}: miss counts diverged");
-            assert_eq!(i.blocks_built, e.blocks_built, "{name}: builds diverged");
-            assert_eq!(i.invalidations, e.invalidations, "{name}: invals diverged");
-            let r = ref_r.4;
             assert_eq!(
-                (r.hits, r.misses, r.blocks_built, r.chained),
-                (0, 0, 0, 0),
+                i.hits,
+                j.hits + j.chained + j.jitted,
+                "{name}: jitted chain-entry passes must account exactly for \
+                 the dispatcher hits they replace: {i:?} vs {j:?}"
+            );
+            for (mode, c) in [("engine", e), ("jit", j)] {
+                assert_eq!(i.misses, c.misses, "{name} ({mode}): misses diverged");
+                assert_eq!(
+                    i.blocks_built, c.blocks_built,
+                    "{name} ({mode}): builds diverged"
+                );
+                assert_eq!(
+                    i.invalidations, c.invalidations,
+                    "{name} ({mode}): invals diverged"
+                );
+            }
+            if chimera_emu::jit_available() {
+                assert!(
+                    j.jit_execs > 0,
+                    "{name}: no block ever ran as compiled code: {j:?}"
+                );
+                total_jitted += j.jitted;
+            }
+            let r = m.reference.1;
+            assert_eq!(
+                (r.hits, r.misses, r.blocks_built, r.chained, r.jitted),
+                (0, 0, 0, 0, 0),
                 "{name}: the reference interpreter must not touch the cache"
             );
         }
     }
+    if chimera_emu::jit_available() {
+        // Straight-line workloads legitimately never chain (each block
+        // runs once); the loopy ones must, or the law above is vacuous.
+        assert!(
+            total_jitted > 0,
+            "jit trace chaining never engaged across the whole zoo"
+        );
+    }
 }
 
-/// Seeded random programs through all three front ends: straight-line
+/// Seeded random programs through all four front ends: straight-line
 /// arithmetic, shifts, forward branches, aligned loads/stores into a
 /// scratch region, and a bounded outer loop — generated deterministically
 /// from each seed, so failures reproduce. Programs that trap (an `ebreak`
 /// is sometimes emitted) must produce the identical trap in every mode.
 #[test]
 fn random_programs_identical_across_modes() {
-    use chimera_emu::ExecMode;
     use chimera_isa::prng::Prng;
 
     for seed in 0..24u64 {
         let src = random_program(seed);
         let bin = chimera_obj::assemble(&src, chimera_obj::AsmOptions::default())
             .unwrap_or_else(|e| panic!("seed {seed}: generated program must assemble: {e}\n{src}"));
-        let mut runs = Vec::new();
-        for mode in [ExecMode::Reference, ExecMode::Interpreter, ExecMode::Engine] {
-            let (mut cpu, mut mem) = chimera_emu::boot(&bin, ExtSet::RV64GCV);
-            cpu.set_mode(mode);
-            let r = chimera_emu::run_cpu(&mut cpu, &mut mem, 1_000_000);
-            let data = writable_bytes(&mut mem, &bin);
-            runs.push((r, cpu.hart.xregs(), cpu.stats, data, cpu.cache.stats));
+        let m = run_all_modes(&bin, ExtSet::RV64GCV, 1_000_000);
+        let reference = &m.reference.0;
+        for (mode, obs) in &m.columns()[1..] {
+            assert_eq!(reference, *obs, "seed {seed} ({mode}): diverged");
         }
-        for (mode, r) in [("interpreter", &runs[1]), ("engine", &runs[2])] {
-            assert_eq!(runs[0].0, r.0, "seed {seed} ({mode}): result diverged");
-            assert_eq!(runs[0].1, r.1, "seed {seed} ({mode}): registers diverged");
-            assert_eq!(runs[0].2, r.2, "seed {seed} ({mode}): stats diverged");
-            assert_eq!(runs[0].3, r.3, "seed {seed} ({mode}): memory diverged");
-        }
-        let (i, e) = (runs[1].4, runs[2].4);
+        let (i, e, j) = (m.interpreter.1, m.engine.1, m.jit.1);
         assert_eq!(
             i.hits,
             e.hits + e.chained,
-            "seed {seed}: hit reconciliation"
+            "seed {seed}: engine hit reconciliation"
+        );
+        assert_eq!(
+            i.hits,
+            j.hits + j.chained + j.jitted,
+            "seed {seed}: jit hit reconciliation"
         );
         assert_eq!(
             (i.misses, i.blocks_built, i.invalidations),
             (e.misses, e.blocks_built, e.invalidations),
-            "seed {seed}: cache counters diverged"
+            "seed {seed}: engine cache counters diverged"
+        );
+        assert_eq!(
+            (i.misses, i.blocks_built, i.invalidations),
+            (j.misses, j.blocks_built, j.invalidations),
+            "seed {seed}: jit cache counters diverged"
         );
     }
 
