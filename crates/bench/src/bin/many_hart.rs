@@ -1,0 +1,170 @@
+//! Many-hart determinism + scale gate (default build): runs the standard
+//! heterogeneous scenario — native RVV harts, FAM harts migrating
+//! mid-run, scalar harts, trap-entry and SMILE rewritten harts, and
+//! communicator pairs blocking on the event queue — at 64 and 256 guest
+//! harts over 1/2/4/8 logical host workers, and hard-asserts that every
+//! worker count produces a **bit-identical** [`ManyHartResult`] and
+//! trace-counter snapshot.
+//!
+//!     cargo run --release -p chimera-bench --bin many_hart
+//!
+//! Worker counts are *logical*: the fiber pool multiplexes N harts over M
+//! workers whatever the host's core count, so this gate never skips — a
+//! 1-hw-thread CI host still exercises (and must reproduce) the 8-worker
+//! schedule. Aggregate simulated IPS (guest instructions retired per
+//! wall-clock second, all harts summed) and per-worker-count checksums
+//! land in `results/many-hart.json`.
+
+use chimera_kernel::ManyHartResult;
+use chimera_testutil::{run_many_hart_scenario, ManyHartScenario};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const HART_COUNTS: [usize; 2] = [64, 256];
+/// Small enough that every long-running hart is suspended and resumed
+/// many times per run (the whole point of the gate), large enough to keep
+/// scheduler overhead from dominating. Odd, so slice boundaries walk
+/// through the guest loops rather than aligning with them.
+const QUANTUM: u64 = 97;
+
+struct Row {
+    workers: usize,
+    wall_ns: f64,
+    sim_ips: f64,
+    checksum: u64,
+}
+
+fn reconcile(n: usize, workers: usize, r: &ManyHartResult, counters: &BTreeMap<String, u64>) {
+    let counter = |name: &str| counters.get(name).copied().unwrap_or(0);
+    assert_eq!(
+        r.exited(),
+        n,
+        "{n} harts / {workers} workers: every hart must exit: {:?}",
+        r.first_failure()
+    );
+    // The result's aggregates must reconcile exactly with the `many.*`
+    // trace counters recorded through the per-hart tracer streams.
+    assert_eq!(counter("many.migrations"), r.migrations, "{n}/{workers}");
+    assert_eq!(
+        counter("many.delivered_timer"),
+        r.delivered.0,
+        "{n}/{workers}"
+    );
+    assert_eq!(
+        counter("many.delivered_ipi"),
+        r.delivered.1,
+        "{n}/{workers}"
+    );
+    assert_eq!(
+        counter("many.delivered_wakeup"),
+        r.delivered.2,
+        "{n}/{workers}"
+    );
+    assert_eq!(counter("many.events_dropped"), 0, "{n}/{workers}");
+    // Scenario shape: one FAM migration per `id % 4 == 1` hart; one IPI
+    // per communicator round and one timer per communicator.
+    let quarter = (n / 4) as u64;
+    assert_eq!(r.migrations, quarter, "{n}/{workers}: FAM migrations");
+    assert_eq!(r.delivered.1, quarter * 3, "{n}/{workers}: IPI rounds");
+    assert_eq!(r.delivered.0, quarter, "{n}/{workers}: communicator timers");
+}
+
+fn main() {
+    let scenario = ManyHartScenario::new();
+    let mut sections: Vec<(usize, Vec<Row>, u64, u64)> = Vec::new();
+
+    for &n in &HART_COUNTS {
+        let mut rows = Vec::new();
+        let mut baseline: Option<(ManyHartResult, BTreeMap<String, u64>)> = None;
+        for &workers in &WORKER_COUNTS {
+            let t0 = Instant::now();
+            let (r, counters) = run_many_hart_scenario(&scenario, n, workers, QUANTUM);
+            let wall_ns = t0.elapsed().as_nanos() as f64;
+            reconcile(n, workers, &r, &counters);
+            let sim_ips = r.retired as f64 / (wall_ns / 1e9);
+            println!(
+                "{n:>4} harts / {workers} workers: {:>12} retired, {} slots, \
+                 {} migrations, {:>7.2} M sim-IPS, checksum {:#018x}",
+                r.retired,
+                r.slots,
+                r.migrations,
+                sim_ips / 1e6,
+                r.checksum
+            );
+            rows.push(Row {
+                workers,
+                wall_ns,
+                sim_ips,
+                checksum: r.checksum,
+            });
+            match &baseline {
+                None => baseline = Some((r, counters)),
+                Some((b, bc)) => {
+                    assert_eq!(
+                        &r, b,
+                        "{n} harts: {workers}-worker run diverged from 1-worker"
+                    );
+                    assert_eq!(
+                        &counters, bc,
+                        "{n} harts: {workers}-worker trace counters diverged"
+                    );
+                }
+            }
+        }
+        let (b, _) = baseline.expect("at least one worker count ran");
+        println!(
+            "{n:>4} harts: workers 1/2/4/8 bit-identical \
+             ({} retired, {} migrations, {} IPIs)",
+            b.retired, b.migrations, b.delivered.1
+        );
+        sections.push((n, rows, b.retired, b.migrations));
+    }
+
+    dump_json(&sections);
+    println!("PASS: 64- and 256-hart heterogeneous runs bit-identical across 1/2/4/8 workers");
+}
+
+fn dump_json(sections: &[(usize, Vec<Row>, u64, u64)]) {
+    std::fs::create_dir_all("results").unwrap();
+    let mut f = std::fs::File::create("results/many-hart.json").unwrap();
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "  \"quantum\": {QUANTUM},").unwrap();
+    writeln!(f, "  \"hw_threads\": {hw_threads},").unwrap();
+    writeln!(f, "  \"deterministic\": true,").unwrap();
+    writeln!(f, "  \"runs\": [").unwrap();
+    for (si, (n, rows, retired, migrations)) in sections.iter().enumerate() {
+        writeln!(f, "    {{").unwrap();
+        writeln!(f, "      \"harts\": {n},").unwrap();
+        writeln!(f, "      \"retired\": {retired},").unwrap();
+        writeln!(f, "      \"migrations\": {migrations},").unwrap();
+        writeln!(f, "      \"per_worker_count\": [").unwrap();
+        for (ri, row) in rows.iter().enumerate() {
+            writeln!(
+                f,
+                "        {{\"workers\": {}, \"wall_ns\": {:.0}, \"sim_ips\": {:.0}, \
+                 \"checksum\": \"{:#018x}\"}}{}",
+                row.workers,
+                row.wall_ns,
+                row.sim_ips,
+                row.checksum,
+                if ri + 1 < rows.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(f, "      ]").unwrap();
+        writeln!(
+            f,
+            "    }}{}",
+            if si + 1 < sections.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(f, "  ]").unwrap();
+    writeln!(f, "}}").unwrap();
+    println!("wrote results/many-hart.json");
+}

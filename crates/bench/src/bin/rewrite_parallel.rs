@@ -7,12 +7,16 @@
 //!     cargo run --release -p chimera-bench --bin rewrite_parallel
 //!
 //! The acceptance bar is >= 2x rewrite throughput at 8 workers vs 1
-//! (release build). The equality check is a hard assert on every host;
-//! the throughput bar hard-fails only below 1.5x so timing noise can't
-//! flake the gate (mirroring the decode_cache gate), warns between 1.5x
-//! and 2x, and is skipped entirely on hosts with fewer than 8 hardware
-//! threads (scaling to 8 workers cannot be measured there; the JSON dump
-//! records the host's parallelism so such runs are distinguishable).
+//! (release build). The determinism matrix is a hard assert on **every**
+//! host whatever its core count — worker counts are logical, so a
+//! 1-hw-thread runner still exercises and must reproduce the 8-worker
+//! rewrite. Only the throughput bar is host-dependent: it hard-fails
+//! below 1.5x so timing noise can't flake the gate (mirroring the
+//! decode_cache gate), warns between 1.5x and 2x, and is skipped —
+//! *speedup assertion only, nothing else* — on hosts with fewer than 8
+//! hardware threads, where scaling to 8 workers cannot be measured. The
+//! JSON dump records `speedup_asserted` alongside the host's parallelism
+//! so skipped-bar runs are machine-distinguishable.
 //! Results land in `results/rewrite-parallel.json`.
 
 use chimera_bench::harness::{bench, fmt_ns, Timing};
@@ -102,12 +106,24 @@ fn main() {
         fmt_ns(t_8.median_ns)
     );
 
-    dump_json(profile.name, code_bytes, hw_threads, &t_1, &t_8, speedup);
+    // Everything above this point ran and hard-asserted on every host;
+    // the only thing a small host skips is the speedup bar itself.
+    let speedup_asserted = hw_threads >= 8;
+    dump_json(
+        profile.name,
+        code_bytes,
+        hw_threads,
+        &t_1,
+        &t_8,
+        speedup,
+        speedup_asserted,
+    );
 
-    if hw_threads < 8 {
+    if !speedup_asserted {
         println!(
-            "SKIP: throughput bar needs 8 hardware threads to be meaningful \
-             (host has {hw_threads}); determinism was asserted above"
+            "SKIP (speedup assertion only): the throughput bar needs 8 \
+             hardware threads to be meaningful (host has {hw_threads}); \
+             determinism across 1/2/4/8 workers was hard-asserted above"
         );
         return;
     }
@@ -134,6 +150,7 @@ fn dump_json(
     t_1: &Timing,
     t_8: &Timing,
     speedup: f64,
+    speedup_asserted: bool,
 ) {
     std::fs::create_dir_all("results").unwrap();
     let mut f = std::fs::File::create("results/rewrite-parallel.json").unwrap();
@@ -142,7 +159,8 @@ fn dump_json(
         "{{\n  \"workload\": \"{name}\",\n  \"code_bytes\": {code_bytes},\n  \
          \"hw_threads\": {hw_threads},\n  \
          \"median_ns_1_worker\": {:.0},\n  \"median_ns_8_workers\": {:.0},\n  \
-         \"speedup\": {speedup:.3},\n  \"deterministic\": true\n}}",
+         \"speedup\": {speedup:.3},\n  \"speedup_asserted\": {speedup_asserted},\n  \
+         \"deterministic\": true\n}}",
         t_1.median_ns, t_8.median_ns
     )
     .unwrap();

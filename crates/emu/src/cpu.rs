@@ -229,6 +229,17 @@ impl Cpu {
 
     /// Executes instructions until a trap or until `fuel` instructions have
     /// retired.
+    ///
+    /// Every return is a **yield point** under the fiber contract
+    /// (`crate::fiber`): whatever the stop reason and whichever tier was
+    /// executing, all batched counters — the engine's and JIT's locally
+    /// accumulated instret/cycles/class counts, the JIT's fuel anchor —
+    /// have been drained into `self.stats`, and `self.hart` holds the
+    /// exact architectural state at the stopped instruction boundary. The
+    /// caller may therefore suspend the CPU here, move it to another host
+    /// thread, and call `run` again: any slicing of a run, down to one
+    /// instruction per slice, is bit-identical to an unsliced run (the
+    /// differential suite's yield-point transparency test gates this).
     pub fn run(&mut self, mem: &mut Memory, fuel: u64) -> Stop {
         if !self.cache.enabled {
             for _ in 0..fuel {

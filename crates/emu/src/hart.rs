@@ -159,6 +159,43 @@ impl Hart {
     pub fn gp(&self) -> u64 {
         self.get_x(XReg::GP)
     }
+
+    /// A 64-bit FNV-1a digest of the complete architectural state: pc,
+    /// both scalar register files, every vector register, and the vector
+    /// configuration. The many-hart determinism gates compare these
+    /// checksums across host worker counts, so the digest must cover
+    /// everything a divergent schedule could perturb.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = fnv1a(0xcbf2_9ce4_8422_2325, self.pc);
+        for &x in &self.x {
+            h = fnv1a(h, x);
+        }
+        for &f in &self.f {
+            h = fnv1a(h, f);
+        }
+        for v in &self.v {
+            for chunk in v.chunks_exact(8) {
+                h = fnv1a(h, u64::from_le_bytes(chunk.try_into().unwrap()));
+            }
+        }
+        h = fnv1a(h, self.vl);
+        match self.vtype {
+            None => fnv1a(h, u64::MAX),
+            Some(vt) => {
+                let packed = (vt.sew.bits() as u64) << 32
+                    | (vt.lmul as u64) << 2
+                    | (vt.ta as u64) << 1
+                    | vt.ma as u64;
+                fnv1a(h, packed)
+            }
+        }
+    }
+}
+
+/// One word-at-a-time FNV-1a step (a digest, not the byte-exact FNV).
+#[inline]
+fn fnv1a(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100_0000_01b3)
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@
 pub mod bbcache;
 mod cost;
 mod cpu;
+mod fiber;
 mod hart;
 #[allow(unsafe_code)]
 mod jit;
@@ -56,12 +57,13 @@ pub mod uop;
 pub use bbcache::{BlockCache, CacheStats, ChainLink};
 pub use cost::{CostModel, ExecStats};
 pub use cpu::{Cpu, ExecMode, Stop, Trap};
+pub use fiber::{FiberYield, HartFiber};
 pub use hart::{Hart, VLENB};
 pub use jit::jit_available;
 pub use mem::{Access, AccessHints, DirtySpan, MemFault, Memory, Region, RegionHint};
 pub use runner::{
-    boot, run_binary, run_binary_mode, run_binary_on, run_binary_traced, run_binary_with, run_cpu,
-    sys, RunError, RunResult,
+    boot, boot_with_stack, run_binary, run_binary_mode, run_binary_on, run_binary_traced,
+    run_binary_with, run_cpu, sys, BareRun, BareYield, RunError, RunResult,
 };
 // Re-exported so emulator users can construct tracers without a separate
 // chimera-trace dependency line.

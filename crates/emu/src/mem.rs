@@ -205,11 +205,22 @@ impl Memory {
     /// Builds memory from a binary: every section becomes a region, plus a
     /// stack region under [`STACK_TOP`].
     pub fn load(binary: &Binary) -> Memory {
+        Memory::load_with_stack(binary, STACK_SIZE)
+    }
+
+    /// [`Memory::load`] with an explicit stack size. The stack always ends
+    /// at [`STACK_TOP`], so the boot `sp` is identical whatever the size;
+    /// only the lowest mapped stack address moves. Many-hart schedulers use
+    /// small per-fiber stacks here: the default 8 MiB stack is committed
+    /// eagerly, which at hundreds of harts dominates the kernel's entire
+    /// footprint (256 harts × 8 MiB = 2 GiB of zeroed, re-faulted pages).
+    pub fn load_with_stack(binary: &Binary, stack_size: u64) -> Memory {
+        assert!(stack_size > 0, "stack must be at least one byte");
         let mut m = Memory::new();
         for s in &binary.sections {
             m.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
         }
-        m.map(STACK_TOP - STACK_SIZE, STACK_SIZE, Perms::RW, "[stack]");
+        m.map(STACK_TOP - stack_size, stack_size, Perms::RW, "[stack]");
         m
     }
 

@@ -3,23 +3,34 @@
 //! The simulated operating-system runtime of the Chimera reproduction:
 //! trap routing and passive fault handling ([`KernelRunner`]), the
 //! multi-view process model ([`Process`], MMViews), signal delivery with
-//! `gp` restoration, and ISAX-aware work-stealing scheduling (a
-//! deterministic simulator for the benchmarks plus a real threaded pool).
+//! `gp` restoration, ISAX-aware work-stealing scheduling (a deterministic
+//! simulator for the benchmarks plus a real threaded pool), and the
+//! many-hart event kernel ([`ManyHartKernel`]): N guest harts as
+//! cooperative fibers over M logical host workers, scheduled in
+//! deterministic logical time so results are bit-identical at every
+//! worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
+mod many;
 mod process;
 mod refresh;
 mod runtime;
 mod sched;
 
+pub use event::{EventQueue, HartEvent, HartEventKind};
+pub use many::{HartReport, ManyHartConfig, ManyHartKernel, ManyHartResult};
 pub use process::{sync_vectors_from_spill, sync_vectors_to_spill, Process, Variant, LAZY_SLACK};
 pub use refresh::VariantRefresher;
-pub use runtime::{FaultCounters, KernelRunner, RunOutcome, RuntimeTables, SIGRETURN_ADDR};
+pub use runtime::{
+    FaultCounters, HartCall, KernelRunner, RunOutcome, RuntimeTables, TrapDisposition,
+    SIGRETURN_ADDR,
+};
 pub use sched::{
-    simulate_work_stealing, simulate_work_stealing_traced, Pool, SimMachine, SimResult, TaskCost,
-    ThreadedPool,
+    simulate_work_stealing, simulate_work_stealing_traced, FiberPool, Pool, SimMachine, SimResult,
+    TaskCost, ThreadedPool,
 };
 // Re-exported so kernel users can construct tracers without a separate
 // chimera-trace dependency line.

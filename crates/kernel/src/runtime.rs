@@ -158,11 +158,18 @@ impl KernelRunner {
             let Stop::Trap(trap) = stop else {
                 return RunOutcome::OutOfFuel;
             };
-            match self.handle_trap(trap, cpu, mem) {
-                TrapResult::Resume => continue,
-                TrapResult::Exit(code) => return RunOutcome::Exited(code),
-                TrapResult::Migrate { pc } => return RunOutcome::NeedsMigration { pc },
-                TrapResult::Fatal(msg) => return RunOutcome::Fatal(msg),
+            match self.service_trap(trap, cpu, mem) {
+                TrapDisposition::Resume => continue,
+                TrapDisposition::Exited(code) => return RunOutcome::Exited(code),
+                TrapDisposition::Migrate { pc } => return RunOutcome::NeedsMigration { pc },
+                TrapDisposition::HartCall { call, .. } => {
+                    // Hart-control calls need an event scheduler; a
+                    // single-hart run has nobody to deliver the wakeup.
+                    return RunOutcome::Fatal(format!(
+                        "hart call {call:?} outside the many-hart kernel"
+                    ));
+                }
+                TrapDisposition::Fatal(msg) => return RunOutcome::Fatal(msg),
             }
         }
     }
@@ -183,12 +190,21 @@ impl KernelRunner {
         self.tracer.observe("kernel.fault_cycles", cpu.cost.trap);
     }
 
-    fn handle_trap(&mut self, trap: Trap, cpu: &mut Cpu, mem: &mut Memory) -> TrapResult {
+    /// Services one delivered trap and reports its disposition.
+    ///
+    /// This is the single trap-routing entry point: [`KernelRunner::run`]
+    /// folds the disposition into a [`RunOutcome`] for single-hart runs,
+    /// and the many-hart event kernel (`crate::ManyHartKernel`) routes
+    /// [`TrapDisposition::HartCall`] and [`TrapDisposition::Migrate`] into
+    /// its logical-time event queue instead.
+    pub fn service_trap(&mut self, trap: Trap, cpu: &mut Cpu, mem: &mut Memory) -> TrapDisposition {
         match trap {
             Trap::Ecall { pc } => {
                 let n = cpu.hart.get_x(XReg::A7);
                 match n {
-                    chimera_emu::sys::EXIT => TrapResult::Exit(cpu.hart.get_x(XReg::A0) as i64),
+                    chimera_emu::sys::EXIT => {
+                        TrapDisposition::Exited(cpu.hart.get_x(XReg::A0) as i64)
+                    }
                     chimera_emu::sys::WRITE => {
                         let buf = cpu.hart.get_x(XReg::A1);
                         let len = cpu.hart.get_x(XReg::A2) as usize;
@@ -200,9 +216,33 @@ impl KernelRunner {
                         }
                         cpu.hart.pc = pc + 4;
                         cpu.stats.cycles += cpu.cost.trap / 8; // Light syscall.
-                        TrapResult::Resume
+                        TrapDisposition::Resume
                     }
-                    other => TrapResult::Fatal(format!("unknown syscall {other}")),
+                    // Hart-control calls: decoded here (one routing point
+                    // for the whole syscall surface) but *serviced* by the
+                    // event scheduler, which advances pc, fills a0 and
+                    // charges the light-syscall cost on completion.
+                    chimera_emu::sys::HART_ID => TrapDisposition::HartCall {
+                        call: HartCall::Id,
+                        pc,
+                    },
+                    chimera_emu::sys::WFI => TrapDisposition::HartCall {
+                        call: HartCall::Wfi,
+                        pc,
+                    },
+                    chimera_emu::sys::IPI => TrapDisposition::HartCall {
+                        call: HartCall::Ipi {
+                            target: cpu.hart.get_x(XReg::A0),
+                        },
+                        pc,
+                    },
+                    chimera_emu::sys::SET_TIMER => TrapDisposition::HartCall {
+                        call: HartCall::SetTimer {
+                            delta: cpu.hart.get_x(XReg::A0),
+                        },
+                        pc,
+                    },
+                    other => TrapDisposition::Fatal(format!("unknown syscall {other}")),
                 }
             }
             Trap::Mem { fault, .. } if fault.access == Access::Fetch => {
@@ -210,7 +250,7 @@ impl KernelRunner {
                 if fault.addr == SIGRETURN_ADDR {
                     if let Some(saved) = self.signal_ctx.take() {
                         cpu.hart = saved;
-                        return TrapResult::Resume;
+                        return TrapDisposition::Resume;
                     }
                 }
                 // Candidate SMILE P1 fault: the jalr stored its return
@@ -218,7 +258,7 @@ impl KernelRunner {
                 // segment.
                 cpu.stats.cycles += cpu.cost.trap;
                 let Some(fht) = self.tables.fht.clone() else {
-                    return TrapResult::Fatal(format!("fetch fault: {fault}"));
+                    return TrapDisposition::Fatal(format!("fetch fault: {fault}"));
                 };
                 let fault_addr = cpu.hart.gp().wrapping_sub(4);
                 if let Some(&redirect) = fht.redirects.get(&fault_addr) {
@@ -227,15 +267,15 @@ impl KernelRunner {
                     // Restore gp and redirect (§4.3).
                     cpu.hart.set_x(XReg::GP, fht.abi_gp);
                     cpu.hart.pc = redirect;
-                    TrapResult::Resume
+                    TrapDisposition::Resume
                 } else {
-                    TrapResult::Fatal(format!(
+                    TrapDisposition::Fatal(format!(
                         "fetch fault with no redirect (gp-4 = {fault_addr:#x}): {fault}"
                     ))
                 }
             }
             Trap::Mem { fault, pc } => {
-                TrapResult::Fatal(format!("data fault at pc {pc:#x}: {fault}"))
+                TrapDisposition::Fatal(format!("data fault at pc {pc:#x}: {fault}"))
             }
             Trap::Illegal { pc, raw } => {
                 cpu.stats.cycles += cpu.cost.trap;
@@ -247,11 +287,11 @@ impl KernelRunner {
                         self.trace_smile_recovery(cpu, pc, redirect);
                         cpu.hart.set_x(XReg::GP, fht.abi_gp);
                         cpu.hart.pc = redirect;
-                        return TrapResult::Resume;
+                        return TrapDisposition::Resume;
                     }
                     // 2. Known-untranslatable source instruction: migrate.
                     if fht.untranslated.contains(&pc) {
-                        return TrapResult::Migrate { pc };
+                        return TrapDisposition::Migrate { pc };
                     }
                 }
                 // 3. Unrecognized-but-decodable extension instruction on a
@@ -271,12 +311,12 @@ impl KernelRunner {
                                 self.tracer.count("kernel.lazy_rewrites", 1);
                                 // Resume at the same pc: it now traps into
                                 // the freshly built block.
-                                return TrapResult::Resume;
+                                return TrapDisposition::Resume;
                             }
                         }
-                        TrapResult::Migrate { pc }
+                        TrapDisposition::Migrate { pc }
                     }
-                    _ => TrapResult::Fatal(format!(
+                    _ => TrapDisposition::Fatal(format!(
                         "illegal instruction {raw:#x} at {pc:#x} with no handler"
                     )),
                 }
@@ -288,16 +328,16 @@ impl KernelRunner {
                     self.counters.trap_trampolines += 1;
                     self.tracer.count("kernel.trap_trampolines", 1);
                     cpu.hart.pc = block;
-                    return TrapResult::Resume;
+                    return TrapDisposition::Resume;
                 }
                 if let Some(regen) = &self.tables.regen {
                     if let Some(st) = regen.slow_traps.get(&pc) {
                         let old = cpu.hart.get_x(st.target_reg);
                         let Some(fht) = &self.tables.fht else {
-                            return TrapResult::Fatal("safer trap without tables".into());
+                            return TrapDisposition::Fatal("safer trap without tables".into());
                         };
                         let Some(&new) = fht.redirects.get(&old) else {
-                            return TrapResult::Fatal(format!(
+                            return TrapDisposition::Fatal(format!(
                                 "safer: uncorrectable indirect target {old:#x}"
                             ));
                         };
@@ -307,7 +347,7 @@ impl KernelRunner {
                         self.counters.safer_corrections += 1;
                         self.tracer.count("kernel.safer_corrections", 1);
                         cpu.hart.pc = new;
-                        return TrapResult::Resume;
+                        return TrapDisposition::Resume;
                     }
                 }
                 if let Some(fht) = &self.tables.fht {
@@ -315,16 +355,16 @@ impl KernelRunner {
                         self.counters.trap_trampolines += 1;
                         self.tracer.count("kernel.trap_trampolines", 1);
                         cpu.hart.pc = block;
-                        return TrapResult::Resume;
+                        return TrapDisposition::Resume;
                     }
                     if let Some(&resume) = fht.trap_exits.get(&pc) {
                         self.counters.trap_trampolines += 1;
                         self.tracer.count("kernel.trap_trampolines", 1);
                         cpu.hart.pc = resume;
-                        return TrapResult::Resume;
+                        return TrapDisposition::Resume;
                     }
                 }
-                TrapResult::Fatal(format!("stray breakpoint at {pc:#x}"))
+                TrapDisposition::Fatal(format!("stray breakpoint at {pc:#x}"))
             }
         }
     }
@@ -379,9 +419,50 @@ impl KernelRunner {
     }
 }
 
-enum TrapResult {
+/// What the kernel decided about one delivered trap (see
+/// [`KernelRunner::service_trap`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapDisposition {
+    /// Handled in place; resume the hart.
     Resume,
-    Exit(i64),
-    Migrate { pc: u64 },
+    /// The task exited with this code.
+    Exited(i64),
+    /// Unsupported instruction with no translation: the scheduler must
+    /// migrate the task to a core that has the extension (FAM).
+    Migrate {
+        /// pc of the unsupported instruction.
+        pc: u64,
+    },
+    /// A hart-control call (`chimera_emu::sys::{HART_ID, WFI, IPI,
+    /// SET_TIMER}`) only an event scheduler can service: it advances
+    /// `pc` past the `ecall`, fills `a0`, charges the syscall cost, and
+    /// enqueues/delivers the event.
+    HartCall {
+        /// The decoded call.
+        call: HartCall,
+        /// pc of the `ecall` instruction.
+        pc: u64,
+    },
+    /// Unrecoverable fault.
     Fatal(String),
+}
+
+/// A decoded guest hart-control call (the `chimera_emu::sys` numbers
+/// outside the Linux table), serviced by `crate::ManyHartKernel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HartCall {
+    /// `hartid()`: the calling hart's id into `a0`.
+    Id,
+    /// `wfi()`: block until an event arrives (or consume a latched one).
+    Wfi,
+    /// `ipi(target)`: wake hart `target` next slot.
+    Ipi {
+        /// Destination hart id.
+        target: u64,
+    },
+    /// `set_timer(delta)`: a one-shot self-wakeup `delta` slots ahead.
+    SetTimer {
+        /// Slots from now (clamped to at least 1).
+        delta: u64,
+    },
 }

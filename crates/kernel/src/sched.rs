@@ -378,6 +378,64 @@ impl ThreadedPool {
     }
 }
 
+/// A pool of `workers` *logical* host workers multiplexing hart fibers:
+/// each barrier-synchronous round, the runnable slot indices are claimed
+/// off a shared cursor and stepped concurrently, one slot per claim.
+///
+/// Logical workers may exceed hardware threads (the determinism gates run
+/// 8 logical workers on 1-hw-thread CI hosts). Results never depend on
+/// the worker count because a step touches only its own slot's state —
+/// cross-hart effects are buffered in per-slot outboxes the coordinator
+/// merges in hart-id order after the barrier (`crate::ManyHartKernel`).
+#[derive(Debug, Clone, Copy)]
+pub struct FiberPool {
+    workers: usize,
+}
+
+impl FiberPool {
+    /// A pool with the given logical worker count (min 1).
+    pub fn new(workers: usize) -> FiberPool {
+        FiberPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The logical worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Steps every slot listed in `runnable` exactly once, spreading the
+    /// calls over the pool's workers; returns after all complete (the
+    /// round barrier). With one worker everything runs on the calling
+    /// thread — the baseline the multi-worker runs must bit-match.
+    pub fn run_round<S, F>(&self, slots: &[Mutex<S>], runnable: &[usize], step: F)
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
+        let workers = self.workers.min(runnable.len());
+        if workers <= 1 {
+            for &i in runnable {
+                step(i, &mut slots[i].lock().expect("slot poisoned"));
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = runnable.get(k) else {
+                        break;
+                    };
+                    step(i, &mut slots[i].lock().expect("slot poisoned"));
+                });
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

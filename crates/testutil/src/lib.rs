@@ -22,15 +22,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use chimera_emu::{Cpu, ExecMode, Memory, RunError, RunResult};
+use chimera_emu::{BareRun, BareYield, Cpu, ExecMode, Memory, RunError, RunResult};
 use chimera_isa::prng::Prng;
 use chimera_isa::ExtSet;
-use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
+use chimera_kernel::{
+    KernelRunner, ManyHartConfig, ManyHartKernel, ManyHartResult, Process, RunOutcome,
+    RuntimeTables, Tracer, Variant,
+};
 use chimera_obj::Binary;
 use chimera_rewrite::{
-    ebreak_patch, ChbpEngine, Flavor, IdentityEngine, Mode, RegenEngine, RewriteEngine,
-    RewriteOptions, Rewritten,
+    chbp_rewrite, ebreak_patch, ChbpEngine, Flavor, IdentityEngine, Mode, RegenEngine,
+    RewriteEngine, RewriteOptions, Rewritten,
 };
+use chimera_workloads::hetero;
+use std::collections::BTreeMap;
 
 /// The default fuel budget for runs that must finish: effectively
 /// unbounded, while still letting a runaway loop terminate the test run
@@ -399,6 +404,229 @@ pub fn mutate_image(mem: &mut Memory, rng: &mut Prng, text_start: u64, text_end:
             mem.map_bytes(r.start, r.bytes, r.perms, ".text");
         }
     }
+}
+
+/// [`observe_mode`], but executed as a suspended/resumed fiber: the run
+/// is chopped into `slice`-instruction fuel slices and, every
+/// `hop_every`-th slice, the whole suspended run — CPU, memory, output
+/// buffer — is moved into a **fresh OS thread** and resumed there. This
+/// is the forced-migration torture test of the yield-point contract: any
+/// slicing of a run, down to one instruction per slice across host
+/// threads, must observe exactly like one unsliced [`observe_mode`] call
+/// (the differential suite asserts it for all four execution modes).
+///
+/// `hop_every == 0` disables hopping (pure slicing on the calling
+/// thread). In [`ExecMode::Jit`] the promotion threshold is pinned to 1,
+/// matching [`observe_jit`]'s column in [`run_all_modes`].
+pub fn observe_mode_sliced(
+    bin: &Binary,
+    profile: ExtSet,
+    mode: ExecMode,
+    cache: bool,
+    fuel: u64,
+    slice: u64,
+    hop_every: u64,
+) -> Obs {
+    assert!(slice > 0, "a zero-instruction slice cannot make progress");
+    let (mut cpu, mut mem) = chimera_emu::boot(bin, profile);
+    cpu.set_mode(mode);
+    if mode == ExecMode::Jit {
+        cpu.set_jit_threshold(1);
+    }
+    cpu.cache.enabled = cache;
+    let mut run = BareRun::new();
+    let mut slices = 0u64;
+    let result = loop {
+        let used = cpu.stats.instret;
+        if used >= fuel {
+            break Err(RunError::OutOfFuel);
+        }
+        let budget = slice.min(fuel - used);
+        slices += 1;
+        let yielded = if hop_every > 0 && slices.is_multiple_of(hop_every) {
+            // Forced migration: hand the suspended triple to a brand-new
+            // OS thread, resume one slice there, and take it back.
+            let (c, m, r, y) = {
+                let (mut c, mut m, mut r) = (cpu, mem, run);
+                std::thread::spawn(move || {
+                    let y = r.resume(&mut c, &mut m, budget);
+                    (c, m, r, y)
+                })
+                .join()
+                .expect("migration thread survives")
+            };
+            cpu = c;
+            mem = m;
+            run = r;
+            y
+        } else {
+            run.resume(&mut cpu, &mut mem, budget)
+        };
+        match yielded {
+            BareYield::Exited(res) => break Ok(*res),
+            BareYield::SliceExhausted => {}
+            BareYield::Failed(err) => break Err(err),
+        }
+    };
+    let mem_bytes = writable_bytes(&mut mem, bin);
+    Obs {
+        result,
+        xregs: cpu.hart.xregs(),
+        stats: cpu.stats,
+        pc: cpu.hart.pc,
+        mem: mem_bytes,
+    }
+}
+
+/// The binaries of the standard heterogeneous many-hart scenario,
+/// assembled (and CHBP-rewritten) once so 256-hart runs don't pay the
+/// pipeline per hart.
+pub struct ManyHartScenario {
+    /// RVV matrix task (also booted profile-less for the FAM harts).
+    pub matrix_ext: Binary,
+    /// The same matrix task CHBP-rewritten to the base profile (SMILE
+    /// trampolines: gp-mediated jumps through the data segment).
+    pub matrix_chbp: Rewritten,
+    /// The same matrix task rewritten with forced trap entries (the §6.2
+    /// strawman): every trampoline entry is an `ebreak` round trip
+    /// through the kernel's passive handler.
+    pub matrix_trap: Rewritten,
+    /// Scalar Fibonacci task.
+    pub fib: Binary,
+    /// IPI/WFI communicator task (peer mask 4).
+    pub comm: Binary,
+}
+
+impl Default for ManyHartScenario {
+    fn default() -> Self {
+        ManyHartScenario::new()
+    }
+}
+
+impl ManyHartScenario {
+    /// Builds the scenario binaries (sizes kept small: the gate runs it
+    /// at 64 and 256 harts × four worker counts).
+    pub fn new() -> ManyHartScenario {
+        let matrix_ext = hetero::matrix_task(16, 2, true);
+        let matrix_chbp = chbp_rewrite(&matrix_ext, ExtSet::RV64GC, RewriteOptions::default())
+            .expect("matrix task rewrites");
+        let matrix_trap = chbp_rewrite(
+            &matrix_ext,
+            ExtSet::RV64GC,
+            RewriteOptions {
+                force_trap_entries: true,
+                ..Default::default()
+            },
+        )
+        .expect("matrix task rewrites (strawman)");
+        ManyHartScenario {
+            matrix_ext,
+            matrix_chbp,
+            matrix_trap,
+            fib: hetero::fib_task(300, 2),
+            comm: hetero::communicator_task(3, 4),
+        }
+    }
+
+    /// Adds hart `id`'s task to `kernel` per the standard mix:
+    ///
+    /// * `id % 4 == 0` — RVV matrix task, native on an extension hart;
+    /// * `id % 4 == 1` — the same RVV binary booted on a base hart with
+    ///   no tables: its first vector instruction FAM-faults and the hart
+    ///   migrates to the extension profile mid-run;
+    /// * `id % 8 == 2` — the scalar Fibonacci task;
+    /// * `id % 16 == 6` — the trap-entry strawman rewrite of the matrix
+    ///   task: every trampoline entry is an `ebreak` round trip through
+    ///   the kernel's passive handler, under fuel slicing;
+    /// * `id % 16 == 14` — the CHBP/SMILE rewrite of the matrix task on
+    ///   the base profile (gp-mediated trampolines through the data
+    ///   segment);
+    /// * `id % 4 == 3` — the communicator: pairs `(id, id ^ 4)` exchange
+    ///   IPIs through the event queue and block in `wfi`.
+    pub fn add_hart(&self, kernel: &mut ManyHartKernel, id: u64) {
+        match id % 8 {
+            0 | 4 => kernel.add_hart(
+                &self.matrix_ext,
+                ExtSet::RV64GCV,
+                ExtSet::RV64GCV,
+                RuntimeTables::default(),
+            ),
+            1 | 5 => kernel.add_hart(
+                &self.matrix_ext,
+                ExtSet::RV64GC,
+                ExtSet::RV64GCV,
+                RuntimeTables::default(),
+            ),
+            2 => kernel.add_hart(
+                &self.fib,
+                ExtSet::RV64GC,
+                ExtSet::RV64GC,
+                RuntimeTables::default(),
+            ),
+            6 => {
+                let rw = if id % 16 == 6 {
+                    &self.matrix_trap
+                } else {
+                    &self.matrix_chbp
+                };
+                kernel.add_hart(
+                    &rw.binary,
+                    ExtSet::RV64GC,
+                    ExtSet::RV64GC,
+                    RuntimeTables {
+                        fht: Some(rw.fht.clone()),
+                        regen: None,
+                    },
+                )
+            }
+            _ => kernel.add_hart(
+                &self.comm,
+                ExtSet::RV64GC,
+                ExtSet::RV64GC,
+                RuntimeTables::default(),
+            ),
+        };
+    }
+
+    /// Populates a kernel with `n` harts (`n % 8 == 0`, so every
+    /// communicator's `id ^ 4` peer exists and is also a communicator).
+    pub fn populate(&self, kernel: &mut ManyHartKernel, n: usize) {
+        assert_eq!(n % 8, 0, "communicator pairs need n % 8 == 0");
+        for id in 0..n as u64 {
+            self.add_hart(kernel, id);
+        }
+    }
+}
+
+/// Runs the standard heterogeneous scenario — `n` harts over `workers`
+/// logical host workers — and returns the result together with the
+/// tracer's counter snapshot, so gates can reconcile the result's
+/// aggregate fields (`migrations`, `delivered`) against the `many.*`
+/// trace counters.
+pub fn run_many_hart_scenario(
+    scenario: &ManyHartScenario,
+    n: usize,
+    workers: usize,
+    quantum: u64,
+) -> (ManyHartResult, BTreeMap<String, u64>) {
+    let tracer = Tracer::enabled();
+    let mut kernel = ManyHartKernel::with_tracer(
+        ManyHartConfig {
+            workers,
+            quantum,
+            ..Default::default()
+        },
+        tracer.clone(),
+    );
+    scenario.populate(&mut kernel, n);
+    let result = kernel.run();
+    let counters = tracer
+        .metrics()
+        .expect("enabled tracer has metrics")
+        .counter_snapshot()
+        .into_iter()
+        .collect();
+    (result, counters)
 }
 
 /// Converts the emulator's dirty-span report into the rewrite pipeline's

@@ -213,13 +213,22 @@ impl TraceEvent {
     ];
 }
 
-/// A recorded event: the payload plus a global sequence number (total
-/// order across threads) and a simulated-cycle timestamp supplied by the
-/// recording site (the emulator's cost-model clock; 0 for rewrite-time
+/// A recorded event: the payload plus the guest hart it belongs to, a
+/// per-hart sequence number, and a simulated-cycle timestamp supplied by
+/// the recording site (the emulator's cost-model clock; 0 for rewrite-time
 /// events, which predate execution).
+///
+/// The stream identity is the *hart*, never the recording OS thread: a
+/// fiber suspended on one host worker and resumed on another keeps
+/// appending to the same `(hart, seq)` stream, so drains are stable under
+/// fiber migration. Single-hart components record through the root
+/// [`crate::Tracer`] handle, whose stream is hart 0 with one global
+/// sequence counter — for those, `seq` is a total order as before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
-    /// Global sequence number (drain order).
+    /// Owning guest hart (0 for the root handle).
+    pub hart: u64,
+    /// Sequence number within the hart's stream (drain order).
     pub seq: u64,
     /// Simulated cycles at record time.
     pub cycles: u64,

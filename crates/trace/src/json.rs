@@ -8,9 +8,9 @@
 //!   "name": "hetero",
 //!   "dropped": 0,
 //!   "events": [
-//!     {"seq": 0, "cycles": 0, "type": "RewritePassDone",
+//!     {"hart": 0, "seq": 0, "cycles": 0, "type": "RewritePassDone",
 //!      "pass": "disassemble", "nanos": 1234, "items": 56},
-//!     {"seq": 7, "cycles": 4100, "type": "Trap",
+//!     {"hart": 0, "seq": 7, "cycles": 4100, "type": "Trap",
 //!      "pc": 65588, "kind": "illegal"}
 //!   ],
 //!   "counters": {"kernel.smile_faults": 1},
@@ -129,7 +129,8 @@ pub fn export_json(
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"seq\": {}, \"cycles\": {}, \"type\": \"{}\", ",
+            "    {{\"hart\": {}, \"seq\": {}, \"cycles\": {}, \"type\": \"{}\", ",
+            r.hart,
             r.seq,
             r.cycles,
             r.event.kind()

@@ -41,7 +41,9 @@ mod sink;
 pub use event::{RewritePass, TraceEvent, TraceRecord, TrapKind};
 pub use json::{export_json, summarize};
 pub use metrics::{Counter, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
-pub use sink::{RingSink, TraceSink, Tracer, VecSink, RING_CAPACITY};
+pub use sink::{
+    HartRings, RingSink, TraceSink, Tracer, VecSink, HART_RING_CAPACITY, RING_CAPACITY,
+};
 
 #[cfg(test)]
 mod tests {
@@ -174,6 +176,91 @@ mod tests {
         let summary = summarize(&recs, t.metrics());
         assert!(summary.contains("Trap"));
         assert!(summary.contains("kernel.smile_faults"));
+    }
+
+    #[test]
+    fn hart_ring_survives_cross_worker_migration() {
+        // Regression: the per-thread rings of `RingSink` assume a hart
+        // stays on one OS thread. Under the fiber scheduler a hart is
+        // suspended on one worker and resumed on another; its records
+        // must land in the *hart's* ring regardless.
+        let sink = Arc::new(HartRings::with_capacity(1024));
+        let root = Tracer::with_sink(sink.clone());
+        let hart3 = root.for_hart(3);
+        let hart5 = root.for_hart(5);
+
+        // Slice 1 of each hart on worker A, slice 2 on worker B —
+        // a forced cross-worker migration between the slices.
+        for (tracer, base) in [(&hart3, 0u64), (&hart5, 100)] {
+            let t = tracer.clone();
+            std::thread::spawn(move || {
+                for j in 0..10 {
+                    t.record(base + j, ev(base + j));
+                }
+            })
+            .join()
+            .unwrap();
+        }
+        for (tracer, base) in [(&hart3, 10u64), (&hart5, 110)] {
+            let t = tracer.clone();
+            std::thread::spawn(move || {
+                for j in 0..10 {
+                    t.record(base + j, ev(base + j));
+                }
+            })
+            .join()
+            .unwrap();
+        }
+
+        // Both slices landed in the same per-hart ring, in order.
+        let ring3 = sink.ring(3);
+        assert_eq!(ring3.len(), 20);
+        for (i, r) in ring3.iter().enumerate() {
+            assert_eq!((r.hart, r.seq, r.cycles), (3, i as u64, i as u64));
+        }
+        assert_eq!(sink.harts(), vec![3, 5]);
+
+        // The drain keeps each hart's stream contiguous and ordered.
+        let recs = root.drain();
+        assert_eq!(recs.len(), 40);
+        let keys: Vec<(u64, u64)> = recs.iter().map(|r| (r.hart, r.seq)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(root.dropped(), 0);
+    }
+
+    #[test]
+    fn for_hart_streams_share_sink_and_metrics() {
+        let t = Tracer::enabled();
+        let a = t.for_hart(1);
+        let b = t.for_hart(2);
+        // Per-hart sequence counters are independent and start at 0.
+        a.record(10, ev(1));
+        b.record(20, ev(2));
+        a.record(30, ev(3));
+        a.count("hart.work", 1);
+        b.count("hart.work", 2);
+        let recs = t.drain();
+        assert_eq!(recs.len(), 3);
+        assert_eq!((recs[0].hart, recs[0].seq), (1, 0));
+        assert_eq!((recs[1].hart, recs[1].seq), (1, 1));
+        assert_eq!((recs[2].hart, recs[2].seq), (2, 0));
+        // Metrics are shared with the root handle.
+        assert_eq!(t.metrics().unwrap().counter_value("hart.work"), Some(3));
+        // Deriving from a disabled tracer stays disabled.
+        assert!(!Tracer::disabled().for_hart(7).is_enabled());
+    }
+
+    #[test]
+    fn hart_ring_overflow_counts_drops() {
+        let sink = Arc::new(HartRings::with_capacity(4));
+        let t = Tracer::with_sink(sink.clone()).for_hart(9);
+        for pc in 0..10 {
+            t.record(0, ev(pc));
+        }
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(sink.ring(9).len(), 4);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::event::{TraceEvent, TraceRecord};
 use crate::metrics::MetricsRegistry;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -22,7 +23,9 @@ use std::sync::{Arc, Mutex};
 pub trait TraceSink: Send + Sync {
     /// Accepts one record (called from any thread).
     fn record(&self, rec: TraceRecord);
-    /// Removes and returns everything recorded so far, in sequence order.
+    /// Removes and returns everything recorded so far, ordered by
+    /// `(hart, seq)` — each hart's stream contiguous and in its own
+    /// sequence order, streams concatenated by hart id.
     ///
     /// Rings belonging to *other* threads flush on fill or thread exit;
     /// drain after joining worker threads to observe their tail records.
@@ -165,12 +168,104 @@ impl TraceSink for RingSink {
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner()),
         );
-        v.sort_by_key(|r| r.seq);
+        v.sort_by_key(|r| (r.hart, r.seq));
         v
     }
 
     fn dropped(&self) -> u64 {
         self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// How many locks [`HartRings`] stripes its shards over.
+const HART_STRIPES: usize = 64;
+
+/// Default per-hart ring capacity for [`HartRings`], in records.
+pub const HART_RING_CAPACITY: usize = 1 << 14;
+
+/// A hart-keyed sink: each record is appended to the ring of the *hart*
+/// that produced it, never the recording OS thread. A fiber suspended on
+/// one host worker and resumed on another keeps appending to the same
+/// ring, so fiber migration can't scramble or split a hart's stream (the
+/// failure mode of [`RingSink`]'s thread-local rings under a fiber
+/// scheduler). Rings are created on first record; locks are striped by
+/// hart id so concurrent harts rarely contend.
+pub struct HartRings {
+    stripes: [Mutex<BTreeMap<u64, Vec<TraceRecord>>>; HART_STRIPES],
+    per_hart: usize,
+    dropped: AtomicU64,
+}
+
+impl HartRings {
+    /// Creates a sink with the given per-hart ring capacity; a ring that
+    /// fills drops the newest records and counts them.
+    pub fn with_capacity(per_hart: usize) -> HartRings {
+        HartRings {
+            stripes: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            per_hart: per_hart.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a sink with [`HART_RING_CAPACITY`] records per hart.
+    pub fn new() -> HartRings {
+        HartRings::with_capacity(HART_RING_CAPACITY)
+    }
+
+    /// Snapshot of one hart's ring, in sequence order (empty when the
+    /// hart never recorded).
+    pub fn ring(&self, hart: u64) -> Vec<TraceRecord> {
+        let stripe = self.stripes[(hart as usize) % HART_STRIPES]
+            .lock()
+            .expect("sink poisoned");
+        let mut v = stripe.get(&hart).cloned().unwrap_or_default();
+        v.sort_by_key(|r| r.seq);
+        v
+    }
+
+    /// Hart ids that have recorded at least once, ascending.
+    pub fn harts(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = Vec::new();
+        for stripe in &self.stripes {
+            ids.extend(stripe.lock().expect("sink poisoned").keys().copied());
+        }
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl Default for HartRings {
+    fn default() -> Self {
+        HartRings::new()
+    }
+}
+
+impl TraceSink for HartRings {
+    fn record(&self, rec: TraceRecord) {
+        let mut stripe = self.stripes[(rec.hart as usize) % HART_STRIPES]
+            .lock()
+            .expect("sink poisoned");
+        let ring = stripe.entry(rec.hart).or_default();
+        if ring.len() < self.per_hart {
+            ring.push(rec);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn drain(&self) -> Vec<TraceRecord> {
+        let mut v = Vec::new();
+        for stripe in &self.stripes {
+            for (_, ring) in std::mem::take(&mut *stripe.lock().expect("sink poisoned")) {
+                v.extend(ring);
+            }
+        }
+        v.sort_by_key(|r| (r.hart, r.seq));
+        v
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -195,15 +290,19 @@ impl TraceSink for VecSink {
 
     fn drain(&self) -> Vec<TraceRecord> {
         let mut v = std::mem::take(&mut *self.records.lock().expect("sink poisoned"));
-        v.sort_by_key(|r| r.seq);
+        v.sort_by_key(|r| (r.hart, r.seq));
         v
     }
 }
 
 struct TracerShared {
     sink: Arc<dyn TraceSink>,
+    /// This stream's sequence counter: global for the root handle,
+    /// per-hart for handles derived with [`Tracer::for_hart`].
     seq: AtomicU64,
     metrics: MetricsRegistry,
+    /// The hart stamped onto every record (0 for the root handle).
+    hart: u64,
 }
 
 /// The handle instrumented components hold.
@@ -244,7 +343,29 @@ impl Tracer {
                 sink,
                 seq: AtomicU64::new(0),
                 metrics: MetricsRegistry::new(),
+                hart: 0,
             })),
+        }
+    }
+
+    /// Derives a handle scoped to one guest hart: its records are stamped
+    /// with `hart` and numbered by a fresh per-hart sequence counter,
+    /// while the sink and metrics registry stay shared with `self`.
+    ///
+    /// Derive **once** per hart and clone the result for every component
+    /// of that hart (CPU, kernel runner) — clones share the sequence
+    /// counter, so the hart's stream stays totally ordered. Deriving from
+    /// a disabled tracer yields a disabled handle.
+    pub fn for_hart(&self, hart: u64) -> Tracer {
+        Tracer {
+            inner: self.inner.as_ref().map(|inner| {
+                Arc::new(TracerShared {
+                    sink: Arc::clone(&inner.sink),
+                    seq: AtomicU64::new(0),
+                    metrics: inner.metrics.clone(),
+                    hart,
+                })
+            }),
         }
     }
 
@@ -260,7 +381,12 @@ impl Tracer {
     pub fn record(&self, cycles: u64, event: TraceEvent) {
         if let Some(inner) = &self.inner {
             let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-            inner.sink.record(TraceRecord { seq, cycles, event });
+            inner.sink.record(TraceRecord {
+                hart: inner.hart,
+                seq,
+                cycles,
+                event,
+            });
         }
     }
 
@@ -284,8 +410,8 @@ impl Tracer {
         self.inner.as_ref().map(|i| &i.metrics)
     }
 
-    /// Drains every record collected so far, in sequence order. Empty for
-    /// a disabled tracer.
+    /// Drains every record collected so far, in `(hart, seq)` order.
+    /// Empty for a disabled tracer.
     pub fn drain(&self) -> Vec<TraceRecord> {
         match &self.inner {
             Some(inner) => inner.sink.drain(),

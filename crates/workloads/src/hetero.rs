@@ -217,6 +217,65 @@ pub fn fib_task(n: u64, reps: usize) -> Binary {
     .expect("fib task assembles")
 }
 
+/// A communicator task for the many-hart event kernel: the hart reads its
+/// id (`sys::HART_ID`), derives a peer id (`id ^ peer_mask`), and runs
+/// `rounds` of the symmetric send-then-wait idiom — `ipi(peer); wfi()` —
+/// with a little scalar work per round, finishing with a one-shot timer
+/// (`set_timer(3); wfi()`). It exits with `id * 1000 + checksum mod 997`,
+/// so per-hart results differ and a cross-hart mixup is visible in the
+/// exit code, not just the checksum.
+///
+/// Both harts of a pair must run this task (with the same `peer_mask`) or
+/// the pair deadlocks in `wfi` — which the kernel detects and reports
+/// rather than hanging. The pending-wake latch makes the symmetric idiom
+/// delivery-order-safe: whichever IPI lands first, neither hart can miss
+/// its wakeup.
+pub fn communicator_task(rounds: usize, peer_mask: u64) -> Binary {
+    let src = format!(
+        "
+        _start:
+            li a7, 0x7a00        # sys::HART_ID
+            ecall
+            mv s0, a0            # s0 = own hart id
+            xori s1, s0, {peer_mask}
+            li s2, {rounds}
+            mv s3, s0            # checksum
+        round:
+            # A little per-round scalar work keyed on the hart id.
+            slli t0, s3, 3
+            add s3, s3, t0
+            addi s3, s3, 1
+            li a7, 0x7a02        # sys::IPI
+            mv a0, s1
+            ecall
+            li a7, 0x7a01        # sys::WFI
+            ecall
+            addi s2, s2, -1
+            bnez s2, round
+            li a7, 0x7a03        # sys::SET_TIMER
+            li a0, 3
+            ecall
+            li a7, 0x7a01        # sys::WFI (woken by own timer)
+            ecall
+            li t0, 997
+            remu s3, s3, t0
+            li t0, 1000
+            mul a0, s0, t0
+            add a0, a0, s3
+            li a7, 93
+            ecall
+        "
+    );
+    assemble(
+        &src,
+        AsmOptions {
+            compress: true,
+            profile: chimera_isa::ExtSet::RV64GC,
+        },
+    )
+    .expect("communicator task assembles")
+}
+
 /// The standard §6.1 task-pair sizes: tuned so that, under the default cost
 /// model, computation times are roughly in the paper's 2:2:2:1 ratio for
 /// (base task on base core) : (base task on ext core) :
@@ -256,6 +315,20 @@ mod tests {
         assert_eq!(rs.stats.vector_insts, 0);
         // The vector version is meaningfully faster.
         assert!(rv.stats.cycles < rs.stats.cycles);
+    }
+
+    #[test]
+    fn communicator_needs_the_event_kernel() {
+        // Bare runs (no event scheduler) must reject the first
+        // hart-control call, not misexecute it. The end-to-end behaviour
+        // lives in chimera-kernel's many-hart tests and the bench gate.
+        let c = communicator_task(3, 1);
+        match run_binary(&c, 100_000) {
+            Err(chimera_emu::RunError::BadSyscall { number }) => {
+                assert_eq!(number, chimera_emu::sys::HART_ID);
+            }
+            other => panic!("expected BadSyscall, got {other:?}"),
+        }
     }
 
     #[test]

@@ -438,3 +438,50 @@ fn cache_counters_engage() {
         "loopy code must be re-entry-dominated: {s:?}"
     );
 }
+
+/// Yield-point transparency: a run chopped into **1-instruction fuel
+/// slices**, with the suspended run forcibly migrated to a fresh OS
+/// thread every few slices, observes exactly like the unsliced run — in
+/// all four execution modes. This is the contract the many-hart fiber
+/// kernel stands on: every `Cpu::run` return is a clean suspension point
+/// (batched counters drained, no host-thread residue), so a fiber may
+/// resume anywhere, any number of times, without any observable effect.
+#[test]
+fn slicing_and_forced_migration_are_transparent_in_every_mode() {
+    use chimera_emu::ExecMode;
+    use chimera_testutil::observe_mode_sliced;
+
+    let zoo = [
+        ("hetero:matrix".to_string(), hetero::matrix_task(8, 2, true)),
+        ("hetero:fib".to_string(), hetero::fib_task(12, 2)),
+        (
+            "blas:sgemv".into(),
+            blas::gemv(4, 3, 1, 2, Precision::Single, true),
+        ),
+    ];
+    for (name, bin) in zoo {
+        let m = run_all_modes(&bin, bin.profile, FUEL);
+        let columns = [
+            (ExecMode::Reference, false, &m.reference.0),
+            (ExecMode::Interpreter, true, &m.interpreter.0),
+            (ExecMode::Engine, true, &m.engine.0),
+            (ExecMode::Jit, true, &m.jit.0),
+        ];
+        for (mode, cache, unsliced) in columns {
+            // The torture slicing: one instruction per slice, hop to a
+            // new OS thread every 64 slices.
+            let tortured = observe_mode_sliced(&bin, bin.profile, mode, cache, FUEL, 1, 64);
+            assert_eq!(
+                &tortured, unsliced,
+                "{name} ({mode:?}): 1-instruction slicing diverged"
+            );
+            // A mid-size odd slice with frequent hops, to catch anything
+            // only triggered by multi-instruction partial slices.
+            let mid = observe_mode_sliced(&bin, bin.profile, mode, cache, FUEL, 97, 3);
+            assert_eq!(
+                &mid, unsliced,
+                "{name} ({mode:?}): 97-instruction slicing diverged"
+            );
+        }
+    }
+}
