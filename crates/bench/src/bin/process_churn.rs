@@ -1,0 +1,433 @@
+//! Process-churn gate: O(µs) pooled spawn + 1000-guest churn.
+//!
+//!     cargo run --release -p chimera-bench --bin process_churn
+//!
+//! Three phases:
+//!
+//! 1. **Spawn latency** — spawn→first-retired-instruction, min over
+//!    interleaved samples, in three configurations: *cold* (a fresh
+//!    [`SharedVariantCache`] checkout that pays the full rewrite, then an
+//!    eager [`Process::load`]), *cold-no-rewrite* (warm checkout, eager
+//!    load — isolates the instantiation cost from the rewrite cost), and
+//!    *warm pool* ([`ProcessPool::spawn`] on a recycled copy-on-write
+//!    slot). Gate: warm ≥ 5x faster than cold (hard floor 5x/1.5 — the
+//!    1.5x noise allowance of the other latency gates).
+//! 2. **Churn** — N=1000 concurrent pooled guests through the
+//!    [`ManyHartKernel`], three rounds of spawn → run → recycle on ONE
+//!    pool. Every round must be bit-identical to the first (recycled
+//!    slots are indistinguishable from fresh ones), every slot must
+//!    recycle (zero discards), and sustained processes/sec is reported.
+//! 3. **Isolation** — one holder of the shared variant self-modifies and
+//!    re-rewrites through its private cache; the gate hard-fails unless
+//!    the other holder and the shared template stay untouched (zero
+//!    cross-process invalidations).
+//!
+//! Results land in `results/process-churn.json`.
+
+use chimera_bench::harness::fmt_ns;
+use chimera_isa::ExtSet;
+use chimera_kernel::{
+    ManyHartConfig, ManyHartKernel, ManyHartResult, Process, ProcessPool, RuntimeTables, Variant,
+};
+use chimera_obj::{assemble, AsmOptions, Binary, DEFAULT_STACK_SIZE};
+use chimera_rewrite::{run_incremental, ChbpEngine, DirtySpan, RewriteOptions, SharedVariantCache};
+use chimera_trace::{TraceEvent, Tracer};
+use std::io::Write;
+use std::time::Instant;
+
+const GUESTS: usize = 1000;
+const ROUNDS: usize = 3;
+const WORKERS: usize = 4;
+const COLD_SAMPLES: usize = 12;
+const WARM_SAMPLES: usize = 256;
+/// Target speedup of a warm pooled spawn over a cold spawn, and the noise
+/// allowance dividing it down to the hard floor.
+const TARGET_SPEEDUP: f64 = 5.0;
+const NOISE_ALLOWANCE: f64 = 1.5;
+
+/// The churn guest: dirties its stack and `.data`, runs vector code (so
+/// the CHBP rewrite is non-trivial), exits `14 + hart_id`.
+const GUEST: &str = "
+    .data
+    buf: .dword 2
+         .dword 3
+         .dword 4
+         .dword 5
+    acc: .dword 0
+    .text
+    _start:
+        li a7, 0x7a00       # HART_ID
+        ecall
+        mv s0, a0
+        addi sp, sp, -32
+        sd s0, 0(sp)
+        sd s0, 8(sp)
+        li t0, 4
+        vsetvli t1, t0, e64, m1, ta, ma
+        la a0, buf
+        vle64.v v1, (a0)
+        vmv.v.i v2, 0
+        vredsum.vs v3, v1, v2
+        vmv.x.s t2, v3
+        la a1, acc
+        sd t2, 0(a1)
+        ld t3, 0(sp)
+        add a0, t2, t3
+        addi sp, sp, 32
+        li a7, 93
+        ecall
+";
+
+fn engine() -> ChbpEngine {
+    ChbpEngine {
+        target: ExtSet::RV64GC,
+        opts: RewriteOptions::default(),
+    }
+}
+
+fn to_variant(handle: &chimera_rewrite::VariantHandle) -> Variant {
+    Variant {
+        binary: handle.rewritten().binary.clone(),
+        tables: RuntimeTables {
+            fht: Some(handle.rewritten().fht.clone()),
+            regen: handle.regen().cloned(),
+        },
+    }
+}
+
+/// Spawn→first-instruction latencies (ns): cold (full rewrite + eager
+/// load), cold-no-rewrite (shared checkout + eager load), warm pool.
+fn latency_phase(bin: &Binary) -> (f64, f64, f64) {
+    let disabled = Tracer::disabled();
+    let eng = engine();
+
+    // Cold: every sample pays the rewrite (fresh cache) and the eager
+    // per-section copy + stack zeroing of Process::load.
+    let mut cold_min = f64::INFINITY;
+    for _ in 0..COLD_SAMPLES {
+        let shared = SharedVariantCache::new();
+        let t0 = Instant::now();
+        let handle = shared.checkout(&eng, bin, 0, 1, &disabled).unwrap();
+        let process = Process::new(vec![to_variant(&handle)]);
+        let (mut cpu, mut mem, _) = process.load(ExtSet::RV64GC).unwrap();
+        let _ = cpu.run(&mut mem, 1);
+        cold_min = cold_min.min(t0.elapsed().as_nanos() as f64);
+        assert!(cpu.stats.instret >= 1, "first instruction retired");
+    }
+
+    // Cold-no-rewrite: the shared cache already holds the variant; the
+    // sample still instantiates memory eagerly.
+    let shared = SharedVariantCache::new();
+    let _ = shared.checkout(&eng, bin, 0, 1, &disabled).unwrap();
+    let mut norewrite_min = f64::INFINITY;
+    for _ in 0..WARM_SAMPLES {
+        let t0 = Instant::now();
+        let handle = shared.checkout(&eng, bin, 0, 1, &disabled).unwrap();
+        let process = Process::new(vec![to_variant(&handle)]);
+        let (mut cpu, mut mem, _) = process.load(ExtSet::RV64GC).unwrap();
+        let _ = cpu.run(&mut mem, 1);
+        norewrite_min = norewrite_min.min(t0.elapsed().as_nanos() as f64);
+    }
+
+    // Warm pool: recycled copy-on-write slots, nothing copied on spawn.
+    let handle = shared.checkout(&eng, bin, 0, 1, &disabled).unwrap();
+    let mut pool = ProcessPool::new();
+    let key = pool.register(to_variant(&handle));
+    pool.prewarm(key, 1);
+    let mut warm_min = f64::INFINITY;
+    for _ in 0..WARM_SAMPLES {
+        let t0 = Instant::now();
+        let (mut cpu, mut mem) = pool.spawn(key, ExtSet::RV64GC).unwrap();
+        let _ = cpu.run(&mut mem, 1);
+        warm_min = warm_min.min(t0.elapsed().as_nanos() as f64);
+        assert_eq!(
+            mem.resident_bytes(),
+            0,
+            "a pooled slot shares every clean region with the master"
+        );
+        pool.recycle(key, 0, mem).expect("slot recycles");
+    }
+    let stats = pool.stats(key).unwrap();
+    assert_eq!(stats.discarded, 0, "no warm sample may discard its slot");
+    (cold_min, norewrite_min, warm_min)
+}
+
+struct ChurnOutcome {
+    procs_per_sec: f64,
+    retired: u64,
+    recycled: u64,
+    restored_bytes: u64,
+    spawn_mean_ns: u64,
+}
+
+/// Rounds of 1000 concurrent pooled guests; consecutive rounds must be
+/// bit-identical and every slot must come back.
+fn churn_phase(variant: &Variant) -> ChurnOutcome {
+    let tracer = Tracer::enabled();
+    let mut pool = ProcessPool::with_config(DEFAULT_STACK_SIZE, tracer.clone());
+    let key = pool.register(variant.clone());
+
+    let mut baseline: Option<ManyHartResult> = None;
+    let mut retired = 0u64;
+    let t0 = Instant::now();
+    for round in 0..ROUNDS {
+        let mut k = ManyHartKernel::new(ManyHartConfig {
+            workers: WORKERS,
+            ..Default::default()
+        });
+        for _ in 0..GUESTS {
+            k.add_pooled_hart(&mut pool, key, ExtSet::RV64GC, ExtSet::RV64GC)
+                .expect("registered key spawns");
+        }
+        let r = k.run();
+        assert_eq!(
+            r.exited(),
+            GUESTS,
+            "round {round}: every guest exits: {:?}",
+            r.first_failure()
+        );
+        for (i, h) in r.harts.iter().enumerate() {
+            assert_eq!(h.exit, Some(14 + i as i64), "round {round} hart {i}");
+        }
+        let recycled = k.recycle_into(&mut pool);
+        assert_eq!(recycled, GUESTS, "round {round}: every slot recycles");
+        retired += r.retired;
+        match &baseline {
+            None => baseline = Some(r),
+            Some(b) => assert_eq!(
+                &r, b,
+                "round {round} diverged from round 0 — recycled slots must \
+                 be indistinguishable from fresh ones"
+            ),
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let stats = pool.stats(key).unwrap();
+    assert_eq!(stats.discarded, 0, "zero discards across the churn");
+    assert_eq!(stats.recycled, (ROUNDS * GUESTS) as u64);
+    assert_eq!(
+        stats.instantiated, GUESTS as u64,
+        "rounds after the first run entirely on recycled slots"
+    );
+    assert_eq!(
+        stats.reused,
+        ((ROUNDS - 1) * GUESTS) as u64,
+        "every later-round spawn reused a slot"
+    );
+    // Restoration is span-proportional: each guest dirties a few dozen
+    // bytes of stack and data, so per-slot restoration stays far below
+    // the 256 KiB+ it would cost to rebuild the image.
+    let per_slot = stats.restored_bytes / stats.recycled;
+    assert!(
+        per_slot < 4096,
+        "recycle restored {per_slot} B/slot — dirty-span restoration \
+         must not degrade to image-sized copies"
+    );
+
+    let metrics = tracer.metrics().expect("enabled tracer");
+    let counter = |name: &str| metrics.counter_value(name).unwrap_or(0);
+    assert_eq!(counter("pool.spawns"), (ROUNDS * GUESTS) as u64);
+    assert_eq!(counter("pool.slots_recycled"), (ROUNDS * GUESTS) as u64);
+    assert_eq!(counter("pool.slots_discarded"), 0);
+    let spawn_hist = metrics.histogram("pool.spawn_ns");
+    assert_eq!(spawn_hist.count(), (ROUNDS * GUESTS) as u64);
+    let spawn_mean_ns = spawn_hist.sum() / spawn_hist.count().max(1);
+
+    ChurnOutcome {
+        procs_per_sec: (ROUNDS * GUESTS) as f64 / wall,
+        retired,
+        recycled: stats.recycled,
+        restored_bytes: stats.restored_bytes,
+        spawn_mean_ns,
+    }
+}
+
+/// One holder self-modifies; the other holder and the shared template
+/// must be untouched. Returns the shared-cache hit count for the JSON.
+fn isolation_phase(bin: &Binary) -> u64 {
+    let eng = engine();
+    let shared = SharedVariantCache::new();
+    let tracer = Tracer::enabled();
+    let mut a = shared.checkout(&eng, bin, 0, 2, &tracer).unwrap();
+    let b = shared.checkout(&eng, bin, 0, 2, &tracer).unwrap();
+    assert!(!a.shared_hit && b.shared_hit);
+
+    // A pokes a trampoline head and re-rewrites through its private copy.
+    let site = *a
+        .rewritten()
+        .fht
+        .trampolines
+        .iter()
+        .next()
+        .expect("the guest has patch sites");
+    let dirty = [DirtySpan {
+        start: site,
+        end: site + 4,
+        generation: 1,
+    }];
+    let refreshed = run_incremental(&eng, bin, a.cache_mut(), &dirty, 2, &tracer).unwrap();
+    assert_eq!(refreshed.rewritten, *a.rewritten());
+    let redone: u64 = tracer
+        .drain()
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::RewriteIncremental { units_redone, .. } => Some(units_redone),
+            _ => None,
+        })
+        .sum();
+    assert!(redone >= 1, "A's poke must redo at least one unit");
+
+    // Zero cross-process invalidations: B never privatized, and a fresh
+    // checkout still sees an all-clean shared stamp column.
+    assert!(!b.has_private_cache(), "B must stay on shared state");
+    let c = shared.checkout(&eng, bin, 0, 2, &tracer).unwrap();
+    assert!(c.shared_hit);
+    assert!(
+        c.shared_stamps().iter().all(|&s| s == 0),
+        "A's SMC poke leaked into the shared template"
+    );
+    let stats = shared.stats();
+    assert_eq!((stats.entries, stats.misses, stats.hits), (1, 1, 2));
+    let metrics = tracer.metrics().expect("enabled tracer");
+    assert_eq!(
+        metrics.counter_value("rewrite.cross_process_hits"),
+        Some(stats.hits),
+        "every shared hit is both counted and served"
+    );
+    stats.hits
+}
+
+fn main() {
+    let bin = assemble(GUEST, AsmOptions::default()).unwrap();
+
+    // Memory-footprint sanity: the pooled master commits the 256 KiB
+    // default stack, not the single-hart 8 MiB maximum — at 1000 guests
+    // that is the difference between ~¼ GiB and 8 GiB of stack pages.
+    {
+        let disabled = Tracer::disabled();
+        let handle = SharedVariantCache::new()
+            .checkout(&engine(), &bin, 0, 1, &disabled)
+            .unwrap();
+        let process = Process::new(vec![to_variant(&handle)]);
+        let (_, mem, _) = process.load(ExtSet::RV64GC).unwrap();
+        assert!(
+            mem.mapped_bytes() < DEFAULT_STACK_SIZE + 128 * 1024,
+            "eager load must commit the default stack, got {} B mapped",
+            mem.mapped_bytes()
+        );
+    }
+
+    let (cold_ns, norewrite_ns, warm_ns) = latency_phase(&bin);
+    let vs_cold = cold_ns / warm_ns;
+    let vs_norewrite = norewrite_ns / warm_ns;
+    println!(
+        "spawn latency (min): cold {} | cold-no-rewrite {} | warm pool {}",
+        fmt_ns(cold_ns),
+        fmt_ns(norewrite_ns),
+        fmt_ns(warm_ns)
+    );
+    println!(
+        "warm-pool speedup: {vs_cold:.1}x vs cold, {vs_norewrite:.1}x vs cold-no-rewrite \
+         (target {TARGET_SPEEDUP}x, hard floor {:.2}x)",
+        TARGET_SPEEDUP / NOISE_ALLOWANCE
+    );
+    assert!(
+        vs_cold >= TARGET_SPEEDUP / NOISE_ALLOWANCE,
+        "warm pooled spawn is only {vs_cold:.2}x faster than cold — below \
+         the {:.2}x hard floor (target {TARGET_SPEEDUP}x)",
+        TARGET_SPEEDUP / NOISE_ALLOWANCE
+    );
+    if vs_cold < TARGET_SPEEDUP {
+        println!(
+            "WARN: speedup {vs_cold:.1}x is under the {TARGET_SPEEDUP}x target \
+             (within the noise allowance); rerun on quiet hardware if this persists"
+        );
+    }
+
+    let shared = SharedVariantCache::new();
+    let handle = shared
+        .checkout(&engine(), &bin, 0, 2, &Tracer::disabled())
+        .unwrap();
+    let variant = to_variant(&handle);
+    let churn = churn_phase(&variant);
+    println!(
+        "churn: {} guests x {} rounds, {:.0} processes/sec sustained, \
+         {} recycles ({} B restored, ~{} B/slot), spawn mean {}",
+        GUESTS,
+        ROUNDS,
+        churn.procs_per_sec,
+        churn.recycled,
+        churn.restored_bytes,
+        churn.restored_bytes / churn.recycled,
+        fmt_ns(churn.spawn_mean_ns as f64)
+    );
+
+    let shared_hits = isolation_phase(&bin);
+    println!("isolation: {shared_hits} shared hits, zero cross-process invalidations");
+
+    dump_json(
+        cold_ns,
+        norewrite_ns,
+        warm_ns,
+        vs_cold,
+        vs_norewrite,
+        &churn,
+        shared_hits,
+    );
+    println!(
+        "PASS: warm pooled spawn {vs_cold:.1}x over cold, {} guests churned \
+         bit-identically across {} rounds, isolation holds",
+        GUESTS, ROUNDS
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dump_json(
+    cold_ns: f64,
+    norewrite_ns: f64,
+    warm_ns: f64,
+    vs_cold: f64,
+    vs_norewrite: f64,
+    churn: &ChurnOutcome,
+    shared_hits: u64,
+) {
+    std::fs::create_dir_all("results").unwrap();
+    let mut f = std::fs::File::create("results/process-churn.json").unwrap();
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "  \"guests\": {GUESTS},").unwrap();
+    writeln!(f, "  \"rounds\": {ROUNDS},").unwrap();
+    writeln!(f, "  \"workers\": {WORKERS},").unwrap();
+    writeln!(f, "  \"stack_bytes\": {DEFAULT_STACK_SIZE},").unwrap();
+    writeln!(f, "  \"spawn_latency_ns\": {{").unwrap();
+    writeln!(f, "    \"cold_full_min\": {cold_ns:.0},").unwrap();
+    writeln!(f, "    \"cold_norewrite_min\": {norewrite_ns:.0},").unwrap();
+    writeln!(f, "    \"warm_pool_min\": {warm_ns:.0},").unwrap();
+    writeln!(f, "    \"warm_pool_churn_mean\": {}", churn.spawn_mean_ns).unwrap();
+    writeln!(f, "  }},").unwrap();
+    writeln!(f, "  \"speedup\": {{").unwrap();
+    writeln!(f, "    \"vs_cold_full\": {vs_cold:.2},").unwrap();
+    writeln!(f, "    \"vs_cold_norewrite\": {vs_norewrite:.2},").unwrap();
+    writeln!(f, "    \"target\": {TARGET_SPEEDUP},").unwrap();
+    writeln!(
+        f,
+        "    \"hard_floor\": {:.4}",
+        TARGET_SPEEDUP / NOISE_ALLOWANCE
+    )
+    .unwrap();
+    writeln!(f, "  }},").unwrap();
+    writeln!(f, "  \"churn\": {{").unwrap();
+    writeln!(f, "    \"procs_per_sec\": {:.0},", churn.procs_per_sec).unwrap();
+    writeln!(f, "    \"retired\": {},", churn.retired).unwrap();
+    writeln!(f, "    \"slots_recycled\": {},", churn.recycled).unwrap();
+    writeln!(f, "    \"slots_discarded\": 0,").unwrap();
+    writeln!(f, "    \"restored_bytes\": {},", churn.restored_bytes).unwrap();
+    writeln!(f, "    \"deterministic\": true").unwrap();
+    writeln!(f, "  }},").unwrap();
+    writeln!(f, "  \"isolation\": {{").unwrap();
+    writeln!(f, "    \"shared_hits\": {shared_hits},").unwrap();
+    writeln!(f, "    \"cross_process_invalidations\": 0").unwrap();
+    writeln!(f, "  }}").unwrap();
+    writeln!(f, "}}").unwrap();
+    println!("wrote results/process-churn.json");
+}

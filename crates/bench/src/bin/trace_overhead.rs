@@ -16,21 +16,23 @@
 //!
 //! Part 2 runs one heterogeneous scenario — static rewrite, forced SMILE
 //! fault, lazy rewriting of hidden vector code, a decode-cache
-//! invalidation via self-modification, a JIT-tier promotion, and the
+//! invalidation via self-modification, a JIT-tier promotion, shared
+//! variant-cache checkouts plus pooled spawn/recycle cycles, and the
 //! work-stealing simulator — against one shared tracer, asserts every one
-//! of the twelve [`TraceEvent`] kinds occurred (TierPromote is excused on
-//! hosts without executable pages), reconciles event counts against the
-//! metrics registry and the kernel's [`FaultCounters`], and dumps
+//! of the fourteen [`TraceEvent`] kinds occurred (TierPromote is excused
+//! on hosts without executable pages), reconciles event counts against
+//! the metrics registry and the kernel's [`FaultCounters`], and dumps
 //! `results/trace-hetero.json`.
 
 use chimera::{measure_traced, Measurement};
 use chimera_bench::harness::fmt_ns;
 use chimera_emu::{RunError, RunResult};
 use chimera_isa::ExtSet;
-use chimera_kernel::{KernelRunner, Process, RunOutcome, RuntimeTables, Variant};
-use chimera_obj::{assemble, AsmOptions, Binary};
+use chimera_kernel::{KernelRunner, Process, ProcessPool, RunOutcome, RuntimeTables, Variant};
+use chimera_obj::{assemble, AsmOptions, Binary, DEFAULT_STACK_SIZE};
 use chimera_rewrite::{
     chbp_rewrite_traced, run_cached, run_incremental, ChbpEngine, DirtySpan, RewriteOptions,
+    SharedVariantCache,
 };
 use chimera_trace::{export_json, summarize, TraceEvent, Tracer};
 
@@ -481,6 +483,50 @@ fn hetero_scenario() {
     let sim = chimera_kernel::simulate_work_stealing_traced(machine, &tasks, &tracer);
     assert!(sim.migrations > 0, "FAM tasks must migrate");
 
+    // (h) Cross-process variant sharing + pooled process churn: one cold
+    // checkout (a fourth traced full rewrite — 6 more RewritePassDone),
+    // two warm checkouts (one VariantShared event and one
+    // `rewrite.cross_process_hits` count each), then two pooled
+    // spawn → run → recycle cycles (one SlotRecycled event and one
+    // `pool.slots_recycled` count each, plus `pool.spawn_ns`
+    // observations).
+    {
+        let engine = ChbpEngine {
+            target: ExtSet::RV64GC,
+            opts: RewriteOptions::default(),
+        };
+        let shared = SharedVariantCache::new();
+        let cold = shared.checkout(&engine, &vec_bin, 0, 2, &tracer).unwrap();
+        assert!(!cold.shared_hit, "first checkout pays the rewrite");
+        for _ in 0..2 {
+            let warm = shared.checkout(&engine, &vec_bin, 0, 2, &tracer).unwrap();
+            assert!(warm.shared_hit, "warm checkouts are served shared");
+            assert_eq!(warm.rewritten(), cold.rewritten());
+        }
+        let mut pool = ProcessPool::with_config(DEFAULT_STACK_SIZE, tracer.clone());
+        let key = pool.register(Variant {
+            binary: cold.rewritten().binary.clone(),
+            tables: RuntimeTables {
+                fht: Some(cold.rewritten().fht.clone()),
+                regen: cold.regen().cloned(),
+            },
+        });
+        for hart in 0..2u64 {
+            let (mut cpu, mut mem) = pool.spawn(key, ExtSet::RV64GC).unwrap();
+            cpu.tracer = tracer.clone();
+            let tables = pool.variant(key).unwrap().tables.clone();
+            let mut k = KernelRunner::with_tracer(tables, tracer.clone());
+            let outcome = k.run(&mut cpu, &mut mem, 1_000_000);
+            assert_eq!(outcome, RunOutcome::Exited(14));
+            expected.smile_faults += k.counters.smile_faults;
+            expected.lazy_rewrites += k.counters.lazy_rewrites;
+            expected.blocks_built += cpu.cache.stats.blocks_built;
+            expected.invalidations += cpu.cache.stats.invalidations;
+            expected.chained += cpu.cache.stats.chained;
+            pool.recycle(key, hart, mem).expect("slot recycles");
+        }
+    }
+
     // Drain once and reconcile: every event kind present, and each event
     // count equals both its tracer counter and the authoritative source.
     let records = tracer.drain();
@@ -519,11 +565,25 @@ fn hetero_scenario() {
         .filter(|r| matches!(r.event, TraceEvent::StealAttempt { success: true, .. }))
         .count() as u64;
     assert_eq!(successful_steals, counter("sched.steals"));
-    // Three traced full rewrites (two chbp_rewrite_traced + the cache
-    // priming run), six pipeline stages each; the incremental run emits
-    // no per-pass events — just its one RewriteIncremental.
-    assert_eq!(count("RewritePassDone"), 18);
+    // Four traced full rewrites (two chbp_rewrite_traced, the cache
+    // priming run, and the shared cache's cold checkout), six pipeline
+    // stages each; the incremental run and the warm checkouts emit no
+    // per-pass events.
+    assert_eq!(count("RewritePassDone"), 24);
     assert_eq!(count("RewriteIncremental"), 1);
+    // Cross-process sharing and pooled churn reconcile exactly: every
+    // warm checkout is both traced and counted, every recycled slot
+    // likewise, and both pooled spawns were latency-observed.
+    assert_eq!(count("VariantShared"), 2);
+    assert_eq!(
+        count("VariantShared"),
+        counter("rewrite.cross_process_hits")
+    );
+    assert_eq!(count("SlotRecycled"), 2);
+    assert_eq!(count("SlotRecycled"), counter("pool.slots_recycled"));
+    assert_eq!(counter("pool.spawns"), 2);
+    assert_eq!(counter("pool.slots_discarded"), 0);
+    assert_eq!(metrics.histogram("pool.spawn_ns").count(), 2);
     assert_eq!(
         counter("rewrite.units_reused") + counter("rewrite.units_redone"),
         incremental_total,
@@ -541,10 +601,10 @@ fn hetero_scenario() {
     println!("wrote results/trace-hetero.json ({} bytes)", json.len());
     print!("{}", summarize(&records, Some(metrics)));
     if jit_available {
-        println!("PASS: all 12 event kinds present, counters reconcile exactly");
+        println!("PASS: all 14 event kinds present, counters reconcile exactly");
     } else {
         println!(
-            "PASS: 11/12 event kinds present (TierPromote excused: no \
+            "PASS: 13/14 event kinds present (TierPromote excused: no \
              executable pages), counters reconcile exactly"
         );
     }

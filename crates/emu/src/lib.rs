@@ -51,6 +51,7 @@ mod hart;
 #[allow(unsafe_code)]
 mod jit;
 mod mem;
+mod pool;
 mod runner;
 pub mod uop;
 
@@ -60,7 +61,8 @@ pub use cpu::{Cpu, ExecMode, Stop, Trap};
 pub use fiber::{FiberYield, HartFiber};
 pub use hart::{Hart, VLENB};
 pub use jit::jit_available;
-pub use mem::{Access, AccessHints, DirtySpan, MemFault, Memory, Region, RegionHint};
+pub use mem::{Access, AccessHints, DirtySpan, MasterImage, MemFault, Memory, Region, RegionHint};
+pub use pool::{boot_pooled, MemoryPool, PoolStats};
 pub use runner::{
     boot, boot_with_stack, run_binary, run_binary_mode, run_binary_on, run_binary_traced,
     run_binary_with, run_cpu, sys, BareRun, BareYield, RunError, RunResult,

@@ -7,9 +7,10 @@
 //! "segmentation fault" of the paper. The emulator enforces R/W/X on every
 //! access, exactly like the MMU the paper's kernel relies on.
 
-use chimera_obj::{Binary, Perms, STACK_SIZE, STACK_TOP};
+use chimera_obj::{Binary, Perms, DEFAULT_STACK_SIZE, STACK_TOP};
 use core::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The workspace-global source of region generation values. Process-wide
 /// (not per-[`Memory`]) so that two `Memory` instances can never hand out
@@ -79,6 +80,20 @@ impl fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
+/// The physical backing of a [`Region`]: bytes this memory owns
+/// privately, or a copy-on-write reference into an immutable
+/// [`MasterImage`]. Regions are the paging granule of this model: a
+/// shared region privatizes wholesale on its first write.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Private bytes; in-place writes, never reallocated by guest
+    /// execution (every guest store is a fixed-length overwrite).
+    Owned(Vec<u8>),
+    /// Clean copy-on-write view of a master region. Any write (or raw
+    /// mirror request) converts to `Owned` first.
+    Shared(Arc<[u8]>),
+}
+
 /// One mapped region.
 #[derive(Debug, Clone)]
 pub struct Region {
@@ -86,8 +101,14 @@ pub struct Region {
     pub start: u64,
     /// Region permissions.
     pub perms: Perms,
-    /// Backing bytes.
-    pub bytes: Vec<u8>,
+    /// Backing bytes (private, or shared copy-on-write with a master
+    /// image — see [`Region::bytes`]).
+    backing: Backing,
+    /// Bounding offset span `[lo, hi)` of every byte written since the
+    /// region was mapped, instantiated, or last recycled. Slot recycling
+    /// restores exactly this span from the master image — the rest of the
+    /// region is untouched and needs no work.
+    written: Option<(usize, usize)>,
     /// Diagnostic name (usually the originating section).
     pub name: String,
     /// Write generation. Starts from a fresh **workspace-unique** value at
@@ -101,9 +122,66 @@ pub struct Region {
 }
 
 impl Region {
+    /// The region's bytes (read-only; writes go through [`Memory`]'s
+    /// accessors so copy-on-write and generation bookkeeping hold).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Owned(v) => v,
+            Backing::Shared(a) => a,
+        }
+    }
+
+    /// The mapped length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the region is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// One past the last mapped address.
     pub fn end(&self) -> u64 {
-        self.start + self.bytes.len() as u64
+        self.start + self.len() as u64
+    }
+
+    /// Whether the backing is still shared (clean copy-on-write) with a
+    /// master image.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.backing, Backing::Shared(_))
+    }
+
+    /// Converts a shared backing into a private copy; no-op when already
+    /// owned. Guest-visible bytes are unchanged.
+    fn privatize(&mut self) {
+        if let Backing::Shared(a) = &self.backing {
+            let owned = a.to_vec();
+            self.backing = Backing::Owned(owned);
+        }
+    }
+
+    /// Widens the written span to cover `[lo, hi)`.
+    #[inline]
+    fn mark_written(&mut self, lo: usize, hi: usize) {
+        self.written = Some(match self.written {
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+            None => (lo, hi),
+        });
+    }
+
+    /// Mutable view of `[lo, hi)`: privatizes a shared backing and records
+    /// the span as written. Every byte-mutation path funnels through here.
+    #[inline]
+    fn bytes_mut(&mut self, lo: usize, hi: usize) -> &mut [u8] {
+        self.privatize();
+        self.mark_written(lo, hi);
+        match &mut self.backing {
+            Backing::Owned(v) => &mut v[lo..hi],
+            Backing::Shared(_) => unreachable!("privatized above"),
+        }
     }
 }
 
@@ -133,6 +211,92 @@ pub struct AccessHints {
     pub fetch: RegionHint,
 }
 
+/// An immutable master memory image: the template pooled process slots
+/// instantiate from. Region bytes live behind `Arc`s, so
+/// [`Memory::instantiate_from`] shares every clean region with the master
+/// (copy-on-write) instead of copying — instantiation cost is O(regions),
+/// not O(bytes) — and slot recycling restores only the spans a run
+/// actually dirtied.
+#[derive(Debug)]
+pub struct MasterImage {
+    regions: Vec<MasterRegion>,
+    entry: u64,
+    gp: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MasterRegion {
+    start: u64,
+    perms: Perms,
+    bytes: Arc<[u8]>,
+    name: String,
+}
+
+impl MasterImage {
+    /// Builds a master image from a binary: every section becomes a
+    /// region, plus a zeroed stack of `stack_size` bytes ending at
+    /// [`STACK_TOP`] (mirroring [`Memory::load_with_stack`]).
+    pub fn new(binary: &Binary, stack_size: u64) -> MasterImage {
+        assert!(stack_size > 0, "stack must be at least one byte");
+        let mut img = MasterImage {
+            regions: Vec::with_capacity(binary.sections.len() + 1),
+            entry: binary.entry,
+            gp: binary.gp,
+        };
+        for s in &binary.sections {
+            img.push_region(s.addr, s.data.clone(), s.perms, &s.name);
+        }
+        img.push_region(
+            STACK_TOP - stack_size,
+            vec![0; stack_size as usize],
+            Perms::RW,
+            "[stack]",
+        );
+        img
+    }
+
+    /// Adds an extra region to the template (e.g. the kernel's `[lazy]`
+    /// rewrite slack). Panics on overlap, like [`Memory::map_bytes`].
+    pub fn push_region(&mut self, start: u64, bytes: Vec<u8>, perms: Perms, name: &str) {
+        let end = start + bytes.len() as u64;
+        for r in &self.regions {
+            let r_end = r.start + r.bytes.len() as u64;
+            assert!(
+                end <= r.start || start >= r_end,
+                "master region {name} [{start:#x},{end:#x}) overlaps {}",
+                r.name
+            );
+        }
+        self.regions.push(MasterRegion {
+            start,
+            perms,
+            bytes: bytes.into(),
+            name: name.to_string(),
+        });
+        self.regions.sort_by_key(|r| r.start);
+    }
+
+    /// The entry point instantiated CPUs boot at.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// The global-pointer value for the psABI environment.
+    pub fn gp(&self) -> u64 {
+        self.gp
+    }
+
+    /// Number of template regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total mapped bytes across all template regions.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.bytes.len() as u64).sum()
+    }
+}
+
 /// Region-based memory.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
@@ -148,6 +312,9 @@ pub struct Memory {
     edits: Vec<DirtySpan>,
     /// Index of the region that satisfied the last access (locality cache).
     last_hit: usize,
+    /// The master image this memory was instantiated from, if pooled;
+    /// recycling restores dirtied spans from it.
+    master: Option<Arc<MasterImage>>,
 }
 
 /// Cap on the edit log: past this, the two closest spans merge into their
@@ -191,7 +358,8 @@ impl Memory {
         self.regions.push(Region {
             start,
             perms,
-            bytes,
+            backing: Backing::Owned(bytes),
+            written: None,
             name: name.to_string(),
             generation,
         });
@@ -203,17 +371,19 @@ impl Memory {
     }
 
     /// Builds memory from a binary: every section becomes a region, plus a
-    /// stack region under [`STACK_TOP`].
+    /// stack region under [`STACK_TOP`] ([`DEFAULT_STACK_SIZE`] bytes; use
+    /// [`Memory::load_with_stack`] for workloads needing deeper stacks).
     pub fn load(binary: &Binary) -> Memory {
-        Memory::load_with_stack(binary, STACK_SIZE)
+        Memory::load_with_stack(binary, DEFAULT_STACK_SIZE)
     }
 
     /// [`Memory::load`] with an explicit stack size. The stack always ends
     /// at [`STACK_TOP`], so the boot `sp` is identical whatever the size;
-    /// only the lowest mapped stack address moves. Many-hart schedulers use
-    /// small per-fiber stacks here: the default 8 MiB stack is committed
-    /// eagerly, which at hundreds of harts dominates the kernel's entire
-    /// footprint (256 harts × 8 MiB = 2 GiB of zeroed, re-faulted pages).
+    /// only the lowest mapped stack address moves. Stacks are committed
+    /// eagerly, which at hundreds of guests dominates the runtime's entire
+    /// footprint (256 harts × 8 MiB = 2 GiB of zeroed, re-faulted pages) —
+    /// hence the small [`DEFAULT_STACK_SIZE`] everywhere and
+    /// [`Memory::instantiate_from`] for pooled spawns.
     pub fn load_with_stack(binary: &Binary, stack_size: u64) -> Memory {
         assert!(stack_size > 0, "stack must be at least one byte");
         let mut m = Memory::new();
@@ -222,6 +392,128 @@ impl Memory {
         }
         m.map(STACK_TOP - stack_size, stack_size, Perms::RW, "[stack]");
         m
+    }
+
+    /// Instantiates a pooled memory from a master image: every region is
+    /// a clean copy-on-write view of the master's bytes, so the cost is
+    /// O(regions) rather than O(bytes). Writes privatize the touched
+    /// region; [`Memory::recycle`] later restores exactly the dirtied
+    /// spans. Executable template regions are recorded in the dirty-region
+    /// edit log with their fresh map-time generations, mirroring
+    /// [`Memory::map_bytes`].
+    pub fn instantiate_from(master: &Arc<MasterImage>) -> Memory {
+        let mut m = Memory {
+            regions: Vec::with_capacity(master.regions.len()),
+            code_generation: 0,
+            edits: Vec::new(),
+            last_hit: 0,
+            master: Some(master.clone()),
+        };
+        for src in &master.regions {
+            let generation = next_generation();
+            if src.perms.x {
+                m.record_edit(DirtySpan {
+                    start: src.start,
+                    end: src.start + src.bytes.len() as u64,
+                    generation,
+                });
+            }
+            m.regions.push(Region {
+                start: src.start,
+                perms: src.perms,
+                backing: Backing::Shared(src.bytes.clone()),
+                written: None,
+                name: src.name.clone(),
+                generation,
+            });
+            m.code_generation += 1;
+        }
+        m
+    }
+
+    /// The master image this memory was instantiated from, if pooled.
+    pub fn master(&self) -> Option<&Arc<MasterImage>> {
+        self.master.as_ref()
+    }
+
+    /// Bytes of privately owned backing (copy-on-write regions that were
+    /// never written contribute nothing). For a freshly instantiated slot
+    /// this is 0; [`Memory::load`] commits everything eagerly.
+    pub fn resident_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| match &r.backing {
+                Backing::Owned(v) => v.len() as u64,
+                Backing::Shared(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Total mapped bytes across all regions (owned or shared).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Restores a pooled memory to its master image so the slot can be
+    /// handed to the next spawn: only the spans a run actually wrote are
+    /// copied back (the written-span log makes "zeroing" proportional to
+    /// dirt, not to memory size), restored regions draw fresh generations
+    /// (their bytes changed, so no decode cache may validate stale blocks),
+    /// and the edit log is reset to the template's map-time state. Returns
+    /// the number of restored bytes, or `None` when the memory is not
+    /// recyclable — not pooled, or its region layout diverged from the
+    /// master (map/unmap happened) — in which case the caller discards it.
+    pub fn recycle(&mut self) -> Option<u64> {
+        let master = self.master.clone()?;
+        if self.regions.len() != master.regions.len() {
+            return None;
+        }
+        for (r, m) in self.regions.iter().zip(master.regions.iter()) {
+            if r.start != m.start
+                || r.len() != m.bytes.len()
+                || r.perms != m.perms
+                || r.name != m.name
+            {
+                return None;
+            }
+        }
+        let mut restored = 0u64;
+        for (r, m) in self.regions.iter_mut().zip(master.regions.iter()) {
+            let Some((lo, hi)) = r.written.take() else {
+                // Never written: shared backings are still bit-identical to
+                // the master, and privatized-but-unwritten backings (raw
+                // load mirrors) were only read. Nothing to restore.
+                continue;
+            };
+            match &mut r.backing {
+                Backing::Owned(v) => v[lo..hi].copy_from_slice(&m.bytes[lo..hi]),
+                Backing::Shared(_) => unreachable!("written implies privatized"),
+            }
+            restored += (hi - lo) as u64;
+            // The restored bytes differ from what this generation was
+            // stamped for; draw a fresh workspace-unique one.
+            r.generation = next_generation();
+        }
+        // Reset the edit log to the template state a fresh instantiation
+        // would carry: the whole span of every executable region, stamped
+        // with its current generation.
+        self.edits.clear();
+        let spans: Vec<DirtySpan> = self
+            .regions
+            .iter()
+            .filter(|r| r.perms.x)
+            .map(|r| DirtySpan {
+                start: r.start,
+                end: r.end(),
+                generation: r.generation,
+            })
+            .collect();
+        for s in spans {
+            self.record_edit(s);
+        }
+        self.code_generation += 1;
+        self.last_hit = 0;
+        Some(restored)
     }
 
     /// The regions, sorted by address.
@@ -241,6 +533,14 @@ impl Memory {
     /// [`Memory::write`] can never be bypassed. The pointer stays valid
     /// until the region list changes (nothing reachable from guest
     /// execution does that) and is re-requested on every mirror refresh.
+    ///
+    /// Mirrors cache the pointer across guest instructions, so the backing
+    /// is privatized here: a later copy-on-write privatization would
+    /// reallocate a shared backing out from under the pointer, while an
+    /// owned backing never moves (every guest store is an in-place
+    /// fixed-length overwrite). Store mirrors additionally mark the whole
+    /// region written — raw-pointer stores bypass the span tracking, so
+    /// recycling must be conservative about them.
     pub(crate) fn region_raw(&mut self, addr: u64, store: bool) -> Option<(*mut u8, u64, usize)> {
         let idx = self.region_idx(addr)?;
         let r = &mut self.regions[idx];
@@ -249,7 +549,18 @@ impl Memory {
         } else {
             r.perms.r
         };
-        ok.then_some((r.bytes.as_mut_ptr(), r.start, r.bytes.len()))
+        if !ok {
+            return None;
+        }
+        r.privatize();
+        if store {
+            let len = r.len();
+            r.mark_written(0, len);
+        }
+        match &mut r.backing {
+            Backing::Owned(v) => Some((v.as_mut_ptr(), r.start, v.len())),
+            Backing::Shared(_) => unreachable!("privatized above"),
+        }
     }
 
     fn region_idx(&mut self, addr: u64) -> Option<usize> {
@@ -300,7 +611,7 @@ impl Memory {
             });
         }
         let off = (addr - r.start) as usize;
-        if off + len > r.bytes.len() {
+        if off + len > r.len() {
             // Access runs off the end of the region.
             return Err(MemFault {
                 addr: r.end(),
@@ -311,15 +622,16 @@ impl Memory {
         Ok((idx, off))
     }
 
-    fn access(&mut self, addr: u64, len: usize, access: Access) -> Result<&mut [u8], MemFault> {
+    /// Read-only access: never privatizes a copy-on-write backing.
+    fn access(&mut self, addr: u64, len: usize, access: Access) -> Result<&[u8], MemFault> {
         let (idx, off) = self.resolve(addr, len, access)?;
-        Ok(&mut self.regions[idx].bytes[off..off + len])
+        Ok(&self.regions[idx].bytes()[off..off + len])
     }
 
     /// Loads `N` bytes with R permission.
     pub fn read<const N: usize>(&mut self, addr: u64) -> Result<[u8; N], MemFault> {
         let b = self.access(addr, N, Access::Load)?;
-        Ok(<[u8; N]>::try_from(&*b).expect("length checked"))
+        Ok(<[u8; N]>::try_from(b).expect("length checked"))
     }
 
     /// Stores bytes with W permission. A store into an *executable* region
@@ -329,7 +641,7 @@ impl Memory {
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
         let (idx, off) = self.resolve(addr, bytes.len(), Access::Store)?;
         let r = &mut self.regions[idx];
-        r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        r.bytes_mut(off, off + bytes.len()).copy_from_slice(bytes);
         if r.perms.x {
             let generation = next_generation();
             r.generation = generation;
@@ -359,14 +671,14 @@ impl Memory {
         if let Some(r) = self.regions.get(hint.0 as usize) {
             if r.perms.r && addr >= r.start {
                 let off = (addr - r.start) as usize;
-                if let Some(b) = r.bytes.get(off..off.wrapping_add(N)) {
+                if let Some(b) = r.bytes().get(off..off.wrapping_add(N)) {
                     return Ok(<[u8; N]>::try_from(b).expect("length checked"));
                 }
             }
         }
         let (idx, off) = self.resolve(addr, N, Access::Load)?;
         hint.0 = idx as u32;
-        let b = &self.regions[idx].bytes[off..off + N];
+        let b = &self.regions[idx].bytes()[off..off + N];
         Ok(<[u8; N]>::try_from(b).expect("length checked"))
     }
 
@@ -386,15 +698,16 @@ impl Memory {
         if let Some(r) = self.regions.get_mut(hint.0 as usize) {
             if r.perms.w && !r.perms.x && addr >= r.start {
                 let off = (addr - r.start) as usize;
-                if let Some(dst) = r.bytes.get_mut(off..off.wrapping_add(bytes.len())) {
-                    dst.copy_from_slice(bytes);
+                let end = off.wrapping_add(bytes.len());
+                if off <= end && end <= r.len() {
+                    r.bytes_mut(off, end).copy_from_slice(bytes);
                     return Ok(());
                 }
             }
         }
         let (idx, off) = self.resolve(addr, bytes.len(), Access::Store)?;
         let r = &mut self.regions[idx];
-        r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        r.bytes_mut(off, off + bytes.len()).copy_from_slice(bytes);
         if r.perms.x {
             let generation = next_generation();
             r.generation = generation;
@@ -416,14 +729,14 @@ impl Memory {
         if let Some(r) = self.regions.get(hint.0 as usize) {
             if r.perms.x && addr >= r.start {
                 let off = (addr - r.start) as usize;
-                if let Some(b) = r.bytes.get(off..off.wrapping_add(2)) {
+                if let Some(b) = r.bytes().get(off..off.wrapping_add(2)) {
                     return Ok(u16::from_le_bytes([b[0], b[1]]));
                 }
             }
         }
         let (idx, off) = self.resolve(addr, 2, Access::Fetch)?;
         hint.0 = idx as u32;
-        let b = &self.regions[idx].bytes[off..off + 2];
+        let b = &self.regions[idx].bytes()[off..off + 2];
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
@@ -445,7 +758,7 @@ impl Memory {
         let idx = self.region_idx(addr)?;
         let r = &self.regions[idx];
         let off = (addr - r.start) as usize;
-        r.bytes.get(off..off + len).map(<[u8]>::to_vec)
+        r.bytes().get(off..off + len).map(<[u8]>::to_vec)
     }
 
     /// Writes code bytes regardless of permissions and bumps the code
@@ -461,14 +774,14 @@ impl Memory {
         };
         let r = &mut self.regions[idx];
         let off = (addr - r.start) as usize;
-        if off + bytes.len() > r.bytes.len() {
+        if off + bytes.len() > r.len() {
             return Err(MemFault {
                 addr: r.end(),
                 access: Access::Store,
                 mapped: false,
             });
         }
-        r.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        r.bytes_mut(off, off + bytes.len()).copy_from_slice(bytes);
         let generation = next_generation();
         r.generation = generation;
         self.code_generation += 1;
@@ -890,5 +1203,145 @@ mod tests {
         assert_eq!(m.read_u64(STACK_TOP - 8).unwrap(), 42);
         // Data is not executable: the SMILE precondition.
         assert!(m.fetch_u16(bin.gp).is_err());
+        // The default stack is the small one; resident bytes stay bounded.
+        assert_eq!(
+            m.mapped_bytes(),
+            4 + 0x1000 + DEFAULT_STACK_SIZE,
+            "default load commits the 256 KiB stack, not 8 MiB"
+        );
+    }
+
+    fn small_binary() -> Binary {
+        use chimera_isa::ExtSet;
+        use chimera_obj::{Section, TEXT_BASE};
+        Binary {
+            sections: vec![
+                Section {
+                    name: ".text".into(),
+                    addr: TEXT_BASE,
+                    data: vec![0x13, 0, 0, 0, 0x13, 0, 0, 0],
+                    perms: Perms::RX,
+                },
+                Section {
+                    name: ".data".into(),
+                    addr: 0x2_0000,
+                    data: vec![7; 0x100],
+                    perms: Perms::RW,
+                },
+            ],
+            symbols: vec![],
+            entry: TEXT_BASE,
+            gp: 0x2_0080,
+            profile: ExtSet::RV64GC,
+        }
+    }
+
+    #[test]
+    fn instantiate_shares_then_writes_privatize() {
+        let bin = small_binary();
+        let master = Arc::new(MasterImage::new(&bin, 0x1000));
+        let mut m = Memory::instantiate_from(&master);
+        // Clean instantiation owns nothing: all regions are shared views.
+        assert_eq!(m.resident_bytes(), 0);
+        assert_eq!(m.mapped_bytes(), master.mapped_bytes());
+        assert!(m.regions().iter().all(Region::is_shared));
+        // Reads (even fetches and peeks) never privatize.
+        assert_eq!(m.read::<4>(0x2_0000).unwrap(), [7; 4]);
+        m.fetch_u16(bin.entry).unwrap();
+        m.peek(STACK_TOP - 8, 8).unwrap();
+        assert_eq!(m.resident_bytes(), 0);
+        // A write privatizes exactly the touched region.
+        m.write_u64(STACK_TOP - 8, 42).unwrap();
+        assert_eq!(m.resident_bytes(), 0x1000);
+        assert_eq!(m.read_u64(STACK_TOP - 8).unwrap(), 42);
+        // The master's bytes are untouched: a sibling instantiation still
+        // reads zeros.
+        let mut sib = Memory::instantiate_from(&master);
+        assert_eq!(sib.read_u64(STACK_TOP - 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn recycle_restores_only_dirtied_spans() {
+        let bin = small_binary();
+        let master = Arc::new(MasterImage::new(&bin, 0x1000));
+        let mut m = Memory::instantiate_from(&master);
+        m.write_u64(STACK_TOP - 8, 42).unwrap();
+        m.write(0x2_0010, &[9; 8]).unwrap();
+        let restored = m.recycle().expect("layout unchanged, recyclable");
+        // Exactly the two written spans were restored, nothing else.
+        assert_eq!(restored, 16);
+        assert_eq!(m.read_u64(STACK_TOP - 8).unwrap(), 0);
+        assert_eq!(m.read::<8>(0x2_0010).unwrap(), [7; 8]);
+        // Privatized allocations stay warm for the next tenant.
+        assert_eq!(m.resident_bytes(), 0x1000 + 0x100);
+        // A second recycle with no writes restores nothing.
+        assert_eq!(m.recycle(), Some(0));
+    }
+
+    #[test]
+    fn recycle_draws_fresh_generations_for_poked_code() {
+        let bin = small_binary();
+        let master = Arc::new(MasterImage::new(&bin, 0x1000));
+        let mut m = Memory::instantiate_from(&master);
+        let fp0 = m.code_fingerprint(bin.entry).unwrap();
+        let g0 = m.code_generation();
+        m.poke_code(bin.entry, &[0xaa, 0xbb]).unwrap();
+        let fp1 = m.code_fingerprint(bin.entry).unwrap();
+        assert_ne!(fp0, fp1);
+        m.recycle().unwrap();
+        // Bytes are back to the master's, but under a generation no cache
+        // has ever validated a block against.
+        assert_eq!(m.fetch_u16(bin.entry).unwrap(), 0x0013);
+        let fp2 = m.code_fingerprint(bin.entry).unwrap();
+        assert_ne!(fp2, fp0);
+        assert_ne!(fp2, fp1);
+        assert!(m.code_generation() > g0);
+        // And the restored text span is visible to a fresh dirty query,
+        // exactly like a fresh instantiation's map-time span.
+        let d = m.dirty_regions_since(0);
+        assert!(
+            d.iter()
+                .any(|s| s.start <= bin.entry && bin.entry + 2 <= s.end),
+            "restored code span missing from the edit log: {d:?}"
+        );
+    }
+
+    #[test]
+    fn recycle_refuses_layout_divergence() {
+        let bin = small_binary();
+        let master = Arc::new(MasterImage::new(&bin, 0x1000));
+        // Unmapping a region makes the slot non-recyclable.
+        let mut m = Memory::instantiate_from(&master);
+        assert!(m.unmap(".data"));
+        assert_eq!(m.recycle(), None);
+        // So does mapping an extra one.
+        let mut m = Memory::instantiate_from(&master);
+        m.map(0x9_0000, 0x100, Perms::RW, ".extra");
+        assert_eq!(m.recycle(), None);
+        // And a plain loaded memory was never pooled at all.
+        let mut m = Memory::load(&bin);
+        assert_eq!(m.recycle(), None);
+    }
+
+    #[test]
+    fn instantiated_memory_observes_like_eager_load() {
+        // Same program bytes through both construction paths: every
+        // accessor agrees, including faults.
+        let bin = small_binary();
+        let master = Arc::new(MasterImage::new(&bin, 0x1000));
+        let mut pooled = Memory::instantiate_from(&master);
+        let mut eager = Memory::load_with_stack(&bin, 0x1000);
+        for addr in [bin.entry, 0x2_0000, 0x2_00ff, STACK_TOP - 8] {
+            assert_eq!(pooled.peek(addr, 1), eager.peek(addr, 1), "{addr:#x}");
+        }
+        assert_eq!(
+            pooled.read::<4>(0x9000).unwrap_err(),
+            eager.read::<4>(0x9000).unwrap_err()
+        );
+        assert_eq!(
+            pooled.write(bin.entry, &[1]).unwrap_err(),
+            eager.write(bin.entry, &[1]).unwrap_err()
+        );
+        assert_eq!(pooled.mapped_bytes(), eager.mapped_bytes());
     }
 }

@@ -78,10 +78,11 @@ impl core::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// Prepares a CPU + memory pair for a binary: maps sections and the stack,
-/// sets pc/sp/gp.
+/// Prepares a CPU + memory pair for a binary: maps sections and the stack
+/// ([`chimera_obj::DEFAULT_STACK_SIZE`] — 256 KiB, committed eagerly; use
+/// [`boot_with_stack`] for deep-recursing workloads), sets pc/sp/gp.
 pub fn boot(binary: &Binary, profile: ExtSet) -> (Cpu, Memory) {
-    boot_with_stack(binary, profile, chimera_obj::STACK_SIZE)
+    boot_with_stack(binary, profile, chimera_obj::DEFAULT_STACK_SIZE)
 }
 
 /// [`boot`] with an explicit stack size (see

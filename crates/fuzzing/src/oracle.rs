@@ -35,7 +35,9 @@ use chimera_emu::{Access, ExecMode, Stop, Trap};
 use chimera_isa::prng::Prng;
 use chimera_isa::ExtSet;
 use chimera_kernel::{RunOutcome, RuntimeTables};
-use chimera_rewrite::{run, run_cached, run_incremental, EngineResult, Rewritten};
+use chimera_rewrite::{
+    run, run_cached, run_incremental, EngineResult, Rewritten, SharedVariantCache,
+};
 use chimera_testutil::{
     engines, load_image, mutate_image, observe_jit, observe_mode, observe_mode_traced,
     run_under_kernel_at, to_rewrite_spans, writable_bytes, Obs,
@@ -102,6 +104,11 @@ pub struct Coverage {
     pub kernel_runs: u64,
     /// SMILE interior entries driven.
     pub smile_entries: u64,
+    /// Shared variant-cache checkouts run and replayed under the kernel
+    /// (one cold + one warm per eligible CHBP case).
+    pub shared_cache_runs: u64,
+    /// Checkouts of those that were served warm from the shared cache.
+    pub shared_cache_hits: u64,
 }
 
 impl Coverage {
@@ -122,6 +129,8 @@ impl Coverage {
         self.engine_runs += o.engine_runs;
         self.kernel_runs += o.kernel_runs;
         self.smile_entries += o.smile_entries;
+        self.shared_cache_runs += o.shared_cache_runs;
+        self.shared_cache_hits += o.shared_cache_hits;
     }
 
     /// `(name, value)` pairs for reporting.
@@ -142,6 +151,8 @@ impl Coverage {
             ("engine_runs", self.engine_runs),
             ("kernel_runs", self.kernel_runs),
             ("smile_entries", self.smile_entries),
+            ("shared_cache_runs", self.shared_cache_runs),
+            ("shared_cache_hits", self.shared_cache_hits),
         ]
     }
 }
@@ -477,6 +488,58 @@ pub fn check_case(case: &FuzzCase, inject: Inject) -> Result<Coverage, Divergenc
                     let i = a.iter().zip(b).position(|(x, y)| x != y).unwrap_or(0);
                     return Err(fail(&stage, format!("output memory diverged at {sn}[{i}]")));
                 }
+            }
+        }
+
+        // ---- Cross-process variant-cache column ---------------------
+        // One cold checkout (pays the rewrite) and one warm checkout
+        // (served shared) of the same content: both must hand back the
+        // direct rewrite's artifact bit for bit, and a kernel replay of
+        // the warm checkout must be full-Obs-identical to the cold one.
+        // CHBP only — the other engines' artifacts were already pinned
+        // identical above, so one engine exercises the cache paths.
+        if name == "chbp" {
+            let shared = SharedVariantCache::new();
+            let mut replays = Vec::new();
+            for (pass, expect_hit) in [("cold", false), ("warm", true)] {
+                let stage = format!("rewrite:chbp:shared-{pass}");
+                let handle = shared
+                    .checkout(engine.as_ref(), bin, 0, 2, &disabled)
+                    .map_err(|e| fail(&stage, format!("{e:?}")))?;
+                if handle.shared_hit != expect_hit {
+                    return Err(fail(
+                        &stage,
+                        format!("shared_hit={}, expected {expect_hit}", handle.shared_hit),
+                    ));
+                }
+                if *handle.rewritten() != base.rewritten {
+                    return Err(fail(
+                        &stage,
+                        "checkout artifact differs from the direct rewrite".into(),
+                    ));
+                }
+                cov.shared_cache_runs += 1;
+                cov.shared_cache_hits += handle.shared_hit as u64;
+                let tables = RuntimeTables {
+                    fht: Some(handle.rewritten().fht.clone()),
+                    regen: handle.regen().cloned(),
+                };
+                let mut ko = run_under_kernel_at(
+                    handle.rewritten().binary.clone(),
+                    tables,
+                    ExtSet::RV64GC,
+                    true,
+                    None,
+                    KERNEL_FUEL,
+                );
+                let mem = writable_bytes(&mut ko.mem, bin);
+                replays.push((ko.outcome, ko.stdout, ko.cpu.stats, mem));
+            }
+            if replays[0] != replays[1] {
+                return Err(fail(
+                    "rewrite:chbp:shared-replay",
+                    "warm-checkout kernel run diverged from the cold one".into(),
+                ));
             }
         }
 

@@ -15,6 +15,7 @@
 
 mod event;
 mod many;
+mod pool;
 mod process;
 mod refresh;
 mod runtime;
@@ -22,6 +23,7 @@ mod sched;
 
 pub use event::{EventQueue, HartEvent, HartEventKind};
 pub use many::{HartReport, ManyHartConfig, ManyHartKernel, ManyHartResult};
+pub use pool::ProcessPool;
 pub use process::{sync_vectors_from_spill, sync_vectors_to_spill, Process, Variant, LAZY_SLACK};
 pub use refresh::VariantRefresher;
 pub use runtime::{

@@ -32,6 +32,7 @@
 //! deadlock) rather than spinning forever.
 
 use crate::event::{EventQueue, HartEvent, HartEventKind};
+use crate::pool::ProcessPool;
 use crate::runtime::{FaultCounters, HartCall, KernelRunner, RuntimeTables, TrapDisposition};
 use crate::sched::FiberPool;
 use chimera_emu::{ExecMode, ExecStats, FiberYield, HartFiber};
@@ -108,6 +109,10 @@ struct HartSlot {
     migrations: u64,
     /// The hart's trace handle (shared seq counter with its CPU/kernel).
     tracer: Tracer,
+    /// The [`crate::ProcessPool`] key this hart's memory slot came from
+    /// (`None` for eagerly booted harts), so [`ManyHartKernel::recycle_into`]
+    /// knows where to return it.
+    pool_key: Option<u64>,
 }
 
 /// Final report for one hart.
@@ -221,8 +226,60 @@ impl ManyHartKernel {
             outbox: Vec::new(),
             migrations: 0,
             tracer: hart_tracer,
+            pool_key: None,
         }));
         id
+    }
+
+    /// Adds a hart spawned from a [`ProcessPool`] slot (the churn fast
+    /// path): the memory is a pooled copy-on-write instantiation of the
+    /// variant registered under `key`, and [`ManyHartKernel::recycle_into`]
+    /// can return it after the run. Returns the hart id, or `None` when
+    /// `key` is not registered.
+    pub fn add_pooled_hart(
+        &mut self,
+        pool: &mut ProcessPool,
+        key: u64,
+        profile: ExtSet,
+        ext_profile: ExtSet,
+    ) -> Option<u64> {
+        let (cpu, mem) = pool.spawn(key, profile)?;
+        let tables = pool.variant(key).expect("spawned key").tables.clone();
+        let id = self.slots.len() as u64;
+        let hart_tracer = self.tracer.for_hart(id);
+        let mut fiber = HartFiber::new(id, cpu, mem);
+        fiber.cpu.set_mode(self.cfg.mode);
+        fiber.cpu.tracer = hart_tracer.clone();
+        let kernel = KernelRunner::with_tracer(tables, hart_tracer.clone());
+        self.slots.push(Mutex::new(HartSlot {
+            fiber,
+            kernel,
+            status: HartStatus::Runnable,
+            pending_wake: false,
+            ext_profile,
+            outbox: Vec::new(),
+            migrations: 0,
+            tracer: hart_tracer,
+            pool_key: Some(key),
+        }));
+        Some(id)
+    }
+
+    /// Drains every hart slot and returns pooled memories to `pool`
+    /// (restoring only the spans each run dirtied). Consumes the kernel's
+    /// harts — call after [`ManyHartKernel::run`] and before reusing the
+    /// kernel for another round. Returns the number of slots recycled.
+    pub fn recycle_into(&mut self, pool: &mut ProcessPool) -> usize {
+        let mut recycled = 0;
+        for slot in self.slots.drain(..) {
+            let s = slot.into_inner().expect("slot poisoned");
+            if let Some(key) = s.pool_key {
+                if pool.recycle(key, s.fiber.hart_id, s.fiber.mem).is_some() {
+                    recycled += 1;
+                }
+            }
+        }
+        recycled
     }
 
     /// Harts added so far.

@@ -14,7 +14,7 @@
 use crate::runtime::RuntimeTables;
 use chimera_emu::{Cpu, Memory, VLENB};
 use chimera_isa::{Eew, ExtSet, VReg, XReg};
-use chimera_obj::{Binary, Perms, STACK_SIZE, STACK_TOP};
+use chimera_obj::{Binary, Perms, DEFAULT_STACK_SIZE, STACK_TOP};
 use chimera_rewrite::translate::SpillLayout;
 use chimera_trace::{TraceEvent, Tracer};
 
@@ -76,7 +76,12 @@ impl Process {
         for s in &view.binary.sections {
             mem.map_bytes(s.addr, s.data.clone(), s.perms, &s.name);
         }
-        mem.map(STACK_TOP - STACK_SIZE, STACK_SIZE, Perms::RW, "[stack]");
+        mem.map(
+            STACK_TOP - DEFAULT_STACK_SIZE,
+            DEFAULT_STACK_SIZE,
+            Perms::RW,
+            "[stack]",
+        );
         if let Some(fht) = &view.tables.fht {
             if fht.target_range.1 > fht.target_range.0 {
                 mem.map(fht.target_range.1, LAZY_SLACK, Perms::RX, "[lazy]");

@@ -120,8 +120,16 @@ pub const TEXT_BASE: u64 = 0x1_0000;
 /// Top of the initial stack (grows down).
 pub const STACK_TOP: u64 = 0x4000_0000;
 
-/// Default stack reservation in bytes.
+/// Maximum stack reservation in bytes, for workloads that genuinely
+/// recurse deep (callers opt in via `Memory::load_with_stack`).
 pub const STACK_SIZE: u64 = 8 * 1024 * 1024;
+
+/// Default stack reservation in bytes. Stacks are committed eagerly and
+/// always end at [`STACK_TOP`], so the boot `sp` is size-invariant; a
+/// small default keeps per-guest footprint O(100 KiB) — at thousands of
+/// pooled guests the 8 MiB [`STACK_SIZE`] would dominate the runtime's
+/// entire memory budget.
+pub const DEFAULT_STACK_SIZE: u64 = 256 * 1024;
 
 /// A complete loadable binary.
 #[derive(Debug, Clone, PartialEq, Eq)]

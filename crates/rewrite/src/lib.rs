@@ -14,6 +14,7 @@ pub mod chbp;
 pub mod emitter;
 pub mod engine;
 pub mod pipeline;
+pub mod shared;
 pub mod smile;
 pub mod translate;
 
@@ -26,6 +27,7 @@ pub use engine::{IdentityEngine, RewriteEngine, UnitArtifact};
 pub use pipeline::{
     default_workers, run, run_cached, run_incremental, DirtySpan, EngineResult, RewriteCache,
 };
+pub use shared::{content_key, SharedCacheStats, SharedVariantCache, VariantHandle};
 pub mod regen;
 
 pub use regen::{

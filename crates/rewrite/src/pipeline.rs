@@ -55,6 +55,7 @@ pub struct DirtySpan {
 /// One cached unit: its transform artifact plus the validation stamp —
 /// the newest dirty-region generation this unit has been re-validated
 /// against. Re-presenting an already-consumed dirty report is a no-op.
+#[derive(Clone)]
 struct CachedUnit {
     artifact: UnitArtifact,
     stamp: u64,
@@ -66,6 +67,12 @@ struct CachedUnit {
 /// and every unit's artifact with a validation stamp. One cache serves
 /// one `(engine, input binary)` pair; [`run_incremental`] re-primes it
 /// automatically when either changed.
+///
+/// Cloning is cheap-ish (analyses stay `Arc`-shared; artifacts and plans
+/// copy) and gives the clone an *independent* validation-stamp column —
+/// the mechanism `SharedVariantCache` uses to keep one process's SMC
+/// invalidations out of every other process's view of the same variant.
+#[derive(Clone)]
 pub struct RewriteCache {
     engine_name: &'static str,
     /// The exact input the cache was built from (incremental runs verify
@@ -97,6 +104,14 @@ impl RewriteCache {
     /// Number of units in the cached partition.
     pub fn unit_count(&self) -> usize {
         self.cached.len()
+    }
+
+    /// Per-unit validation stamps, in unit order. A zero stamp means the
+    /// unit has never been invalidated since priming; isolation tests use
+    /// this to assert one process's SMC pokes never touch another
+    /// process's clean units.
+    pub fn stamp_snapshot(&self) -> Vec<u64> {
+        self.cached.iter().map(|cu| cu.stamp).collect()
     }
 }
 

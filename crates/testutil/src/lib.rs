@@ -401,7 +401,7 @@ pub fn mutate_image(mem: &mut Memory, rng: &mut Prng, text_start: u64, text_end:
         _ => {
             let r = mem.region(".text").expect(".text is mapped").clone();
             assert!(mem.unmap(".text"), "unmap succeeds");
-            mem.map_bytes(r.start, r.bytes, r.perms, ".text");
+            mem.map_bytes(r.start, r.bytes().to_vec(), r.perms, ".text");
         }
     }
 }

@@ -175,6 +175,22 @@ pub enum TraceEvent {
         /// Wall-clock duration of the whole incremental run, nanoseconds.
         nanos: u64,
     },
+    /// A content-addressed rewrite variant was served from the shared
+    /// cross-process cache instead of being rewritten again.
+    VariantShared {
+        /// The variant's content key.
+        key: u64,
+        /// Cumulative hits this entry has served (including this one).
+        hits: u64,
+    },
+    /// A pooled guest-memory slot was returned and restored from its
+    /// master image — only the spans the run dirtied were copied back.
+    SlotRecycled {
+        /// The hart/process the slot served.
+        hart: u64,
+        /// Bytes restored from the master image.
+        restored_bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -193,11 +209,13 @@ impl TraceEvent {
             TraceEvent::StealAttempt { .. } => "StealAttempt",
             TraceEvent::RewritePassDone { .. } => "RewritePassDone",
             TraceEvent::RewriteIncremental { .. } => "RewriteIncremental",
+            TraceEvent::VariantShared { .. } => "VariantShared",
+            TraceEvent::SlotRecycled { .. } => "SlotRecycled",
         }
     }
 
     /// Every event-type tag, in a fixed order (used by coverage checks).
-    pub const KINDS: [&'static str; 12] = [
+    pub const KINDS: [&'static str; 14] = [
         "BlockBuilt",
         "CacheInvalidate",
         "BlockChained",
@@ -210,6 +228,8 @@ impl TraceEvent {
         "StealAttempt",
         "RewritePassDone",
         "RewriteIncremental",
+        "VariantShared",
+        "SlotRecycled",
     ];
 }
 

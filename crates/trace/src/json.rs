@@ -111,6 +111,18 @@ fn event_fields(e: &TraceEvent, out: &mut String) {
                 "\"units_total\": {units_total}, \"units_redone\": {units_redone}, \"nanos\": {nanos}"
             );
         }
+        TraceEvent::VariantShared { key, hits } => {
+            let _ = write!(out, "\"key\": {key}, \"hits\": {hits}");
+        }
+        TraceEvent::SlotRecycled {
+            hart,
+            restored_bytes,
+        } => {
+            let _ = write!(
+                out,
+                "\"hart\": {hart}, \"restored_bytes\": {restored_bytes}"
+            );
+        }
     }
 }
 
